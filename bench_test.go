@@ -1,0 +1,284 @@
+package lodify
+
+// One benchmark per experiment of DESIGN.md §4. Each BenchmarkEx
+// measures the steady-state kernel of that experiment; the aggregate
+// quality/recall numbers are produced by cmd/benchreport (and
+// asserted by internal/experiments tests).
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lodify/internal/album"
+	"lodify/internal/annotate"
+	"lodify/internal/d2r"
+	"lodify/internal/experiments"
+	"lodify/internal/federation"
+	"lodify/internal/geo"
+	"lodify/internal/infer"
+	"lodify/internal/lod"
+	"lodify/internal/sparql"
+	"lodify/internal/ugc"
+	"lodify/internal/web"
+	"lodify/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(workload.Spec{
+			Users: 20, Contents: 300, FriendsPerUser: 4, RatedFraction: 0.7, Seed: 7,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkE1AnnotationPipeline measures one full Fig. 1 run:
+// language detection, morphology, brokering and filtering for a
+// multilingual title with tags.
+func BenchmarkE1AnnotationPipeline(b *testing.B) {
+	e := env(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.E1AnnotateOnce()
+	}
+}
+
+// BenchmarkE1ThresholdPoint measures the gold-corpus evaluation at
+// the paper's 0.8 threshold (the unit of the E1 sweep).
+func BenchmarkE1ThresholdPoint(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.E1ThresholdSweep([]float64{0.8})
+	}
+}
+
+// BenchmarkE2D2RDump measures the §2.1 dump-rdf pipeline for a
+// 1000-picture Coppermine database.
+func BenchmarkE2D2RDump(b *testing.B) {
+	db := experiments.BuildCoppermine(10, 1000)
+	m := d2r.CoppermineMapping("http://beta.teamlife.it/")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d2r.DumpNTriples(io.Discard, db, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3aGeoAlbum runs the paper's first §2.3 query.
+func BenchmarkE3aGeoAlbum(b *testing.B) {
+	e := env(b)
+	a := album.NearMonument(e.Platform.Store, "Mole Antonelliana", "it", 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Items(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3bSocialAlbum runs the second §2.3 query (friend filter).
+func BenchmarkE3bSocialAlbum(b *testing.B) {
+	e := env(b)
+	a := album.NearMonumentByFriends(e.Platform.Store, "Mole Antonelliana", "it", 0.3, e.Corpus.Users[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Items(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3cRatedAlbum runs the third §2.3 query (rating order).
+func BenchmarkE3cRatedAlbum(b *testing.B) {
+	e := env(b)
+	a := album.NearMonumentByFriendsRated(e.Platform.Store, "Mole Antonelliana", "it", 0.3, e.Corpus.Users[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Items(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4IncrementalSearch measures one AJAX keystroke query
+// (Fig. 2-3) through the live HTTP handler.
+func BenchmarkE4IncrementalSearch(b *testing.B) {
+	e := env(b)
+	srv := web.NewServer(e.Platform)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/api/search?q=Turi", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("code = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkE5AboutMashup runs the §4.1 four-arm UNION query.
+func BenchmarkE5AboutMashup(b *testing.B) {
+	e := env(b)
+	var iri string
+	for _, id := range e.Platform.Contents() {
+		c, _ := e.Platform.Content(id)
+		if c.GPS != nil {
+			iri = c.IRI.Value()
+			break
+		}
+	}
+	engine := sparql.NewEngine(e.Platform.Store)
+	q := web.AboutMashupQuery(iri, "it")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6TripleTagAlbum evaluates the §1.1 baseline tag filter.
+func BenchmarkE6TripleTagAlbum(b *testing.B) {
+	e := env(b)
+	a := &album.TagAlbum{Title: "kw", Index: e.Platform.TagIndex, Keywords: []string{"torino"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Items(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7KeywordSearch measures one baseline keyword lookup.
+func BenchmarkE7KeywordSearch(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Platform.KeywordSearch("mole")
+	}
+}
+
+// BenchmarkE7SemanticSearch measures the semantic retrieval core: the
+// geo query around a landmark resource.
+func BenchmarkE7SemanticSearch(b *testing.B) {
+	e := env(b)
+	lm, _ := e.World.DBpediaIRI("Mole Antonelliana")
+	pt, ok := e.Platform.Store.GeometryOf(lm)
+	if !ok {
+		b.Fatal("no geometry")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Platform.Store.GeoWithin(pt, 0.05)
+	}
+}
+
+// BenchmarkE8POIResolution resolves a landmark POI to DBpedia.
+func BenchmarkE8POIResolution(b *testing.B) {
+	e := env(b)
+	poi := annotate.POI{
+		ID: "72", Name: "Mole Antonelliana", Category: "monument",
+		Location: geo.Point{Lon: 7.6934, Lat: 45.0690},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := e.Pipeline.ResolvePOI(poi); res.Resource.IsZero() {
+			b.Fatal("unresolved")
+		}
+	}
+}
+
+// pushSink answers PuSH verifications and counts deliveries.
+type pushSink struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *pushSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		io.WriteString(w, r.URL.Query().Get("hub.challenge"))
+		return
+	}
+	io.Copy(io.Discard, r.Body)
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// BenchmarkE9FederationPush measures publish -> push delivery through
+// a two-node federation.
+func BenchmarkE9FederationPush(b *testing.B) {
+	e, err := experiments.NewEnv(workload.Spec{Users: 2, Contents: 0, FriendsPerUser: 0, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := federation.NewNetwork()
+	node := federation.NewNode("alice.example", e.Platform, net)
+	sink := &pushSink{}
+	net.Register("sink.example", sink)
+	if err := federation.SubscribeRemote(net.Client(), "http://alice.example/hub",
+		node.TopicURL(), "http://sink.example/cb"); err != nil {
+		b.Fatal(err)
+	}
+	user := e.Corpus.Users[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := node.PublishContent(ugc.Upload{
+			User: user, Filename: fmt.Sprintf("b%09d.jpg", i),
+			TakenAt: time.Date(2011, 9, 17, 18, 0, 0, 0, time.UTC),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.n != b.N {
+		b.Fatalf("delivered %d of %d", sink.n, b.N)
+	}
+}
+
+// BenchmarkInferMaterialize measures RDFS materialization over the
+// full LOD world (the §2.3 "inference capabilities" extension).
+func BenchmarkInferMaterialize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := lod.Generate(lod.DefaultConfig())
+		b.StartTimer()
+		if _, err := infer.Materialize(w.Store); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10AblatedAnnotation measures a pipeline run without the
+// Geonames resolver (the E10 ablation kernel).
+func BenchmarkE10AblatedAnnotation(b *testing.B) {
+	e := env(b)
+	pipe := annotate.NewPipeline(e.World.Store, e.Broker.WithoutResolver("geonames"), annotate.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.Annotate("Tramonto sulla Mole Antonelliana a Torino", []string{"torino"})
+	}
+}

@@ -1,0 +1,121 @@
+// Command benchreport runs the complete experiment suite (E1-E10 of
+// DESIGN.md) and prints the tables EXPERIMENTS.md records. Individual
+// experiments can be selected with -exp.
+//
+// Usage:
+//
+//	benchreport               # run everything
+//	benchreport -exp e1,e7    # only the annotation sweep and E7
+//	benchreport -contents 600 # bigger corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"lodify/internal/experiments"
+	"lodify/internal/workload"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+	contents := flag.Int("contents", 300, "corpus size for the shared environment")
+	users := flag.Int("users", 20, "corpus users")
+	seed := flag.Int64("seed", 7, "corpus seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	sel := func(id string) bool { return want["all"] || want[id] }
+
+	log.SetFlags(0)
+	start := time.Now()
+	log.Printf("building environment (%d users, %d contents, seed %d)...", *users, *contents, *seed)
+	env, err := experiments.NewEnv(workload.Spec{
+		Users: *users, Contents: *contents, FriendsPerUser: 4, RatedFraction: 0.7, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("environment ready in %v (store: %d triples)\n", time.Since(start).Round(time.Millisecond), env.Platform.Store.Len())
+
+	section := func(id, title string) {
+		fmt.Printf("\n== %s — %s ==\n\n", strings.ToUpper(id), title)
+	}
+
+	if sel("e1") {
+		section("e1", "Fig. 1 annotation pipeline: Jaro-Winkler threshold sweep")
+		rows := env.E1ThresholdSweep([]float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95})
+		fmt.Print(experiments.E1Report(rows))
+	}
+	if sel("e2") {
+		section("e2", "§2.1 D2R dump-rdf scaling")
+		rows, err := experiments.E2DumpScale([]int{100, 1000, 5000, 20000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.E2Report(rows))
+	}
+	if sel("e3") {
+		section("e3", "§2.3 virtual albums (the paper's three queries)")
+		rows, err := env.E3Albums()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.E3Report(rows))
+	}
+	if sel("e4") {
+		section("e4", "Figs. 2-3 incremental AJAX search (typing 'Turin')")
+		rows, err := env.E4IncrementalSearch("Turin")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.E4Report(rows))
+	}
+	if sel("e5") {
+		section("e5", "§4.1 'About' linked-data mashup (four-arm UNION)")
+		row, err := env.E5AboutMashup()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.E5Report(row))
+	}
+	if sel("e6") {
+		section("e6", "§1.1 triple-tag navigation (baseline)")
+		fmt.Print(experiments.E6Report(env.E6TagAlbums()))
+	}
+	if sel("e7") {
+		section("e7", "keyword vs semantic retrieval (the paper's headline claim)")
+		rows, err := experiments.E7KeywordVsSemantic([]int{100, 300, 1000}, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.E7Report(rows))
+	}
+	if sel("e8") {
+		section("e8", "§2.2.1 POI tag -> DBpedia resolution")
+		fmt.Print(experiments.E8Report(env.E8POIResolution()))
+	}
+	if sel("e9") {
+		section("e9", "§6 federated push (publish -> PuSH delivery)")
+		row, err := experiments.E9FederationPush(20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.E9Report(row))
+	}
+	if sel("e10") {
+		section("e10", "§2.2.2 resolver & graph-priority ablation")
+		fmt.Print(experiments.E10Report(env.E10Ablation()))
+	}
+	if sel("infer") || want["all"] {
+		section("infer", "§2.3 RDFS inference capabilities (extension)")
+		fmt.Print(experiments.InferReport(env))
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}

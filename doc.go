@@ -1,0 +1,38 @@
+// Package lodify is a from-scratch Go reproduction of "LODifying
+// personal content sharing" (EDBT 2012 workshops): a mobile
+// user-generated-content sharing platform migrated from triple-tag
+// annotation to automatic semantic annotation over Linked Open Data.
+//
+// The repository contains the complete system the paper describes
+// plus every substrate it depends on, implemented with the standard
+// library only:
+//
+//   - internal/rdf, internal/store, internal/sparql — the RDF data
+//     model, the indexed quad store and a SPARQL engine with the
+//     Virtuoso-style bif:st_intersects / bif:contains extensions the
+//     paper's queries use (standing in for Openlink Virtuoso);
+//   - internal/reldb, internal/d2r — a small relational engine shaped
+//     like the Coppermine gallery schema and the D2R-style dump-rdf
+//     mapping of §2.1;
+//   - internal/langdetect, internal/morph, internal/textsim,
+//     internal/resolver, internal/annotate — the Fig. 1 annotation
+//     pipeline: Cavnar-Trenkle language identification, FreeLing-like
+//     morphological analysis, the resolver broker (DBpedia, Geonames,
+//     Sindice, Evri, Zemanta simulations) and the semantic filtering
+//     with graph priorities and the Jaro-Winkler 0.8 gate;
+//   - internal/lod — deterministic synthetic DBpedia / Geonames /
+//     LinkedGeoData datasets;
+//   - internal/tags, internal/ctxmgr, internal/ugc, internal/album,
+//     internal/feed, internal/social, internal/web — the platform
+//     itself: triple tags, context management, ingestion, virtual
+//     albums, feeds, cross-posting and the web/mobile interface;
+//   - internal/federation — the §6 federated architecture (WebFinger,
+//     FOAF, ActivityStreams, PubSubHubbub + SparqlPuSH, Salmon,
+//     OEmbed);
+//   - internal/experiments, internal/workload — the reproduction
+//     harness regenerating every figure and evaluation artifact
+//     (see DESIGN.md and EXPERIMENTS.md).
+//
+// bench_test.go in this directory exposes one benchmark per
+// experiment; cmd/benchreport prints the full report.
+package lodify

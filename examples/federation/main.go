@@ -1,0 +1,130 @@
+// Federation: the §6 future-work architecture running — two home
+// nodes (alice.example and bob.example) on an in-process network.
+// Bob discovers Alice via WebFinger, reads her FOAF profile,
+// subscribes to her feed through her PubSubHubbub hub, receives a
+// near-instant push when she publishes, replies via Salmon and embeds
+// the photo via OEmbed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/federation"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/ugc"
+)
+
+func newPlatform() *ugc.Platform {
+	world := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(world)
+	pipe := annotate.NewPipeline(world.Store, resolver.DefaultBroker(world.Store), annotate.DefaultConfig())
+	return ugc.New(world.Store, ctx, pipe, ugc.Options{})
+}
+
+// bobSink is bob's push callback endpoint.
+type bobSink struct{ received chan string }
+
+func (s *bobSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet { // PuSH verification
+		io.WriteString(w, r.URL.Query().Get("hub.challenge"))
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	s.received <- string(body)
+	w.WriteHeader(http.StatusOK)
+}
+
+func main() {
+	net := federation.NewNetwork()
+
+	alicePlatform := newPlatform()
+	alicePlatform.Register("alice", "Alice Antonelli", "")
+	alice := federation.NewNode("alice.example", alicePlatform, net)
+
+	bobPlatform := newPlatform()
+	bobPlatform.Register("bob", "Bob Bianchi", "")
+	federation.NewNode("bob.example", bobPlatform, net)
+
+	sink := &bobSink{received: make(chan string, 8)}
+	net.Register("bob-callbacks.example", sink)
+	client := net.Client()
+
+	// 1. WebFinger discovery (§6.2: identity across networks).
+	links, err := federation.Finger(client, "alice@alice.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob discovered alice via WebFinger:")
+	for rel, href := range links {
+		fmt.Printf("  %-50s %s\n", rel, href)
+	}
+
+	// 2. FOAF profile sharing.
+	resp, err := client.Get(links["describedby"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	foaf, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\nalice's FOAF profile:\n%s\n", foaf)
+
+	// 3. Bob subscribes to alice's feed via her hub.
+	if err := federation.SubscribeRemote(client, links["hub"], alice.TopicURL(),
+		"http://bob-callbacks.example/push"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob subscribed to alice's feed (challenge verified)")
+
+	// 4. Alice publishes; bob gets a near-instant push.
+	mole := geo.Point{Lon: 7.6934, Lat: 45.0690}
+	c, err := alice.PublishContent(ugc.Upload{
+		User: "alice", Filename: "torino.jpg",
+		Title: "Una giornata a Torino", GPS: &mole,
+		TakenAt: time.Date(2011, 9, 17, 12, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := <-sink.received
+	var act federation.Activity
+	json.Unmarshal([]byte(payload), &act)
+	fmt.Printf("\nbob received push: %s %s %q\n", act.Actor, act.Verb, act.Title)
+
+	// 5. Bob replies with a Salmon.
+	if err := federation.SendSalmon(client, links["salmon"],
+		"acct:bob@bob.example", "Bellissima!", c.ID); err != nil {
+		log.Fatal(err)
+	}
+	for _, cm := range alice.Comments(c.ID) {
+		fmt.Printf("alice's photo got a comment from %s: %q\n", cm.Author, cm.Content)
+	}
+
+	// 6. Bob embeds the photo via OEmbed.
+	resp, err = client.Get("http://alice.example/oembed?url=" + c.MediaURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var oembed map[string]any
+	json.NewDecoder(resp.Body).Decode(&oembed)
+	resp.Body.Close()
+	fmt.Printf("oembed: type=%v title=%q provider=%v\n",
+		oembed["type"], oembed["title"], oembed["provider_name"])
+
+	// 7. Alice's ActivityStreams timeline.
+	resp, err = client.Get(links["http://schemas.google.com/g/2010#updates-from"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeline, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("\nalice's activity timeline:\n%s\n", timeline)
+}

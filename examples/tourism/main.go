@@ -1,0 +1,109 @@
+// Tourism: the eTourism scenario that motivates the paper — a tourist
+// walks through Turin taking photos; nearby friends are detected, a
+// POI is explicitly attached, and at the end the "About" mashup shows
+// the city abstract, nearby restaurants and attractions for one of
+// the photos (§4.1, Fig. 4), exactly as the mobile interface would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/sparql"
+	"lodify/internal/ugc"
+	"lodify/internal/web"
+)
+
+func main() {
+	world := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(world)
+	pipe := annotate.NewPipeline(world.Store, resolver.DefaultBroker(world.Store), annotate.DefaultConfig())
+	platform := ugc.New(world.Store, ctx, pipe, ugc.Options{})
+
+	platform.Register("oscar", "Oscar Rodriguez", "")
+	platform.Register("walter", "Walter Goix", "")
+	platform.AddFriend("oscar", "walter")
+
+	day := time.Date(2011, 9, 17, 10, 0, 0, 0, time.UTC)
+	walk := []struct {
+		title string
+		pt    geo.Point
+		tags  []string
+	}{
+		{"Colazione in Piazza Castello", geo.Point{Lon: 7.6858, Lat: 45.0711}, []string{"colazione"}},
+		{"Il Museo Egizio è meraviglioso", geo.Point{Lon: 7.6843, Lat: 45.0684}, []string{"museo"}},
+		{"Tramonto sulla Mole Antonelliana", geo.Point{Lon: 7.6934, Lat: 45.0690}, []string{"tramonto", "torino"}},
+	}
+
+	// Walter is also in town — the context platform will see him.
+	platform.Ctx.UpdatePresence("walter", geo.Point{Lon: 7.6930, Lat: 45.0692}, day.Add(8*time.Hour))
+
+	var lastID int64
+	for i, stop := range walk {
+		at := day.Add(time.Duration(i*4) * time.Hour)
+		// Attach an explicit POI for the last shot (§2.2.1 flow).
+		tags := stop.tags
+		if i == len(walk)-1 {
+			pois := platform.SearchPOIs(stop.pt, "Mole", 1)
+			if len(pois) == 1 {
+				tags = append(tags, "poi:recs_id="+pois[0].ID)
+			}
+		}
+		c, err := platform.Publish(ugc.Upload{
+			User: "oscar", Filename: fmt.Sprintf("walk_%d.jpg", i),
+			Title: stop.title, Tags: tags, GPS: &stop.pt, TakenAt: at,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastID = c.ID
+		fmt.Printf("uploaded %q\n", stop.title)
+		for _, a := range c.AutoAnnotations() {
+			fmt.Printf("  linked %q -> %s\n", a.Word, a.Resource.Value())
+		}
+		for _, p := range c.POIs {
+			fmt.Printf("  POI %q -> %s\n", p.POI.Name, p.Resource.Value())
+		}
+		for _, t := range c.ContextTags {
+			fmt.Printf("  ctx %s\n", t)
+		}
+	}
+
+	// The "About" button on the last photo: the four-arm mashup.
+	fmt.Printf("\n-- About this photo (mashup, §4.1) --\n")
+	c, _ := platform.Content(lastID)
+	engine := sparql.NewEngine(platform.Store)
+	res, err := engine.Query(web.AboutMashupQuery(c.IRI.Value(), "it"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sol := range res.Solutions {
+		label, ty, desc := val(sol, "lbl"), short(val(sol, "entType")), val(sol, "desc")
+		if len(desc) > 60 {
+			desc = desc[:57] + "..."
+		}
+		fmt.Printf("  [%-13s] %-28s %s\n", ty, label, desc)
+	}
+}
+
+func val(sol sparql.Solution, v string) string {
+	if t, ok := sol[v]; ok {
+		return t.Value()
+	}
+	return ""
+}
+
+func short(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '/' || iri[i] == '#' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}

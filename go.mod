@@ -1,0 +1,3 @@
+module lodify
+
+go 1.22

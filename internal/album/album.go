@@ -1,0 +1,243 @@
+// Package album implements virtual albums — dynamically evaluated
+// content collections. The platform had tag-based virtual albums
+// before the semantic migration (§1.1: filter by triple-tag
+// namespace, predicate or value) and gained SPARQL-backed semantic
+// virtual albums afterwards (§2.3), including the paper's three
+// reference queries around the "Mole Antonelliana" which this package
+// generates programmatically.
+package album
+
+import (
+	"fmt"
+	"strings"
+
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+	"lodify/internal/tags"
+)
+
+// Item is one album entry.
+type Item struct {
+	// Resource is the content resource IRI (semantic albums) or the
+	// content key (tag albums).
+	Resource string
+	// MediaURL is the content link when known.
+	MediaURL string
+}
+
+// Album is a dynamically evaluated collection.
+type Album interface {
+	// Name is the album's display name.
+	Name() string
+	// Items evaluates the album now.
+	Items() ([]Item, error)
+}
+
+// ---- Tag-based albums (the §1.1 baseline) ----
+
+// TagAlbum filters by one triple tag, namespace or predicate.
+type TagAlbum struct {
+	Title string
+	Index *tags.Index
+	// Exactly one of Tag / Namespace / NSPredicate drives the filter;
+	// Keywords applies AND keyword search instead when set.
+	Tag         *tags.TripleTag
+	Namespace   string
+	NSPredicate [2]string
+	Keywords    []string
+}
+
+// Name implements Album.
+func (a *TagAlbum) Name() string { return a.Title }
+
+// Items implements Album.
+func (a *TagAlbum) Items() ([]Item, error) {
+	var ids []string
+	switch {
+	case a.Tag != nil:
+		ids = a.Index.ByTag(*a.Tag)
+	case len(a.Keywords) > 0:
+		ids = a.Index.ByKeywords(a.Keywords...)
+	case a.NSPredicate[0] != "":
+		ids = a.Index.ByPredicate(a.NSPredicate[0], a.NSPredicate[1])
+	case a.Namespace != "":
+		ids = a.Index.ByNamespace(a.Namespace)
+	default:
+		return nil, fmt.Errorf("album: tag album %q has no filter", a.Title)
+	}
+	out := make([]Item, len(ids))
+	for i, id := range ids {
+		out[i] = Item{Resource: id}
+	}
+	return out, nil
+}
+
+// ---- Semantic albums (§2.3) ----
+
+// SemanticAlbum evaluates a SPARQL SELECT; LinkVar names the variable
+// holding the content link (the paper's ?link).
+type SemanticAlbum struct {
+	Title   string
+	Engine  *sparql.Engine
+	Query   string
+	LinkVar string
+}
+
+// Name implements Album.
+func (a *SemanticAlbum) Name() string { return a.Title }
+
+// Items implements Album.
+func (a *SemanticAlbum) Items() ([]Item, error) {
+	res, err := a.Engine.Query(a.Query)
+	if err != nil {
+		return nil, fmt.Errorf("album %q: %w", a.Title, err)
+	}
+	linkVar := a.LinkVar
+	if linkVar == "" {
+		linkVar = "link"
+	}
+	var out []Item
+	for _, sol := range res.Solutions {
+		item := Item{}
+		if t, ok := sol[linkVar]; ok {
+			item.MediaURL = t.Value()
+			item.Resource = t.Value()
+		}
+		if t, ok := sol["resource"]; ok {
+			item.Resource = t.Value()
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}
+
+// prefixBlock is shared by the generated queries.
+const prefixBlock = `
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+`
+
+// escapeLiteral guards generated queries against quote injection.
+func escapeLiteral(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// NearMonument builds the paper's first §2.3 query: user content
+// within precision degrees of the monument with the given
+// language-tagged label.
+func NearMonument(st *store.Store, label, lang string, precision float64) *SemanticAlbum {
+	q := fmt.Sprintf(`%s
+SELECT DISTINCT ?resource ?link WHERE {
+  ?monument rdfs:label "%s"@%s .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  FILTER(bif:st_intersects(?location, ?sourceGEO, %g)) .
+}`, prefixBlock, escapeLiteral(label), lang, precision)
+	return &SemanticAlbum{
+		Title:  fmt.Sprintf("Near %q", label),
+		Engine: sparql.NewEngine(st),
+		Query:  q,
+	}
+}
+
+// NearMonumentByFriends builds the second §2.3 query: same as
+// NearMonument but restricted to content by users who know the given
+// user.
+func NearMonumentByFriends(st *store.Store, label, lang string, precision float64, userName string) *SemanticAlbum {
+	q := fmt.Sprintf(`%s
+SELECT DISTINCT ?resource ?link WHERE {
+  ?monument rdfs:label "%s"@%s .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?friend foaf:name "%s" .
+  ?user foaf:knows ?friend .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, %g ) ) .
+}`, prefixBlock, escapeLiteral(label), lang, escapeLiteral(userName), precision)
+	return &SemanticAlbum{
+		Title:  fmt.Sprintf("Near %q by friends of %s", label, userName),
+		Engine: sparql.NewEngine(st),
+		Query:  q,
+	}
+}
+
+// NearMonumentByFriendsRated builds the third §2.3 query: adds the
+// rev:rating ordering ("further restricting to highly-rated
+// content").
+func NearMonumentByFriendsRated(st *store.Store, label, lang string, precision float64, userName string) *SemanticAlbum {
+	q := fmt.Sprintf(`%s
+SELECT DISTINCT ?resource ?link ?points WHERE {
+  ?monument rdfs:label "%s"@%s .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?friend foaf:name "%s" .
+  ?user foaf:knows ?friend .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, %g ) ) .
+}
+ORDER BY DESC(?points)`, prefixBlock, escapeLiteral(label), lang, escapeLiteral(userName), precision)
+	return &SemanticAlbum{
+		Title:  fmt.Sprintf("Top-rated near %q by friends of %s", label, userName),
+		Engine: sparql.NewEngine(st),
+		Query:  q,
+	}
+}
+
+// ByKeywordSemantic is the dc:subject-based semantic equivalent of a
+// keyword album: content whose subject keyword or linked resource
+// label matches.
+func ByKeywordSemantic(st *store.Store, keyword string) *SemanticAlbum {
+	q := fmt.Sprintf(`%s
+PREFIX dc: <http://purl.org/dc/elements/1.1/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT DISTINCT ?resource ?link WHERE {
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  {
+    ?resource dc:subject ?kw .
+    FILTER bif:contains(?kw, "%s") .
+  } UNION {
+    ?resource dcterms:references ?ref .
+    ?ref rdfs:label ?lbl .
+    FILTER bif:contains(?lbl, "%s") .
+  }
+}`, prefixBlock, escapeLiteral(keyword), escapeLiteral(keyword))
+	return &SemanticAlbum{
+		Title:  fmt.Sprintf("About %q", keyword),
+		Engine: sparql.NewEngine(st),
+		Query:  q,
+	}
+}
+
+// AboutResource collects content linked (via automatic annotation or
+// POI tags) to a specific LOD resource — the album behind the mobile
+// UI's resource click-through (Fig. 4).
+func AboutResource(st *store.Store, resource rdf.Term) *SemanticAlbum {
+	q := fmt.Sprintf(`%s
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT DISTINCT ?resource ?link WHERE {
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  { ?resource dcterms:references <%s> . }
+  UNION
+  { ?resource dcterms:spatial <%s> . }
+}`, prefixBlock, resource.Value(), resource.Value())
+	return &SemanticAlbum{
+		Title:  "Content about " + resource.Value(),
+		Engine: sparql.NewEngine(st),
+		Query:  q,
+	}
+}

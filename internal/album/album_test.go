@@ -1,0 +1,189 @@
+package album
+
+import (
+	"testing"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/tags"
+	"lodify/internal/ugc"
+)
+
+var (
+	molePt = geo.Point{Lon: 7.6934, Lat: 45.0690}
+	now    = time.Date(2011, 9, 17, 18, 0, 0, 0, time.UTC)
+)
+
+// fixture publishes the §2.3 scenario through the real platform.
+func fixture(t testing.TB) *ugc.Platform {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	pipe := annotate.NewPipeline(w.Store, resolver.DefaultBroker(w.Store), annotate.DefaultConfig())
+	p := ugc.New(w.Store, ctx, pipe, ugc.Options{})
+	p.Register("oscar", "Oscar R", "")
+	p.Register("walter", "Walter Goix", "")
+	p.Register("carmen", "Carmen C", "")
+	p.AddFriend("walter", "oscar")
+
+	pub := func(user, title string, pt geo.Point, stars int, kws ...string) {
+		c, err := p.Publish(ugc.Upload{
+			User: user, Filename: user + "-" + title + ".jpg", Title: title,
+			Tags: kws, GPS: &pt, TakenAt: now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stars > 0 {
+			p.Rate(c.ID, stars)
+		}
+	}
+	pub("walter", "Mole di sera", geo.Point{Lon: 7.694, Lat: 45.0695}, 5, "mole", "sera")
+	pub("walter", "Mole di giorno", geo.Point{Lon: 7.6932, Lat: 45.0688}, 2, "mole")
+	pub("carmen", "Mole vista dal parco", geo.Point{Lon: 7.690, Lat: 45.065}, 4, "mole", "parco")
+	pub("walter", "Colosseo", geo.Point{Lon: 12.4922, Lat: 41.8902}, 5, "roma")
+	return p
+}
+
+func TestNearMonumentAlbum(t *testing.T) {
+	p := fixture(t)
+	a := NearMonument(p.Store, "Mole Antonelliana", "it", 0.3)
+	items, err := a.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items = %v", items)
+	}
+	for _, it := range items {
+		if it.MediaURL == "" {
+			t.Fatalf("missing media URL: %+v", it)
+		}
+	}
+}
+
+func TestNearMonumentByFriendsAlbum(t *testing.T) {
+	p := fixture(t)
+	a := NearMonumentByFriends(p.Store, "Mole Antonelliana", "it", 0.3, "oscar")
+	items, err := a.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only walter's two Turin pictures (carmen is not oscar's friend).
+	if len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestNearMonumentByFriendsRatedAlbum(t *testing.T) {
+	p := fixture(t)
+	a := NearMonumentByFriendsRated(p.Store, "Mole Antonelliana", "it", 0.3, "oscar")
+	items, err := a.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+	// Rating order: the 5-star "Mole di sera" first.
+	if items[0].MediaURL == items[1].MediaURL {
+		t.Fatal("duplicate items")
+	}
+	if want := "Mole di sera"; !contains(items[0].MediaURL, "sera") {
+		t.Fatalf("first item = %+v, want the one titled %q", items[0], want)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestByKeywordSemanticAlbum(t *testing.T) {
+	p := fixture(t)
+	a := ByKeywordSemantic(p.Store, "parco")
+	items, err := a.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestAboutResourceAlbum(t *testing.T) {
+	p := fixture(t)
+	// All three Turin pictures auto-annotated the Mole (title text),
+	// so AboutResource on the Mole finds them.
+	mole := lod.DBpediaRes("Mole Antonelliana")
+	a := AboutResource(p.Store, mole)
+	items, err := a.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) < 1 {
+		t.Fatalf("items = %v", items)
+	}
+}
+
+func TestTagAlbumFilters(t *testing.T) {
+	ix := tags.NewIndex()
+	ix.Add("1", []tags.TripleTag{{Namespace: "people", Predicate: "fn", Value: "Walter Goix"}}, []string{"sunset"})
+	ix.Add("2", []tags.TripleTag{{Namespace: "people", Predicate: "fn", Value: "Oscar R"}}, []string{"sunset", "mole"})
+	ix.Add("3", []tags.TripleTag{{Namespace: "cell", Predicate: "cgi", Value: "460-0-9522-3661"}}, nil)
+
+	tag := tags.TripleTag{Namespace: "people", Predicate: "fn", Value: "Walter Goix"}
+	byTag := &TagAlbum{Title: "walter's", Index: ix, Tag: &tag}
+	items, err := byTag.Items()
+	if err != nil || len(items) != 1 || items[0].Resource != "1" {
+		t.Fatalf("byTag = %v, %v", items, err)
+	}
+
+	byNS := &TagAlbum{Title: "people", Index: ix, Namespace: "people"}
+	items, _ = byNS.Items()
+	if len(items) != 2 {
+		t.Fatalf("byNS = %v", items)
+	}
+
+	byPred := &TagAlbum{Title: "cells", Index: ix, NSPredicate: [2]string{"cell", "cgi"}}
+	items, _ = byPred.Items()
+	if len(items) != 1 || items[0].Resource != "3" {
+		t.Fatalf("byPred = %v", items)
+	}
+
+	byKW := &TagAlbum{Title: "sunsets", Index: ix, Keywords: []string{"sunset", "mole"}}
+	items, _ = byKW.Items()
+	if len(items) != 1 || items[0].Resource != "2" {
+		t.Fatalf("byKW = %v", items)
+	}
+
+	empty := &TagAlbum{Title: "empty", Index: ix}
+	if _, err := empty.Items(); err == nil {
+		t.Fatal("filterless album accepted")
+	}
+}
+
+func TestSemanticAlbumBadQuery(t *testing.T) {
+	p := fixture(t)
+	a := &SemanticAlbum{Title: "broken", Engine: NearMonument(p.Store, "x", "it", 1).Engine, Query: "not sparql"}
+	if _, err := a.Items(); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestQueryInjectionEscaped(t *testing.T) {
+	p := fixture(t)
+	a := NearMonument(p.Store, `x" . ?s ?p ?o . FILTER("a"="a`, "it", 0.3)
+	if _, err := a.Items(); err != nil {
+		t.Fatalf("escaped label should still parse: %v", err)
+	}
+}

@@ -1,0 +1,353 @@
+// Package annotate implements the automatic semantic tagging pipeline
+// of Fig. 1 (§2.2): text processing (language identification and
+// morphological analysis), semantic brokering against the resolver
+// set, semantic filtering (graph priority, per-ontology validation,
+// disambiguation-page checks), the Jaro-Winkler string-similarity
+// gate, and the single-candidate auto-annotation decision.
+package annotate
+
+import (
+	"sort"
+	"strings"
+
+	"lodify/internal/langdetect"
+	"lodify/internal/morph"
+	"lodify/internal/rdf"
+	"lodify/internal/resolver"
+	"lodify/internal/store"
+	"lodify/internal/textsim"
+)
+
+// Decision is the pipeline's outcome for one word.
+type Decision string
+
+const (
+	// DecisionAuto means exactly one candidate survived: the word is
+	// automatically annotated (§2.2.2: "only in case a single
+	// candidate remains ... to avoid ambiguity and limit errors").
+	DecisionAuto Decision = "auto"
+	// DecisionAmbiguous means several candidates survived; the UI can
+	// offer them for human selection, but no automatic link is made.
+	DecisionAmbiguous Decision = "ambiguous"
+	// DecisionNone means no candidate survived filtering.
+	DecisionNone Decision = "none"
+)
+
+// Config tunes the pipeline; DefaultConfig matches the paper.
+type Config struct {
+	// MinNPScore is the proper-noun score threshold (paper: 0.2).
+	MinNPScore float64
+	// JaroWinklerThreshold gates candidates against their originating
+	// word (paper: 0.8).
+	JaroWinklerThreshold float64
+	// MaxDBpediaScoreBypass keeps sub-threshold candidates whose
+	// native DBpedia score is maximal (paper: "unless their DBpedia
+	// score is maximum").
+	MaxDBpediaScoreBypass bool
+	// GraphPriority ranks candidate graphs best-first; candidates
+	// from graphs not listed are discarded (§2.2.2: Geonames >
+	// DBpedia > the third catalog; everything else dropped).
+	GraphPriority []string
+	// TermFallbackCount is how many term-frequency words to try when
+	// the title yields no proper nouns.
+	TermFallbackCount int
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		MinNPScore:            0.2,
+		JaroWinklerThreshold:  0.8,
+		MaxDBpediaScoreBypass: true,
+		GraphPriority: []string{
+			"http://geonames.org",
+			"http://dbpedia.org",
+			"http://linkedgeodata.org",
+		},
+		TermFallbackCount: 3,
+	}
+}
+
+// Pipeline is the end-to-end annotator. Create with NewPipeline.
+type Pipeline struct {
+	cfg      Config
+	detector *langdetect.Detector
+	broker   *resolver.Broker
+	st       *store.Store // LOD store used for validation
+	// analyzers are cached per language.
+	analyzers map[string]*morph.Analyzer
+}
+
+// NewPipeline wires a pipeline over the LOD store and broker.
+func NewPipeline(st *store.Store, broker *resolver.Broker, cfg Config) *Pipeline {
+	return &Pipeline{
+		cfg:       cfg,
+		detector:  langdetect.New(),
+		broker:    broker,
+		st:        st,
+		analyzers: map[string]*morph.Analyzer{},
+	}
+}
+
+// Config returns the active configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// WithConfig returns a pipeline sharing the detector/broker/store but
+// with different parameters (used by the threshold-sweep benchmark).
+func (p *Pipeline) WithConfig(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg, detector: p.detector, broker: p.broker, st: p.st, analyzers: p.analyzers}
+}
+
+// Annotation is the outcome for one word of the computed word list.
+type Annotation struct {
+	// Word is the unique (multi)word the annotation is for.
+	Word string
+	// Decision reports how filtering concluded.
+	Decision Decision
+	// Resource is the selected LOD resource (Decision == auto).
+	Resource rdf.Term
+	// Survivors are the candidates that passed every filter (1 for
+	// auto; >1 for ambiguous, offered to the user in the UI flow).
+	Survivors []resolver.Candidate
+	// CandidateCount is the pre-filter candidate count (diagnostics).
+	CandidateCount int
+}
+
+// Result is the full pipeline output for one content item.
+type Result struct {
+	// Language is the identified title language ("" if undetectable).
+	Language string
+	// Tokens is the morphological analysis of the title.
+	Tokens []morph.Token
+	// Words is the well-defined list of unique (multi)words submitted
+	// to the broker (NP lemmas merged with plain tags; TF fallback).
+	Words []string
+	// Annotations has one entry per word, in Words order.
+	Annotations []Annotation
+}
+
+// AutoAnnotations returns the automatically selected resources.
+func (r *Result) AutoAnnotations() []Annotation {
+	var out []Annotation
+	for _, a := range r.Annotations {
+		if a.Decision == DecisionAuto {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Annotate runs the full Fig. 1 pipeline on a content title and its
+// user-supplied plain tags.
+func (p *Pipeline) Annotate(title string, tags []string) *Result {
+	res := &Result{}
+
+	// 1. Language identification (Cavnar-Trenkle n-grams).
+	res.Language = p.detector.Detect(title)
+
+	// 2. Morphological analysis with the identified language.
+	an := p.analyzer(res.Language)
+	res.Tokens = an.Analyze(title)
+
+	// 3. NP lemma extraction (score >= 0.2, non-numeric) merged with
+	// plain tags into a unique (multi)word list.
+	res.Words = p.wordList(an, res.Tokens, tags)
+
+	// 4-6. Brokering, filtering, decision per word. Full-text
+	// resolvers run once over the whole title; their candidates are
+	// attributed to the words their spans cover.
+	textCands := p.broker.ResolveText(title, res.Language)
+	for _, w := range res.Words {
+		cands := p.broker.ResolveTerm(w, res.Language)
+		cands = append(cands, matchSpans(textCands, w)...)
+		res.Annotations = append(res.Annotations, p.decide(w, cands))
+	}
+	return res
+}
+
+// AnnotateWord runs brokering + filtering for a single word (used by
+// the POI and keyword-linking paths).
+func (p *Pipeline) AnnotateWord(word, lang string) Annotation {
+	return p.decide(word, p.broker.ResolveTerm(word, lang))
+}
+
+func (p *Pipeline) analyzer(lang string) *morph.Analyzer {
+	if a, ok := p.analyzers[lang]; ok {
+		return a
+	}
+	a := morph.NewAnalyzer(lang)
+	p.analyzers[lang] = a
+	return a
+}
+
+// wordList computes the well-defined list of unique (multi)words:
+// NP lemmas above threshold, then plain tags, then (only if the title
+// produced no NPs) the top term-frequency lemmas.
+func (p *Pipeline) wordList(an *morph.Analyzer, tokens []morph.Token, tags []string) []string {
+	seen := map[string]bool{}
+	var words []string
+	add := func(w string) {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			return
+		}
+		key := textsim.Fold(w)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		words = append(words, w)
+	}
+	nps := morph.ProperNouns(tokens, p.cfg.MinNPScore)
+	for _, np := range nps {
+		add(np.Lemma)
+	}
+	for _, t := range tags {
+		add(t)
+	}
+	if len(nps) == 0 && p.cfg.TermFallbackCount > 0 {
+		tf := an.TermFrequency(tokens)
+		for _, term := range morph.TopTerms(tf, p.cfg.TermFallbackCount) {
+			add(term)
+		}
+	}
+	return words
+}
+
+// matchSpans selects full-text candidates whose matched span
+// corresponds to the word.
+func matchSpans(cands []resolver.Candidate, word string) []resolver.Candidate {
+	var out []resolver.Candidate
+	fw := textsim.Fold(word)
+	for _, c := range cands {
+		if textsim.Fold(c.Word) == fw {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// decide applies the semantic filtering of §2.2.2 to the candidates
+// of one word.
+func (p *Pipeline) decide(word string, cands []resolver.Candidate) Annotation {
+	a := Annotation{Word: word, CandidateCount: len(cands), Decision: DecisionNone}
+	if len(cands) == 0 {
+		return a
+	}
+
+	// (a) Graph priority: find the best-priority graph present and
+	// keep only its candidates; unlisted graphs are discarded.
+	rank := func(g string) int {
+		for i, pg := range p.cfg.GraphPriority {
+			if g == pg {
+				return i
+			}
+		}
+		return -1
+	}
+	bestRank := len(p.cfg.GraphPriority)
+	for _, c := range cands {
+		if r := rank(c.Graph); r >= 0 && r < bestRank {
+			bestRank = r
+		}
+	}
+	if bestRank == len(p.cfg.GraphPriority) {
+		return a // every candidate points to an unknown graph
+	}
+	var pri []resolver.Candidate
+	for _, c := range cands {
+		if rank(c.Graph) == bestRank {
+			pri = append(pri, c)
+		}
+	}
+
+	// (b) Validation: the resource must actually bind in the store,
+	// and must not be a disambiguation page (the DBpedia resolver
+	// already checks its own results; others have not).
+	var valid []resolver.Candidate
+	for _, c := range pri {
+		if !p.validate(c) {
+			continue
+		}
+		valid = append(valid, c)
+	}
+	if len(valid) == 0 {
+		return a
+	}
+
+	// (c) Jaro-Winkler gate against the original word; candidates
+	// below the threshold are discarded unless their DBpedia score is
+	// maximal.
+	var survivors []resolver.Candidate
+	for _, c := range valid {
+		jw := textsim.JaroWinklerFold(word, c.Label)
+		if jw < p.cfg.JaroWinklerThreshold {
+			if !(p.cfg.MaxDBpediaScoreBypass && c.Resolver == "dbpedia-sparql" && c.Score >= 1.0) {
+				continue
+			}
+		}
+		survivors = append(survivors, c)
+	}
+	// Candidates for the same resource from different resolvers count
+	// once for the ambiguity decision.
+	survivors = dedupeByResource(survivors)
+	a.Survivors = survivors
+
+	switch len(survivors) {
+	case 0:
+		a.Decision = DecisionNone
+	case 1:
+		a.Decision = DecisionAuto
+		a.Resource = survivors[0].Resource
+	default:
+		a.Decision = DecisionAmbiguous
+	}
+	return a
+}
+
+// validate performs the per-ontology resource validation of §2.2.2.
+func (p *Pipeline) validate(c resolver.Candidate) bool {
+	// The resource must contain an actual binding.
+	bound := false
+	p.st.Match(c.Resource, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(rdf.Quad) bool {
+		bound = true
+		return false
+	})
+	if !bound {
+		return false
+	}
+	// Disambiguation-page and redirect-alias checks for candidates
+	// not coming from the DBpedia resolver (which performs both
+	// itself, §2.2.2).
+	if c.Resolver != "dbpedia-sparql" && c.Graph == "http://dbpedia.org" {
+		dis := p.st.FirstObject(c.Resource, rdf.NewIRI("http://dbpedia.org/ontology/wikiPageDisambiguates"))
+		if !dis.IsZero() {
+			return false
+		}
+		redir := p.st.FirstObject(c.Resource, rdf.NewIRI("http://dbpedia.org/ontology/wikiPageRedirects"))
+		if !redir.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupeByResource(cands []resolver.Candidate) []resolver.Candidate {
+	best := map[rdf.Term]resolver.Candidate{}
+	for _, c := range cands {
+		if prev, ok := best[c.Resource]; !ok || c.Score > prev.Score {
+			best[c.Resource] = c
+		}
+	}
+	out := make([]resolver.Candidate, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Resource.Compare(out[j].Resource) < 0
+	})
+	return out
+}

@@ -1,0 +1,93 @@
+package annotate
+
+import (
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+	"lodify/internal/textsim"
+)
+
+// POI describes a point of interest the user explicitly attached to a
+// content item via a poi:recs_id triple tag (§2.2.1). Name, Category
+// and Location come from the platform's POI search provider.
+type POI struct {
+	ID       string
+	Name     string
+	Category string
+	Location geo.Point
+}
+
+// commercialCategories are excluded from DBpedia resolution ("At this
+// time commercial categories such as restaurants, hotels, etc are
+// excluded from this analysis").
+var commercialCategories = map[string]bool{
+	"restaurant": true,
+	"hotel":      true,
+	"bar":        true,
+	"cafe":       true,
+	"shop":       true,
+	"bank":       true,
+	"pharmacy":   true,
+}
+
+// POIResolution is the outcome of resolving a POI tag.
+type POIResolution struct {
+	POI      POI
+	Resource rdf.Term // zero when unresolved
+	Excluded bool     // true when the category is commercial
+}
+
+// ResolvePOI identifies the DBpedia resource related to a POI based
+// on its name, category and location, mirroring the SPARQL lookup of
+// §2.2.1: label match near the POI's coordinates.
+func (p *Pipeline) ResolvePOI(poi POI) POIResolution {
+	out := POIResolution{POI: poi}
+	if commercialCategories[textsim.Fold(poi.Category)] {
+		out.Excluded = true
+		return out
+	}
+	label := rdf.NewIRI(rdf.RDFSLabel)
+	type scored struct {
+		res rdf.Term
+		jw  float64
+	}
+	var best scored
+	// Candidate subjects: anything whose label shares the POI name's
+	// tokens, restricted to resources with a geometry within 0.2
+	// degrees of the POI.
+	seen := map[rdf.Term]bool{}
+	p.st.Match(rdf.Term{}, label, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		if seen[q.S] {
+			return true
+		}
+		if !store.ContainsAll(q.O.Value(), poi.Name) && !store.ContainsAll(poi.Name, q.O.Value()) {
+			return true
+		}
+		if resolver := q.S.Value(); len(resolver) == 0 {
+			return true
+		}
+		if gp, ok := p.st.GeometryOf(q.S); !ok || !geo.Intersects(gp, poi.Location, 0.2) {
+			return true
+		}
+		// DBpedia resources only (§2.2.1 resolves POIs to DBpedia).
+		if !isDBpedia(q.S) {
+			return true
+		}
+		seen[q.S] = true
+		jw := textsim.JaroWinklerFold(poi.Name, q.O.Value())
+		if jw > best.jw {
+			best = scored{res: q.S, jw: jw}
+		}
+		return true
+	})
+	if best.jw >= p.cfg.JaroWinklerThreshold {
+		out.Resource = best.res
+	}
+	return out
+}
+
+func isDBpedia(t rdf.Term) bool {
+	const pfx = "http://dbpedia.org/resource/"
+	v := t.Value()
+	return len(v) > len(pfx) && v[:len(pfx)] == pfx
+}

@@ -1,0 +1,369 @@
+// Package ctxmgr simulates the context management platform the paper's
+// system queries when content is uploaded (§1.1, §2.2.1): reverse
+// geocoding of GPS coordinates into civil addresses and Geonames city
+// references, GSM cell lookup, nearby-buddy detection, calendar
+// entries, user-defined location labels, and the POI search provider
+// (the paper used Google Local) that backs explicit poi:recs_id tags.
+// Its outputs feed both the triple-tag baseline (context tags) and the
+// semantic annotation pipeline (location analysis).
+package ctxmgr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+	"lodify/internal/tags"
+	"lodify/internal/textsim"
+)
+
+// Location is the reverse-geocoding output for one point.
+type Location struct {
+	Point   geo.Point
+	City    string
+	Country string
+	// Address is the synthesized civil address ("near X, City").
+	Address string
+	// Geonames is the city-level Geonames resource, whose validity is
+	// guaranteed by the locationing process itself (§2.2.1).
+	Geonames rdf.Term
+	// UserLabel and PlaceType are the user-defined location label and
+	// type, when the user registered one for this spot.
+	UserLabel string
+	PlaceType string
+}
+
+// Buddy is a nearby friend (user name + full name, per §2.2.1).
+type Buddy struct {
+	UserName string
+	FullName string
+	Distance float64 // degrees
+}
+
+// Event is a calendar entry.
+type Event struct {
+	Title string
+	Start time.Time
+	End   time.Time
+}
+
+// Cell is a GSM cell with its Cell Global Identity.
+type Cell struct {
+	CGI    string
+	Center geo.Point
+	Radius float64 // degrees
+}
+
+// Platform is the context provider. All methods are read-only after
+// setup and safe for concurrent use.
+type Platform struct {
+	world  *lod.World
+	cells  []Cell
+	labels []userLabel
+	// presence maps user name -> last known position.
+	presence map[string]presenceEntry
+	fullname map[string]string
+	calendar map[string][]Event
+	// BuddyRadius is the nearby-friend radius in degrees.
+	BuddyRadius float64
+}
+
+type presenceEntry struct {
+	pt geo.Point
+	at time.Time
+}
+
+type userLabel struct {
+	pt        geo.Point
+	radius    float64
+	label     string
+	placeType string
+	owner     string
+}
+
+// New returns a platform over the LOD world's geography with a
+// default GSM cell grid derived from the seed cities.
+func New(w *lod.World) *Platform {
+	p := &Platform{
+		world:       w,
+		presence:    map[string]presenceEntry{},
+		fullname:    map[string]string{},
+		calendar:    map[string][]Event{},
+		BuddyRadius: 0.02,
+	}
+	for i, c := range w.Cities {
+		// One macro cell per city plus a downtown micro cell.
+		p.cells = append(p.cells,
+			Cell{CGI: fmt.Sprintf("222-1-%04d-%04d", i+1, 1), Center: c.Point, Radius: 0.25},
+			Cell{CGI: fmt.Sprintf("222-1-%04d-%04d", i+1, 2), Center: c.Point, Radius: 0.03},
+		)
+	}
+	return p
+}
+
+// RegisterUser records a user's full name for buddy reporting.
+func (p *Platform) RegisterUser(userName, fullName string) {
+	p.fullname[userName] = fullName
+}
+
+// UpdatePresence records a user's position.
+func (p *Platform) UpdatePresence(userName string, pt geo.Point, at time.Time) {
+	p.presence[userName] = presenceEntry{pt: pt, at: at}
+}
+
+// AddUserLabel registers a user-defined place label ("home", "office",
+// "grandma's") around a point.
+func (p *Platform) AddUserLabel(owner, label, placeType string, pt geo.Point, radius float64) {
+	p.labels = append(p.labels, userLabel{pt: pt, radius: radius, label: label, placeType: placeType, owner: owner})
+}
+
+// AddEvent records a calendar entry for a user.
+func (p *Platform) AddEvent(userName string, ev Event) {
+	p.calendar[userName] = append(p.calendar[userName], ev)
+}
+
+// Locate reverse-geocodes a point: nearest seed city within 1 degree,
+// with the Geonames reference and a synthesized civil address. The
+// user's own labels override the address when one covers the point.
+func (p *Platform) Locate(userName string, pt geo.Point) (Location, bool) {
+	best := -1
+	bestD := 1.0
+	for i, c := range p.world.Cities {
+		if d := geo.DegreeDistance(pt, c.Point); d <= bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return Location{Point: pt}, false
+	}
+	city := p.world.Cities[best]
+	gn, _ := p.world.GeonamesIRI(city.Name)
+	loc := Location{
+		Point:    pt,
+		City:     city.Name,
+		Country:  city.Country,
+		Geonames: gn,
+		Address:  civilAddress(city, pt),
+	}
+	for _, ul := range p.labels {
+		if ul.owner == userName && geo.Intersects(ul.pt, pt, ul.radius) {
+			loc.UserLabel = ul.label
+			loc.PlaceType = ul.placeType
+		}
+	}
+	return loc, true
+}
+
+func civilAddress(city lod.City, pt geo.Point) string {
+	// Synthesize a stable street-level address from the offset; the
+	// paper's platform called a geocoder, whose exact street names are
+	// irrelevant to downstream behaviour.
+	dLon := int((pt.Lon - city.Point.Lon) * 1000)
+	dLat := int((pt.Lat - city.Point.Lat) * 1000)
+	if dLon == 0 && dLat == 0 {
+		return "Piazza Centrale 1, " + city.Name
+	}
+	return fmt.Sprintf("Via %d Block %d, %s", abs(dLon)%200+1, abs(dLat)%50+1, city.Name)
+}
+
+func abs(i int) int {
+	if i < 0 {
+		return -i
+	}
+	return i
+}
+
+// CellAt returns the smallest GSM cell covering the point.
+func (p *Platform) CellAt(pt geo.Point) (Cell, bool) {
+	best := Cell{}
+	found := false
+	for _, c := range p.cells {
+		if geo.Intersects(c.Center, pt, c.Radius) {
+			if !found || c.Radius < best.Radius {
+				best, found = c, true
+			}
+		}
+	}
+	return best, found
+}
+
+// NearbyBuddies returns the friends of userName (from the candidate
+// list) whose last presence is within BuddyRadius of the point.
+func (p *Platform) NearbyBuddies(userName string, friends []string, pt geo.Point, at time.Time) []Buddy {
+	var out []Buddy
+	for _, f := range friends {
+		if f == userName {
+			continue
+		}
+		pe, ok := p.presence[f]
+		if !ok {
+			continue
+		}
+		// Presence is only trusted for an hour.
+		if at.Sub(pe.at) > time.Hour || pe.at.Sub(at) > time.Hour {
+			continue
+		}
+		d := geo.DegreeDistance(pe.pt, pt)
+		if d <= p.BuddyRadius {
+			out = append(out, Buddy{UserName: f, FullName: p.fullname[f], Distance: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserName < out[j].UserName })
+	return out
+}
+
+// EventsAt returns the user's calendar entries covering the instant.
+func (p *Platform) EventsAt(userName string, at time.Time) []Event {
+	var out []Event
+	for _, ev := range p.calendar[userName] {
+		if !at.Before(ev.Start) && !at.After(ev.End) {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Title < out[j].Title })
+	return out
+}
+
+// Context is the full contextualization of an upload (§2.2.1).
+type Context struct {
+	Location *Location
+	Cell     *Cell
+	Buddies  []Buddy
+	Events   []Event
+}
+
+// Contextualize gathers everything the platform knows about the
+// moment a content item was created.
+func (p *Platform) Contextualize(userName string, friends []string, pt geo.Point, at time.Time) Context {
+	ctx := Context{}
+	if loc, ok := p.Locate(userName, pt); ok {
+		ctx.Location = &loc
+	}
+	if cell, ok := p.CellAt(pt); ok {
+		ctx.Cell = &cell
+	}
+	ctx.Buddies = p.NearbyBuddies(userName, friends, pt, at)
+	ctx.Events = p.EventsAt(userName, at)
+	return ctx
+}
+
+// ContextTags renders the context as triple tags per the §1.1 scheme:
+// geo:lat / geo:lon, address:city / address:full, people:fn for each
+// nearby buddy, cell:cgi, place:is / place:label.
+func ContextTags(ctx Context) []tags.TripleTag {
+	var out []tags.TripleTag
+	if ctx.Location != nil {
+		out = append(out,
+			tags.TripleTag{Namespace: tags.NSGeo, Predicate: "lat", Value: fmt.Sprintf("%.4f", ctx.Location.Point.Lat)},
+			tags.TripleTag{Namespace: tags.NSGeo, Predicate: "lon", Value: fmt.Sprintf("%.4f", ctx.Location.Point.Lon)},
+			tags.TripleTag{Namespace: tags.NSAddress, Predicate: "city", Value: ctx.Location.City},
+			tags.TripleTag{Namespace: tags.NSAddress, Predicate: "full", Value: ctx.Location.Address},
+		)
+		if ctx.Location.UserLabel != "" {
+			out = append(out, tags.TripleTag{Namespace: tags.NSPlace, Predicate: "label", Value: ctx.Location.UserLabel})
+		}
+		if ctx.Location.PlaceType != "" {
+			out = append(out, tags.TripleTag{Namespace: tags.NSPlace, Predicate: "is", Value: ctx.Location.PlaceType})
+		}
+	}
+	if ctx.Cell != nil {
+		out = append(out, tags.TripleTag{Namespace: tags.NSCell, Predicate: "cgi", Value: ctx.Cell.CGI})
+	}
+	for _, b := range ctx.Buddies {
+		name := b.FullName
+		if name == "" {
+			name = b.UserName
+		}
+		out = append(out, tags.TripleTag{Namespace: tags.NSPeople, Predicate: "fn", Value: name})
+	}
+	return out
+}
+
+// SearchPOI implements the platform's POI search provider (§2.2.1,
+// standing in for Google Local): local POIs around the identified
+// location matching the query, drawn from the LinkedGeoData slice and
+// the DBpedia landmarks.
+func (p *Platform) SearchPOI(pt geo.Point, query string, limit int) []annotate.POI {
+	type scored struct {
+		poi annotate.POI
+		d   float64
+		jw  float64
+	}
+	var cands []scored
+	label := rdf.NewIRI(rdf.RDFSLabel)
+	seen := map[rdf.Term]bool{}
+	p.world.Store.Match(rdf.Term{}, label, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		if seen[q.S] {
+			return true
+		}
+		if query != "" && !store.ContainsAll(q.O.Value(), query) {
+			return true
+		}
+		gp, ok := p.world.Store.GeometryOf(q.S)
+		if !ok || !geo.Intersects(gp, pt, 0.3) {
+			return true
+		}
+		seen[q.S] = true
+		cands = append(cands, scored{
+			poi: annotate.POI{
+				ID:       poiID(q.S),
+				Name:     q.O.Value(),
+				Category: p.category(q.S),
+				Location: gp,
+			},
+			d:  geo.DegreeDistance(gp, pt),
+			jw: textsim.JaroWinklerFold(query, q.O.Value()),
+		})
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].jw != cands[j].jw {
+			return cands[i].jw > cands[j].jw
+		}
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].poi.ID < cands[j].poi.ID
+	})
+	if limit > 0 && len(cands) > limit {
+		cands = cands[:limit]
+	}
+	out := make([]annotate.POI, len(cands))
+	for i, c := range cands {
+		out[i] = c.poi
+	}
+	return out
+}
+
+func poiID(res rdf.Term) string {
+	v := res.Value()
+	if i := strings.LastIndexAny(v, "/#"); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// category derives a coarse category from the resource's types.
+func (p *Platform) category(res rdf.Term) string {
+	for _, ty := range p.world.Store.Objects(res, rdf.NewIRI(rdf.RDFType)) {
+		v := ty.Value()
+		switch {
+		case strings.HasSuffix(v, "Restaurant"):
+			return "restaurant"
+		case strings.HasSuffix(v, "Tourism"), strings.HasSuffix(v, "Museum"),
+			strings.HasSuffix(v, "Monument"), strings.HasSuffix(v, "Building"),
+			strings.HasSuffix(v, "Castle"), strings.HasSuffix(v, "Park"),
+			strings.HasSuffix(v, "Square"):
+			return "tourism"
+		case strings.HasSuffix(v, "City"), strings.HasSuffix(v, "Town"):
+			return "city"
+		}
+	}
+	return "other"
+}

@@ -1,0 +1,193 @@
+package ctxmgr
+
+import (
+	"testing"
+	"time"
+
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/tags"
+)
+
+var (
+	molePt  = geo.Point{Lon: 7.6934, Lat: 45.0690}
+	romePt  = geo.Point{Lon: 12.4964, Lat: 41.9028}
+	oceanPt = geo.Point{Lon: -40, Lat: 0}
+	now     = time.Date(2011, 9, 17, 18, 30, 0, 0, time.UTC)
+)
+
+func platform(t *testing.T) (*Platform, *lod.World) {
+	t.Helper()
+	w := lod.Generate(lod.DefaultConfig())
+	return New(w), w
+}
+
+func TestLocateNearestCity(t *testing.T) {
+	p, w := platform(t)
+	loc, ok := p.Locate("oscar", molePt)
+	if !ok {
+		t.Fatal("no location")
+	}
+	if loc.City != "Turin" || loc.Country != "IT" {
+		t.Fatalf("loc = %+v", loc)
+	}
+	gn, _ := w.GeonamesIRI("Turin")
+	if loc.Geonames != gn {
+		t.Fatalf("geonames = %v", loc.Geonames)
+	}
+	if loc.Address == "" {
+		t.Fatal("no civil address")
+	}
+	if _, ok := p.Locate("oscar", oceanPt); ok {
+		t.Fatal("mid-ocean point located")
+	}
+}
+
+func TestLocateUserLabelOverride(t *testing.T) {
+	p, _ := platform(t)
+	p.AddUserLabel("oscar", "office", "work", molePt, 0.01)
+	loc, _ := p.Locate("oscar", molePt)
+	if loc.UserLabel != "office" || loc.PlaceType != "work" {
+		t.Fatalf("label = %+v", loc)
+	}
+	// Another user does not see oscar's label.
+	loc2, _ := p.Locate("walter", molePt)
+	if loc2.UserLabel != "" {
+		t.Fatalf("label leaked: %+v", loc2)
+	}
+}
+
+func TestCellAtPrefersSmallest(t *testing.T) {
+	p, _ := platform(t)
+	cell, ok := p.CellAt(molePt)
+	if !ok {
+		t.Fatal("no cell")
+	}
+	if cell.Radius != 0.03 {
+		t.Fatalf("cell = %+v, want downtown micro cell", cell)
+	}
+	if _, ok := p.CellAt(oceanPt); ok {
+		t.Fatal("cell in the ocean")
+	}
+}
+
+func TestNearbyBuddies(t *testing.T) {
+	p, _ := platform(t)
+	p.RegisterUser("walter", "Walter Goix")
+	p.RegisterUser("carmen", "Carmen C")
+	p.UpdatePresence("walter", geo.Point{Lon: 7.694, Lat: 45.070}, now)
+	p.UpdatePresence("carmen", romePt, now)
+	p.UpdatePresence("stale", geo.Point{Lon: 7.6935, Lat: 45.0691}, now.Add(-2*time.Hour))
+
+	buddies := p.NearbyBuddies("oscar", []string{"walter", "carmen", "stale"}, molePt, now)
+	if len(buddies) != 1 || buddies[0].UserName != "walter" {
+		t.Fatalf("buddies = %+v", buddies)
+	}
+	if buddies[0].FullName != "Walter Goix" {
+		t.Fatalf("full name = %q", buddies[0].FullName)
+	}
+	// Self is never a buddy.
+	p.UpdatePresence("oscar", molePt, now)
+	buddies = p.NearbyBuddies("oscar", []string{"oscar", "walter"}, molePt, now)
+	for _, b := range buddies {
+		if b.UserName == "oscar" {
+			t.Fatal("self reported as buddy")
+		}
+	}
+}
+
+func TestEventsAt(t *testing.T) {
+	p, _ := platform(t)
+	p.AddEvent("oscar", Event{Title: "conference", Start: now.Add(-time.Hour), End: now.Add(time.Hour)})
+	p.AddEvent("oscar", Event{Title: "dinner", Start: now.Add(2 * time.Hour), End: now.Add(3 * time.Hour)})
+	evs := p.EventsAt("oscar", now)
+	if len(evs) != 1 || evs[0].Title != "conference" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestContextualizeAndContextTags(t *testing.T) {
+	p, _ := platform(t)
+	p.RegisterUser("walter", "Walter Goix")
+	p.UpdatePresence("walter", geo.Point{Lon: 7.694, Lat: 45.070}, now)
+	p.AddUserLabel("oscar", "centro", "crowded", molePt, 0.05)
+
+	ctx := p.Contextualize("oscar", []string{"walter"}, molePt, now)
+	if ctx.Location == nil || ctx.Cell == nil || len(ctx.Buddies) != 1 {
+		t.Fatalf("ctx = %+v", ctx)
+	}
+	tt := ContextTags(ctx)
+	byNS := map[string][]tags.TripleTag{}
+	for _, tag := range tt {
+		byNS[tag.Namespace] = append(byNS[tag.Namespace], tag)
+	}
+	if len(byNS[tags.NSGeo]) != 2 {
+		t.Fatalf("geo tags = %v", byNS[tags.NSGeo])
+	}
+	if len(byNS[tags.NSAddress]) != 2 {
+		t.Fatalf("address tags = %v", byNS[tags.NSAddress])
+	}
+	foundFN := false
+	for _, tag := range byNS[tags.NSPeople] {
+		if tag.Predicate == "fn" && tag.Value == "Walter Goix" {
+			foundFN = true
+			// Canonical form matches the paper's example.
+			if tag.String() != "people:fn=Walter+Goix" {
+				t.Fatalf("canonical = %q", tag.String())
+			}
+		}
+	}
+	if !foundFN {
+		t.Fatalf("people:fn missing: %v", tt)
+	}
+	if len(byNS[tags.NSCell]) != 1 {
+		t.Fatalf("cell tags = %v", byNS[tags.NSCell])
+	}
+	// place:is=crowded per §1.1's example.
+	foundPlace := false
+	for _, tag := range byNS[tags.NSPlace] {
+		if tag.Predicate == "is" && tag.Value == "crowded" {
+			foundPlace = true
+		}
+	}
+	if !foundPlace {
+		t.Fatalf("place:is missing: %v", tt)
+	}
+}
+
+func TestSearchPOI(t *testing.T) {
+	p, _ := platform(t)
+	pois := p.SearchPOI(molePt, "Mole", 5)
+	if len(pois) == 0 {
+		t.Fatal("no POIs")
+	}
+	if pois[0].Name != "Mole Antonelliana" {
+		t.Fatalf("top POI = %+v", pois[0])
+	}
+	if pois[0].Category != "tourism" {
+		t.Fatalf("category = %q", pois[0].Category)
+	}
+	// Restaurants show up as commercial categories.
+	rest := p.SearchPOI(molePt, "Trattoria", 10)
+	foundRest := false
+	for _, poi := range rest {
+		if poi.Category == "restaurant" {
+			foundRest = true
+		}
+	}
+	if len(rest) > 0 && !foundRest {
+		t.Fatalf("restaurant category missing: %+v", rest)
+	}
+	// Empty query returns nearby POIs by distance.
+	all := p.SearchPOI(molePt, "", 3)
+	if len(all) != 3 {
+		t.Fatalf("limit = %d", len(all))
+	}
+}
+
+func TestSearchPOIWrongCity(t *testing.T) {
+	p, _ := platform(t)
+	if pois := p.SearchPOI(romePt, "Mole Antonelliana", 5); len(pois) != 0 {
+		t.Fatalf("Mole found in Rome: %+v", pois)
+	}
+}

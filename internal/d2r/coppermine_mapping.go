@@ -1,0 +1,118 @@
+package d2r
+
+import "lodify/internal/rdf"
+
+// Platform vocabulary IRIs (SIOC, FOAF, COMM, REV — the ones the
+// paper's queries use).
+const (
+	NSFoaf  = "http://xmlns.com/foaf/0.1/"
+	NSSioct = "http://rdfs.org/sioc/types#"
+	NSSioc  = "http://rdfs.org/sioc/ns#"
+	NSComm  = "http://comm.semanticweb.org/core.owl#"
+	NSRev   = "http://purl.org/stuff/rev#"
+	NSDC    = "http://purl.org/dc/elements/1.1/"
+)
+
+// CoppermineMapping is the mapping the platform uses for its own
+// database (base URI per the paper: the platform's public host).
+// Keywords are split on spaces into individual dc:subject triples,
+// pictures type as sioct:MicroblogPost (matching the paper's queries)
+// and users as foaf:Person.
+func CoppermineMapping(baseURI string) Mapping {
+	return Mapping{
+		BaseURI: baseURI,
+		Tables: []TableMap{
+			{
+				Table:      "users",
+				URIPattern: "cpg148_users/{user_id}",
+				Class:      NSFoaf + "Person",
+				Columns: []ColumnMap{
+					{Column: "user_name", Predicate: NSFoaf + "name"},
+					{Column: "user_fullname", Predicate: NSFoaf + "fn"},
+					{Column: "user_email", Predicate: NSFoaf + "mbox"},
+					{Column: "user_openid", Predicate: NSFoaf + "openid"},
+				},
+			},
+			{
+				Table:      "albums",
+				URIPattern: "cpg148_albums/{aid}",
+				Class:      NSSioc + "Container",
+				Columns: []ColumnMap{
+					{Column: "title", Predicate: NSDC + "title"},
+					{Column: "description", Predicate: NSDC + "description"},
+				},
+				Joins: []JoinMap{
+					{Column: "owner", Predicate: NSSioc + "has_owner", TargetTable: "users"},
+				},
+			},
+			{
+				Table:      "pictures",
+				URIPattern: "cpg148_pictures/{pid}",
+				Class:      NSSioct + "MicroblogPost",
+				Columns: []ColumnMap{
+					{Column: "title", Predicate: NSDC + "title"},
+					{Column: "caption", Predicate: NSDC + "description"},
+					{Column: "filename", Predicate: NSComm + "image-data"},
+					// §2.1.1: split the space-separated keywords
+					// column into one triple per keyword.
+					{Column: "keywords", Predicate: NSDC + "subject", Split: " "},
+					{Column: "ctime", Predicate: NSDC + "date"},
+					{Column: "pic_rating", Predicate: NSRev + "rating"},
+					{Column: "lat", Predicate: "http://www.w3.org/2003/01/geo/wgs84_pos#lat"},
+					{Column: "lon", Predicate: "http://www.w3.org/2003/01/geo/wgs84_pos#long"},
+				},
+				Joins: []JoinMap{
+					{Column: "owner_id", Predicate: NSFoaf + "maker", TargetTable: "users"},
+					{Column: "aid", Predicate: NSSioc + "has_container", TargetTable: "albums"},
+				},
+			},
+			{
+				Table:      "comments",
+				URIPattern: "cpg148_comments/{msg_id}",
+				Class:      NSSioc + "Post",
+				Columns: []ColumnMap{
+					{Column: "msg_body", Predicate: NSSioc + "content"},
+				},
+				Joins: []JoinMap{
+					{Column: "pid", Predicate: NSSioc + "reply_of", TargetTable: "pictures"},
+					{Column: "author_id", Predicate: NSFoaf + "maker", TargetTable: "users"},
+				},
+			},
+			{
+				Table:      "friends",
+				URIPattern: "cpg148_friends/{rel_id}",
+				Columns:    nil,
+				Joins: []JoinMap{
+					// The friendship relation itself interlinks users.
+					{Column: "user_id", Predicate: NSSioc + "follows_from", TargetTable: "users"},
+					{Column: "friend_id", Predicate: NSSioc + "follows_to", TargetTable: "users"},
+				},
+			},
+		},
+	}
+}
+
+// FriendshipTriples post-processes a D2R dump: the friends join table
+// becomes direct foaf:knows links between user resources, which is
+// the "cross-table information" interlinking step of §2.1. It returns
+// the additional triples.
+func FriendshipTriples(dump []rdf.Triple) []rdf.Triple {
+	from := map[rdf.Term]rdf.Term{}
+	to := map[rdf.Term]rdf.Term{}
+	for _, t := range dump {
+		switch t.P.Value() {
+		case NSSioc + "follows_from":
+			from[t.S] = t.O
+		case NSSioc + "follows_to":
+			to[t.S] = t.O
+		}
+	}
+	var out []rdf.Triple
+	knows := rdf.NewIRI(NSFoaf + "knows")
+	for rel, u := range from {
+		if v, ok := to[rel]; ok {
+			out = append(out, rdf.NewTriple(u, knows, v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package d2r
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/reldb"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+const base = "http://beta.teamlife.it/"
+
+// populate fills a Coppermine DB with the §2.3 running example.
+func populate(t testing.TB) *reldb.DB {
+	db := reldb.NewCoppermineDB()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Insert("users", reldb.Row{"user_id": int64(1), "user_name": "oscar", "user_fullname": "Oscar Rodriguez"}))
+	must(db.Insert("users", reldb.Row{"user_id": int64(2), "user_name": "walter", "user_fullname": "Walter Goix"}))
+	must(db.Insert("albums", reldb.Row{"aid": int64(1), "title": "Torino 2011", "owner": int64(2)}))
+	must(db.Insert("pictures", reldb.Row{
+		"pid": int64(42), "aid": int64(1), "filename": "mole.jpg",
+		"title": "Mole at night", "keywords": "mole torino night",
+		"owner_id": int64(2), "pic_rating": int64(5),
+		"lat": 45.069, "lon": 7.6934,
+	}))
+	must(db.Insert("pictures", reldb.Row{
+		"pid": int64(43), "aid": int64(1), "filename": "park.jpg",
+		"title": "Valentino park", "keywords": "park torino",
+		"owner_id": int64(1), "pic_rating": int64(3),
+		"lat": 45.0553, "lon": 7.6856,
+	}))
+	must(db.Insert("comments", reldb.Row{"msg_id": int64(1), "pid": int64(42), "author_id": int64(1), "msg_body": "great shot"}))
+	must(db.Insert("friends", reldb.Row{"rel_id": int64(1), "user_id": int64(2), "friend_id": int64(1)}))
+	return db
+}
+
+func TestDumpMintsURIsFromPrimaryKeys(t *testing.T) {
+	db := populate(t)
+	triples, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rdf.NewGraph()
+	for _, tr := range triples {
+		g.Add(tr)
+	}
+	pic := rdf.NewIRI(base + "cpg148_pictures/42")
+	types := g.Objects(pic, rdf.NewIRI(rdf.RDFType))
+	if len(types) != 1 || types[0].Value() != NSSioct+"MicroblogPost" {
+		t.Fatalf("pic types = %v", types)
+	}
+	if got := g.Objects(pic, rdf.NewIRI(NSDC+"title")); len(got) != 1 || got[0].Value() != "Mole at night" {
+		t.Fatalf("title = %v", got)
+	}
+}
+
+func TestKeywordSplitting(t *testing.T) {
+	// §2.1.1: "we had to separate all keywords and make triples
+	// describing each one".
+	db := populate(t)
+	triples, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rdf.NewGraph()
+	for _, tr := range triples {
+		g.Add(tr)
+	}
+	pic := rdf.NewIRI(base + "cpg148_pictures/42")
+	kws := g.Objects(pic, rdf.NewIRI(NSDC+"subject"))
+	if len(kws) != 3 {
+		t.Fatalf("keywords = %v", kws)
+	}
+	want := map[string]bool{"mole": true, "torino": true, "night": true}
+	for _, k := range kws {
+		if !want[k.Value()] {
+			t.Fatalf("unexpected keyword %v", k)
+		}
+	}
+}
+
+func TestForeignKeyInterlinks(t *testing.T) {
+	db := populate(t)
+	triples, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rdf.NewGraph()
+	for _, tr := range triples {
+		g.Add(tr)
+	}
+	pic := rdf.NewIRI(base + "cpg148_pictures/42")
+	makers := g.Objects(pic, rdf.NewIRI(NSFoaf+"maker"))
+	if len(makers) != 1 || makers[0].Value() != base+"cpg148_users/2" {
+		t.Fatalf("maker = %v", makers)
+	}
+	containers := g.Objects(pic, rdf.NewIRI(NSSioc+"has_container"))
+	if len(containers) != 1 || containers[0].Value() != base+"cpg148_albums/1" {
+		t.Fatalf("container = %v", containers)
+	}
+}
+
+func TestFriendshipTriples(t *testing.T) {
+	db := populate(t)
+	dump, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := FriendshipTriples(dump)
+	if len(extra) != 1 {
+		t.Fatalf("friendship triples = %v", extra)
+	}
+	tr := extra[0]
+	if tr.S.Value() != base+"cpg148_users/2" || tr.P.Value() != NSFoaf+"knows" ||
+		tr.O.Value() != base+"cpg148_users/1" {
+		t.Fatalf("knows = %v", tr)
+	}
+}
+
+func TestDumpNTriplesParsesBack(t *testing.T) {
+	db := populate(t)
+	var buf bytes.Buffer
+	n, err := DumpNTriples(&buf, db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := rdf.ParseNTriples(buf.String())
+	if err != nil {
+		t.Fatalf("dump does not reparse: %v", err)
+	}
+	if len(parsed) != n {
+		t.Fatalf("parsed %d of %d", len(parsed), n)
+	}
+}
+
+func TestDumpedDataAnswersPaperStyleQuery(t *testing.T) {
+	// End-to-end §2.1: relational -> N-Triples -> triple store ->
+	// SPARQL.
+	db := populate(t)
+	dump, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump = append(dump, FriendshipTriples(dump)...)
+	st := store.New()
+	for _, tr := range dump {
+		if _, err := st.AddTriple(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := sparql.NewEngine(st)
+	res, err := e.Query(`
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX rev: <http://purl.org/stuff/rev#>
+SELECT ?pic ?rating WHERE {
+  ?pic a sioct:MicroblogPost .
+  ?pic foaf:maker ?u .
+  ?u foaf:knows ?oscar .
+  ?oscar foaf:name "oscar" .
+  ?pic rev:rating ?rating .
+} ORDER BY DESC(?rating)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+	if res.Solutions[0]["pic"].Value() != base+"cpg148_pictures/42" {
+		t.Fatalf("pic = %v", res.Solutions[0]["pic"])
+	}
+}
+
+func TestMintURIEscapes(t *testing.T) {
+	db := reldb.NewDB()
+	db.CreateTable(reldb.Schema{Name: "t", PrimaryKey: "id",
+		Columns: []reldb.Column{{Name: "id", Type: reldb.TypeText, NotNull: true}}})
+	db.Insert("t", reldb.Row{"id": "has space/slash"})
+	triples, err := Dump(db, Mapping{BaseURI: "http://x/", Tables: []TableMap{
+		{Table: "t", URIPattern: "r/{id}", Class: "http://x/C"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := triples[0].S.Value(); got != "http://x/r/has%20space%2Fslash" {
+		t.Fatalf("minted = %q", got)
+	}
+}
+
+func TestDumpErrors(t *testing.T) {
+	db := populate(t)
+	if _, err := Dump(db, Mapping{BaseURI: base, Tables: []TableMap{{Table: "nope", URIPattern: "x/{id}"}}}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if _, err := Dump(db, Mapping{BaseURI: base, Tables: []TableMap{
+		{Table: "users", URIPattern: "u/{user_id"},
+	}}); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := Dump(db, Mapping{BaseURI: base, Tables: []TableMap{
+		{Table: "users", URIPattern: "u/{missing_col}"},
+	}}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := Dump(db, Mapping{BaseURI: base, Tables: []TableMap{
+		{Table: "comments", URIPattern: "c/{msg_id}", Joins: []JoinMap{
+			{Column: "pid", Predicate: "http://x/p", TargetTable: "pictures"},
+		}},
+	}}); err == nil {
+		t.Fatal("join to unmapped table accepted")
+	}
+}
+
+func TestNullColumnsSkipped(t *testing.T) {
+	db := reldb.NewCoppermineDB()
+	db.Insert("users", reldb.Row{"user_id": int64(1), "user_name": "solo"})
+	triples, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range triples {
+		if tr.P.Value() == NSFoaf+"fn" {
+			t.Fatalf("null column emitted: %v", tr)
+		}
+	}
+}
+
+func TestDumpScalesLinearly(t *testing.T) {
+	db := reldb.NewCoppermineDB()
+	db.Insert("users", reldb.Row{"user_id": int64(1), "user_name": "u"})
+	db.Insert("albums", reldb.Row{"aid": int64(1), "title": "a", "owner": int64(1)})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := db.Insert("pictures", reldb.Row{
+			"pid": int64(100 + i), "aid": int64(1), "filename": fmt.Sprintf("f%d.jpg", i),
+			"keywords": "a b c", "owner_id": int64(1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	triples, err := Dump(db, CoppermineMapping(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per picture: type + filename + 3 keywords + maker + container = 7.
+	wantMin := n * 7
+	if len(triples) < wantMin {
+		t.Fatalf("triples = %d, want >= %d", len(triples), wantMin)
+	}
+}
+
+func BenchmarkDump(b *testing.B) {
+	db := populate(b)
+	m := CoppermineMapping(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Dump(db, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

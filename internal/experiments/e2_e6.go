@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"lodify/internal/album"
+	"lodify/internal/d2r"
+	"lodify/internal/reldb"
+	"lodify/internal/tags"
+)
+
+// ---- E2: D2R dump scaling (§2.1) ----
+
+// E2Row reports one D2R dump run.
+type E2Row struct {
+	Pictures   int
+	Triples    int
+	Elapsed    time.Duration
+	TriplesSec float64
+}
+
+// BuildCoppermine populates a Coppermine DB with n pictures across
+// nUsers users (3 keywords each, ratings, coordinates).
+func BuildCoppermine(nUsers, nPictures int) *reldb.DB {
+	db := reldb.NewCoppermineDB()
+	for u := 0; u < nUsers; u++ {
+		db.Insert("users", reldb.Row{
+			"user_id": int64(u + 1), "user_name": fmt.Sprintf("user%d", u),
+			"user_fullname": fmt.Sprintf("User %d", u),
+		})
+		db.Insert("albums", reldb.Row{
+			"aid": int64(u + 1), "title": fmt.Sprintf("Album %d", u), "owner": int64(u + 1),
+		})
+	}
+	for i := 0; i < nPictures; i++ {
+		owner := int64(i%nUsers) + 1
+		db.Insert("pictures", reldb.Row{
+			"pid": int64(i + 1), "aid": owner,
+			"filename": fmt.Sprintf("p%06d.jpg", i),
+			"title":    fmt.Sprintf("Picture %d", i),
+			"keywords": "torino mole sunset",
+			"owner_id": owner, "pic_rating": int64(i%5 + 1),
+			"lat": 45.0 + float64(i%100)/1000, "lon": 7.6 + float64(i%100)/1000,
+		})
+	}
+	// A friendship ring.
+	for u := 0; u < nUsers; u++ {
+		db.Insert("friends", reldb.Row{
+			"rel_id": int64(u + 1), "user_id": int64(u + 1), "friend_id": int64((u+1)%nUsers) + 1,
+		})
+	}
+	return db
+}
+
+// E2DumpScale dumps DBs of increasing size.
+func E2DumpScale(sizes []int) ([]E2Row, error) {
+	var rows []E2Row
+	for _, n := range sizes {
+		db := BuildCoppermine(10, n)
+		m := d2r.CoppermineMapping("http://beta.teamlife.it/")
+		start := time.Now()
+		count, err := d2r.DumpNTriples(io.Discard, db, m)
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		rows = append(rows, E2Row{
+			Pictures: n, Triples: count, Elapsed: el,
+			TriplesSec: float64(count) / el.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// E2Report renders the scaling table.
+func E2Report(rows []E2Row) string {
+	header := []string{"pictures", "triples", "elapsed", "triples/sec"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			itoa(r.Pictures), itoa(r.Triples), ms(r.Elapsed), fmt.Sprintf("%.0f", r.TriplesSec),
+		})
+	}
+	return Table(header, body)
+}
+
+// ---- E3: the three §2.3 virtual-album queries ----
+
+// E3Row reports one album query evaluation.
+type E3Row struct {
+	Album   string
+	Items   int
+	Elapsed time.Duration
+}
+
+// E3Albums evaluates the paper's three queries over the corpus.
+func (e *Env) E3Albums() ([]E3Row, error) {
+	user := e.Corpus.Users[0]
+	albums := []album.Album{
+		album.NearMonument(e.Platform.Store, "Mole Antonelliana", "it", 0.3),
+		album.NearMonumentByFriends(e.Platform.Store, "Mole Antonelliana", "it", 0.3, user),
+		album.NearMonumentByFriendsRated(e.Platform.Store, "Mole Antonelliana", "it", 0.3, user),
+	}
+	var rows []E3Row
+	for _, a := range albums {
+		start := time.Now()
+		items, err := a.Items()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E3Row{Album: a.Name(), Items: len(items), Elapsed: time.Since(start)})
+	}
+	return rows, nil
+}
+
+// E3Report renders the album rows.
+func E3Report(rows []E3Row) string {
+	header := []string{"album (§2.3 query)", "items", "elapsed"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Album, itoa(r.Items), ms(r.Elapsed)})
+	}
+	return Table(header, body)
+}
+
+// ---- E6: triple-tag navigation (§1.1 baseline) ----
+
+// E6Row reports one tag-based album evaluation.
+type E6Row struct {
+	Filter  string
+	Items   int
+	Elapsed time.Duration
+}
+
+// E6TagAlbums exercises the baseline filters of §1.1: by user
+// (people:fn), by namespace, by keyword.
+func (e *Env) E6TagAlbums() []E6Row {
+	ix := e.Platform.TagIndex
+	// Use a people:fn value that actually occurred in the corpus (a
+	// nearby buddy detected by the context platform).
+	fullName := "User 00"
+	for _, id := range e.Platform.Contents() {
+		c, _ := e.Platform.Content(id)
+		for _, tt := range c.ContextTags {
+			if tt.Namespace == tags.NSPeople && tt.Predicate == "fn" {
+				fullName = tt.Value
+				break
+			}
+		}
+	}
+	tag := tags.TripleTag{Namespace: tags.NSPeople, Predicate: "fn", Value: fullName}
+	cases := []struct {
+		name string
+		a    album.Album
+	}{
+		{"people:fn=" + fullName, &album.TagAlbum{Title: "by user", Index: ix, Tag: &tag}},
+		{"namespace cell:", &album.TagAlbum{Title: "by cell ns", Index: ix, Namespace: tags.NSCell}},
+		{"address:city predicate", &album.TagAlbum{Title: "by city pred", Index: ix, NSPredicate: [2]string{tags.NSAddress, "city"}}},
+		{"keyword torino", &album.TagAlbum{Title: "kw", Index: ix, Keywords: []string{"torino"}}},
+	}
+	var rows []E6Row
+	for _, c := range cases {
+		start := time.Now()
+		items, err := c.a.Items()
+		if err != nil {
+			continue
+		}
+		rows = append(rows, E6Row{Filter: c.name, Items: len(items), Elapsed: time.Since(start)})
+	}
+	return rows
+}
+
+// E6Report renders the rows.
+func E6Report(rows []E6Row) string {
+	header := []string{"triple-tag filter", "items", "elapsed"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Filter, itoa(r.Items), ms(r.Elapsed)})
+	}
+	return Table(header, body)
+}

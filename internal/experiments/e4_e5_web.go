@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"lodify/internal/sparql"
+	"lodify/internal/web"
+)
+
+// ---- E4: incremental AJAX search (Figs. 2-3) ----
+
+// E4Row reports one prefix query of the incremental search.
+type E4Row struct {
+	Prefix     string
+	Candidates int
+	Elapsed    time.Duration
+}
+
+// E4IncrementalSearch replays the "Turin" typing session of Fig. 3
+// keystroke by keystroke against the live HTTP handler.
+func (e *Env) E4IncrementalSearch(word string) ([]E4Row, error) {
+	srv := web.NewServer(e.Platform)
+	var rows []E4Row
+	for i := 2; i <= len(word); i++ {
+		prefix := word[:i]
+		req := httptest.NewRequest(http.MethodGet, "/api/search?q="+prefix, nil)
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		srv.ServeHTTP(rec, req)
+		el := time.Since(start)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("E4: search %q returned %d", prefix, rec.Code)
+		}
+		var cands []web.SearchCandidate
+		if err := json.Unmarshal(rec.Body.Bytes(), &cands); err != nil {
+			return nil, err
+		}
+		rows = append(rows, E4Row{Prefix: prefix, Candidates: len(cands), Elapsed: el})
+	}
+	return rows, nil
+}
+
+// E4Report renders the keystroke table.
+func E4Report(rows []E4Row) string {
+	header := []string{"typed prefix", "candidates", "elapsed"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Prefix, itoa(r.Candidates), ms(r.Elapsed)})
+	}
+	return Table(header, body)
+}
+
+// ---- E5: "About" mashup (§4.1, Fig. 4) ----
+
+// E5Row reports one mashup evaluation.
+type E5Row struct {
+	PictureID   int64
+	Rows        int
+	CityRows    int
+	Restaurants int
+	Tourism     int
+	UGC         int
+	Elapsed     time.Duration
+}
+
+// E5AboutMashup runs the paper's four-arm UNION query for the first
+// corpus picture that has a geometry.
+func (e *Env) E5AboutMashup() (E5Row, error) {
+	var picID int64 = -1
+	for _, id := range e.Platform.Contents() {
+		c, _ := e.Platform.Content(id)
+		if c.GPS != nil {
+			picID = id
+			break
+		}
+	}
+	if picID < 0 {
+		return E5Row{}, fmt.Errorf("E5: no geolocated content in corpus")
+	}
+	c, _ := e.Platform.Content(picID)
+	engine := sparql.NewEngine(e.Platform.Store)
+	q := web.AboutMashupQuery(c.IRI.Value(), "it")
+	start := time.Now()
+	res, err := engine.Query(q)
+	if err != nil {
+		return E5Row{}, err
+	}
+	row := E5Row{PictureID: picID, Rows: len(res.Solutions), Elapsed: time.Since(start)}
+	for _, sol := range res.Solutions {
+		ty, ok := sol["entType"]
+		if !ok {
+			continue
+		}
+		switch {
+		case hasSuffix(ty.Value(), "City"):
+			row.CityRows++
+		case hasSuffix(ty.Value(), "Restaurant"):
+			row.Restaurants++
+		case hasSuffix(ty.Value(), "Tourism"):
+			row.Tourism++
+		case hasSuffix(ty.Value(), "MicroblogPost"):
+			row.UGC++
+		}
+	}
+	return row, nil
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// E5Report renders the mashup row.
+func E5Report(r E5Row) string {
+	header := []string{"pid", "rows", "city", "restaurants(<=5)", "tourism(<=5)", "ugc(<=5)", "elapsed"}
+	body := [][]string{{
+		fmt.Sprintf("%d", r.PictureID), itoa(r.Rows), itoa(r.CityRows),
+		itoa(r.Restaurants), itoa(r.Tourism), itoa(r.UGC), ms(r.Elapsed),
+	}}
+	return Table(header, body)
+}

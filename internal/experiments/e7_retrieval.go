@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"lodify/internal/ugc"
+	"lodify/internal/workload"
+)
+
+// E7Row compares keyword vs semantic retrieval at one corpus size —
+// the paper's headline claim quantified ("keyword-based searches ...
+// restrict the amount of retrievable content"; "no point in making
+// available multimedia information that can only be found by
+// chance").
+type E7Row struct {
+	Contents int
+	Intents  int
+
+	KeywordRecall    float64
+	KeywordPrecision float64
+	KeywordLatency   time.Duration
+
+	// Semantic (geo): the §2.3 proximity query core. High recall,
+	// lower precision (anything shot nearby qualifies).
+	SemanticRecall    float64
+	SemanticPrecision float64
+	SemanticLatency   time.Duration
+
+	// Semantic (annotation): dcterms:references links produced by the
+	// Fig. 1 pipeline. Recall bounded by the auto-annotation rate,
+	// precision near 1.
+	AnnotRecall    float64
+	AnnotPrecision float64
+	AnnotLatency   time.Duration
+}
+
+// E7KeywordVsSemantic builds corpora of the given sizes and measures
+// both retrieval paths against the generated ground truth.
+func E7KeywordVsSemantic(sizes []int, seed int64) ([]E7Row, error) {
+	var rows []E7Row
+	for _, n := range sizes {
+		spec := workload.Spec{
+			Users: 20, Contents: n, FriendsPerUser: 4, RatedFraction: 0.7, Seed: seed,
+		}
+		env, err := NewEnv(spec)
+		if err != nil {
+			return nil, err
+		}
+		row, err := env.e7Measure(n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (e *Env) e7Measure(n int) (E7Row, error) {
+	intents := e.Corpus.Intents(e.World, 2)
+	row := E7Row{Contents: n, Intents: len(intents)}
+	if len(intents) == 0 {
+		return row, fmt.Errorf("E7: no intents for corpus of %d", n)
+	}
+	for _, in := range intents {
+		// Keyword path: the user types the English landmark word.
+		start := time.Now()
+		kw := e.Platform.KeywordSearch(in.KeywordQuery)
+		row.KeywordLatency += time.Since(start)
+		p1, r1 := workload.PrecisionRecall(kw, in.Relevant)
+		row.KeywordPrecision += p1
+		row.KeywordRecall += r1
+
+		// Semantic path (geo): content near the landmark resource.
+		start = time.Now()
+		sem := e.semanticNear(in.Landmark)
+		row.SemanticLatency += time.Since(start)
+		p2, r2 := workload.PrecisionRecall(sem, in.Relevant)
+		row.SemanticPrecision += p2
+		row.SemanticRecall += r2
+
+		// Semantic path (annotation): content linked to the landmark
+		// by the Fig. 1 pipeline.
+		start = time.Now()
+		ann := e.semanticAnnotated(in.Landmark)
+		row.AnnotLatency += time.Since(start)
+		p3, r3 := workload.PrecisionRecall(ann, in.Relevant)
+		row.AnnotPrecision += p3
+		row.AnnotRecall += r3
+	}
+	k := float64(len(intents))
+	row.KeywordPrecision /= k
+	row.KeywordRecall /= k
+	row.SemanticPrecision /= k
+	row.SemanticRecall /= k
+	row.AnnotPrecision /= k
+	row.AnnotRecall /= k
+	row.KeywordLatency /= time.Duration(len(intents))
+	row.SemanticLatency /= time.Duration(len(intents))
+	row.AnnotLatency /= time.Duration(len(intents))
+	return row, nil
+}
+
+// semanticAnnotated retrieves content IDs linked to the landmark via
+// dcterms:references (the automatic annotation output).
+func (e *Env) semanticAnnotated(landmark string) []int64 {
+	lmIRI, ok := e.World.DBpediaIRI(landmark)
+	if !ok {
+		return nil
+	}
+	prefix := e.Platform.BaseURI + "cpg148_pictures/"
+	var out []int64
+	for _, subj := range e.Platform.Store.Subjects(ugc.PredAbout, lmIRI) {
+		v := subj.Value()
+		if !strings.HasPrefix(v, prefix) {
+			continue
+		}
+		if id, err := strconv.ParseInt(v[len(prefix):], 10, 64); err == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// semanticNear retrieves content IDs via the geo index around the
+// landmark resource (the §2.3 query's retrieval core).
+func (e *Env) semanticNear(landmark string) []int64 {
+	lmIRI, ok := e.World.DBpediaIRI(landmark)
+	if !ok {
+		return nil
+	}
+	pt, ok := e.Platform.Store.GeometryOf(lmIRI)
+	if !ok {
+		return nil
+	}
+	prefix := e.Platform.BaseURI + "cpg148_pictures/"
+	var out []int64
+	for _, subj := range e.Platform.Store.GeoWithin(pt, 0.05) {
+		v := subj.Value()
+		if !strings.HasPrefix(v, prefix) {
+			continue
+		}
+		if id, err := strconv.ParseInt(v[len(prefix):], 10, 64); err == nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// E7Report renders the comparison.
+func E7Report(rows []E7Row) string {
+	header := []string{"contents", "intents",
+		"kw-recall", "kw-prec", "kw-lat",
+		"geo-recall", "geo-prec", "geo-lat",
+		"annot-recall", "annot-prec", "annot-lat"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			itoa(r.Contents), itoa(r.Intents),
+			f3(r.KeywordRecall), f3(r.KeywordPrecision), ms(r.KeywordLatency),
+			f3(r.SemanticRecall), f3(r.SemanticPrecision), ms(r.SemanticLatency),
+			f3(r.AnnotRecall), f3(r.AnnotPrecision), ms(r.AnnotLatency),
+		})
+	}
+	return Table(header, body)
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/federation"
+	"lodify/internal/geo"
+	"lodify/internal/ugc"
+	"lodify/internal/workload"
+)
+
+// ---- E8: POI tag -> DBpedia resolution (§2.2.1) ----
+
+// E8Row summarizes POI resolution over every landmark and a sample of
+// commercial POIs.
+type E8Row struct {
+	Landmarks  int
+	Resolved   int
+	Correct    int
+	Commercial int
+	Excluded   int
+	Elapsed    time.Duration
+}
+
+// E8POIResolution resolves every seed landmark as a POI and checks
+// the commercial-category exclusion on restaurants.
+func (e *Env) E8POIResolution() E8Row {
+	row := E8Row{}
+	start := time.Now()
+	for _, city := range e.World.Cities {
+		for _, lm := range city.Landmarks {
+			row.Landmarks++
+			res := e.Pipeline.ResolvePOI(annotate.POI{
+				ID: lm.Name, Name: lm.Name, Category: "monument", Location: lm.Point,
+			})
+			if !res.Resource.IsZero() {
+				row.Resolved++
+				if want, ok := e.World.DBpediaIRI(lm.Name); ok && res.Resource == want {
+					row.Correct++
+				}
+			}
+		}
+		// Commercial POIs near the city center must be excluded.
+		for i, poi := range e.Ctx.SearchPOI(city.Point, "trattoria", 3) {
+			_ = i
+			row.Commercial++
+			res := e.Pipeline.ResolvePOI(poi)
+			if res.Excluded {
+				row.Excluded++
+			}
+		}
+	}
+	row.Elapsed = time.Since(start)
+	return row
+}
+
+// E8Report renders the row.
+func E8Report(r E8Row) string {
+	header := []string{"landmark POIs", "resolved", "correct", "commercial POIs", "excluded", "elapsed"}
+	body := [][]string{{
+		itoa(r.Landmarks), itoa(r.Resolved), itoa(r.Correct),
+		itoa(r.Commercial), itoa(r.Excluded), ms(r.Elapsed),
+	}}
+	return Table(header, body)
+}
+
+// ---- E9: federation push (§6) ----
+
+// E9Row reports the federated publish -> notification round trip.
+type E9Row struct {
+	Published  int
+	Delivered  int
+	AvgLatency time.Duration
+}
+
+type latencySink struct {
+	mu     sync.Mutex
+	starts []time.Time
+	lats   []time.Duration
+}
+
+func (s *latencySink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		io.WriteString(w, r.URL.Query().Get("hub.challenge"))
+		return
+	}
+	io.Copy(io.Discard, r.Body)
+	s.mu.Lock()
+	if len(s.lats) < len(s.starts) {
+		s.lats = append(s.lats, time.Since(s.starts[len(s.lats)]))
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// E9FederationPush spins up a two-node federation, subscribes a sink
+// to node A's feed and measures publish->delivery latency for n
+// uploads.
+func E9FederationPush(n int) (E9Row, error) {
+	env, err := NewEnv(workloadSpecTiny())
+	if err != nil {
+		return E9Row{}, err
+	}
+	net := federation.NewNetwork()
+	node := federation.NewNode("alice.example", env.Platform, net)
+	sink := &latencySink{}
+	net.Register("sink.example", sink)
+	if err := federation.SubscribeRemote(net.Client(), "http://alice.example/hub", node.TopicURL(), "http://sink.example/cb"); err != nil {
+		return E9Row{}, err
+	}
+	pt := geo.Point{Lon: 7.6934, Lat: 45.0690}
+	row := E9Row{}
+	user := env.Corpus.Users[0]
+	for i := 0; i < n; i++ {
+		sink.mu.Lock()
+		sink.starts = append(sink.starts, time.Now())
+		sink.mu.Unlock()
+		_, err := node.PublishContent(ugc.Upload{
+			User: user, Filename: fmt.Sprintf("e9_%d.jpg", i),
+			Title: "federated", GPS: &pt, TakenAt: time.Date(2011, 9, 17, 18, 0, i, 0, time.UTC),
+		})
+		if err != nil {
+			return E9Row{}, err
+		}
+		row.Published++
+	}
+	sink.mu.Lock()
+	row.Delivered = len(sink.lats)
+	var total time.Duration
+	for _, l := range sink.lats {
+		total += l
+	}
+	if len(sink.lats) > 0 {
+		row.AvgLatency = total / time.Duration(len(sink.lats))
+	}
+	sink.mu.Unlock()
+	return row, nil
+}
+
+func workloadSpecTiny() workload.Spec {
+	return workload.Spec{Users: 3, Contents: 5, FriendsPerUser: 2, RatedFraction: 0, Seed: 5}
+}
+
+// E9Report renders the row.
+func E9Report(r E9Row) string {
+	header := []string{"published", "delivered", "avg push latency"}
+	body := [][]string{{itoa(r.Published), itoa(r.Delivered), ms(r.AvgLatency)}}
+	return Table(header, body)
+}
+
+// ---- E10: resolver / priority ablation (§2.2.2 design choices) ----
+
+// E10Row reports pipeline quality under one ablation.
+type E10Row struct {
+	Ablation  string
+	AutoRate  float64
+	Precision float64
+	FalsePos  int
+	Ambiguous int
+}
+
+// E10Ablation re-runs the E1 gold evaluation with resolvers removed
+// and with the graph-priority mechanism disabled.
+func (e *Env) E10Ablation() []E10Row {
+	gold := e.goldCorpus()
+	evaluate := func(name string, pipe *annotate.Pipeline) E10Row {
+		row := E10Row{Ablation: name}
+		auto, correct := 0, 0
+		for _, g := range gold {
+			res := pipe.Annotate(g.title, nil)
+			ann := findWord(res, g.word)
+			if ann == nil {
+				continue
+			}
+			switch ann.Decision {
+			case annotate.DecisionAuto:
+				auto++
+				if ann.Resource.Value() == g.gold || matchesGeonames(e, ann.Resource.Value(), g.gold) {
+					correct++
+				} else {
+					row.FalsePos++
+				}
+			case annotate.DecisionAmbiguous:
+				row.Ambiguous++
+			}
+		}
+		if len(gold) > 0 {
+			row.AutoRate = float64(auto) / float64(len(gold))
+		}
+		if auto > 0 {
+			row.Precision = float64(correct) / float64(auto)
+		}
+		return row
+	}
+
+	cfg := annotate.DefaultConfig()
+	rows := []E10Row{evaluate("full pipeline", e.Pipeline)}
+
+	for _, r := range []string{"dbpedia-sparql", "geonames", "sindice", "evri", "zemanta"} {
+		pipe := annotate.NewPipeline(e.World.Store, e.Broker.WithoutResolver(r), cfg)
+		rows = append(rows, evaluate("without "+r, pipe))
+	}
+
+	// Graph priority off: every known graph at equal rank means no
+	// per-graph narrowing; more ambiguity expected.
+	flat := cfg
+	flat.GraphPriority = []string{"http://geonames.org"}
+	onlyGN := annotate.NewPipeline(e.World.Store, e.Broker, flat)
+	rows = append(rows, evaluate("geonames-only priority", onlyGN))
+
+	noDBP := cfg
+	noDBP.GraphPriority = []string{"http://dbpedia.org"}
+	rows = append(rows, evaluate("dbpedia-only priority", annotate.NewPipeline(e.World.Store, e.Broker, noDBP)))
+	return rows
+}
+
+// E10Report renders the ablation table.
+func E10Report(rows []E10Row) string {
+	header := []string{"ablation", "auto-rate", "precision", "false-pos", "ambiguous"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{r.Ablation, f3(r.AutoRate), f3(r.Precision), itoa(r.FalsePos), itoa(r.Ambiguous)})
+	}
+	return Table(header, body)
+}

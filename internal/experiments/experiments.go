@@ -1,0 +1,85 @@
+// Package experiments implements the reproduction harness: one runner
+// per experiment of DESIGN.md §4 (E1-E10), each regenerating the
+// functional artifact of the paper it corresponds to and reporting
+// quantitative rows. cmd/benchreport prints them; bench_test.go wraps
+// them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/ugc"
+	"lodify/internal/workload"
+)
+
+// Env is a fully wired platform + corpus, the shared fixture for the
+// experiments.
+type Env struct {
+	World    *lod.World
+	Ctx      *ctxmgr.Platform
+	Broker   *resolver.Broker
+	Pipeline *annotate.Pipeline
+	Platform *ugc.Platform
+	Corpus   *workload.Corpus
+}
+
+// NewEnv generates the LOD world and a workload corpus.
+func NewEnv(spec workload.Spec) (*Env, error) {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	broker := resolver.DefaultBroker(w.Store)
+	pipe := annotate.NewPipeline(w.Store, broker, annotate.DefaultConfig())
+	p := ugc.New(w.Store, ctx, pipe, ugc.Options{})
+	corpus, err := workload.Generate(p, w, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{World: w, Ctx: ctx, Broker: broker, Pipeline: pipe, Platform: p, Corpus: corpus}, nil
+}
+
+// DefaultEnv builds the reference environment.
+func DefaultEnv() (*Env, error) { return NewEnv(workload.DefaultSpec()) }
+
+// Table renders rows of cells as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	for i, w := range widths {
+		header[i] = strings.Repeat("-", w)
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"lodify/internal/workload"
+)
+
+// envOnce shares one environment across the experiment tests (it is
+// read-mostly; each experiment derives its own pipelines).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(workload.Spec{
+			Users: 12, Contents: 150, FriendsPerUser: 4, RatedFraction: 0.7, Seed: 7,
+		})
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestE1ThresholdSweepShape(t *testing.T) {
+	e := sharedEnv(t)
+	if e.GoldSize() == 0 {
+		t.Fatal("empty gold corpus")
+	}
+	rows := e.E1ThresholdSweep([]float64{0.5, 0.8, 0.95})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	atPaper := rows[1]
+	if atPaper.AutoRate < 0.5 {
+		t.Errorf("auto-rate at 0.8 = %.3f, want a usable pipeline (>=0.5)", atPaper.AutoRate)
+	}
+	if atPaper.Precision < 0.8 {
+		t.Errorf("precision at 0.8 = %.3f, want >= 0.8", atPaper.Precision)
+	}
+	// Shape: tightening the threshold must not increase false
+	// positives.
+	if rows[2].FalsePositives > rows[0].FalsePositives {
+		t.Errorf("FPs rose with threshold: %d@0.5 -> %d@0.95",
+			rows[0].FalsePositives, rows[2].FalsePositives)
+	}
+	report := E1Report(rows)
+	if !strings.Contains(report, "jw-threshold") {
+		t.Fatalf("report = %s", report)
+	}
+}
+
+func TestE2DumpScaleShape(t *testing.T) {
+	rows, err := E2DumpScale([]int{100, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Triples <= rows[0].Triples {
+		t.Fatalf("triples do not grow: %+v", rows)
+	}
+	// Keyword splitting contributes 3 dc:subject triples per picture.
+	perPic := float64(rows[1].Triples-rows[0].Triples) / 300.0
+	if perPic < 8 || perPic > 14 {
+		t.Errorf("triples per picture = %.1f, want ~10", perPic)
+	}
+	if rows[0].TriplesSec <= 0 {
+		t.Error("throughput not measured")
+	}
+	_ = E2Report(rows)
+}
+
+func TestE3AlbumsMonotoneRestriction(t *testing.T) {
+	e := sharedEnv(t)
+	rows, err := e.E3Albums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Query 2 adds the social filter, query 3 the rating requirement:
+	// each restriction can only shrink (or keep) the result.
+	if rows[1].Items > rows[0].Items {
+		t.Errorf("social filter grew the album: %+v", rows)
+	}
+	if rows[2].Items > rows[1].Items {
+		t.Errorf("rating filter grew the album: %+v", rows)
+	}
+	if rows[0].Items == 0 {
+		t.Error("geo album empty — corpus should cover the Mole")
+	}
+	_ = E3Report(rows)
+}
+
+func TestE4IncrementalSearch(t *testing.T) {
+	e := sharedEnv(t)
+	rows, err := e.E4IncrementalSearch("Turin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // "Tu", "Tur", "Turi", "Turin"
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Longer prefixes never yield more candidates than shorter ones
+	// within the same limit... they can tie at the cap; just require
+	// the final prefix finds something.
+	if rows[len(rows)-1].Candidates == 0 {
+		t.Fatalf("no candidates for full word: %+v", rows)
+	}
+	_ = E4Report(rows)
+}
+
+func TestE5MashupArms(t *testing.T) {
+	e := sharedEnv(t)
+	row, err := e.E5AboutMashup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.CityRows == 0 {
+		t.Error("city arm empty")
+	}
+	if row.Restaurants == 0 || row.Restaurants > 5 {
+		t.Errorf("restaurants = %d, want 1..5", row.Restaurants)
+	}
+	if row.Tourism == 0 || row.Tourism > 5 {
+		t.Errorf("tourism = %d, want 1..5", row.Tourism)
+	}
+	_ = E5Report(row)
+}
+
+func TestE6TagAlbums(t *testing.T) {
+	e := sharedEnv(t)
+	rows := e.E6TagAlbums()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// The address:city predicate filter covers every geolocated
+	// content; keyword torino covers the torino-tagged subset.
+	var cityItems, kwItems int
+	for _, r := range rows {
+		if strings.Contains(r.Filter, "address:city") {
+			cityItems = r.Items
+		}
+		if strings.Contains(r.Filter, "torino") {
+			kwItems = r.Items
+		}
+	}
+	if cityItems == 0 {
+		t.Error("address:city album empty")
+	}
+	if kwItems == 0 {
+		t.Error("keyword album empty")
+	}
+	_ = E6Report(rows)
+}
+
+func TestE7SemanticWinsAndScales(t *testing.T) {
+	rows, err := E7KeywordVsSemantic([]int{150, 300}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SemanticRecall <= r.KeywordRecall {
+			t.Errorf("at %d contents semantic recall %.3f <= keyword %.3f",
+				r.Contents, r.SemanticRecall, r.KeywordRecall)
+		}
+		if r.SemanticRecall < 0.9 {
+			t.Errorf("semantic recall = %.3f at %d", r.SemanticRecall, r.Contents)
+		}
+	}
+	_ = E7Report(rows)
+}
+
+func TestE8POIAccuracy(t *testing.T) {
+	e := sharedEnv(t)
+	row := e.E8POIResolution()
+	if row.Landmarks == 0 {
+		t.Fatal("no landmarks")
+	}
+	if row.Correct < row.Landmarks*8/10 {
+		t.Errorf("POI accuracy %d/%d below 80%%", row.Correct, row.Landmarks)
+	}
+	if row.Commercial > 0 && row.Excluded != row.Commercial {
+		t.Errorf("commercial exclusion %d/%d", row.Excluded, row.Commercial)
+	}
+	_ = E8Report(row)
+}
+
+func TestE9FederationDeliversEverything(t *testing.T) {
+	row, err := E9FederationPush(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Delivered != row.Published {
+		t.Fatalf("delivered %d of %d", row.Delivered, row.Published)
+	}
+	_ = E9Report(row)
+}
+
+func TestE10AblationShape(t *testing.T) {
+	e := sharedEnv(t)
+	rows := e.E10Ablation()
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full := rows[0]
+	if full.Ablation != "full pipeline" {
+		t.Fatalf("first row = %+v", full)
+	}
+	// Removing resolvers must never *improve* the auto-rate by more
+	// than noise: the full pipeline should be at least as good as the
+	// best single ablation on coverage.
+	for _, r := range rows[1:] {
+		if r.AutoRate > full.AutoRate+0.05 {
+			t.Errorf("ablation %q beat the full pipeline: %.3f > %.3f",
+				r.Ablation, r.AutoRate, full.AutoRate)
+		}
+	}
+	_ = E10Report(rows)
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table = %q", out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("no separator: %q", lines[1])
+	}
+}

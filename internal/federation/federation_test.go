@@ -1,0 +1,267 @@
+package federation
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/ugc"
+)
+
+var (
+	molePt = geo.Point{Lon: 7.6934, Lat: 45.0690}
+	now    = time.Date(2011, 9, 17, 18, 0, 0, 0, time.UTC)
+)
+
+func newPlatform(t testing.TB) *ugc.Platform {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	pipe := annotate.NewPipeline(w.Store, resolver.DefaultBroker(w.Store), annotate.DefaultConfig())
+	return ugc.New(w.Store, ctx, pipe, ugc.Options{})
+}
+
+// twoNodes builds alice.example and bob.example on one fabric.
+func twoNodes(t *testing.T) (*Network, *Node, *Node) {
+	net := NewNetwork()
+	pa := newPlatform(t)
+	pa.Register("alice", "Alice A", "")
+	pb := newPlatform(t)
+	pb.Register("bob", "Bob B", "")
+	a := NewNode("alice.example", pa, net)
+	b := NewNode("bob.example", pb, net)
+	return net, a, b
+}
+
+// callbackSink records push deliveries and answers PuSH verification
+// challenges.
+type callbackSink struct {
+	mu       sync.Mutex
+	payloads []string
+}
+
+func (s *callbackSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		// Echo the verification challenge.
+		io.WriteString(w, r.URL.Query().Get("hub.challenge"))
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	s.mu.Lock()
+	s.payloads = append(s.payloads, string(body))
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *callbackSink) all() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.payloads...)
+}
+
+func TestWebFingerDiscovery(t *testing.T) {
+	net, _, _ := twoNodes(t)
+	links, err := Finger(net.Client(), "alice@alice.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if links["salmon"] != "http://alice.example/salmon/alice" {
+		t.Fatalf("links = %v", links)
+	}
+	if links["hub"] == "" || links["describedby"] == "" {
+		t.Fatalf("links = %v", links)
+	}
+	// Unknown user and wrong domain fail.
+	if _, err := Finger(net.Client(), "ghost@alice.example"); err == nil {
+		t.Fatal("ghost resolved")
+	}
+	if _, err := Finger(net.Client(), "alice@nowhere.example"); err == nil {
+		t.Fatal("unknown host resolved")
+	}
+}
+
+func TestFOAFProfileSharing(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	a.Platform.Register("carol", "Carol C", "")
+	a.Platform.AddFriend("alice", "carol")
+	resp, err := net.Client().Get("http://alice.example/users/alice/foaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	s := string(body)
+	if !strings.Contains(s, "foaf:knows") || !strings.Contains(s, "carol#me") {
+		t.Fatalf("foaf = %s", s)
+	}
+	if resp.Header.Get("Content-Type") != "text/turtle" {
+		t.Fatalf("content type = %s", resp.Header.Get("Content-Type"))
+	}
+}
+
+func TestActivityStreamsTimeline(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	a.PublishContent(ugc.Upload{User: "alice", Filename: "1.jpg", Title: "first", TakenAt: now})
+	a.PublishContent(ugc.Upload{User: "alice", Filename: "2.jpg", Title: "second", TakenAt: now.Add(time.Hour)})
+	resp, err := net.Client().Get("http://alice.example/users/alice/activities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Items []Activity `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Items) != 2 {
+		t.Fatalf("items = %+v", doc.Items)
+	}
+	// Newest first.
+	if doc.Items[0].Title != "second" {
+		t.Fatalf("order = %+v", doc.Items)
+	}
+	if doc.Items[0].Verb != "post" || doc.Items[0].Actor != "acct:alice@alice.example" {
+		t.Fatalf("activity = %+v", doc.Items[0])
+	}
+}
+
+func TestPubSubHubbubPushOnPublish(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	sink := &callbackSink{}
+	net.Register("sink.example", sink)
+
+	err := SubscribeRemote(net.Client(), "http://alice.example/hub", a.TopicURL(), "http://sink.example/cb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PublishContent(ugc.Upload{User: "alice", Filename: "x.jpg", Title: "pushed", TakenAt: now})
+	got := sink.all()
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	var act Activity
+	if err := json.Unmarshal([]byte(got[0]), &act); err != nil {
+		t.Fatal(err)
+	}
+	if act.Title != "pushed" {
+		t.Fatalf("activity = %+v", act)
+	}
+}
+
+func TestPuSHSubscriptionVerificationFailure(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	// A callback that refuses the challenge is never subscribed.
+	net.Register("bad.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	err := SubscribeRemote(net.Client(), "http://alice.example/hub", a.TopicURL(), "http://bad.example/cb")
+	if err == nil {
+		t.Fatal("unverified callback subscribed")
+	}
+}
+
+func TestUnsubscribeStopsDeliveries(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	sink := &callbackSink{}
+	net.Register("sink.example", sink)
+	SubscribeRemote(net.Client(), "http://alice.example/hub", a.TopicURL(), "http://sink.example/cb")
+	a.Hub.Unsubscribe(a.TopicURL(), "http://sink.example/cb")
+	a.PublishContent(ugc.Upload{User: "alice", Filename: "x.jpg", TakenAt: now})
+	if got := sink.all(); len(got) != 0 {
+		t.Fatalf("deliveries after unsubscribe = %v", got)
+	}
+}
+
+func TestSparqlPushNotification(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	sink := &callbackSink{}
+	net.Register("sink.example", sink)
+
+	// Semantic subscription: any new MicroblogPost near the Mole.
+	query := `
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+SELECT ?link WHERE { ?r a sioct:MicroblogPost . ?r comm:image-data ?link . }`
+	if err := a.Hub.SubscribeSPARQL(query, "http://sink.example/sparql"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Hub.SubscribeSPARQL("not sparql", "http://sink.example/x"); err == nil {
+		t.Fatal("bad query subscribed")
+	}
+
+	a.PublishContent(ugc.Upload{User: "alice", Filename: "m.jpg", Title: "Mole", GPS: &molePt, TakenAt: now})
+	first := sink.all()
+	if len(first) != 1 || !strings.Contains(first[0], "m.jpg") {
+		t.Fatalf("sparqlpush = %v", first)
+	}
+	// Publishing again notifies only the new solution.
+	a.PublishContent(ugc.Upload{User: "alice", Filename: "n.jpg", Title: "Mole again", GPS: &molePt, TakenAt: now})
+	second := sink.all()
+	if len(second) != 2 {
+		t.Fatalf("deliveries = %v", second)
+	}
+	if strings.Contains(second[1], "m.jpg") {
+		t.Fatalf("old solution re-notified: %v", second[1])
+	}
+}
+
+func TestSalmonReplyAcrossNodes(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	c, err := a.PublishContent(ugc.Upload{User: "alice", Filename: "x.jpg", Title: "hello", TakenAt: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bob discovers alice via WebFinger, then sends a Salmon reply.
+	links, err := Finger(net.Client(), "alice@alice.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SendSalmon(net.Client(), links["salmon"], "acct:bob@bob.example", "nice shot!", c.ID); err != nil {
+		t.Fatal(err)
+	}
+	comments := a.Comments(c.ID)
+	if len(comments) != 1 || comments[0].Author != "acct:bob@bob.example" {
+		t.Fatalf("comments = %+v", comments)
+	}
+	// Salmon to a missing content 404s.
+	if err := SendSalmon(net.Client(), links["salmon"], "acct:bob@bob.example", "x", 999); err == nil {
+		t.Fatal("salmon to missing content accepted")
+	}
+}
+
+func TestOEmbed(t *testing.T) {
+	net, a, _ := twoNodes(t)
+	c, _ := a.PublishContent(ugc.Upload{User: "alice", Filename: "p.jpg", Title: "photo", TakenAt: now})
+	resp, err := net.Client().Get("http://alice.example/oembed?url=" + c.MediaURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["type"] != "photo" || doc["title"] != "photo" || doc["provider_name"] != "alice.example" {
+		t.Fatalf("oembed = %v", doc)
+	}
+	resp2, _ := net.Client().Get("http://alice.example/oembed?url=http://nope")
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown url code = %d", resp2.StatusCode)
+	}
+}
+
+func TestNetworkUnknownHost(t *testing.T) {
+	net := NewNetwork()
+	if _, err := net.Client().Get("http://ghost.example/"); err == nil {
+		t.Fatal("unknown host reachable")
+	}
+}

@@ -1,0 +1,209 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+// Hub is a PubSubHubbub hub with an extension for SparqlPuSH-style
+// semantic subscriptions: a subscriber may register a SPARQL query as
+// its topic; whenever the node publishes, the hub re-runs the query
+// and pushes fresh results ("proactive notification of data updates
+// in RDF stores using PubSubHubbub", the paper's [10]).
+type Hub struct {
+	mu     sync.Mutex
+	client *http.Client
+	subs   map[string][]subscription // topic -> subscriptions
+	sparql []*sparqlSub
+	st     *store.Store
+}
+
+type subscription struct {
+	callback string
+}
+
+type sparqlSub struct {
+	query    string
+	callback string
+	seen     map[string]bool
+}
+
+// NewHub returns a hub delivering over the given client.
+func NewHub(client *http.Client, st *store.Store) *Hub {
+	return &Hub{client: client, subs: map[string][]subscription{}, st: st}
+}
+
+// ServeHTTP implements the hub endpoint: application/x-www-form-
+// urlencoded POSTs with hub.mode=subscribe|unsubscribe|publish.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mode := r.Form.Get("hub.mode")
+	topic := r.Form.Get("hub.topic")
+	callback := r.Form.Get("hub.callback")
+	switch mode {
+	case "subscribe":
+		if topic == "" || callback == "" {
+			http.Error(w, "topic and callback required", http.StatusBadRequest)
+			return
+		}
+		if err := h.Subscribe(topic, callback); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	case "unsubscribe":
+		h.Unsubscribe(topic, callback)
+		w.WriteHeader(http.StatusAccepted)
+	case "publish":
+		body, _ := io.ReadAll(r.Body)
+		h.Publish(topic, body)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "unknown hub.mode", http.StatusBadRequest)
+	}
+}
+
+// Subscribe verifies the callback with a challenge (per the PuSH
+// spec) and registers it.
+func (h *Hub) Subscribe(topic, callback string) error {
+	challenge := fmt.Sprintf("ch-%d", len(callback)*7919+len(topic))
+	u, err := url.Parse(callback)
+	if err != nil {
+		return fmt.Errorf("federation: bad callback: %w", err)
+	}
+	q := u.Query()
+	q.Set("hub.mode", "subscribe")
+	q.Set("hub.topic", topic)
+	q.Set("hub.challenge", challenge)
+	u.RawQuery = q.Encode()
+	resp, err := h.client.Get(u.String())
+	if err != nil {
+		return fmt.Errorf("federation: callback verification failed: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), challenge) {
+		return fmt.Errorf("federation: callback did not echo challenge")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs[topic] {
+		if s.callback == callback {
+			return nil
+		}
+	}
+	h.subs[topic] = append(h.subs[topic], subscription{callback: callback})
+	return nil
+}
+
+// Unsubscribe removes a callback.
+func (h *Hub) Unsubscribe(topic, callback string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	subs := h.subs[topic]
+	for i, s := range subs {
+		if s.callback == callback {
+			h.subs[topic] = append(subs[:i], subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SubscribeSPARQL registers a SparqlPuSH semantic subscription: the
+// callback receives the new rows every time NotifySPARQL runs and the
+// query yields solutions it has not delivered before.
+func (h *Hub) SubscribeSPARQL(query, callback string) error {
+	if _, err := sparql.Parse(query); err != nil {
+		return fmt.Errorf("federation: bad sparql subscription: %w", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sparql = append(h.sparql, &sparqlSub{query: query, callback: callback, seen: map[string]bool{}})
+	return nil
+}
+
+// Publish pushes the payload to every subscriber of the topic
+// synchronously ("near-instant notifications", §6.2).
+func (h *Hub) Publish(topic string, payload []byte) {
+	h.mu.Lock()
+	subs := append([]subscription(nil), h.subs[topic]...)
+	h.mu.Unlock()
+	for _, s := range subs {
+		req, err := http.NewRequest(http.MethodPost, s.callback, bytes.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/atom+xml")
+		req.Header.Set("X-Hub-Topic", topic)
+		if resp, err := h.client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// NotifySPARQL re-evaluates the semantic subscriptions against the
+// node's store and pushes fresh solutions.
+func (h *Hub) NotifySPARQL() {
+	if h.st == nil {
+		return
+	}
+	engine := sparql.NewEngine(h.st)
+	h.mu.Lock()
+	subs := append([]*sparqlSub(nil), h.sparql...)
+	h.mu.Unlock()
+	for _, sub := range subs {
+		res, err := engine.Query(sub.query)
+		if err != nil {
+			continue
+		}
+		var fresh []string
+		h.mu.Lock()
+		for _, sol := range res.Solutions {
+			key := solKey(sol, res.Vars)
+			if !sub.seen[key] {
+				sub.seen[key] = true
+				fresh = append(fresh, key)
+			}
+		}
+		h.mu.Unlock()
+		if len(fresh) == 0 {
+			continue
+		}
+		payload := strings.Join(fresh, "\n")
+		req, err := http.NewRequest(http.MethodPost, sub.callback, strings.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		req.Header.Set("X-SparqlPush", "update")
+		if resp, err := h.client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+func solKey(sol sparql.Solution, vars []string) string {
+	var b strings.Builder
+	for _, v := range vars {
+		if t, ok := sol[v]; ok {
+			b.WriteString(t.String())
+		}
+		b.WriteString(" ")
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,57 @@
+// Package federation implements the paper's target architecture (§6):
+// a federation of interconnected social nodes, each hosting its own
+// platform — WebFinger identity discovery, FOAF profile sharing,
+// ActivityStreams timelines, PubSubHubbub push notifications with
+// SparqlPuSH-style semantic subscriptions, Salmon replies and OEmbed
+// content embedding. Nodes exchange real HTTP requests over an
+// in-process network fabric, standing in for home NAS devices behind
+// DDNS names.
+package federation
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+)
+
+// Network is the in-process fabric: domain names route to node
+// handlers without sockets, so a whole federation runs in one test
+// process (the "home network device" of §6.1 is a handler here).
+type Network struct {
+	mu    sync.RWMutex
+	nodes map[string]http.Handler
+}
+
+// NewNetwork returns an empty fabric.
+func NewNetwork() *Network {
+	return &Network{nodes: map[string]http.Handler{}}
+}
+
+// Register attaches a handler to a domain name.
+func (n *Network) Register(domain string, h http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[domain] = h
+}
+
+// RoundTrip implements http.RoundTripper by dispatching to the
+// registered handler for the request's host.
+func (n *Network) RoundTrip(req *http.Request) (*http.Response, error) {
+	n.mu.RLock()
+	h, ok := n.nodes[req.URL.Host]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("federation: unknown host %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Client returns an HTTP client routed through the fabric.
+func (n *Network) Client() *http.Client {
+	return &http.Client{Transport: n}
+}

@@ -1,0 +1,335 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lodify/internal/rdf"
+	"lodify/internal/ugc"
+)
+
+// Activity is one ActivityStreams entry (§6.2: "a users' activities
+// timeline in the ActivityStreams format").
+type Activity struct {
+	Actor     string    `json:"actor"`
+	Verb      string    `json:"verb"`
+	ObjectURL string    `json:"object"`
+	Title     string    `json:"title,omitempty"`
+	Published time.Time `json:"published"`
+}
+
+// Comment is a Salmon-delivered reply attached to a content item.
+type Comment struct {
+	Author  string // acct: URI of the commenter
+	Content string
+}
+
+// Node is one federated social node: a platform plus the federation
+// protocol endpoints, addressable by domain on a Network fabric.
+type Node struct {
+	Domain   string
+	Platform *ugc.Platform
+	Hub      *Hub
+
+	mu         sync.Mutex
+	activities []Activity
+	comments   map[int64][]Comment
+	net        *Network
+	mux        *http.ServeMux
+}
+
+// NewNode creates a node and registers it on the fabric.
+func NewNode(domain string, p *ugc.Platform, net *Network) *Node {
+	n := &Node{
+		Domain:   domain,
+		Platform: p,
+		net:      net,
+		comments: map[int64][]Comment{},
+		mux:      http.NewServeMux(),
+	}
+	n.Hub = NewHub(net.Client(), p.Store)
+	n.mux.HandleFunc("/.well-known/webfinger", n.handleWebFinger)
+	n.mux.HandleFunc("/users/", n.handleUsers)
+	n.mux.Handle("/hub", n.Hub)
+	n.mux.HandleFunc("/salmon/", n.handleSalmon)
+	n.mux.HandleFunc("/oembed", n.handleOEmbed)
+	net.Register(domain, n)
+	return n
+}
+
+// ServeHTTP implements http.Handler.
+func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n.mux.ServeHTTP(w, r)
+}
+
+// TopicURL is the node's content-feed topic for PuSH subscriptions.
+func (n *Node) TopicURL() string {
+	return "http://" + n.Domain + "/feed"
+}
+
+// PublishContent publishes through the platform, records the
+// activity, pushes to PuSH subscribers and re-runs the SparqlPuSH
+// subscriptions.
+func (n *Node) PublishContent(u ugc.Upload) (*ugc.Content, error) {
+	c, err := n.Platform.Publish(u)
+	if err != nil {
+		return nil, err
+	}
+	act := Activity{
+		Actor:     "acct:" + u.User + "@" + n.Domain,
+		Verb:      "post",
+		ObjectURL: c.MediaURL,
+		Title:     c.Title,
+		Published: u.TakenAt,
+	}
+	n.mu.Lock()
+	n.activities = append(n.activities, act)
+	n.mu.Unlock()
+	payload, _ := json.Marshal(act)
+	n.Hub.Publish(n.TopicURL(), payload)
+	n.Hub.NotifySPARQL()
+	return c, nil
+}
+
+// Comments returns the Salmon replies received for a content item.
+func (n *Node) Comments(contentID int64) []Comment {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Comment, len(n.comments[contentID]))
+	copy(out, n.comments[contentID])
+	return out
+}
+
+// ---- WebFinger (§6.2: identification of users across networks) ----
+
+type jrd struct {
+	Subject string    `json:"subject"`
+	Links   []jrdLink `json:"links"`
+}
+
+type jrdLink struct {
+	Rel  string `json:"rel"`
+	Type string `json:"type,omitempty"`
+	Href string `json:"href"`
+}
+
+func (n *Node) handleWebFinger(w http.ResponseWriter, r *http.Request) {
+	resource := r.URL.Query().Get("resource")
+	const acct = "acct:"
+	if !strings.HasPrefix(resource, acct) {
+		http.Error(w, "resource must be an acct: URI", http.StatusBadRequest)
+		return
+	}
+	rest := resource[len(acct):]
+	at := strings.LastIndex(rest, "@")
+	if at < 0 || rest[at+1:] != n.Domain {
+		http.Error(w, "wrong domain", http.StatusNotFound)
+		return
+	}
+	user := rest[:at]
+	if _, ok := n.Platform.User(user); !ok {
+		http.Error(w, "no such user", http.StatusNotFound)
+		return
+	}
+	doc := jrd{
+		Subject: resource,
+		Links: []jrdLink{
+			{Rel: "http://webfinger.net/rel/profile-page", Href: "http://" + n.Domain + "/users/" + user},
+			{Rel: "describedby", Type: "text/turtle", Href: "http://" + n.Domain + "/users/" + user + "/foaf"},
+			{Rel: "http://schemas.google.com/g/2010#updates-from", Href: "http://" + n.Domain + "/users/" + user + "/activities"},
+			{Rel: "salmon", Href: "http://" + n.Domain + "/salmon/" + user},
+			{Rel: "hub", Href: "http://" + n.Domain + "/hub"},
+		},
+	}
+	w.Header().Set("Content-Type", "application/jrd+json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// ---- Users: profile, FOAF, activities ----
+
+func (n *Node) handleUsers(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/users/")
+	parts := strings.Split(rest, "/")
+	user := parts[0]
+	u, ok := n.Platform.User(user)
+	if !ok {
+		http.Error(w, "no such user", http.StatusNotFound)
+		return
+	}
+	sub := ""
+	if len(parts) > 1 {
+		sub = parts[1]
+	}
+	switch sub {
+	case "":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, "<html><body><h1>%s</h1><p>%s</p></body></html>", user, u.FullName)
+	case "foaf":
+		n.writeFOAF(w, u)
+	case "activities":
+		n.mu.Lock()
+		var acts []Activity
+		prefix := "acct:" + user + "@"
+		for _, a := range n.activities {
+			if strings.HasPrefix(a.Actor, prefix) {
+				acts = append(acts, a)
+			}
+		}
+		n.mu.Unlock()
+		sort.Slice(acts, func(i, j int) bool { return acts[i].Published.After(acts[j].Published) })
+		w.Header().Set("Content-Type", "application/stream+json")
+		json.NewEncoder(w).Encode(map[string]any{"items": acts})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// writeFOAF renders the user's profile and relationships as Turtle
+// (§6.2: "profile data sharing and relationships with other networks,
+// implemented with FOAF").
+func (n *Node) writeFOAF(w http.ResponseWriter, u *ugc.User) {
+	g := rdf.NewGraph()
+	me := rdf.NewIRI("http://" + n.Domain + "/users/" + u.Name + "#me")
+	foaf := func(l string) rdf.Term { return rdf.NewIRI("http://xmlns.com/foaf/0.1/" + l) }
+	g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.RDFType), foaf("Person")))
+	g.Add(rdf.NewTriple(me, foaf("nick"), rdf.NewLiteral(u.Name)))
+	if u.FullName != "" {
+		g.Add(rdf.NewTriple(me, foaf("name"), rdf.NewLiteral(u.FullName)))
+	}
+	g.Add(rdf.NewTriple(me, foaf("account"), rdf.NewLiteral("acct:"+u.Name+"@"+n.Domain)))
+	for _, f := range n.Platform.Friends(u.Name) {
+		g.Add(rdf.NewTriple(me, foaf("knows"), rdf.NewIRI("http://"+n.Domain+"/users/"+f+"#me")))
+	}
+	w.Header().Set("Content-Type", "text/turtle")
+	pm := rdf.NewPrefixMap()
+	pm.Set("foaf", "http://xmlns.com/foaf/0.1/")
+	rdf.WriteTurtle(w, g.Sorted(), pm)
+}
+
+// ---- Salmon (§6.2: comment and annotate original sources) ----
+
+func (n *Node) handleSalmon(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	user := strings.TrimPrefix(r.URL.Path, "/salmon/")
+	if _, ok := n.Platform.User(user); !ok {
+		http.Error(w, "no such user", http.StatusNotFound)
+		return
+	}
+	var sal struct {
+		Author  string `json:"author"`
+		Content string `json:"content"`
+		Target  int64  `json:"target"` // content ID
+	}
+	if err := json.NewDecoder(r.Body).Decode(&sal); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, ok := n.Platform.Content(sal.Target); !ok {
+		http.Error(w, "no such content", http.StatusNotFound)
+		return
+	}
+	n.mu.Lock()
+	n.comments[sal.Target] = append(n.comments[sal.Target], Comment{Author: sal.Author, Content: sal.Content})
+	n.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// ---- OEmbed (§6.2: multimedia content sharing) ----
+
+func (n *Node) handleOEmbed(w http.ResponseWriter, r *http.Request) {
+	target := r.URL.Query().Get("url")
+	if target == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	for _, id := range n.Platform.Contents() {
+		c, _ := n.Platform.Content(id)
+		if c.MediaURL == target {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"version": "1.0", "type": "photo",
+				"url": c.MediaURL, "title": c.Title,
+				"author_name": c.User, "provider_name": n.Domain,
+				"width": 800, "height": 600,
+			})
+			return
+		}
+	}
+	http.Error(w, "unknown content", http.StatusNotFound)
+}
+
+// ---- client-side helpers ----
+
+// Finger performs WebFinger discovery for acct:user@domain over the
+// fabric.
+func Finger(client *http.Client, acct string) (map[string]string, error) {
+	if !strings.HasPrefix(acct, "acct:") {
+		acct = "acct:" + acct
+	}
+	at := strings.LastIndex(acct, "@")
+	if at < 0 {
+		return nil, fmt.Errorf("federation: malformed account %q", acct)
+	}
+	domain := acct[at+1:]
+	resp, err := client.Get("http://" + domain + "/.well-known/webfinger?resource=" + url.QueryEscape(acct))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("federation: webfinger %d: %s", resp.StatusCode, body)
+	}
+	var doc jrd
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, l := range doc.Links {
+		out[l.Rel] = l.Href
+	}
+	return out, nil
+}
+
+// SendSalmon posts a reply to a remote user's content.
+func SendSalmon(client *http.Client, salmonURL, author, content string, target int64) error {
+	body, _ := json.Marshal(map[string]any{"author": author, "content": content, "target": target})
+	resp, err := client.Post(salmonURL, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("federation: salmon rejected: %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// SubscribeRemote subscribes callbackURL to a remote node's topic via
+// its hub.
+func SubscribeRemote(client *http.Client, hubURL, topic, callbackURL string) error {
+	form := url.Values{}
+	form.Set("hub.mode", "subscribe")
+	form.Set("hub.topic", topic)
+	form.Set("hub.callback", callbackURL)
+	resp, err := client.Post(hubURL, "application/x-www-form-urlencoded", strings.NewReader(form.Encode()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("federation: subscribe rejected: %d %s", resp.StatusCode, body)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lodify/internal/ugc"
+)
+
+// §6.3: "UPnP-compatible home devices can directly communicate with
+// the home network device through the UPnP media server: they will be
+// able to browse for available content on the media server and
+// request a file for playback. For example, a UPnP-compatible
+// photoframe displaying a real-time slideshow...". This file
+// implements that home-network layer: an SSDP-style discovery bus, a
+// media server over the platform's content, and a photoframe device.
+
+// Device types (mirroring UPnP device type URNs).
+const (
+	DeviceMediaServer = "urn:schemas-upnp-org:device:MediaServer:1"
+	DevicePhotoframe  = "urn:schemas-upnp-org:device:Photoframe:1"
+)
+
+// Discovery is the in-process SSDP bus: devices register under a type
+// and searchers enumerate them.
+type Discovery struct {
+	mu      sync.Mutex
+	devices map[string]map[string]Device // type -> location -> device
+}
+
+// Device is anything discoverable on the home network.
+type Device interface {
+	DeviceType() string
+	Location() string
+}
+
+// NewDiscovery returns an empty bus.
+func NewDiscovery() *Discovery {
+	return &Discovery{devices: map[string]map[string]Device{}}
+}
+
+// Register announces a device.
+func (d *Discovery) Register(dev Device) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m, ok := d.devices[dev.DeviceType()]
+	if !ok {
+		m = map[string]Device{}
+		d.devices[dev.DeviceType()] = m
+	}
+	m[dev.Location()] = dev
+}
+
+// Bye removes a device (ssdp:byebye).
+func (d *Discovery) Bye(dev Device) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.devices[dev.DeviceType()]; ok {
+		delete(m, dev.Location())
+	}
+}
+
+// Search returns the devices of a type ("ssdp:all" for everything),
+// sorted by location for determinism.
+func (d *Discovery) Search(deviceType string) []Device {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []Device
+	if deviceType == "ssdp:all" {
+		for _, m := range d.devices {
+			for _, dev := range m {
+				out = append(out, dev)
+			}
+		}
+	} else {
+		for _, dev := range d.devices[deviceType] {
+			out = append(out, dev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Location() < out[j].Location() })
+	return out
+}
+
+// MediaItem is one browsable entry of the media server.
+type MediaItem struct {
+	ID    int64
+	Title string
+	URL   string
+	Kind  string // "photo" or "video"
+	Owner string
+}
+
+// MediaServer exposes the platform's media over the home network
+// (the NAS of §6.1 acting as UPnP media server).
+type MediaServer struct {
+	platform *ugc.Platform
+	location string
+
+	mu        sync.Mutex
+	listeners []chan MediaItem
+}
+
+// NewMediaServer creates and registers a media server.
+func NewMediaServer(p *ugc.Platform, location string, bus *Discovery) *MediaServer {
+	ms := &MediaServer{platform: p, location: location}
+	bus.Register(ms)
+	return ms
+}
+
+// DeviceType implements Device.
+func (ms *MediaServer) DeviceType() string { return DeviceMediaServer }
+
+// Location implements Device.
+func (ms *MediaServer) Location() string { return ms.location }
+
+// Browse lists the available content, optionally filtered by owner
+// ("" = everyone), sorted by ID.
+func (ms *MediaServer) Browse(owner string) []MediaItem {
+	var out []MediaItem
+	for _, id := range ms.platform.Contents() {
+		c, ok := ms.platform.Content(id)
+		if !ok || (owner != "" && c.User != owner) {
+			continue
+		}
+		out = append(out, MediaItem{
+			ID: c.ID, Title: c.Title, URL: c.MediaURL, Kind: c.Kind, Owner: c.User,
+		})
+	}
+	return out
+}
+
+// Fetch simulates requesting a file for playback: it returns a
+// pseudo-stream descriptor for the URL, or an error for unknown
+// content.
+func (ms *MediaServer) Fetch(url string) (string, error) {
+	for _, id := range ms.platform.Contents() {
+		c, _ := ms.platform.Content(id)
+		if c.MediaURL == url {
+			return fmt.Sprintf("stream:%s:%s", c.Kind, url), nil
+		}
+	}
+	return "", fmt.Errorf("federation: media %q not found", url)
+}
+
+// Subscribe returns a channel receiving items announced via Announce
+// (UPnP eventing, GENA-style).
+func (ms *MediaServer) Subscribe() <-chan MediaItem {
+	ch := make(chan MediaItem, 64)
+	ms.mu.Lock()
+	ms.listeners = append(ms.listeners, ch)
+	ms.mu.Unlock()
+	return ch
+}
+
+// Announce notifies subscribers of new content (call after a
+// platform publish; Node.PublishHome does this automatically).
+func (ms *MediaServer) Announce(c *ugc.Content) {
+	item := MediaItem{ID: c.ID, Title: c.Title, URL: c.MediaURL, Kind: c.Kind, Owner: c.User}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, ch := range ms.listeners {
+		select {
+		case ch <- item:
+		default: // slow frame: drop rather than block the NAS
+		}
+	}
+}
+
+// Photoframe is the §6.3 example device: it discovers a media server
+// and maintains a real-time slideshow of photos.
+type Photoframe struct {
+	location string
+	capacity int
+
+	mu     sync.Mutex
+	slides []MediaItem
+}
+
+// NewPhotoframe creates and registers a photoframe holding up to
+// capacity slides (oldest evicted).
+func NewPhotoframe(location string, capacity int, bus *Discovery) *Photoframe {
+	pf := &Photoframe{location: location, capacity: capacity}
+	bus.Register(pf)
+	return pf
+}
+
+// DeviceType implements Device.
+func (pf *Photoframe) DeviceType() string { return DevicePhotoframe }
+
+// Location implements Device.
+func (pf *Photoframe) Location() string { return pf.location }
+
+// Load fills the slideshow from a media server's current photos.
+func (pf *Photoframe) Load(ms *MediaServer, owner string) {
+	for _, item := range ms.Browse(owner) {
+		if item.Kind == "photo" {
+			pf.add(item)
+		}
+	}
+}
+
+// Watch consumes announcements until the channel closes — run it in a
+// goroutine next to a MediaServer.Subscribe channel for the
+// "real-time slideshow" of §6.3.
+func (pf *Photoframe) Watch(ch <-chan MediaItem) {
+	for item := range ch {
+		if item.Kind == "photo" {
+			pf.add(item)
+		}
+	}
+}
+
+func (pf *Photoframe) add(item MediaItem) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	pf.slides = append(pf.slides, item)
+	if pf.capacity > 0 && len(pf.slides) > pf.capacity {
+		pf.slides = pf.slides[len(pf.slides)-pf.capacity:]
+	}
+}
+
+// Slideshow returns the current slides, newest last.
+func (pf *Photoframe) Slideshow() []MediaItem {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	out := make([]MediaItem, len(pf.slides))
+	copy(out, pf.slides)
+	return out
+}
+
+// String renders a short description for device listings.
+func (pf *Photoframe) String() string {
+	return strings.TrimPrefix(DevicePhotoframe, "urn:schemas-upnp-org:device:") + "@" + pf.location
+}
+
+// PublishHome publishes through the node (PuSH + SparqlPuSH included)
+// and announces the content on the home media server.
+func (n *Node) PublishHome(u ugc.Upload, ms *MediaServer) (*ugc.Content, error) {
+	c, err := n.PublishContent(u)
+	if err != nil {
+		return nil, err
+	}
+	if ms != nil {
+		ms.Announce(c)
+	}
+	return c, nil
+}

@@ -1,0 +1,148 @@
+// Package feed syndicates virtual albums as RSS 2.0 and Atom feeds —
+// "content can be syndicated as context-filtered feeds in order to
+// enable social services" (§1.1).
+package feed
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"time"
+
+	"lodify/internal/album"
+)
+
+// Entry is one feed entry.
+type Entry struct {
+	Title   string
+	Link    string
+	ID      string
+	Updated time.Time
+	Summary string
+}
+
+// Feed is a renderable feed.
+type Feed struct {
+	Title   string
+	Link    string
+	Updated time.Time
+	Entries []Entry
+}
+
+// FromAlbum evaluates an album into a feed. now stamps entries that
+// have no own timestamp.
+func FromAlbum(a album.Album, selfLink string, now time.Time) (*Feed, error) {
+	items, err := a.Items()
+	if err != nil {
+		return nil, err
+	}
+	f := &Feed{Title: a.Name(), Link: selfLink, Updated: now}
+	for i, it := range items {
+		link := it.MediaURL
+		if link == "" {
+			link = it.Resource
+		}
+		f.Entries = append(f.Entries, Entry{
+			Title:   fmt.Sprintf("%s — item %d", a.Name(), i+1),
+			Link:    link,
+			ID:      it.Resource,
+			Updated: now,
+			Summary: it.Resource,
+		})
+	}
+	return f, nil
+}
+
+// ---- RSS 2.0 ----
+
+type rssXML struct {
+	XMLName xml.Name   `xml:"rss"`
+	Version string     `xml:"version,attr"`
+	Channel rssChannel `xml:"channel"`
+}
+
+type rssChannel struct {
+	Title   string    `xml:"title"`
+	Link    string    `xml:"link"`
+	PubDate string    `xml:"pubDate"`
+	Items   []rssItem `xml:"item"`
+}
+
+type rssItem struct {
+	Title   string `xml:"title"`
+	Link    string `xml:"link"`
+	GUID    string `xml:"guid"`
+	PubDate string `xml:"pubDate"`
+	Desc    string `xml:"description,omitempty"`
+}
+
+// WriteRSS renders RSS 2.0.
+func (f *Feed) WriteRSS(w io.Writer) error {
+	doc := rssXML{Version: "2.0", Channel: rssChannel{
+		Title:   f.Title,
+		Link:    f.Link,
+		PubDate: f.Updated.Format(time.RFC1123Z),
+	}}
+	for _, e := range f.Entries {
+		doc.Channel.Items = append(doc.Channel.Items, rssItem{
+			Title: e.Title, Link: e.Link, GUID: e.ID,
+			PubDate: e.Updated.Format(time.RFC1123Z), Desc: e.Summary,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ---- Atom ----
+
+type atomXML struct {
+	XMLName xml.Name    `xml:"feed"`
+	NS      string      `xml:"xmlns,attr"`
+	Title   string      `xml:"title"`
+	ID      string      `xml:"id"`
+	Updated string      `xml:"updated"`
+	Links   []atomLink  `xml:"link"`
+	Entries []atomEntry `xml:"entry"`
+}
+
+type atomLink struct {
+	Href string `xml:"href,attr"`
+	Rel  string `xml:"rel,attr,omitempty"`
+}
+
+type atomEntry struct {
+	Title   string     `xml:"title"`
+	ID      string     `xml:"id"`
+	Updated string     `xml:"updated"`
+	Links   []atomLink `xml:"link"`
+	Summary string     `xml:"summary,omitempty"`
+}
+
+// WriteAtom renders Atom 1.0.
+func (f *Feed) WriteAtom(w io.Writer) error {
+	doc := atomXML{
+		NS:      "http://www.w3.org/2005/Atom",
+		Title:   f.Title,
+		ID:      f.Link,
+		Updated: f.Updated.UTC().Format(time.RFC3339),
+		Links:   []atomLink{{Href: f.Link, Rel: "self"}},
+	}
+	for _, e := range f.Entries {
+		doc.Entries = append(doc.Entries, atomEntry{
+			Title: e.Title, ID: e.ID,
+			Updated: e.Updated.UTC().Format(time.RFC3339),
+			Links:   []atomLink{{Href: e.Link}},
+			Summary: e.Summary,
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	return enc.Encode(doc)
+}

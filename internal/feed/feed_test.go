@@ -1,0 +1,97 @@
+package feed
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"lodify/internal/album"
+	"lodify/internal/tags"
+)
+
+var now = time.Date(2011, 9, 17, 18, 0, 0, 0, time.UTC)
+
+func testAlbum() album.Album {
+	ix := tags.NewIndex()
+	ix.Add("http://x/pic/1", nil, []string{"sunset"})
+	ix.Add("http://x/pic/2", nil, []string{"sunset"})
+	return &album.TagAlbum{Title: "Sunsets", Index: ix, Keywords: []string{"sunset"}}
+}
+
+func TestFromAlbum(t *testing.T) {
+	f, err := FromAlbum(testAlbum(), "http://x/feeds/sunsets", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Title != "Sunsets" || len(f.Entries) != 2 {
+		t.Fatalf("feed = %+v", f)
+	}
+}
+
+func TestWriteRSSWellFormed(t *testing.T) {
+	f, _ := FromAlbum(testAlbum(), "http://x/feeds/sunsets", now)
+	var buf bytes.Buffer
+	if err := f.WriteRSS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `<rss version="2.0">`) {
+		t.Fatalf("rss = %s", out)
+	}
+	var doc struct {
+		Channel struct {
+			Title string `xml:"title"`
+			Items []struct {
+				GUID string `xml:"guid"`
+			} `xml:"item"`
+		} `xml:"channel"`
+	}
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("rss not well-formed: %v", err)
+	}
+	if doc.Channel.Title != "Sunsets" || len(doc.Channel.Items) != 2 {
+		t.Fatalf("parsed = %+v", doc)
+	}
+}
+
+func TestWriteAtomWellFormed(t *testing.T) {
+	f, _ := FromAlbum(testAlbum(), "http://x/feeds/sunsets", now)
+	var buf bytes.Buffer
+	if err := f.WriteAtom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		XMLName xml.Name `xml:"feed"`
+		Title   string   `xml:"title"`
+		Entries []struct {
+			ID string `xml:"id"`
+		} `xml:"entry"`
+	}
+	if err := xml.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("atom not well-formed: %v", err)
+	}
+	if doc.Title != "Sunsets" || len(doc.Entries) != 2 {
+		t.Fatalf("parsed = %+v", doc)
+	}
+	if !strings.Contains(buf.String(), "http://www.w3.org/2005/Atom") {
+		t.Fatal("missing atom namespace")
+	}
+}
+
+func TestEmptyAlbumFeeds(t *testing.T) {
+	ix := tags.NewIndex()
+	a := &album.TagAlbum{Title: "Empty", Index: ix, Keywords: []string{"nothing"}}
+	f, err := FromAlbum(a, "http://x/feeds/e", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteRSS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAtom(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

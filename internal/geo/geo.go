@@ -1,0 +1,128 @@
+// Package geo implements the WGS84 point geometry, WKT encoding and
+// proximity predicate used by the platform's geo-localized SPARQL
+// queries. The paper's virtual-album queries (§2.3) call Virtuoso's
+// bif:st_intersects(geomA, geomB, precision) where precision is a
+// tolerance in degrees; Intersects reproduces those semantics.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Point is a WGS84 coordinate. Lon is X, Lat is Y, matching the WKT
+// "POINT(lon lat)" axis order Virtuoso uses.
+type Point struct {
+	Lon float64
+	Lat float64
+}
+
+// String renders the point as WKT.
+func (p Point) String() string { return p.WKT() }
+
+// WKT renders "POINT(lon lat)" with trimmed float formatting.
+func (p Point) WKT() string {
+	return "POINT(" + trimFloat(p.Lon) + " " + trimFloat(p.Lat) + ")"
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'f', -1, 64) }
+
+// ParseWKT parses "POINT(lon lat)" (case-insensitive, optional space
+// after POINT).
+func ParseWKT(s string) (Point, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	if !strings.HasPrefix(upper, "POINT") {
+		return Point{}, fmt.Errorf("geo: not a WKT point: %q", s)
+	}
+	t = strings.TrimSpace(t[len("POINT"):])
+	if len(t) < 2 || t[0] != '(' || t[len(t)-1] != ')' {
+		return Point{}, fmt.Errorf("geo: malformed WKT point: %q", s)
+	}
+	fields := strings.Fields(t[1 : len(t)-1])
+	if len(fields) != 2 {
+		return Point{}, fmt.Errorf("geo: WKT point needs 2 coordinates: %q", s)
+	}
+	lon, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("geo: bad longitude in %q: %v", s, err)
+	}
+	lat, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("geo: bad latitude in %q: %v", s, err)
+	}
+	return Point{Lon: lon, Lat: lat}, nil
+}
+
+// Valid reports whether the point lies in the WGS84 domain.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// DegreeDistance returns the Euclidean distance between two points in
+// degrees. This is the metric bif:st_intersects' precision argument is
+// compared against for point geometries.
+func DegreeDistance(a, b Point) float64 {
+	dLon := a.Lon - b.Lon
+	// Normalize across the antimeridian.
+	if dLon > 180 {
+		dLon -= 360
+	} else if dLon < -180 {
+		dLon += 360
+	}
+	dLat := a.Lat - b.Lat
+	return math.Sqrt(dLon*dLon + dLat*dLat)
+}
+
+// Intersects reports whether two point geometries are within the given
+// precision (tolerance, in degrees) of each other — the semantics of
+// Virtuoso's bif:st_intersects for points as used in the paper's
+// queries (e.g. precision 0.3 for "near the Mole Antonelliana").
+func Intersects(a, b Point, precision float64) bool {
+	return DegreeDistance(a, b) <= precision
+}
+
+// EarthRadiusKm is the mean Earth radius.
+const EarthRadiusKm = 6371.0088
+
+// HaversineKm returns the great-circle distance between two points in
+// kilometers. Used for human-readable distances in the mashup UI.
+func HaversineKm(a, b Point) float64 {
+	la1, lo1 := a.Lat*math.Pi/180, a.Lon*math.Pi/180
+	la2, lo2 := b.Lat*math.Pi/180, b.Lon*math.Pi/180
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// BBox is an axis-aligned bounding box in degrees.
+type BBox struct {
+	MinLon, MinLat, MaxLon, MaxLat float64
+}
+
+// Contains reports whether p lies inside the box (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.Lon >= b.MinLon && p.Lon <= b.MaxLon &&
+		p.Lat >= b.MinLat && p.Lat <= b.MaxLat
+}
+
+// Expand grows the box by d degrees on every side.
+func (b BBox) Expand(d float64) BBox {
+	return BBox{b.MinLon - d, b.MinLat - d, b.MaxLon + d, b.MaxLat + d}
+}
+
+// BoxAround returns the bounding box of the circle of radius r degrees
+// centered on p (clamped to valid latitudes, longitudes unwrapped).
+func BoxAround(p Point, r float64) BBox {
+	return BBox{
+		MinLon: p.Lon - r,
+		MinLat: math.Max(-90, p.Lat-r),
+		MaxLon: p.Lon + r,
+		MaxLat: math.Min(90, p.Lat+r),
+	}
+}

@@ -1,0 +1,239 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Landmarks used across the test suite (also the paper's running
+// example, the Mole Antonelliana in Turin).
+var (
+	mole  = Point{Lon: 7.6934, Lat: 45.0690}
+	turin = Point{Lon: 7.6869, Lat: 45.0703}
+	rome  = Point{Lon: 12.4964, Lat: 41.9028}
+)
+
+func TestWKTRoundTrip(t *testing.T) {
+	tests := []Point{mole, {0, 0}, {-180, -90}, {180, 90}, {7.5, -0.25}}
+	for _, p := range tests {
+		got, err := ParseWKT(p.WKT())
+		if err != nil {
+			t.Fatalf("ParseWKT(%q): %v", p.WKT(), err)
+		}
+		if got != p {
+			t.Errorf("round trip %v != %v", got, p)
+		}
+	}
+}
+
+func TestParseWKTVariants(t *testing.T) {
+	ok := []string{"POINT(7.6934 45.0690)", "point( 7.6934  45.0690 )", "  POINT (7 45) "}
+	for _, s := range ok {
+		if _, err := ParseWKT(s); err != nil {
+			t.Errorf("rejected %q: %v", s, err)
+		}
+	}
+	bad := []string{"", "POINT()", "POINT(1)", "POINT(1 2 3)", "LINESTRING(0 0,1 1)", "POINT(x y)", "POINT 1 2"}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestIntersectsPaperSemantics(t *testing.T) {
+	// §2.3: content within 0.3 degrees of the Mole is "near" it.
+	if !Intersects(mole, turin, 0.3) {
+		t.Error("central Turin should intersect the Mole at precision 0.3")
+	}
+	if Intersects(mole, rome, 0.3) {
+		t.Error("Rome should not intersect the Mole at precision 0.3")
+	}
+	if !Intersects(mole, mole, 0) {
+		t.Error("a point intersects itself at precision 0")
+	}
+	if Intersects(mole, turin, -1) {
+		t.Error("negative precision should never intersect")
+	}
+}
+
+func TestDegreeDistanceAntimeridian(t *testing.T) {
+	a := Point{Lon: 179.9, Lat: 0}
+	b := Point{Lon: -179.9, Lat: 0}
+	if d := DegreeDistance(a, b); math.Abs(d-0.2) > 1e-9 {
+		t.Errorf("antimeridian distance = %f, want 0.2", d)
+	}
+}
+
+func TestHaversineKnown(t *testing.T) {
+	// Turin–Rome is about 525 km great-circle.
+	d := HaversineKm(turin, rome)
+	if d < 500 || d > 560 {
+		t.Errorf("Turin-Rome = %f km, want ~525", d)
+	}
+	if HaversineKm(mole, mole) != 0 {
+		t.Error("self distance should be 0")
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, p := range []Point{mole, {0, 0}, {-180, -90}, {180, 90}} {
+		if !p.Valid() {
+			t.Errorf("%v should be valid", p)
+		}
+	}
+	for _, p := range []Point{{181, 0}, {0, 91}, {math.NaN(), 0}, {0, math.NaN()}} {
+		if p.Valid() {
+			t.Errorf("%v should be invalid", p)
+		}
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := BoxAround(mole, 0.5)
+	if !b.Contains(mole) || !b.Contains(turin) {
+		t.Error("box should contain nearby points")
+	}
+	if b.Contains(rome) {
+		t.Error("box should not contain Rome")
+	}
+	e := b.Expand(10)
+	if !e.Contains(rome) {
+		t.Error("expanded box should contain Rome")
+	}
+	// Latitude clamping at the poles.
+	polar := BoxAround(Point{Lon: 0, Lat: 89.9}, 1)
+	if polar.MaxLat > 90 {
+		t.Errorf("MaxLat = %f, want clamped to 90", polar.MaxLat)
+	}
+}
+
+// Property: degree distance is a symmetric non-negative function with
+// identity of indiscernibles on the unwrapped domain.
+func TestQuickDegreeDistanceMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Point{Lon: r.Float64()*360 - 180, Lat: r.Float64()*180 - 90}
+		b := Point{Lon: r.Float64()*360 - 180, Lat: r.Float64()*180 - 90}
+		d1, d2 := DegreeDistance(a, b), DegreeDistance(b, a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9 && DegreeDistance(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexInsertRemoveLookup(t *testing.T) {
+	ix := NewIndex(0.5)
+	ix.Insert(1, mole)
+	ix.Insert(2, turin)
+	ix.Insert(3, rome)
+	if ix.Len() != 3 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	if p, ok := ix.Lookup(2); !ok || p != turin {
+		t.Fatalf("lookup = %v %v", p, ok)
+	}
+	if !ix.Remove(3) || ix.Remove(3) {
+		t.Fatal("remove semantics broken")
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("len after remove = %d", ix.Len())
+	}
+	// Re-insert moves the id: 1 leaves the Mole's neighbourhood.
+	ix.Insert(1, rome)
+	for _, id := range ix.Within(mole, 0.1) {
+		if id == 1 {
+			t.Fatal("moved id still found near old location")
+		}
+	}
+	if got := ix.Within(rome, 0.1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("moved id not found at new location: %v", got)
+	}
+}
+
+func TestIndexWithin(t *testing.T) {
+	ix := NewIndex(0.5)
+	ix.Insert(1, mole)
+	ix.Insert(2, turin)
+	ix.Insert(3, rome)
+	got := ix.Within(mole, 0.3)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Within = %v, want [1 2]", got)
+	}
+	if got := ix.Within(rome, 0.1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Within(rome) = %v", got)
+	}
+	if got := ix.Within(Point{0, 0}, 0.1); len(got) != 0 {
+		t.Fatalf("Within(origin) = %v", got)
+	}
+}
+
+func TestIndexNearest(t *testing.T) {
+	ix := NewIndex(0.5)
+	ix.Insert(1, mole)
+	ix.Insert(2, turin)
+	ix.Insert(3, rome)
+	got := ix.Nearest(mole, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Nearest = %v, want [1 2]", got)
+	}
+	all := ix.Nearest(mole, 10)
+	if len(all) != 3 || all[2] != 3 {
+		t.Fatalf("Nearest all = %v", all)
+	}
+	if ix.Nearest(mole, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+// Property: the grid index agrees with a brute-force scan.
+func TestQuickIndexAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := NewIndex(0.25 + r.Float64())
+		n := 1 + r.Intn(60)
+		pts := make(map[uint64]Point, n)
+		for i := 0; i < n; i++ {
+			p := Point{Lon: r.Float64()*20 - 10, Lat: r.Float64()*20 - 10}
+			id := uint64(i)
+			pts[id] = p
+			ix.Insert(id, p)
+		}
+		center := Point{Lon: r.Float64()*20 - 10, Lat: r.Float64()*20 - 10}
+		radius := r.Float64() * 3
+		got := ix.Within(center, radius)
+		want := map[uint64]bool{}
+		for id, p := range pts {
+			if Intersects(center, p, radius) {
+				want[id] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, id := range got {
+			if !want[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIndexWithin(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ix := NewIndex(0.5)
+	for i := 0; i < 10000; i++ {
+		ix.Insert(uint64(i), Point{Lon: 7 + r.Float64(), Lat: 45 + r.Float64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Within(mole, 0.3)
+	}
+}

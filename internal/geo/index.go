@@ -1,0 +1,159 @@
+package geo
+
+import "sort"
+
+// Index is a uniform-grid spatial index over point geometries keyed by
+// an opaque uint64 id (the store's term id). It supports the radius
+// queries issued by bif:st_intersects filters without scanning every
+// geometry. The zero value is not usable; call NewIndex.
+type Index struct {
+	cell  float64
+	cells map[cellKey][]entry
+	byID  map[uint64]Point
+}
+
+type cellKey struct{ x, y int32 }
+
+type entry struct {
+	id uint64
+	pt Point
+}
+
+// NewIndex returns an index with the given cell size in degrees.
+// Cell sizes comparable to the typical query radius (0.2–1.0 in the
+// paper's queries) keep candidate lists short.
+func NewIndex(cellDegrees float64) *Index {
+	if cellDegrees <= 0 {
+		cellDegrees = 0.5
+	}
+	return &Index{
+		cell:  cellDegrees,
+		cells: make(map[cellKey][]entry),
+		byID:  make(map[uint64]Point),
+	}
+}
+
+func (ix *Index) key(p Point) cellKey {
+	return cellKey{
+		x: int32(fastFloor(p.Lon / ix.cell)),
+		y: int32(fastFloor(p.Lat / ix.cell)),
+	}
+}
+
+func fastFloor(f float64) int {
+	i := int(f)
+	if f < 0 && float64(i) != f {
+		i--
+	}
+	return i
+}
+
+// Insert adds or moves id to point p.
+func (ix *Index) Insert(id uint64, p Point) {
+	if old, ok := ix.byID[id]; ok {
+		ix.removeFromCell(id, old)
+	}
+	ix.byID[id] = p
+	k := ix.key(p)
+	ix.cells[k] = append(ix.cells[k], entry{id: id, pt: p})
+}
+
+// Remove deletes id, reporting whether it was present.
+func (ix *Index) Remove(id uint64) bool {
+	p, ok := ix.byID[id]
+	if !ok {
+		return false
+	}
+	delete(ix.byID, id)
+	ix.removeFromCell(id, p)
+	return true
+}
+
+func (ix *Index) removeFromCell(id uint64, p Point) {
+	k := ix.key(p)
+	es := ix.cells[k]
+	for i, e := range es {
+		if e.id == id {
+			es[i] = es[len(es)-1]
+			es = es[:len(es)-1]
+			break
+		}
+	}
+	if len(es) == 0 {
+		delete(ix.cells, k)
+	} else {
+		ix.cells[k] = es
+	}
+}
+
+// Lookup returns the point stored for id.
+func (ix *Index) Lookup(id uint64) (Point, bool) {
+	p, ok := ix.byID[id]
+	return p, ok
+}
+
+// Len returns the number of indexed geometries.
+func (ix *Index) Len() int { return len(ix.byID) }
+
+// Within returns the ids of all points within radius degrees of
+// center, sorted ascending for determinism.
+func (ix *Index) Within(center Point, radius float64) []uint64 {
+	if radius < 0 {
+		return nil
+	}
+	box := BoxAround(center, radius)
+	minK := ix.key(Point{Lon: box.MinLon, Lat: box.MinLat})
+	maxK := ix.key(Point{Lon: box.MaxLon, Lat: box.MaxLat})
+	var out []uint64
+	for x := minK.x; x <= maxK.x; x++ {
+		for y := minK.y; y <= maxK.y; y++ {
+			for _, e := range ix.cells[cellKey{x, y}] {
+				if Intersects(center, e.pt, radius) {
+					out = append(out, e.id)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nearest returns up to k ids ordered by increasing degree distance
+// from center, expanding the search ring by ring. Ties break by id.
+func (ix *Index) Nearest(center Point, k int) []uint64 {
+	if k <= 0 || len(ix.byID) == 0 {
+		return nil
+	}
+	type cand struct {
+		id uint64
+		d  float64
+	}
+	var cands []cand
+	// Expand rings until we have k candidates whose distance is within
+	// the guaranteed-covered radius, or the whole index is scanned.
+	for ring := 1; ; ring++ {
+		r := float64(ring) * ix.cell
+		ids := ix.Within(center, r)
+		cands = cands[:0]
+		for _, id := range ids {
+			cands = append(cands, cand{id, DegreeDistance(center, ix.byID[id])})
+		}
+		if len(cands) >= k || len(ids) == len(ix.byID) || r > 360 {
+			break
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]uint64, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package infer provides RDFS forward-chaining materialization over
+// the quad store. §2.3 notes that semantic virtual-album queries can
+// "also rely on inference capabilities"; this package implements the
+// core RDFS entailment rules so that, e.g., a query for lgdo:Amenity
+// finds every lgdo:Restaurant without enumerating subclasses.
+//
+// Supported rules (RDFS entailment, W3C numbering):
+//
+//	rdfs2  (p domain C)    + (s p o)  => (s type C)
+//	rdfs3  (p range C)     + (s p o)  => (o type C)   [o an IRI/bnode]
+//	rdfs5  subPropertyOf transitivity
+//	rdfs7  (p subPropertyOf q) + (s p o) => (s q o)
+//	rdfs9  (C subClassOf D) + (s type C) => (s type D)
+//	rdfs11 subClassOf transitivity
+package infer
+
+import (
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// RDFS vocabulary.
+const (
+	SubClassOf    = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	SubPropertyOf = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+	Domain        = "http://www.w3.org/2000/01/rdf-schema#domain"
+	Range         = "http://www.w3.org/2000/01/rdf-schema#range"
+)
+
+// InferredGraph is the named graph materialized triples are written
+// to, keeping them separable from asserted data.
+const InferredGraph = "http://beta.teamlife.it/graphs/inferred"
+
+// Stats reports one materialization run.
+type Stats struct {
+	// Rounds is the number of fixpoint iterations.
+	Rounds int
+	// Added is the number of inferred quads written.
+	Added int
+}
+
+// Materialize computes the RDFS closure of st and writes inferred
+// triples into InferredGraph. It is incremental-safe: re-running after
+// new assertions only adds missing consequences (the store ignores
+// duplicates).
+func Materialize(st *store.Store) (Stats, error) {
+	stats := Stats{}
+	typ := rdf.NewIRI(rdf.RDFType)
+	inferred := rdf.NewIRI(InferredGraph)
+
+	// exists reports presence in any graph.
+	exists := func(s, p, o rdf.Term) bool {
+		found := false
+		st.Match(s, p, o, rdf.Term{}, func(rdf.Quad) bool {
+			found = true
+			return false
+		})
+		return found
+	}
+
+	for {
+		stats.Rounds++
+		var pending []rdf.Triple
+		consider := func(s, p, o rdf.Term) {
+			if s.IsLiteral() || s.IsZero() || o.IsZero() {
+				return
+			}
+			if !exists(s, p, o) {
+				pending = append(pending, rdf.Triple{S: s, P: p, O: o})
+			}
+		}
+
+		// Schema snapshot for this round.
+		subClass := collect(st, SubClassOf)
+		subProp := collect(st, SubPropertyOf)
+		domains := collect(st, Domain)
+		ranges := collect(st, Range)
+
+		// rdfs11: subClassOf transitivity.
+		for c, supers := range subClass {
+			for _, d := range supers {
+				for _, e := range subClass[d] {
+					consider(c, rdf.NewIRI(SubClassOf), e)
+				}
+			}
+		}
+		// rdfs5: subPropertyOf transitivity.
+		for p, supers := range subProp {
+			for _, q := range supers {
+				for _, r := range subProp[q] {
+					consider(p, rdf.NewIRI(SubPropertyOf), r)
+				}
+			}
+		}
+		// rdfs9: class membership propagation.
+		for c, supers := range subClass {
+			for _, s := range st.Subjects(typ, c) {
+				for _, d := range supers {
+					consider(s, typ, d)
+				}
+			}
+		}
+		// rdfs7: property propagation.
+		for p, supers := range subProp {
+			st.Match(rdf.Term{}, p, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+				for _, super := range supers {
+					if !super.IsIRI() {
+						continue
+					}
+					if q.O.IsLiteral() {
+						// Literal objects propagate too (rdfs7 has no
+						// restriction); exists() handles dedup.
+						if !exists(q.S, super, q.O) {
+							pending = append(pending, rdf.Triple{S: q.S, P: super, O: q.O})
+						}
+						continue
+					}
+					consider(q.S, super, q.O)
+				}
+				return true
+			})
+		}
+		// rdfs2/rdfs3: domain and range typing.
+		for p, classes := range domains {
+			st.Match(rdf.Term{}, p, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+				for _, c := range classes {
+					consider(q.S, typ, c)
+				}
+				return true
+			})
+		}
+		for p, classes := range ranges {
+			st.Match(rdf.Term{}, p, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+				if q.O.IsLiteral() {
+					return true
+				}
+				for _, c := range classes {
+					consider(q.O, typ, c)
+				}
+				return true
+			})
+		}
+
+		if len(pending) == 0 {
+			return stats, nil
+		}
+		tx := st.Begin()
+		for _, t := range pending {
+			if err := tx.Add(rdf.Quad{S: t.S, P: t.P, O: t.O, G: inferred}); err != nil {
+				return stats, err
+			}
+		}
+		added, _, err := tx.Commit()
+		if err != nil {
+			return stats, err
+		}
+		stats.Added += added
+		if added == 0 {
+			return stats, nil
+		}
+	}
+}
+
+// collect builds predicate -> subject -> objects for a schema
+// predicate, deduplicated.
+func collect(st *store.Store, predicate string) map[rdf.Term][]rdf.Term {
+	out := map[rdf.Term][]rdf.Term{}
+	p := rdf.NewIRI(predicate)
+	st.Match(rdf.Term{}, p, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		out[q.S] = append(out[q.S], q.O)
+		return true
+	})
+	return out
+}
+
+// Retract removes every inferred triple (the InferredGraph), e.g.
+// before re-materializing after schema changes.
+func Retract(st *store.Store) int {
+	inferred := rdf.NewIRI(InferredGraph)
+	quads := st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, inferred)
+	n := 0
+	for _, q := range quads {
+		if st.Remove(q) {
+			n++
+		}
+	}
+	return n
+}

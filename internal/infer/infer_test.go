@@ -1,0 +1,179 @@
+package infer
+
+import (
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+func addT(t *testing.T, st *store.Store, s, p, o rdf.Term) {
+	t.Helper()
+	if _, err := st.AddTriple(rdf.Triple{S: s, P: p, O: o}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ontologyStore: Restaurant ⊑ Amenity ⊑ POI; servesCuisine has domain
+// Restaurant; locatedIn has range Place; hasLabel ⊑ label.
+func ontologyStore(t *testing.T) *store.Store {
+	st := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	sub := rdf.NewIRI(SubClassOf)
+	subp := rdf.NewIRI(SubPropertyOf)
+	addT(t, st, iri("Restaurant"), sub, iri("Amenity"))
+	addT(t, st, iri("Amenity"), sub, iri("POI"))
+	addT(t, st, iri("servesCuisine"), rdf.NewIRI(Domain), iri("Restaurant"))
+	addT(t, st, iri("locatedIn"), rdf.NewIRI(Range), iri("Place"))
+	addT(t, st, iri("hasLabel"), subp, rdf.NewIRI(rdf.RDFSLabel))
+
+	addT(t, st, iri("trattoria"), typ, iri("Restaurant"))
+	addT(t, st, iri("mystery"), iri("servesCuisine"), rdf.NewLiteral("piemontese"))
+	addT(t, st, iri("trattoria"), iri("locatedIn"), iri("Turin"))
+	addT(t, st, iri("trattoria"), iri("hasLabel"), rdf.NewLiteral("Trattoria del Ponte"))
+	return st
+}
+
+func TestMaterializeSubClassChain(t *testing.T) {
+	st := ontologyStore(t)
+	stats, err := Materialize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added == 0 {
+		t.Fatal("nothing inferred")
+	}
+	typ := rdf.NewIRI(rdf.RDFType)
+	// rdfs9 + rdfs11: the trattoria is an Amenity and a POI.
+	for _, c := range []string{"Amenity", "POI"} {
+		found := false
+		for _, ty := range st.Objects(iri("trattoria"), typ) {
+			if ty == iri(c) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trattoria not inferred as %s", c)
+		}
+	}
+}
+
+func TestMaterializeDomainRange(t *testing.T) {
+	st := ontologyStore(t)
+	if _, err := Materialize(st); err != nil {
+		t.Fatal(err)
+	}
+	typ := rdf.NewIRI(rdf.RDFType)
+	// rdfs2: mystery servesCuisine => mystery is a Restaurant (and
+	// transitively a POI).
+	types := st.Objects(iri("mystery"), typ)
+	want := map[rdf.Term]bool{iri("Restaurant"): false, iri("Amenity"): false, iri("POI"): false}
+	for _, ty := range types {
+		if _, ok := want[ty]; ok {
+			want[ty] = true
+		}
+	}
+	for c, seen := range want {
+		if !seen {
+			t.Errorf("mystery missing inferred type %v", c)
+		}
+	}
+	// rdfs3: Turin is a Place.
+	foundPlace := false
+	for _, ty := range st.Objects(iri("Turin"), typ) {
+		if ty == iri("Place") {
+			foundPlace = true
+		}
+	}
+	if !foundPlace {
+		t.Error("range rule did not type Turin as Place")
+	}
+}
+
+func TestMaterializeSubProperty(t *testing.T) {
+	st := ontologyStore(t)
+	if _, err := Materialize(st); err != nil {
+		t.Fatal(err)
+	}
+	// rdfs7: hasLabel propagates to rdfs:label (literal object).
+	labels := st.Objects(iri("trattoria"), rdf.NewIRI(rdf.RDFSLabel))
+	if len(labels) != 1 || labels[0].Value() != "Trattoria del Ponte" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestMaterializeIdempotent(t *testing.T) {
+	st := ontologyStore(t)
+	first, err := Materialize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Materialize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Added != 0 {
+		t.Fatalf("second run added %d (first added %d)", second.Added, first.Added)
+	}
+}
+
+func TestInferredTriplesLiveInNamedGraph(t *testing.T) {
+	st := ontologyStore(t)
+	Materialize(st)
+	g := rdf.NewIRI(InferredGraph)
+	n := len(st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, g))
+	if n == 0 {
+		t.Fatal("inferred graph empty")
+	}
+	// Retract removes exactly those.
+	before := st.Len()
+	removed := Retract(st)
+	if removed != n {
+		t.Fatalf("retracted %d of %d", removed, n)
+	}
+	if st.Len() != before-n {
+		t.Fatalf("store len = %d", st.Len())
+	}
+}
+
+func TestInferenceEnablesBroaderQueries(t *testing.T) {
+	// §2.3: queries "also relying on inference capabilities" — asking
+	// for POIs finds restaurants without naming the subclass.
+	st := ontologyStore(t)
+	e := sparql.NewEngine(st)
+	res, _ := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s a ex:POI }`)
+	if len(res.Solutions) != 0 {
+		t.Fatal("POIs found before materialization")
+	}
+	Materialize(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s a ex:POI } ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 { // trattoria + mystery
+		t.Fatalf("POIs after inference = %v", res.Solutions)
+	}
+}
+
+func TestCycleInSchemaTerminates(t *testing.T) {
+	st := store.New()
+	sub := rdf.NewIRI(SubClassOf)
+	addT(t, st, iri("A"), sub, iri("B"))
+	addT(t, st, iri("B"), sub, iri("A")) // cycle
+	addT(t, st, iri("x"), rdf.NewIRI(rdf.RDFType), iri("A"))
+	stats, err := Materialize(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 10 {
+		t.Fatalf("rounds = %d, fixpoint too slow", stats.Rounds)
+	}
+	// x is typed both A and B.
+	types := st.Objects(iri("x"), rdf.NewIRI(rdf.RDFType))
+	if len(types) != 2 {
+		t.Fatalf("types = %v", types)
+	}
+}

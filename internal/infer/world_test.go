@@ -1,0 +1,55 @@
+package infer
+
+import (
+	"testing"
+
+	"lodify/internal/lod"
+	"lodify/internal/sparql"
+)
+
+// TestInferenceOverLODWorld materializes the full synthetic LOD world
+// and checks that superclass queries (the "inference capabilities" of
+// §2.3) cover both restaurants and tourism POIs at once.
+func TestInferenceOverLODWorld(t *testing.T) {
+	cfg := lod.DefaultConfig()
+	w := lod.Generate(cfg)
+	e := sparql.NewEngine(w.Store)
+
+	before, err := e.Query(`PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+SELECT ?s WHERE { ?s a lgdo:POI }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Solutions) != 0 {
+		t.Fatalf("POIs before inference = %d", len(before.Solutions))
+	}
+
+	stats, err := Materialize(w.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Added == 0 {
+		t.Fatal("nothing materialized over the world")
+	}
+
+	after, err := e.Query(`PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+SELECT ?s WHERE { ?s a lgdo:POI }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (cfg.RestaurantsPerCity + cfg.TourismPerCity) * 8 // 8 seed cities
+	if len(after.Solutions) != want {
+		t.Fatalf("POIs after inference = %d, want %d", len(after.Solutions), want)
+	}
+
+	// dbpo:Place now covers museums, castles etc. via the class tree:
+	// every landmark plus cities, towns and the LGD city typing.
+	places, err := e.Query(`PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s a dbpo:Place }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if places.Solutions[0]["n"].Value() == "0" {
+		t.Fatal("no places after inference")
+	}
+}

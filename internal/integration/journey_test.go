@@ -1,0 +1,205 @@
+// Package integration drives the complete user journey of the paper
+// end-to-end through public APIs only: registration, social graph,
+// POI search, mobile upload with context, automatic annotation,
+// virtual albums, the mobile search + mashup HTTP flows, feeds,
+// legacy batch processing, and federation — one continuous story.
+package integration
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lodify/internal/album"
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/federation"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/social"
+	"lodify/internal/ugc"
+	"lodify/internal/web"
+)
+
+func TestFullPlatformJourney(t *testing.T) {
+	day := time.Date(2011, 9, 17, 9, 0, 0, 0, time.UTC)
+	mole := geo.Point{Lon: 7.6934, Lat: 45.0690}
+
+	// ---- Boot the platform over the LOD world ----
+	world := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(world)
+	broker := resolver.DefaultBroker(world.Store)
+	pipe := annotate.NewPipeline(world.Store, broker, annotate.DefaultConfig())
+	platform := ugc.New(world.Store, ctx, pipe, ugc.Options{})
+	networks := social.DefaultNetworks()
+	for _, n := range networks {
+		platform.AddCrossPoster(n)
+	}
+
+	// ---- OpenID sign-in ----
+	provider := social.NewOpenIDProvider()
+	if err := provider.Enroll("https://openid.example/oscar", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	token, err := provider.Assert("https://openid.example/oscar", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity, err := provider.Verify(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := platform.Register("oscar", "Oscar Rodriguez", identity); err != nil {
+		t.Fatal(err)
+	}
+	platform.Register("walter", "Walter Goix", "")
+	platform.Register("carmen", "Carmen Criminisi", "")
+	platform.AddFriend("walter", "oscar")
+	platform.AddFriend("oscar", "walter")
+
+	// Walter is in town; the context platform knows.
+	platform.Ctx.UpdatePresence("walter", geo.Point{Lon: 7.6936, Lat: 45.0692}, day)
+
+	// ---- Mobile flow: search POI, upload with tags + POI ----
+	pois := platform.SearchPOIs(mole, "Mole", 1)
+	if len(pois) != 1 {
+		t.Fatalf("POI search = %v", pois)
+	}
+	content, err := platform.Publish(ugc.Upload{
+		User: "oscar", Filename: "mole.jpg",
+		Title: "Tramonto sulla Mole Antonelliana",
+		Tags:  []string{"torino", "tramonto", "poi:recs_id=" + pois[0].ID},
+		GPS:   &mole, TakenAt: day,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-posted everywhere.
+	for _, n := range networks {
+		if len(n.Posts()) != 1 {
+			t.Fatalf("%s posts = %d", n.Name(), len(n.Posts()))
+		}
+	}
+	// Context saw walter nearby.
+	foundBuddy := false
+	for _, tag := range content.ContextTags {
+		if tag.Namespace == "people" && strings.Contains(tag.Value, "Walter") {
+			foundBuddy = true
+		}
+	}
+	if !foundBuddy {
+		t.Fatalf("no people:fn tag: %v", content.ContextTags)
+	}
+	// The pipeline linked the Mole; the POI tag resolved too.
+	if len(content.AutoAnnotations()) == 0 || len(content.POIs) != 1 {
+		t.Fatalf("annotations = %v, POIs = %v", content.Annotations, content.POIs)
+	}
+
+	// ---- Social interactions ----
+	platform.Rate(content.ID, 5)
+	platform.Comment(content.ID, "walter", "che bella!")
+	platform.AnnotateRegion(content.ID, "oscar", ugc.Region{X: 5, Y: 5, W: 50, H: 80}, "Mole Antonelliana")
+
+	// ---- Virtual album: the §2.3 query 3 finds it ----
+	a := album.NearMonumentByFriendsRated(platform.Store, "Mole Antonelliana", "it", 0.3, "walter")
+	items, err := a.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].MediaURL != content.MediaURL {
+		t.Fatalf("album = %v", items)
+	}
+
+	// ---- Web interface: search, resource view, mashup, feed ----
+	srv := web.NewServer(platform)
+	do := func(url string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	rec := do("/api/search?q=Mole")
+	var cands []web.SearchCandidate
+	json.Unmarshal(rec.Body.Bytes(), &cands)
+	var moleIRI string
+	for _, c := range cands {
+		if c.Label == "Mole Antonelliana" && c.Contents > 0 {
+			moleIRI = c.Resource
+		}
+	}
+	if moleIRI == "" {
+		t.Fatalf("Mole not searchable: %+v", cands)
+	}
+	rec = do("/api/resource?iri=" + moleIRI)
+	var listing []web.ResourceContent
+	json.Unmarshal(rec.Body.Bytes(), &listing)
+	if len(listing) == 0 {
+		t.Fatalf("resource listing empty for %s", moleIRI)
+	}
+	rec = do("/api/about?pid=1")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "Restaurant") {
+		t.Fatalf("mashup: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = do("/feeds/keyword/torino")
+	if !strings.Contains(rec.Body.String(), content.MediaURL) {
+		t.Fatal("feed missing the content")
+	}
+
+	// ---- Legacy batch processing ----
+	// Simulate pre-semantic content arriving via the relational DB.
+	legacy, err := platform.Publish(ugc.Upload{
+		User: "carmen", Filename: "old.jpg",
+		Title: "Colosseo al tramonto", GPS: &geo.Point{Lon: 12.4922, Lat: 41.8902},
+		TakenAt: day.Add(-24 * time.Hour), SkipAnnotation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := platform.BatchAnnotate(0)
+	if report.Annotated != 1 {
+		t.Fatalf("batch = %+v", report)
+	}
+	lc, _ := platform.Content(legacy.ID)
+	if len(lc.AutoAnnotations()) == 0 {
+		t.Fatal("legacy content not annotated by batch")
+	}
+
+	// ---- Federation: publish flows to a remote subscriber ----
+	net := federation.NewNetwork()
+	node := federation.NewNode("home.example", platform, net)
+	delivered := make(chan string, 4)
+	net.Register("friendnode.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			w.Write([]byte(r.URL.Query().Get("hub.challenge")))
+			return
+		}
+		var buf strings.Builder
+		b := make([]byte, 4096)
+		n, _ := r.Body.Read(b)
+		buf.Write(b[:n])
+		delivered <- buf.String()
+		w.WriteHeader(http.StatusOK)
+	}))
+	if err := federation.SubscribeRemote(net.Client(), "http://home.example/hub",
+		node.TopicURL(), "http://friendnode.example/cb"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.PublishContent(ugc.Upload{
+		User: "oscar", Filename: "federated.jpg", Title: "shared with the federation",
+		TakenAt: day.Add(2 * time.Hour),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case payload := <-delivered:
+		if !strings.Contains(payload, "federated.jpg") {
+			t.Fatalf("push payload = %s", payload)
+		}
+	default:
+		t.Fatal("no push delivered")
+	}
+}

@@ -1,0 +1,170 @@
+// Package langdetect identifies the language of short texts using the
+// Cavnar-Trenkle n-gram rank-order statistics method ("N-Gram-Based
+// Text Categorization", SDAIR-94) — the algorithm behind the PEAR
+// Text_LanguageDetect package the paper uses to identify content-title
+// languages before morphological analysis (§2.2.2, Fig. 1).
+//
+// Profiles for English, Italian, French, Spanish, German and
+// Portuguese are built at init time from embedded training text.
+package langdetect
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// maxNGram is the longest n-gram tracked (Cavnar-Trenkle use 1..5).
+const maxNGram = 5
+
+// profileSize is the number of top-ranked n-grams kept per profile.
+const profileSize = 400
+
+// outOfPlaceMax is the penalty for an n-gram missing from a profile.
+const outOfPlaceMax = profileSize
+
+// Detector classifies text against a set of language profiles.
+type Detector struct {
+	profiles map[string]map[string]int // lang -> ngram -> rank
+	langs    []string
+}
+
+// Result is a scored language guess. Lower distance is better;
+// Confidence is normalized to [0,1] against the worst possible score.
+type Result struct {
+	Lang       string
+	Distance   int
+	Confidence float64
+}
+
+// New returns a detector with the built-in language profiles.
+func New() *Detector {
+	d := &Detector{profiles: make(map[string]map[string]int)}
+	for lang, text := range trainingText {
+		d.Train(lang, text)
+	}
+	return d
+}
+
+// NewEmpty returns a detector with no profiles (train your own).
+func NewEmpty() *Detector {
+	return &Detector{profiles: make(map[string]map[string]int)}
+}
+
+// Train builds (or replaces) the profile for lang from sample text.
+func (d *Detector) Train(lang, text string) {
+	prof := buildProfile(text, profileSize)
+	if _, exists := d.profiles[lang]; !exists {
+		d.langs = append(d.langs, lang)
+		sort.Strings(d.langs)
+	}
+	d.profiles[lang] = prof
+}
+
+// Languages returns the trained language codes, sorted.
+func (d *Detector) Languages() []string {
+	out := make([]string, len(d.langs))
+	copy(out, d.langs)
+	return out
+}
+
+// Detect returns the best language for text, with "" for inputs too
+// short or symbol-only to classify.
+func (d *Detector) Detect(text string) string {
+	rs := d.Rank(text)
+	if len(rs) == 0 {
+		return ""
+	}
+	return rs[0].Lang
+}
+
+// Rank scores text against every profile, best first.
+func (d *Detector) Rank(text string) []Result {
+	grams := ngramRanks(text)
+	if len(grams) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, len(d.langs))
+	worst := len(grams) * outOfPlaceMax
+	for _, lang := range d.langs {
+		prof := d.profiles[lang]
+		dist := 0
+		for g, rank := range grams {
+			if prank, ok := prof[g]; ok {
+				delta := rank - prank
+				if delta < 0 {
+					delta = -delta
+				}
+				dist += delta
+			} else {
+				dist += outOfPlaceMax
+			}
+		}
+		conf := 0.0
+		if worst > 0 {
+			conf = 1 - float64(dist)/float64(worst)
+		}
+		out = append(out, Result{Lang: lang, Distance: dist, Confidence: conf})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out
+}
+
+// ngramRanks builds the rank map of the input document.
+func ngramRanks(text string) map[string]int {
+	counts := ngramCounts(text)
+	type gc struct {
+		g string
+		c int
+	}
+	list := make([]gc, 0, len(counts))
+	for g, c := range counts {
+		list = append(list, gc{g, c})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].c != list[j].c {
+			return list[i].c > list[j].c
+		}
+		return list[i].g < list[j].g
+	})
+	if len(list) > profileSize {
+		list = list[:profileSize]
+	}
+	out := make(map[string]int, len(list))
+	for rank, e := range list {
+		out[e.g] = rank
+	}
+	return out
+}
+
+func buildProfile(text string, size int) map[string]int {
+	ranks := ngramRanks(text)
+	if len(ranks) > size {
+		// ngramRanks already truncated to profileSize.
+		_ = size
+	}
+	return ranks
+}
+
+// ngramCounts tokenizes into letter words padded with underscores and
+// counts all 1..5-grams, per the Cavnar-Trenkle construction.
+func ngramCounts(text string) map[string]int {
+	counts := make(map[string]int)
+	for _, word := range splitWords(text) {
+		padded := "_" + word + "_"
+		runes := []rune(padded)
+		for n := 1; n <= maxNGram; n++ {
+			for i := 0; i+n <= len(runes); i++ {
+				counts[string(runes[i:i+n])]++
+			}
+		}
+	}
+	return counts
+}
+
+func splitWords(text string) []string {
+	lower := strings.ToLower(text)
+	return strings.FieldsFunc(lower, func(r rune) bool {
+		return !unicode.IsLetter(r)
+	})
+}

@@ -1,0 +1,132 @@
+package langdetect
+
+import (
+	"testing"
+)
+
+var shared = New()
+
+func TestDetectObviousSentences(t *testing.T) {
+	tests := []struct {
+		text string
+		want string
+	}{
+		{"The weather was sunny and we walked through the park to the museum", "en"},
+		{"Abbiamo visitato il museo e poi siamo andati a cena in un ristorante", "it"},
+		{"Nous avons visité le musée et ensuite nous sommes allés dîner", "fr"},
+		{"Visitamos el museo y luego fuimos a cenar a un restaurante cerca", "es"},
+		{"Wir haben das Museum besucht und sind dann zum Abendessen gegangen", "de"},
+		{"Visitámos o museu e depois fomos jantar a um restaurante perto", "pt"},
+	}
+	for _, tt := range tests {
+		if got := shared.Detect(tt.text); got != tt.want {
+			t.Errorf("Detect(%q) = %q, want %q", tt.text, got, tt.want)
+		}
+	}
+}
+
+func TestDetectShortTitles(t *testing.T) {
+	// Content titles are short; the detector should still lean right
+	// on titles with function words.
+	tests := []struct {
+		text string
+		want string
+	}{
+		{"Sunset over the river with my friends", "en"},
+		{"Tramonto sul fiume con gli amici", "it"},
+		{"Coucher du soleil sur le fleuve avec les amis", "fr"},
+	}
+	for _, tt := range tests {
+		if got := shared.Detect(tt.text); got != tt.want {
+			t.Errorf("Detect(%q) = %q, want %q", tt.text, got, tt.want)
+		}
+	}
+}
+
+func TestDetectEmptyAndSymbols(t *testing.T) {
+	for _, s := range []string{"", "12345", "!!! ???", "   "} {
+		if got := shared.Detect(s); got != "" {
+			t.Errorf("Detect(%q) = %q, want empty", s, got)
+		}
+	}
+}
+
+func TestRankOrderingAndConfidence(t *testing.T) {
+	rs := shared.Rank("la città è bellissima e il panorama è meraviglioso")
+	if len(rs) != len(shared.Languages()) {
+		t.Fatalf("rank size = %d", len(rs))
+	}
+	if rs[0].Lang != "it" {
+		t.Fatalf("best = %+v", rs[0])
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Distance < rs[i-1].Distance {
+			t.Fatal("rank not sorted by distance")
+		}
+	}
+	for _, r := range rs {
+		if r.Confidence < 0 || r.Confidence > 1 {
+			t.Fatalf("confidence out of range: %+v", r)
+		}
+	}
+	if rs[0].Confidence <= rs[len(rs)-1].Confidence {
+		t.Fatal("best guess should have higher confidence than worst")
+	}
+}
+
+func TestLanguagesSorted(t *testing.T) {
+	langs := shared.Languages()
+	if len(langs) != 6 {
+		t.Fatalf("languages = %v", langs)
+	}
+	for i := 1; i < len(langs); i++ {
+		if langs[i] < langs[i-1] {
+			t.Fatalf("not sorted: %v", langs)
+		}
+	}
+}
+
+func TestTrainCustomLanguage(t *testing.T) {
+	d := NewEmpty()
+	d.Train("xx", "zab zab zib zab zob zab zib")
+	d.Train("yy", "mor mor mur mor mir mor mur")
+	if got := d.Detect("zab zib"); got != "xx" {
+		t.Fatalf("custom detect = %q", got)
+	}
+	if got := d.Detect("mor mur"); got != "yy" {
+		t.Fatalf("custom detect = %q", got)
+	}
+}
+
+func TestRetrainReplacesProfile(t *testing.T) {
+	d := NewEmpty()
+	d.Train("xx", "aaa aaa aaa")
+	d.Train("xx", "bbb bbb bbb")
+	if n := len(d.Languages()); n != 1 {
+		t.Fatalf("languages = %d", n)
+	}
+}
+
+func TestNGramCountsPadding(t *testing.T) {
+	counts := ngramCounts("ab")
+	// "_ab_": 1-grams _,a,b,_ ; 2-grams _a,ab,b_ ; 3-grams _ab,ab_ ; 4-gram _ab_
+	if counts["_"] != 2 || counts["ab"] != 1 || counts["_ab_"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestDetectIsDeterministic(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		if got := shared.Detect("una bella giornata a Torino"); got != "it" {
+			t.Fatalf("iteration %d: %q", i, got)
+		}
+	}
+}
+
+func BenchmarkDetectTitle(b *testing.B) {
+	d := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect("Tramonto sulla Mole Antonelliana con gli amici")
+	}
+}

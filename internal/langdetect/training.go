@@ -1,0 +1,110 @@
+package langdetect
+
+// trainingText holds per-language sample corpora the built-in
+// profiles are computed from. The samples mix everyday narrative,
+// tourism vocabulary (the platform's domain) and function words, which
+// dominate the top-ranked n-grams per Cavnar-Trenkle.
+var trainingText = map[string]string{
+	"en": `The city of Turin is the capital of the Piedmont region in
+northern Italy and it was the first capital of the unified country.
+Visitors can walk along the river and climb to the top of the tall
+tower to enjoy the view over the mountains. The museum of cinema is
+one of the most interesting places that you should not miss when you
+travel there with your family or your friends. We took many pictures
+of the old buildings, the churches, the castles and the beautiful
+squares during our holiday. The weather was sunny and warm, so we
+decided to have lunch outside in a small restaurant near the market.
+People were friendly and the food was delicious, especially the
+chocolate and the coffee which are famous in this part of the
+country. After dinner we watched the sunset from the bridge and then
+we walked back to the hotel through the park. It was a wonderful day
+and we will always remember this trip. The next morning we visited
+the royal palace and bought some gifts for our friends at home. There
+is so much history in every street and every building of this town
+that one week is not enough to see everything it has to offer.`,
+
+	"it": `La città di Torino è il capoluogo del Piemonte e fu la prima
+capitale del regno d'Italia. I visitatori possono passeggiare lungo il
+fiume e salire in cima alla torre per godere della vista sulle
+montagne. Il museo del cinema è uno dei luoghi più interessanti che
+non si dovrebbe perdere quando si viaggia con la famiglia o con gli
+amici. Abbiamo scattato molte fotografie dei vecchi palazzi, delle
+chiese, dei castelli e delle belle piazze durante la nostra vacanza.
+Il tempo era soleggiato e caldo, così abbiamo deciso di pranzare
+all'aperto in un piccolo ristorante vicino al mercato. Le persone
+erano gentili e il cibo era delizioso, soprattutto il cioccolato e il
+caffè che sono famosi in questa parte del paese. Dopo cena abbiamo
+guardato il tramonto dal ponte e poi siamo tornati a piedi in albergo
+attraverso il parco. È stata una giornata meravigliosa e ricorderemo
+sempre questo viaggio. La mattina seguente abbiamo visitato il palazzo
+reale e comprato alcuni regali per i nostri amici. C'è così tanta
+storia in ogni strada e in ogni edificio di questa città che una
+settimana non basta per vedere tutto quello che offre.`,
+
+	"fr": `La ville de Turin est la capitale du Piémont et elle fut la
+première capitale du royaume d'Italie. Les visiteurs peuvent se
+promener le long du fleuve et monter au sommet de la tour pour
+profiter de la vue sur les montagnes. Le musée du cinéma est l'un des
+endroits les plus intéressants qu'il ne faut pas manquer quand on
+voyage avec sa famille ou ses amis. Nous avons pris beaucoup de
+photos des vieux bâtiments, des églises, des châteaux et des belles
+places pendant nos vacances. Le temps était ensoleillé et chaud,
+alors nous avons décidé de déjeuner dehors dans un petit restaurant
+près du marché. Les gens étaient aimables et la nourriture était
+délicieuse, surtout le chocolat et le café qui sont célèbres dans
+cette partie du pays. Après le dîner nous avons regardé le coucher du
+soleil depuis le pont et puis nous sommes rentrés à pied à l'hôtel à
+travers le parc. C'était une journée merveilleuse et nous nous
+souviendrons toujours de ce voyage. Le lendemain matin nous avons
+visité le palais royal et acheté quelques cadeaux pour nos amis.`,
+
+	"es": `La ciudad de Turín es la capital del Piamonte y fue la
+primera capital del reino de Italia. Los visitantes pueden pasear a lo
+largo del río y subir a la cima de la torre para disfrutar de la
+vista sobre las montañas. El museo del cine es uno de los lugares más
+interesantes que no se debe perder cuando se viaja con la familia o
+con los amigos. Hicimos muchas fotografías de los viejos edificios,
+de las iglesias, de los castillos y de las hermosas plazas durante
+nuestras vacaciones. El tiempo estaba soleado y cálido, así que
+decidimos almorzar fuera en un pequeño restaurante cerca del mercado.
+La gente era amable y la comida estaba deliciosa, sobre todo el
+chocolate y el café que son famosos en esta parte del país. Después
+de la cena miramos la puesta del sol desde el puente y luego volvimos
+a pie al hotel a través del parque. Fue un día maravilloso y siempre
+recordaremos este viaje. A la mañana siguiente visitamos el palacio
+real y compramos algunos regalos para nuestros amigos.`,
+
+	"de": `Die Stadt Turin ist die Hauptstadt des Piemont und sie war
+die erste Hauptstadt des vereinigten Königreichs Italien. Die
+Besucher können am Fluss entlang spazieren und auf die Spitze des
+hohen Turms steigen, um die Aussicht auf die Berge zu genießen. Das
+Museum des Kinos ist einer der interessantesten Orte, die man nicht
+verpassen sollte, wenn man mit der Familie oder mit Freunden reist.
+Wir haben während unseres Urlaubs viele Fotos von den alten Gebäuden,
+den Kirchen, den Schlössern und den schönen Plätzen gemacht. Das
+Wetter war sonnig und warm, deshalb haben wir beschlossen, draußen in
+einem kleinen Restaurant in der Nähe des Marktes zu Mittag zu essen.
+Die Leute waren freundlich und das Essen war köstlich, besonders die
+Schokolade und der Kaffee, die in diesem Teil des Landes berühmt
+sind. Nach dem Abendessen haben wir den Sonnenuntergang von der
+Brücke aus beobachtet und sind dann durch den Park zu Fuß zum Hotel
+zurückgegangen. Es war ein wunderbarer Tag und wir werden uns immer
+an diese Reise erinnern. Am nächsten Morgen besuchten wir den
+königlichen Palast und kauften einige Geschenke für unsere Freunde.`,
+
+	"pt": `A cidade de Turim é a capital do Piemonte e foi a primeira
+capital do reino da Itália. Os visitantes podem passear ao longo do
+rio e subir ao topo da torre para desfrutar da vista sobre as
+montanhas. O museu do cinema é um dos lugares mais interessantes que
+não se deve perder quando se viaja com a família ou com os amigos.
+Tiramos muitas fotografias dos velhos edifícios, das igrejas, dos
+castelos e das belas praças durante as nossas férias. O tempo estava
+ensolarado e quente, por isso decidimos almoçar fora num pequeno
+restaurante perto do mercado. As pessoas eram simpáticas e a comida
+estava deliciosa, sobretudo o chocolate e o café que são famosos
+nesta parte do país. Depois do jantar olhámos o pôr do sol da ponte e
+depois voltámos a pé para o hotel através do parque. Foi um dia
+maravilhoso e vamos sempre lembrar esta viagem. Na manhã seguinte
+visitámos o palácio real e comprámos alguns presentes para os nossos
+amigos.`,
+}

@@ -1,0 +1,443 @@
+// Package lod builds the Linked Open Data substrate the platform
+// links user content to. The paper imports DBpedia, Geonames and
+// LinkedGeoData dumps into its Virtuoso store (§2.1); this package
+// generates deterministic synthetic equivalents of the slices those
+// datasets contribute — places with multilingual labels and
+// abstracts, types, redirects, disambiguation pages and geometries;
+// Geonames city features; LinkedGeoData restaurants and tourism POIs
+// — so that every downstream code path (resolver candidates, graph
+// priorities, disambiguation-page validation, geo mashups) is
+// exercised exactly as against the real datasets.
+package lod
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// Namespace and graph IRIs mirroring the real providers.
+const (
+	DBpediaResource = "http://dbpedia.org/resource/"
+	DBpediaOntology = "http://dbpedia.org/ontology/"
+	DBpediaGraph    = "http://dbpedia.org"
+
+	GeonamesResource = "http://sws.geonames.org/"
+	GeonamesOntology = "http://www.geonames.org/ontology#"
+	GeonamesGraph    = "http://geonames.org"
+
+	LGDResource = "http://linkedgeodata.org/triplify/"
+	LGDOntology = "http://linkedgeodata.org/ontology/"
+	LGDProperty = "http://linkedgeodata.org/property/"
+	LGDGraph    = "http://linkedgeodata.org"
+)
+
+// Well-known predicates.
+var (
+	pType          = rdf.NewIRI(rdf.RDFType)
+	pLabel         = rdf.NewIRI(rdf.RDFSLabel)
+	pGeom          = rdf.NewIRI(rdf.GeoGeometry)
+	pAbstract      = rdf.NewIRI(DBpediaOntology + "abstract")
+	pRedirects     = rdf.NewIRI(DBpediaOntology + "wikiPageRedirects")
+	pDisambiguates = rdf.NewIRI(DBpediaOntology + "wikiPageDisambiguates")
+	pGNName        = rdf.NewIRI(GeonamesOntology + "name")
+	pGNFeatureCode = rdf.NewIRI(GeonamesOntology + "featureCode")
+	pGNCountry     = rdf.NewIRI(GeonamesOntology + "countryCode")
+	pWebsite       = rdf.NewIRI(LGDProperty + "website")
+)
+
+// City is a seed city with its landmarks.
+type City struct {
+	Name      string
+	Labels    map[string]string // lang -> label
+	Country   string
+	Point     geo.Point
+	GeonameID int
+	Landmarks []Landmark
+}
+
+// Landmark is a notable POI with a DBpedia resource.
+type Landmark struct {
+	Name   string
+	Labels map[string]string
+	Kind   string // DBpedia ontology class local name
+	Point  geo.Point
+}
+
+// Config parameterizes the synthetic generation.
+type Config struct {
+	// RestaurantsPerCity and TourismPerCity control LinkedGeoData
+	// density around each city.
+	RestaurantsPerCity int
+	TourismPerCity     int
+	// Celebrities adds DBpedia person resources.
+	Celebrities int
+	// AmbiguousTowns adds same-named small towns per famous city name
+	// (creating the disambiguation pressure of §2.2.2).
+	AmbiguousTowns int
+	// Seed drives all randomness; same seed, same world.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by tests and examples.
+func DefaultConfig() Config {
+	return Config{
+		RestaurantsPerCity: 12,
+		TourismPerCity:     8,
+		Celebrities:        20,
+		AmbiguousTowns:     2,
+		Seed:               42,
+	}
+}
+
+// World is the generated LOD universe plus the indexes the resolvers
+// and the context platform use.
+type World struct {
+	Store  *store.Store
+	Cities []City
+	// DBpediaIRI / GeonamesIRI resolve a seed city name to its
+	// resource IRIs.
+	dbpediaByName  map[string]rdf.Term
+	geonamesByName map[string]rdf.Term
+	// Stats
+	TripleCount int
+}
+
+// DBpediaIRI returns the DBpedia resource for a seed entity name.
+func (w *World) DBpediaIRI(name string) (rdf.Term, bool) {
+	t, ok := w.dbpediaByName[name]
+	return t, ok
+}
+
+// GeonamesIRI returns the Geonames resource for a seed city name.
+func (w *World) GeonamesIRI(name string) (rdf.Term, bool) {
+	t, ok := w.geonamesByName[name]
+	return t, ok
+}
+
+// DBpediaRes mints a DBpedia resource IRI from a label.
+func DBpediaRes(label string) rdf.Term {
+	return rdf.NewIRI(DBpediaResource + strings.ReplaceAll(label, " ", "_"))
+}
+
+// Generate builds the world into a fresh store.
+func Generate(cfg Config) *World {
+	w := &World{
+		Store:          store.New(),
+		dbpediaByName:  map[string]rdf.Term{},
+		geonamesByName: map[string]rdf.Term{},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w.Cities = seedCities()
+
+	dbp := rdf.NewIRI(DBpediaGraph)
+	gn := rdf.NewIRI(GeonamesGraph)
+	lgd := rdf.NewIRI(LGDGraph)
+
+	add := func(g rdf.Term, s, p, o rdf.Term) {
+		w.Store.MustAdd(rdf.Quad{S: s, P: p, O: o, G: g})
+		w.TripleCount++
+	}
+
+	for _, city := range w.Cities {
+		// ---- DBpedia city resource ----
+		res := DBpediaRes(city.Name)
+		w.dbpediaByName[city.Name] = res
+		add(dbp, res, pType, rdf.NewIRI(DBpediaOntology+"Place"))
+		add(dbp, res, pType, rdf.NewIRI(DBpediaOntology+"City"))
+		add(dbp, res, pType, rdf.NewIRI(LGDOntology+"City"))
+		add(dbp, res, pGeom, geomLit(city.Point))
+		for lang, label := range city.Labels {
+			add(dbp, res, pLabel, rdf.NewLangLiteral(label, lang))
+			add(dbp, res, pAbstract, rdf.NewLangLiteral(cityAbstract(label, lang), lang))
+		}
+
+		// ---- Geonames feature ----
+		gnRes := rdf.NewIRI(fmt.Sprintf("%s%d/", GeonamesResource, city.GeonameID))
+		w.geonamesByName[city.Name] = gnRes
+		add(gn, gnRes, pType, rdf.NewIRI(GeonamesOntology+"Feature"))
+		add(gn, gnRes, pGNName, rdf.NewLiteral(city.Name))
+		add(gn, gnRes, pLabel, rdf.NewLiteral(city.Name))
+		add(gn, gnRes, pGNFeatureCode, rdf.NewLiteral("P.PPLA"))
+		add(gn, gnRes, pGNCountry, rdf.NewLiteral(city.Country))
+		add(gn, gnRes, pGeom, geomLit(city.Point))
+		add(gn, gnRes, rdf.NewIRI(rdf.RDFSSeeAlso), res)
+
+		// ---- Landmarks (DBpedia) ----
+		for _, lm := range city.Landmarks {
+			lres := DBpediaRes(lm.Name)
+			w.dbpediaByName[lm.Name] = lres
+			add(dbp, lres, pType, rdf.NewIRI(DBpediaOntology+"Place"))
+			add(dbp, lres, pType, rdf.NewIRI(DBpediaOntology+lm.Kind))
+			add(dbp, lres, pGeom, geomLit(lm.Point))
+			for lang, label := range lm.Labels {
+				add(dbp, lres, pLabel, rdf.NewLangLiteral(label, lang))
+				add(dbp, lres, pAbstract, rdf.NewLangLiteral(
+					landmarkAbstract(label, city.Labels[lang], lang), lang))
+			}
+			add(dbp, lres, rdf.NewIRI(DBpediaOntology+"location"), res)
+		}
+
+		// ---- Ambiguous towns + disambiguation pages ----
+		if cfg.AmbiguousTowns > 0 {
+			disRes := DBpediaRes(city.Name + " (disambiguation)")
+			add(dbp, disRes, pLabel, rdf.NewLangLiteral(city.Name+" (disambiguation)", "en"))
+			add(dbp, disRes, pDisambiguates, res)
+			for i := 1; i <= cfg.AmbiguousTowns; i++ {
+				townName := fmt.Sprintf("%s, %s", city.Name, fakeRegion(i))
+				town := DBpediaRes(townName)
+				add(dbp, town, pType, rdf.NewIRI(DBpediaOntology+"Place"))
+				add(dbp, town, pType, rdf.NewIRI(DBpediaOntology+"Town"))
+				add(dbp, town, pLabel, rdf.NewLangLiteral(townName, "en"))
+				add(dbp, town, pGeom, geomLit(randomPointFar(rng, city.Point)))
+				add(dbp, disRes, pDisambiguates, town)
+			}
+			// A redirect from a common misspelling/alias.
+			alias := DBpediaRes(aliasOf(city.Name))
+			add(dbp, alias, pRedirects, res)
+			add(dbp, alias, pLabel, rdf.NewLangLiteral(aliasOf(city.Name), "en"))
+		}
+
+		// ---- LinkedGeoData POIs ----
+		for i := 0; i < cfg.RestaurantsPerCity; i++ {
+			p := jitter(rng, city.Point, 0.05)
+			r := rdf.NewIRI(fmt.Sprintf("%snode/rest_%s_%d", LGDResource, slug(city.Name), i))
+			add(lgd, r, pType, rdf.NewIRI(LGDOntology+"Restaurant"))
+			add(lgd, r, pLabel, rdf.NewLiteral(restaurantName(rng, city.Name, i)))
+			add(lgd, r, pGeom, geomLit(p))
+			if rng.Intn(2) == 0 {
+				add(lgd, r, pWebsite, rdf.NewLiteral(fmt.Sprintf("http://%s-food-%d.example", slug(city.Name), i)))
+			}
+		}
+		for i := 0; i < cfg.TourismPerCity; i++ {
+			p := jitter(rng, city.Point, 0.2)
+			r := rdf.NewIRI(fmt.Sprintf("%snode/tour_%s_%d", LGDResource, slug(city.Name), i))
+			add(lgd, r, pType, rdf.NewIRI(LGDOntology+"Tourism"))
+			add(lgd, r, pLabel, rdf.NewLiteral(tourismName(rng, city.Name, i)))
+			add(lgd, r, pGeom, geomLit(p))
+			if rng.Intn(3) == 0 {
+				add(lgd, r, pWebsite, rdf.NewLiteral(fmt.Sprintf("http://visit-%s-%d.example", slug(city.Name), i)))
+			}
+		}
+	}
+
+	// ---- Ontology (schema triples for RDFS inference, §2.3) ----
+	sub := rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+	for _, pair := range [][2]string{
+		{DBpediaOntology + "City", DBpediaOntology + "Place"},
+		{DBpediaOntology + "Town", DBpediaOntology + "Place"},
+		{DBpediaOntology + "Building", DBpediaOntology + "Place"},
+		{DBpediaOntology + "Monument", DBpediaOntology + "Place"},
+		{DBpediaOntology + "Museum", DBpediaOntology + "Building"},
+		{DBpediaOntology + "Castle", DBpediaOntology + "Building"},
+		{DBpediaOntology + "Park", DBpediaOntology + "Place"},
+		{DBpediaOntology + "Square", DBpediaOntology + "Place"},
+		{LGDOntology + "Restaurant", LGDOntology + "Amenity"},
+		{LGDOntology + "Tourism", LGDOntology + "Attraction"},
+		{LGDOntology + "City", LGDOntology + "Place"},
+		{LGDOntology + "Amenity", LGDOntology + "POI"},
+		{LGDOntology + "Attraction", LGDOntology + "POI"},
+	} {
+		add(dbp, rdf.NewIRI(pair[0]), sub, rdf.NewIRI(pair[1]))
+	}
+
+	// ---- Celebrities (heterogeneous DBpedia concepts) ----
+	for i := 0; i < cfg.Celebrities; i++ {
+		name := celebrityName(i)
+		res := DBpediaRes(name)
+		w.dbpediaByName[name] = res
+		add(dbp, res, pType, rdf.NewIRI(DBpediaOntology+"Person"))
+		add(dbp, res, pLabel, rdf.NewLangLiteral(name, "en"))
+		add(dbp, res, pAbstract, rdf.NewLangLiteral(name+" is a well known public figure.", "en"))
+	}
+	return w
+}
+
+func geomLit(p geo.Point) rdf.Term {
+	return rdf.NewTypedLiteral(p.WKT(), rdf.VirtRDFGeometry)
+}
+
+func slug(s string) string {
+	return strings.ToLower(strings.ReplaceAll(s, " ", "_"))
+}
+
+func jitter(rng *rand.Rand, p geo.Point, r float64) geo.Point {
+	return geo.Point{
+		Lon: p.Lon + (rng.Float64()*2-1)*r,
+		Lat: p.Lat + (rng.Float64()*2-1)*r,
+	}
+}
+
+func randomPointFar(rng *rand.Rand, from geo.Point) geo.Point {
+	// A town with the same name is elsewhere on the planet.
+	return geo.Point{
+		Lon: from.Lon + 40 + rng.Float64()*60,
+		Lat: -from.Lat + rng.Float64()*10,
+	}
+}
+
+func fakeRegion(i int) string {
+	regions := []string{"Texas", "Ontario", "New South Wales", "Kentucky", "Saskatchewan"}
+	return regions[i%len(regions)]
+}
+
+func aliasOf(name string) string {
+	// e.g. "Torino" redirects to "Turin"; fall back to a joined alias.
+	if alias, ok := cityAliases[name]; ok {
+		return alias
+	}
+	return name + " City"
+}
+
+var cityAliases = map[string]string{
+	"Turin":  "Torino",
+	"Rome":   "Roma",
+	"Milan":  "Milano",
+	"Paris":  "Ville de Paris",
+	"Lisbon": "Lisboa",
+	"Munich": "München",
+}
+
+func cityAbstract(label, lang string) string {
+	switch lang {
+	case "it":
+		return label + " è una città con una lunga storia, famosa per i suoi monumenti e i suoi musei."
+	case "fr":
+		return label + " est une ville avec une longue histoire, célèbre pour ses monuments et ses musées."
+	case "es":
+		return label + " es una ciudad con una larga historia, famosa por sus monumentos y sus museos."
+	case "de":
+		return label + " ist eine Stadt mit langer Geschichte, berühmt für ihre Denkmäler und Museen."
+	default:
+		return label + " is a city with a long history, famous for its monuments and museums."
+	}
+}
+
+func landmarkAbstract(label, city, lang string) string {
+	if city == "" {
+		city = "the city"
+	}
+	switch lang {
+	case "it":
+		return label + " è un monumento celebre di " + city + "."
+	default:
+		return label + " is a famous landmark of " + city + "."
+	}
+}
+
+func restaurantName(rng *rand.Rand, city string, i int) string {
+	first := []string{"Trattoria", "Osteria", "Ristorante", "Bistro", "Café", "Taverna"}
+	second := []string{"del Ponte", "della Piazza", "al Parco", "da Mario", "Bella Vista", "del Centro", "Vecchia", "Reale"}
+	return fmt.Sprintf("%s %s %d", first[rng.Intn(len(first))], second[rng.Intn(len(second))], i)
+}
+
+func tourismName(rng *rand.Rand, city string, i int) string {
+	kind := []string{"Museum", "Gallery", "Tower", "Garden", "Theatre", "Basilica", "Fountain", "Castle"}
+	return fmt.Sprintf("%s %s %d", city, kind[rng.Intn(len(kind))], i)
+}
+
+func celebrityName(i int) string {
+	first := []string{"Alessandro", "Giulia", "Marco", "Elena", "Walter", "Carmen", "Oscar", "Fabio", "Laura", "Paolo"}
+	last := []string{"Rossi", "Bianchi", "Ferrari", "Russo", "Romano", "Gallo", "Conti", "Greco", "Ricci", "Marino"}
+	return fmt.Sprintf("%s %s", first[i%len(first)], last[(i/len(first))%len(last)])
+}
+
+// seedCities returns the deterministic seed geography.
+func seedCities() []City {
+	return []City{
+		{
+			Name:      "Turin",
+			Labels:    map[string]string{"en": "Turin", "it": "Torino", "fr": "Turin", "es": "Turín", "de": "Turin"},
+			Country:   "IT",
+			Point:     geo.Point{Lon: 7.6869, Lat: 45.0703},
+			GeonameID: 3165524,
+			Landmarks: []Landmark{
+				{Name: "Mole Antonelliana", Labels: map[string]string{"en": "Mole Antonelliana", "it": "Mole Antonelliana"}, Kind: "Building", Point: geo.Point{Lon: 7.6934, Lat: 45.0690}},
+				{Name: "Palazzo Reale di Torino", Labels: map[string]string{"en": "Royal Palace of Turin", "it": "Palazzo Reale di Torino"}, Kind: "Building", Point: geo.Point{Lon: 7.6862, Lat: 45.0732}},
+				{Name: "Museo Egizio", Labels: map[string]string{"en": "Museo Egizio", "it": "Museo Egizio"}, Kind: "Museum", Point: geo.Point{Lon: 7.6843, Lat: 45.0684}},
+				{Name: "Parco del Valentino", Labels: map[string]string{"en": "Parco del Valentino", "it": "Parco del Valentino"}, Kind: "Park", Point: geo.Point{Lon: 7.6856, Lat: 45.0553}},
+			},
+		},
+		{
+			Name:      "Rome",
+			Labels:    map[string]string{"en": "Rome", "it": "Roma", "fr": "Rome", "es": "Roma", "de": "Rom"},
+			Country:   "IT",
+			Point:     geo.Point{Lon: 12.4964, Lat: 41.9028},
+			GeonameID: 3169070,
+			Landmarks: []Landmark{
+				{Name: "Colosseum", Labels: map[string]string{"en": "Colosseum", "it": "Colosseo"}, Kind: "Building", Point: geo.Point{Lon: 12.4922, Lat: 41.8902}},
+				{Name: "Trevi Fountain", Labels: map[string]string{"en": "Trevi Fountain", "it": "Fontana di Trevi"}, Kind: "Monument", Point: geo.Point{Lon: 12.4833, Lat: 41.9009}},
+				{Name: "Pantheon, Rome", Labels: map[string]string{"en": "Pantheon", "it": "Pantheon"}, Kind: "Building", Point: geo.Point{Lon: 12.4768, Lat: 41.8986}},
+			},
+		},
+		{
+			Name:      "Milan",
+			Labels:    map[string]string{"en": "Milan", "it": "Milano", "fr": "Milan", "es": "Milán", "de": "Mailand"},
+			Country:   "IT",
+			Point:     geo.Point{Lon: 9.19, Lat: 45.4642},
+			GeonameID: 3173435,
+			Landmarks: []Landmark{
+				{Name: "Milan Cathedral", Labels: map[string]string{"en": "Milan Cathedral", "it": "Duomo di Milano"}, Kind: "Building", Point: geo.Point{Lon: 9.1919, Lat: 45.4642}},
+				{Name: "Sforza Castle", Labels: map[string]string{"en": "Sforza Castle", "it": "Castello Sforzesco"}, Kind: "Castle", Point: geo.Point{Lon: 9.1794, Lat: 45.4705}},
+			},
+		},
+		{
+			Name:      "Paris",
+			Labels:    map[string]string{"en": "Paris", "it": "Parigi", "fr": "Paris", "es": "París", "de": "Paris"},
+			Country:   "FR",
+			Point:     geo.Point{Lon: 2.3522, Lat: 48.8566},
+			GeonameID: 2988507,
+			Landmarks: []Landmark{
+				{Name: "Eiffel Tower", Labels: map[string]string{"en": "Eiffel Tower", "fr": "Tour Eiffel", "it": "Torre Eiffel"}, Kind: "Building", Point: geo.Point{Lon: 2.2945, Lat: 48.8584}},
+				{Name: "Arc de Triomphe", Labels: map[string]string{"en": "Arc de Triomphe", "fr": "Arc de Triomphe"}, Kind: "Monument", Point: geo.Point{Lon: 2.295, Lat: 48.8738}},
+				{Name: "Louvre", Labels: map[string]string{"en": "Louvre", "fr": "Musée du Louvre"}, Kind: "Museum", Point: geo.Point{Lon: 2.3376, Lat: 48.8606}},
+			},
+		},
+		{
+			Name:      "Berlin",
+			Labels:    map[string]string{"en": "Berlin", "it": "Berlino", "fr": "Berlin", "es": "Berlín", "de": "Berlin"},
+			Country:   "DE",
+			Point:     geo.Point{Lon: 13.405, Lat: 52.52},
+			GeonameID: 2950159,
+			Landmarks: []Landmark{
+				{Name: "Brandenburg Gate", Labels: map[string]string{"en": "Brandenburg Gate", "de": "Brandenburger Tor"}, Kind: "Monument", Point: geo.Point{Lon: 13.3777, Lat: 52.5163}},
+				{Name: "Reichstag", Labels: map[string]string{"en": "Reichstag", "de": "Reichstagsgebäude"}, Kind: "Building", Point: geo.Point{Lon: 13.3762, Lat: 52.5186}},
+			},
+		},
+		{
+			Name:      "Madrid",
+			Labels:    map[string]string{"en": "Madrid", "it": "Madrid", "fr": "Madrid", "es": "Madrid", "de": "Madrid"},
+			Country:   "ES",
+			Point:     geo.Point{Lon: -3.7038, Lat: 40.4168},
+			GeonameID: 3117735,
+			Landmarks: []Landmark{
+				{Name: "Plaza Mayor, Madrid", Labels: map[string]string{"en": "Plaza Mayor", "es": "Plaza Mayor"}, Kind: "Square", Point: geo.Point{Lon: -3.7074, Lat: 40.4155}},
+				{Name: "Royal Palace of Madrid", Labels: map[string]string{"en": "Royal Palace of Madrid", "es": "Palacio Real de Madrid"}, Kind: "Building", Point: geo.Point{Lon: -3.7143, Lat: 40.418}},
+			},
+		},
+		{
+			Name:      "Lisbon",
+			Labels:    map[string]string{"en": "Lisbon", "it": "Lisbona", "fr": "Lisbonne", "es": "Lisboa", "de": "Lissabon", "pt": "Lisboa"},
+			Country:   "PT",
+			Point:     geo.Point{Lon: -9.1393, Lat: 38.7223},
+			GeonameID: 2267057,
+			Landmarks: []Landmark{
+				{Name: "Belém Tower", Labels: map[string]string{"en": "Belém Tower", "pt": "Torre de Belém"}, Kind: "Building", Point: geo.Point{Lon: -9.2159, Lat: 38.6916}},
+			},
+		},
+		{
+			Name:      "Munich",
+			Labels:    map[string]string{"en": "Munich", "it": "Monaco di Baviera", "fr": "Munich", "es": "Múnich", "de": "München"},
+			Country:   "DE",
+			Point:     geo.Point{Lon: 11.582, Lat: 48.1351},
+			GeonameID: 2867714,
+			Landmarks: []Landmark{
+				{Name: "Marienplatz", Labels: map[string]string{"en": "Marienplatz", "de": "Marienplatz"}, Kind: "Square", Point: geo.Point{Lon: 11.5755, Lat: 48.1374}},
+			},
+		},
+	}
+}

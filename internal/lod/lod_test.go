@@ -1,0 +1,186 @@
+package lod
+
+import (
+	"testing"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if a.TripleCount != b.TripleCount || a.Store.Len() != b.Store.Len() {
+		t.Fatalf("non-deterministic generation: %d/%d vs %d/%d",
+			a.TripleCount, a.Store.Len(), b.TripleCount, b.Store.Len())
+	}
+	if a.Store.Len() == 0 {
+		t.Fatal("empty world")
+	}
+}
+
+func TestSeedCitiesPresent(t *testing.T) {
+	w := Generate(DefaultConfig())
+	turin, ok := w.DBpediaIRI("Turin")
+	if !ok {
+		t.Fatal("Turin missing")
+	}
+	labels := w.Store.Objects(turin, rdf.NewIRI(rdf.RDFSLabel))
+	if len(labels) < 4 {
+		t.Fatalf("Turin labels = %v", labels)
+	}
+	foundIT := false
+	for _, l := range labels {
+		if l.Lang() == "it" && l.Value() == "Torino" {
+			foundIT = true
+		}
+	}
+	if !foundIT {
+		t.Fatal("Italian label Torino missing")
+	}
+	gn, ok := w.GeonamesIRI("Turin")
+	if !ok {
+		t.Fatal("Geonames Turin missing")
+	}
+	if w.Store.FirstObject(gn, rdf.NewIRI(GeonamesOntology+"countryCode")).Value() != "IT" {
+		t.Fatal("Geonames country code wrong")
+	}
+}
+
+func TestGraphSeparation(t *testing.T) {
+	w := Generate(DefaultConfig())
+	graphs := w.Store.Graphs()
+	want := map[string]bool{DBpediaGraph: false, GeonamesGraph: false, LGDGraph: false}
+	for _, g := range graphs {
+		if _, ok := want[g.Value()]; ok {
+			want[g.Value()] = true
+		}
+	}
+	for g, seen := range want {
+		if !seen {
+			t.Errorf("graph %s missing", g)
+		}
+	}
+}
+
+func TestDisambiguationPages(t *testing.T) {
+	w := Generate(DefaultConfig())
+	e := sparql.NewEngine(w.Store)
+	res, err := e.Query(`PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT ?dis ?target WHERE { ?dis dbpo:wikiPageDisambiguates ?target }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) == 0 {
+		t.Fatal("no disambiguation pages generated")
+	}
+	// The Turin disambiguation page lists the real Turin plus the
+	// ambiguous towns.
+	dis := DBpediaRes("Turin (disambiguation)")
+	targets := w.Store.Objects(dis, rdf.NewIRI(DBpediaOntology+"wikiPageDisambiguates"))
+	if len(targets) != 1+DefaultConfig().AmbiguousTowns {
+		t.Fatalf("Turin disambiguates %d targets", len(targets))
+	}
+}
+
+func TestRedirects(t *testing.T) {
+	w := Generate(DefaultConfig())
+	alias := DBpediaRes("Torino")
+	target := w.Store.FirstObject(alias, rdf.NewIRI(DBpediaOntology+"wikiPageRedirects"))
+	if target.Value() != DBpediaResource+"Turin" {
+		t.Fatalf("Torino redirect = %v", target)
+	}
+}
+
+func TestLandmarksNearTheirCity(t *testing.T) {
+	w := Generate(DefaultConfig())
+	for _, city := range w.Cities {
+		for _, lm := range city.Landmarks {
+			if geo.DegreeDistance(city.Point, lm.Point) > 0.3 {
+				t.Errorf("%s is %f degrees from %s", lm.Name,
+					geo.DegreeDistance(city.Point, lm.Point), city.Name)
+			}
+		}
+	}
+}
+
+func TestLGDPOIDensityAndGeo(t *testing.T) {
+	cfg := DefaultConfig()
+	w := Generate(cfg)
+	e := sparql.NewEngine(w.Store)
+	res, err := e.Query(`PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+SELECT ?r WHERE { ?r a lgdo:Restaurant }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != cfg.RestaurantsPerCity*len(w.Cities) {
+		t.Fatalf("restaurants = %d", len(res.Solutions))
+	}
+	// All restaurants near Turin actually sit within 0.3 deg of it.
+	turin := w.Cities[0]
+	subjects := w.Store.GeoWithin(turin.Point, 0.3)
+	rest := 0
+	for _, s := range subjects {
+		for _, ty := range w.Store.Objects(s, rdf.NewIRI(rdf.RDFType)) {
+			if ty.Value() == LGDOntology+"Restaurant" {
+				rest++
+			}
+		}
+	}
+	if rest != cfg.RestaurantsPerCity {
+		t.Fatalf("restaurants near Turin = %d, want %d", rest, cfg.RestaurantsPerCity)
+	}
+}
+
+func TestMultilingualAbstractsSupportMashup(t *testing.T) {
+	// The §4.1 mashup filters abstracts with langMatches(lang(?desc),'it').
+	w := Generate(DefaultConfig())
+	e := sparql.NewEngine(w.Store)
+	res, err := e.Query(`
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?desc WHERE {
+  ?city rdfs:label "Torino"@it .
+  ?city dbpo:abstract ?desc .
+  FILTER langMatches(lang(?desc), 'it')
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("italian abstract = %v", res.Solutions)
+	}
+}
+
+func TestCelebritiesGenerated(t *testing.T) {
+	cfg := DefaultConfig()
+	w := Generate(cfg)
+	e := sparql.NewEngine(w.Store)
+	res, err := e.Query(`PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT ?p WHERE { ?p a dbpo:Person }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != cfg.Celebrities {
+		t.Fatalf("celebrities = %d, want %d", len(res.Solutions), cfg.Celebrities)
+	}
+}
+
+func TestAmbiguousTownsShareLabelPrefix(t *testing.T) {
+	w := Generate(DefaultConfig())
+	// Text search for "Paris" should hit the real city and the fake towns.
+	hits := w.Store.TextSearch("paris")
+	if len(hits) < 2 {
+		t.Fatalf("ambiguity not generated: %v", hits)
+	}
+}
+
+func TestOntologySupportsInference(t *testing.T) {
+	w := Generate(DefaultConfig())
+	sub := rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+	supers := w.Store.Objects(rdf.NewIRI(LGDOntology+"Restaurant"), sub)
+	if len(supers) != 1 || supers[0].Value() != LGDOntology+"Amenity" {
+		t.Fatalf("Restaurant supers = %v", supers)
+	}
+}

@@ -1,0 +1,164 @@
+package morph
+
+// lexicon holds the per-language function words and lemmatization
+// suffix rules. Coverage is intentionally compact: the pipeline only
+// needs to (a) never tag function words as proper nouns, (b) strip
+// frequent inflectional suffixes, and (c) down-rank non-NP words.
+type lexicon struct {
+	words    map[string]POS
+	suffixes []suffixRule
+}
+
+func fw(pos POS, words ...string) map[string]POS {
+	m := map[string]POS{}
+	for _, w := range words {
+		m[w] = pos
+	}
+	return m
+}
+
+func merge(ms ...map[string]POS) map[string]POS {
+	out := map[string]POS{}
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+var lexicons = map[string]lexicon{
+	"en": {
+		words: merge(
+			fw(POSDeterminer, "the", "a", "an", "this", "that", "these", "those", "my", "your", "our", "their", "its", "his", "her", "some", "any", "no", "every"),
+			fw(POSPreposition, "of", "in", "on", "at", "to", "from", "with", "by", "for", "about", "over", "under", "near", "through", "during", "after", "before", "between"),
+			fw(POSConjunction, "and", "or", "but", "so", "because", "while", "when", "if", "than", "as"),
+			fw(POSPronoun, "i", "you", "he", "she", "it", "we", "they", "me", "him", "us", "them", "who", "which", "what"),
+			fw(POSVerb, "is", "are", "was", "were", "be", "been", "am", "have", "has", "had", "do", "does", "did", "will", "would", "can", "could", "took", "take", "go", "went", "see", "saw"),
+			fw(POSAdverb, "very", "not", "here", "there", "now", "then", "also", "just", "only", "today", "tonight"),
+		),
+		suffixes: []suffixRule{
+			{"ies", "y", 5}, {"sses", "ss", 6}, {"shes", "sh", 6}, {"ches", "ch", 6},
+			{"ing", "", 6}, {"ed", "", 5}, {"s", "", 4},
+		},
+	},
+	"it": {
+		words: merge(
+			fw(POSDeterminer, "il", "lo", "la", "i", "gli", "le", "un", "uno", "una", "del", "dello", "della", "dei", "degli", "delle", "questo", "questa", "questi", "queste", "quel", "quella", "mio", "mia", "tuo", "sua", "suo", "nostro", "nostra"),
+			fw(POSPreposition, "di", "a", "da", "in", "con", "su", "per", "tra", "fra", "al", "allo", "alla", "ai", "agli", "alle", "dal", "dalla", "nel", "nella", "nei", "nelle", "sul", "sulla", "presso", "vicino", "durante", "dopo", "prima"),
+			fw(POSConjunction, "e", "o", "ma", "però", "perché", "mentre", "quando", "se", "che", "come"),
+			fw(POSPronoun, "io", "tu", "lui", "lei", "noi", "voi", "loro", "mi", "ti", "ci", "vi", "si", "chi", "cosa"),
+			fw(POSVerb, "è", "sono", "era", "erano", "essere", "ho", "hai", "ha", "abbiamo", "hanno", "fu", "sarà", "può", "vado", "andiamo", "fatto", "stato"),
+			fw(POSAdverb, "molto", "non", "qui", "qua", "lì", "là", "ora", "poi", "anche", "solo", "oggi", "stasera", "sempre"),
+		),
+		suffixes: []suffixRule{
+			{"zioni", "zione", 7}, {"ità", "ità", 5},
+			{"are", "are", 5}, {"ere", "ere", 5}, {"ire", "ire", 5},
+			{"ata", "o", 5}, {"ate", "o", 5}, {"ati", "o", 5}, {"ato", "o", 5},
+			{"ici", "ico", 5}, {"che", "ca", 5}, {"chi", "co", 5},
+			{"i", "o", 4}, {"e", "a", 4},
+		},
+	},
+	"fr": {
+		words: merge(
+			fw(POSDeterminer, "le", "la", "les", "un", "une", "des", "du", "ce", "cet", "cette", "ces", "mon", "ma", "mes", "ton", "ta", "son", "sa", "ses", "notre", "nos", "leur", "leurs", "l'"),
+			fw(POSPreposition, "de", "à", "dans", "sur", "sous", "avec", "pour", "par", "chez", "vers", "près", "pendant", "après", "avant", "entre", "d'", "au", "aux"),
+			fw(POSConjunction, "et", "ou", "mais", "donc", "car", "parce", "quand", "si", "que", "comme"),
+			fw(POSPronoun, "je", "tu", "il", "elle", "nous", "vous", "ils", "elles", "me", "te", "se", "qui", "quoi", "on", "j'"),
+			fw(POSVerb, "est", "sont", "était", "être", "ai", "as", "a", "avons", "ont", "fut", "sera", "peut", "vais", "allons", "fait", "été"),
+			fw(POSAdverb, "très", "ne", "pas", "ici", "là", "maintenant", "puis", "aussi", "seulement", "toujours", "aujourd'hui"),
+		),
+		suffixes: []suffixRule{
+			{"eaux", "eau", 6}, {"aux", "al", 5},
+			{"tions", "tion", 7}, {"ées", "é", 5}, {"és", "é", 4},
+			{"s", "", 4}, {"x", "", 4},
+		},
+	},
+	"es": {
+		words: merge(
+			fw(POSDeterminer, "el", "la", "los", "las", "un", "una", "unos", "unas", "del", "este", "esta", "estos", "estas", "ese", "esa", "mi", "tu", "su", "nuestro", "nuestra"),
+			fw(POSPreposition, "de", "a", "en", "con", "sobre", "por", "para", "desde", "hasta", "entre", "cerca", "durante", "después", "antes", "al"),
+			fw(POSConjunction, "y", "o", "pero", "porque", "mientras", "cuando", "si", "que", "como"),
+			fw(POSPronoun, "yo", "tú", "él", "ella", "nosotros", "vosotros", "ellos", "ellas", "me", "te", "se", "nos", "quien", "qué"),
+			fw(POSVerb, "es", "son", "era", "eran", "ser", "estar", "está", "están", "he", "has", "ha", "hemos", "han", "fue", "será", "puede", "voy", "vamos", "hecho", "sido"),
+			fw(POSAdverb, "muy", "no", "aquí", "allí", "ahora", "luego", "también", "solo", "hoy", "siempre"),
+		),
+		suffixes: []suffixRule{
+			{"ciones", "ción", 8}, {"es", "", 5}, {"s", "", 4},
+		},
+	},
+	"de": {
+		words: merge(
+			fw(POSDeterminer, "der", "die", "das", "den", "dem", "des", "ein", "eine", "einen", "einem", "einer", "eines", "dieser", "diese", "dieses", "mein", "meine", "dein", "sein", "seine", "ihr", "ihre", "unser", "unsere", "kein", "keine"),
+			fw(POSPreposition, "von", "in", "auf", "an", "zu", "aus", "mit", "bei", "für", "über", "unter", "nach", "vor", "zwischen", "durch", "während", "am", "im", "zum", "zur", "beim"),
+			fw(POSConjunction, "und", "oder", "aber", "denn", "weil", "während", "wenn", "als", "dass", "wie"),
+			fw(POSPronoun, "ich", "du", "er", "sie", "es", "wir", "ihr", "mich", "dich", "uns", "euch", "wer", "was", "man"),
+			fw(POSVerb, "ist", "sind", "war", "waren", "sein", "habe", "hast", "hat", "haben", "hatte", "wird", "werden", "kann", "können", "gehe", "gehen", "gemacht", "gewesen"),
+			fw(POSAdverb, "sehr", "nicht", "hier", "dort", "jetzt", "dann", "auch", "nur", "heute", "immer"),
+		),
+		suffixes: []suffixRule{
+			{"en", "", 5}, {"er", "", 5}, {"n", "", 4},
+		},
+	},
+	"pt": {
+		words: merge(
+			fw(POSDeterminer, "o", "a", "os", "as", "um", "uma", "uns", "umas", "do", "da", "dos", "das", "este", "esta", "estes", "estas", "esse", "essa", "meu", "minha", "teu", "seu", "sua", "nosso", "nossa"),
+			fw(POSPreposition, "de", "em", "no", "na", "nos", "nas", "com", "sobre", "por", "para", "desde", "até", "entre", "perto", "durante", "depois", "antes", "ao", "à"),
+			fw(POSConjunction, "e", "ou", "mas", "porque", "enquanto", "quando", "se", "que", "como"),
+			fw(POSPronoun, "eu", "tu", "ele", "ela", "nós", "vós", "eles", "elas", "me", "te", "se", "quem", "quê"),
+			fw(POSVerb, "é", "são", "era", "eram", "ser", "estar", "está", "estão", "tenho", "tens", "tem", "temos", "têm", "foi", "será", "pode", "vou", "vamos", "feito", "sido"),
+			fw(POSAdverb, "muito", "não", "aqui", "ali", "agora", "depois", "também", "só", "hoje", "sempre"),
+		),
+		suffixes: []suffixRule{
+			{"ções", "ção", 7}, {"ais", "al", 5}, {"es", "", 5}, {"s", "", 4},
+		},
+	},
+}
+
+// verbSuffixes provide open-class verb heuristics per language.
+var verbSuffixes = map[string][]string{
+	"en": {"ing", "ed", "ize", "ise"},
+	"it": {"are", "ere", "ire", "ando", "endo", "ato", "uto", "ito"},
+	"fr": {"er", "ir", "ant", "é"},
+	"es": {"ar", "er", "ir", "ando", "iendo", "ado", "ido"},
+	"de": {"en", "ieren"},
+	"pt": {"ar", "er", "ir", "ando", "endo", "ado", "ido"},
+}
+
+// advSuffixes provide adverb heuristics per language.
+var advSuffixes = map[string][]string{
+	"en": {"ly"},
+	"it": {"mente"},
+	"fr": {"ment"},
+	"es": {"mente"},
+	"pt": {"mente"},
+}
+
+// defaultGazetteer lists multiword proper nouns the eTourism use case
+// cares about; AddMultiword extends it at runtime (e.g. from the POI
+// provider).
+var defaultGazetteer = []string{
+	"Mole Antonelliana",
+	"Palazzo Reale",
+	"Piazza Castello",
+	"Piazza San Carlo",
+	"Museo Egizio",
+	"Porta Nuova",
+	"Gran Madre",
+	"Parco del Valentino",
+	"Arc de Triomphe",
+	"Tour Eiffel",
+	"Notre Dame",
+	"Sagrada Familia",
+	"Plaza Mayor",
+	"Brandenburger Tor",
+	"Trevi Fountain",
+	"Fontana di Trevi",
+	"Colosseo",
+	"Roman Colosseum",
+	"St. Peter's Basilica",
+	"San Pietro",
+	"Ponte Vecchio",
+	"Times Square",
+	"Central Park",
+}

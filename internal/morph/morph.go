@@ -1,0 +1,361 @@
+// Package morph provides the morphological analysis stage of the
+// annotation pipeline (§2.2.2, Fig. 1). It stands in for FreeLing:
+// tokenization, multiword lemma detection, part-of-speech tagging
+// driven by per-language function-word lexicons and suffix heuristics,
+// lemmatization, and scored proper-noun (NP) extraction. The pipeline
+// keeps non-numeric NP lemmas with score >= 0.2 and merges them with
+// the user's plain tags, exactly as the paper describes.
+package morph
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"lodify/internal/textsim"
+)
+
+// POS is a simplified part-of-speech tag set (EAGLES-inspired, as
+// used by FreeLing's coarse tags).
+type POS string
+
+const (
+	POSProperNoun  POS = "NP" // the tag the pipeline keeps
+	POSCommonNoun  POS = "NC"
+	POSVerb        POS = "V"
+	POSAdjective   POS = "ADJ"
+	POSAdverb      POS = "ADV"
+	POSDeterminer  POS = "DET"
+	POSPreposition POS = "PRE"
+	POSPronoun     POS = "PRON"
+	POSConjunction POS = "CONJ"
+	POSNumber      POS = "NUM"
+	POSPunct       POS = "PUNCT"
+	POSUnknown     POS = "X"
+)
+
+// Token is an analyzed token. Multiword lemmas (e.g. "Mole
+// Antonelliana") occupy a single token whose Words field reports how
+// many surface words it spans.
+type Token struct {
+	// Surface is the original text span.
+	Surface string
+	// Lemma is the normalized lemma (lowercase except proper nouns,
+	// which preserve capitalization).
+	Lemma string
+	// Tag is the part-of-speech tag.
+	Tag POS
+	// Score is the tagger's confidence for NP tokens in [0,1];
+	// zero for other tags.
+	Score float64
+	// Words is the number of surface words merged into this token.
+	Words int
+	// Position is the index of the token's first word in the
+	// sentence.
+	Position int
+}
+
+// Analyzer performs morphological analysis for one language.
+type Analyzer struct {
+	lang      string
+	function  map[string]POS  // function-word lexicon
+	stopwords map[string]bool // for term-frequency extraction
+	suffixes  []suffixRule
+	gazetteer map[string]bool // known multiword proper nouns (folded)
+}
+
+type suffixRule struct {
+	suffix  string
+	replace string
+	minLen  int
+}
+
+// NewAnalyzer returns an analyzer configured for a language code
+// ("en", "it", "fr", "es", "de", "pt"). Unknown codes fall back to a
+// language-neutral configuration (capitalization-only NP detection).
+func NewAnalyzer(lang string) *Analyzer {
+	a := &Analyzer{
+		lang:      lang,
+		function:  map[string]POS{},
+		stopwords: map[string]bool{},
+		gazetteer: map[string]bool{},
+	}
+	if lx, ok := lexicons[lang]; ok {
+		for w, pos := range lx.words {
+			a.function[w] = pos
+			a.stopwords[w] = true
+		}
+		a.suffixes = lx.suffixes
+	}
+	for _, mw := range defaultGazetteer {
+		a.gazetteer[textsim.Fold(mw)] = true
+	}
+	return a
+}
+
+// Lang returns the configured language code.
+func (a *Analyzer) Lang() string { return a.lang }
+
+// AddMultiword registers a known multiword proper noun so it is
+// merged into a single NP lemma during analysis.
+func (a *Analyzer) AddMultiword(phrase string) {
+	a.gazetteer[textsim.Fold(phrase)] = true
+}
+
+// Analyze tokenizes and tags text.
+func (a *Analyzer) Analyze(text string) []Token {
+	words := splitSurface(text)
+	var out []Token
+	for i := 0; i < len(words); {
+		w := words[i]
+		if isPunct(w) {
+			out = append(out, Token{Surface: w, Lemma: w, Tag: POSPunct, Words: 1, Position: i})
+			i++
+			continue
+		}
+		if isNumeric(w) {
+			out = append(out, Token{Surface: w, Lemma: w, Tag: POSNumber, Words: 1, Position: i})
+			i++
+			continue
+		}
+		// Multiword proper noun: greedy longest gazetteer match, then
+		// consecutive-capitals merge.
+		if tok, n := a.multiword(words, i); n > 0 {
+			out = append(out, tok)
+			i += n
+			continue
+		}
+		lower := strings.ToLower(w)
+		if pos, ok := a.function[lower]; ok {
+			out = append(out, Token{Surface: w, Lemma: lower, Tag: pos, Words: 1, Position: i})
+			i++
+			continue
+		}
+		if isCapitalized(w) {
+			score := a.npScore(words, i, 1)
+			out = append(out, Token{Surface: w, Lemma: w, Tag: POSProperNoun, Score: score, Words: 1, Position: i})
+			i++
+			continue
+		}
+		out = append(out, a.openClass(w, i))
+		i++
+	}
+	return out
+}
+
+// multiword tries to merge a multiword proper noun starting at i.
+// It returns the merged token and the number of words consumed
+// (0 when no merge applies).
+func (a *Analyzer) multiword(words []string, i int) (Token, int) {
+	if !isCapitalized(words[i]) {
+		return Token{}, 0
+	}
+	// Longest gazetteer phrase match (up to 4 words), allowing
+	// lowercase function words inside ("Arc de Triomphe").
+	for n := 4; n >= 2; n-- {
+		if i+n > len(words) {
+			continue
+		}
+		phrase := strings.Join(words[i:i+n], " ")
+		if a.gazetteer[textsim.Fold(phrase)] {
+			return Token{Surface: phrase, Lemma: phrase, Tag: POSProperNoun,
+				Score: 0.95, Words: n, Position: i}, n
+		}
+	}
+	// Consecutive capitalized words merge ("Mole Antonelliana").
+	n := 1
+	for i+n < len(words) && isCapitalized(words[i+n]) && !isPunct(words[i+n]) {
+		n++
+		if n == 4 {
+			break
+		}
+	}
+	if n >= 2 {
+		phrase := strings.Join(words[i:i+n], " ")
+		return Token{Surface: phrase, Lemma: phrase, Tag: POSProperNoun,
+			Score: a.npScore(words, i, n), Words: n, Position: i}, n
+	}
+	return Token{}, 0
+}
+
+// npScore estimates proper-noun confidence: multiword and mid-
+// sentence capitals are strong signals; a capitalized first word is
+// weak (every sentence starts with one).
+func (a *Analyzer) npScore(words []string, i, n int) float64 {
+	switch {
+	case n >= 2:
+		return 0.9
+	case i > 0:
+		return 0.7
+	default:
+		// Sentence-initial single capital: proper noun only if it is
+		// not a known function word; stays above the paper's 0.2
+		// threshold but well below mid-sentence confidence.
+		return 0.3
+	}
+}
+
+// openClass tags a lowercase open-class word using suffix heuristics
+// and lemmatizes it.
+func (a *Analyzer) openClass(w string, pos int) Token {
+	lower := strings.ToLower(w)
+	tag := POSCommonNoun
+	for _, vs := range verbSuffixes[a.lang] {
+		if strings.HasSuffix(lower, vs) && len(lower) > len(vs)+2 {
+			tag = POSVerb
+			break
+		}
+	}
+	for _, as := range advSuffixes[a.lang] {
+		if strings.HasSuffix(lower, as) && len(lower) > len(as)+2 {
+			tag = POSAdverb
+			break
+		}
+	}
+	return Token{Surface: w, Lemma: a.Lemmatize(lower), Tag: tag, Words: 1, Position: pos}
+}
+
+// Lemmatize applies the language's suffix rules (longest first).
+func (a *Analyzer) Lemmatize(w string) string {
+	lower := strings.ToLower(w)
+	for _, r := range a.suffixes {
+		if len(lower) >= r.minLen && strings.HasSuffix(lower, r.suffix) {
+			return lower[:len(lower)-len(r.suffix)] + r.replace
+		}
+	}
+	return lower
+}
+
+// ProperNouns returns the non-numeric NP lemmas with score >= minScore
+// (the paper uses 0.2), deduplicated, in order of first appearance.
+func ProperNouns(tokens []Token, minScore float64) []Token {
+	seen := map[string]bool{}
+	var out []Token
+	for _, t := range tokens {
+		if t.Tag != POSProperNoun || t.Score < minScore || isNumeric(t.Lemma) {
+			continue
+		}
+		key := textsim.Fold(t.Lemma)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// TermFrequency returns non-stopword lemma frequencies, used by the
+// pipeline's term-frequency fallback for titles without proper nouns.
+func (a *Analyzer) TermFrequency(tokens []Token) map[string]int {
+	tf := map[string]int{}
+	for _, t := range tokens {
+		switch t.Tag {
+		case POSPunct, POSNumber, POSDeterminer, POSPreposition,
+			POSPronoun, POSConjunction:
+			continue
+		}
+		lemma := strings.ToLower(t.Lemma)
+		if a.stopwords[lemma] {
+			continue
+		}
+		tf[lemma]++
+	}
+	return tf
+}
+
+// TopTerms returns up to k terms by descending frequency (ties by
+// lexical order) — the "other potential relevant words" of §2.2.2.
+func TopTerms(tf map[string]int, k int) []string {
+	type e struct {
+		term string
+		n    int
+	}
+	list := make([]e, 0, len(tf))
+	for t, n := range tf {
+		list = append(list, e{t, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].term < list[j].term
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	out := make([]string, len(list))
+	for i, it := range list {
+		out[i] = it.term
+	}
+	return out
+}
+
+// splitSurface splits text into words and punctuation marks.
+func splitSurface(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(r)
+		case r == '\'' || r == '’':
+			// Keep elisions attached then split: "l'arco" -> "l'" "arco".
+			cur.WriteRune('\'')
+			flush()
+		case r == '-' && cur.Len() > 0:
+			cur.WriteRune(r)
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			out = append(out, string(r))
+		}
+	}
+	flush()
+	// Strip trailing apostrophes into elision tokens.
+	for i, w := range out {
+		out[i] = strings.TrimSuffix(w, "-")
+		_ = w
+	}
+	return out
+}
+
+func isPunct(w string) bool {
+	for _, r := range w {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(w) > 0
+}
+
+func isNumeric(w string) bool {
+	hasDigit := false
+	for _, r := range w {
+		if unicode.IsDigit(r) {
+			hasDigit = true
+			continue
+		}
+		if r == '.' || r == ',' || r == '-' {
+			continue
+		}
+		return false
+	}
+	return hasDigit
+}
+
+func isCapitalized(w string) bool {
+	// Elision prefixes like "l'" leave the capital on the next token.
+	w = strings.TrimSuffix(w, "'")
+	for _, r := range w {
+		return unicode.IsUpper(r)
+	}
+	return false
+}

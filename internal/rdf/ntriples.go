@@ -1,0 +1,332 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with its input position.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// NTriplesReader streams triples from N-Triples input. It also accepts
+// N-Quads lines; the graph component is exposed via ReadQuad.
+type NTriplesReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewNTriplesReader wraps r.
+func NewNTriplesReader(r io.Reader) *NTriplesReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &NTriplesReader{sc: sc}
+}
+
+// Read returns the next triple, dropping any graph label, or io.EOF.
+func (r *NTriplesReader) Read() (Triple, error) {
+	q, err := r.ReadQuad()
+	return q.Triple(), err
+}
+
+// ReadQuad returns the next quad (graph zero for triples) or io.EOF.
+func (r *NTriplesReader) ReadQuad() (Quad, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := parseNQuadLine(line, r.line)
+		if err != nil {
+			return Quad{}, err
+		}
+		return q, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Quad{}, err
+	}
+	return Quad{}, io.EOF
+}
+
+// ParseNTriples parses a complete N-Triples document.
+func ParseNTriples(s string) ([]Triple, error) {
+	r := NewNTriplesReader(strings.NewReader(s))
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseNQuads parses a complete N-Quads document.
+func ParseNQuads(s string) ([]Quad, error) {
+	r := NewNTriplesReader(strings.NewReader(s))
+	var out []Quad
+	for {
+		q, err := r.ReadQuad()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) eof() bool { return p.pos >= len(p.s) }
+
+func parseNQuadLine(line string, lineno int) (Quad, error) {
+	p := &lineParser{s: line, line: lineno}
+	s, err := p.term()
+	if err != nil {
+		return Quad{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Quad{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Quad{}, err
+	}
+	p.skipWS()
+	var g Term
+	if !p.eof() && p.s[p.pos] != '.' {
+		g, err = p.term()
+		if err != nil {
+			return Quad{}, err
+		}
+	}
+	p.skipWS()
+	if p.eof() || p.s[p.pos] != '.' {
+		return Quad{}, p.errf("expected terminating '.'")
+	}
+	p.pos++
+	p.skipWS()
+	if !p.eof() && !strings.HasPrefix(p.s[p.pos:], "#") {
+		return Quad{}, p.errf("trailing content after '.'")
+	}
+	q := Quad{S: s, P: pr, O: o, G: g}
+	if err := q.Triple().Validate(); err != nil {
+		return Quad{}, p.errf("%v", err)
+	}
+	return q, nil
+}
+
+// term parses one N-Triples term at the current position.
+func (p *lineParser) term() (Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of line, expected term")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, p.errf("unexpected character %q", p.s[p.pos])
+	}
+}
+
+func (p *lineParser) iri() (Term, error) {
+	p.pos++ // consume '<'
+	var b strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '>':
+			p.pos++
+			return NewIRI(b.String()), nil
+		case '\\':
+			r, err := p.unescape()
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+		default:
+			if c == ' ' || c == '<' || c == '"' {
+				return Term{}, p.errf("illegal character %q in IRI", c)
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return Term{}, p.errf("unterminated IRI")
+}
+
+func (p *lineParser) blank() (Term, error) {
+	if !strings.HasPrefix(p.s[p.pos:], "_:") {
+		return Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.s) && isBlankLabelChar(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.s[start:p.pos]), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.'
+}
+
+func (p *lineParser) literal() (Term, error) {
+	p.pos++ // consume opening quote
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.s) {
+			return Term{}, p.errf("unterminated literal")
+		}
+		c := p.s[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			r, err := p.unescape()
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && (isAlphaNum(p.s[p.pos]) || p.s[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.s[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		if p.eof() || p.s[p.pos] != '<' {
+			return Term{}, p.errf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value()), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func isAlphaNum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// unescape consumes a backslash escape starting at p.pos (which must
+// point at the backslash) and returns the decoded rune.
+func (p *lineParser) unescape() (rune, error) {
+	p.pos++ // consume backslash
+	if p.eof() {
+		return 0, p.errf("dangling escape")
+	}
+	c := p.s[p.pos]
+	p.pos++
+	switch c {
+	case 't':
+		return '\t', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 'b':
+		return '\b', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u', 'U':
+		n := 4
+		if c == 'U' {
+			n = 8
+		}
+		if p.pos+n > len(p.s) {
+			return 0, p.errf("truncated \\%c escape", c)
+		}
+		v, err := strconv.ParseUint(p.s[p.pos:p.pos+n], 16, 32)
+		if err != nil {
+			return 0, p.errf("invalid \\%c escape: %v", c, err)
+		}
+		p.pos += n
+		return rune(v), nil
+	default:
+		return 0, p.errf("unknown escape \\%c", c)
+	}
+}
+
+// WriteNTriples writes triples in N-Triples syntax.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := bw.WriteString(t.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteNQuads writes quads in N-Quads syntax.
+func WriteNQuads(w io.Writer, quads []Quad) error {
+	bw := bufio.NewWriter(w)
+	for _, q := range quads {
+		if _, err := bw.WriteString(q.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,185 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	doc := `
+# a comment
+<http://ex.org/s> <http://ex.org/p> "plain" .
+<http://ex.org/s> <http://ex.org/p> "con tag"@it .
+<http://ex.org/s> <http://ex.org/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://ex.org/p> <http://ex.org/o> .   # trailing comment
+`
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples", len(ts))
+	}
+	if ts[1].O.Lang() != "it" {
+		t.Errorf("lang = %q", ts[1].O.Lang())
+	}
+	if ts[2].O.Datatype() != XSDInteger {
+		t.Errorf("datatype = %q", ts[2].O.Datatype())
+	}
+	if !ts[3].S.IsBlank() || ts[3].S.Value() != "b1" {
+		t.Errorf("blank subject = %v", ts[3].S)
+	}
+}
+
+func TestParseNTriplesEscapes(t *testing.T) {
+	doc := `<http://ex.org/s> <http://ex.org/p> "line1\nline2\t\"q\" \\ é \U0001F600" .`
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line1\nline2\t\"q\" \\ é 😀"
+	if got := ts[0].O.Value(); got != want {
+		t.Fatalf("unescaped = %q, want %q", got, want)
+	}
+}
+
+func TestParseNQuadsGraphComponent(t *testing.T) {
+	doc := `<http://s> <http://p> "o" <http://g> .
+<http://s> <http://p> "o2" .`
+	qs, err := ParseNQuads(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("got %d quads", len(qs))
+	}
+	if qs[0].G.Value() != "http://g" {
+		t.Errorf("graph = %v", qs[0].G)
+	}
+	if !qs[1].InDefaultGraph() {
+		t.Error("second quad should be in default graph")
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> "unterminated .`,
+		`<http://s> <http://p> .`,
+		`<http://s> <http://p> "o"`,
+		`"lit" <http://p> "o" .`,
+		`<http://s> _:b "o" .`,
+		`<http://s> <http://p> "o" . trailing`,
+		`<http://s <http://p> "o" .`,
+		`<http://s> <http://p> "o"@ .`,
+		`_: <http://p> "o" .`,
+		`<http://s> <http://p> "bad\q" .`,
+		`<http://s> <http://p> "trunc\u00" .`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseNTriples(doc); err == nil {
+			t.Errorf("accepted invalid doc %q", doc)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("error for %q is %T, want *ParseError", doc, err)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := ParseNTriples("<http://s> <http://p> \"ok\" .\n<http://s> bogus \"o\" .")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "2:") {
+		t.Fatalf("Error() = %q lacks position", pe.Error())
+	}
+}
+
+func TestWriteNTriplesRoundTrip(t *testing.T) {
+	orig := []Triple{
+		NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLangLiteral("Mole\n\"Antonelliana\"", "it")),
+		NewTriple(NewBlank("x"), NewIRI("http://p"), NewInteger(42)),
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseNTriples(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip count %d != %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Errorf("triple %d: got %v want %v", i, got[i], orig[i])
+		}
+	}
+}
+
+// Property: arbitrary generated quads survive an N-Quads round trip.
+func TestQuickNQuadsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		quads := make([]Quad, 0, n)
+		for i := 0; i < n; i++ {
+			s := NewIRI("http://example.org/s/" + randToken(r))
+			if r.Intn(3) == 0 {
+				s = NewBlank("b" + randToken(r))
+			}
+			p := NewIRI("http://example.org/p/" + randToken(r))
+			o := randomTerm(r)
+			var g Term
+			if r.Intn(2) == 0 {
+				g = NewIRI("http://example.org/g/" + randToken(r))
+			}
+			quads = append(quads, NewQuad(s, p, o, g))
+		}
+		var buf bytes.Buffer
+		if err := WriteNQuads(&buf, quads); err != nil {
+			return false
+		}
+		got, err := ParseNQuads(buf.String())
+		if err != nil || len(got) != len(quads) {
+			return false
+		}
+		for i := range quads {
+			if got[i] != quads[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNTriplesReaderStreamsLargeInput(t *testing.T) {
+	var sb strings.Builder
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sb.WriteString(NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewInteger(int64(i))).String())
+		sb.WriteString("\n")
+	}
+	r := NewNTriplesReader(strings.NewReader(sb.String()))
+	count := 0
+	for {
+		_, err := r.Read()
+		if err != nil {
+			break
+		}
+		count++
+	}
+	if count != n {
+		t.Fatalf("streamed %d triples, want %d", count, n)
+	}
+}

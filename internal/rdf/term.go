@@ -1,0 +1,265 @@
+// Package rdf implements the RDF 1.1 data model used throughout the
+// platform: IRIs, literals (plain, language-tagged and typed), blank
+// nodes, triples and quads, together with readers and writers for the
+// N-Triples, N-Quads and a practical subset of the Turtle syntax.
+//
+// The package is the foundation of the semanticization described in
+// §2.1 of "LODifying personal content sharing": every other subsystem
+// (the quad store, the SPARQL engine, the D2R mapper, the annotation
+// pipeline) exchanges data as rdf.Term and rdf.Quad values.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three RDF term kinds plus the zero value.
+type TermKind uint8
+
+const (
+	// TermInvalid is the kind of the zero Term.
+	TermInvalid TermKind = iota
+	// TermIRI is an absolute IRI reference.
+	TermIRI
+	// TermLiteral is a literal with optional language tag or datatype.
+	TermLiteral
+	// TermBlank is a blank node with a document-scoped label.
+	TermBlank
+)
+
+// String returns a human-readable kind name.
+func (k TermKind) String() string {
+	switch k {
+	case TermIRI:
+		return "iri"
+	case TermLiteral:
+		return "literal"
+	case TermBlank:
+		return "blank"
+	default:
+		return "invalid"
+	}
+}
+
+// Well-known datatype and vocabulary IRIs.
+const (
+	XSDString   = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger  = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal  = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble   = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean  = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDateTime = "http://www.w3.org/2001/XMLSchema#dateTime"
+	XSDDate     = "http://www.w3.org/2001/XMLSchema#date"
+
+	RDFType       = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFLangString = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+
+	RDFSLabel   = "http://www.w3.org/2000/01/rdf-schema#label"
+	RDFSComment = "http://www.w3.org/2000/01/rdf-schema#comment"
+	RDFSSeeAlso = "http://www.w3.org/2000/01/rdf-schema#seeAlso"
+
+	// VirtGeometry is the predicate Virtuoso attaches geometries to;
+	// the paper's queries rely on geo:geometry (§2.3).
+	GeoGeometry = "http://www.w3.org/2003/01/geo/wgs84_pos#geometry"
+	GeoLat      = "http://www.w3.org/2003/01/geo/wgs84_pos#lat"
+	GeoLong     = "http://www.w3.org/2003/01/geo/wgs84_pos#long"
+
+	// VirtRDFGeometry mirrors Virtuoso's geometry literal datatype used
+	// by bif:st_intersects filters.
+	VirtRDFGeometry = "http://www.openlinksw.com/schemas/virtrdf#Geometry"
+)
+
+// Term is an RDF term. The zero Term is invalid. Terms are immutable
+// value types and are safe to copy and to use as map keys.
+type Term struct {
+	kind TermKind
+	// value holds the IRI, the literal lexical form, or the blank label.
+	value string
+	// lang is the language tag (literals only, mutually exclusive with
+	// a non-default datatype per RDF 1.1).
+	lang string
+	// datatype is the datatype IRI for typed literals. Empty means
+	// xsd:string for plain literals (RDF 1.1 semantics).
+	datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{kind: TermIRI, value: iri} }
+
+// NewBlank returns a blank node term with the given label (without the
+// leading "_:" prefix).
+func NewBlank(label string) Term { return Term{kind: TermBlank, value: label} }
+
+// NewLiteral returns a plain literal (datatype xsd:string).
+func NewLiteral(lex string) Term { return Term{kind: TermLiteral, value: lex} }
+
+// NewLangLiteral returns a language-tagged literal. The tag is
+// normalized to lowercase as language tags are case-insensitive.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{kind: TermLiteral, value: lex, lang: strings.ToLower(lang)}
+}
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+// A datatype of xsd:string is normalized to the plain form.
+func NewTypedLiteral(lex, datatype string) Term {
+	if datatype == XSDString || datatype == "" {
+		return Term{kind: TermLiteral, value: lex}
+	}
+	return Term{kind: TermLiteral, value: lex, datatype: datatype}
+}
+
+// NewInteger returns an xsd:integer literal.
+func NewInteger(v int64) Term {
+	return Term{kind: TermLiteral, value: fmt.Sprintf("%d", v), datatype: XSDInteger}
+}
+
+// NewDouble returns an xsd:double literal.
+func NewDouble(v float64) Term {
+	return Term{kind: TermLiteral, value: formatFloat(v), datatype: XSDDouble}
+}
+
+// NewBoolean returns an xsd:boolean literal.
+func NewBoolean(v bool) Term {
+	if v {
+		return Term{kind: TermLiteral, value: "true", datatype: XSDBoolean}
+	}
+	return Term{kind: TermLiteral, value: "false", datatype: XSDBoolean}
+}
+
+// Kind reports the term kind.
+func (t Term) Kind() TermKind { return t.kind }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.kind == TermIRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.kind == TermLiteral }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.kind == TermBlank }
+
+// IsZero reports whether the term is the zero (invalid) term.
+func (t Term) IsZero() bool { return t.kind == TermInvalid }
+
+// Value returns the IRI, literal lexical form or blank node label.
+func (t Term) Value() string { return t.value }
+
+// Lang returns the language tag of a language-tagged literal, or "".
+func (t Term) Lang() string { return t.lang }
+
+// Datatype returns the literal's datatype IRI. Plain literals report
+// xsd:string and language-tagged literals rdf:langString, matching
+// RDF 1.1 abstract syntax.
+func (t Term) Datatype() string {
+	if t.kind != TermLiteral {
+		return ""
+	}
+	if t.lang != "" {
+		return RDFLangString
+	}
+	if t.datatype == "" {
+		return XSDString
+	}
+	return t.datatype
+}
+
+// Equal reports term equality per RDF 1.1 (kind, value, language tag
+// and datatype all match).
+func (t Term) Equal(o Term) bool { return t == o }
+
+// String renders the term in N-Triples syntax. Invalid terms render
+// as "<invalid>"; this is intended for diagnostics only.
+func (t Term) String() string {
+	switch t.kind {
+	case TermIRI:
+		return "<" + escapeIRI(t.value) + ">"
+	case TermBlank:
+		return "_:" + t.value
+	case TermLiteral:
+		s := `"` + escapeLiteral(t.value) + `"`
+		switch {
+		case t.lang != "":
+			return s + "@" + t.lang
+		case t.datatype != "":
+			return s + "^^<" + escapeIRI(t.datatype) + ">"
+		default:
+			return s
+		}
+	default:
+		return "<invalid>"
+	}
+}
+
+// Compare orders terms deterministically: blanks < IRIs < literals,
+// then by value, then by language tag, then by datatype. It implements
+// the SPARQL ORDER BY term ordering used by the query engine.
+func (t Term) Compare(o Term) int {
+	if t.kind != o.kind {
+		return int(kindRank(t.kind)) - int(kindRank(o.kind))
+	}
+	if c := strings.Compare(t.value, o.value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.lang, o.lang); c != 0 {
+		return c
+	}
+	return strings.Compare(t.datatype, o.datatype)
+}
+
+func kindRank(k TermKind) uint8 {
+	switch k {
+	case TermBlank:
+		return 1
+	case TermIRI:
+		return 2
+	case TermLiteral:
+		return 3
+	default:
+		return 0
+	}
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	// xsd:double lexical forms require an exponent or decimal point to
+	// be distinguishable from integers; %g may emit a bare integer.
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "NaN") && !strings.Contains(s, "Inf") {
+		s += ".0"
+	}
+	return s
+}
+
+func escapeIRI(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+			fmt.Fprintf(&b, "\\u%04X", r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

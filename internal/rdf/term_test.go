@@ -1,0 +1,304 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name     string
+		term     Term
+		kind     TermKind
+		value    string
+		lang     string
+		datatype string
+	}{
+		{"iri", NewIRI("http://example.org/a"), TermIRI, "http://example.org/a", "", ""},
+		{"blank", NewBlank("b1"), TermBlank, "b1", "", ""},
+		{"plain literal", NewLiteral("hello"), TermLiteral, "hello", "", XSDString},
+		{"lang literal", NewLangLiteral("ciao", "IT"), TermLiteral, "ciao", "it", RDFLangString},
+		{"typed literal", NewTypedLiteral("5", XSDInteger), TermLiteral, "5", "", XSDInteger},
+		{"xsd:string collapses to plain", NewTypedLiteral("x", XSDString), TermLiteral, "x", "", XSDString},
+		{"integer", NewInteger(-42), TermLiteral, "-42", "", XSDInteger},
+		{"boolean", NewBoolean(true), TermLiteral, "true", "", XSDBoolean},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.term.Kind() != tt.kind {
+				t.Errorf("kind = %v, want %v", tt.term.Kind(), tt.kind)
+			}
+			if tt.term.Value() != tt.value {
+				t.Errorf("value = %q, want %q", tt.term.Value(), tt.value)
+			}
+			if tt.term.Lang() != tt.lang {
+				t.Errorf("lang = %q, want %q", tt.term.Lang(), tt.lang)
+			}
+			if tt.datatype != "" && tt.term.Datatype() != tt.datatype {
+				t.Errorf("datatype = %q, want %q", tt.term.Datatype(), tt.datatype)
+			}
+		})
+	}
+}
+
+func TestZeroTermIsInvalid(t *testing.T) {
+	var z Term
+	if !z.IsZero() || z.Kind() != TermInvalid {
+		t.Fatalf("zero Term should be invalid, got kind %v", z.Kind())
+	}
+	if got := z.String(); got != "<invalid>" {
+		t.Fatalf("zero Term String = %q", got)
+	}
+}
+
+func TestDoubleLexicalForm(t *testing.T) {
+	d := NewDouble(2)
+	if !strings.ContainsAny(d.Value(), ".eE") {
+		t.Errorf("double lexical form %q lacks decimal point or exponent", d.Value())
+	}
+	d2 := NewDouble(1.5e30)
+	if d2.Value() != "1.5e+30" {
+		t.Errorf("got %q", d2.Value())
+	}
+}
+
+func TestTermStringNTriples(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://ex.org/x"), "<http://ex.org/x>"},
+		{NewBlank("n0"), "_:n0"},
+		{NewLiteral("a b"), `"a b"`},
+		{NewLiteral("say \"hi\"\n"), `"say \"hi\"\n"`},
+		{NewLangLiteral("Mole Antonelliana", "it"), `"Mole Antonelliana"@it`},
+		{NewInteger(7), `"7"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+	}
+	for _, tt := range tests {
+		if got := tt.term.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestTermCompareOrdering(t *testing.T) {
+	// blanks < IRIs < literals
+	b, i, l := NewBlank("z"), NewIRI("http://a"), NewLiteral("a")
+	if !(b.Compare(i) < 0 && i.Compare(l) < 0 && b.Compare(l) < 0) {
+		t.Fatal("kind ordering violated")
+	}
+	if NewLiteral("a").Compare(NewLiteral("a")) != 0 {
+		t.Fatal("equal literals should compare 0")
+	}
+	if NewLangLiteral("a", "en").Compare(NewLangLiteral("a", "it")) >= 0 {
+		t.Fatal("lang tag should break ties")
+	}
+}
+
+func randomTerm(r *rand.Rand) Term {
+	lex := randString(r)
+	switch r.Intn(4) {
+	case 0:
+		return NewIRI("http://example.org/" + randToken(r))
+	case 1:
+		return NewBlank("b" + randToken(r))
+	case 2:
+		return NewLiteral(lex)
+	default:
+		langs := []string{"en", "it", "fr", "es", "de"}
+		return NewLangLiteral(lex, langs[r.Intn(len(langs))])
+	}
+}
+
+func randString(r *rand.Rand) string {
+	runes := []rune("abcXYZ 午\"\\\n\té…")
+	n := r.Intn(12)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(runes[r.Intn(len(runes))])
+	}
+	return b.String()
+}
+
+func randToken(r *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+	n := 1 + r.Intn(10)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[r.Intn(len(alpha))])
+	}
+	return b.String()
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomTerm(r), randomTerm(r)
+		ab, ba := a.Compare(b), b.Compare(a)
+		if a.Equal(b) {
+			return ab == 0 && ba == 0
+		}
+		return ab == -ba || (ab == 0 && ba == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every random term round-trips through N-Triples syntax.
+func TestQuickTermNTriplesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		term := randomTerm(r)
+		doc := NewIRI("http://s").String() + " " + NewIRI("http://p").String() + " " + term.String() + " ."
+		if term.IsIRI() || term.IsBlank() {
+			doc = term.String() + " " + NewIRI("http://p").String() + " " + NewLiteral("o").String() + " ."
+		}
+		ts, err := ParseNTriples(doc)
+		if err != nil || len(ts) != 1 {
+			return false
+		}
+		got := ts[0].O
+		if term.IsIRI() || term.IsBlank() {
+			got = ts[0].S
+		}
+		return got.Equal(term)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphBasicOps(t *testing.T) {
+	g := NewGraph()
+	tr := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o"))
+	if !g.Add(tr) {
+		t.Fatal("first Add should report true")
+	}
+	if g.Add(tr) {
+		t.Fatal("duplicate Add should report false")
+	}
+	if !g.Has(tr) || g.Len() != 1 {
+		t.Fatal("membership broken")
+	}
+	if !g.Remove(tr) || g.Remove(tr) {
+		t.Fatal("Remove semantics broken")
+	}
+}
+
+func TestGraphObjectsSorted(t *testing.T) {
+	g := NewGraph()
+	s, p := NewIRI("http://s"), NewIRI("http://p")
+	g.Add(NewTriple(s, p, NewLiteral("b")))
+	g.Add(NewTriple(s, p, NewLiteral("a")))
+	g.Add(NewTriple(s, NewIRI("http://q"), NewLiteral("zz")))
+	got := g.Objects(s, p)
+	if len(got) != 2 || got[0].Value() != "a" || got[1].Value() != "b" {
+		t.Fatalf("Objects = %v", got)
+	}
+}
+
+func TestGraphMerge(t *testing.T) {
+	a, b := NewGraph(), NewGraph()
+	t1 := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("1"))
+	t2 := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("2"))
+	a.Add(t1)
+	b.Add(t1)
+	b.Add(t2)
+	if n := a.Merge(b); n != 1 {
+		t.Fatalf("Merge added %d, want 1", n)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+}
+
+func TestTripleValidate(t *testing.T) {
+	ok := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o"))
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid triple rejected: %v", err)
+	}
+	bad := []Triple{
+		NewTriple(NewLiteral("s"), NewIRI("http://p"), NewLiteral("o")),
+		NewTriple(NewIRI("http://s"), NewBlank("p"), NewLiteral("o")),
+		NewTriple(NewIRI("http://s"), NewIRI("http://p"), Term{}),
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad triple %d accepted", i)
+		}
+	}
+}
+
+func TestPrefixMapExpandCompact(t *testing.T) {
+	pm := CommonPrefixes()
+	iri, ok := pm.Expand("foaf:knows")
+	if !ok || iri != "http://xmlns.com/foaf/0.1/knows" {
+		t.Fatalf("Expand = %q, %v", iri, ok)
+	}
+	c, ok := pm.Compact("http://xmlns.com/foaf/0.1/knows")
+	if !ok || c != "foaf:knows" {
+		t.Fatalf("Compact = %q, %v", c, ok)
+	}
+	if _, ok := pm.Expand("nope:x"); ok {
+		t.Fatal("unbound prefix expanded")
+	}
+	if _, ok := pm.Expand("plain"); ok {
+		t.Fatal("colon-less input expanded")
+	}
+	// Local names that would need escaping are left as full IRIs.
+	if _, ok := pm.Compact("http://xmlns.com/foaf/0.1/a/b"); ok {
+		t.Fatal("slashy local name should not compact")
+	}
+}
+
+func TestPrefixMapLongestMatchWins(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Set("a", "http://ex.org/")
+	pm.Set("b", "http://ex.org/deep/")
+	c, ok := pm.Compact("http://ex.org/deep/x")
+	if !ok || c != "b:x" {
+		t.Fatalf("Compact = %q, want b:x", c)
+	}
+}
+
+func TestCompareQuadsGraphFirst(t *testing.T) {
+	s, p, o := NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o")
+	q1 := NewQuad(s, p, o, NewIRI("http://g1"))
+	q2 := NewQuad(s, p, o, NewIRI("http://g2"))
+	if CompareQuads(q1, q2) >= 0 {
+		t.Fatal("graph should order first")
+	}
+	dg := NewQuad(s, p, o, Term{})
+	if !dg.InDefaultGraph() {
+		t.Fatal("zero graph should be default graph")
+	}
+}
+
+func TestKindRankCoversAllKinds(t *testing.T) {
+	seen := map[uint8]bool{}
+	for _, k := range []TermKind{TermInvalid, TermBlank, TermIRI, TermLiteral} {
+		r := kindRank(k)
+		if seen[r] {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestTermIsUsableAsMapKey(t *testing.T) {
+	m := map[Term]int{}
+	m[NewLiteral("x")] = 1
+	m[NewLangLiteral("x", "en")] = 2
+	m[NewTypedLiteral("x", XSDInteger)] = 3
+	if len(m) != 3 {
+		t.Fatalf("distinct literals collided: %v", m)
+	}
+	if !reflect.DeepEqual(m[NewLiteral("x")], 1) {
+		t.Fatal("lookup failed")
+	}
+}

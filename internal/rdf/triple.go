@@ -1,0 +1,255 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Triple is an RDF triple. Subject must be an IRI or blank node,
+// predicate an IRI, object any term; constructors do not enforce this
+// so that streaming parsers can report violations with positions, but
+// Triple.Validate checks it.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// Validate reports whether the triple is well-formed RDF.
+func (t Triple) Validate() error {
+	switch {
+	case !t.S.IsIRI() && !t.S.IsBlank():
+		return fmt.Errorf("rdf: subject must be IRI or blank node, got %s", t.S.Kind())
+	case !t.P.IsIRI():
+		return fmt.Errorf("rdf: predicate must be IRI, got %s", t.P.Kind())
+	case t.O.IsZero():
+		return fmt.Errorf("rdf: object is invalid")
+	}
+	return nil
+}
+
+// String renders the triple in N-Triples syntax (without newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Quad is a triple within a named graph. A zero Graph term means the
+// default graph.
+type Quad struct {
+	S, P, O, G Term
+}
+
+// NewQuad builds a quad. Pass a zero Term as g for the default graph.
+func NewQuad(s, p, o, g Term) Quad { return Quad{S: s, P: p, O: o, G: g} }
+
+// Triple returns the quad's triple component.
+func (q Quad) Triple() Triple { return Triple{S: q.S, P: q.P, O: q.O} }
+
+// InDefaultGraph reports whether the quad belongs to the default graph.
+func (q Quad) InDefaultGraph() bool { return q.G.IsZero() }
+
+// String renders the quad in N-Quads syntax (without newline).
+func (q Quad) String() string {
+	if q.InDefaultGraph() {
+		return q.Triple().String()
+	}
+	return q.S.String() + " " + q.P.String() + " " + q.O.String() + " " + q.G.String() + " ."
+}
+
+// Graph is an in-memory set of triples with convenience accessors.
+// It preserves no order; use Sorted for deterministic output. Graph is
+// not safe for concurrent mutation.
+type Graph struct {
+	set map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{set: make(map[Triple]struct{})} }
+
+// Add inserts a triple, reporting whether it was new.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	return true
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if _, ok := g.set[t]; !ok {
+		return false
+	}
+	delete(g.set, t)
+	return true
+}
+
+// Has reports membership.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int { return len(g.set) }
+
+// Each calls fn for every triple until fn returns false.
+func (g *Graph) Each(fn func(Triple) bool) {
+	for t := range g.set {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Sorted returns all triples in deterministic (S,P,O) order.
+func (g *Graph) Sorted() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// Objects returns all objects of triples with the given subject and
+// predicate, in deterministic order.
+func (g *Graph) Objects(s, p Term) []Term {
+	var out []Term
+	for t := range g.set {
+		if t.S == s && t.P == p {
+			out = append(out, t.O)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Merge adds all triples of o into g and returns the count added.
+func (g *Graph) Merge(o *Graph) int {
+	n := 0
+	for t := range o.set {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// CompareTriples orders triples by subject, predicate, object.
+func CompareTriples(a, b Triple) int {
+	if c := a.S.Compare(b.S); c != 0 {
+		return c
+	}
+	if c := a.P.Compare(b.P); c != 0 {
+		return c
+	}
+	return a.O.Compare(b.O)
+}
+
+// CompareQuads orders quads by graph, subject, predicate, object.
+func CompareQuads(a, b Quad) int {
+	if c := a.G.Compare(b.G); c != 0 {
+		return c
+	}
+	return CompareTriples(a.Triple(), b.Triple())
+}
+
+// PrefixMap maps prefixes (without the trailing colon) to namespace
+// IRIs, supporting CURIE expansion/compaction for Turtle output and
+// SPARQL parsing.
+type PrefixMap struct {
+	byPrefix map[string]string
+	prefixes []string // insertion order for deterministic output
+}
+
+// NewPrefixMap returns an empty prefix map.
+func NewPrefixMap() *PrefixMap {
+	return &PrefixMap{byPrefix: make(map[string]string)}
+}
+
+// CommonPrefixes returns a prefix map preloaded with the namespaces
+// the paper's queries use (rdf, rdfs, foaf, sioct, comm, rev, geo,
+// dbpo, lgdo, xsd, dc, gn).
+func CommonPrefixes() *PrefixMap {
+	pm := NewPrefixMap()
+	for _, p := range [][2]string{
+		{"rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#"},
+		{"rdfs", "http://www.w3.org/2000/01/rdf-schema#"},
+		{"xsd", "http://www.w3.org/2001/XMLSchema#"},
+		{"foaf", "http://xmlns.com/foaf/0.1/"},
+		{"sioct", "http://rdfs.org/sioc/types#"},
+		{"sioc", "http://rdfs.org/sioc/ns#"},
+		{"comm", "http://comm.semanticweb.org/core.owl#"},
+		{"rev", "http://purl.org/stuff/rev#"},
+		{"geo", "http://www.w3.org/2003/01/geo/wgs84_pos#"},
+		{"dbpo", "http://dbpedia.org/ontology/"},
+		{"dbpedia", "http://dbpedia.org/resource/"},
+		{"lgdo", "http://linkedgeodata.org/ontology/"},
+		{"lgdp", "http://linkedgeodata.org/property/"},
+		{"gn", "http://www.geonames.org/ontology#"},
+		{"dc", "http://purl.org/dc/elements/1.1/"},
+		{"dcterms", "http://purl.org/dc/terms/"},
+	} {
+		pm.Set(p[0], p[1])
+	}
+	return pm
+}
+
+// Set binds prefix to ns, replacing any previous binding.
+func (pm *PrefixMap) Set(prefix, ns string) {
+	if _, ok := pm.byPrefix[prefix]; !ok {
+		pm.prefixes = append(pm.prefixes, prefix)
+	}
+	pm.byPrefix[prefix] = ns
+}
+
+// Get returns the namespace bound to prefix.
+func (pm *PrefixMap) Get(prefix string) (string, bool) {
+	ns, ok := pm.byPrefix[prefix]
+	return ns, ok
+}
+
+// Expand resolves a CURIE like "foaf:name" to a full IRI. It returns
+// false when the prefix is unbound or the input has no colon.
+func (pm *PrefixMap) Expand(curie string) (string, bool) {
+	i := strings.Index(curie, ":")
+	if i < 0 {
+		return "", false
+	}
+	ns, ok := pm.byPrefix[curie[:i]]
+	if !ok {
+		return "", false
+	}
+	return ns + curie[i+1:], true
+}
+
+// Compact rewrites iri as a CURIE using the longest matching namespace,
+// returning the IRI unchanged (and false) when no prefix applies or
+// the local part would need escaping.
+func (pm *PrefixMap) Compact(iri string) (string, bool) {
+	best, bestNS := "", ""
+	for _, p := range pm.prefixes {
+		ns := pm.byPrefix[p]
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			best, bestNS = p, ns
+		}
+	}
+	if bestNS == "" {
+		return iri, false
+	}
+	local := iri[len(bestNS):]
+	if local == "" || strings.ContainsAny(local, "/#:?") {
+		return iri, false
+	}
+	return best + ":" + local, true
+}
+
+// Prefixes returns the bound prefixes in insertion order.
+func (pm *PrefixMap) Prefixes() []string {
+	out := make([]string, len(pm.prefixes))
+	copy(out, pm.prefixes)
+	return out
+}

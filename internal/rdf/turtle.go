@@ -1,0 +1,595 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// WriteTurtle writes the triples grouped by subject using the given
+// prefix map (which may be nil). Output is deterministic.
+func WriteTurtle(w io.Writer, triples []Triple, pm *PrefixMap) error {
+	bw := bufio.NewWriter(w)
+	if pm == nil {
+		pm = NewPrefixMap()
+	}
+	used := usedPrefixes(triples, pm)
+	for _, p := range used {
+		ns, _ := pm.Get(p)
+		fmt.Fprintf(bw, "@prefix %s: <%s> .\n", p, ns)
+	}
+	if len(used) > 0 {
+		bw.WriteString("\n")
+	}
+
+	sorted := make([]Triple, len(triples))
+	copy(sorted, triples)
+	sort.Slice(sorted, func(i, j int) bool { return CompareTriples(sorted[i], sorted[j]) < 0 })
+
+	for i := 0; i < len(sorted); {
+		s := sorted[i].S
+		j := i
+		for j < len(sorted) && sorted[j].S == s {
+			j++
+		}
+		bw.WriteString(turtleTerm(s, pm))
+		group := sorted[i:j]
+		for k := 0; k < len(group); {
+			p := group[k].P
+			m := k
+			for m < len(group) && group[m].P == p {
+				m++
+			}
+			if k == 0 {
+				bw.WriteString(" ")
+			} else {
+				bw.WriteString(" ;\n\t")
+			}
+			bw.WriteString(turtlePredicate(p, pm))
+			for n := k; n < m; n++ {
+				if n > k {
+					bw.WriteString(" ,")
+				}
+				bw.WriteString(" " + turtleTerm(group[n].O, pm))
+			}
+			k = m
+		}
+		bw.WriteString(" .\n")
+		i = j
+	}
+	return bw.Flush()
+}
+
+func usedPrefixes(triples []Triple, pm *PrefixMap) []string {
+	set := map[string]bool{}
+	note := func(t Term) {
+		if t.IsIRI() {
+			if c, ok := pm.Compact(t.Value()); ok {
+				set[c[:strings.Index(c, ":")]] = true
+			}
+		}
+		if t.IsLiteral() && t.Lang() == "" && t.Datatype() != XSDString {
+			if c, ok := pm.Compact(t.Datatype()); ok {
+				set[c[:strings.Index(c, ":")]] = true
+			}
+		}
+	}
+	for _, t := range triples {
+		note(t.S)
+		note(t.P)
+		note(t.O)
+	}
+	var out []string
+	for _, p := range pm.Prefixes() {
+		if set[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func turtlePredicate(p Term, pm *PrefixMap) string {
+	if p.Value() == RDFType {
+		return "a"
+	}
+	return turtleTerm(p, pm)
+}
+
+func turtleTerm(t Term, pm *PrefixMap) string {
+	switch t.Kind() {
+	case TermIRI:
+		if c, ok := pm.Compact(t.Value()); ok {
+			return c
+		}
+		return t.String()
+	case TermLiteral:
+		if t.Lang() == "" {
+			switch t.Datatype() {
+			case XSDInteger, XSDBoolean, XSDDecimal:
+				return t.Value()
+			case XSDString:
+				return t.String()
+			default:
+				if c, ok := pm.Compact(t.Datatype()); ok {
+					return `"` + escapeLiteral(t.Value()) + `"^^` + c
+				}
+			}
+		}
+		return t.String()
+	default:
+		return t.String()
+	}
+}
+
+// ParseTurtle parses a practical subset of Turtle: @prefix and PREFIX
+// directives, CURIEs, 'a', semicolon and comma continuation lists,
+// numeric/boolean shorthand literals, language tags, typed literals,
+// blank node labels and [] anonymous nodes. Collections ( ... ) are
+// not supported.
+func ParseTurtle(src string) ([]Triple, *PrefixMap, error) {
+	p := &turtleParser{src: src, pm: NewPrefixMap(), line: 1}
+	triples, err := p.parse()
+	if err != nil {
+		return nil, nil, err
+	}
+	return triples, p.pm, nil
+}
+
+type turtleParser struct {
+	src    string
+	pos    int
+	line   int
+	pm     *PrefixMap
+	base   string
+	bnSeq  int
+	triple []Triple
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: 0, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *turtleParser) parse() ([]Triple, error) {
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return p.triple, nil
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *turtleParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) statement() error {
+	if p.hasKeyword("@prefix") || p.hasKeyword("PREFIX") {
+		return p.prefixDirective()
+	}
+	if p.hasKeyword("@base") || p.hasKeyword("BASE") {
+		return p.baseDirective()
+	}
+	s, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(s); err != nil {
+		return err
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+		return p.errf("expected '.' after statement")
+	}
+	p.pos++
+	return nil
+}
+
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	end := p.pos + len(kw)
+	if end < len(p.src) {
+		c := p.src[end]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' && c != '<' {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *turtleParser) prefixDirective() error {
+	atForm := p.src[p.pos] == '@'
+	if atForm {
+		p.pos += len("@prefix")
+	} else {
+		p.pos += len("PREFIX")
+	}
+	p.skipWS()
+	colon := strings.IndexByte(p.src[p.pos:], ':')
+	if colon < 0 {
+		return p.errf("malformed prefix directive")
+	}
+	name := strings.TrimSpace(p.src[p.pos : p.pos+colon])
+	p.pos += colon + 1
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return p.errf("expected IRI in prefix directive")
+	}
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.pm.Set(name, iri)
+	if atForm {
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+			return p.errf("expected '.' after @prefix")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDirective() error {
+	atForm := p.src[p.pos] == '@'
+	if atForm {
+		p.pos += len("@base")
+	} else {
+		p.pos += len("BASE")
+	}
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri
+	if atForm {
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != '.' {
+			return p.errf("expected '.' after @base")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *turtleParser) subject() (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("unexpected EOF, expected subject")
+	}
+	switch p.src[p.pos] {
+	case '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	case '_':
+		return p.blankLabel()
+	case '[':
+		return p.anonBlank()
+	default:
+		return p.curieTerm()
+	}
+}
+
+func (p *turtleParser) anonBlank() (Term, error) {
+	p.pos++ // consume '['
+	p.bnSeq++
+	b := NewBlank(fmt.Sprintf("anon%d", p.bnSeq))
+	p.skipWS()
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		p.pos++
+		return b, nil
+	}
+	if err := p.predicateObjectList(b); err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+		return Term{}, p.errf("expected ']'")
+	}
+	p.pos++
+	return b, nil
+}
+
+func (p *turtleParser) predicateObjectList(s Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			o, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.triple = append(p.triple, Triple{S: s, P: pred, O: o})
+			p.skipWS()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.pos < len(p.src) && p.src[p.pos] == ';' {
+			p.pos++
+			p.skipWS()
+			// Allow trailing ';' before '.' or ']'.
+			if p.pos < len(p.src) && (p.src[p.pos] == '.' || p.src[p.pos] == ']') {
+				return nil
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *turtleParser) predicate() (Term, error) {
+	if p.pos < len(p.src) && p.src[p.pos] == 'a' {
+		if p.pos+1 >= len(p.src) || isTurtleWS(p.src[p.pos+1]) || p.src[p.pos+1] == '<' {
+			p.pos++
+			return NewIRI(RDFType), nil
+		}
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	}
+	return p.curieTerm()
+}
+
+func isTurtleWS(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func (p *turtleParser) object() (Term, error) {
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("unexpected EOF, expected object")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	case c == '_':
+		return p.blankLabel()
+	case c == '[':
+		return p.anonBlank()
+	case c == '"' || c == '\'':
+		return p.turtleLiteral()
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		return p.numericLiteral()
+	case strings.HasPrefix(p.src[p.pos:], "true") && p.boundaryAt(p.pos+4):
+		p.pos += 4
+		return NewBoolean(true), nil
+	case strings.HasPrefix(p.src[p.pos:], "false") && p.boundaryAt(p.pos+5):
+		p.pos += 5
+		return NewBoolean(false), nil
+	default:
+		return p.curieTerm()
+	}
+}
+
+func (p *turtleParser) boundaryAt(i int) bool {
+	if i >= len(p.src) {
+		return true
+	}
+	c := p.src[i]
+	return isTurtleWS(c) || c == '.' || c == ';' || c == ',' || c == ']' || c == ')'
+}
+
+func (p *turtleParser) iriRef() (string, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return "", p.errf("expected '<'")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '>' {
+		if p.src[p.pos] == '\n' {
+			return "", p.errf("newline in IRI")
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[start:p.pos]
+	p.pos++
+	if p.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		iri = p.base + iri
+	}
+	return iri, nil
+}
+
+func (p *turtleParser) blankLabel() (Term, error) {
+	if !strings.HasPrefix(p.src[p.pos:], "_:") {
+		return Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.src) && isBlankLabelChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.src[start:p.pos]), nil
+}
+
+func (p *turtleParser) curieTerm() (Term, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if isTurtleWS(c) || c == ';' || c == ',' || c == ']' || c == ')' ||
+			(c == '.' && p.boundaryAt(p.pos+1)) {
+			break
+		}
+		p.pos++
+	}
+	tok := p.src[start:p.pos]
+	if tok == "" {
+		return Term{}, p.errf("expected term")
+	}
+	iri, ok := p.pm.Expand(tok)
+	if !ok {
+		return Term{}, p.errf("unknown prefix in %q", tok)
+	}
+	return NewIRI(iri), nil
+}
+
+func (p *turtleParser) numericLiteral() (Term, error) {
+	start := p.pos
+	if p.src[p.pos] == '+' || p.src[p.pos] == '-' {
+		p.pos++
+	}
+	seenDot, seenExp := false, false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			p.pos++
+		case c == '.' && !seenDot && !seenExp && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9':
+			seenDot = true
+			p.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			p.pos++
+			if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+				p.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lex := p.src[start:p.pos]
+	switch {
+	case seenExp:
+		return NewTypedLiteral(lex, XSDDouble), nil
+	case seenDot:
+		return NewTypedLiteral(lex, XSDDecimal), nil
+	default:
+		return NewTypedLiteral(lex, XSDInteger), nil
+	}
+}
+
+func (p *turtleParser) turtleLiteral() (Term, error) {
+	quote := p.src[p.pos]
+	long := strings.HasPrefix(p.src[p.pos:], strings.Repeat(string(quote), 3))
+	var lex string
+	if long {
+		p.pos += 3
+		end := strings.Index(p.src[p.pos:], strings.Repeat(string(quote), 3))
+		if end < 0 {
+			return Term{}, p.errf("unterminated long literal")
+		}
+		lex = p.src[p.pos : p.pos+end]
+		p.line += strings.Count(lex, "\n")
+		p.pos += end + 3
+	} else {
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.pos >= len(p.src) {
+				return Term{}, p.errf("unterminated literal")
+			}
+			c := p.src[p.pos]
+			if c == quote {
+				p.pos++
+				break
+			}
+			if c == '\n' {
+				return Term{}, p.errf("newline in literal")
+			}
+			if c == '\\' {
+				lp := &lineParser{s: p.src, pos: p.pos, line: p.line}
+				r, err := lp.unescape()
+				if err != nil {
+					return Term{}, err
+				}
+				p.pos = lp.pos
+				b.WriteRune(r)
+				continue
+			}
+			r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+			b.WriteRune(r)
+			p.pos += size
+		}
+		lex = b.String()
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (isAlphaNum(p.src[p.pos]) || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		return NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos < len(p.src) && p.src[p.pos] == '<' {
+			iri, err := p.iriRef()
+			if err != nil {
+				return Term{}, err
+			}
+			return NewTypedLiteral(lex, iri), nil
+		}
+		t, err := p.curieTerm()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, t.Value()), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// IsValidLangTag loosely validates BCP47-style language tags used in
+// langMatches filters (letters, digits and hyphens, starting with a
+// letter).
+func IsValidLangTag(tag string) bool {
+	if tag == "" {
+		return false
+	}
+	for i, r := range tag {
+		switch {
+		case unicode.IsLetter(r):
+		case r == '-' && i > 0:
+		case unicode.IsDigit(r) && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

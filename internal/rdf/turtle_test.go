@@ -1,0 +1,212 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTurtleDirectivesAndLists(t *testing.T) {
+	src := `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+PREFIX ex: <http://ex.org/>
+
+ex:oscar a foaf:Person ;
+    foaf:name "oscar" ;
+    foaf:knows ex:walter , ex:carmen .
+
+ex:walter foaf:name "Walter Goix"@en .
+`
+	triples, pm, err := ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 5 {
+		t.Fatalf("got %d triples: %v", len(triples), triples)
+	}
+	if ns, ok := pm.Get("foaf"); !ok || ns != "http://xmlns.com/foaf/0.1/" {
+		t.Errorf("foaf prefix = %q", ns)
+	}
+	g := NewGraph()
+	for _, tr := range triples {
+		g.Add(tr)
+	}
+	oscar := NewIRI("http://ex.org/oscar")
+	knows := g.Objects(oscar, NewIRI("http://xmlns.com/foaf/0.1/knows"))
+	if len(knows) != 2 {
+		t.Fatalf("knows = %v", knows)
+	}
+	types := g.Objects(oscar, NewIRI(RDFType))
+	if len(types) != 1 || types[0].Value() != "http://xmlns.com/foaf/0.1/Person" {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestParseTurtleLiteralShorthands(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:s ex:int 42 ;
+     ex:neg -7 ;
+     ex:dec 3.14 ;
+     ex:dbl 1.0e6 ;
+     ex:t true ;
+     ex:f false ;
+     ex:typed "5"^^ex:custom ;
+     ex:long """multi
+line""" .`
+	triples, _, err := ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPred := map[string]Term{}
+	for _, tr := range triples {
+		byPred[tr.P.Value()] = tr.O
+	}
+	if o := byPred["http://ex.org/int"]; o.Datatype() != XSDInteger || o.Value() != "42" {
+		t.Errorf("int = %v", o)
+	}
+	if o := byPred["http://ex.org/neg"]; o.Value() != "-7" {
+		t.Errorf("neg = %v", o)
+	}
+	if o := byPred["http://ex.org/dec"]; o.Datatype() != XSDDecimal {
+		t.Errorf("dec = %v", o)
+	}
+	if o := byPred["http://ex.org/dbl"]; o.Datatype() != XSDDouble {
+		t.Errorf("dbl = %v", o)
+	}
+	if o := byPred["http://ex.org/t"]; o.Datatype() != XSDBoolean || o.Value() != "true" {
+		t.Errorf("t = %v", o)
+	}
+	if o := byPred["http://ex.org/typed"]; o.Datatype() != "http://ex.org/custom" {
+		t.Errorf("typed = %v", o)
+	}
+	if o := byPred["http://ex.org/long"]; o.Value() != "multi\nline" {
+		t.Errorf("long = %q", o.Value())
+	}
+}
+
+func TestParseTurtleAnonBlankNode(t *testing.T) {
+	src := `@prefix ex: <http://ex.org/> .
+ex:s ex:p [ ex:q "v" ] .
+ex:s2 ex:p [] .`
+	triples, _, err := ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 3 {
+		t.Fatalf("got %d triples: %v", len(triples), triples)
+	}
+	var inner, outer int
+	for _, tr := range triples {
+		if tr.S.IsBlank() {
+			inner++
+		}
+		if tr.O.IsBlank() {
+			outer++
+		}
+	}
+	if inner != 1 || outer != 2 {
+		t.Fatalf("inner=%d outer=%d", inner, outer)
+	}
+}
+
+func TestParseTurtleBase(t *testing.T) {
+	src := `@base <http://ex.org/> .
+<a> <b> <c> .`
+	triples, _, err := ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triples[0].S.Value() != "http://ex.org/a" {
+		t.Fatalf("base not applied: %v", triples[0])
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := []string{
+		`ex:s ex:p "o" .`, // unknown prefix
+		`@prefix ex: <http://e/> .` + "\n" + `ex:s ex:p "unterminated .`,
+		`@prefix ex: <http://e/> .` + "\n" + `ex:s ex:p "o"`, // missing dot
+	}
+	for _, src := range bad {
+		if _, _, err := ParseTurtle(src); err == nil {
+			t.Errorf("accepted invalid turtle %q", src)
+		}
+	}
+}
+
+func TestWriteTurtleRoundTrip(t *testing.T) {
+	pm := CommonPrefixes()
+	orig := []Triple{
+		NewTriple(NewIRI("http://dbpedia.org/resource/Turin"), NewIRI(RDFSLabel), NewLangLiteral("Torino", "it")),
+		NewTriple(NewIRI("http://dbpedia.org/resource/Turin"), NewIRI(RDFSLabel), NewLangLiteral("Turin", "en")),
+		NewTriple(NewIRI("http://dbpedia.org/resource/Turin"), NewIRI(RDFType), NewIRI("http://dbpedia.org/ontology/Place")),
+		NewTriple(NewIRI("http://ex.org/pic/1"), NewIRI("http://purl.org/stuff/rev#rating"), NewInteger(5)),
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, orig, pm); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@prefix rdfs:") {
+		t.Errorf("missing used prefix declaration in:\n%s", out)
+	}
+	if strings.Contains(out, "@prefix foaf:") {
+		t.Errorf("unused prefix declared in:\n%s", out)
+	}
+	got, _, err := ParseTurtle(out)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, out)
+	}
+	gotG, origG := NewGraph(), NewGraph()
+	for _, tr := range got {
+		gotG.Add(tr)
+	}
+	for _, tr := range orig {
+		origG.Add(tr)
+	}
+	if gotG.Len() != origG.Len() {
+		t.Fatalf("round trip size %d != %d\n%s", gotG.Len(), origG.Len(), out)
+	}
+	origG.Each(func(tr Triple) bool {
+		if !gotG.Has(tr) {
+			t.Errorf("lost triple %v", tr)
+		}
+		return true
+	})
+}
+
+func TestWriteTurtleUsesAKeyword(t *testing.T) {
+	var buf bytes.Buffer
+	triples := []Triple{NewTriple(NewIRI("http://s"), NewIRI(RDFType), NewIRI("http://C"))}
+	if err := WriteTurtle(&buf, triples, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), " a <http://C>") {
+		t.Fatalf("expected 'a' keyword, got %q", buf.String())
+	}
+}
+
+func TestIsValidLangTag(t *testing.T) {
+	for _, ok := range []string{"en", "it", "en-US", "pt-br", "x-klingon1"} {
+		if !IsValidLangTag(ok) {
+			t.Errorf("rejected valid tag %q", ok)
+		}
+	}
+	for _, bad := range []string{"", "-en", "1en", "en us", "en_US"} {
+		if IsValidLangTag(bad) {
+			t.Errorf("accepted invalid tag %q", bad)
+		}
+	}
+}
+
+func TestParseTurtleTrailingSemicolon(t *testing.T) {
+	src := `@prefix ex: <http://e/> .
+ex:s ex:p "v" ; .`
+	triples, _, err := ParseTurtle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 1 {
+		t.Fatalf("got %d", len(triples))
+	}
+}

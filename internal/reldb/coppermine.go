@@ -1,0 +1,78 @@
+package reldb
+
+import "fmt"
+
+// NewCoppermineDB creates the slice of the Coppermine Photo Gallery
+// schema the paper's analysis selected (§2.1: "avoiding service
+// tables and focusing on the ones that describe content, users and
+// their relationships"). The keywords column is a single
+// space-separated TEXT field, exactly the denormalization §2.1.1
+// discusses.
+func NewCoppermineDB() *DB {
+	db := NewDB()
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("coppermine schema: %v", err))
+		}
+	}
+	must(db.CreateTable(Schema{
+		Name:       "users",
+		PrimaryKey: "user_id",
+		Columns: []Column{
+			{Name: "user_id", Type: TypeInt, NotNull: true},
+			{Name: "user_name", Type: TypeText, NotNull: true},
+			{Name: "user_email", Type: TypeText},
+			{Name: "user_fullname", Type: TypeText},
+			{Name: "user_openid", Type: TypeText},
+		},
+	}))
+	must(db.CreateTable(Schema{
+		Name:       "albums",
+		PrimaryKey: "aid",
+		Columns: []Column{
+			{Name: "aid", Type: TypeInt, NotNull: true},
+			{Name: "title", Type: TypeText, NotNull: true},
+			{Name: "description", Type: TypeText},
+			{Name: "owner", Type: TypeInt, References: "users"},
+		},
+	}))
+	must(db.CreateTable(Schema{
+		Name:       "pictures",
+		PrimaryKey: "pid",
+		Columns: []Column{
+			{Name: "pid", Type: TypeInt, NotNull: true},
+			{Name: "aid", Type: TypeInt, References: "albums"},
+			{Name: "filename", Type: TypeText, NotNull: true},
+			{Name: "title", Type: TypeText},
+			{Name: "caption", Type: TypeText},
+			// Space-separated keywords, per the original schema.
+			{Name: "keywords", Type: TypeText},
+			{Name: "owner_id", Type: TypeInt, References: "users"},
+			{Name: "ctime", Type: TypeInt}, // unix timestamp
+			{Name: "pic_rating", Type: TypeInt},
+			{Name: "lat", Type: TypeFloat},
+			{Name: "lon", Type: TypeFloat},
+			{Name: "approved", Type: TypeBool},
+		},
+	}))
+	must(db.CreateTable(Schema{
+		Name:       "comments",
+		PrimaryKey: "msg_id",
+		Columns: []Column{
+			{Name: "msg_id", Type: TypeInt, NotNull: true},
+			{Name: "pid", Type: TypeInt, References: "pictures"},
+			{Name: "author_id", Type: TypeInt, References: "users"},
+			{Name: "msg_body", Type: TypeText},
+		},
+	}))
+	must(db.CreateTable(Schema{
+		Name:       "friends",
+		PrimaryKey: "rel_id",
+		Columns: []Column{
+			{Name: "rel_id", Type: TypeInt, NotNull: true},
+			{Name: "user_id", Type: TypeInt, References: "users"},
+			{Name: "friend_id", Type: TypeInt, References: "users"},
+		},
+	}))
+	return db
+}

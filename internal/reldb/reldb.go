@@ -1,0 +1,334 @@
+// Package reldb is a small in-memory relational engine standing in
+// for the MySQL database behind the Coppermine-based platform the
+// paper semanticizes (§2.1). It supports typed columns, primary keys,
+// foreign keys, scans and lookups — enough to model the platform's
+// users / pictures / albums / comments schema and to drive the D2R
+// mapping (internal/d2r) exactly the way the paper's dump-rdf run did:
+// primary keys mint resource URIs, columns become predicates, foreign
+// keys become interlinks and the space-separated keywords column gets
+// split into per-keyword triples.
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a column type.
+type Type int
+
+const (
+	// TypeInt is a 64-bit integer column.
+	TypeInt Type = iota
+	// TypeText is a string column.
+	TypeText
+	// TypeFloat is a float64 column.
+	TypeFloat
+	// TypeBool is a boolean column.
+	TypeBool
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeText:
+		return "text"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	default:
+		return "unknown"
+	}
+}
+
+// Column describes one column.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+	// References names a table whose primary key this column points
+	// to (foreign key), or "".
+	References string
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey string
+}
+
+func (s *Schema) column(name string) (Column, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// Row maps column names to values. Values are int64, string, float64,
+// bool or nil.
+type Row map[string]any
+
+// clone returns a defensive copy.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Table holds rows keyed by primary key.
+type table struct {
+	schema Schema
+	rows   map[any]Row
+	order  []any // insertion order for deterministic scans
+}
+
+// DB is a database instance. Not safe for concurrent mutation; the
+// platform serializes writes through its service layer.
+type DB struct {
+	tables map[string]*table
+	names  []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*table{}} }
+
+// CreateTable registers a table schema.
+func (db *DB) CreateTable(s Schema) error {
+	if s.Name == "" {
+		return fmt.Errorf("reldb: table needs a name")
+	}
+	if _, exists := db.tables[s.Name]; exists {
+		return fmt.Errorf("reldb: table %q already exists", s.Name)
+	}
+	if _, ok := s.column(s.PrimaryKey); !ok {
+		return fmt.Errorf("reldb: table %q: primary key %q is not a column", s.Name, s.PrimaryKey)
+	}
+	for _, c := range s.Columns {
+		if c.References != "" {
+			if _, ok := db.tables[c.References]; !ok {
+				return fmt.Errorf("reldb: table %q: column %q references unknown table %q",
+					s.Name, c.Name, c.References)
+			}
+		}
+	}
+	db.tables[s.Name] = &table{schema: s, rows: map[any]Row{}}
+	db.names = append(db.names, s.Name)
+	return nil
+}
+
+// Tables returns the table names in creation order.
+func (db *DB) Tables() []string {
+	out := make([]string, len(db.names))
+	copy(out, db.names)
+	return out
+}
+
+// Schema returns a table's schema.
+func (db *DB) Schema(tableName string) (Schema, error) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return Schema{}, fmt.Errorf("reldb: unknown table %q", tableName)
+	}
+	return t.schema, nil
+}
+
+// Insert adds a row. The primary key must be present and unique;
+// typed columns are checked; foreign keys must resolve.
+func (db *DB) Insert(tableName string, row Row) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: unknown table %q", tableName)
+	}
+	if err := db.checkRow(t, row); err != nil {
+		return err
+	}
+	pk := row[t.schema.PrimaryKey]
+	if pk == nil {
+		return fmt.Errorf("reldb: %s: missing primary key %q", tableName, t.schema.PrimaryKey)
+	}
+	if _, dup := t.rows[pk]; dup {
+		return fmt.Errorf("reldb: %s: duplicate primary key %v", tableName, pk)
+	}
+	t.rows[pk] = row.clone()
+	t.order = append(t.order, pk)
+	return nil
+}
+
+// Update replaces the named columns of the row with primary key pk.
+func (db *DB) Update(tableName string, pk any, changes Row) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: unknown table %q", tableName)
+	}
+	row, ok := t.rows[pk]
+	if !ok {
+		return fmt.Errorf("reldb: %s: no row with key %v", tableName, pk)
+	}
+	if newPK, ok := changes[t.schema.PrimaryKey]; ok && newPK != pk {
+		return fmt.Errorf("reldb: %s: cannot change primary key", tableName)
+	}
+	merged := row.clone()
+	for k, v := range changes {
+		merged[k] = v
+	}
+	if err := db.checkRow(t, merged); err != nil {
+		return err
+	}
+	t.rows[pk] = merged
+	return nil
+}
+
+// Delete removes a row, reporting whether it existed.
+func (db *DB) Delete(tableName string, pk any) bool {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return false
+	}
+	if _, ok := t.rows[pk]; !ok {
+		return false
+	}
+	delete(t.rows, pk)
+	for i, k := range t.order {
+		if k == pk {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Get returns a copy of the row with the given primary key.
+func (db *DB) Get(tableName string, pk any) (Row, bool) {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, false
+	}
+	row, ok := t.rows[pk]
+	if !ok {
+		return nil, false
+	}
+	return row.clone(), true
+}
+
+// Scan calls fn with a copy of every row in insertion order; fn
+// returning false stops the scan.
+func (db *DB) Scan(tableName string, fn func(Row) bool) error {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("reldb: unknown table %q", tableName)
+	}
+	for _, pk := range t.order {
+		if !fn(t.rows[pk].clone()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Select returns the rows matching every equality condition in where
+// (nil where returns all rows).
+func (db *DB) Select(tableName string, where Row) ([]Row, error) {
+	var out []Row
+	err := db.Scan(tableName, func(r Row) bool {
+		for k, v := range where {
+			if r[k] != v {
+				return true
+			}
+		}
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}
+
+// Count returns the number of rows in a table.
+func (db *DB) Count(tableName string) int {
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0
+	}
+	return len(t.rows)
+}
+
+// checkRow validates types, not-null constraints and foreign keys.
+func (db *DB) checkRow(t *table, row Row) error {
+	for name := range row {
+		if _, ok := t.schema.column(name); !ok {
+			return fmt.Errorf("reldb: %s: unknown column %q", t.schema.Name, name)
+		}
+	}
+	for _, c := range t.schema.Columns {
+		v, present := row[c.Name]
+		if !present || v == nil {
+			if c.NotNull || c.Name == t.schema.PrimaryKey {
+				if !present || v == nil {
+					return fmt.Errorf("reldb: %s: column %q is NOT NULL", t.schema.Name, c.Name)
+				}
+			}
+			continue
+		}
+		if err := checkType(c, v); err != nil {
+			return fmt.Errorf("reldb: %s: %v", t.schema.Name, err)
+		}
+		if c.References != "" {
+			ref := db.tables[c.References]
+			if ref == nil {
+				return fmt.Errorf("reldb: %s: column %q references missing table %q",
+					t.schema.Name, c.Name, c.References)
+			}
+			if _, ok := ref.rows[v]; !ok {
+				return fmt.Errorf("reldb: %s: foreign key %q=%v has no match in %q",
+					t.schema.Name, c.Name, v, c.References)
+			}
+		}
+	}
+	return nil
+}
+
+func checkType(c Column, v any) error {
+	ok := false
+	switch c.Type {
+	case TypeInt:
+		_, ok = v.(int64)
+	case TypeText:
+		_, ok = v.(string)
+	case TypeFloat:
+		_, ok = v.(float64)
+	case TypeBool:
+		_, ok = v.(bool)
+	}
+	if !ok {
+		return fmt.Errorf("column %q expects %s, got %T", c.Name, c.Type, v)
+	}
+	return nil
+}
+
+// String renders a compact schema summary for diagnostics.
+func (db *DB) String() string {
+	names := db.Tables()
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		t := db.tables[n]
+		fmt.Fprintf(&b, "%s(%d rows): ", n, len(t.rows))
+		for i, c := range t.schema.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Name)
+			if c.Name == t.schema.PrimaryKey {
+				b.WriteString("*")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package reldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if err := db.CreateTable(Schema{
+		Name:       "users",
+		PrimaryKey: "id",
+		Columns: []Column{
+			{Name: "id", Type: TypeInt, NotNull: true},
+			{Name: "name", Type: TypeText, NotNull: true},
+			{Name: "score", Type: TypeFloat},
+			{Name: "active", Type: TypeBool},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(Schema{
+		Name:       "posts",
+		PrimaryKey: "pid",
+		Columns: []Column{
+			{Name: "pid", Type: TypeInt, NotNull: true},
+			{Name: "author", Type: TypeInt, References: "users"},
+			{Name: "body", Type: TypeText},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	db := testDB(t)
+	if err := db.Insert("users", Row{"id": int64(1), "name": "oscar"}); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := db.Get("users", int64(1))
+	if !ok || row["name"] != "oscar" {
+		t.Fatalf("Get = %v, %v", row, ok)
+	}
+	// Returned rows are copies.
+	row["name"] = "mutated"
+	row2, _ := db.Get("users", int64(1))
+	if row2["name"] != "oscar" {
+		t.Fatal("Get leaked internal row")
+	}
+	if err := db.Update("users", int64(1), Row{"name": "walter"}); err != nil {
+		t.Fatal(err)
+	}
+	row3, _ := db.Get("users", int64(1))
+	if row3["name"] != "walter" {
+		t.Fatalf("update lost: %v", row3)
+	}
+	if !db.Delete("users", int64(1)) || db.Delete("users", int64(1)) {
+		t.Fatal("Delete semantics broken")
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		name  string
+		table string
+		row   Row
+	}{
+		{"missing pk", "users", Row{"name": "x"}},
+		{"missing not-null", "users", Row{"id": int64(1)}},
+		{"wrong type", "users", Row{"id": int64(1), "name": 42}},
+		{"wrong int type", "users", Row{"id": 1, "name": "x"}}, // int, not int64
+		{"unknown column", "users", Row{"id": int64(1), "name": "x", "zz": "y"}},
+		{"broken fk", "posts", Row{"pid": int64(1), "author": int64(99)}},
+		{"unknown table", "nope", Row{"id": int64(1)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := db.Insert(c.table, c.row); err == nil {
+				t.Errorf("accepted %v", c.row)
+			}
+		})
+	}
+}
+
+func TestDuplicatePrimaryKey(t *testing.T) {
+	db := testDB(t)
+	if err := db.Insert("users", Row{"id": int64(1), "name": "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("users", Row{"id": int64(1), "name": "b"}); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+}
+
+func TestForeignKeySatisfied(t *testing.T) {
+	db := testDB(t)
+	db.Insert("users", Row{"id": int64(1), "name": "oscar"})
+	if err := db.Insert("posts", Row{"pid": int64(10), "author": int64(1), "body": "hi"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateCannotChangePK(t *testing.T) {
+	db := testDB(t)
+	db.Insert("users", Row{"id": int64(1), "name": "a"})
+	if err := db.Update("users", int64(1), Row{"id": int64(2)}); err == nil {
+		t.Fatal("PK change accepted")
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	db := testDB(t)
+	for i := int64(5); i >= 1; i-- {
+		db.Insert("users", Row{"id": i, "name": "u"})
+	}
+	var ids []int64
+	db.Scan("users", func(r Row) bool {
+		ids = append(ids, r["id"].(int64))
+		return len(ids) < 3
+	})
+	// Insertion order: 5,4,3.
+	if len(ids) != 3 || ids[0] != 5 || ids[2] != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := testDB(t)
+	db.Insert("users", Row{"id": int64(1), "name": "a", "active": true})
+	db.Insert("users", Row{"id": int64(2), "name": "b", "active": false})
+	db.Insert("users", Row{"id": int64(3), "name": "a", "active": true})
+	rows, err := db.Select("users", Row{"name": "a", "active": true})
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("select = %v, %v", rows, err)
+	}
+	all, _ := db.Select("users", nil)
+	if len(all) != 3 {
+		t.Fatalf("select all = %d", len(all))
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDB()
+	if err := db.CreateTable(Schema{Name: "", PrimaryKey: "id"}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "t", PrimaryKey: "missing",
+		Columns: []Column{{Name: "id", Type: TypeInt}}}); err == nil {
+		t.Fatal("bad PK accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "t", PrimaryKey: "id",
+		Columns: []Column{{Name: "id", Type: TypeInt}, {Name: "fk", Type: TypeInt, References: "nope"}}}); err == nil {
+		t.Fatal("dangling FK reference accepted")
+	}
+	db.CreateTable(Schema{Name: "t", PrimaryKey: "id", Columns: []Column{{Name: "id", Type: TypeInt}}})
+	if err := db.CreateTable(Schema{Name: "t", PrimaryKey: "id", Columns: []Column{{Name: "id", Type: TypeInt}}}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestCoppermineSchema(t *testing.T) {
+	db := NewCoppermineDB()
+	want := []string{"users", "albums", "pictures", "comments", "friends"}
+	got := db.Tables()
+	if len(got) != len(want) {
+		t.Fatalf("tables = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tables = %v, want %v", got, want)
+		}
+	}
+	// The canonical flow works: user -> album -> picture with keywords.
+	if err := db.Insert("users", Row{"user_id": int64(1), "user_name": "oscar"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("albums", Row{"aid": int64(1), "title": "Holidays", "owner": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("pictures", Row{
+		"pid": int64(1), "aid": int64(1), "filename": "p1.jpg",
+		"title": "Mole at night", "keywords": "mole torino night",
+		"owner_id": int64(1), "pic_rating": int64(5),
+		"lat": 45.069, "lon": 7.6934, "approved": true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Count("pictures") != 1 {
+		t.Fatal("picture not stored")
+	}
+	summary := db.String()
+	if !strings.Contains(summary, "pictures(1 rows)") {
+		t.Fatalf("summary = %q", summary)
+	}
+}

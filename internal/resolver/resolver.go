@@ -1,0 +1,189 @@
+// Package resolver implements the semantic brokering component of the
+// annotation pipeline (§2.2.2): a set of term-based and full-text
+// resolvers producing candidate Linked Open Data resources for words,
+// lemmas and titles, and a broker that fans queries out to all of
+// them concurrently and merges the candidate streams.
+//
+// The paper invokes remote services (DBpedia SPARQL endpoint, Sindice,
+// Evri, Zemanta); here each resolver runs in-process against the
+// synthetic LOD world, preserving the interface contracts — native
+// scores, entity types, redirect following, cross-graph results and
+// occasional junk candidates — the downstream semantic filtering
+// stage (internal/annotate) has to cope with.
+package resolver
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lodify/internal/rdf"
+)
+
+// Candidate is one candidate LOD resource for a term or title.
+type Candidate struct {
+	// Resource is the LOD resource IRI.
+	Resource rdf.Term
+	// Label is the resource's best matching label.
+	Label string
+	// Lang is the label's language tag, if any.
+	Lang string
+	// Graph is the graph IRI the resource lives in (DBpedia,
+	// Geonames, LinkedGeoData, ...); the filtering stage prioritizes
+	// by graph, not by resolver (§2.2.2).
+	Graph string
+	// Types are the rdf:type values known for the resource.
+	Types []rdf.Term
+	// Score is the resolver's native score in [0,1].
+	Score float64
+	// Resolver is the producing resolver's name.
+	Resolver string
+	// Word is the query word (term-based) or matched span (full-text)
+	// the candidate answers.
+	Word string
+}
+
+// TermResolver resolves a single word or multiword lemma.
+type TermResolver interface {
+	Name() string
+	ResolveTerm(term string, lang string, limit int) []Candidate
+}
+
+// TextResolver resolves against the full title for context-aware
+// disambiguation (Evri, Zemanta in the paper).
+type TextResolver interface {
+	Name() string
+	ResolveText(title string, lang string, limit int) []Candidate
+}
+
+// Broker fans out to every configured resolver.
+type Broker struct {
+	term []TermResolver
+	text []TextResolver
+	// PerResolverLimit caps candidates requested from each resolver.
+	PerResolverLimit int
+	// Latency simulates the web-service round trip of the original
+	// platform (0 in tests, configurable in benchmarks).
+	Latency time.Duration
+}
+
+// NewBroker returns a broker with the given resolvers.
+func NewBroker(term []TermResolver, text []TextResolver) *Broker {
+	return &Broker{term: term, text: text, PerResolverLimit: 8}
+}
+
+// TermResolvers returns the names of the term-based resolvers.
+func (b *Broker) TermResolvers() []string {
+	out := make([]string, len(b.term))
+	for i, r := range b.term {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// TextResolvers returns the names of the full-text resolvers.
+func (b *Broker) TextResolvers() []string {
+	out := make([]string, len(b.text))
+	for i, r := range b.text {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// WithoutResolver returns a copy of the broker with the named
+// resolver removed — the ablation hook for experiment E10.
+func (b *Broker) WithoutResolver(name string) *Broker {
+	nb := &Broker{PerResolverLimit: b.PerResolverLimit, Latency: b.Latency}
+	for _, r := range b.term {
+		if r.Name() != name {
+			nb.term = append(nb.term, r)
+		}
+	}
+	for _, r := range b.text {
+		if r.Name() != name {
+			nb.text = append(nb.text, r)
+		}
+	}
+	return nb
+}
+
+// ResolveTerm queries every term resolver concurrently for one word
+// and merges the results (deduplicated by resource, keeping the
+// highest-scored instance; deterministic order).
+func (b *Broker) ResolveTerm(word, lang string) []Candidate {
+	results := make([][]Candidate, len(b.term))
+	var wg sync.WaitGroup
+	for i, r := range b.term {
+		wg.Add(1)
+		go func(i int, r TermResolver) {
+			defer wg.Done()
+			if b.Latency > 0 {
+				time.Sleep(b.Latency)
+			}
+			results[i] = r.ResolveTerm(word, lang, b.PerResolverLimit)
+		}(i, r)
+	}
+	wg.Wait()
+	return mergeCandidates(results, word)
+}
+
+// ResolveText queries every full-text resolver concurrently with the
+// whole title.
+func (b *Broker) ResolveText(title, lang string) []Candidate {
+	results := make([][]Candidate, len(b.text))
+	var wg sync.WaitGroup
+	for i, r := range b.text {
+		wg.Add(1)
+		go func(i int, r TextResolver) {
+			defer wg.Done()
+			if b.Latency > 0 {
+				time.Sleep(b.Latency)
+			}
+			results[i] = r.ResolveText(title, lang, b.PerResolverLimit)
+		}(i, r)
+	}
+	wg.Wait()
+	return mergeCandidates(results, "")
+}
+
+func mergeCandidates(results [][]Candidate, word string) []Candidate {
+	best := map[rdf.Term]Candidate{}
+	for _, rs := range results {
+		for _, c := range rs {
+			if word != "" && c.Word == "" {
+				c.Word = word
+			}
+			if prev, ok := best[c.Resource]; !ok || c.Score > prev.Score {
+				best[c.Resource] = c
+			}
+		}
+	}
+	out := make([]Candidate, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Resource.Compare(out[j].Resource) < 0
+	})
+	return out
+}
+
+// GraphOf classifies a resource IRI into its source graph by prefix.
+func GraphOf(resource rdf.Term) string {
+	iri := resource.Value()
+	switch {
+	case strings.HasPrefix(iri, "http://dbpedia.org/"):
+		return "http://dbpedia.org"
+	case strings.HasPrefix(iri, "http://sws.geonames.org/"),
+		strings.HasPrefix(iri, "http://www.geonames.org/"):
+		return "http://geonames.org"
+	case strings.HasPrefix(iri, "http://linkedgeodata.org/"):
+		return "http://linkedgeodata.org"
+	default:
+		return "other"
+	}
+}

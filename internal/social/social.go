@@ -1,0 +1,137 @@
+// Package social simulates the external social services the platform
+// integrates with: cross-posting sinks standing in for Facebook,
+// Flickr and Twitter (§1: "content ... can be cross-posted to
+// different popular sites and social networks") and an OpenID-style
+// identity provider ("users can sign-in and avoid registration using
+// their OpenID accounts of any OpenID provider"). The sinks record
+// posts in memory with the same call shape the real connectors had.
+package social
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Post is one cross-posted item as received by a network.
+type Post struct {
+	User     string
+	Title    string
+	MediaURL string
+}
+
+// Network is an in-memory stand-in for one social site.
+type Network struct {
+	mu    sync.Mutex
+	name  string
+	posts []Post
+	// Fail makes Post return an error (failure-injection for tests:
+	// cross-posting failures must never fail the upload).
+	Fail bool
+	// TitleLimit truncates titles (Twitter-style), 0 = none.
+	TitleLimit int
+}
+
+// NewNetwork returns a named network sink.
+func NewNetwork(name string) *Network { return &Network{name: name} }
+
+// Name implements ugc.CrossPoster.
+func (n *Network) Name() string { return n.name }
+
+// Post implements ugc.CrossPoster.
+func (n *Network) Post(user, title, mediaURL string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.Fail {
+		return fmt.Errorf("social: %s unavailable", n.name)
+	}
+	if n.TitleLimit > 0 && len(title) > n.TitleLimit {
+		title = title[:n.TitleLimit]
+	}
+	n.posts = append(n.posts, Post{User: user, Title: title, MediaURL: mediaURL})
+	return nil
+}
+
+// Posts returns a copy of everything posted so far.
+func (n *Network) Posts() []Post {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Post, len(n.posts))
+	copy(out, n.posts)
+	return out
+}
+
+// DefaultNetworks returns the three networks of §1.
+func DefaultNetworks() []*Network {
+	return []*Network{
+		NewNetwork("facebook"),
+		NewNetwork("flickr"),
+		func() *Network { n := NewNetwork("twitter"); n.TitleLimit = 140; return n }(),
+	}
+}
+
+// OpenIDProvider simulates OpenID discovery + assertion verification.
+type OpenIDProvider struct {
+	mu sync.Mutex
+	// identities maps identity URL -> shared secret.
+	identities map[string]string
+}
+
+// NewOpenIDProvider returns an empty provider.
+func NewOpenIDProvider() *OpenIDProvider {
+	return &OpenIDProvider{identities: map[string]string{}}
+}
+
+// Enroll registers an identity URL with a secret.
+func (p *OpenIDProvider) Enroll(identityURL, secret string) error {
+	if !strings.HasPrefix(identityURL, "http://") && !strings.HasPrefix(identityURL, "https://") {
+		return fmt.Errorf("social: identity %q is not a URL", identityURL)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.identities[identityURL] = secret
+	return nil
+}
+
+// Assert produces a signed assertion token for an identity.
+func (p *OpenIDProvider) Assert(identityURL, secret string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.identities[identityURL]
+	if !ok || s != secret {
+		return "", fmt.Errorf("social: assertion denied for %q", identityURL)
+	}
+	return "openid-assert:" + identityURL + ":" + sign(identityURL, s), nil
+}
+
+// Verify checks an assertion token, returning the asserted identity.
+func (p *OpenIDProvider) Verify(token string) (string, error) {
+	const prefix = "openid-assert:"
+	if !strings.HasPrefix(token, prefix) {
+		return "", fmt.Errorf("social: malformed assertion")
+	}
+	rest := token[len(prefix):]
+	i := strings.LastIndex(rest, ":")
+	if i < 0 {
+		return "", fmt.Errorf("social: malformed assertion")
+	}
+	identity, sig := rest[:i], rest[i+1:]
+	p.mu.Lock()
+	secret, ok := p.identities[identity]
+	p.mu.Unlock()
+	if !ok || sign(identity, secret) != sig {
+		return "", fmt.Errorf("social: invalid assertion for %q", identity)
+	}
+	return identity, nil
+}
+
+// sign is a toy MAC (FNV-style) — the platform only needs the call
+// shape, not cryptographic strength.
+func sign(identity, secret string) string {
+	var h uint64 = 14695981039346656037
+	for _, b := range []byte(identity + "|" + secret) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}

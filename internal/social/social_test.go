@@ -1,0 +1,75 @@
+package social
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNetworkPostAndRecord(t *testing.T) {
+	n := NewNetwork("flickr")
+	if err := n.Post("walter", "Mole at night", "http://x/m.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	posts := n.Posts()
+	if len(posts) != 1 || posts[0].User != "walter" {
+		t.Fatalf("posts = %+v", posts)
+	}
+}
+
+func TestNetworkFailureInjection(t *testing.T) {
+	n := NewNetwork("facebook")
+	n.Fail = true
+	if err := n.Post("walter", "t", "u"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if len(n.Posts()) != 0 {
+		t.Fatal("failed post recorded")
+	}
+}
+
+func TestTwitterTitleLimit(t *testing.T) {
+	nets := DefaultNetworks()
+	var twitter *Network
+	for _, n := range nets {
+		if n.Name() == "twitter" {
+			twitter = n
+		}
+	}
+	if twitter == nil {
+		t.Fatal("no twitter sink")
+	}
+	long := strings.Repeat("x", 300)
+	twitter.Post("walter", long, "u")
+	if got := twitter.Posts()[0].Title; len(got) != 140 {
+		t.Fatalf("title len = %d", len(got))
+	}
+}
+
+func TestOpenIDFlow(t *testing.T) {
+	p := NewOpenIDProvider()
+	if err := p.Enroll("https://openid.example/oscar", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Enroll("not-a-url", "x"); err == nil {
+		t.Fatal("bad identity accepted")
+	}
+	tok, err := p.Assert("https://openid.example/oscar", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.Verify(tok)
+	if err != nil || id != "https://openid.example/oscar" {
+		t.Fatalf("verify = %q, %v", id, err)
+	}
+	// Wrong secret.
+	if _, err := p.Assert("https://openid.example/oscar", "wrong"); err == nil {
+		t.Fatal("wrong secret asserted")
+	}
+	// Tampered token.
+	if _, err := p.Verify(tok[:len(tok)-1] + "0"); err == nil {
+		t.Fatal("tampered token verified")
+	}
+	if _, err := p.Verify("garbage"); err == nil {
+		t.Fatal("garbage verified")
+	}
+}

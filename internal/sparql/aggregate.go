@@ -1,0 +1,239 @@
+package sparql
+
+import (
+	"sort"
+	"strconv"
+
+	"lodify/internal/rdf"
+)
+
+// Aggregate support: GROUP BY, HAVING and the COUNT/SUM/MIN/MAX/AVG/
+// SAMPLE set functions in SELECT expressions. The paper's queries do
+// not use aggregates, but the platform's statistics endpoints and the
+// experiment harness do (e.g. "contents per city").
+
+// aggregateOps names the set functions recognized in ExprCall.Op.
+var aggregateOps = map[string]bool{
+	"count": true, "count*": true, "count-distinct": true,
+	"sum": true, "min": true, "max": true, "avg": true, "sample": true,
+}
+
+// hasAggregate reports whether the expression tree contains a set
+// function application.
+func hasAggregate(e Expr) bool {
+	call, ok := e.(ExprCall)
+	if !ok {
+		return false
+	}
+	if aggregateOps[call.Op] {
+		return true
+	}
+	for _, a := range call.Args {
+		if hasAggregate(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// queryUsesAggregates reports whether any select expression or HAVING
+// clause aggregates.
+func queryUsesAggregates(q *Query) bool {
+	if len(q.GroupBy) > 0 {
+		return true
+	}
+	for _, b := range q.Binds {
+		if hasAggregate(b.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// evalAggregates groups sols and computes the projection. Plain
+// projected vars must be group keys (checked loosely: non-key vars
+// take the group's first binding, SPARQL's sample semantics).
+func (ex *executor) evalAggregates(q *Query, sols []Solution) []Solution {
+	keyOf := func(sol Solution) string {
+		var b []byte
+		for _, g := range q.GroupBy {
+			t, _ := ex.evalExpr(g, sol)
+			b = append(b, t.String()...)
+			b = append(b, 0x1f)
+		}
+		return string(b)
+	}
+	groups := map[string][]Solution{}
+	var order []string
+	for _, sol := range sols {
+		k := keyOf(sol)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], sol)
+	}
+	// A grouped query with zero input solutions and no GROUP BY keys
+	// still yields one (aggregate over the empty group).
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		order = append(order, "")
+		groups[""] = nil
+	}
+	var out []Solution
+	for _, k := range order {
+		group := groups[k]
+		res := Solution{}
+		// Group-key variables keep their (constant) value.
+		var rep Solution
+		if len(group) > 0 {
+			rep = group[0]
+		} else {
+			rep = Solution{}
+		}
+		for _, g := range q.GroupBy {
+			if v, ok := g.(ExprVar); ok {
+				if t, bound := rep[v.Name]; bound {
+					res[v.Name] = t
+				}
+			}
+		}
+		for _, v := range q.Vars {
+			if t, bound := rep[v]; bound {
+				res[v] = t
+			}
+		}
+		ok := true
+		for _, b := range q.Binds {
+			t, err := ex.evalAggExpr(b.Expr, group)
+			if err == nil {
+				res[b.Var] = t
+			}
+		}
+		for _, h := range q.Having {
+			t, err := ex.evalAggExpr(h, group)
+			if err != nil {
+				ok = false
+				break
+			}
+			keep, err := effectiveBool(t)
+			if err != nil || !keep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// evalAggExpr evaluates an expression that may contain set functions
+// over a solution group.
+func (ex *executor) evalAggExpr(e Expr, group []Solution) (rdf.Term, error) {
+	call, ok := e.(ExprCall)
+	if !ok {
+		// Non-call: evaluate against the group representative.
+		rep := Solution{}
+		if len(group) > 0 {
+			rep = group[0]
+		}
+		return ex.evalExpr(e, rep)
+	}
+	if aggregateOps[call.Op] {
+		return ex.applyAggregate(call, group)
+	}
+	// Recurse: rebuild the call with aggregated arguments folded to
+	// constants.
+	args := make([]Expr, len(call.Args))
+	for i, a := range call.Args {
+		if hasAggregate(a) {
+			t, err := ex.evalAggExpr(a, group)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			args[i] = ExprTerm{Term: t}
+		} else {
+			args[i] = a
+		}
+	}
+	rep := Solution{}
+	if len(group) > 0 {
+		rep = group[0]
+	}
+	return ex.evalExpr(ExprCall{Op: call.Op, Args: args}, rep)
+}
+
+func (ex *executor) applyAggregate(call ExprCall, group []Solution) (rdf.Term, error) {
+	// Collect the argument values over the group (bound, non-error).
+	values := func() []rdf.Term {
+		var out []rdf.Term
+		if len(call.Args) == 0 {
+			return out
+		}
+		for _, sol := range group {
+			if t, err := ex.evalExpr(call.Args[0], sol); err == nil {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	switch call.Op {
+	case "count*":
+		return rdf.NewInteger(int64(len(group))), nil
+	case "count":
+		return rdf.NewInteger(int64(len(values()))), nil
+	case "count-distinct":
+		seen := map[rdf.Term]bool{}
+		for _, v := range values() {
+			seen[v] = true
+		}
+		return rdf.NewInteger(int64(len(seen))), nil
+	case "sum", "avg":
+		var sum float64
+		n := 0
+		integer := true
+		for _, v := range values() {
+			f, err := numericValue(v)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			if v.Datatype() != rdf.XSDInteger {
+				integer = false
+			}
+			sum += f
+			n++
+		}
+		if call.Op == "avg" {
+			if n == 0 {
+				return rdf.NewInteger(0), nil
+			}
+			return rdf.NewDouble(sum / float64(n)), nil
+		}
+		return numberTermOf(sum, integer), nil
+	case "min", "max":
+		vs := values()
+		if len(vs) == 0 {
+			return rdf.Term{}, typeErrf("%s over empty group", call.Op)
+		}
+		sort.Slice(vs, func(i, j int) bool { return orderCompare(vs[i], vs[j]) < 0 })
+		if call.Op == "min" {
+			return vs[0], nil
+		}
+		return vs[len(vs)-1], nil
+	case "sample":
+		vs := values()
+		if len(vs) == 0 {
+			return rdf.Term{}, typeErrf("sample over empty group")
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].Compare(vs[j]) < 0 })
+		return vs[0], nil
+	default:
+		return rdf.Term{}, typeErrf("unknown aggregate %q", call.Op)
+	}
+}
+
+// parseInt is a small helper kept close to the aggregate code.
+func parseInt(s string) (int64, bool) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	return v, err == nil
+}

@@ -1,0 +1,165 @@
+package sparql
+
+import (
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// statsStore has pictures in two cities with ratings.
+func statsStore(t *testing.T) *store.Store {
+	st := store.New()
+	data := []struct {
+		pic    string
+		city   string
+		rating int64
+	}{
+		{"p1", "Turin", 5},
+		{"p2", "Turin", 3},
+		{"p3", "Turin", 4},
+		{"p4", "Rome", 2},
+		{"p5", "Rome", 4},
+	}
+	for _, d := range data {
+		addT(t, st, exIRI(d.pic), exIRI("city"), rdf.NewLiteral(d.city))
+		addT(t, st, exIRI(d.pic), exIRI("rating"), rdf.NewInteger(d.rating))
+	}
+	return st
+}
+
+func TestGroupByCount(t *testing.T) {
+	st := statsStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?city (COUNT(?pic) AS ?n) WHERE {
+  ?pic ex:city ?city .
+} GROUP BY ?city ORDER BY DESC(?n)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("groups = %v", res.Solutions)
+	}
+	if res.Solutions[0]["city"].Value() != "Turin" || res.Solutions[0]["n"].Value() != "3" {
+		t.Fatalf("first group = %v", res.Solutions[0])
+	}
+	if res.Solutions[1]["n"].Value() != "2" {
+		t.Fatalf("second group = %v", res.Solutions[1])
+	}
+}
+
+func TestAggregatesSumAvgMinMax(t *testing.T) {
+	st := statsStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?city (SUM(?r) AS ?sum) (AVG(?r) AS ?avg) (MIN(?r) AS ?min) (MAX(?r) AS ?max) WHERE {
+  ?pic ex:city ?city .
+  ?pic ex:rating ?r .
+} GROUP BY ?city ORDER BY ?city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rome := res.Solutions[0]
+	if rome["sum"].Value() != "6" || rome["min"].Value() != "2" || rome["max"].Value() != "4" {
+		t.Fatalf("rome = %v", rome)
+	}
+	if rome["avg"].Value() != "3.0" && rome["avg"].Value() != "3" {
+		t.Fatalf("rome avg = %v", rome["avg"])
+	}
+	turin := res.Solutions[1]
+	if turin["sum"].Value() != "12" {
+		t.Fatalf("turin = %v", turin)
+	}
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	st := statsStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?city (COUNT(?pic) AS ?n) WHERE {
+  ?pic ex:city ?city .
+} GROUP BY ?city HAVING (COUNT(?pic) > 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["city"].Value() != "Turin" {
+		t.Fatalf("having = %v", res.Solutions)
+	}
+}
+
+func TestCountStarAndDistinct(t *testing.T) {
+	st := statsStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT (COUNT(*) AS ?rows) (COUNT(DISTINCT ?city) AS ?cities) WHERE {
+  ?pic ex:city ?city .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+	sol := res.Solutions[0]
+	if sol["rows"].Value() != "5" || sol["cities"].Value() != "2" {
+		t.Fatalf("sol = %v", sol)
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT (COUNT(*) AS ?n) WHERE { ?s ex:p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["n"].Value() != "0" {
+		t.Fatalf("empty count = %v", res.Solutions)
+	}
+}
+
+func TestSampleIsDeterministic(t *testing.T) {
+	st := statsStore(t)
+	e := NewEngine(st)
+	q := `PREFIX ex: <http://ex.org/>
+SELECT ?city (SAMPLE(?pic) AS ?one) WHERE { ?pic ex:city ?city } GROUP BY ?city ORDER BY ?city`
+	first, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, _ := e.Query(q)
+		for j := range first.Solutions {
+			if first.Solutions[j]["one"] != again.Solutions[j]["one"] {
+				t.Fatal("SAMPLE not deterministic")
+			}
+		}
+	}
+}
+
+func TestGroupByExpressionKey(t *testing.T) {
+	st := statsStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT (COUNT(*) AS ?n) WHERE {
+  ?pic ex:rating ?r .
+} GROUP BY (?r > 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two buckets: ratings >3 (5,4,4) and <=3 (3,2).
+	if len(res.Solutions) != 2 {
+		t.Fatalf("buckets = %v", res.Solutions)
+	}
+}
+
+func TestParseIntHelper(t *testing.T) {
+	if v, ok := parseInt("42"); !ok || v != 42 {
+		t.Fatalf("parseInt = %d %v", v, ok)
+	}
+	if _, ok := parseInt("x"); ok {
+		t.Fatal("bad int accepted")
+	}
+}

@@ -1,0 +1,273 @@
+package sparql
+
+import (
+	"lodify/internal/rdf"
+)
+
+// QueryForm discriminates the four query forms.
+type QueryForm int
+
+const (
+	FormSelect QueryForm = iota
+	FormAsk
+	FormConstruct
+	FormDescribe
+)
+
+func (f QueryForm) String() string {
+	switch f {
+	case FormSelect:
+		return "SELECT"
+	case FormAsk:
+		return "ASK"
+	case FormConstruct:
+		return "CONSTRUCT"
+	default:
+		return "DESCRIBE"
+	}
+}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Prefixes *rdf.PrefixMap
+
+	// Select projection. Empty with Star true means SELECT *.
+	Star     bool
+	Vars     []string
+	Binds    []SelectBind // (expr AS ?var) projections
+	Distinct bool
+	Reduced  bool
+
+	// Construct template (FormConstruct).
+	Template []TriplePattern
+	// Describe targets (FormDescribe): vars and/or terms.
+	DescribeVars  []string
+	DescribeTerms []rdf.Term
+
+	Where   *GroupPattern
+	GroupBy []Expr
+	Having  []Expr
+	OrderBy []OrderKey
+	Limit   int // -1 = none
+	Offset  int
+}
+
+// SelectBind is an (expression AS ?var) projection element.
+type SelectBind struct {
+	Expr Expr
+	Var  string
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// PatternNode is a node of the WHERE tree.
+type PatternNode interface{ isPattern() }
+
+// TriplePattern is a triple with variables allowed in any position.
+// Zero-valued terms with a non-empty Var name denote variables. When
+// Path is non-nil the predicate position holds a property path and P
+// is unused.
+type TriplePattern struct {
+	S, P, O PatternTerm
+	Path    *PathExpr
+}
+
+// PatternTerm is either a concrete RDF term or a variable.
+type PatternTerm struct {
+	Term rdf.Term
+	Var  string // non-empty means variable
+}
+
+// IsVar reports whether the pattern position is a variable.
+func (pt PatternTerm) IsVar() bool { return pt.Var != "" }
+
+// Vars appends the variables of the pattern to dst.
+func (tp TriplePattern) Vars(dst []string) []string {
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar() {
+			dst = append(dst, pt.Var)
+		}
+	}
+	return dst
+}
+
+// BGP is a basic graph pattern: a conjunction of triple patterns.
+type BGP struct {
+	Triples []TriplePattern
+}
+
+func (*BGP) isPattern() {}
+
+// GroupPattern is a brace-delimited group: an ordered sequence of
+// child patterns joined together, with group-scoped filters.
+type GroupPattern struct {
+	Children []PatternNode
+	Filters  []Expr
+}
+
+func (*GroupPattern) isPattern() {}
+
+// OptionalPattern is OPTIONAL { ... }.
+type OptionalPattern struct {
+	Group *GroupPattern
+}
+
+func (*OptionalPattern) isPattern() {}
+
+// UnionPattern is { A } UNION { B } UNION { C } ...
+type UnionPattern struct {
+	Branches []*GroupPattern
+}
+
+func (*UnionPattern) isPattern() {}
+
+// MinusPattern is MINUS { ... }.
+type MinusPattern struct {
+	Group *GroupPattern
+}
+
+func (*MinusPattern) isPattern() {}
+
+// GraphPattern is GRAPH ?g { ... } / GRAPH <iri> { ... }.
+type GraphPattern struct {
+	Graph PatternTerm
+	Group *GroupPattern
+}
+
+func (*GraphPattern) isPattern() {}
+
+// SubQuery is a nested SELECT inside braces, used heavily by the
+// paper's mashup query (§4.1: four UNION arms each LIMIT 5).
+type SubQuery struct {
+	Query *Query
+}
+
+func (*SubQuery) isPattern() {}
+
+// BindPattern is BIND(expr AS ?var).
+type BindPattern struct {
+	Expr Expr
+	Var  string
+}
+
+func (*BindPattern) isPattern() {}
+
+// ValuesPattern is VALUES ?v { ... } / VALUES (?a ?b) { (...) ... }.
+type ValuesPattern struct {
+	Vars []string
+	Rows [][]rdf.Term // zero Term = UNDEF
+}
+
+func (*ValuesPattern) isPattern() {}
+
+// Expr is a FILTER/BIND expression node.
+type Expr interface{ isExpr() }
+
+// ExprTerm is a constant RDF term.
+type ExprTerm struct{ Term rdf.Term }
+
+// ExprVar is a variable reference.
+type ExprVar struct{ Name string }
+
+// ExprCall is a function or operator application. Op holds either an
+// operator symbol ("&&", "=", "+", "!", "in", …) or a function name
+// (lowercased: "regex", "lang", "langmatches", "bound", "str",
+// "bif:st_intersects", "bif:contains", …).
+type ExprCall struct {
+	Op   string
+	Args []Expr
+}
+
+// ExprExists is EXISTS { ... } / NOT EXISTS { ... }.
+type ExprExists struct {
+	Negate bool
+	Group  *GroupPattern
+}
+
+func (ExprTerm) isExpr()   {}
+func (ExprVar) isExpr()    {}
+func (ExprCall) isExpr()   {}
+func (ExprExists) isExpr() {}
+
+// exprVars collects variable names referenced by e into set.
+func exprVars(e Expr, set map[string]bool) {
+	switch v := e.(type) {
+	case ExprVar:
+		set[v.Name] = true
+	case ExprCall:
+		for _, a := range v.Args {
+			exprVars(a, set)
+		}
+	case ExprExists:
+		groupVars(v.Group, set)
+	}
+}
+
+// groupVars collects variables mentioned anywhere in a group.
+func groupVars(g *GroupPattern, set map[string]bool) {
+	if g == nil {
+		return
+	}
+	for _, c := range g.Children {
+		switch n := c.(type) {
+		case *BGP:
+			for _, tp := range n.Triples {
+				for _, v := range tp.Vars(nil) {
+					set[v] = true
+				}
+			}
+		case *GroupPattern:
+			groupVars(n, set)
+		case *OptionalPattern:
+			groupVars(n.Group, set)
+		case *UnionPattern:
+			for _, b := range n.Branches {
+				groupVars(b, set)
+			}
+		case *MinusPattern:
+			groupVars(n.Group, set)
+		case *GraphPattern:
+			if n.Graph.IsVar() {
+				set[n.Graph.Var] = true
+			}
+			groupVars(n.Group, set)
+		case *SubQuery:
+			for _, v := range n.Query.projectedVars() {
+				set[v] = true
+			}
+		case *BindPattern:
+			set[n.Var] = true
+			exprVars(n.Expr, set)
+		case *ValuesPattern:
+			for _, v := range n.Vars {
+				set[v] = true
+			}
+		}
+	}
+	for _, f := range g.Filters {
+		exprVars(f, set)
+	}
+}
+
+// projectedVars returns the variables a (sub)query exposes.
+func (q *Query) projectedVars() []string {
+	if !q.Star {
+		out := append([]string(nil), q.Vars...)
+		for _, b := range q.Binds {
+			out = append(out, b.Var)
+		}
+		return out
+	}
+	set := map[string]bool{}
+	groupVars(q.Where, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}

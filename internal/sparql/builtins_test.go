@@ -1,0 +1,165 @@
+package sparql
+
+import (
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// evalHelper evaluates a single FILTER-style expression against a
+// one-row store binding ?v to the given term.
+func evalFilter(t *testing.T, v rdf.Term, filter string) int {
+	t.Helper()
+	st := store.New()
+	addT(t, st, exIRI("s"), exIRI("p"), v)
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?v WHERE { ?s ex:p ?v . FILTER(` + filter + `) }`)
+	if err != nil {
+		t.Fatalf("query error: %v", err)
+	}
+	return len(res.Solutions)
+}
+
+func TestStringBuiltins(t *testing.T) {
+	v := rdf.NewLiteral("Mole Antonelliana")
+	cases := []struct {
+		filter string
+		want   int
+	}{
+		{`strstarts(?v, "Mole")`, 1},
+		{`strstarts(?v, "Anton")`, 0},
+		{`strends(?v, "Antonelliana")`, 1},
+		{`contains(?v, "Anton")`, 1},
+		{`contains(?v, "xyz")`, 0},
+		{`strlen(?v) = 17`, 1},
+		{`lcase(?v) = "mole antonelliana"`, 1},
+		{`ucase(?v) = "MOLE ANTONELLIANA"`, 1},
+		{`substr(?v, 1, 4) = "Mole"`, 1},
+		{`substr(?v, 6) = "Antonelliana"`, 1},
+		{`concat(?v, "!") = "Mole Antonelliana!"`, 1},
+	}
+	for _, c := range cases {
+		if got := evalFilter(t, v, c.filter); got != c.want {
+			t.Errorf("FILTER(%s) = %d rows, want %d", c.filter, got, c.want)
+		}
+	}
+}
+
+func TestNumericBuiltins(t *testing.T) {
+	v := rdf.NewInteger(-7)
+	cases := []struct {
+		filter string
+		want   int
+	}{
+		{`abs(?v) = 7`, 1},
+		{`?v + 10 = 3`, 1},
+		{`?v * -1 = 7`, 1},
+		{`?v / 2 < 0`, 1},
+		{`isnumeric(?v)`, 1},
+		{`-?v = 7`, 1},
+	}
+	for _, c := range cases {
+		if got := evalFilter(t, v, c.filter); got != c.want {
+			t.Errorf("FILTER(%s) = %d rows, want %d", c.filter, got, c.want)
+		}
+	}
+	// Division by zero is a type error -> filter false.
+	if got := evalFilter(t, v, `?v / 0 = 1`); got != 0 {
+		t.Error("division by zero did not fail the filter")
+	}
+}
+
+func TestTermInspectionBuiltins(t *testing.T) {
+	iriV := rdf.NewIRI("http://ex.org/target")
+	litV := rdf.NewLangLiteral("ciao", "it")
+	cases := []struct {
+		v      rdf.Term
+		filter string
+		want   int
+	}{
+		{iriV, `isiri(?v)`, 1},
+		{iriV, `isuri(?v)`, 1},
+		{iriV, `isliteral(?v)`, 0},
+		{litV, `isliteral(?v)`, 1},
+		{litV, `isblank(?v)`, 0},
+		{litV, `lang(?v) = "it"`, 1},
+		{litV, `str(?v) = "ciao"`, 1},
+		{iriV, `str(?v) = "http://ex.org/target"`, 1},
+		{litV, `datatype(?v) = <http://www.w3.org/1999/02/22-rdf-syntax-ns#langString>`, 1},
+		{litV, `sameterm(?v, "ciao"@it)`, 1},
+		{litV, `sameterm(?v, "ciao")`, 0},
+		{litV, `bound(?v)`, 1},
+	}
+	for _, c := range cases {
+		if got := evalFilter(t, c.v, c.filter); got != c.want {
+			t.Errorf("FILTER(%s) on %v = %d rows, want %d", c.filter, c.v, got, c.want)
+		}
+	}
+}
+
+func TestConditionalBuiltins(t *testing.T) {
+	v := rdf.NewInteger(5)
+	if got := evalFilter(t, v, `if(?v > 3, true, false)`); got != 1 {
+		t.Error("if-true failed")
+	}
+	if got := evalFilter(t, v, `if(?v > 9, true, false)`); got != 0 {
+		t.Error("if-false failed")
+	}
+	if got := evalFilter(t, v, `coalesce(?undef, ?v) = 5`); got != 1 {
+		t.Error("coalesce skip-unbound failed")
+	}
+}
+
+func TestIRIConstructor(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("s"), exIRI("p"), rdf.NewLiteral("http://ex.org/s"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?v . FILTER(iri(?v) = ?s) }`)
+	if err != nil || len(res.Solutions) != 1 {
+		t.Fatalf("iri() = %v, %v", res, err)
+	}
+}
+
+func TestBifJaroWinklerExtension(t *testing.T) {
+	v := rdf.NewLiteral("Coliseum")
+	if got := evalFilter(t, v, `bif:jaro_winkler(?v, "Colosseum") >= 0.8`); got != 1 {
+		t.Error("jaro_winkler extension failed")
+	}
+	if got := evalFilter(t, v, `bif:jaro_winkler(?v, "Eiffel Tower") >= 0.8`); got != 0 {
+		t.Error("jaro_winkler over-matched")
+	}
+}
+
+func TestRegexFlags(t *testing.T) {
+	v := rdf.NewLiteral("Mole\nAntonelliana")
+	if got := evalFilter(t, v, `regex(?v, "^antonelliana", "im")`); got != 1 {
+		t.Error("multiline+case-insensitive regex failed")
+	}
+	if got := evalFilter(t, v, `regex(?v, "mole.antonelliana", "is")`); got != 1 {
+		t.Error("dotall regex failed")
+	}
+	// Invalid pattern is a type error -> false, not a query error.
+	if got := evalFilter(t, v, `regex(?v, "(")`); got != 0 {
+		t.Error("invalid regex did not fail the filter")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	// false && error = false ; true || error = true (SPARQL 17.2).
+	v := rdf.NewLiteral("not a number")
+	if got := evalFilter(t, v, `false && ?v > 5`); got != 0 {
+		t.Error("false && error should be false (filter drops)")
+	}
+	if got := evalFilter(t, v, `true || ?v > 5`); got != 1 {
+		t.Error("true || error should be true")
+	}
+	if got := evalFilter(t, v, `?v > 5 || true`); got != 1 {
+		t.Error("error || true should be true")
+	}
+	if got := evalFilter(t, v, `?v > 5 && true`); got != 0 {
+		t.Error("error && true should drop the row")
+	}
+}

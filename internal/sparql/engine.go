@@ -1,0 +1,199 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// Engine executes SPARQL queries against a store. It is stateless and
+// safe for concurrent use; each query run gets its own executor.
+type Engine struct {
+	st *store.Store
+}
+
+// NewEngine returns an engine over st.
+func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
+
+// Result is the outcome of a query. Exactly one of the three sections
+// is meaningful depending on the query form.
+type Result struct {
+	Form QueryForm
+	// SELECT
+	Vars      []string
+	Solutions []Solution
+	// ASK
+	Bool bool
+	// CONSTRUCT / DESCRIBE
+	Triples []rdf.Triple
+}
+
+// Query parses and executes a SPARQL query string.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// Exec executes a parsed query.
+func (e *Engine) Exec(q *Query) (*Result, error) {
+	ex := &executor{st: e.st}
+	switch q.Form {
+	case FormSelect:
+		sols, vars := ex.evalQuery(q)
+		return &Result{Form: FormSelect, Vars: vars, Solutions: sols}, nil
+	case FormAsk:
+		limited := *q
+		limited.Limit = 1
+		sols, _ := ex.evalQuery(&limited)
+		return &Result{Form: FormAsk, Bool: len(sols) > 0}, nil
+	case FormConstruct:
+		all := *q
+		all.Star = true // keep every binding for template instantiation
+		sols, _ := ex.evalQuery(&all)
+		g := rdf.NewGraph()
+		bn := 0
+		for _, sol := range sols {
+			bn++
+			for _, tp := range q.Template {
+				t, ok := instantiate(tp, sol, bn)
+				if ok && t.Validate() == nil {
+					g.Add(t)
+				}
+			}
+		}
+		return &Result{Form: FormConstruct, Triples: g.Sorted()}, nil
+	case FormDescribe:
+		targets := append([]rdf.Term(nil), q.DescribeTerms...)
+		if len(q.DescribeVars) > 0 {
+			all := *q
+			all.Star = true
+			sols, _ := ex.evalQuery(&all)
+			for _, sol := range sols {
+				for _, v := range q.DescribeVars {
+					if t, ok := sol[v]; ok {
+						targets = append(targets, t)
+					}
+				}
+			}
+		}
+		g := rdf.NewGraph()
+		seen := map[rdf.Term]bool{}
+		for _, t := range targets {
+			e.describeInto(t, g, seen)
+		}
+		return &Result{Form: FormDescribe, Triples: g.Sorted()}, nil
+	default:
+		return nil, fmt.Errorf("sparql: unsupported query form %v", q.Form)
+	}
+}
+
+// describeInto adds the concise bounded description of t: all triples
+// with subject t, recursing through blank-node objects.
+func (e *Engine) describeInto(t rdf.Term, g *rdf.Graph, seen map[rdf.Term]bool) {
+	if seen[t] || t.IsZero() || t.IsLiteral() {
+		return
+	}
+	seen[t] = true
+	e.st.Match(t, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		g.Add(q.Triple())
+		if q.O.IsBlank() {
+			e.describeInto(q.O, g, seen)
+		}
+		return true
+	})
+}
+
+func instantiate(tp TriplePattern, sol Solution, bnSeq int) (rdf.Triple, bool) {
+	conv := func(pt PatternTerm) (rdf.Term, bool) {
+		if pt.IsVar() {
+			t, ok := sol[pt.Var]
+			return t, ok && !t.IsZero()
+		}
+		if pt.Term.IsBlank() {
+			// Fresh blank node per solution, per template label.
+			return rdf.NewBlank(fmt.Sprintf("%s_r%d", pt.Term.Value(), bnSeq)), true
+		}
+		return pt.Term, true
+	}
+	s, ok := conv(tp.S)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	p, ok := conv(tp.P)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	o, ok := conv(tp.O)
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: s, P: p, O: o}, true
+}
+
+// Bindings returns the values of one variable across all solutions,
+// in order, skipping unbound rows. A convenience for callers that
+// select a single column.
+func (r *Result) Bindings(varName string) []rdf.Term {
+	out := make([]rdf.Term, 0, len(r.Solutions))
+	for _, sol := range r.Solutions {
+		if t, ok := sol[varName]; ok && !t.IsZero() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Table renders SELECT results as a simple aligned text table for
+// CLIs and EXPERIMENTS.md output.
+func (r *Result) Table() string {
+	if r.Form == FormAsk {
+		return fmt.Sprintf("ASK -> %v\n", r.Bool)
+	}
+	vars := r.Vars
+	if len(vars) == 0 {
+		set := map[string]bool{}
+		for _, s := range r.Solutions {
+			for v := range s {
+				set[v] = true
+			}
+		}
+		for v := range set {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+	}
+	widths := make([]int, len(vars))
+	rows := make([][]string, 0, len(r.Solutions)+1)
+	head := make([]string, len(vars))
+	for i, v := range vars {
+		head[i] = "?" + v
+		widths[i] = len(head[i])
+	}
+	rows = append(rows, head)
+	for _, sol := range r.Solutions {
+		row := make([]string, len(vars))
+		for i, v := range vars {
+			if t, ok := sol[v]; ok {
+				row[i] = t.String()
+			}
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s ", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

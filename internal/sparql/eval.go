@@ -1,0 +1,641 @@
+package sparql
+
+import (
+	"regexp"
+	"strings"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+	"lodify/internal/textsim"
+)
+
+// Solution is one query solution: a partial mapping of variable names
+// to terms. Missing keys are unbound.
+type Solution map[string]rdf.Term
+
+func (s Solution) clone() Solution {
+	out := make(Solution, len(s)+2)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// compatible reports whether two solutions agree on shared variables.
+func compatible(a, b Solution) bool {
+	for k, v := range b {
+		if av, ok := a[k]; ok && !av.Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalExpr evaluates an expression against a solution. Unbound
+// variables and type errors return a non-nil error; FILTER treats
+// those as false.
+func (ex *executor) evalExpr(e Expr, sol Solution) (rdf.Term, error) {
+	switch v := e.(type) {
+	case ExprTerm:
+		return v.Term, nil
+	case ExprVar:
+		t, ok := sol[v.Name]
+		if !ok || t.IsZero() {
+			return rdf.Term{}, typeErrf("unbound variable ?%s", v.Name)
+		}
+		return t, nil
+	case ExprCall:
+		return ex.evalCall(v, sol)
+	case ExprExists:
+		out := ex.evalGroup(v.Group, []Solution{sol.clone()})
+		found := len(out) > 0
+		if v.Negate {
+			found = !found
+		}
+		return rdf.NewBoolean(found), nil
+	default:
+		return rdf.Term{}, typeErrf("unknown expression node %T", e)
+	}
+}
+
+// evalBool evaluates an expression to its effective boolean value;
+// errors yield false per the SPARQL FILTER semantics.
+func (ex *executor) evalBool(e Expr, sol Solution) bool {
+	t, err := ex.evalExpr(e, sol)
+	if err != nil {
+		return false
+	}
+	b, err := effectiveBool(t)
+	if err != nil {
+		return false
+	}
+	return b
+}
+
+func (ex *executor) evalCall(c ExprCall, sol Solution) (rdf.Term, error) {
+	switch c.Op {
+	case "&&":
+		// Three-valued logic: false && error = false.
+		lt, lerr := ex.evalExpr(c.Args[0], sol)
+		rt, rerr := ex.evalExpr(c.Args[1], sol)
+		lb, lbe := boolOrErr(lt, lerr)
+		rb, rbe := boolOrErr(rt, rerr)
+		switch {
+		case lbe == nil && rbe == nil:
+			return rdf.NewBoolean(lb && rb), nil
+		case lbe == nil && !lb, rbe == nil && !rb:
+			return rdf.NewBoolean(false), nil
+		default:
+			return rdf.Term{}, typeErrf("error in &&")
+		}
+	case "||":
+		lt, lerr := ex.evalExpr(c.Args[0], sol)
+		rt, rerr := ex.evalExpr(c.Args[1], sol)
+		lb, lbe := boolOrErr(lt, lerr)
+		rb, rbe := boolOrErr(rt, rerr)
+		switch {
+		case lbe == nil && rbe == nil:
+			return rdf.NewBoolean(lb || rb), nil
+		case lbe == nil && lb, rbe == nil && rb:
+			return rdf.NewBoolean(true), nil
+		default:
+			return rdf.Term{}, typeErrf("error in ||")
+		}
+	case "!":
+		t, err := ex.evalExpr(c.Args[0], sol)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := effectiveBool(t)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(!b), nil
+	case "bound":
+		v, ok := c.Args[0].(ExprVar)
+		if !ok {
+			return rdf.Term{}, typeErrf("bound() needs a variable")
+		}
+		t, ok := sol[v.Name]
+		return rdf.NewBoolean(ok && !t.IsZero()), nil
+	case "=", "!=", "<", ">", "<=", ">=":
+		return ex.evalComparison(c.Op, c.Args, sol)
+	case "in":
+		needle, err := ex.evalExpr(c.Args[0], sol)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		for _, arg := range c.Args[1:] {
+			t, err := ex.evalExpr(arg, sol)
+			if err != nil {
+				continue
+			}
+			if t.Equal(needle) {
+				return rdf.NewBoolean(true), nil
+			}
+		}
+		return rdf.NewBoolean(false), nil
+	case "+", "-", "*", "/":
+		return ex.evalArith(c.Op, c.Args, sol)
+	case "neg":
+		t, err := ex.evalExpr(c.Args[0], sol)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		f, err := numericValue(t)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return numberTermOf(-f, t.Datatype() == rdf.XSDInteger), nil
+	default:
+		return ex.evalFunction(c, sol)
+	}
+}
+
+func boolOrErr(t rdf.Term, err error) (bool, error) {
+	if err != nil {
+		return false, err
+	}
+	return effectiveBool(t)
+}
+
+func (ex *executor) evalComparison(op string, args []Expr, sol Solution) (rdf.Term, error) {
+	a, err := ex.evalExpr(args[0], sol)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	b, err := ex.evalExpr(args[1], sol)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	cmp, ordOK, err := compareTerms(a, b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch op {
+	case "=":
+		return rdf.NewBoolean(cmp == 0), nil
+	case "!=":
+		return rdf.NewBoolean(cmp != 0), nil
+	}
+	if !ordOK {
+		return rdf.Term{}, typeErrf("no ordering between %s and %s", a, b)
+	}
+	var r bool
+	switch op {
+	case "<":
+		r = cmp < 0
+	case ">":
+		r = cmp > 0
+	case "<=":
+		r = cmp <= 0
+	case ">=":
+		r = cmp >= 0
+	}
+	return rdf.NewBoolean(r), nil
+}
+
+func (ex *executor) evalArith(op string, args []Expr, sol Solution) (rdf.Term, error) {
+	a, err := ex.evalExpr(args[0], sol)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	b, err := ex.evalExpr(args[1], sol)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	fa, err := numericValue(a)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	fb, err := numericValue(b)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	integer := isIntegerResult(a, b)
+	var r float64
+	switch op {
+	case "+":
+		r = fa + fb
+	case "-":
+		r = fa - fb
+	case "*":
+		r = fa * fb
+	case "/":
+		if fb == 0 {
+			return rdf.Term{}, typeErrf("division by zero")
+		}
+		r = fa / fb
+		integer = false
+	}
+	return numberTermOf(r, integer), nil
+}
+
+// evalFunction dispatches named builtins, including the Virtuoso
+// bif: extensions the paper's queries use.
+func (ex *executor) evalFunction(c ExprCall, sol Solution) (rdf.Term, error) {
+	argTerm := func(i int) (rdf.Term, error) {
+		if i >= len(c.Args) {
+			return rdf.Term{}, typeErrf("%s: missing argument %d", c.Op, i)
+		}
+		return ex.evalExpr(c.Args[i], sol)
+	}
+	argStr := func(i int) (string, error) {
+		t, err := argTerm(i)
+		if err != nil {
+			return "", err
+		}
+		if !t.IsLiteral() {
+			return "", typeErrf("%s: argument %d is not a literal", c.Op, i)
+		}
+		return t.Value(), nil
+	}
+	switch c.Op {
+	case "str":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		switch t.Kind() {
+		case rdf.TermIRI:
+			return rdf.NewLiteral(t.Value()), nil
+		case rdf.TermLiteral:
+			return rdf.NewLiteral(t.Value()), nil
+		default:
+			return rdf.Term{}, typeErrf("str() of blank node")
+		}
+	case "lang":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if !t.IsLiteral() {
+			return rdf.Term{}, typeErrf("lang() of non-literal")
+		}
+		return rdf.NewLiteral(t.Lang()), nil
+	case "langmatches":
+		tag, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		rng, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(langMatches(tag, rng)), nil
+	case "datatype":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if !t.IsLiteral() {
+			return rdf.Term{}, typeErrf("datatype() of non-literal")
+		}
+		return rdf.NewIRI(t.Datatype()), nil
+	case "iri", "uri":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(t.Value()), nil
+	case "isiri", "isuri":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.IsIRI()), nil
+	case "isliteral":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.IsLiteral()), nil
+	case "isblank":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.IsBlank()), nil
+	case "isnumeric":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(t.IsLiteral() && isNumericType(t.Datatype())), nil
+	case "sameterm":
+		a, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := argTerm(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(a.Equal(b)), nil
+	case "regex":
+		s, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		pat, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		flags := ""
+		if len(c.Args) > 2 {
+			flags, err = argStr(2)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+		}
+		re, err := ex.compileRegex(pat, flags)
+		if err != nil {
+			return rdf.Term{}, typeErrf("regex: %v", err)
+		}
+		return rdf.NewBoolean(re.MatchString(s)), nil
+	case "strstarts":
+		a, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(strings.HasPrefix(a, b)), nil
+	case "strends":
+		a, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(strings.HasSuffix(a, b)), nil
+	case "contains":
+		a, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(strings.Contains(a, b)), nil
+	case "strlen":
+		s, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewInteger(int64(len([]rune(s)))), nil
+	case "substr":
+		s, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		startT, err := argTerm(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		start, err := numericValue(startT)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		runes := []rune(s)
+		from := int(start) - 1 // SPARQL is 1-based
+		if from < 0 {
+			from = 0
+		}
+		if from > len(runes) {
+			from = len(runes)
+		}
+		to := len(runes)
+		if len(c.Args) > 2 {
+			lenT, err := argTerm(2)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			l, err := numericValue(lenT)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			to = from + int(l)
+			if to > len(runes) {
+				to = len(runes)
+			}
+			if to < from {
+				to = from
+			}
+		}
+		return rdf.NewLiteral(string(runes[from:to])), nil
+	case "lcase":
+		s, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(strings.ToLower(s)), nil
+	case "ucase":
+		s, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(strings.ToUpper(s)), nil
+	case "concat":
+		var b strings.Builder
+		for i := range c.Args {
+			s, err := argStr(i)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			b.WriteString(s)
+		}
+		return rdf.NewLiteral(b.String()), nil
+	case "abs":
+		t, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		f, err := numericValue(t)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if f < 0 {
+			f = -f
+		}
+		return numberTermOf(f, t.Datatype() == rdf.XSDInteger), nil
+	case "if":
+		condT, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		cond, err := effectiveBool(condT)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if cond {
+			return argTerm(1)
+		}
+		return argTerm(2)
+	case "coalesce":
+		for i := range c.Args {
+			if t, err := argTerm(i); err == nil {
+				return t, nil
+			}
+		}
+		return rdf.Term{}, typeErrf("coalesce: all arguments errored")
+	// ---- Virtuoso bif: extensions used by the paper ----
+	case "bif:st_intersects", "st_intersects":
+		return ex.evalStIntersects(c, sol)
+	case "bif:st_distance", "st_distance":
+		a, err := geoArg(argTerm, 0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := geoArg(argTerm, 1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewDouble(geo.HaversineKm(a, b)), nil
+	case "bif:st_point", "st_point":
+		lonT, err := argTerm(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		latT, err := argTerm(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		lon, err := numericValue(lonT)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		lat, err := numericValue(latT)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p := geo.Point{Lon: lon, Lat: lat}
+		return rdf.NewTypedLiteral(p.WKT(), rdf.VirtRDFGeometry), nil
+	case "bif:st_x", "st_x":
+		p, err := geoArg(argTerm, 0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewDouble(p.Lon), nil
+	case "bif:st_y", "st_y":
+		p, err := geoArg(argTerm, 0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewDouble(p.Lat), nil
+	case "bif:contains":
+		text, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		query, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(store.ContainsAll(text, query)), nil
+	case "bif:jaro_winkler", "jaro_winkler":
+		a, err := argStr(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := argStr(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewDouble(textsim.JaroWinklerFold(a, b)), nil
+	default:
+		return rdf.Term{}, typeErrf("unknown function %q", c.Op)
+	}
+}
+
+func (ex *executor) evalStIntersects(c ExprCall, sol Solution) (rdf.Term, error) {
+	if len(c.Args) < 2 {
+		return rdf.Term{}, typeErrf("st_intersects needs 2 or 3 arguments")
+	}
+	get := func(i int) (rdf.Term, error) { return ex.evalExpr(c.Args[i], sol) }
+	a, err := geoArg(get, 0)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	b, err := geoArg(get, 1)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	precision := 0.0
+	if len(c.Args) > 2 {
+		t, err := get(2)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		precision, err = numericValue(t)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+	}
+	return rdf.NewBoolean(geo.Intersects(a, b, precision)), nil
+}
+
+func geoArg(get func(int) (rdf.Term, error), i int) (geo.Point, error) {
+	t, err := get(i)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	if !t.IsLiteral() {
+		return geo.Point{}, typeErrf("argument %d is not a geometry literal", i)
+	}
+	p, err := geo.ParseWKT(t.Value())
+	if err != nil {
+		return geo.Point{}, typeErrf("argument %d: %v", i, err)
+	}
+	return p, nil
+}
+
+// langMatches implements the SPARQL langMatches() semantics: "*"
+// matches any non-empty tag; otherwise case-insensitive prefix match
+// on subtag boundaries.
+func langMatches(tag, rng string) bool {
+	if tag == "" {
+		return false
+	}
+	if rng == "*" {
+		return true
+	}
+	tag, rng = strings.ToLower(tag), strings.ToLower(rng)
+	if tag == rng {
+		return true
+	}
+	return strings.HasPrefix(tag, rng+"-")
+}
+
+// compileRegex caches compiled FILTER regexes per executor run.
+func (ex *executor) compileRegex(pat, flags string) (*regexp.Regexp, error) {
+	key := flags + "\x00" + pat
+	if re, ok := ex.regexCache[key]; ok {
+		return re, nil
+	}
+	goPat := pat
+	if strings.Contains(flags, "i") {
+		goPat = "(?i)" + goPat
+	}
+	if strings.Contains(flags, "s") {
+		goPat = "(?s)" + goPat
+	}
+	if strings.Contains(flags, "m") {
+		goPat = "(?m)" + goPat
+	}
+	re, err := regexp.Compile(goPat)
+	if err != nil {
+		return nil, err
+	}
+	if ex.regexCache == nil {
+		ex.regexCache = map[string]*regexp.Regexp{}
+	}
+	ex.regexCache[key] = re
+	return re, nil
+}

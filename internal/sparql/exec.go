@@ -1,0 +1,400 @@
+package sparql
+
+import (
+	"regexp"
+	"sort"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// executor evaluates a parsed query against a store.
+type executor struct {
+	st         *store.Store
+	regexCache map[string]*regexp.Regexp
+	// graph restricts BGP matching when inside GRAPH <g> { }; zero
+	// means "any graph" (default + named union, Virtuoso-style).
+	graph rdf.Term
+}
+
+// evalQuery runs the WHERE clause and applies solution modifiers,
+// returning the projected solutions.
+func (ex *executor) evalQuery(q *Query) ([]Solution, []string) {
+	input := []Solution{{}}
+	var sols []Solution
+	if q.Where != nil {
+		sols = ex.evalGroup(q.Where, input)
+	} else {
+		sols = input
+	}
+
+	// Aggregation (GROUP BY / HAVING / set functions) replaces the
+	// plain select-expression evaluation when present.
+	if queryUsesAggregates(q) {
+		sols = ex.evalAggregates(q, sols)
+	} else {
+		// Select expressions (expr AS ?var).
+		for _, b := range q.Binds {
+			for _, sol := range sols {
+				if t, err := ex.evalExpr(b.Expr, sol); err == nil {
+					sol[b.Var] = t
+				}
+			}
+		}
+	}
+
+	// ORDER BY before projection (keys may use unprojected vars).
+	if len(q.OrderBy) > 0 {
+		ex.sortSolutions(sols, q.OrderBy)
+	}
+
+	vars := q.projectedVars()
+	if !q.Star || len(q.Binds) > 0 {
+		projected := make([]Solution, len(sols))
+		for i, sol := range sols {
+			pr := make(Solution, len(vars))
+			for _, v := range vars {
+				if t, ok := sol[v]; ok {
+					pr[v] = t
+				}
+			}
+			projected[i] = pr
+		}
+		sols = projected
+	}
+
+	if q.Distinct || q.Reduced {
+		sols = distinct(sols, vars)
+	}
+
+	// OFFSET / LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(sols) {
+			sols = nil
+		} else {
+			sols = sols[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(sols) > q.Limit {
+		sols = sols[:q.Limit]
+	}
+	return sols, vars
+}
+
+func (ex *executor) sortSolutions(sols []Solution, keys []OrderKey) {
+	sort.SliceStable(sols, func(i, j int) bool {
+		for _, k := range keys {
+			a, _ := ex.evalExpr(k.Expr, sols[i])
+			b, _ := ex.evalExpr(k.Expr, sols[j])
+			c := orderCompare(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func distinct(sols []Solution, vars []string) []Solution {
+	seen := make(map[string]bool, len(sols))
+	out := sols[:0]
+	for _, sol := range sols {
+		key := solutionKey(sol, vars)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, sol)
+	}
+	return out
+}
+
+func solutionKey(sol Solution, vars []string) string {
+	var b []byte
+	for _, v := range vars {
+		if t, ok := sol[v]; ok {
+			b = append(b, t.String()...)
+		}
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
+// evalGroup folds the group's children left to right, then applies
+// its filters.
+func (ex *executor) evalGroup(g *GroupPattern, input []Solution) []Solution {
+	cur := input
+	for _, child := range g.Children {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = ex.evalNode(child, cur)
+	}
+	if len(g.Filters) > 0 {
+		out := cur[:0:0]
+		for _, sol := range cur {
+			ok := true
+			for _, f := range g.Filters {
+				if !ex.evalBool(f, sol) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, sol)
+			}
+		}
+		cur = out
+	}
+	return cur
+}
+
+func (ex *executor) evalNode(n PatternNode, input []Solution) []Solution {
+	switch node := n.(type) {
+	case *BGP:
+		return ex.evalBGP(node, input)
+	case *GroupPattern:
+		return ex.evalGroup(node, input)
+	case *OptionalPattern:
+		return ex.evalOptional(node, input)
+	case *UnionPattern:
+		var out []Solution
+		for _, branch := range node.Branches {
+			out = append(out, ex.evalGroup(branch, cloneAll(input))...)
+		}
+		return out
+	case *MinusPattern:
+		removed := ex.evalGroup(node.Group, []Solution{{}})
+		var out []Solution
+		for _, sol := range input {
+			excluded := false
+			for _, r := range removed {
+				if sharesVar(sol, r) && compatible(sol, r) {
+					excluded = true
+					break
+				}
+			}
+			if !excluded {
+				out = append(out, sol)
+			}
+		}
+		return out
+	case *GraphPattern:
+		return ex.evalGraph(node, input)
+	case *SubQuery:
+		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph}
+		subSols, _ := sub.evalQuery(node.Query)
+		return joinSets(input, subSols)
+	case *BindPattern:
+		var out []Solution
+		for _, sol := range input {
+			if _, bound := sol[node.Var]; bound {
+				continue // BIND on an already-bound var is an error; drop
+			}
+			if t, err := ex.evalExpr(node.Expr, sol); err == nil {
+				sol[node.Var] = t
+			}
+			out = append(out, sol)
+		}
+		return out
+	case *ValuesPattern:
+		var rows []Solution
+		for _, row := range node.Rows {
+			sol := Solution{}
+			for i, v := range node.Vars {
+				if i < len(row) && !row[i].IsZero() {
+					sol[v] = row[i]
+				}
+			}
+			rows = append(rows, sol)
+		}
+		return joinSets(input, rows)
+	default:
+		return nil
+	}
+}
+
+func cloneAll(sols []Solution) []Solution {
+	out := make([]Solution, len(sols))
+	for i, s := range sols {
+		out[i] = s.clone()
+	}
+	return out
+}
+
+func sharesVar(a, b Solution) bool {
+	for k := range b {
+		if _, ok := a[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// joinSets nested-loop joins two solution multisets on their shared
+// variables.
+func joinSets(left, right []Solution) []Solution {
+	var out []Solution
+	for _, l := range left {
+		for _, r := range right {
+			if compatible(l, r) {
+				m := l.clone()
+				for k, v := range r {
+					m[k] = v
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+func (ex *executor) evalOptional(node *OptionalPattern, input []Solution) []Solution {
+	var out []Solution
+	for _, sol := range input {
+		extended := ex.evalGroup(node.Group, []Solution{sol.clone()})
+		if len(extended) > 0 {
+			out = append(out, extended...)
+		} else {
+			out = append(out, sol)
+		}
+	}
+	return out
+}
+
+func (ex *executor) evalGraph(node *GraphPattern, input []Solution) []Solution {
+	if !node.Graph.IsVar() {
+		saved := ex.graph
+		ex.graph = node.Graph.Term
+		out := ex.evalGroup(node.Group, input)
+		ex.graph = saved
+		return out
+	}
+	// GRAPH ?g: iterate the named graphs, binding ?g.
+	var out []Solution
+	saved := ex.graph
+	for _, g := range ex.st.Graphs() {
+		ex.graph = g
+		for _, sol := range input {
+			if bound, ok := sol[node.Graph.Var]; ok && !bound.Equal(g) {
+				continue
+			}
+			start := sol.clone()
+			start[node.Graph.Var] = g
+			out = append(out, ex.evalGroup(node.Group, []Solution{start})...)
+		}
+	}
+	ex.graph = saved
+	return out
+}
+
+// evalBGP joins the triple patterns against the store for every input
+// solution, greedily choosing the most selective unresolved pattern
+// next (the store's Count estimates drive the order).
+func (ex *executor) evalBGP(bgp *BGP, input []Solution) []Solution {
+	// Plain patterns join first (selectivity-ordered); property-path
+	// patterns extend the result afterwards, when endpoint bindings
+	// are available.
+	var plain, paths []TriplePattern
+	for _, tp := range bgp.Triples {
+		if tp.Path != nil {
+			paths = append(paths, tp)
+		} else {
+			plain = append(plain, tp)
+		}
+	}
+	cur := input
+	if len(plain) > 0 {
+		var out []Solution
+		for _, sol := range cur {
+			out = ex.joinPatterns(plain, sol, out)
+		}
+		cur = out
+	}
+	for _, tp := range paths {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = ex.evalPathPattern(tp, cur)
+	}
+	return cur
+}
+
+func (ex *executor) joinPatterns(patterns []TriplePattern, sol Solution, out []Solution) []Solution {
+	if len(patterns) == 0 {
+		return append(out, sol)
+	}
+	// Pick the most selective pattern under the current bindings.
+	best, bestCount := 0, int(^uint(0)>>1)
+	for i, tp := range patterns {
+		s, p, o := ex.resolve(tp, sol)
+		c := ex.st.Count(s, p, o, ex.graph)
+		// Fully unbound triple patterns are maximally unselective but
+		// Count returns the full store size, which ranks them last
+		// naturally.
+		if c < bestCount {
+			best, bestCount = i, c
+		}
+		if c == 0 {
+			return out // a pattern with no matches kills this branch
+		}
+	}
+	tp := patterns[best]
+	rest := make([]TriplePattern, 0, len(patterns)-1)
+	rest = append(rest, patterns[:best]...)
+	rest = append(rest, patterns[best+1:]...)
+
+	s, p, o := ex.resolve(tp, sol)
+	ex.st.Match(s, p, o, ex.graph, func(q rdf.Quad) bool {
+		ext := extend(sol, tp, q)
+		if ext != nil {
+			out = ex.joinPatterns(rest, ext, out)
+		}
+		return true
+	})
+	return out
+}
+
+// resolve substitutes bound variables into a pattern, returning
+// concrete terms (zero Terms remain wildcards). Blank nodes in query
+// patterns act as variables scoped to the pattern (approximated as
+// wildcards here).
+func (ex *executor) resolve(tp TriplePattern, sol Solution) (s, p, o rdf.Term) {
+	get := func(pt PatternTerm) rdf.Term {
+		if pt.IsVar() {
+			if t, ok := sol[pt.Var]; ok {
+				return t
+			}
+			return rdf.Term{}
+		}
+		if pt.Term.IsBlank() {
+			return rdf.Term{} // bnode in query acts as wildcard
+		}
+		return pt.Term
+	}
+	return get(tp.S), get(tp.P), get(tp.O)
+}
+
+// extend binds the pattern's variables from a matching quad; returns
+// nil when an existing binding conflicts.
+func extend(sol Solution, tp TriplePattern, q rdf.Quad) Solution {
+	ext := sol.clone()
+	bind := func(pt PatternTerm, val rdf.Term) bool {
+		if !pt.IsVar() {
+			return true
+		}
+		if old, ok := ext[pt.Var]; ok {
+			return old.Equal(val)
+		}
+		ext[pt.Var] = val
+		return true
+	}
+	if !bind(tp.S, q.S) || !bind(tp.P, q.P) || !bind(tp.O, q.O) {
+		return nil
+	}
+	return ext
+}

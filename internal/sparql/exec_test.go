@@ -1,0 +1,618 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// Vocabulary shorthand used by fixtures.
+const (
+	nsFOAF  = "http://xmlns.com/foaf/0.1/"
+	nsSIOCT = "http://rdfs.org/sioc/types#"
+	nsCOMM  = "http://comm.semanticweb.org/core.owl#"
+	nsREV   = "http://purl.org/stuff/rev#"
+	nsGEO   = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+	nsDBPO  = "http://dbpedia.org/ontology/"
+	nsLGDO  = "http://linkedgeodata.org/ontology/"
+	nsEX    = "http://ex.org/"
+)
+
+func exIRI(s string) rdf.Term { return rdf.NewIRI(nsEX + s) }
+
+func addT(t *testing.T, st *store.Store, s, p, o rdf.Term) {
+	t.Helper()
+	if _, err := st.AddTriple(rdf.Triple{S: s, P: p, O: o}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func geomLit(lon, lat float64) rdf.Term {
+	return rdf.NewTypedLiteral(fmt.Sprintf("POINT(%g %g)", lon, lat), rdf.VirtRDFGeometry)
+}
+
+// paperStore builds the fixture behind the paper's §2.3 examples:
+// the Mole Antonelliana monument, three users (oscar, walter, carmen),
+// and pictures around Turin and Rome with makers and ratings.
+func paperStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	label := rdf.NewIRI(rdf.RDFSLabel)
+	geom := rdf.NewIRI(rdf.GeoGeometry)
+	typ := rdf.NewIRI(rdf.RDFType)
+	imageData := rdf.NewIRI(nsCOMM + "image-data")
+	maker := rdf.NewIRI(nsFOAF + "maker")
+	knows := rdf.NewIRI(nsFOAF + "knows")
+	name := rdf.NewIRI(nsFOAF + "name")
+	rating := rdf.NewIRI(nsREV + "rating")
+	post := rdf.NewIRI(nsSIOCT + "MicroblogPost")
+
+	mole := rdf.NewIRI("http://dbpedia.org/resource/Mole_Antonelliana")
+	addT(t, st, mole, label, rdf.NewLangLiteral("Mole Antonelliana", "it"))
+	addT(t, st, mole, geom, geomLit(7.6934, 45.0690))
+	addT(t, st, mole, typ, rdf.NewIRI(nsDBPO+"Building"))
+
+	users := map[string]rdf.Term{
+		"oscar":  exIRI("user/oscar"),
+		"walter": exIRI("user/walter"),
+		"carmen": exIRI("user/carmen"),
+	}
+	for n, u := range users {
+		addT(t, st, u, name, rdf.NewLiteral(n))
+		addT(t, st, u, typ, rdf.NewIRI(nsFOAF+"Person"))
+	}
+	// walter knows oscar; carmen does not.
+	addT(t, st, users["walter"], knows, users["oscar"])
+
+	type pic struct {
+		id       string
+		lon, lat float64
+		by       string
+		stars    int64
+	}
+	pics := []pic{
+		{"pic/near1", 7.6940, 45.0700, "walter", 5}, // near Mole, friend of oscar
+		{"pic/near2", 7.6800, 45.0600, "carmen", 3}, // near Mole, not friend
+		{"pic/near3", 7.7000, 45.0750, "walter", 1}, // near Mole, friend
+		{"pic/rome", 12.4964, 41.9028, "walter", 4}, // Rome: out of range
+	}
+	for _, p := range pics {
+		r := exIRI(p.id)
+		addT(t, st, r, typ, post)
+		addT(t, st, r, geom, geomLit(p.lon, p.lat))
+		addT(t, st, r, imageData, rdf.NewLiteral("http://media.ex.org/"+p.id+".jpg"))
+		addT(t, st, r, maker, users[p.by])
+		addT(t, st, r, rating, rdf.NewInteger(p.stars))
+	}
+	return st
+}
+
+const prefixes = `
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+PREFIX ex: <http://ex.org/>
+`
+
+func TestPaperQuery1GeoAlbum(t *testing.T) {
+	st := paperStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(prefixes + `
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := res.Bindings("link")
+	if len(links) != 3 {
+		t.Fatalf("links = %v, want the 3 Turin pictures", links)
+	}
+	for _, l := range links {
+		if l.Value() == "http://media.ex.org/pic/rome.jpg" {
+			t.Fatal("Rome picture leaked into the Turin album")
+		}
+	}
+}
+
+func TestPaperQuery2SocialFilter(t *testing.T) {
+	st := paperStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(prefixes + `
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "oscar" .
+  ?user foaf:knows ?oscar .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := res.Bindings("link")
+	if len(links) != 2 {
+		t.Fatalf("links = %v, want walter's 2 Turin pictures", links)
+	}
+}
+
+func TestPaperQuery3RatingOrder(t *testing.T) {
+	st := paperStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(prefixes + `
+SELECT DISTINCT ?link ?points WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "oscar" .
+  ?user foaf:knows ?oscar .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}
+ORDER BY DESC(?points)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	first := res.Solutions[0]["points"]
+	second := res.Solutions[1]["points"]
+	if first.Value() != "5" || second.Value() != "1" {
+		t.Fatalf("rating order = %v, %v", first, second)
+	}
+}
+
+func TestOptionalLeftJoin(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("label"), rdf.NewLiteral("A"))
+	addT(t, st, exIRI("b"), exIRI("label"), rdf.NewLiteral("B"))
+	addT(t, st, exIRI("a"), exIRI("website"), rdf.NewLiteral("http://a.example"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?l ?w WHERE {
+  ?s ex:label ?l .
+  OPTIONAL { ?s ex:website ?w }
+} ORDER BY ?l`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+	if _, ok := res.Solutions[0]["w"]; !ok {
+		t.Fatal("a should have website bound")
+	}
+	if _, ok := res.Solutions[1]["w"]; ok {
+		t.Fatal("b should have website unbound")
+	}
+}
+
+func TestUnionCombines(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), rdf.NewIRI(rdf.RDFType), exIRI("Cat"))
+	addT(t, st, exIRI("b"), rdf.NewIRI(rdf.RDFType), exIRI("Dog"))
+	addT(t, st, exIRI("c"), rdf.NewIRI(rdf.RDFType), exIRI("Fish"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { { ?s a ex:Cat } UNION { ?s a ex:Dog } } ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %d", len(res.Solutions))
+	}
+}
+
+func TestFilterTypeErrorIsFalse(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("not a number"))
+	addT(t, st, exIRI("b"), exIRI("p"), rdf.NewInteger(10))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?v . FILTER(?v > 5) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The non-numeric row type-errors -> filter false -> dropped.
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("b") {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestLangMatchesFilter(t *testing.T) {
+	st := store.New()
+	abstract := rdf.NewIRI(nsDBPO + "abstract")
+	addT(t, st, exIRI("turin"), abstract, rdf.NewLangLiteral("Torino è una città", "it"))
+	addT(t, st, exIRI("turin"), abstract, rdf.NewLangLiteral("Turin is a city", "en"))
+	addT(t, st, exIRI("turin"), abstract, rdf.NewLangLiteral("Turin ist eine Stadt", "de-AT"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT ?d WHERE { ?s dbpo:abstract ?d . FILTER langMatches(lang(?d), 'it') }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["d"].Lang() != "it" {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+	// Subtag matching: 'de' matches 'de-AT'.
+	res, err = e.Query(`PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT ?d WHERE { ?s dbpo:abstract ?d . FILTER langMatches(lang(?d), 'de') }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("de solutions = %v", res.Solutions)
+	}
+}
+
+func TestInFilterWithIRIs(t *testing.T) {
+	st := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	addT(t, st, exIRI("r1"), typ, rdf.NewIRI(nsLGDO+"City"))
+	addT(t, st, exIRI("r2"), typ, rdf.NewIRI(nsLGDO+"Restaurant"))
+	addT(t, st, exIRI("r3"), typ, rdf.NewIRI(nsLGDO+"Tourism"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+SELECT ?s WHERE { ?s a ?t . FILTER(?t in (lgdo:City, lgdo:Tourism)) } ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestAskForm(t *testing.T) {
+	st := paperStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(prefixes + `ASK { ?u foaf:name "oscar" }`)
+	if err != nil || !res.Bool {
+		t.Fatalf("ask true = %v, %v", res, err)
+	}
+	res, err = e.Query(prefixes + `ASK { ?u foaf:name "nobody" }`)
+	if err != nil || res.Bool {
+		t.Fatalf("ask false = %v, %v", res, err)
+	}
+}
+
+func TestConstructForm(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("orig"), rdf.NewLiteral("x"))
+	addT(t, st, exIRI("b"), exIRI("orig"), rdf.NewLiteral("y"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+CONSTRUCT { ?s ex:copied ?o } WHERE { ?s ex:orig ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Triples) != 2 {
+		t.Fatalf("triples = %v", res.Triples)
+	}
+	if res.Triples[0].P.Value() != nsEX+"copied" {
+		t.Fatalf("predicate = %v", res.Triples[0].P)
+	}
+}
+
+func TestDescribeForm(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("x"), exIRI("p"), rdf.NewLiteral("1"))
+	addT(t, st, exIRI("x"), exIRI("q"), rdf.NewBlank("inner"))
+	addT(t, st, rdf.NewBlank("inner"), exIRI("r"), rdf.NewLiteral("2"))
+	addT(t, st, exIRI("y"), exIRI("p"), rdf.NewLiteral("3"))
+	e := NewEngine(st)
+	res, err := e.Query(`DESCRIBE <http://ex.org/x>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CBD: x's 2 triples plus the blank node's 1.
+	if len(res.Triples) != 3 {
+		t.Fatalf("triples = %v", res.Triples)
+	}
+}
+
+func TestSubqueryLimitScoping(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 10; i++ {
+		addT(t, st, exIRI(fmt.Sprintf("r%d", i)), exIRI("p"), rdf.NewInteger(int64(i)))
+	}
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { { SELECT ?s WHERE { ?s ex:p ?v } ORDER BY ?v LIMIT 3 } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 {
+		t.Fatalf("subquery limit leaked: %d solutions", len(res.Solutions))
+	}
+}
+
+func TestUnionOfSubqueriesMashupShape(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 8; i++ {
+		addT(t, st, exIRI(fmt.Sprintf("rest%d", i)), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(nsLGDO+"Restaurant"))
+		addT(t, st, exIRI(fmt.Sprintf("sight%d", i)), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(nsLGDO+"Tourism"))
+	}
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+SELECT DISTINCT ?s WHERE {
+  { SELECT ?s WHERE { ?s a lgdo:Restaurant } LIMIT 5 }
+  UNION
+  { SELECT ?s WHERE { ?s a lgdo:Tourism } LIMIT 5 }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 10 {
+		t.Fatalf("solutions = %d, want 5+5", len(res.Solutions))
+	}
+}
+
+func TestBindAndSelectExpr(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("n"), rdf.NewInteger(4))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?twice (concat("v=", str(?v)) AS ?label) WHERE {
+  ?s ex:n ?v .
+  BIND(?v * 2 AS ?twice)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := res.Solutions[0]
+	if sol["twice"].Value() != "8" {
+		t.Fatalf("twice = %v", sol["twice"])
+	}
+	if sol["label"].Value() != "v=4" {
+		t.Fatalf("label = %v", sol["label"])
+	}
+}
+
+func TestValuesJoin(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("1"))
+	addT(t, st, exIRI("b"), exIRI("p"), rdf.NewLiteral("2"))
+	addT(t, st, exIRI("c"), exIRI("p"), rdf.NewLiteral("3"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s ?v WHERE { VALUES ?s { ex:a ex:c } ?s ex:p ?v } ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestMinusExcludes(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("1"))
+	addT(t, st, exIRI("b"), exIRI("p"), rdf.NewLiteral("1"))
+	addT(t, st, exIRI("a"), exIRI("hidden"), rdf.NewBoolean(true))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?v . MINUS { ?s ex:hidden true } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("b") {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestGraphQueries(t *testing.T) {
+	st := store.New()
+	g1, g2 := exIRI("graph/1"), exIRI("graph/2")
+	st.MustAdd(rdf.Quad{S: exIRI("a"), P: exIRI("p"), O: rdf.NewLiteral("in-g1"), G: g1})
+	st.MustAdd(rdf.Quad{S: exIRI("b"), P: exIRI("p"), O: rdf.NewLiteral("in-g2"), G: g2})
+	st.MustAdd(rdf.Quad{S: exIRI("c"), P: exIRI("p"), O: rdf.NewLiteral("default")})
+	e := NewEngine(st)
+
+	// Fixed graph.
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { GRAPH ex:graph/1 { ?s ex:p ?o } }`)
+	// IRI escapes in prefixed names are awkward; use full IRI instead.
+	res, err = e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { GRAPH <http://ex.org/graph/1> { ?s ex:p ?o } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("a") {
+		t.Fatalf("fixed graph = %v", res.Solutions)
+	}
+
+	// Variable graph binds ?g over named graphs only.
+	res, err = e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?g ?s WHERE { GRAPH ?g { ?s ex:p ?o } } ORDER BY ?g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("var graph = %v", res.Solutions)
+	}
+
+	// Default matching unions all graphs (Virtuoso-style).
+	res, err = e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 {
+		t.Fatalf("union default = %v", res.Solutions)
+	}
+}
+
+func TestExistsFilter(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("1"))
+	addT(t, st, exIRI("a"), exIRI("ok"), rdf.NewBoolean(true))
+	addT(t, st, exIRI("b"), exIRI("p"), rdf.NewLiteral("2"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?v . FILTER EXISTS { ?s ex:ok true } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("a") {
+		t.Fatalf("exists = %v", res.Solutions)
+	}
+	res, err = e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?v . FILTER NOT EXISTS { ?s ex:ok true } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("b") {
+		t.Fatalf("not exists = %v", res.Solutions)
+	}
+}
+
+func TestRegexFilter(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("title"), rdf.NewLiteral("Mole Antonelliana at sunset"))
+	addT(t, st, exIRI("b"), exIRI("title"), rdf.NewLiteral("Colosseum"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:title ?t . FILTER regex(?t, "^mole", "i") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("a") {
+		t.Fatalf("regex = %v", res.Solutions)
+	}
+}
+
+func TestBifContainsFilter(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("title"), rdf.NewLiteral("Mole Antonelliana di Torino"))
+	addT(t, st, exIRI("b"), exIRI("title"), rdf.NewLiteral("Torino by night"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:title ?t . FILTER bif:contains(?t, "torino mole") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("a") {
+		t.Fatalf("bif:contains = %v", res.Solutions)
+	}
+}
+
+func TestDistinctAndOffset(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("same"))
+	addT(t, st, exIRI("a"), exIRI("q"), rdf.NewLiteral("same"))
+	addT(t, st, exIRI("b"), exIRI("p"), rdf.NewLiteral("same"))
+	e := NewEngine(st)
+	res, err := e.Query(`SELECT DISTINCT ?o WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("distinct = %v", res.Solutions)
+	}
+	res, err = e.Query(`SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s OFFSET 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("offset = %v", res.Solutions)
+	}
+	res, err = e.Query(`SELECT ?s WHERE { ?s ?p ?o } OFFSET 99`)
+	if err != nil || len(res.Solutions) != 0 {
+		t.Fatalf("past-end offset = %v, %v", res.Solutions, err)
+	}
+}
+
+func TestOrderByNumericNotLexical(t *testing.T) {
+	st := store.New()
+	for _, v := range []int64{2, 10, 1} {
+		addT(t, st, exIRI(fmt.Sprintf("r%d", v)), exIRI("n"), rdf.NewInteger(v))
+	}
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?v WHERE { ?s ex:n ?v } ORDER BY ?v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Bindings("v")
+	if got[0].Value() != "1" || got[1].Value() != "2" || got[2].Value() != "10" {
+		t.Fatalf("numeric order = %v", got)
+	}
+}
+
+func TestStDistanceAndStPoint(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("turin"), rdf.NewIRI(rdf.GeoGeometry), geomLit(7.6869, 45.0703))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+SELECT ?d WHERE {
+  ?s geo:geometry ?g .
+  BIND(bif:st_distance(?g, bif:st_point(12.4964, 41.9028)) AS ?d)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Solutions[0]["d"]
+	if d.IsZero() {
+		t.Fatal("distance unbound")
+	}
+	// Turin-Rome ~525km.
+	var km float64
+	fmt.Sscanf(d.Value(), "%g", &km)
+	if km < 500 || km > 560 {
+		t.Fatalf("distance = %v", d)
+	}
+}
+
+func TestResultTableRendering(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("x"))
+	e := NewEngine(st)
+	res, _ := e.Query(`SELECT ?s ?o WHERE { ?s ?p ?o }`)
+	tbl := res.Table()
+	if len(tbl) == 0 || tbl[0] != '?' {
+		t.Fatalf("table = %q", tbl)
+	}
+}
+
+func TestEmptyWhereNoMatches(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	res, err := e.Query(`SELECT ?s WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestUnknownFunctionErrorsFilterToFalse(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("x"))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?o . FILTER bif:no_such_function(?o) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Fatal("unknown function should fail the filter")
+	}
+}

@@ -1,0 +1,1040 @@
+package sparql
+
+import (
+	"strings"
+
+	"lodify/internal/rdf"
+)
+
+// Parse parses a SPARQL query string.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: rdf.NewPrefixMap()}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errHere("unexpected %s after end of query", p.cur())
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for statically-known queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes *rdf.PrefixMap
+	bnSeq    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = "token"
+	}
+	return token{}, p.errHere("expected %q, got %s", want, p.cur())
+}
+
+func (p *parser) errHere(format string, args ...any) *Error {
+	t := p.cur()
+	return errf(t.line, t.col, format, args...)
+}
+
+func (p *parser) query() (*Query, error) {
+	for {
+		switch {
+		case p.acceptKeyword("PREFIX"):
+			pt, err := p.expect(tokPrefixed, "")
+			if err != nil {
+				return nil, err
+			}
+			if !strings.HasSuffix(pt.text, ":") {
+				// lexer keeps "prefix:" + local; a bare prefix decl has
+				// empty local part so text is "name:".
+				if i := strings.Index(pt.text, ":"); i < 0 || pt.text[i+1:] != "" {
+					return nil, errf(pt.line, pt.col, "malformed PREFIX declaration %q", pt.text)
+				}
+			}
+			iri, err := p.expect(tokIRI, "")
+			if err != nil {
+				return nil, err
+			}
+			name := strings.TrimSuffix(pt.text, ":")
+			p.prefixes.Set(name, iri.text)
+		case p.acceptKeyword("BASE"):
+			if _, err := p.expect(tokIRI, ""); err != nil {
+				return nil, err
+			}
+		default:
+			goto body
+		}
+	}
+body:
+	q := &Query{Prefixes: p.prefixes, Limit: -1}
+	switch {
+	case p.acceptKeyword("SELECT"):
+		q.Form = FormSelect
+		if err := p.selectClause(q); err != nil {
+			return nil, err
+		}
+	case p.acceptKeyword("ASK"):
+		q.Form = FormAsk
+	case p.acceptKeyword("CONSTRUCT"):
+		q.Form = FormConstruct
+		if _, err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		tpl, err := p.triplesBlock()
+		if err != nil {
+			return nil, err
+		}
+		q.Template = tpl
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+	case p.acceptKeyword("DESCRIBE"):
+		q.Form = FormDescribe
+		for {
+			switch {
+			case p.at(tokVar, ""):
+				q.DescribeVars = append(q.DescribeVars, p.next().text)
+			case p.at(tokIRI, "") || p.at(tokPrefixed, ""):
+				t, err := p.iriTerm()
+				if err != nil {
+					return nil, err
+				}
+				q.DescribeTerms = append(q.DescribeTerms, t)
+			default:
+				goto describeDone
+			}
+		}
+	describeDone:
+		if len(q.DescribeVars) == 0 && len(q.DescribeTerms) == 0 {
+			return nil, p.errHere("DESCRIBE requires at least one variable or IRI")
+		}
+	default:
+		return nil, p.errHere("expected SELECT, ASK, CONSTRUCT or DESCRIBE, got %s", p.cur())
+	}
+
+	// FROM clauses are parsed and ignored (the store is the dataset).
+	for p.acceptKeyword("FROM") {
+		p.acceptKeyword("NAMED")
+		if _, err := p.expect(tokIRI, ""); err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE keyword is optional before the group for SELECT/ASK.
+	needsWhere := q.Form != FormDescribe || p.atKeyword("WHERE") || p.at(tokPunct, "{")
+	p.acceptKeyword("WHERE")
+	if needsWhere {
+		g, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = g
+	}
+	return q, p.solutionModifiers(q)
+}
+
+func (p *parser) selectClause(q *Query) error {
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	} else if p.acceptKeyword("REDUCED") {
+		q.Reduced = true
+	}
+	if p.accept(tokPunct, "*") {
+		q.Star = true
+		return nil
+	}
+	for {
+		switch {
+		case p.at(tokVar, ""):
+			q.Vars = append(q.Vars, p.next().text)
+		case p.at(tokPunct, "("):
+			p.next()
+			e, err := p.expression()
+			if err != nil {
+				return err
+			}
+			if !p.acceptKeyword("AS") {
+				return p.errHere("expected AS in select expression")
+			}
+			v, err := p.expect(tokVar, "")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return err
+			}
+			q.Binds = append(q.Binds, SelectBind{Expr: e, Var: v.text})
+		default:
+			if len(q.Vars) == 0 && len(q.Binds) == 0 {
+				return p.errHere("SELECT needs * or at least one variable")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) solutionModifiers(q *Query) error {
+	if p.acceptKeyword("GROUP") {
+		if !p.acceptKeyword("BY") {
+			return p.errHere("expected BY after GROUP")
+		}
+		for {
+			switch {
+			case p.at(tokVar, ""):
+				q.GroupBy = append(q.GroupBy, ExprVar{Name: p.next().text})
+			case p.at(tokPunct, "("):
+				e, err := p.bracketted()
+				if err != nil {
+					return err
+				}
+				q.GroupBy = append(q.GroupBy, e)
+			default:
+				goto groupDone
+			}
+		}
+	groupDone:
+		if len(q.GroupBy) == 0 {
+			return p.errHere("GROUP BY needs at least one key")
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		for p.at(tokPunct, "(") {
+			e, err := p.bracketted()
+			if err != nil {
+				return err
+			}
+			q.Having = append(q.Having, e)
+		}
+		if len(q.Having) == 0 {
+			return p.errHere("HAVING needs at least one constraint")
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if !p.acceptKeyword("BY") {
+			return p.errHere("expected BY after ORDER")
+		}
+		for {
+			var key OrderKey
+			switch {
+			case p.acceptKeyword("ASC"):
+				e, err := p.bracketted()
+				if err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e}
+			case p.acceptKeyword("DESC"):
+				e, err := p.bracketted()
+				if err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e, Desc: true}
+			case p.at(tokVar, ""):
+				key = OrderKey{Expr: ExprVar{Name: p.next().text}}
+			case p.at(tokPunct, "("):
+				e, err := p.bracketted()
+				if err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e}
+			default:
+				goto orderDone
+			}
+			q.OrderBy = append(q.OrderBy, key)
+		}
+	orderDone:
+		if len(q.OrderBy) == 0 {
+			return p.errHere("ORDER BY needs at least one key")
+		}
+	}
+	// LIMIT and OFFSET in either order.
+	for {
+		switch {
+		case p.acceptKeyword("LIMIT"):
+			n, err := p.nonNegInt()
+			if err != nil {
+				return err
+			}
+			q.Limit = n
+		case p.acceptKeyword("OFFSET"):
+			n, err := p.nonNegInt()
+			if err != nil {
+				return err
+			}
+			q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) nonNegInt() (int, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range t.text {
+		if c < '0' || c > '9' {
+			return 0, errf(t.line, t.col, "expected non-negative integer, got %q", t.text)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+func (p *parser) bracketted() (Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// groupGraphPattern parses '{' ... '}'.
+func (p *parser) groupGraphPattern() (*GroupPattern, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	g := &GroupPattern{}
+	for {
+		switch {
+		case p.accept(tokPunct, "}"):
+			return g, nil
+		case p.accept(tokPunct, "."):
+			// separator, skip
+		case p.atKeyword("FILTER"):
+			p.next()
+			e, err := p.constraint()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+			p.accept(tokPunct, ".")
+		case p.atKeyword("OPTIONAL"):
+			p.next()
+			inner, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, &OptionalPattern{Group: inner})
+		case p.atKeyword("MINUS"):
+			p.next()
+			inner, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, &MinusPattern{Group: inner})
+		case p.atKeyword("GRAPH"):
+			p.next()
+			gt, err := p.varOrIRI()
+			if err != nil {
+				return nil, err
+			}
+			inner, err := p.groupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, &GraphPattern{Graph: gt, Group: inner})
+		case p.atKeyword("BIND"):
+			p.next()
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("AS") {
+				return nil, p.errHere("expected AS in BIND")
+			}
+			v, err := p.expect(tokVar, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, &BindPattern{Expr: e, Var: v.text})
+		case p.atKeyword("VALUES"):
+			p.next()
+			vp, err := p.valuesBlock()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, vp)
+		case p.at(tokPunct, "{"):
+			node, err := p.groupOrUnionOrSub()
+			if err != nil {
+				return nil, err
+			}
+			g.Children = append(g.Children, node)
+		default:
+			triples, err := p.triplesBlock()
+			if err != nil {
+				return nil, err
+			}
+			if len(triples) == 0 {
+				return nil, p.errHere("unexpected %s in group graph pattern", p.cur())
+			}
+			g.Children = append(g.Children, &BGP{Triples: triples})
+		}
+	}
+}
+
+// groupOrUnionOrSub parses a nested '{': either a sub-select, a
+// plain nested group, or the start of a UNION chain.
+func (p *parser) groupOrUnionOrSub() (PatternNode, error) {
+	first, err := p.groupOrSub()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("UNION") {
+		return first, nil
+	}
+	union := &UnionPattern{Branches: []*GroupPattern{wrapGroup(first)}}
+	for p.acceptKeyword("UNION") {
+		b, err := p.groupOrSub()
+		if err != nil {
+			return nil, err
+		}
+		union.Branches = append(union.Branches, wrapGroup(b))
+	}
+	return union, nil
+}
+
+func wrapGroup(n PatternNode) *GroupPattern {
+	if g, ok := n.(*GroupPattern); ok {
+		return g
+	}
+	return &GroupPattern{Children: []PatternNode{n}}
+}
+
+// groupOrSub parses '{ ... }' which may be a sub-SELECT.
+func (p *parser) groupOrSub() (PatternNode, error) {
+	start := p.pos
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("SELECT") {
+		p.next()
+		sub := &Query{Prefixes: p.prefixes, Limit: -1}
+		sub.Form = FormSelect
+		if err := p.selectClause(sub); err != nil {
+			return nil, err
+		}
+		p.acceptKeyword("WHERE")
+		g, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		sub.Where = g
+		if err := p.solutionModifiers(sub); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return &SubQuery{Query: sub}, nil
+	}
+	p.pos = start
+	return p.groupGraphPattern()
+}
+
+func (p *parser) valuesBlock() (*ValuesPattern, error) {
+	vp := &ValuesPattern{}
+	multi := false
+	if p.accept(tokPunct, "(") {
+		multi = true
+		for p.at(tokVar, "") {
+			vp.Vars = append(vp.Vars, p.next().text)
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	} else {
+		v, err := p.expect(tokVar, "")
+		if err != nil {
+			return nil, err
+		}
+		vp.Vars = []string{v.text}
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(tokPunct, "}") {
+		if multi {
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			row := make([]rdf.Term, 0, len(vp.Vars))
+			for !p.accept(tokPunct, ")") {
+				t, err := p.dataTerm()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, t)
+			}
+			if len(row) != len(vp.Vars) {
+				return nil, p.errHere("VALUES row arity %d != %d", len(row), len(vp.Vars))
+			}
+			vp.Rows = append(vp.Rows, row)
+		} else {
+			t, err := p.dataTerm()
+			if err != nil {
+				return nil, err
+			}
+			vp.Rows = append(vp.Rows, []rdf.Term{t})
+		}
+	}
+	return vp, nil
+}
+
+// dataTerm parses a VALUES data term (IRI, literal, number, boolean,
+// or UNDEF which yields a zero Term).
+func (p *parser) dataTerm() (rdf.Term, error) {
+	switch {
+	case p.acceptKeyword("UNDEF"):
+		return rdf.Term{}, nil
+	case p.at(tokIRI, "") || p.at(tokPrefixed, ""):
+		return p.iriTerm()
+	case p.at(tokLiteral, ""):
+		return p.literalTerm()
+	case p.at(tokNumber, ""):
+		return p.numberTerm(), nil
+	case p.at(tokBoolean, ""):
+		t := p.next()
+		return rdf.NewBoolean(t.text == "true"), nil
+	default:
+		return rdf.Term{}, p.errHere("expected data term, got %s", p.cur())
+	}
+}
+
+// triplesBlock parses consecutive triple patterns until a token that
+// cannot continue the block.
+func (p *parser) triplesBlock() ([]TriplePattern, error) {
+	var out []TriplePattern
+	for {
+		if !p.atTripleStart() {
+			return out, nil
+		}
+		wasAnon := p.at(tokPunct, "[")
+		s, err := p.patternTermSubject(&out)
+		if err != nil {
+			return nil, err
+		}
+		// A blank-node property list used as subject may stand alone.
+		if wasAnon && (p.at(tokPunct, ".") || p.at(tokPunct, "}") || p.at(tokPunct, "]")) {
+			if !p.accept(tokPunct, ".") {
+				return out, nil
+			}
+			continue
+		}
+		out, err = p.predicateObjectList(s, out)
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokPunct, ".") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) atTripleStart() bool {
+	t := p.cur()
+	switch t.kind {
+	case tokVar, tokIRI, tokPrefixed, tokBlank:
+		return true
+	case tokPunct:
+		return t.text == "["
+	default:
+		return false
+	}
+}
+
+func (p *parser) patternTermSubject(acc *[]TriplePattern) (PatternTerm, error) {
+	if p.at(tokPunct, "[") {
+		return p.anonSubject(acc)
+	}
+	return p.varOrTerm()
+}
+
+func (p *parser) anonSubject(acc *[]TriplePattern) (PatternTerm, error) {
+	p.next() // [
+	p.bnSeq++
+	b := PatternTerm{Term: rdf.NewBlank(sprintfBN(p.bnSeq))}
+	if p.accept(tokPunct, "]") {
+		return b, nil
+	}
+	var err error
+	*acc, err = p.predicateObjectList(b, *acc)
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return PatternTerm{}, err
+	}
+	return b, nil
+}
+
+func sprintfBN(n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return "qb0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return "qb" + string(buf[i:])
+}
+
+func (p *parser) predicateObjectList(s PatternTerm, acc []TriplePattern) ([]TriplePattern, error) {
+	for {
+		var pred PatternTerm
+		var path *PathExpr
+		switch {
+		case p.at(tokVar, ""):
+			pred = PatternTerm{Var: p.next().text}
+		case p.at(tokA, "") || p.at(tokIRI, "") || p.at(tokPrefixed, "") ||
+			p.at(tokPunct, "^") || p.at(tokPunct, "("):
+			// Parse a property path; a bare IRI collapses back to a
+			// plain predicate.
+			px, err := p.path()
+			if err != nil {
+				return nil, err
+			}
+			if px.isSimpleIRI() {
+				pred = PatternTerm{Term: px.IRI}
+			} else {
+				path = px
+			}
+		default:
+			return nil, p.errHere("expected predicate, got %s", p.cur())
+		}
+		for {
+			o, err := p.objectTerm(&acc)
+			if err != nil {
+				return nil, err
+			}
+			acc = append(acc, TriplePattern{S: s, P: pred, O: o, Path: path})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if !p.accept(tokPunct, ";") {
+			return acc, nil
+		}
+		// allow trailing ';' before '.' or '}' or ']'
+		if p.at(tokPunct, ".") || p.at(tokPunct, "}") || p.at(tokPunct, "]") {
+			return acc, nil
+		}
+	}
+}
+
+func (p *parser) objectTerm(acc *[]TriplePattern) (PatternTerm, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && t.text == "[":
+		return p.anonSubject(acc)
+	case t.kind == tokLiteral:
+		lt, err := p.literalTerm()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: lt}, nil
+	case t.kind == tokNumber:
+		return PatternTerm{Term: p.numberTerm()}, nil
+	case t.kind == tokBoolean:
+		p.next()
+		return PatternTerm{Term: rdf.NewBoolean(t.text == "true")}, nil
+	default:
+		return p.varOrTerm()
+	}
+}
+
+// varOrTerm parses a variable, IRI, prefixed name or blank label.
+func (p *parser) varOrTerm() (PatternTerm, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.next()
+		return PatternTerm{Var: t.text}, nil
+	case tokIRI, tokPrefixed:
+		term, err := p.iriTerm()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: term}, nil
+	case tokBlank:
+		p.next()
+		return PatternTerm{Term: rdf.NewBlank(t.text)}, nil
+	default:
+		return PatternTerm{}, p.errHere("expected variable or term, got %s", t)
+	}
+}
+
+func (p *parser) varOrIRI() (PatternTerm, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.next()
+		return PatternTerm{Var: t.text}, nil
+	case tokIRI, tokPrefixed:
+		term, err := p.iriTerm()
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: term}, nil
+	default:
+		return PatternTerm{}, p.errHere("expected variable or IRI, got %s", t)
+	}
+}
+
+func (p *parser) iriTerm() (rdf.Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIRI:
+		return rdf.NewIRI(t.text), nil
+	case tokPrefixed:
+		iri, ok := p.prefixes.Expand(t.text)
+		if !ok {
+			return rdf.Term{}, errf(t.line, t.col, "unknown prefix in %q", t.text)
+		}
+		return rdf.NewIRI(iri), nil
+	default:
+		return rdf.Term{}, errf(t.line, t.col, "expected IRI, got %s", t)
+	}
+}
+
+func (p *parser) literalTerm() (rdf.Term, error) {
+	t := p.next() // tokLiteral
+	switch {
+	case p.at(tokLang, ""):
+		lang := p.next().text
+		return rdf.NewLangLiteral(t.text, lang), nil
+	case p.accept(tokPunct, "^^"):
+		dt, err := p.iriTerm()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(t.text, dt.Value()), nil
+	default:
+		return rdf.NewLiteral(t.text), nil
+	}
+}
+
+func (p *parser) numberTerm() rdf.Term {
+	t := p.next()
+	switch {
+	case strings.ContainsAny(t.text, "eE"):
+		return rdf.NewTypedLiteral(t.text, rdf.XSDDouble)
+	case strings.Contains(t.text, "."):
+		return rdf.NewTypedLiteral(t.text, rdf.XSDDecimal)
+	default:
+		return rdf.NewTypedLiteral(t.text, rdf.XSDInteger)
+	}
+}
+
+// constraint parses a FILTER constraint: either a bracketted
+// expression or a function call.
+func (p *parser) constraint() (Expr, error) {
+	if p.at(tokPunct, "(") {
+		return p.bracketted()
+	}
+	return p.primary()
+}
+
+// ---- expression grammar ----
+
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "||") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprCall{Op: "||", Args: []Expr{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "&&") {
+		right, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprCall{Op: "&&", Args: []Expr{left, right}}
+	}
+	return left, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(tokPunct, op) {
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return ExprCall{Op: op, Args: []Expr{left, right}}, nil
+		}
+	}
+	negate := false
+	if p.atKeyword("NOT") && p.toks[p.pos+1].kind == tokKeyword && strings.EqualFold(p.toks[p.pos+1].text, "IN") {
+		p.next()
+		negate = true
+	}
+	if p.acceptKeyword("IN") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		args := []Expr{left}
+		for !p.accept(tokPunct, ")") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			p.accept(tokPunct, ",")
+		}
+		call := ExprCall{Op: "in", Args: args}
+		if negate {
+			return ExprCall{Op: "!", Args: []Expr{call}}, nil
+		}
+		return call, nil
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "+"):
+			right, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = ExprCall{Op: "+", Args: []Expr{left, right}}
+		case p.accept(tokPunct, "-"):
+			right, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = ExprCall{Op: "-", Args: []Expr{left, right}}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "*"):
+			right, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = ExprCall{Op: "*", Args: []Expr{left, right}}
+		case p.accept(tokPunct, "/"):
+			right, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = ExprCall{Op: "/", Args: []Expr{left, right}}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch {
+	case p.accept(tokPunct, "!"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ExprCall{Op: "!", Args: []Expr{e}}, nil
+	case p.accept(tokPunct, "-"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ExprCall{Op: "neg", Args: []Expr{e}}, nil
+	case p.accept(tokPunct, "+"):
+		return p.unaryExpr()
+	default:
+		return p.primary()
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokPunct && t.text == "(":
+		return p.bracketted()
+	case t.kind == tokVar:
+		p.next()
+		return ExprVar{Name: t.text}, nil
+	case t.kind == tokLiteral:
+		term, err := p.literalTerm()
+		if err != nil {
+			return nil, err
+		}
+		return ExprTerm{Term: term}, nil
+	case t.kind == tokNumber:
+		return ExprTerm{Term: p.numberTerm()}, nil
+	case t.kind == tokBoolean:
+		p.next()
+		return ExprTerm{Term: rdf.NewBoolean(t.text == "true")}, nil
+	case t.kind == tokKeyword && strings.EqualFold(t.text, "NOT"):
+		p.next()
+		if !p.acceptKeyword("EXISTS") {
+			return nil, p.errHere("expected EXISTS after NOT")
+		}
+		g, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		return ExprExists{Negate: true, Group: g}, nil
+	case t.kind == tokKeyword && strings.EqualFold(t.text, "EXISTS"):
+		p.next()
+		g, err := p.groupGraphPattern()
+		if err != nil {
+			return nil, err
+		}
+		return ExprExists{Group: g}, nil
+	case t.kind == tokKeyword:
+		// Function call: name(args...). Keywords like COUNT also land
+		// here when used as functions.
+		p.next()
+		name := strings.ToLower(t.text)
+		if !p.at(tokPunct, "(") {
+			return nil, errf(t.line, t.col, "unexpected identifier %q in expression", t.text)
+		}
+		return p.callArgs(name)
+	case t.kind == tokPrefixed:
+		// Either a function (bif:st_intersects(...)) or an IRI constant.
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+			p.next()
+			return p.callArgs(strings.ToLower(t.text))
+		}
+		term, err := p.iriTerm()
+		if err != nil {
+			return nil, err
+		}
+		return ExprTerm{Term: term}, nil
+	case t.kind == tokIRI:
+		p.next()
+		return ExprTerm{Term: rdf.NewIRI(t.text)}, nil
+	default:
+		return nil, p.errHere("unexpected %s in expression", t)
+	}
+}
+
+func (p *parser) callArgs(name string) (Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	// COUNT(*) special form.
+	if name == "count" && p.accept(tokPunct, "*") {
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return ExprCall{Op: "count*"}, nil
+	}
+	if name == "count" && p.acceptKeyword("DISTINCT") {
+		name = "count-distinct"
+	}
+	for !p.accept(tokPunct, ")") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !p.accept(tokPunct, ",") && !p.at(tokPunct, ")") {
+			return nil, p.errHere("expected ',' or ')' in argument list")
+		}
+	}
+	return ExprCall{Op: name, Args: args}, nil
+}

@@ -1,0 +1,390 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"lodify/internal/rdf"
+)
+
+func TestParseSelectBasic(t *testing.T) {
+	q, err := Parse(`PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT DISTINCT ?name WHERE { ?p a foaf:Person ; foaf:name ?name . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Form != FormSelect || !q.Distinct {
+		t.Fatalf("form/distinct = %v/%v", q.Form, q.Distinct)
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "name" {
+		t.Fatalf("vars = %v", q.Vars)
+	}
+	bgp := q.Where.Children[0].(*BGP)
+	if len(bgp.Triples) != 2 {
+		t.Fatalf("triples = %d", len(bgp.Triples))
+	}
+	if bgp.Triples[0].P.Term.Value() != rdf.RDFType {
+		t.Fatalf("'a' not expanded: %v", bgp.Triples[0].P)
+	}
+	if bgp.Triples[1].P.Term.Value() != "http://xmlns.com/foaf/0.1/name" {
+		t.Fatalf("prefix not expanded: %v", bgp.Triples[1].P)
+	}
+}
+
+func TestParseSelectStarAndModifiers(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { ?s ?p ?o } ORDER BY DESC(?o) ?s LIMIT 10 OFFSET 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star || q.Limit != 10 || q.Offset != 5 {
+		t.Fatalf("star/limit/offset = %v/%d/%d", q.Star, q.Limit, q.Offset)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("orderby = %+v", q.OrderBy)
+	}
+}
+
+func TestParsePaperVirtualAlbumQuery(t *testing.T) {
+	// §2.3 query 1, verbatim modulo prefix declarations.
+	src := `
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  FILTER(bif:st_intersects(?location, ?sourceGEO, 0.3)) .
+}`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Where.Filters))
+	}
+	call, ok := q.Where.Filters[0].(ExprCall)
+	if !ok || call.Op != "bif:st_intersects" || len(call.Args) != 3 {
+		t.Fatalf("filter = %+v", q.Where.Filters[0])
+	}
+	bgp := q.Where.Children[0].(*BGP)
+	if len(bgp.Triples) != 5 {
+		t.Fatalf("triples = %d", len(bgp.Triples))
+	}
+	// Lang-tagged literal object parsed correctly.
+	if o := bgp.Triples[0].O.Term; o.Lang() != "it" || o.Value() != "Mole Antonelliana" {
+		t.Fatalf("label object = %v", o)
+	}
+}
+
+func TestParsePaperSocialAndRatingQuery(t *testing.T) {
+	// §2.3 query 3 with social filter and rating order.
+	src := `
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "oscar" .
+  ?user foaf:knows ?oscar .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}
+ORDER BY DESC(?points)`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc {
+		t.Fatalf("orderby = %+v", q.OrderBy)
+	}
+	bgp := q.Where.Children[0].(*BGP)
+	if len(bgp.Triples) != 9 {
+		t.Fatalf("triples = %d", len(bgp.Triples))
+	}
+}
+
+func TestParseMashupUnionSubqueries(t *testing.T) {
+	// Shape of the §4.1 "About" mashup query: UNION of sub-SELECTs
+	// each with its own LIMIT.
+	src := `
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX lgdo: <http://linkedgeodata.org/ontology/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+PREFIX tlpid: <http://beta.teamlife.it/cpg148_pictures/>
+SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {
+  { SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {
+      tlpid:42 geo:geometry ?locPID .
+      ?city geo:geometry ?locCity .
+      ?city a ?entType .
+      ?city rdfs:label ?lbl .
+      ?others rdfs:label ?lbl .
+      ?others dbpo:abstract ?desc .
+      ?others a dbpo:Place .
+      FILTER (?entType in (lgdo:City)) .
+      FILTER langMatches(lang(?desc), 'it') .
+      FILTER( bif:st_intersects( ?locPID, ?locCity, 1 ) ) .
+    } LIMIT 5
+  } UNION {
+    SELECT DISTINCT ?lbl ?entType ?desc ?others WHERE {
+      tlpid:42 geo:geometry ?locPID .
+      ?others geo:geometry ?location .
+      ?others a ?entType .
+      ?others rdfs:label ?lbl .
+      OPTIONAL { ?others <http://linkedgeodata.org/property/website> ?desc } .
+      FILTER (?entType in (lgdo:Restaurant)) .
+      FILTER( bif:st_intersects( ?locPID, ?location, 0.3 ) ) .
+    } LIMIT 5
+  }
+}`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, ok := q.Where.Children[0].(*UnionPattern)
+	if !ok || len(union.Branches) != 2 {
+		t.Fatalf("union = %+v", q.Where.Children[0])
+	}
+	sub, ok := union.Branches[0].Children[0].(*SubQuery)
+	if !ok {
+		t.Fatalf("first branch is %T", union.Branches[0].Children[0])
+	}
+	if sub.Query.Limit != 5 || !sub.Query.Distinct {
+		t.Fatalf("subquery limit/distinct = %d/%v", sub.Query.Limit, sub.Query.Distinct)
+	}
+	// Second branch has an OPTIONAL.
+	sub2 := union.Branches[1].Children[0].(*SubQuery)
+	foundOpt := false
+	for _, c := range sub2.Query.Where.Children {
+		if _, ok := c.(*OptionalPattern); ok {
+			foundOpt = true
+		}
+	}
+	if !foundOpt {
+		t.Fatal("OPTIONAL not parsed in second union arm")
+	}
+}
+
+func TestParseAskConstructDescribe(t *testing.T) {
+	q, err := Parse(`ASK { ?s ?p ?o }`)
+	if err != nil || q.Form != FormAsk {
+		t.Fatalf("ask: %v %v", q, err)
+	}
+	q, err = Parse(`PREFIX ex: <http://ex.org/>
+CONSTRUCT { ?s ex:copied ?o } WHERE { ?s ex:orig ?o }`)
+	if err != nil || q.Form != FormConstruct || len(q.Template) != 1 {
+		t.Fatalf("construct: %+v %v", q, err)
+	}
+	q, err = Parse(`DESCRIBE <http://ex.org/x>`)
+	if err != nil || q.Form != FormDescribe || len(q.DescribeTerms) != 1 {
+		t.Fatalf("describe: %+v %v", q, err)
+	}
+	q, err = Parse(`DESCRIBE ?s WHERE { ?s a <http://ex.org/C> }`)
+	if err != nil || len(q.DescribeVars) != 1 {
+		t.Fatalf("describe var: %+v %v", q, err)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?s ?p ?x . FILTER(?x > 1 + 2 * 3 && ?x < 100 || bound(?x)) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := q.Where.Filters[0].(ExprCall)
+	if or.Op != "||" {
+		t.Fatalf("top op = %q, want ||", or.Op)
+	}
+	and := or.Args[0].(ExprCall)
+	if and.Op != "&&" {
+		t.Fatalf("second op = %q, want &&", and.Op)
+	}
+	gt := and.Args[0].(ExprCall)
+	if gt.Op != ">" {
+		t.Fatalf("cmp op = %q", gt.Op)
+	}
+	add := gt.Args[1].(ExprCall)
+	if add.Op != "+" {
+		t.Fatalf("arith op = %q", add.Op)
+	}
+	mul := add.Args[1].(ExprCall)
+	if mul.Op != "*" {
+		t.Fatalf("mul op = %q", mul.Op)
+	}
+}
+
+func TestParseBindValuesMinus(t *testing.T) {
+	q, err := Parse(`SELECT ?s ?label WHERE {
+  VALUES ?s { <http://ex.org/a> <http://ex.org/b> }
+  ?s <http://ex.org/p> ?v .
+  BIND(str(?v) AS ?label)
+  MINUS { ?s <http://ex.org/hidden> true }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveValues, haveBind, haveMinus bool
+	for _, c := range q.Where.Children {
+		switch c.(type) {
+		case *ValuesPattern:
+			haveValues = true
+		case *BindPattern:
+			haveBind = true
+		case *MinusPattern:
+			haveMinus = true
+		}
+	}
+	if !haveValues || !haveBind || !haveMinus {
+		t.Fatalf("VALUES/BIND/MINUS = %v/%v/%v", haveValues, haveBind, haveMinus)
+	}
+}
+
+func TestParseValuesMultiVar(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE { VALUES (?a ?b) { (1 2) (3 UNDEF) } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := q.Where.Children[0].(*ValuesPattern)
+	if len(vp.Vars) != 2 || len(vp.Rows) != 2 {
+		t.Fatalf("values = %+v", vp)
+	}
+	if !vp.Rows[1][1].IsZero() {
+		t.Fatal("UNDEF should be zero term")
+	}
+}
+
+func TestParseGraphPattern(t *testing.T) {
+	q, err := Parse(`SELECT ?g ?s WHERE { GRAPH ?g { ?s a <http://ex.org/C> } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := q.Where.Children[0].(*GraphPattern)
+	if gp.Graph.Var != "g" {
+		t.Fatalf("graph var = %+v", gp.Graph)
+	}
+}
+
+func TestParseSelectExpression(t *testing.T) {
+	q, err := Parse(`SELECT ?s (concat(str(?s), "!") AS ?x) WHERE { ?s ?p ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Binds) != 1 || q.Binds[0].Var != "x" {
+		t.Fatalf("binds = %+v", q.Binds)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT WHERE { ?s ?p ?o }`,
+		`SELECT ?s { ?s ?p }`,
+		`SELECT ?s WHERE { ?s ?p ?o`,
+		`SELECT ?s WHERE { ?s bad:pfx ?o }`,
+		`SELECT ?s WHERE { ?s ?p ?o } LIMIT -3`,
+		`SELECT ?s WHERE { ?s ?p ?o } ORDER BY`,
+		`SELECT ?s WHERE { FILTER() ?s ?p ?o }`,
+		`FROB ?s WHERE {}`,
+		`SELECT ?s WHERE { ?s ?p "unclosed }`,
+		`SELECT ?s WHERE { ?s ?p ?o . FILTER(?o = ) }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted invalid query %q", src)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT ?s WHERE {\n  ?s bogus ?o .\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("line = %d, want 2; msg=%s", se.Line, se.Msg)
+	}
+}
+
+func TestParseDotInLocalName(t *testing.T) {
+	q, err := Parse(`PREFIX dbpedia: <http://dbpedia.org/resource/>
+SELECT ?p WHERE { dbpedia:St._Peter ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp := q.Where.Children[0].(*BGP)
+	if got := bgp.Triples[0].S.Term.Value(); got != "http://dbpedia.org/resource/St._Peter" {
+		t.Fatalf("subject = %q", got)
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	q, err := Parse(`SELECT ?t WHERE { ?s a ?t . FILTER(?t NOT IN (<http://ex.org/A>, <http://ex.org/B>)) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	not := q.Where.Filters[0].(ExprCall)
+	if not.Op != "!" {
+		t.Fatalf("op = %q", not.Op)
+	}
+	in := not.Args[0].(ExprCall)
+	if in.Op != "in" || len(in.Args) != 3 {
+		t.Fatalf("in = %+v", in)
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	q, err := Parse(`# leading comment
+SELECT ?s # trailing
+WHERE {
+  ?s ?p ?o . # another
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 1 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestParseAnonBlankNodeSubject(t *testing.T) {
+	q, err := Parse(`SELECT ?o WHERE { [ <http://ex.org/p> ?o ] . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgp := q.Where.Children[0].(*BGP)
+	if len(bgp.Triples) != 1 || !bgp.Triples[0].S.Term.IsBlank() {
+		t.Fatalf("triples = %+v", bgp.Triples)
+	}
+}
+
+func TestParseErrorMessageQuality(t *testing.T) {
+	_, err := Parse(`SELECT ?s WHERE { ?s ?p ?o } LIMIT x`)
+	if err == nil || !strings.Contains(err.Error(), "sparql:") {
+		t.Fatalf("err = %v", err)
+	}
+}

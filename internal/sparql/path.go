@@ -1,0 +1,364 @@
+package sparql
+
+import (
+	"lodify/internal/rdf"
+)
+
+// SPARQL 1.1 property paths: iri, ^inverse, seq/seq, alt|alt, elt*,
+// elt+, elt? and (grouping). Paths appear in the predicate position
+// of triple patterns; TriplePattern carries an optional Path.
+
+// PathKind discriminates path operators.
+type PathKind int
+
+const (
+	// PathIRI is a plain predicate IRI.
+	PathIRI PathKind = iota
+	// PathInverse is ^p.
+	PathInverse
+	// PathSeq is p1/p2.
+	PathSeq
+	// PathAlt is p1|p2.
+	PathAlt
+	// PathZeroOrMore is p*.
+	PathZeroOrMore
+	// PathOneOrMore is p+.
+	PathOneOrMore
+	// PathZeroOrOne is p?.
+	PathZeroOrOne
+)
+
+// PathExpr is a property-path tree.
+type PathExpr struct {
+	Kind  PathKind
+	IRI   rdf.Term  // PathIRI
+	Left  *PathExpr // unary operand / sequence head / alt left
+	Right *PathExpr // sequence tail / alt right
+}
+
+// isSimpleIRI reports whether the path is a bare predicate.
+func (p *PathExpr) isSimpleIRI() bool { return p != nil && p.Kind == PathIRI }
+
+// ---- parsing (predicate position) ----
+
+// path parses PathAlternative: sequence ('|' sequence)*.
+func (p *parser) path() (*PathExpr, error) {
+	left, err := p.pathSequence()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "|") {
+		right, err := p.pathSequence()
+		if err != nil {
+			return nil, err
+		}
+		left = &PathExpr{Kind: PathAlt, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// pathSequence parses PathSequence: elt ('/' elt)*.
+func (p *parser) pathSequence() (*PathExpr, error) {
+	left, err := p.pathElt()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "/") {
+		right, err := p.pathElt()
+		if err != nil {
+			return nil, err
+		}
+		left = &PathExpr{Kind: PathSeq, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// pathElt parses PathElt: primary with optional modifier.
+func (p *parser) pathElt() (*PathExpr, error) {
+	prim, err := p.pathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(tokPunct, "*"):
+		return &PathExpr{Kind: PathZeroOrMore, Left: prim}, nil
+	case p.accept(tokPunct, "+"):
+		return &PathExpr{Kind: PathOneOrMore, Left: prim}, nil
+	case p.accept(tokPunct, "?"):
+		return &PathExpr{Kind: PathZeroOrOne, Left: prim}, nil
+	default:
+		return prim, nil
+	}
+}
+
+// pathPrimary parses iri | 'a' | '^' elt | '(' path ')'.
+func (p *parser) pathPrimary() (*PathExpr, error) {
+	switch {
+	case p.accept(tokPunct, "^"):
+		inner, err := p.pathElt()
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Kind: PathInverse, Left: inner}, nil
+	case p.accept(tokPunct, "("):
+		inner, err := p.path()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.at(tokA, ""):
+		p.next()
+		return &PathExpr{Kind: PathIRI, IRI: rdf.NewIRI(rdf.RDFType)}, nil
+	case p.at(tokIRI, "") || p.at(tokPrefixed, ""):
+		t, err := p.iriTerm()
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Kind: PathIRI, IRI: t}, nil
+	default:
+		return nil, p.errHere("expected property path element, got %s", p.cur())
+	}
+}
+
+// ---- evaluation ----
+
+// evalPathPattern extends each solution by matching (s path o).
+func (ex *executor) evalPathPattern(tp TriplePattern, input []Solution) []Solution {
+	var out []Solution
+	for _, sol := range input {
+		sVal := resolvePT(tp.S, sol)
+		oVal := resolvePT(tp.O, sol)
+		pairs := ex.evalPath(tp.Path, sVal, oVal)
+		for _, pr := range pairs {
+			ext := sol.clone()
+			if bindPT(ext, tp.S, pr[0]) && bindPT(ext, tp.O, pr[1]) {
+				out = append(out, ext)
+			}
+		}
+	}
+	return out
+}
+
+func resolvePT(pt PatternTerm, sol Solution) rdf.Term {
+	if pt.IsVar() {
+		if t, ok := sol[pt.Var]; ok {
+			return t
+		}
+		return rdf.Term{}
+	}
+	return pt.Term
+}
+
+func bindPT(sol Solution, pt PatternTerm, val rdf.Term) bool {
+	if !pt.IsVar() {
+		return pt.Term.Equal(val) || pt.Term.IsBlank()
+	}
+	if old, ok := sol[pt.Var]; ok {
+		return old.Equal(val)
+	}
+	sol[pt.Var] = val
+	return true
+}
+
+// pair is an (s, o) match of a path.
+type pair [2]rdf.Term
+
+// evalPath returns the (s,o) pairs connected by the path, restricted
+// to the given endpoint constraints (zero Terms are wildcards).
+func (ex *executor) evalPath(path *PathExpr, s, o rdf.Term) []pair {
+	switch path.Kind {
+	case PathIRI:
+		var out []pair
+		ex.st.Match(s, path.IRI, o, ex.graph, func(q rdf.Quad) bool {
+			out = append(out, pair{q.S, q.O})
+			return true
+		})
+		return out
+	case PathInverse:
+		inv := ex.evalPath(path.Left, o, s)
+		out := make([]pair, len(inv))
+		for i, pr := range inv {
+			out[i] = pair{pr[1], pr[0]}
+		}
+		return out
+	case PathSeq:
+		// Evaluate the more constrained side first.
+		var out []pair
+		seen := map[pair]bool{}
+		if !s.IsZero() || o.IsZero() {
+			left := ex.evalPath(path.Left, s, rdf.Term{})
+			for _, lp := range left {
+				for _, rp := range ex.evalPath(path.Right, lp[1], o) {
+					p := pair{lp[0], rp[1]}
+					if !seen[p] {
+						seen[p] = true
+						out = append(out, p)
+					}
+				}
+			}
+		} else {
+			right := ex.evalPath(path.Right, rdf.Term{}, o)
+			for _, rp := range right {
+				for _, lp := range ex.evalPath(path.Left, rdf.Term{}, rp[0]) {
+					p := pair{lp[0], rp[1]}
+					if !seen[p] {
+						seen[p] = true
+						out = append(out, p)
+					}
+				}
+			}
+		}
+		return out
+	case PathAlt:
+		seen := map[pair]bool{}
+		var out []pair
+		for _, pr := range ex.evalPath(path.Left, s, o) {
+			if !seen[pr] {
+				seen[pr] = true
+				out = append(out, pr)
+			}
+		}
+		for _, pr := range ex.evalPath(path.Right, s, o) {
+			if !seen[pr] {
+				seen[pr] = true
+				out = append(out, pr)
+			}
+		}
+		return out
+	case PathZeroOrOne:
+		seen := map[pair]bool{}
+		var out []pair
+		for _, pr := range ex.pathReflexive(s, o) {
+			seen[pr] = true
+			out = append(out, pr)
+		}
+		for _, pr := range ex.evalPath(path.Left, s, o) {
+			if !seen[pr] {
+				seen[pr] = true
+				out = append(out, pr)
+			}
+		}
+		return out
+	case PathOneOrMore, PathZeroOrMore:
+		return ex.evalClosure(path, s, o)
+	default:
+		return nil
+	}
+}
+
+// pathReflexive yields the zero-length matches: (x,x) for the
+// constrained endpoints, or every graph node when both are wild.
+func (ex *executor) pathReflexive(s, o rdf.Term) []pair {
+	switch {
+	case !s.IsZero() && !o.IsZero():
+		if s.Equal(o) {
+			return []pair{{s, o}}
+		}
+		return nil
+	case !s.IsZero():
+		return []pair{{s, s}}
+	case !o.IsZero():
+		return []pair{{o, o}}
+	default:
+		var out []pair
+		for _, n := range ex.graphNodes() {
+			out = append(out, pair{n, n})
+		}
+		return out
+	}
+}
+
+// graphNodes enumerates every term used as subject or object.
+func (ex *executor) graphNodes() []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	ex.st.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, ex.graph, func(q rdf.Quad) bool {
+		if !seen[q.S] {
+			seen[q.S] = true
+			out = append(out, q.S)
+		}
+		if !seen[q.O] {
+			seen[q.O] = true
+			out = append(out, q.O)
+		}
+		return true
+	})
+	return out
+}
+
+// evalClosure handles p+ and p* via BFS from the bound side.
+func (ex *executor) evalClosure(path *PathExpr, s, o rdf.Term) []pair {
+	inner := path.Left
+	includeZero := path.Kind == PathZeroOrMore
+
+	reach := func(start rdf.Term, forward bool) []rdf.Term {
+		visited := map[rdf.Term]bool{}
+		frontier := []rdf.Term{start}
+		var order []rdf.Term
+		for len(frontier) > 0 {
+			next := frontier
+			frontier = nil
+			for _, node := range next {
+				var steps []pair
+				if forward {
+					steps = ex.evalPath(inner, node, rdf.Term{})
+				} else {
+					steps = ex.evalPath(inner, rdf.Term{}, node)
+				}
+				for _, st := range steps {
+					target := st[1]
+					if !forward {
+						target = st[0]
+					}
+					if !visited[target] {
+						visited[target] = true
+						order = append(order, target)
+						frontier = append(frontier, target)
+					}
+				}
+			}
+		}
+		return order
+	}
+
+	var out []pair
+	seen := map[pair]bool{}
+	add := func(pr pair) {
+		if !seen[pr] {
+			seen[pr] = true
+			out = append(out, pr)
+		}
+	}
+	switch {
+	case !s.IsZero():
+		if includeZero && (o.IsZero() || o.Equal(s)) {
+			add(pair{s, s})
+		}
+		for _, target := range reach(s, true) {
+			if o.IsZero() || o.Equal(target) {
+				add(pair{s, target})
+			}
+		}
+	case !o.IsZero():
+		if includeZero {
+			add(pair{o, o})
+		}
+		for _, source := range reach(o, false) {
+			add(pair{source, o})
+		}
+	default:
+		// Both wild: run from every node (small-store semantics).
+		for _, n := range ex.graphNodes() {
+			if includeZero {
+				add(pair{n, n})
+			}
+			for _, target := range reach(n, true) {
+				add(pair{n, target})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package sparql
+
+import (
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// socialStore: a -> b -> c -> d knows-chain, plus labels.
+func socialStore(t *testing.T) *store.Store {
+	st := store.New()
+	knows := rdf.NewIRI(nsFOAF + "knows")
+	name := rdf.NewIRI(nsFOAF + "name")
+	chain := []string{"a", "b", "c", "d"}
+	for i := 0; i+1 < len(chain); i++ {
+		addT(t, st, exIRI(chain[i]), knows, exIRI(chain[i+1]))
+	}
+	for _, u := range chain {
+		addT(t, st, exIRI(u), name, rdf.NewLiteral(u))
+	}
+	return st
+}
+
+const pathPrefixes = `PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ex: <http://ex.org/>
+`
+
+func TestPathSequence(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	// friend-of-friend names: a->b->c gives "c"; b->c->d gives "d".
+	res, err := e.Query(pathPrefixes + `
+SELECT ?n WHERE { ex:a foaf:knows/foaf:knows/foaf:name ?n }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["n"].Value() != "c" {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathInverse(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?who WHERE { ex:b ^foaf:knows ?who }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["who"] != exIRI("a") {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathAlternative(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("x"), rdf.NewIRI(nsEX+"p"), rdf.NewLiteral("viaP"))
+	addT(t, st, exIRI("x"), rdf.NewIRI(nsEX+"q"), rdf.NewLiteral("viaQ"))
+	addT(t, st, exIRI("x"), rdf.NewIRI(nsEX+"r"), rdf.NewLiteral("viaR"))
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?v WHERE { ex:x ex:p|ex:q ?v } ORDER BY ?v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathOneOrMore(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?who WHERE { ex:a foaf:knows+ ?who } ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// transitive closure: b, c, d.
+	if len(res.Solutions) != 3 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+	if res.Solutions[0]["who"] != exIRI("b") || res.Solutions[2]["who"] != exIRI("d") {
+		t.Fatalf("order = %v", res.Solutions)
+	}
+}
+
+func TestPathZeroOrMoreIncludesSelf(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?who WHERE { ex:a foaf:knows* ?who } ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a itself plus b, c, d.
+	if len(res.Solutions) != 4 || res.Solutions[0]["who"] != exIRI("a") {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathZeroOrOne(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?who WHERE { ex:a foaf:knows? ?who } ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 2 { // a (zero) and b (one)
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathClosureOnCycle(t *testing.T) {
+	st := store.New()
+	knows := rdf.NewIRI(nsFOAF + "knows")
+	addT(t, st, exIRI("a"), knows, exIRI("b"))
+	addT(t, st, exIRI("b"), knows, exIRI("a")) // cycle
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?who WHERE { ex:a foaf:knows+ ?who } ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a (via the cycle) and b; no infinite loop.
+	if len(res.Solutions) != 2 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathBackwardFromObject(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?who WHERE { ?who foaf:knows+ ex:d } ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 3 { // a, b, c all reach d
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathGroupingAndMix(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `
+SELECT ?n WHERE { ex:a (foaf:knows/foaf:knows)+ ?x . ?x foaf:name ?n } ORDER BY ?n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (knows/knows)+ from a: c (2 hops), then c->? 2 more hops is past d. So just c.
+	if len(res.Solutions) != 1 || res.Solutions[0]["n"].Value() != "c" {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}
+
+func TestPathBothEndpointsBound(t *testing.T) {
+	st := socialStore(t)
+	e := NewEngine(st)
+	res, err := e.Query(pathPrefixes + `ASK { ex:a foaf:knows+ ex:d }`)
+	if err != nil || !res.Bool {
+		t.Fatalf("a + d = %v, %v", res, err)
+	}
+	res, err = e.Query(pathPrefixes + `ASK { ex:d foaf:knows+ ex:a }`)
+	if err != nil || res.Bool {
+		t.Fatalf("d + a = %v, %v", res, err)
+	}
+}
+
+func TestPathSocialDistanceUseCase(t *testing.T) {
+	// The platform use case: extend the §2.3 social filter to
+	// friends-of-friends with foaf:knows+ — impossible with triple
+	// tags, one character with paths.
+	st := store.New()
+	knows := rdf.NewIRI(nsFOAF + "knows")
+	name := rdf.NewIRI(nsFOAF + "name")
+	maker := rdf.NewIRI(nsFOAF + "maker")
+	addT(t, st, exIRI("u/oscar"), name, rdf.NewLiteral("oscar"))
+	addT(t, st, exIRI("u/walter"), knows, exIRI("u/oscar"))
+	addT(t, st, exIRI("u/carmen"), knows, exIRI("u/walter")) // 2 hops from oscar
+	addT(t, st, exIRI("pic/1"), maker, exIRI("u/carmen"))
+	e := NewEngine(st)
+
+	// Direct friends only: no result.
+	res, _ := e.Query(pathPrefixes + `
+SELECT ?pic WHERE { ?pic foaf:maker ?u . ?oscar foaf:name "oscar" . ?u foaf:knows ?oscar }`)
+	if len(res.Solutions) != 0 {
+		t.Fatalf("direct = %v", res.Solutions)
+	}
+	// Friends-of-friends: found.
+	res, err := e.Query(pathPrefixes + `
+SELECT ?pic WHERE { ?pic foaf:maker ?u . ?oscar foaf:name "oscar" . ?u foaf:knows+ ?oscar }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["pic"] != exIRI("pic/1") {
+		t.Fatalf("transitive = %v", res.Solutions)
+	}
+}
+
+func TestPathDoesNotBreakPlainQueries(t *testing.T) {
+	// Datatype literals (^^) still lex correctly next to path '^'.
+	st := store.New()
+	addT(t, st, exIRI("s"), exIRI("p"), rdf.NewTypedLiteral("5", rdf.XSDInteger))
+	e := NewEngine(st)
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?s WHERE { ?s ex:p "5"^^xsd:integer }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}

@@ -1,0 +1,202 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// randStore builds a random small store over a closed vocabulary.
+func randStore(r *rand.Rand) *store.Store {
+	st := store.New()
+	subjects := []string{"a", "b", "c", "d"}
+	preds := []string{"p", "q"}
+	objs := []rdf.Term{
+		rdf.NewLiteral("x"), rdf.NewLiteral("y"),
+		rdf.NewInteger(1), rdf.NewInteger(2), rdf.NewInteger(10),
+		rdf.NewIRI(nsEX + "o1"),
+	}
+	n := 1 + r.Intn(30)
+	for i := 0; i < n; i++ {
+		st.AddTriple(rdf.Triple{
+			S: exIRI(subjects[r.Intn(len(subjects))]),
+			P: exIRI(preds[r.Intn(len(preds))]),
+			O: objs[r.Intn(len(objs))],
+		})
+	}
+	return st
+}
+
+// Property: SELECT DISTINCT is idempotent — running the same query
+// twice gives identical solution sets, and DISTINCT never yields more
+// rows than the plain query.
+func TestQuickDistinctIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		plain, err := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s ?o WHERE { ?s ex:p ?o }`)
+		if err != nil {
+			return false
+		}
+		dist, err := e.Query(`PREFIX ex: <http://ex.org/> SELECT DISTINCT ?s ?o WHERE { ?s ex:p ?o }`)
+		if err != nil {
+			return false
+		}
+		dist2, err := e.Query(`PREFIX ex: <http://ex.org/> SELECT DISTINCT ?s ?o WHERE { ?s ex:p ?o }`)
+		if err != nil {
+			return false
+		}
+		if len(dist.Solutions) > len(plain.Solutions) {
+			return false
+		}
+		if len(dist.Solutions) != len(dist2.Solutions) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a UNION of two disjoint-pattern branches has exactly the
+// sum of the branch cardinalities.
+func TestQuickUnionAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		qp, _ := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s ?o WHERE { ?s ex:p ?o }`)
+		qq, _ := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s ?o WHERE { ?s ex:q ?o }`)
+		qu, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s ?o WHERE { { ?s ex:p ?o } UNION { ?s ex:q ?o } }`)
+		if err != nil {
+			return false
+		}
+		return len(qu.Solutions) == len(qp.Solutions)+len(qq.Solutions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LIMIT n returns min(n, total) rows and a prefix of the
+// ORDER BY ordering.
+func TestQuickLimitPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		full, err := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s ?o WHERE { ?s ?p ?o } ORDER BY ?s ?o`)
+		if err != nil {
+			return false
+		}
+		n := r.Intn(5)
+		lim, err := e.Query(fmt.Sprintf(
+			`PREFIX ex: <http://ex.org/> SELECT ?s ?o WHERE { ?s ?p ?o } ORDER BY ?s ?o LIMIT %d`, n))
+		if err != nil {
+			return false
+		}
+		want := n
+		if len(full.Solutions) < want {
+			want = len(full.Solutions)
+		}
+		if len(lim.Solutions) != want {
+			return false
+		}
+		for i := range lim.Solutions {
+			if lim.Solutions[i]["s"] != full.Solutions[i]["s"] ||
+				lim.Solutions[i]["o"] != full.Solutions[i]["o"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FILTER(true) is a no-op; FILTER(false) empties the result.
+func TestQuickFilterConstants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		plain, _ := e.Query(`SELECT ?s WHERE { ?s ?p ?o }`)
+		ft, err := e.Query(`SELECT ?s WHERE { ?s ?p ?o . FILTER(true) }`)
+		if err != nil {
+			return false
+		}
+		ff, err := e.Query(`SELECT ?s WHERE { ?s ?p ?o . FILTER(false) }`)
+		if err != nil {
+			return false
+		}
+		return len(ft.Solutions) == len(plain.Solutions) && len(ff.Solutions) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ASK is true exactly when SELECT yields at least one row.
+func TestQuickAskConsistentWithSelect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		sel, _ := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p "x" }`)
+		ask, err := e.Query(`PREFIX ex: <http://ex.org/> ASK { ?s ex:p "x" }`)
+		if err != nil {
+			return false
+		}
+		return ask.Bool == (len(sel.Solutions) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COUNT(*) equals the SELECT row count.
+func TestQuickCountMatchesRows(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		sel, _ := e.Query(`SELECT ?s ?p ?o WHERE { ?s ?p ?o }`)
+		cnt, err := e.Query(`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`)
+		if err != nil || len(cnt.Solutions) != 1 {
+			return false
+		}
+		n, ok := parseInt(cnt.Solutions[0]["n"].Value())
+		return ok && int(n) == len(sel.Solutions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OPTIONAL never reduces the row count of the required
+// part.
+func TestQuickOptionalNeverShrinks(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randStore(r)
+		e := NewEngine(st)
+		req, _ := e.Query(`PREFIX ex: <http://ex.org/> SELECT ?s WHERE { ?s ex:p ?o }`)
+		opt, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:p ?o . OPTIONAL { ?s ex:q ?w } }`)
+		if err != nil {
+			return false
+		}
+		return len(opt.Solutions) >= len(req.Solutions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package sparql implements the SPARQL query engine the platform's
+// semantic features are built on (§2.1, §2.3, §4.1 of the paper). It
+// supports the SELECT / ASK / CONSTRUCT / DESCRIBE forms with basic
+// graph patterns, OPTIONAL, UNION, GRAPH, sub-SELECTs, FILTER
+// expressions, BIND, VALUES, DISTINCT/REDUCED, ORDER BY, LIMIT and
+// OFFSET, plus the Virtuoso extension functions the paper's queries
+// rely on: bif:st_intersects (geo proximity) and bif:contains
+// (full-text match). Every query printed in the paper parses and
+// executes unmodified.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar      // ?name or $name
+	tokIRI      // <...>
+	tokPrefixed // prefix:local (also bare prefix: and bif:xxx)
+	tokLiteral  // "..." with optional @lang / ^^type handled by parser
+	tokLang     // @lang
+	tokNumber
+	tokBoolean
+	tokBlank // _:label
+	tokPunct // ( ) { } . ; , * = != < > <= >= && || ! + - / ^^ anon []
+	tokA     // the keyword 'a'
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a SPARQL syntax or evaluation error with position info
+// when available.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("sparql: %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "sparql: " + e.Msg
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "CONSTRUCT": true, "DESCRIBE": true,
+	"WHERE": true, "PREFIX": true, "BASE": true, "FROM": true, "NAMED": true,
+	"DISTINCT": true, "REDUCED": true, "OPTIONAL": true, "UNION": true,
+	"GRAPH": true, "FILTER": true, "ORDER": true, "BY": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "BIND": true, "AS": true,
+	"VALUES": true, "UNDEF": true, "MINUS": true, "EXISTS": true, "NOT": true,
+	"IN": true, "GROUP": true, "HAVING": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "SAMPLE": true,
+	// SPARQL Update
+	"INSERT": true, "DELETE": true, "DATA": true, "CLEAR": true,
+	"WITH": true, "ALL": true, "DEFAULT": true, "USING": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes a query.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) emit(kind tokenKind, text string, line, col int) {
+	lx.toks = append(lx.toks, token{kind: kind, text: text, line: line, col: col})
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) run() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '?' || c == '$':
+			// A '?' not followed by a name char is the property-path
+			// zero-or-one operator, not a variable.
+			if c == '?' && !isNameStart(rune(lx.peekAt(1))) {
+				line, col := lx.line, lx.col
+				lx.advance()
+				lx.emit(tokPunct, "?", line, col)
+				continue
+			}
+			if err := lx.variable(); err != nil {
+				return err
+			}
+		case c == '<':
+			if err := lx.iriOrCmp(); err != nil {
+				return err
+			}
+		case c == '"' || c == '\'':
+			if err := lx.literal(); err != nil {
+				return err
+			}
+		case c == '@':
+			if err := lx.langTag(); err != nil {
+				return err
+			}
+		case c >= '0' && c <= '9':
+			lx.number()
+		case c == '.' && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9':
+			lx.number()
+		case c == '_' && lx.peekAt(1) == ':':
+			if err := lx.blank(); err != nil {
+				return err
+			}
+		case isNameStart(rune(c)):
+			lx.word()
+		default:
+			if err := lx.punct(); err != nil {
+				return err
+			}
+		}
+	}
+	lx.emit(tokEOF, "", lx.line, lx.col)
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) variable() error {
+	line, col := lx.line, lx.col
+	lx.advance() // ? or $
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		lx.pos += size
+		lx.col += size
+	}
+	if lx.pos == start {
+		return errf(line, col, "empty variable name")
+	}
+	lx.emit(tokVar, lx.src[start:lx.pos], line, col)
+	return nil
+}
+
+// iriOrCmp disambiguates '<' between an IRI ref and a comparison
+// operator: an IRI ref has no whitespace before the closing '>'.
+func (lx *lexer) iriOrCmp() error {
+	line, col := lx.line, lx.col
+	// Look ahead for a '>' with no space/newline before it.
+	end := -1
+	for i := lx.pos + 1; i < len(lx.src); i++ {
+		c := lx.src[i]
+		if c == '>' {
+			end = i
+			break
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '"' || c == '{' {
+			break
+		}
+	}
+	if end >= 0 {
+		iri := lx.src[lx.pos+1 : end]
+		for lx.pos <= end {
+			lx.advance()
+		}
+		lx.emit(tokIRI, iri, line, col)
+		return nil
+	}
+	lx.advance()
+	if lx.peek() == '=' {
+		lx.advance()
+		lx.emit(tokPunct, "<=", line, col)
+	} else {
+		lx.emit(tokPunct, "<", line, col)
+	}
+	return nil
+}
+
+func (lx *lexer) literal() error {
+	line, col := lx.line, lx.col
+	quote := lx.advance()
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return errf(line, col, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return errf(line, col, "newline in string literal")
+		}
+		if c == '\\' {
+			if lx.pos >= len(lx.src) {
+				return errf(lx.line, lx.col, "dangling escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			default:
+				return errf(lx.line, lx.col, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	lx.emit(tokLiteral, b.String(), line, col)
+	return nil
+}
+
+func (lx *lexer) langTag() error {
+	line, col := lx.line, lx.col
+	lx.advance() // @
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '-' ||
+			(lx.pos > start && c >= '0' && c <= '9') {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	if lx.pos == start {
+		return errf(line, col, "empty language tag")
+	}
+	lx.emit(tokLang, strings.ToLower(lx.src[start:lx.pos]), line, col)
+	return nil
+}
+
+func (lx *lexer) number() {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		if c >= '0' && c <= '9' || c == '.' && lx.peekAt(1) >= '0' && lx.peekAt(1) <= '9' ||
+			c == 'e' || c == 'E' {
+			lx.advance()
+			if (c == 'e' || c == 'E') && (lx.peek() == '+' || lx.peek() == '-') {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	lx.emit(tokNumber, lx.src[start:lx.pos], line, col)
+}
+
+func (lx *lexer) blank() error {
+	line, col := lx.line, lx.col
+	lx.advance()
+	lx.advance() // _:
+	start := lx.pos
+	for lx.pos < len(lx.src) && isNameChar(rune(lx.peek())) {
+		lx.advance()
+	}
+	if lx.pos == start {
+		return errf(line, col, "empty blank node label")
+	}
+	lx.emit(tokBlank, lx.src[start:lx.pos], line, col)
+	return nil
+}
+
+// word lexes keywords, booleans, 'a', and prefixed names
+// (prefix:local). Prefixed names may contain dots in the local part
+// (e.g. dbpedia:St._Peter) as long as the dot is not terminal.
+func (lx *lexer) word() {
+	line, col := lx.line, lx.col
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		lx.pos += size
+		lx.col += size
+	}
+	word := lx.src[start:lx.pos]
+	// A colon turns the word into a prefixed name.
+	if lx.peek() == ':' {
+		lx.advance()
+		lstart := lx.pos
+		for lx.pos < len(lx.src) {
+			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+			if isNameChar(r) {
+				lx.pos += size
+				lx.col += size
+				continue
+			}
+			// Embedded (non-terminal) dots are legal in local names.
+			if r == '.' && lx.pos+size < len(lx.src) {
+				nr, _ := utf8.DecodeRuneInString(lx.src[lx.pos+size:])
+				if isNameChar(nr) {
+					lx.pos += size
+					lx.col += size
+					continue
+				}
+			}
+			break
+		}
+		lx.emit(tokPrefixed, word+":"+lx.src[lstart:lx.pos], line, col)
+		return
+	}
+	upper := strings.ToUpper(word)
+	switch {
+	case word == "a":
+		lx.emit(tokA, word, line, col)
+	case word == "true" || word == "false":
+		lx.emit(tokBoolean, word, line, col)
+	case keywords[upper]:
+		lx.emit(tokKeyword, upper, line, col)
+	default:
+		// Bare function names (regex, lang, bound, …) are lexed as
+		// keywords of their lowercase form; the parser treats unknown
+		// words in expression position as function names.
+		lx.emit(tokKeyword, word, line, col)
+	}
+}
+
+func (lx *lexer) punct() error {
+	line, col := lx.line, lx.col
+	c := lx.advance()
+	two := func(next byte, both, single string) {
+		if lx.peek() == next {
+			lx.advance()
+			lx.emit(tokPunct, both, line, col)
+		} else {
+			lx.emit(tokPunct, single, line, col)
+		}
+	}
+	switch c {
+	case '(', ')', '{', '}', '.', ';', ',', '*', '+', '-', '/', '[', ']':
+		// '[' ']' pair as anon blank handled by parser.
+		lx.emit(tokPunct, string(c), line, col)
+	case '=':
+		lx.emit(tokPunct, "=", line, col)
+	case '!':
+		two('=', "!=", "!")
+	case '>':
+		two('=', ">=", ">")
+	case '&':
+		if lx.peek() != '&' {
+			return errf(line, col, "expected && ")
+		}
+		lx.advance()
+		lx.emit(tokPunct, "&&", line, col)
+	case '|':
+		// "||" is boolean or; a single "|" is the property-path
+		// alternative operator.
+		two('|', "||", "|")
+	case '^':
+		// "^^" introduces a literal datatype; a single "^" is the
+		// property-path inverse operator.
+		two('^', "^^", "^")
+	default:
+		return errf(line, col, "unexpected character %q", c)
+	}
+	return nil
+}

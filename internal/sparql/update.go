@@ -1,0 +1,364 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"lodify/internal/rdf"
+)
+
+// SPARQL 1.1 Update subset: INSERT DATA, DELETE DATA, the
+// DELETE/INSERT ... WHERE form (with optional WITH graph), and CLEAR.
+// Multiple operations separate with ';'. The platform's SPARQL
+// endpoint exposes this for administrative data maintenance.
+
+// UpdateKind discriminates update operations.
+type UpdateKind int
+
+const (
+	// UpdateInsertData is INSERT DATA { ... }.
+	UpdateInsertData UpdateKind = iota
+	// UpdateDeleteData is DELETE DATA { ... }.
+	UpdateDeleteData
+	// UpdateModify is (WITH g)? (DELETE tmpl)? (INSERT tmpl)? WHERE { ... }.
+	UpdateModify
+	// UpdateClear is CLEAR (GRAPH <g> | DEFAULT | ALL).
+	UpdateClear
+)
+
+// UpdateOp is one update operation.
+type UpdateOp struct {
+	Kind UpdateKind
+	// Data holds ground quads for INSERT/DELETE DATA.
+	Data []rdf.Quad
+	// DeleteTmpl / InsertTmpl hold templates for UpdateModify.
+	DeleteTmpl []TriplePattern
+	InsertTmpl []TriplePattern
+	Where      *GroupPattern
+	// With is the target graph for UpdateModify templates (zero =
+	// default graph).
+	With rdf.Term
+	// ClearGraph is the graph to clear; zero plus ClearAll false
+	// means the default graph.
+	ClearGraph rdf.Term
+	ClearAll   bool
+}
+
+// UpdateRequest is a parsed update string.
+type UpdateRequest struct {
+	Prefixes *rdf.PrefixMap
+	Ops      []UpdateOp
+}
+
+// ParseUpdate parses a SPARQL Update request.
+func ParseUpdate(src string) (*UpdateRequest, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: rdf.NewPrefixMap()}
+	req := &UpdateRequest{Prefixes: p.prefixes}
+	for {
+		// Prologue.
+		for {
+			if p.acceptKeyword("PREFIX") {
+				pt, err := p.expect(tokPrefixed, "")
+				if err != nil {
+					return nil, err
+				}
+				iri, err := p.expect(tokIRI, "")
+				if err != nil {
+					return nil, err
+				}
+				p.prefixes.Set(strings.TrimSuffix(pt.text, ":"), iri.text)
+				continue
+			}
+			if p.acceptKeyword("BASE") {
+				if _, err := p.expect(tokIRI, ""); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if p.at(tokEOF, "") {
+			break
+		}
+		op, err := p.updateOp()
+		if err != nil {
+			return nil, err
+		}
+		req.Ops = append(req.Ops, op)
+		if !p.accept(tokPunct, ";") {
+			break
+		}
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errHere("unexpected %s after update", p.cur())
+	}
+	if len(req.Ops) == 0 {
+		return nil, p.errHere("empty update request")
+	}
+	return req, nil
+}
+
+func (p *parser) updateOp() (UpdateOp, error) {
+	switch {
+	case p.acceptKeyword("INSERT"):
+		if p.acceptKeyword("DATA") {
+			quads, err := p.quadData()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			return UpdateOp{Kind: UpdateInsertData, Data: quads}, nil
+		}
+		// INSERT { tmpl } WHERE { ... }
+		return p.modify(nil, true)
+	case p.acceptKeyword("DELETE"):
+		if p.acceptKeyword("DATA") {
+			quads, err := p.quadData()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			return UpdateOp{Kind: UpdateDeleteData, Data: quads}, nil
+		}
+		return p.modify(nil, false)
+	case p.acceptKeyword("WITH"):
+		g, err := p.iriTerm()
+		if err != nil {
+			return UpdateOp{}, err
+		}
+		switch {
+		case p.acceptKeyword("DELETE"):
+			return p.modify(&g, false)
+		case p.acceptKeyword("INSERT"):
+			return p.modify(&g, true)
+		default:
+			return UpdateOp{}, p.errHere("expected DELETE or INSERT after WITH")
+		}
+	case p.acceptKeyword("CLEAR"):
+		op := UpdateOp{Kind: UpdateClear}
+		switch {
+		case p.acceptKeyword("GRAPH"):
+			g, err := p.iriTerm()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			op.ClearGraph = g
+		case p.acceptKeyword("ALL"):
+			op.ClearAll = true
+		case p.acceptKeyword("DEFAULT"):
+			// zero graph
+		default:
+			return UpdateOp{}, p.errHere("expected GRAPH, DEFAULT or ALL after CLEAR")
+		}
+		return op, nil
+	default:
+		return UpdateOp{}, p.errHere("expected INSERT, DELETE, WITH or CLEAR, got %s", p.cur())
+	}
+}
+
+// modify parses the rest of a DELETE/INSERT ... WHERE form; the
+// leading keyword (DELETE when insertFirst=false, INSERT otherwise)
+// was already consumed.
+func (p *parser) modify(with *rdf.Term, insertFirst bool) (UpdateOp, error) {
+	op := UpdateOp{Kind: UpdateModify}
+	if with != nil {
+		op.With = *with
+	}
+	tmpl, err := p.template()
+	if err != nil {
+		return UpdateOp{}, err
+	}
+	if insertFirst {
+		op.InsertTmpl = tmpl
+	} else {
+		op.DeleteTmpl = tmpl
+		if p.acceptKeyword("INSERT") {
+			ins, err := p.template()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			op.InsertTmpl = ins
+		}
+	}
+	if !p.acceptKeyword("WHERE") {
+		return UpdateOp{}, p.errHere("expected WHERE in DELETE/INSERT")
+	}
+	g, err := p.groupGraphPattern()
+	if err != nil {
+		return UpdateOp{}, err
+	}
+	op.Where = g
+	return op, nil
+}
+
+func (p *parser) template() ([]TriplePattern, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	tmpl, err := p.triplesBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return tmpl, nil
+}
+
+// quadData parses { triples (GRAPH <g> { triples })* } with ground
+// terms only.
+func (p *parser) quadData() ([]rdf.Quad, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []rdf.Quad
+	appendGround := func(tps []TriplePattern, g rdf.Term) error {
+		for _, tp := range tps {
+			if tp.S.IsVar() || tp.P.IsVar() || tp.O.IsVar() || tp.Path != nil {
+				return fmt.Errorf("sparql: variables not allowed in DATA blocks")
+			}
+			out = append(out, rdf.Quad{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term, G: g})
+		}
+		return nil
+	}
+	for {
+		switch {
+		case p.accept(tokPunct, "}"):
+			return out, nil
+		case p.accept(tokPunct, "."):
+			// separator
+		case p.atKeyword("GRAPH"):
+			p.next()
+			g, err := p.iriTerm()
+			if err != nil {
+				return nil, err
+			}
+			tps, err := p.template()
+			if err != nil {
+				return nil, err
+			}
+			if err := appendGround(tps, g); err != nil {
+				return nil, err
+			}
+		default:
+			tps, err := p.triplesBlock()
+			if err != nil {
+				return nil, err
+			}
+			if len(tps) == 0 {
+				return nil, p.errHere("unexpected %s in data block", p.cur())
+			}
+			if err := appendGround(tps, rdf.Term{}); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// UpdateResult reports what an update changed.
+type UpdateResult struct {
+	Inserted int
+	Deleted  int
+}
+
+// Update parses and executes an update request against the engine's
+// store.
+func (e *Engine) Update(src string) (UpdateResult, error) {
+	req, err := ParseUpdate(src)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return e.ExecUpdate(req)
+}
+
+// ExecUpdate executes a parsed update request. Operations apply in
+// order; each operation is atomic.
+func (e *Engine) ExecUpdate(req *UpdateRequest) (UpdateResult, error) {
+	total := UpdateResult{}
+	for _, op := range req.Ops {
+		res, err := e.execOp(op)
+		if err != nil {
+			return total, err
+		}
+		total.Inserted += res.Inserted
+		total.Deleted += res.Deleted
+	}
+	return total, nil
+}
+
+func (e *Engine) execOp(op UpdateOp) (UpdateResult, error) {
+	switch op.Kind {
+	case UpdateInsertData:
+		tx := e.st.Begin()
+		for _, q := range op.Data {
+			if err := tx.Add(q); err != nil {
+				return UpdateResult{}, err
+			}
+		}
+		added, _, err := tx.Commit()
+		return UpdateResult{Inserted: added}, err
+	case UpdateDeleteData:
+		tx := e.st.Begin()
+		for _, q := range op.Data {
+			if err := tx.Remove(q); err != nil {
+				return UpdateResult{}, err
+			}
+		}
+		_, removed, err := tx.Commit()
+		return UpdateResult{Deleted: removed}, err
+	case UpdateModify:
+		ex := &executor{st: e.st}
+		sols := ex.evalGroup(op.Where, []Solution{{}})
+		tx := e.st.Begin()
+		bn := 0
+		for _, sol := range sols {
+			bn++
+			for _, tp := range op.DeleteTmpl {
+				if t, ok := instantiate(tp, sol, bn); ok {
+					if err := tx.Remove(rdf.Quad{S: t.S, P: t.P, O: t.O, G: op.With}); err != nil {
+						return UpdateResult{}, err
+					}
+				}
+			}
+			for _, tp := range op.InsertTmpl {
+				if t, ok := instantiate(tp, sol, bn); ok && t.Validate() == nil {
+					if err := tx.Add(rdf.Quad{S: t.S, P: t.P, O: t.O, G: op.With}); err != nil {
+						return UpdateResult{}, err
+					}
+				}
+			}
+		}
+		added, removed, err := tx.Commit()
+		return UpdateResult{Inserted: added, Deleted: removed}, err
+	case UpdateClear:
+		var quads []rdf.Quad
+		switch {
+		case op.ClearAll:
+			quads = e.st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{})
+		default:
+			// Default graph: wildcard match returns every graph, so
+			// filter; named graph: direct.
+			if op.ClearGraph.IsZero() {
+				for _, q := range e.st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{}) {
+					if q.InDefaultGraph() {
+						quads = append(quads, q)
+					}
+				}
+			} else {
+				quads = e.st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, op.ClearGraph)
+			}
+		}
+		tx := e.st.Begin()
+		for _, q := range quads {
+			if err := tx.Remove(q); err != nil {
+				return UpdateResult{}, err
+			}
+		}
+		_, removed, err := tx.Commit()
+		return UpdateResult{Deleted: removed}, err
+	default:
+		return UpdateResult{}, fmt.Errorf("sparql: unknown update kind %d", op.Kind)
+	}
+}

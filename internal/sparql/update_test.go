@@ -1,0 +1,191 @@
+package sparql
+
+import (
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+func TestInsertData(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	res, err := e.Update(`PREFIX ex: <http://ex.org/>
+INSERT DATA {
+  ex:a ex:p "hello" .
+  ex:a ex:q 42 .
+  GRAPH <http://ex.org/g> { ex:b ex:p "in graph" }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 3 {
+		t.Fatalf("inserted = %d", res.Inserted)
+	}
+	if !st.Has(rdf.Quad{S: exIRI("a"), P: exIRI("p"), O: rdf.NewLiteral("hello")}) {
+		t.Fatal("default-graph triple missing")
+	}
+	if !st.Has(rdf.Quad{S: exIRI("b"), P: exIRI("p"), O: rdf.NewLiteral("in graph"), G: exIRI("g")}) {
+		t.Fatal("named-graph quad missing")
+	}
+	// Idempotent re-insert adds 0.
+	res, _ = e.Update(`PREFIX ex: <http://ex.org/> INSERT DATA { ex:a ex:p "hello" }`)
+	if res.Inserted != 0 {
+		t.Fatalf("duplicate insert = %d", res.Inserted)
+	}
+}
+
+func TestDeleteData(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("x"))
+	e := NewEngine(st)
+	res, err := e.Update(`PREFIX ex: <http://ex.org/>
+DELETE DATA { ex:a ex:p "x" . ex:a ex:p "never-there" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || st.Len() != 0 {
+		t.Fatalf("deleted = %d, len = %d", res.Deleted, st.Len())
+	}
+}
+
+func TestDeleteInsertWhere(t *testing.T) {
+	st := store.New()
+	status := exIRI("status")
+	addT(t, st, exIRI("pic1"), status, rdf.NewLiteral("pending"))
+	addT(t, st, exIRI("pic2"), status, rdf.NewLiteral("pending"))
+	addT(t, st, exIRI("pic3"), status, rdf.NewLiteral("done"))
+	e := NewEngine(st)
+	res, err := e.Update(`PREFIX ex: <http://ex.org/>
+DELETE { ?s ex:status "pending" }
+INSERT { ?s ex:status "approved" }
+WHERE { ?s ex:status "pending" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 2 || res.Inserted != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(st.Subjects(status, rdf.NewLiteral("approved"))) != 2 {
+		t.Fatal("rewrite incomplete")
+	}
+	if len(st.Subjects(status, rdf.NewLiteral("done"))) != 1 {
+		t.Fatal("unrelated row touched")
+	}
+}
+
+func TestInsertWhereOnly(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("knows"), exIRI("b"))
+	e := NewEngine(st)
+	// Symmetric closure via INSERT WHERE.
+	res, err := e.Update(`PREFIX ex: <http://ex.org/>
+INSERT { ?y ex:knows ?x } WHERE { ?x ex:knows ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 {
+		t.Fatalf("inserted = %d", res.Inserted)
+	}
+	if !st.Has(rdf.Quad{S: exIRI("b"), P: exIRI("knows"), O: exIRI("a")}) {
+		t.Fatal("symmetric triple missing")
+	}
+}
+
+func TestWithGraphModify(t *testing.T) {
+	st := store.New()
+	g := exIRI("g")
+	st.MustAdd(rdf.Quad{S: exIRI("a"), P: exIRI("p"), O: rdf.NewLiteral("old"), G: g})
+	e := NewEngine(st)
+	res, err := e.Update(`PREFIX ex: <http://ex.org/>
+WITH <http://ex.org/g>
+DELETE { ?s ex:p "old" }
+INSERT { ?s ex:p "new" }
+WHERE { ?s ex:p "old" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || res.Inserted != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if !st.Has(rdf.Quad{S: exIRI("a"), P: exIRI("p"), O: rdf.NewLiteral("new"), G: g}) {
+		t.Fatal("named graph not updated")
+	}
+}
+
+func TestClearOperations(t *testing.T) {
+	st := store.New()
+	addT(t, st, exIRI("a"), exIRI("p"), rdf.NewLiteral("default"))
+	st.MustAdd(rdf.Quad{S: exIRI("b"), P: exIRI("p"), O: rdf.NewLiteral("g1"), G: exIRI("g1")})
+	st.MustAdd(rdf.Quad{S: exIRI("c"), P: exIRI("p"), O: rdf.NewLiteral("g2"), G: exIRI("g2")})
+	e := NewEngine(st)
+
+	res, err := e.Update(`CLEAR GRAPH <http://ex.org/g1>`)
+	if err != nil || res.Deleted != 1 {
+		t.Fatalf("clear graph = %+v, %v", res, err)
+	}
+	res, err = e.Update(`CLEAR DEFAULT`)
+	if err != nil || res.Deleted != 1 {
+		t.Fatalf("clear default = %+v, %v", res, err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("len = %d", st.Len())
+	}
+	res, err = e.Update(`CLEAR ALL`)
+	if err != nil || res.Deleted != 1 || st.Len() != 0 {
+		t.Fatalf("clear all = %+v, %v, len=%d", res, err, st.Len())
+	}
+}
+
+func TestMultipleOpsSequence(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	res, err := e.Update(`PREFIX ex: <http://ex.org/>
+INSERT DATA { ex:a ex:p 1 } ;
+INSERT DATA { ex:b ex:p 2 } ;
+DELETE DATA { ex:a ex:p 1 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 || res.Deleted != 1 || st.Len() != 1 {
+		t.Fatalf("res = %+v, len = %d", res, st.Len())
+	}
+}
+
+func TestUpdateParseErrors(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	bad := []string{
+		``,
+		`INSERT DATA { ?v <http://p> "x" }`,    // variable in data
+		`INSERT { <http://s> <http://p> "x" }`, // missing WHERE
+		`CLEAR`,
+		`WITH <http://g> SELECT ?s WHERE { ?s ?p ?o }`,
+		`DELETE DATA { <http://s> <http://p> "x" } extra`,
+	}
+	for _, src := range bad {
+		if _, err := e.Update(src); err == nil {
+			t.Errorf("accepted invalid update %q", src)
+		}
+	}
+	if st.Len() != 0 {
+		t.Fatal("failed updates mutated the store")
+	}
+}
+
+func TestUpdateRoundTripWithQuery(t *testing.T) {
+	st := store.New()
+	e := NewEngine(st)
+	if _, err := e.Update(`PREFIX ex: <http://ex.org/>
+INSERT DATA { ex:pic ex:rating 5 . ex:pic2 ex:rating 2 }`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(`PREFIX ex: <http://ex.org/>
+SELECT ?s WHERE { ?s ex:rating ?r . FILTER(?r >= 4) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 || res.Solutions[0]["s"] != exIRI("pic") {
+		t.Fatalf("solutions = %v", res.Solutions)
+	}
+}

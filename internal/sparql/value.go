@@ -1,0 +1,190 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lodify/internal/rdf"
+)
+
+// errTypeError marks SPARQL expression type errors. Per the spec a
+// type error inside a FILTER makes the filter evaluate to false.
+type typeError struct{ msg string }
+
+func (e typeError) Error() string { return "sparql: type error: " + e.msg }
+
+func typeErrf(format string, args ...any) error {
+	return typeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// isNumericType reports whether dt is an XSD numeric datatype.
+func isNumericType(dt string) bool {
+	switch dt {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble,
+		"http://www.w3.org/2001/XMLSchema#float",
+		"http://www.w3.org/2001/XMLSchema#int",
+		"http://www.w3.org/2001/XMLSchema#long",
+		"http://www.w3.org/2001/XMLSchema#short",
+		"http://www.w3.org/2001/XMLSchema#byte",
+		"http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+		"http://www.w3.org/2001/XMLSchema#positiveInteger",
+		"http://www.w3.org/2001/XMLSchema#unsignedInt",
+		"http://www.w3.org/2001/XMLSchema#unsignedLong":
+		return true
+	}
+	return false
+}
+
+// numericValue extracts a float64 from a numeric literal.
+func numericValue(t rdf.Term) (float64, error) {
+	if !t.IsLiteral() || !isNumericType(t.Datatype()) {
+		return 0, typeErrf("%s is not numeric", t)
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(t.Value()), 64)
+	if err != nil {
+		return 0, typeErrf("bad numeric lexical form %q", t.Value())
+	}
+	return f, nil
+}
+
+// isIntegerResult reports whether an arithmetic result over a and b
+// stays in the integer domain.
+func isIntegerResult(a, b rdf.Term) bool {
+	return a.Datatype() == rdf.XSDInteger && b.Datatype() == rdf.XSDInteger
+}
+
+// numberTermOf renders a computed number back into a literal,
+// preserving integer-ness when exact.
+func numberTermOf(v float64, integer bool) rdf.Term {
+	if integer && v == float64(int64(v)) {
+		return rdf.NewInteger(int64(v))
+	}
+	return rdf.NewDouble(v)
+}
+
+// effectiveBool computes the SPARQL effective boolean value.
+func effectiveBool(t rdf.Term) (bool, error) {
+	if !t.IsLiteral() {
+		return false, typeErrf("EBV of non-literal %s", t)
+	}
+	switch t.Datatype() {
+	case rdf.XSDBoolean:
+		switch t.Value() {
+		case "true", "1":
+			return true, nil
+		case "false", "0":
+			return false, nil
+		}
+		return false, nil
+	case rdf.XSDString, rdf.RDFLangString:
+		return t.Value() != "", nil
+	default:
+		if isNumericType(t.Datatype()) {
+			f, err := numericValue(t)
+			if err != nil {
+				return false, nil
+			}
+			return f != 0 && f == f, nil // NaN -> false
+		}
+	}
+	return false, typeErrf("no EBV for %s", t)
+}
+
+// compareTerms implements SPARQL operator comparison (<, <=, >, >=,
+// =, !=): numeric across numeric literals, string for simple/string
+// literals, boolean, dateTime lexically (ISO 8601 sorts correctly),
+// and term equality for IRIs (= and != only; ordering errors).
+// The returned int is negative/zero/positive; ordOK reports whether
+// <,>,<=,>= are defined for the pair.
+func compareTerms(a, b rdf.Term) (cmp int, ordOK bool, err error) {
+	if a.IsLiteral() && b.IsLiteral() {
+		da, db := a.Datatype(), b.Datatype()
+		switch {
+		case isNumericType(da) && isNumericType(db):
+			fa, err := numericValue(a)
+			if err != nil {
+				return 0, false, err
+			}
+			fb, err := numericValue(b)
+			if err != nil {
+				return 0, false, err
+			}
+			switch {
+			case fa < fb:
+				return -1, true, nil
+			case fa > fb:
+				return 1, true, nil
+			default:
+				return 0, true, nil
+			}
+		case (da == rdf.XSDString || da == rdf.RDFLangString) &&
+			(db == rdf.XSDString || db == rdf.RDFLangString):
+			// Compare lexical forms; equality additionally requires
+			// equal language tags (RDF term equality).
+			c := strings.Compare(a.Value(), b.Value())
+			if c == 0 && a.Lang() != b.Lang() {
+				return 1, false, nil // unequal, no order
+			}
+			return c, true, nil
+		case da == rdf.XSDBoolean && db == rdf.XSDBoolean:
+			ba, _ := effectiveBool(a)
+			bb, _ := effectiveBool(b)
+			switch {
+			case ba == bb:
+				return 0, true, nil
+			case !ba:
+				return -1, true, nil
+			default:
+				return 1, true, nil
+			}
+		case da == rdf.XSDDateTime && db == rdf.XSDDateTime,
+			da == rdf.XSDDate && db == rdf.XSDDate:
+			return strings.Compare(a.Value(), b.Value()), true, nil
+		case da == db:
+			// Same unknown datatype: term equality only.
+			if a.Equal(b) {
+				return 0, false, nil
+			}
+			return 1, false, nil
+		default:
+			return 0, false, typeErrf("incomparable literals %s and %s", a, b)
+		}
+	}
+	// Non-literals: only (in)equality is defined.
+	if a.Equal(b) {
+		return 0, false, nil
+	}
+	return 1, false, nil
+}
+
+// orderCompare is the total order used by ORDER BY: unbound < blank <
+// IRI < literal; numerics compare numerically within literals when
+// both sides are numeric, otherwise the rdf term order applies.
+func orderCompare(a, b rdf.Term) int {
+	if a.IsZero() || b.IsZero() {
+		switch {
+		case a.IsZero() && b.IsZero():
+			return 0
+		case a.IsZero():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsLiteral() && b.IsLiteral() && isNumericType(a.Datatype()) && isNumericType(b.Datatype()) {
+		fa, ea := numericValue(a)
+		fb, eb := numericValue(b)
+		if ea == nil && eb == nil {
+			switch {
+			case fa < fb:
+				return -1
+			case fa > fb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return a.Compare(b)
+}

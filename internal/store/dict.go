@@ -1,0 +1,82 @@
+// Package store implements the platform's semantic triple store: an
+// in-memory, indexed RDF quad store with full-text and geospatial
+// secondary indexes, transactions and N-Quads persistence. It stands
+// in for the Openlink Virtuoso instance of the paper (§2.1, §2.3); the
+// SPARQL engine in internal/sparql executes against it, including the
+// Virtuoso-style bif:st_intersects and bif:contains extensions.
+package store
+
+import (
+	"sync"
+
+	"lodify/internal/rdf"
+)
+
+// termID identifies a term in the dictionary. 0 is reserved to mean
+// "no term" (the default graph and unbound pattern positions).
+type termID uint64
+
+// dict interns RDF terms to dense ids. It is safe for concurrent use.
+type dict struct {
+	mu    sync.RWMutex
+	ids   map[rdf.Term]termID
+	terms []rdf.Term // terms[0] is the zero term
+}
+
+func newDict() *dict {
+	return &dict{
+		ids:   make(map[rdf.Term]termID),
+		terms: make([]rdf.Term, 1),
+	}
+}
+
+// intern returns the id for t, allocating one if needed.
+func (d *dict) intern(t rdf.Term) termID {
+	if t.IsZero() {
+		return 0
+	}
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id = termID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.ids[t] = id
+	return id
+}
+
+// lookup returns the id for t without allocating; ok is false when the
+// term has never been interned.
+func (d *dict) lookup(t rdf.Term) (termID, bool) {
+	if t.IsZero() {
+		return 0, true
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// term returns the term for id. id 0 yields the zero term.
+func (d *dict) term(id termID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.terms) {
+		return rdf.Term{}
+	}
+	return d.terms[id]
+}
+
+// size returns the number of interned terms.
+func (d *dict) size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms) - 1
+}

@@ -1,0 +1,229 @@
+package store
+
+import "sort"
+
+// ids is a sorted set of termIDs stored as a slice; small and
+// cache-friendly for the posting lists a UGC platform produces.
+type ids []termID
+
+func (s ids) search(v termID) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] >= v })
+}
+
+func (s ids) has(v termID) bool {
+	i := s.search(v)
+	return i < len(s) && s[i] == v
+}
+
+func (s ids) insert(v termID) (ids, bool) {
+	i := s.search(v)
+	if i < len(s) && s[i] == v {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+func (s ids) remove(v termID) (ids, bool) {
+	i := s.search(v)
+	if i >= len(s) || s[i] != v {
+		return s, false
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1], true
+}
+
+// pairIndex maps a leading id to a map of second id to a sorted set of
+// third ids: one permutation of the triple. With three instances (SPO,
+// POS, OSP) every triple pattern resolves with at most one map walk.
+type pairIndex map[termID]map[termID]ids
+
+func (ix pairIndex) add(a, b, c termID) bool {
+	m, ok := ix[a]
+	if !ok {
+		m = make(map[termID]ids)
+		ix[a] = m
+	}
+	set, changed := m[b].insert(c)
+	if changed {
+		m[b] = set
+	}
+	return changed
+}
+
+func (ix pairIndex) del(a, b, c termID) bool {
+	m, ok := ix[a]
+	if !ok {
+		return false
+	}
+	set, changed := m[b].remove(c)
+	if !changed {
+		return false
+	}
+	if len(set) == 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(ix, a)
+		}
+	} else {
+		m[b] = set
+	}
+	return true
+}
+
+// graphIndex holds the three permutation indexes for one named graph.
+type graphIndex struct {
+	spo  pairIndex
+	pos  pairIndex
+	osp  pairIndex
+	size int
+}
+
+func newGraphIndex() *graphIndex {
+	return &graphIndex{
+		spo: make(pairIndex),
+		pos: make(pairIndex),
+		osp: make(pairIndex),
+	}
+}
+
+func (g *graphIndex) add(s, p, o termID) bool {
+	if !g.spo.add(s, p, o) {
+		return false
+	}
+	g.pos.add(p, o, s)
+	g.osp.add(o, s, p)
+	g.size++
+	return true
+}
+
+func (g *graphIndex) del(s, p, o termID) bool {
+	if !g.spo.del(s, p, o) {
+		return false
+	}
+	g.pos.del(p, o, s)
+	g.osp.del(o, s, p)
+	g.size--
+	return true
+}
+
+func (g *graphIndex) has(s, p, o termID) bool {
+	m, ok := g.spo[s]
+	if !ok {
+		return false
+	}
+	return m[p].has(o)
+}
+
+// scan calls fn for every triple matching the pattern, where id 0 in a
+// position is a wildcard. It picks the most selective permutation.
+// fn returning false stops the scan.
+func (g *graphIndex) scan(s, p, o termID, fn func(s, p, o termID) bool) bool {
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if g.has(s, p, o) {
+			return fn(s, p, o)
+		}
+		return true
+	case s != 0 && p != 0:
+		for _, oo := range g.spo[s][p] {
+			if !fn(s, p, oo) {
+				return false
+			}
+		}
+		return true
+	case s != 0 && o != 0:
+		for _, pp := range g.osp[o][s] {
+			if !fn(s, pp, o) {
+				return false
+			}
+		}
+		return true
+	case p != 0 && o != 0:
+		for _, ss := range g.pos[p][o] {
+			if !fn(ss, p, o) {
+				return false
+			}
+		}
+		return true
+	case s != 0:
+		for pp, os := range g.spo[s] {
+			for _, oo := range os {
+				if !fn(s, pp, oo) {
+					return false
+				}
+			}
+		}
+		return true
+	case p != 0:
+		for oo, ss := range g.pos[p] {
+			for _, s2 := range ss {
+				if !fn(s2, p, oo) {
+					return false
+				}
+			}
+		}
+		return true
+	case o != 0:
+		for ss, ps := range g.osp[o] {
+			for _, pp := range ps {
+				if !fn(ss, pp, o) {
+					return false
+				}
+			}
+		}
+		return true
+	default:
+		for ss, pm := range g.spo {
+			for pp, os := range pm {
+				for _, oo := range os {
+					if !fn(ss, pp, oo) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// count estimates the number of triples matching the pattern without
+// enumerating them fully (exact for all bound/unbound combinations
+// except (s,?,o), which falls back to a scan of the o-side).
+func (g *graphIndex) count(s, p, o termID) int {
+	switch {
+	case s != 0 && p != 0 && o != 0:
+		if g.has(s, p, o) {
+			return 1
+		}
+		return 0
+	case s != 0 && p != 0:
+		return len(g.spo[s][p])
+	case p != 0 && o != 0:
+		return len(g.pos[p][o])
+	case s != 0 && o != 0:
+		return len(g.osp[o][s])
+	case s != 0:
+		n := 0
+		for _, os := range g.spo[s] {
+			n += len(os)
+		}
+		return n
+	case p != 0:
+		n := 0
+		for _, ss := range g.pos[p] {
+			n += len(ss)
+		}
+		return n
+	case o != 0:
+		n := 0
+		for _, ps := range g.osp[o] {
+			n += len(ps)
+		}
+		return n
+	default:
+		return g.size
+	}
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File persistence: the platform snapshots its triple store to an
+// N-Quads file (the "semantic platform ... running locally" of §2.1
+// persists across restarts). Writes are atomic via a temp file +
+// rename.
+
+// SaveFile writes the store as N-Quads to path atomically.
+func (st *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*.nq")
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	if err := st.DumpNQuads(w); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads an N-Quads snapshot into the store (additively) and
+// returns the number of quads added. Secondary indexes (text, geo)
+// are rebuilt as quads stream in.
+func (st *Store) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: load: %w", err)
+	}
+	defer f.Close()
+	n, err := st.LoadNQuads(bufio.NewReader(f))
+	if err != nil {
+		return n, fmt.Errorf("store: load: %w", err)
+	}
+	return n, nil
+}
+
+// OpenFile creates a store from a snapshot file; a missing file
+// yields an empty store (first boot).
+func OpenFile(path string) (*Store, error) {
+	st := New()
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return st, nil
+	}
+	if _, err := st.LoadFile(path); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

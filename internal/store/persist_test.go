@@ -1,0 +1,82 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+)
+
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot.nq")
+
+	st := New()
+	st.MustAdd(quad("s", "p", "o"))
+	st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: rdf.NewLangLiteral("ciao", "it"), G: iri("g")})
+	st.MustAdd(rdf.Quad{S: iri("pic"), P: rdf.NewIRI(rdf.GeoGeometry), O: lit("POINT(7.69 45.07)")})
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("len %d != %d", st2.Len(), st.Len())
+	}
+	// Secondary indexes rebuilt.
+	if got := st2.GeoWithin(geo.Point{Lon: 7.69, Lat: 45.07}, 0.01); len(got) != 1 {
+		t.Fatalf("geo index = %v", got)
+	}
+	if got := st2.TextSearch("ciao"); len(got) != 1 {
+		t.Fatalf("text index = %v", got)
+	}
+}
+
+func TestOpenFileMissingIsEmpty(t *testing.T) {
+	st, err := OpenFile(filepath.Join(t.TempDir(), "nope.nq"))
+	if err != nil || st.Len() != 0 {
+		t.Fatalf("st = %v, %v", st, err)
+	}
+}
+
+func TestSaveFileAtomicNoTempLeft(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.nq")
+	st := New()
+	st.MustAdd(quad("s", "p", "o"))
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "snap.nq" {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("dir = %v", names)
+	}
+	// Overwrite works.
+	st.MustAdd(quad("s", "p", "o2"))
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := OpenFile(path)
+	if st2.Len() != 2 {
+		t.Fatalf("len = %d", st2.Len())
+	}
+}
+
+func TestLoadFileCorruptReportsError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.nq")
+	os.WriteFile(path, []byte("this is not nquads\n"), 0o644)
+	st := New()
+	if _, err := st.LoadFile(path); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

@@ -1,0 +1,481 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+)
+
+// Store is the semantic quad store. All methods are safe for
+// concurrent use. A zero graph term addresses the default graph;
+// pattern positions holding the zero Term act as wildcards.
+type Store struct {
+	mu     sync.RWMutex
+	dict   *dict
+	graphs map[termID]*graphIndex
+	size   int
+
+	text *textIndex
+	geo  *geo.Index
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		dict:   newDict(),
+		graphs: make(map[termID]*graphIndex),
+		text:   newTextIndex(),
+		geo:    geo.NewIndex(0.5),
+	}
+}
+
+// Len returns the total number of quads across all graphs.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.size
+}
+
+// TermCount returns the number of distinct interned terms.
+func (st *Store) TermCount() int { return st.dict.size() }
+
+// Add inserts a quad, reporting whether it was new. The triple
+// component must be valid RDF.
+func (st *Store) Add(q rdf.Quad) (bool, error) {
+	if err := q.Triple().Validate(); err != nil {
+		return false, err
+	}
+	s := st.dict.intern(q.S)
+	p := st.dict.intern(q.P)
+	o := st.dict.intern(q.O)
+	g := st.dict.intern(q.G)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	gi, ok := st.graphs[g]
+	if !ok {
+		gi = newGraphIndex()
+		st.graphs[g] = gi
+	}
+	if !gi.add(s, p, o) {
+		return false, nil
+	}
+	st.size++
+	st.indexSecondary(q, s, o, true)
+	return true, nil
+}
+
+// AddTriple inserts a triple into the default graph.
+func (st *Store) AddTriple(t rdf.Triple) (bool, error) {
+	return st.Add(rdf.Quad{S: t.S, P: t.P, O: t.O})
+}
+
+// MustAdd inserts a quad and panics on invalid input; intended for
+// loading trusted generated data.
+func (st *Store) MustAdd(q rdf.Quad) {
+	if _, err := st.Add(q); err != nil {
+		panic(err)
+	}
+}
+
+// Remove deletes a quad, reporting whether it was present.
+func (st *Store) Remove(q rdf.Quad) bool {
+	s, ok := st.dict.lookup(q.S)
+	if !ok {
+		return false
+	}
+	p, ok := st.dict.lookup(q.P)
+	if !ok {
+		return false
+	}
+	o, ok := st.dict.lookup(q.O)
+	if !ok {
+		return false
+	}
+	g, ok := st.dict.lookup(q.G)
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	gi, ok := st.graphs[g]
+	if !ok || !gi.del(s, p, o) {
+		return false
+	}
+	st.size--
+	if gi.size == 0 && g != 0 {
+		delete(st.graphs, g)
+	}
+	st.indexSecondary(q, s, o, false)
+	return true
+}
+
+// indexSecondary keeps the full-text and geo indexes in sync. Caller
+// holds st.mu.
+func (st *Store) indexSecondary(q rdf.Quad, s, o termID, add bool) {
+	if q.O.IsLiteral() {
+		if add {
+			st.text.index(o, s, q.O.Value())
+		} else {
+			st.text.unindex(o, s, q.O.Value())
+		}
+		if q.P.Value() == rdf.GeoGeometry {
+			if pt, err := geo.ParseWKT(q.O.Value()); err == nil {
+				if add {
+					st.geo.Insert(uint64(s), pt)
+				} else {
+					st.geo.Remove(uint64(s))
+				}
+			}
+		}
+	}
+}
+
+// Has reports whether the exact quad is present.
+func (st *Store) Has(q rdf.Quad) bool {
+	s, ok := st.dict.lookup(q.S)
+	if !ok {
+		return false
+	}
+	p, ok := st.dict.lookup(q.P)
+	if !ok {
+		return false
+	}
+	o, ok := st.dict.lookup(q.O)
+	if !ok {
+		return false
+	}
+	g, ok := st.dict.lookup(q.G)
+	if !ok {
+		return false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	gi, ok := st.graphs[g]
+	return ok && gi.has(s, p, o)
+}
+
+// Match calls fn for every quad matching the pattern; zero Terms are
+// wildcards, including the graph position (which then ranges over the
+// default graph and every named graph). fn returning false stops the
+// iteration early.
+func (st *Store) Match(s, p, o, g rdf.Term, fn func(rdf.Quad) bool) {
+	sid, ok := st.dict.lookup(s)
+	if !ok {
+		return
+	}
+	pid, ok := st.dict.lookup(p)
+	if !ok {
+		return
+	}
+	oid, ok := st.dict.lookup(o)
+	if !ok {
+		return
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	emit := func(gid termID) func(s2, p2, o2 termID) bool {
+		gt := st.dict.term(gid)
+		return func(s2, p2, o2 termID) bool {
+			return fn(rdf.Quad{
+				S: st.dict.term(s2), P: st.dict.term(p2),
+				O: st.dict.term(o2), G: gt,
+			})
+		}
+	}
+	if !g.IsZero() {
+		gid, ok := st.dict.lookup(g)
+		if !ok {
+			return
+		}
+		if gi, ok := st.graphs[gid]; ok {
+			gi.scan(sid, pid, oid, emit(gid))
+		}
+		return
+	}
+	// Wildcard graph: iterate graphs deterministically.
+	gids := make([]termID, 0, len(st.graphs))
+	for gid := range st.graphs {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		if !st.graphs[gid].scan(sid, pid, oid, emit(gid)) {
+			return
+		}
+	}
+}
+
+// MatchSlice collects matches into a slice (convenience for tests and
+// small result sets).
+func (st *Store) MatchSlice(s, p, o, g rdf.Term) []rdf.Quad {
+	var out []rdf.Quad
+	st.Match(s, p, o, g, func(q rdf.Quad) bool {
+		out = append(out, q)
+		return true
+	})
+	return out
+}
+
+// Count returns the (exact) number of quads matching the pattern.
+func (st *Store) Count(s, p, o, g rdf.Term) int {
+	sid, ok := st.dict.lookup(s)
+	if !ok {
+		return 0
+	}
+	pid, ok := st.dict.lookup(p)
+	if !ok {
+		return 0
+	}
+	oid, ok := st.dict.lookup(o)
+	if !ok {
+		return 0
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if !g.IsZero() {
+		gid, ok := st.dict.lookup(g)
+		if !ok {
+			return 0
+		}
+		gi, ok := st.graphs[gid]
+		if !ok {
+			return 0
+		}
+		return gi.count(sid, pid, oid)
+	}
+	n := 0
+	for _, gi := range st.graphs {
+		n += gi.count(sid, pid, oid)
+	}
+	return n
+}
+
+// Graphs returns the named graphs present (excluding the default
+// graph), sorted.
+func (st *Store) Graphs() []rdf.Term {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []rdf.Term
+	for gid := range st.graphs {
+		if gid != 0 {
+			out = append(out, st.dict.term(gid))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Objects returns the objects of (s, p, *, any graph) sorted.
+func (st *Store) Objects(s, p rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	st.Match(s, p, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		out = append(out, q.O)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// FirstObject returns one object of (s, p, *) or a zero Term.
+func (st *Store) FirstObject(s, p rdf.Term) rdf.Term {
+	var out rdf.Term
+	st.Match(s, p, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		out = q.O
+		return false
+	})
+	return out
+}
+
+// Subjects returns the subjects of (*, p, o, any graph) sorted.
+func (st *Store) Subjects(p, o rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	st.Match(rdf.Term{}, p, o, rdf.Term{}, func(q rdf.Quad) bool {
+		out = append(out, q.S)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// TextSearch returns the subjects of literal-object triples whose
+// literal contains every token of query (AND semantics), mirroring
+// Virtuoso's bif:contains. Results are sorted by subject term order.
+func (st *Store) TextSearch(query string) []rdf.Term {
+	st.mu.RLock()
+	subjIDs := st.text.search(query)
+	out := make([]rdf.Term, 0, len(subjIDs))
+	for _, id := range subjIDs {
+		out = append(out, st.dict.term(id))
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// TextPrefixSearch returns subjects having a literal with a token
+// starting with prefix — the operation behind the mobile interface's
+// incremental AJAX search (Fig. 2–3). Limit <= 0 means no limit.
+func (st *Store) TextPrefixSearch(prefix string, limit int) []rdf.Term {
+	st.mu.RLock()
+	subjIDs := st.text.prefixSearch(prefix)
+	out := make([]rdf.Term, 0, len(subjIDs))
+	for _, id := range subjIDs {
+		out = append(out, st.dict.term(id))
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// GeoWithin returns the subjects whose geo:geometry literal lies
+// within radius degrees of center, sorted.
+func (st *Store) GeoWithin(center geo.Point, radius float64) []rdf.Term {
+	st.mu.RLock()
+	ids := st.geo.Within(center, radius)
+	out := make([]rdf.Term, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, st.dict.term(termID(id)))
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// GeometryOf returns the parsed geometry of a subject, if indexed.
+func (st *Store) GeometryOf(s rdf.Term) (geo.Point, bool) {
+	sid, ok := st.dict.lookup(s)
+	if !ok {
+		return geo.Point{}, false
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.geo.Lookup(uint64(sid))
+}
+
+// DumpNQuads writes the entire store as N-Quads in deterministic
+// order.
+func (st *Store) DumpNQuads(w io.Writer) error {
+	quads := st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{})
+	sort.Slice(quads, func(i, j int) bool { return rdf.CompareQuads(quads[i], quads[j]) < 0 })
+	return rdf.WriteNQuads(w, quads)
+}
+
+// LoadNQuads reads N-Quads (or N-Triples) from r into the store and
+// returns the number of quads added.
+func (st *Store) LoadNQuads(r io.Reader) (int, error) {
+	rd := rdf.NewNTriplesReader(r)
+	n := 0
+	for {
+		q, err := rd.ReadQuad()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		added, err := st.Add(q)
+		if err != nil {
+			return n, err
+		}
+		if added {
+			n++
+		}
+	}
+}
+
+// Txn is a write batch with all-or-nothing visibility: operations
+// accumulate locally and apply atomically on Commit. Reads within the
+// transaction see the store as of each operation's apply time plus
+// earlier ops in the same batch are NOT visible (write-only batch);
+// this matches the platform's bulk-ingest usage.
+type Txn struct {
+	st      *Store
+	adds    []rdf.Quad
+	removes []rdf.Quad
+	done    bool
+}
+
+// Begin opens a write batch.
+func (st *Store) Begin() *Txn { return &Txn{st: st} }
+
+// Add stages a quad insertion.
+func (tx *Txn) Add(q rdf.Quad) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already finished")
+	}
+	if err := q.Triple().Validate(); err != nil {
+		return err
+	}
+	tx.adds = append(tx.adds, q)
+	return nil
+}
+
+// Remove stages a quad deletion.
+func (tx *Txn) Remove(q rdf.Quad) error {
+	if tx.done {
+		return fmt.Errorf("store: transaction already finished")
+	}
+	tx.removes = append(tx.removes, q)
+	return nil
+}
+
+// Commit applies the batch atomically with respect to readers (they
+// observe either none or all of the batch). It returns the number of
+// quads actually added and removed.
+func (tx *Txn) Commit() (added, removed int, err error) {
+	if tx.done {
+		return 0, 0, fmt.Errorf("store: transaction already finished")
+	}
+	tx.done = true
+	// Intern outside the store lock, then apply under one lock hold.
+	st := tx.st
+	type iq struct {
+		q          rdf.Quad
+		s, p, o, g termID
+	}
+	stage := func(qs []rdf.Quad) []iq {
+		out := make([]iq, len(qs))
+		for i, q := range qs {
+			out[i] = iq{
+				q: q,
+				s: st.dict.intern(q.S), p: st.dict.intern(q.P),
+				o: st.dict.intern(q.O), g: st.dict.intern(q.G),
+			}
+		}
+		return out
+	}
+	sAdds, sRems := stage(tx.adds), stage(tx.removes)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, e := range sRems {
+		gi, ok := st.graphs[e.g]
+		if ok && gi.del(e.s, e.p, e.o) {
+			st.size--
+			removed++
+			st.indexSecondary(e.q, e.s, e.o, false)
+		}
+	}
+	for _, e := range sAdds {
+		gi, ok := st.graphs[e.g]
+		if !ok {
+			gi = newGraphIndex()
+			st.graphs[e.g] = gi
+		}
+		if gi.add(e.s, e.p, e.o) {
+			st.size++
+			added++
+			st.indexSecondary(e.q, e.s, e.o, true)
+		}
+	}
+	return added, removed, nil
+}
+
+// Rollback discards the batch.
+func (tx *Txn) Rollback() { tx.done = true }

@@ -1,0 +1,395 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+func lit(s string) rdf.Term { return rdf.NewLiteral(s) }
+func quad(s, p, o string) rdf.Quad {
+	return rdf.Quad{S: iri(s), P: iri(p), O: lit(o)}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	st := New()
+	q := quad("s", "p", "o")
+	added, err := st.Add(q)
+	if err != nil || !added {
+		t.Fatalf("Add = %v, %v", added, err)
+	}
+	if added, _ := st.Add(q); added {
+		t.Fatal("duplicate Add reported true")
+	}
+	if !st.Has(q) || st.Len() != 1 {
+		t.Fatal("Has/Len broken")
+	}
+	if !st.Remove(q) || st.Remove(q) {
+		t.Fatal("Remove semantics broken")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d after remove", st.Len())
+	}
+}
+
+func TestAddRejectsInvalidTriple(t *testing.T) {
+	st := New()
+	if _, err := st.Add(rdf.Quad{S: lit("x"), P: iri("p"), O: lit("o")}); err == nil {
+		t.Fatal("literal subject accepted")
+	}
+}
+
+func TestNamedGraphIsolation(t *testing.T) {
+	st := New()
+	g1, g2 := iri("g1"), iri("g2")
+	st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("a"), G: g1})
+	st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("a"), G: g2})
+	st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("b")})
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, same triple in two graphs must count twice", st.Len())
+	}
+	if got := len(st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, g1)); got != 1 {
+		t.Fatalf("g1 matches = %d", got)
+	}
+	if got := len(st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{})); got != 3 {
+		t.Fatalf("wildcard graph matches = %d", got)
+	}
+	graphs := st.Graphs()
+	if len(graphs) != 2 {
+		t.Fatalf("Graphs = %v", graphs)
+	}
+}
+
+func TestMatchAllPatternShapes(t *testing.T) {
+	st := New()
+	st.MustAdd(quad("s1", "p1", "o1"))
+	st.MustAdd(quad("s1", "p2", "o1"))
+	st.MustAdd(quad("s2", "p1", "o2"))
+	st.MustAdd(quad("s2", "p1", "o1"))
+	w := rdf.Term{}
+	tests := []struct {
+		name    string
+		s, p, o rdf.Term
+		want    int
+	}{
+		{"spo", iri("s1"), iri("p1"), lit("o1"), 1},
+		{"sp?", iri("s1"), iri("p1"), w, 1},
+		{"s?o", iri("s1"), w, lit("o1"), 2},
+		{"?po", w, iri("p1"), lit("o1"), 2},
+		{"s??", iri("s2"), w, w, 2},
+		{"?p?", w, iri("p1"), w, 3},
+		{"??o", w, w, lit("o1"), 3},
+		{"???", w, w, w, 4},
+		{"miss", iri("zz"), w, w, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := len(st.MatchSlice(tt.s, tt.p, tt.o, w))
+			if got != tt.want {
+				t.Errorf("matches = %d, want %d", got, tt.want)
+			}
+			if c := st.Count(tt.s, tt.p, tt.o, w); c != tt.want {
+				t.Errorf("Count = %d, want %d", c, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	st := New()
+	for i := 0; i < 100; i++ {
+		st.MustAdd(quad("s", "p", fmt.Sprintf("o%d", i)))
+	}
+	n := 0
+	st.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(rdf.Quad) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestObjectsSubjectsHelpers(t *testing.T) {
+	st := New()
+	st.MustAdd(quad("s", "p", "b"))
+	st.MustAdd(quad("s", "p", "a"))
+	st.MustAdd(quad("s2", "p", "a"))
+	objs := st.Objects(iri("s"), iri("p"))
+	if len(objs) != 2 || objs[0].Value() != "a" {
+		t.Fatalf("Objects = %v", objs)
+	}
+	subs := st.Subjects(iri("p"), lit("a"))
+	if len(subs) != 2 {
+		t.Fatalf("Subjects = %v", subs)
+	}
+	if st.FirstObject(iri("s2"), iri("p")).Value() != "a" {
+		t.Fatal("FirstObject broken")
+	}
+	if !st.FirstObject(iri("nope"), iri("p")).IsZero() {
+		t.Fatal("FirstObject on empty should be zero")
+	}
+}
+
+func TestTextSearch(t *testing.T) {
+	st := New()
+	st.MustAdd(rdf.Quad{S: iri("pic1"), P: iri("title"), O: rdf.NewLangLiteral("Mole Antonelliana di Torino", "it")})
+	st.MustAdd(rdf.Quad{S: iri("pic2"), P: iri("title"), O: lit("Torino by night")})
+	st.MustAdd(rdf.Quad{S: iri("pic3"), P: iri("title"), O: lit("Rome Colosseum")})
+
+	if got := st.TextSearch("torino"); len(got) != 2 {
+		t.Fatalf("TextSearch(torino) = %v", got)
+	}
+	if got := st.TextSearch("mole torino"); len(got) != 1 || got[0] != iri("pic1") {
+		t.Fatalf("AND search = %v", got)
+	}
+	if got := st.TextSearch("paris"); len(got) != 0 {
+		t.Fatalf("missing term = %v", got)
+	}
+	// Case/accent folding: "TORINÒ" matches "Torino".
+	if got := st.TextSearch("TORINÒ"); len(got) != 2 {
+		t.Fatalf("folded search = %v", got)
+	}
+	// Unindexing on removal.
+	st.Remove(rdf.Quad{S: iri("pic2"), P: iri("title"), O: lit("Torino by night")})
+	if got := st.TextSearch("night"); len(got) != 0 {
+		t.Fatalf("stale text index: %v", got)
+	}
+	if got := st.TextSearch("torino"); len(got) != 1 {
+		t.Fatalf("after removal = %v", got)
+	}
+}
+
+func TestTextPrefixSearchIncrementalUI(t *testing.T) {
+	// Fig. 2-3: typing "Turi" should already surface Turin resources.
+	st := New()
+	st.MustAdd(rdf.Quad{S: iri("Turin"), P: iri("label"), O: lit("Turin")})
+	st.MustAdd(rdf.Quad{S: iri("Turku"), P: iri("label"), O: lit("Turku")})
+	st.MustAdd(rdf.Quad{S: iri("Rome"), P: iri("label"), O: lit("Rome")})
+	if got := st.TextPrefixSearch("Tur", 0); len(got) != 2 {
+		t.Fatalf("prefix Tur = %v", got)
+	}
+	if got := st.TextPrefixSearch("Turi", 0); len(got) != 1 || got[0] != iri("Turin") {
+		t.Fatalf("prefix Turi = %v", got)
+	}
+	if got := st.TextPrefixSearch("Tur", 1); len(got) != 1 {
+		t.Fatalf("limit ignored: %v", got)
+	}
+	// Multi-token: previous tokens exact, last is prefix.
+	st.MustAdd(rdf.Quad{S: iri("pic"), P: iri("title"), O: lit("mole antonelliana")})
+	if got := st.TextPrefixSearch("mole anto", 0); len(got) != 1 || got[0] != iri("pic") {
+		t.Fatalf("multi-token prefix = %v", got)
+	}
+}
+
+func TestGeoIndexMaintenance(t *testing.T) {
+	st := New()
+	mole := geo.Point{Lon: 7.6934, Lat: 45.0690}
+	gq := rdf.Quad{S: iri("pic1"), P: rdf.NewIRI(rdf.GeoGeometry), O: rdf.NewTypedLiteral(mole.WKT(), rdf.VirtRDFGeometry)}
+	st.MustAdd(gq)
+	st.MustAdd(rdf.Quad{S: iri("pic2"), P: rdf.NewIRI(rdf.GeoGeometry), O: lit("POINT(12.49 41.90)")})
+	st.MustAdd(rdf.Quad{S: iri("pic3"), P: rdf.NewIRI(rdf.GeoGeometry), O: lit("not wkt")}) // ignored
+
+	got := st.GeoWithin(mole, 0.3)
+	if len(got) != 1 || got[0] != iri("pic1") {
+		t.Fatalf("GeoWithin = %v", got)
+	}
+	if p, ok := st.GeometryOf(iri("pic1")); !ok || p != mole {
+		t.Fatalf("GeometryOf = %v %v", p, ok)
+	}
+	st.Remove(gq)
+	if got := st.GeoWithin(mole, 0.3); len(got) != 0 {
+		t.Fatalf("stale geo index: %v", got)
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	st := New()
+	st.MustAdd(quad("s", "p", "o"))
+	st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: rdf.NewLangLiteral("ciao", "it"), G: iri("g")})
+	st.MustAdd(rdf.Quad{S: iri("pic"), P: rdf.NewIRI(rdf.GeoGeometry), O: lit("POINT(7.69 45.07)")})
+	var buf bytes.Buffer
+	if err := st.DumpNQuads(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2 := New()
+	n, err := st2.LoadNQuads(&buf)
+	if err != nil || n != 3 {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("len %d != %d", st2.Len(), st.Len())
+	}
+	// Secondary indexes rebuilt on load.
+	if got := st2.GeoWithin(geo.Point{Lon: 7.69, Lat: 45.07}, 0.01); len(got) != 1 {
+		t.Fatalf("geo index not rebuilt: %v", got)
+	}
+	if got := st2.TextSearch("ciao"); len(got) != 1 {
+		t.Fatalf("text index not rebuilt: %v", got)
+	}
+}
+
+func TestTxnCommitAtomicCounts(t *testing.T) {
+	st := New()
+	st.MustAdd(quad("s", "p", "old"))
+	tx := st.Begin()
+	if err := tx.Add(quad("s", "p", "new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Add(quad("s", "p", "new")); err != nil { // dup inside batch
+		t.Fatal(err)
+	}
+	if err := tx.Remove(quad("s", "p", "old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Remove(quad("s", "p", "never")); err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := tx.Commit()
+	if err != nil || added != 1 || removed != 1 {
+		t.Fatalf("Commit = %d added %d removed, %v", added, removed, err)
+	}
+	if _, _, err := tx.Commit(); err == nil {
+		t.Fatal("double commit accepted")
+	}
+	if st.Len() != 1 || !st.Has(quad("s", "p", "new")) {
+		t.Fatal("batch not applied")
+	}
+}
+
+func TestTxnRollback(t *testing.T) {
+	st := New()
+	tx := st.Begin()
+	tx.Add(quad("s", "p", "o"))
+	tx.Rollback()
+	if err := tx.Add(quad("s", "p", "o2")); err == nil {
+		t.Fatal("add after rollback accepted")
+	}
+	if st.Len() != 0 {
+		t.Fatal("rollback leaked writes")
+	}
+}
+
+func TestTxnRejectsInvalid(t *testing.T) {
+	st := New()
+	tx := st.Begin()
+	if err := tx.Add(rdf.Quad{S: lit("bad"), P: iri("p"), O: lit("o")}); err == nil {
+		t.Fatal("invalid quad staged")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	st := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st.MustAdd(quad(fmt.Sprintf("s%d", w), "p", fmt.Sprintf("o%d", i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st.Count(rdf.Term{}, iri("p"), rdf.Term{}, rdf.Term{})
+				st.TextSearch("o5")
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", st.Len())
+	}
+}
+
+// Property: after a random sequence of adds and removes, Match(???)
+// agrees with a reference map implementation, and Count agrees with
+// Match for random patterns.
+func TestQuickStoreAgreesWithReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := New()
+		ref := make(map[rdf.Quad]bool)
+		subjects := []string{"s1", "s2", "s3"}
+		preds := []string{"p1", "p2"}
+		objs := []string{"o1", "o2", "o3", "o4"}
+		for i := 0; i < 120; i++ {
+			q := quad(subjects[r.Intn(3)], preds[r.Intn(2)], objs[r.Intn(4)])
+			if r.Intn(3) == 0 {
+				st.Remove(q)
+				delete(ref, q)
+			} else {
+				st.MustAdd(q)
+				ref[q] = true
+			}
+		}
+		if st.Len() != len(ref) {
+			return false
+		}
+		all := st.MatchSlice(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{})
+		if len(all) != len(ref) {
+			return false
+		}
+		for _, q := range all {
+			if !ref[q] {
+				return false
+			}
+		}
+		// Random pattern: Count == len(Match).
+		pat := func(vals []string, mk func(string) rdf.Term) rdf.Term {
+			if r.Intn(2) == 0 {
+				return rdf.Term{}
+			}
+			return mk(vals[r.Intn(len(vals))])
+		}
+		s := pat(subjects, iri)
+		p := pat(preds, iri)
+		o := pat(objs, lit)
+		return st.Count(s, p, o, rdf.Term{}) == len(st.MatchSlice(s, p, o, rdf.Term{}))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	if !ContainsAll("Mole Antonelliana di Torino", "torino mole") {
+		t.Fatal("AND containment failed")
+	}
+	if ContainsAll("Mole Antonelliana", "torino") {
+		t.Fatal("false containment")
+	}
+	if !ContainsAll("anything", "") {
+		t.Fatal("empty query should match")
+	}
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	st := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.MustAdd(quad(fmt.Sprintf("s%d", i%1000), "p", fmt.Sprintf("o%d", i)))
+	}
+}
+
+func BenchmarkStoreMatchSP(b *testing.B) {
+	st := New()
+	for i := 0; i < 10000; i++ {
+		st.MustAdd(quad(fmt.Sprintf("s%d", i%100), fmt.Sprintf("p%d", i%10), fmt.Sprintf("o%d", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Count(iri("s5"), iri("p5"), rdf.Term{}, rdf.Term{})
+	}
+}

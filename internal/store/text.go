@@ -1,0 +1,174 @@
+package store
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"lodify/internal/textsim"
+)
+
+// textIndex is an inverted index from folded tokens of literal objects
+// to the subjects carrying them, reproducing Virtuoso's bif:contains
+// full-text capability the paper's platform relies on for search.
+// Callers synchronize via the store mutex.
+type textIndex struct {
+	// postings maps token -> subject id -> reference count (a subject
+	// may carry the same token through several literals).
+	postings map[string]map[termID]int
+	// tokens is the sorted token vocabulary for prefix search; lazily
+	// rebuilt when dirty.
+	tokens []string
+	dirty  bool
+}
+
+func newTextIndex() *textIndex {
+	return &textIndex{postings: make(map[string]map[termID]int)}
+}
+
+// Tokenize folds and splits text into index tokens. Exported through
+// the store for the web layer's query highlighting.
+func Tokenize(text string) []string {
+	folded := textsim.Fold(text)
+	return strings.FieldsFunc(folded, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+func (ti *textIndex) index(_ termID, subj termID, text string) {
+	for _, tok := range Tokenize(text) {
+		m, ok := ti.postings[tok]
+		if !ok {
+			m = make(map[termID]int)
+			ti.postings[tok] = m
+			ti.dirty = true
+		}
+		m[subj]++
+	}
+}
+
+func (ti *textIndex) unindex(_ termID, subj termID, text string) {
+	for _, tok := range Tokenize(text) {
+		m, ok := ti.postings[tok]
+		if !ok {
+			continue
+		}
+		if m[subj] <= 1 {
+			delete(m, subj)
+			if len(m) == 0 {
+				delete(ti.postings, tok)
+				ti.dirty = true
+			}
+		} else {
+			m[subj]--
+		}
+	}
+}
+
+// search returns subjects containing every token of query.
+func (ti *textIndex) search(query string) []termID {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	// Intersect starting from the rarest token.
+	sort.Slice(toks, func(i, j int) bool {
+		return len(ti.postings[toks[i]]) < len(ti.postings[toks[j]])
+	})
+	first, ok := ti.postings[toks[0]]
+	if !ok {
+		return nil
+	}
+	out := make([]termID, 0, len(first))
+	for subj := range first {
+		out = append(out, subj)
+	}
+	for _, tok := range toks[1:] {
+		m, ok := ti.postings[tok]
+		if !ok {
+			return nil
+		}
+		keep := out[:0]
+		for _, subj := range out {
+			if _, ok := m[subj]; ok {
+				keep = append(keep, subj)
+			}
+		}
+		out = keep
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// prefixSearch returns subjects having any token with the given
+// prefix.
+func (ti *textIndex) prefixSearch(prefix string) []termID {
+	toks := Tokenize(prefix)
+	if len(toks) == 0 {
+		return nil
+	}
+	p := toks[len(toks)-1]
+	if ti.dirty {
+		ti.tokens = ti.tokens[:0]
+		for tok := range ti.postings {
+			ti.tokens = append(ti.tokens, tok)
+		}
+		sort.Strings(ti.tokens)
+		ti.dirty = false
+	}
+	// All earlier tokens must match exactly; the last is a prefix.
+	var base map[termID]bool
+	for _, tok := range toks[:len(toks)-1] {
+		m, ok := ti.postings[tok]
+		if !ok {
+			return nil
+		}
+		if base == nil {
+			base = make(map[termID]bool, len(m))
+			for s := range m {
+				base[s] = true
+			}
+			continue
+		}
+		for s := range base {
+			if _, ok := m[s]; !ok {
+				delete(base, s)
+			}
+		}
+	}
+	set := make(map[termID]bool)
+	i := sort.SearchStrings(ti.tokens, p)
+	for ; i < len(ti.tokens) && strings.HasPrefix(ti.tokens[i], p); i++ {
+		for subj := range ti.postings[ti.tokens[i]] {
+			if base == nil || base[subj] {
+				set[subj] = true
+			}
+		}
+	}
+	out := make([]termID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContainsAll reports whether text contains every token of query,
+// mirroring the index's AND semantics for FILTER evaluation on
+// literals that may not be indexed.
+func ContainsAll(text, query string) bool {
+	toks := Tokenize(text)
+	set := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		set[t] = true
+	}
+	for _, q := range Tokenize(query) {
+		if !set[q] {
+			return false
+		}
+	}
+	return true
+}

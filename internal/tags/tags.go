@@ -1,0 +1,236 @@
+// Package tags implements the triple-tag (machine-tag) system the
+// platform used before its semantic migration (§1.1): tags of the
+// form namespace:predicate=value carrying lightweight semantics, the
+// context namespaces the paper introduced (address, people) alongside
+// the geo/cell/place namespaces common on social sites, plain keyword
+// tags, and the tag index behind tag-based virtual albums ("filter
+// user-generated pictures by each triple tag namespace, predicate or
+// value"). It is the baseline the semantic stack is evaluated against
+// in experiment E7.
+package tags
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"lodify/internal/textsim"
+)
+
+// TripleTag is a namespace:predicate=value machine tag.
+type TripleTag struct {
+	Namespace string
+	Predicate string
+	Value     string
+}
+
+// Known context namespaces (§1.1: geo is the Flickr-popular one;
+// address and people are the paper's "brand new namespaces"; cell,
+// place and poi appear in its examples).
+const (
+	NSGeo     = "geo"
+	NSAddress = "address"
+	NSPeople  = "people"
+	NSCell    = "cell"
+	NSPlace   = "place"
+	NSPOI     = "poi"
+)
+
+// String renders the canonical machine-tag form with the value
+// URL-encoded (e.g. people:fn=Walter+Goix).
+func (t TripleTag) String() string {
+	return t.Namespace + ":" + t.Predicate + "=" + url.QueryEscape(t.Value)
+}
+
+// Display renders the friendly format the platform GUI shows for
+// context tags (§1.1: "context tags are displayed in a friendly
+// format").
+func (t TripleTag) Display() string {
+	return t.Predicate + ": " + t.Value
+}
+
+// Parse parses a machine tag. It returns an error when the input is
+// not of the namespace:predicate=value shape.
+func Parse(s string) (TripleTag, error) {
+	colon := strings.Index(s, ":")
+	if colon <= 0 {
+		return TripleTag{}, fmt.Errorf("tags: %q has no namespace", s)
+	}
+	eq := strings.Index(s[colon:], "=")
+	if eq <= 1 {
+		return TripleTag{}, fmt.Errorf("tags: %q has no predicate=value part", s)
+	}
+	eq += colon
+	ns, pred := s[:colon], s[colon+1:eq]
+	if pred == "" {
+		return TripleTag{}, fmt.Errorf("tags: %q has empty predicate", s)
+	}
+	val, err := url.QueryUnescape(s[eq+1:])
+	if err != nil {
+		return TripleTag{}, fmt.Errorf("tags: %q has malformed value: %v", s, err)
+	}
+	if val == "" {
+		return TripleTag{}, fmt.Errorf("tags: %q has empty value", s)
+	}
+	return TripleTag{Namespace: ns, Predicate: pred, Value: val}, nil
+}
+
+// IsTripleTag reports whether s parses as a machine tag; plain
+// keyword tags do not.
+func IsTripleTag(s string) bool {
+	_, err := Parse(s)
+	return err == nil
+}
+
+// Split separates a mixed tag list into triple tags and plain keyword
+// tags, preserving order.
+func Split(raw []string) (triple []TripleTag, plain []string) {
+	for _, s := range raw {
+		if t, err := Parse(s); err == nil {
+			triple = append(triple, t)
+		} else if s != "" {
+			plain = append(plain, s)
+		}
+	}
+	return triple, plain
+}
+
+// Index is the tag index behind the baseline's tag-based navigation:
+// content IDs are opaque strings (the platform uses picture IDs).
+// The zero value is not usable; call NewIndex.
+type Index struct {
+	// byTag maps canonical triple-tag string -> content set.
+	byTag map[string]map[string]bool
+	// byNSPred maps namespace and namespace:predicate -> content set.
+	byNSPred map[string]map[string]bool
+	// byKeyword maps folded plain keywords -> content set.
+	byKeyword map[string]map[string]bool
+	// tagsByContent supports removal.
+	tagsByContent map[string][]string // canonical strings + kw: keys
+}
+
+// NewIndex returns an empty tag index.
+func NewIndex() *Index {
+	return &Index{
+		byTag:         map[string]map[string]bool{},
+		byNSPred:      map[string]map[string]bool{},
+		byKeyword:     map[string]map[string]bool{},
+		tagsByContent: map[string][]string{},
+	}
+}
+
+func addTo(m map[string]map[string]bool, key, id string) {
+	set, ok := m[key]
+	if !ok {
+		set = map[string]bool{}
+		m[key] = set
+	}
+	set[id] = true
+}
+
+func delFrom(m map[string]map[string]bool, key, id string) {
+	if set, ok := m[key]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(m, key)
+		}
+	}
+}
+
+// Add indexes a content item under its triple tags and keywords.
+func (ix *Index) Add(contentID string, triple []TripleTag, keywords []string) {
+	var keys []string
+	for _, t := range triple {
+		c := t.String()
+		addTo(ix.byTag, c, contentID)
+		addTo(ix.byNSPred, t.Namespace, contentID)
+		addTo(ix.byNSPred, t.Namespace+":"+t.Predicate, contentID)
+		keys = append(keys, "t:"+c, "n:"+t.Namespace, "n:"+t.Namespace+":"+t.Predicate)
+	}
+	for _, kw := range keywords {
+		f := textsim.Fold(kw)
+		if f == "" {
+			continue
+		}
+		addTo(ix.byKeyword, f, contentID)
+		keys = append(keys, "k:"+f)
+	}
+	ix.tagsByContent[contentID] = append(ix.tagsByContent[contentID], keys...)
+}
+
+// Remove drops every index entry for a content item.
+func (ix *Index) Remove(contentID string) {
+	for _, key := range ix.tagsByContent[contentID] {
+		switch {
+		case strings.HasPrefix(key, "t:"):
+			delFrom(ix.byTag, key[2:], contentID)
+		case strings.HasPrefix(key, "n:"):
+			delFrom(ix.byNSPred, key[2:], contentID)
+		case strings.HasPrefix(key, "k:"):
+			delFrom(ix.byKeyword, key[2:], contentID)
+		}
+	}
+	delete(ix.tagsByContent, contentID)
+}
+
+// ByTag returns the content carrying the exact triple tag, sorted —
+// e.g. people:fn=Walter+Goix or cell:cgi=460-0-9522-3661 (§1.1).
+func (ix *Index) ByTag(t TripleTag) []string {
+	return sortedKeys(ix.byTag[t.String()])
+}
+
+// ByNamespace returns content carrying any tag in the namespace.
+func (ix *Index) ByNamespace(ns string) []string {
+	return sortedKeys(ix.byNSPred[ns])
+}
+
+// ByPredicate returns content carrying any namespace:predicate tag.
+func (ix *Index) ByPredicate(ns, pred string) []string {
+	return sortedKeys(ix.byNSPred[ns+":"+pred])
+}
+
+// ByKeywords returns content matching every plain keyword (AND), the
+// baseline's keyword search.
+func (ix *Index) ByKeywords(kws ...string) []string {
+	var cur map[string]bool
+	for _, kw := range kws {
+		set := ix.byKeyword[textsim.Fold(kw)]
+		if len(set) == 0 {
+			return nil
+		}
+		if cur == nil {
+			cur = map[string]bool{}
+			for id := range set {
+				cur[id] = true
+			}
+			continue
+		}
+		for id := range cur {
+			if !set[id] {
+				delete(cur, id)
+			}
+		}
+	}
+	return sortedKeys(cur)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keywords returns the distinct indexed keywords, sorted (folksonomy
+// inspection).
+func (ix *Index) Keywords() []string {
+	out := make([]string, 0, len(ix.byKeyword))
+	for k := range ix.byKeyword {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

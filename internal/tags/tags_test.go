@@ -1,0 +1,158 @@
+package tags
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	tests := []struct {
+		in   string
+		want TripleTag
+	}{
+		{"people:fn=Walter+Goix", TripleTag{"people", "fn", "Walter Goix"}},
+		{"cell:cgi=460-0-9522-3661", TripleTag{"cell", "cgi", "460-0-9522-3661"}},
+		{"place:is=crowded", TripleTag{"place", "is", "crowded"}},
+		{"poi:recs_id=72", TripleTag{"poi", "recs_id", "72"}},
+		{"geo:lat=45.0690", TripleTag{"geo", "lat", "45.0690"}},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tt.in, err)
+		}
+		if got != tt.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "plain", "ns:", "ns:pred", "ns:=v", ":pred=v", "ns:pred=", "ns:pred=%zz"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}
+
+func TestIsTripleTag(t *testing.T) {
+	if !IsTripleTag("people:fn=Walter+Goix") || IsTripleTag("sunset") {
+		t.Fatal("classification broken")
+	}
+}
+
+// Property: Parse(t.String()) round-trips for arbitrary values.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(value string) bool {
+		if value == "" {
+			return true
+		}
+		orig := TripleTag{Namespace: "people", Predicate: "fn", Value: value}
+		got, err := Parse(orig.String())
+		return err == nil && got == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitMixedTags(t *testing.T) {
+	triple, plain := Split([]string{"sunset", "people:fn=Walter", "torino", "place:is=crowded", ""})
+	if len(triple) != 2 || len(plain) != 2 {
+		t.Fatalf("triple = %v, plain = %v", triple, plain)
+	}
+	if plain[0] != "sunset" || plain[1] != "torino" {
+		t.Fatalf("plain = %v", plain)
+	}
+}
+
+func TestDisplayFriendlyFormat(t *testing.T) {
+	tag := TripleTag{"address", "city", "Torino"}
+	if got := tag.Display(); got != "city: Torino" {
+		t.Fatalf("Display = %q", got)
+	}
+}
+
+func buildIndex() *Index {
+	ix := NewIndex()
+	ix.Add("pic1",
+		[]TripleTag{{"people", "fn", "Walter Goix"}, {"cell", "cgi", "460-0-9522-3661"}, {"address", "city", "Torino"}},
+		[]string{"sunset", "mole"})
+	ix.Add("pic2",
+		[]TripleTag{{"people", "fn", "Walter Goix"}, {"place", "is", "crowded"}},
+		[]string{"sunset", "crowd"})
+	ix.Add("pic3",
+		[]TripleTag{{"people", "fn", "Oscar R"}, {"address", "city", "Roma"}},
+		[]string{"colosseum"})
+	return ix
+}
+
+func TestIndexByTag(t *testing.T) {
+	ix := buildIndex()
+	got := ix.ByTag(TripleTag{"people", "fn", "Walter Goix"})
+	if !reflect.DeepEqual(got, []string{"pic1", "pic2"}) {
+		t.Fatalf("ByTag = %v", got)
+	}
+	if got := ix.ByTag(TripleTag{"cell", "cgi", "460-0-9522-3661"}); !reflect.DeepEqual(got, []string{"pic1"}) {
+		t.Fatalf("cell = %v", got)
+	}
+	if got := ix.ByTag(TripleTag{"place", "is", "quiet"}); len(got) != 0 {
+		t.Fatalf("missing tag = %v", got)
+	}
+}
+
+func TestIndexByNamespaceAndPredicate(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.ByNamespace("people"); len(got) != 3 {
+		t.Fatalf("ByNamespace = %v", got)
+	}
+	if got := ix.ByPredicate("address", "city"); len(got) != 2 {
+		t.Fatalf("ByPredicate = %v", got)
+	}
+	if got := ix.ByNamespace("nope"); len(got) != 0 {
+		t.Fatalf("unknown ns = %v", got)
+	}
+}
+
+func TestIndexKeywordSearchANDSemantics(t *testing.T) {
+	ix := buildIndex()
+	if got := ix.ByKeywords("sunset"); len(got) != 2 {
+		t.Fatalf("sunset = %v", got)
+	}
+	if got := ix.ByKeywords("sunset", "mole"); !reflect.DeepEqual(got, []string{"pic1"}) {
+		t.Fatalf("AND = %v", got)
+	}
+	if got := ix.ByKeywords("sunset", "colosseum"); len(got) != 0 {
+		t.Fatalf("disjoint AND = %v", got)
+	}
+	// Folded matching.
+	if got := ix.ByKeywords("SUNSET"); len(got) != 2 {
+		t.Fatalf("folded = %v", got)
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := buildIndex()
+	ix.Remove("pic1")
+	if got := ix.ByTag(TripleTag{"people", "fn", "Walter Goix"}); !reflect.DeepEqual(got, []string{"pic2"}) {
+		t.Fatalf("after remove = %v", got)
+	}
+	if got := ix.ByKeywords("mole"); len(got) != 0 {
+		t.Fatalf("keyword not removed: %v", got)
+	}
+	if got := ix.ByTag(TripleTag{"cell", "cgi", "460-0-9522-3661"}); len(got) != 0 {
+		t.Fatalf("cell not removed: %v", got)
+	}
+	// Removing again is a no-op.
+	ix.Remove("pic1")
+}
+
+func TestKeywordsVocabulary(t *testing.T) {
+	ix := buildIndex()
+	kws := ix.Keywords()
+	if len(kws) != 4 {
+		t.Fatalf("keywords = %v", kws)
+	}
+}

@@ -1,0 +1,187 @@
+// Package textsim provides the string-similarity measures used by the
+// semantic filtering stage of the annotation pipeline (§2.2.2 of the
+// paper): candidates whose Jaro-Winkler distance to the original word
+// or lemma falls below 0.8 are discarded unless their DBpedia score is
+// maximal. Levenshtein and trigram Dice are provided for ablations.
+package textsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Jaro returns the Jaro similarity of a and b in [0,1]. It is
+// symmetric and returns 1 for equal strings and 0 when either is empty
+// (unless both are empty, which yields 1).
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale p=0.1 and a maximum common-prefix length of 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// JaroWinklerFold compares case- and accent-insensitively, which
+// matches how user tags compare against LOD resource labels
+// ("coliseum" vs "Coliseum").
+func JaroWinklerFold(a, b string) float64 {
+	return JaroWinkler(Fold(a), Fold(b))
+}
+
+// Fold lowercases and strips combining marks and common Latin
+// diacritics, so "Torinò" folds to "torino".
+func Fold(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		if unicode.Is(unicode.Mn, r) {
+			continue
+		}
+		if f, ok := diacritics[r]; ok {
+			b.WriteRune(f)
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+var diacritics = map[rune]rune{
+	'à': 'a', 'á': 'a', 'â': 'a', 'ã': 'a', 'ä': 'a', 'å': 'a',
+	'è': 'e', 'é': 'e', 'ê': 'e', 'ë': 'e',
+	'ì': 'i', 'í': 'i', 'î': 'i', 'ï': 'i',
+	'ò': 'o', 'ó': 'o', 'ô': 'o', 'õ': 'o', 'ö': 'o',
+	'ù': 'u', 'ú': 'u', 'û': 'u', 'ü': 'u',
+	'ç': 'c', 'ñ': 'n', 'ý': 'y',
+}
+
+// Levenshtein returns the edit distance between a and b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// TrigramDice returns the Dice coefficient over character trigrams of
+// the folded inputs, in [0,1]. Strings shorter than 3 runes are padded.
+func TrigramDice(a, b string) float64 {
+	ta, tb := trigrams(Fold(a)), trigrams(Fold(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	common := 0
+	for g, n := range ta {
+		if m, ok := tb[g]; ok {
+			common += min(n, m)
+		}
+	}
+	total := 0
+	for _, n := range ta {
+		total += n
+	}
+	for _, n := range tb {
+		total += n
+	}
+	return 2 * float64(common) / float64(total)
+}
+
+func trigrams(s string) map[string]int {
+	r := []rune("  " + s + " ")
+	out := make(map[string]int)
+	for i := 0; i+3 <= len(r); i++ {
+		out[string(r[i:i+3])]++
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package textsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaroKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.944444444444},
+		{"DIXON", "DICKSONX", 0.766666666667},
+		{"JELLYFISH", "SMELLYFISH", 0.896296296296},
+		{"", "", 1},
+		{"a", "", 0},
+		{"", "a", 0},
+		{"same", "same", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, tt := range tests {
+		if got := Jaro(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Jaro(%q,%q) = %.12f, want %.12f", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961111111111},
+		{"DIXON", "DICKSONX", 0.813333333333},
+		{"coliseum", "Coliseum", JaroWinkler("coliseum", "Coliseum")}, // case-sensitive
+	}
+	for _, tt := range tests {
+		if got := JaroWinkler(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("JaroWinkler(%q,%q) = %.12f, want %.12f", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestJaroWinklerFoldMatchesPaperUseCase(t *testing.T) {
+	// §2.2.2: candidates below 0.8 Jaro-Winkler vs the original word
+	// are discarded; folding makes "coliseum" match "Coliseum".
+	if got := JaroWinklerFold("coliseum", "Coliseum"); !almost(got, 1) {
+		t.Errorf("folded JW = %f, want 1", got)
+	}
+	if got := JaroWinklerFold("Torino", "torinò"); !almost(got, 1) {
+		t.Errorf("accent-folded JW = %f, want 1", got)
+	}
+	if JaroWinklerFold("Mole Antonelliana", "Mole Vanvitelliana") < 0.8 {
+		t.Error("near-duplicate monuments should clear 0.8 (this is why the paper reports false positives)")
+	}
+	if JaroWinklerFold("Turin", "Paris") >= 0.8 {
+		t.Error("unrelated cities should not clear 0.8")
+	}
+}
+
+func TestFold(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Torinò", "torino"},
+		{"CAFÉ", "cafe"},
+		{"São Paulo", "sao paulo"},
+		{"plain", "plain"},
+	}
+	for _, tt := range tests {
+		if got := Fold(tt.in); got != tt.want {
+			t.Errorf("Fold(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"flaw", "lawn", 2},
+	}
+	for _, tt := range tests {
+		if got := Levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTrigramDice(t *testing.T) {
+	if got := TrigramDice("turin", "turin"); !almost(got, 1) {
+		t.Errorf("identical = %f", got)
+	}
+	if got := TrigramDice("turin", "zzzzz"); got != 0 {
+		t.Errorf("disjoint = %f", got)
+	}
+	mid := TrigramDice("turin", "turing")
+	if mid <= 0.5 || mid >= 1 {
+		t.Errorf("near match = %f, want in (0.5,1)", mid)
+	}
+}
+
+func randWord(r *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyzàéìòù "
+	runes := []rune(alpha)
+	n := r.Intn(15)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = runes[r.Intn(len(runes))]
+	}
+	return string(out)
+}
+
+// Properties: similarity measures are symmetric, bounded, and reach 1
+// exactly on equal inputs (for JW, equality of folded forms).
+func TestQuickSimilarityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randWord(r), randWord(r)
+		for _, fn := range []func(string, string) float64{Jaro, JaroWinkler, TrigramDice} {
+			ab, ba := fn(a, b), fn(b, a)
+			if !almost(ab, ba) {
+				return false
+			}
+			if ab < 0 || ab > 1+1e-9 {
+				return false
+			}
+			if !almost(fn(a, a), 1) {
+				return false
+			}
+		}
+		if Levenshtein(a, b) != Levenshtein(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JaroWinkler never decreases relative to Jaro.
+func TestQuickWinklerBoost(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randWord(r), randWord(r)
+		return JaroWinkler(a, b)+1e-12 >= Jaro(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Levenshtein satisfies the triangle inequality.
+func TestQuickLevenshteinTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randWord(r), randWord(r), randWord(r)
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("Mole Antonelliana", "Mole Vanvitelliana")
+	}
+}

@@ -1,0 +1,170 @@
+package ugc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/reldb"
+)
+
+// The paper's conclusion: "there's a huge amount of content already
+// present in our platform that remains to be semantically annotated.
+// Solving this issue requires to create and introduce new automatic
+// batch processing mechanisms." ImportLegacy + BatchAnnotate are that
+// mechanism: legacy rows enter the platform without semantic
+// annotations, and the batch job annotates them afterwards.
+
+// ImportLegacy ingests rows from a Coppermine-shaped database (the
+// pre-semantic platform's store of record) as platform content,
+// running the context and D2R-equivalent triple generation but NOT
+// the annotation pipeline — exactly the state the paper's legacy
+// content is in. It returns the imported content IDs.
+func (p *Platform) ImportLegacy(db *reldb.DB) ([]int64, error) {
+	// Users first (skip names already registered).
+	userByID := map[int64]string{}
+	err := db.Scan("users", func(row reldb.Row) bool {
+		id := row["user_id"].(int64)
+		name, _ := row["user_name"].(string)
+		userByID[id] = name
+		if _, exists := p.User(name); exists {
+			return true
+		}
+		full, _ := row["user_fullname"].(string)
+		openid, _ := row["user_openid"].(string)
+		_, _ = p.Register(name, full, openid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Friendships.
+	if err := db.Scan("friends", func(row reldb.Row) bool {
+		a, aok := userByID[row["user_id"].(int64)]
+		b, bok := userByID[row["friend_id"].(int64)]
+		if aok && bok {
+			_ = p.AddFriend(a, b)
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	// Pictures become contents with the legacy flag: no annotation.
+	var ids []int64
+	var importErr error
+	err = db.Scan("pictures", func(row reldb.Row) bool {
+		owner, ok := userByID[asInt(row["owner_id"])]
+		if !ok {
+			return true
+		}
+		title, _ := row["title"].(string)
+		keywords, _ := row["keywords"].(string)
+		var gps *geo.Point
+		if lat, ok := row["lat"].(float64); ok {
+			if lon, ok := row["lon"].(float64); ok {
+				gps = &geo.Point{Lon: lon, Lat: lat}
+			}
+		}
+		taken := time.Unix(asInt(row["ctime"]), 0).UTC()
+		c, err := p.Publish(Upload{
+			User:     owner,
+			Filename: row["filename"].(string),
+			Title:    title,
+			Tags:     strings.Fields(keywords),
+			GPS:      gps,
+			TakenAt:  taken,
+			// Legacy content enters unannotated; BatchAnnotate
+			// processes it later.
+			SkipAnnotation: true,
+		})
+		if err != nil {
+			importErr = err
+			return false
+		}
+		if r, ok := row["pic_rating"].(int64); ok && r >= 1 && r <= 5 {
+			_ = p.Rate(c.ID, int(r))
+		}
+		ids = append(ids, c.ID)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if importErr != nil {
+		return ids, importErr
+	}
+	return ids, nil
+}
+
+func asInt(v any) int64 {
+	if i, ok := v.(int64); ok {
+		return i
+	}
+	return 0
+}
+
+// BatchReport summarizes one BatchAnnotate run.
+type BatchReport struct {
+	Scanned   int
+	Annotated int // contents that gained at least one reference
+	Links     int // dcterms:references triples added
+	Skipped   int // already annotated or nothing to annotate
+	Elapsed   time.Duration
+}
+
+// String renders a log-friendly summary.
+func (r BatchReport) String() string {
+	return fmt.Sprintf("batch: scanned=%d annotated=%d links=%d skipped=%d in %v",
+		r.Scanned, r.Annotated, r.Links, r.Skipped, r.Elapsed.Round(time.Millisecond))
+}
+
+// BatchAnnotate runs the Fig. 1 pipeline over every content that has
+// no dcterms:references triple yet (limit <= 0 processes everything).
+// It is idempotent: a second run skips everything the first one
+// annotated.
+func (p *Platform) BatchAnnotate(limit int) BatchReport {
+	start := time.Now()
+	report := BatchReport{}
+	ids := p.Contents()
+	for _, id := range ids {
+		if limit > 0 && report.Scanned >= limit {
+			break
+		}
+		p.mu.Lock()
+		c := p.contents[id]
+		pipe := p.Pipeline
+		p.mu.Unlock()
+		if c == nil || pipe == nil {
+			continue
+		}
+		report.Scanned++
+		if !p.Store.FirstObject(c.IRI, PredAbout).IsZero() {
+			report.Skipped++
+			continue
+		}
+		result := pipe.Annotate(c.Title, c.PlainTags)
+		autos := result.AutoAnnotations()
+		if len(autos) == 0 {
+			report.Skipped++
+			continue
+		}
+		tx := p.Store.Begin()
+		for _, a := range autos {
+			tx.Add(rdf.Quad{S: c.IRI, P: PredAbout, O: a.Resource})
+		}
+		added, _, err := tx.Commit()
+		if err != nil {
+			continue
+		}
+		p.mu.Lock()
+		c.Language = result.Language
+		c.Annotations = result.Annotations
+		p.mu.Unlock()
+		report.Annotated++
+		report.Links += added
+	}
+	report.Elapsed = time.Since(start)
+	return report
+}

@@ -1,0 +1,156 @@
+package ugc
+
+import (
+	"testing"
+
+	"lodify/internal/lod"
+	"lodify/internal/reldb"
+)
+
+// legacyDB builds a pre-semantic Coppermine database with content the
+// batch job can annotate.
+func legacyDB(t *testing.T) *reldb.DB {
+	db := reldb.NewCoppermineDB()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.Insert("users", reldb.Row{"user_id": int64(1), "user_name": "legacy_oscar", "user_fullname": "Oscar R"}))
+	must(db.Insert("users", reldb.Row{"user_id": int64(2), "user_name": "legacy_walter"}))
+	must(db.Insert("albums", reldb.Row{"aid": int64(1), "title": "Old times", "owner": int64(1)}))
+	must(db.Insert("pictures", reldb.Row{
+		"pid": int64(1), "aid": int64(1), "filename": "old_mole.jpg",
+		"title": "Tramonto sulla Mole Antonelliana", "keywords": "torino tramonto",
+		"owner_id": int64(1), "ctime": int64(1316275200),
+		"pic_rating": int64(4), "lat": 45.0690, "lon": 7.6934,
+	}))
+	must(db.Insert("pictures", reldb.Row{
+		"pid": int64(2), "aid": int64(1), "filename": "old_plain.jpg",
+		"title": "che bella giornata", "keywords": "",
+		"owner_id": int64(2), "ctime": int64(1316275260),
+	}))
+	must(db.Insert("friends", reldb.Row{"rel_id": int64(1), "user_id": int64(2), "friend_id": int64(1)}))
+	return db
+}
+
+func TestImportLegacyIngestsWithoutAnnotations(t *testing.T) {
+	p, _ := newPlatform(t)
+	ids, err := p.ImportLegacy(legacyDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("imported = %v", ids)
+	}
+	// Users and friendships came along.
+	if _, ok := p.User("legacy_oscar"); !ok {
+		t.Fatal("user not imported")
+	}
+	if got := p.Friends("legacy_walter"); len(got) != 1 || got[0] != "legacy_oscar" {
+		t.Fatalf("friends = %v", got)
+	}
+	// No dcterms:references yet — this is legacy content.
+	for _, id := range ids {
+		c, _ := p.Content(id)
+		if !p.Store.FirstObject(c.IRI, PredAbout).IsZero() {
+			t.Fatalf("legacy content %d already annotated", id)
+		}
+		if len(c.Annotations) != 0 {
+			t.Fatalf("legacy content %d carries annotations", id)
+		}
+	}
+	// Geometry and context still processed.
+	c, _ := p.Content(ids[0])
+	if p.Store.FirstObject(c.IRI, PredGeometry).IsZero() {
+		t.Fatal("geometry missing on geolocated legacy content")
+	}
+	// Rating carried over.
+	ratings := p.Store.Objects(c.IRI, PredRating)
+	if len(ratings) != 1 || ratings[0].Value() != "4" {
+		t.Fatalf("rating = %v", ratings)
+	}
+}
+
+func TestBatchAnnotateProcessesBacklog(t *testing.T) {
+	p, _ := newPlatform(t)
+	ids, err := p.ImportLegacy(legacyDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := p.BatchAnnotate(0)
+	if report.Scanned != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Annotated != 1 { // the Mole title annotates; the plain title has nothing
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Links == 0 {
+		t.Fatalf("no links added: %+v", report)
+	}
+	c, _ := p.Content(ids[0])
+	found := false
+	for _, o := range p.Store.Objects(c.IRI, PredAbout) {
+		if o.Value() == lod.DBpediaResource+"Mole_Antonelliana" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("batch did not link the Mole")
+	}
+	// Language recorded on the content.
+	if c.Language != "it" {
+		t.Fatalf("language = %q", c.Language)
+	}
+}
+
+func TestBatchAnnotateIdempotent(t *testing.T) {
+	p, _ := newPlatform(t)
+	if _, err := p.ImportLegacy(legacyDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	first := p.BatchAnnotate(0)
+	second := p.BatchAnnotate(0)
+	if second.Annotated != 0 || second.Links != 0 {
+		t.Fatalf("second run did work: %+v", second)
+	}
+	if second.Skipped != first.Scanned {
+		t.Fatalf("second run skipped %d of %d", second.Skipped, first.Scanned)
+	}
+}
+
+func TestBatchAnnotateLimit(t *testing.T) {
+	p, _ := newPlatform(t)
+	if _, err := p.ImportLegacy(legacyDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	report := p.BatchAnnotate(1)
+	if report.Scanned != 1 {
+		t.Fatalf("limit ignored: %+v", report)
+	}
+}
+
+func TestBatchSkipsFreshContent(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	// Fresh uploads are annotated inline; the batch must not re-link.
+	c, err := p.Publish(Upload{
+		User: "walter", Filename: "fresh.jpg",
+		Title: "Tramonto sulla Mole Antonelliana", GPS: &molePt, TakenAt: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(p.Store.Objects(c.IRI, PredAbout))
+	report := p.BatchAnnotate(0)
+	if report.Annotated != 0 {
+		t.Fatalf("fresh content re-annotated: %+v", report)
+	}
+	after := len(p.Store.Objects(c.IRI, PredAbout))
+	if before != after {
+		t.Fatalf("references changed %d -> %d", before, after)
+	}
+	if report.String() == "" {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,178 @@
+package ugc
+
+import (
+	"fmt"
+	"sort"
+
+	"lodify/internal/rdf"
+	"lodify/internal/reldb"
+)
+
+// §1: "in the case of pictures, it is also possible to create a
+// graphical annotation over a particular section". Region annotations
+// mark a rectangle of the picture with a note; semantically they are
+// published as media-fragment resources (the W3C #xywh= convention)
+// so SPARQL can reach them, and the note text is annotated by the
+// Fig. 1 pipeline like any title.
+
+// Region is a rectangular picture section in pixel coordinates.
+type Region struct {
+	X, Y, W, H int
+}
+
+// Valid reports whether the rectangle is well-formed.
+func (r Region) Valid() bool { return r.W > 0 && r.H > 0 && r.X >= 0 && r.Y >= 0 }
+
+// Fragment renders the media-fragment suffix ("xywh=10,20,100,50").
+func (r Region) Fragment() string {
+	return fmt.Sprintf("xywh=%d,%d,%d,%d", r.X, r.Y, r.W, r.H)
+}
+
+// RegionAnnotation is one graphical annotation.
+type RegionAnnotation struct {
+	ID      int64
+	Content int64
+	IRI     rdf.Term // the media-fragment resource
+	Author  string
+	Region  Region
+	Note    string
+	// Resource is the LOD resource the note auto-annotated to, when
+	// the pipeline found exactly one (e.g. marking a monument in the
+	// picture).
+	Resource rdf.Term
+}
+
+var (
+	predFragmentOf = rdf.NewIRI(LocalNS + "fragmentOf")
+	predNote       = rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#comment")
+)
+
+// AnnotateRegion attaches a graphical annotation to a picture.
+func (p *Platform) AnnotateRegion(contentID int64, author string, region Region, note string) (*RegionAnnotation, error) {
+	if !region.Valid() {
+		return nil, fmt.Errorf("ugc: invalid region %+v", region)
+	}
+	p.mu.Lock()
+	c, ok := p.contents[contentID]
+	if !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("ugc: unknown content %d", contentID)
+	}
+	if c.Kind != "photo" {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("ugc: graphical annotations apply to pictures only, content %d is %q", contentID, c.Kind)
+	}
+	if _, ok := p.users[author]; !ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("ugc: unknown user %q", author)
+	}
+	id := p.nextRegionID
+	p.nextRegionID++
+	ra := &RegionAnnotation{
+		ID:      id,
+		Content: contentID,
+		IRI:     rdf.NewIRI(c.IRI.Value() + "#" + region.Fragment()),
+		Author:  author,
+		Region:  region,
+		Note:    note,
+	}
+	p.regions[contentID] = append(p.regions[contentID], ra)
+	pipe := p.Pipeline
+	authorIRI := p.users[author].IRI
+	p.mu.Unlock()
+
+	// Semantic triples for the fragment.
+	tx := p.Store.Begin()
+	tx.Add(rdf.Quad{S: ra.IRI, P: predFragmentOf, O: c.IRI})
+	tx.Add(rdf.Quad{S: ra.IRI, P: PredMaker, O: authorIRI})
+	if note != "" {
+		tx.Add(rdf.Quad{S: ra.IRI, P: predNote, O: rdf.NewLiteral(note)})
+	}
+	if _, _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	// The note runs through the annotation pipeline: marking "Mole
+	// Antonelliana" on a picture region links the fragment to the
+	// monument's resource.
+	if pipe != nil && note != "" {
+		res := pipe.Annotate(note, nil)
+		for _, a := range res.AutoAnnotations() {
+			p.Store.MustAdd(rdf.Quad{S: ra.IRI, P: PredAbout, O: a.Resource})
+			if ra.Resource.IsZero() {
+				ra.Resource = a.Resource
+			}
+		}
+	}
+	return ra, nil
+}
+
+// Regions returns the graphical annotations of a content item, in
+// creation order.
+func (p *Platform) Regions(contentID int64) []RegionAnnotation {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := p.regions[contentID]
+	out := make([]RegionAnnotation, len(rs))
+	for i, r := range rs {
+		out[i] = *r
+	}
+	return out
+}
+
+// Comment records a platform-level comment on a content item (§1's
+// social features; the relational comments table of the Coppermine
+// schema) and emits sioc:Post triples.
+func (p *Platform) Comment(contentID int64, author, text string) error {
+	p.mu.Lock()
+	c, ok := p.contents[contentID]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("ugc: unknown content %d", contentID)
+	}
+	u, ok := p.users[author]
+	if !ok {
+		p.mu.Unlock()
+		return fmt.Errorf("ugc: unknown user %q", author)
+	}
+	if text == "" {
+		p.mu.Unlock()
+		return fmt.Errorf("ugc: empty comment")
+	}
+	id := p.nextCommentID
+	p.nextCommentID++
+	p.mu.Unlock()
+
+	if err := p.DB.Insert("comments", reldb.Row{
+		"msg_id": id, "pid": contentID, "author_id": p.userID(author), "msg_body": text,
+	}); err != nil {
+		return err
+	}
+	commentIRI := rdf.NewIRI(fmt.Sprintf("%scpg148_comments/%d", p.BaseURI, id))
+	tx := p.Store.Begin()
+	tx.Add(rdf.Quad{S: commentIRI, P: PredType, O: rdf.NewIRI("http://rdfs.org/sioc/ns#Post")})
+	tx.Add(rdf.Quad{S: commentIRI, P: rdf.NewIRI("http://rdfs.org/sioc/ns#reply_of"), O: c.IRI})
+	tx.Add(rdf.Quad{S: commentIRI, P: PredMaker, O: u.IRI})
+	tx.Add(rdf.Quad{S: commentIRI, P: rdf.NewIRI("http://rdfs.org/sioc/ns#content"), O: rdf.NewLiteral(text)})
+	_, _, err := tx.Commit()
+	return err
+}
+
+// CommentsOf returns the comment texts on a content item, in
+// insertion order.
+func (p *Platform) CommentsOf(contentID int64) []string {
+	rows, err := p.DB.Select("comments", reldb.Row{"pid": contentID})
+	if err != nil {
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i]["msg_id"].(int64) < rows[j]["msg_id"].(int64)
+	})
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		if s, ok := r["msg_body"].(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package ugc
+
+import (
+	"strings"
+	"testing"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/rdf"
+	"lodify/internal/resolver"
+)
+
+func TestAnnotateRegionBasics(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	c, _ := p.Publish(Upload{User: "walter", Filename: "m.jpg", Title: "panorama", GPS: &molePt, TakenAt: now})
+
+	ra, err := p.AnnotateRegion(c.ID, "walter", Region{X: 10, Y: 20, W: 100, H: 50}, "Mole Antonelliana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(ra.IRI.Value(), "#xywh=10,20,100,50") {
+		t.Fatalf("fragment IRI = %v", ra.IRI)
+	}
+	// The note auto-annotated the monument.
+	if ra.Resource.Value() != lod.DBpediaResource+"Mole_Antonelliana" {
+		t.Fatalf("region resource = %v", ra.Resource)
+	}
+	// Triples exist: fragmentOf, maker, comment, references.
+	if p.Store.FirstObject(ra.IRI, rdf.NewIRI(LocalNS+"fragmentOf")) != c.IRI {
+		t.Fatal("fragmentOf missing")
+	}
+	if p.Store.FirstObject(ra.IRI, PredAbout).IsZero() {
+		t.Fatal("references missing")
+	}
+	regions := p.Regions(c.ID)
+	if len(regions) != 1 || regions[0].Note != "Mole Antonelliana" {
+		t.Fatalf("regions = %+v", regions)
+	}
+}
+
+func TestAnnotateRegionValidation(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	c, _ := p.Publish(Upload{User: "walter", Filename: "m.jpg", TakenAt: now})
+	v, _ := p.Publish(Upload{User: "walter", Filename: "v.mp4", Kind: "video", TakenAt: now})
+
+	if _, err := p.AnnotateRegion(c.ID, "walter", Region{W: 0, H: 5}, "x"); err == nil {
+		t.Fatal("degenerate region accepted")
+	}
+	if _, err := p.AnnotateRegion(999, "walter", Region{W: 5, H: 5}, "x"); err == nil {
+		t.Fatal("unknown content accepted")
+	}
+	if _, err := p.AnnotateRegion(c.ID, "ghost", Region{W: 5, H: 5}, "x"); err == nil {
+		t.Fatal("unknown author accepted")
+	}
+	if _, err := p.AnnotateRegion(v.ID, "walter", Region{W: 5, H: 5}, "x"); err == nil {
+		t.Fatal("video region accepted (pictures only per §1)")
+	}
+}
+
+func TestCommentsRelationalAndSemantic(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	p.Register("oscar", "", "")
+	c, _ := p.Publish(Upload{User: "walter", Filename: "m.jpg", TakenAt: now})
+
+	if err := p.Comment(c.ID, "oscar", "great shot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Comment(c.ID, "oscar", "second!"); err != nil {
+		t.Fatal(err)
+	}
+	got := p.CommentsOf(c.ID)
+	if len(got) != 2 || got[0] != "great shot" {
+		t.Fatalf("comments = %v", got)
+	}
+	// sioc:reply_of triples point at the content.
+	replies := p.Store.Subjects(rdf.NewIRI("http://rdfs.org/sioc/ns#reply_of"), c.IRI)
+	if len(replies) != 2 {
+		t.Fatalf("reply triples = %v", replies)
+	}
+	// Validation.
+	if err := p.Comment(999, "oscar", "x"); err == nil {
+		t.Fatal("unknown content accepted")
+	}
+	if err := p.Comment(c.ID, "ghost", "x"); err == nil {
+		t.Fatal("unknown author accepted")
+	}
+	if err := p.Comment(c.ID, "oscar", ""); err == nil {
+		t.Fatal("empty comment accepted")
+	}
+}
+
+func TestBuddyExternalLinkingOffByDefault(t *testing.T) {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	pipe := annotate.NewPipeline(w.Store, resolver.DefaultBroker(w.Store), annotate.DefaultConfig())
+
+	run := func(external bool) int {
+		p := New(w.Store, ctx, pipe, Options{
+			BaseURI:               pickBase(external),
+			LinkBuddiesExternally: external,
+		})
+		p.Register("walter", "Walter", "")
+		p.Register("oscar", "Oscar", "https://openid.example/oscar")
+		p.AddFriend("walter", "oscar")
+		p.Ctx.UpdatePresence("oscar", geo.Point{Lon: 7.694, Lat: 45.0695}, now)
+		p.Publish(Upload{User: "walter", Filename: "m.jpg", GPS: &molePt, TakenAt: now})
+		ou, _ := p.User("oscar")
+		return len(p.Store.Objects(ou.IRI, rdf.NewIRI(rdf.RDFSSeeAlso)))
+	}
+	if n := run(false); n != 0 {
+		t.Fatalf("external links with privacy default: %d", n)
+	}
+	if n := run(true); n != 1 {
+		t.Fatalf("external links when enabled: %d", n)
+	}
+}
+
+// pickBase keeps the two runs' minted IRIs apart (shared world store).
+func pickBase(external bool) string {
+	if external {
+		return "http://ext.teamlife.it/"
+	}
+	return "http://loc.teamlife.it/"
+}

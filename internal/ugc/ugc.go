@@ -1,0 +1,551 @@
+// Package ugc is the platform core: the mobile user-generated-content
+// sharing service of §1, upgraded with the semantic capabilities of
+// §2. A Platform owns the relational Coppermine database, the
+// semantic triple store (shared with the LOD world), the context
+// management client, the annotation pipeline, the triple-tag baseline
+// index and the cross-posting sinks. Publishing a content item runs
+// both the legacy path (context triple tags, keyword index) and the
+// semantic path (RDF triples, location analysis, nearby-friend
+// resources, POI resolution, automatic annotation) so the two can be
+// compared head-to-head (experiment E7).
+package ugc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/d2r"
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/reldb"
+	"lodify/internal/store"
+	"lodify/internal/tags"
+)
+
+// Platform namespace for local resources that have no LOD equivalent
+// (nearby-friend descriptors etc.).
+const LocalNS = "http://beta.teamlife.it/ns#"
+
+// Vocabulary predicates the platform emits (matching the paper's
+// queries).
+var (
+	PredType      = rdf.NewIRI(rdf.RDFType)
+	PredTitle     = rdf.NewIRI(d2r.NSDC + "title")
+	PredSubject   = rdf.NewIRI(d2r.NSDC + "subject")
+	PredImageData = rdf.NewIRI(d2r.NSComm + "image-data")
+	PredMaker     = rdf.NewIRI(d2r.NSFoaf + "maker")
+	PredKnows     = rdf.NewIRI(d2r.NSFoaf + "knows")
+	PredName      = rdf.NewIRI(d2r.NSFoaf + "name")
+	PredFN        = rdf.NewIRI(d2r.NSFoaf + "fn")
+	PredRating    = rdf.NewIRI(d2r.NSRev + "rating")
+	PredGeometry  = rdf.NewIRI(rdf.GeoGeometry)
+	PredSpatial   = rdf.NewIRI("http://purl.org/dc/terms/spatial")
+	PredNearby    = rdf.NewIRI(LocalNS + "nearby")
+	PredDate      = rdf.NewIRI(d2r.NSDC + "date")
+	PredAbout     = rdf.NewIRI("http://purl.org/dc/terms/references")
+	ClassPost     = rdf.NewIRI(d2r.NSSioct + "MicroblogPost")
+	ClassPerson   = rdf.NewIRI(d2r.NSFoaf + "Person")
+)
+
+// CrossPoster receives published content notifications (the
+// Facebook/Flickr/Twitter sinks of §1).
+type CrossPoster interface {
+	Name() string
+	Post(userName, title, mediaURL string) error
+}
+
+// Upload is a client upload request.
+type Upload struct {
+	User     string
+	Kind     string // "photo" or "video"
+	Filename string
+	Title    string
+	// Tags mixes plain keywords and triple tags as typed by the user.
+	Tags    []string
+	TakenAt time.Time
+	// GPS is nil when the device had no fix.
+	GPS *geo.Point
+	// SkipAnnotation suppresses the Fig. 1 pipeline for this upload —
+	// the state legacy content is imported in (see BatchAnnotate).
+	SkipAnnotation bool
+}
+
+// Content is a published content item.
+type Content struct {
+	ID       int64
+	IRI      rdf.Term
+	User     string
+	Kind     string
+	Title    string
+	MediaURL string
+	TakenAt  time.Time
+	GPS      *geo.Point
+
+	// Legacy path outputs.
+	PlainTags   []string
+	TripleTags  []tags.TripleTag
+	ContextTags []tags.TripleTag
+
+	// Semantic path outputs.
+	Language    string
+	Annotations []annotate.Annotation
+	POIs        []annotate.POIResolution
+	CityRef     rdf.Term // Geonames city resource
+}
+
+// AutoAnnotations returns the annotations that were automatically
+// linked (Decision == auto).
+func (c *Content) AutoAnnotations() []annotate.Annotation {
+	var out []annotate.Annotation
+	for _, a := range c.Annotations {
+		if a.Decision == annotate.DecisionAuto {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Platform is the UGC service.
+type Platform struct {
+	mu sync.Mutex
+
+	opts     Options
+	BaseURI  string
+	DB       *reldb.DB
+	Store    *store.Store
+	Ctx      *ctxmgr.Platform
+	Pipeline *annotate.Pipeline
+	TagIndex *tags.Index
+
+	crossPosters  []CrossPoster
+	users         map[string]*User
+	friends       map[string]map[string]bool
+	contents      map[int64]*Content
+	poiRegistry   map[string]annotate.POI
+	regions       map[int64][]*RegionAnnotation
+	nextID        int64
+	nextRelID     int64
+	nextRegionID  int64
+	nextCommentID int64
+
+	// deferred holds queued uploads (limited-connectivity support,
+	// §1.1); Flush publishes them preserving creation timestamps.
+	deferred []Upload
+}
+
+// User is a registered platform user.
+type User struct {
+	Name     string
+	FullName string
+	OpenID   string
+	IRI      rdf.Term
+}
+
+// Options configures a platform.
+type Options struct {
+	BaseURI string
+	// LinkBuddiesExternally additionally links nearby friends to
+	// their external identities (OpenID URLs). The paper evaluated
+	// this via Sindice and turned it OFF for privacy ("only local
+	// linking was retained", §2.2.1) — hence the false default.
+	LinkBuddiesExternally bool
+}
+
+// New creates a platform over a shared triple store (typically the
+// LOD world's store) and a context provider.
+func New(st *store.Store, ctx *ctxmgr.Platform, pipe *annotate.Pipeline, opts Options) *Platform {
+	base := opts.BaseURI
+	if base == "" {
+		base = "http://beta.teamlife.it/"
+	}
+	return &Platform{
+		opts:          opts,
+		BaseURI:       base,
+		DB:            reldb.NewCoppermineDB(),
+		Store:         st,
+		Ctx:           ctx,
+		Pipeline:      pipe,
+		TagIndex:      tags.NewIndex(),
+		users:         map[string]*User{},
+		friends:       map[string]map[string]bool{},
+		contents:      map[int64]*Content{},
+		poiRegistry:   map[string]annotate.POI{},
+		regions:       map[int64][]*RegionAnnotation{},
+		nextID:        1,
+		nextRelID:     1,
+		nextRegionID:  1,
+		nextCommentID: 1,
+	}
+}
+
+// AddCrossPoster registers a cross-posting sink.
+func (p *Platform) AddCrossPoster(cp CrossPoster) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crossPosters = append(p.crossPosters, cp)
+}
+
+// Register creates a user account. OpenID sign-in is modeled by
+// accepting any openID string as the identity assertion (§1: "users
+// can sign-in and avoid registration using their OpenID accounts").
+func (p *Platform) Register(name, fullName, openID string) (*User, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("ugc: user name required")
+	}
+	if _, dup := p.users[name]; dup {
+		return nil, fmt.Errorf("ugc: user %q already exists", name)
+	}
+	id := int64(len(p.users) + 1)
+	u := &User{
+		Name:     name,
+		FullName: fullName,
+		OpenID:   openID,
+		IRI:      rdf.NewIRI(fmt.Sprintf("%scpg148_users/%d", p.BaseURI, id)),
+	}
+	if err := p.DB.Insert("users", reldb.Row{
+		"user_id": id, "user_name": name, "user_fullname": fullName, "user_openid": openID,
+	}); err != nil {
+		return nil, err
+	}
+	p.users[name] = u
+	p.friends[name] = map[string]bool{}
+	p.Store.MustAdd(rdf.Quad{S: u.IRI, P: PredType, O: ClassPerson})
+	p.Store.MustAdd(rdf.Quad{S: u.IRI, P: PredName, O: rdf.NewLiteral(name)})
+	if fullName != "" {
+		p.Store.MustAdd(rdf.Quad{S: u.IRI, P: PredFN, O: rdf.NewLiteral(fullName)})
+	}
+	if p.Ctx != nil {
+		p.Ctx.RegisterUser(name, fullName)
+	}
+	return u, nil
+}
+
+// User returns a registered user.
+func (p *Platform) User(name string) (*User, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	u, ok := p.users[name]
+	return u, ok
+}
+
+// AddFriend records a directed friendship (a knows b), feeding both
+// the relational table and the foaf:knows triples the social-filter
+// queries rely on.
+func (p *Platform) AddFriend(a, b string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ua, ok := p.users[a]
+	if !ok {
+		return fmt.Errorf("ugc: unknown user %q", a)
+	}
+	ub, ok := p.users[b]
+	if !ok {
+		return fmt.Errorf("ugc: unknown user %q", b)
+	}
+	if p.friends[a][b] {
+		return nil
+	}
+	relID := p.nextRelID
+	p.nextRelID++
+	if err := p.DB.Insert("friends", reldb.Row{
+		"rel_id": relID, "user_id": p.userID(a), "friend_id": p.userID(b),
+	}); err != nil {
+		return err
+	}
+	p.friends[a][b] = true
+	p.Store.MustAdd(rdf.Quad{S: ua.IRI, P: PredKnows, O: ub.IRI})
+	return nil
+}
+
+// Friends returns the users a knows, sorted.
+func (p *Platform) Friends(a string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for f := range p.friends[a] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Platform) userID(name string) int64 {
+	// users map insertion assigned ids 1..n in registration order;
+	// recover via DB lookup for robustness.
+	rows, _ := p.DB.Select("users", reldb.Row{"user_name": name})
+	if len(rows) == 1 {
+		return rows[0]["user_id"].(int64)
+	}
+	return 0
+}
+
+// SearchPOIs proxies the context platform's POI provider and records
+// the results so a later poi:recs_id tag can resolve (§2.2.1: the
+// mobile app searches, the user picks, the tag references the pick).
+func (p *Platform) SearchPOIs(pt geo.Point, query string, limit int) []annotate.POI {
+	pois := p.Ctx.SearchPOI(pt, query, limit)
+	p.mu.Lock()
+	for _, poi := range pois {
+		p.poiRegistry[poi.ID] = poi
+	}
+	p.mu.Unlock()
+	return pois
+}
+
+// QueueUpload defers an upload (limited connectivity / battery,
+// §1.1). Flush publishes the queue.
+func (p *Platform) QueueUpload(u Upload) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.deferred = append(p.deferred, u)
+}
+
+// Flush publishes every deferred upload in order, preserving the
+// original creation timestamps. It returns the published contents and
+// the first error (processing stops there).
+func (p *Platform) Flush() ([]*Content, error) {
+	p.mu.Lock()
+	queue := p.deferred
+	p.deferred = nil
+	p.mu.Unlock()
+	var out []*Content
+	for _, u := range queue {
+		c, err := p.Publish(u)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// PendingUploads reports the deferred queue length.
+func (p *Platform) PendingUploads() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.deferred)
+}
+
+// Publish ingests one upload through both the legacy and the semantic
+// paths.
+func (p *Platform) Publish(u Upload) (*Content, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	user, ok := p.users[u.User]
+	if !ok {
+		return nil, fmt.Errorf("ugc: unknown user %q", u.User)
+	}
+	if u.Filename == "" {
+		return nil, fmt.Errorf("ugc: upload needs a filename")
+	}
+	if u.Kind == "" {
+		u.Kind = "photo"
+	}
+
+	id := p.nextID
+	p.nextID++
+	c := &Content{
+		ID:       id,
+		IRI:      rdf.NewIRI(fmt.Sprintf("%scpg148_pictures/%d", p.BaseURI, id)),
+		User:     u.User,
+		Kind:     u.Kind,
+		Title:    u.Title,
+		MediaURL: fmt.Sprintf("%smedia/%s", p.BaseURI, u.Filename),
+		TakenAt:  u.TakenAt,
+		GPS:      u.GPS,
+	}
+
+	// Separate the user's triple tags from plain keywords.
+	tripleTags, plain := tags.Split(u.Tags)
+	c.TripleTags = tripleTags
+	c.PlainTags = plain
+
+	// ---- Context analysis (§1.1 / §2.2.1) ----
+	var friendNames []string
+	for f := range p.friends[u.User] {
+		friendNames = append(friendNames, f)
+	}
+	sort.Strings(friendNames)
+	var ctx ctxmgr.Context
+	if u.GPS != nil && p.Ctx != nil {
+		ctx = p.Ctx.Contextualize(u.User, friendNames, *u.GPS, u.TakenAt)
+		c.ContextTags = ctxmgr.ContextTags(ctx)
+		if ctx.Location != nil {
+			c.CityRef = ctx.Location.Geonames
+		}
+	}
+
+	// ---- Relational row (the legacy store of record) ----
+	if err := p.DB.Insert("pictures", reldb.Row{
+		"pid": id, "filename": u.Filename, "title": u.Title,
+		"keywords": strings.Join(plain, " "),
+		"owner_id": p.userID(u.User), "ctime": u.TakenAt.Unix(),
+		"approved": true,
+		"lat":      latOf(u.GPS), "lon": lonOf(u.GPS),
+	}); err != nil {
+		return nil, err
+	}
+
+	// ---- Baseline tag index ----
+	allTriple := append(append([]tags.TripleTag{}, tripleTags...), c.ContextTags...)
+	p.TagIndex.Add(contentKey(id), allTriple, plain)
+
+	// ---- Semantic triples ----
+	tx := p.Store.Begin()
+	add := func(pred, obj rdf.Term) { tx.Add(rdf.Quad{S: c.IRI, P: pred, O: obj}) }
+	add(PredType, ClassPost)
+	add(PredImageData, rdf.NewLiteral(c.MediaURL))
+	add(PredMaker, user.IRI)
+	add(PredDate, rdf.NewTypedLiteral(u.TakenAt.UTC().Format(time.RFC3339), rdf.XSDDateTime))
+	if u.Title != "" {
+		add(PredTitle, rdf.NewLiteral(u.Title))
+	}
+	for _, kw := range plain {
+		add(PredSubject, rdf.NewLiteral(kw))
+	}
+	if u.GPS != nil {
+		add(PredGeometry, rdf.NewTypedLiteral(u.GPS.WKT(), rdf.VirtRDFGeometry))
+	}
+	// Location analysis: the Geonames city reference is guaranteed by
+	// the locationing process (§2.2.1).
+	if !c.CityRef.IsZero() {
+		add(PredSpatial, c.CityRef)
+	}
+	// Nearby friends become local descriptive resources; external
+	// linking is off by default for privacy (§2.2.1: "this further
+	// automatic process was turned off and only local linking was
+	// retained").
+	for _, b := range ctx.Buddies {
+		bu, ok := p.users[b.UserName]
+		if !ok {
+			continue
+		}
+		add(PredNearby, bu.IRI)
+		if p.opts.LinkBuddiesExternally && bu.OpenID != "" {
+			tx.Add(rdf.Quad{S: bu.IRI, P: rdf.NewIRI(rdf.RDFSSeeAlso), O: rdf.NewIRI(bu.OpenID)})
+		}
+	}
+	// Explicit POI tags resolve to DBpedia resources.
+	for _, tt := range tripleTags {
+		if tt.Namespace == tags.NSPOI && tt.Predicate == "recs_id" {
+			poi, ok := p.poiRegistry[tt.Value]
+			if !ok {
+				continue
+			}
+			res := p.Pipeline.ResolvePOI(poi)
+			c.POIs = append(c.POIs, res)
+			if !res.Resource.IsZero() {
+				add(PredAbout, res.Resource)
+			}
+		}
+	}
+	if _, _, err := tx.Commit(); err != nil {
+		return nil, err
+	}
+
+	// ---- Automatic semantic tagging (Fig. 1) ----
+	if p.Pipeline != nil && !u.SkipAnnotation {
+		result := p.Pipeline.Annotate(u.Title, plain)
+		c.Language = result.Language
+		c.Annotations = result.Annotations
+		tx2 := p.Store.Begin()
+		for _, a := range result.AutoAnnotations() {
+			tx2.Add(rdf.Quad{S: c.IRI, P: PredAbout, O: a.Resource})
+		}
+		if _, _, err := tx2.Commit(); err != nil {
+			return nil, err
+		}
+	}
+
+	p.contents[id] = c
+
+	// ---- Cross-posting (fire and record errors, never fail upload) ----
+	for _, cp := range p.crossPosters {
+		_ = cp.Post(u.User, u.Title, c.MediaURL)
+	}
+	return c, nil
+}
+
+// Rate sets a 1..5 star rating, updating the relational row and the
+// rev:rating triple (replacing any previous one).
+func (p *Platform) Rate(contentID int64, stars int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if stars < 1 || stars > 5 {
+		return fmt.Errorf("ugc: rating %d out of range 1..5", stars)
+	}
+	c, ok := p.contents[contentID]
+	if !ok {
+		return fmt.Errorf("ugc: unknown content %d", contentID)
+	}
+	if err := p.DB.Update("pictures", contentID, reldb.Row{"pic_rating": int64(stars)}); err != nil {
+		return err
+	}
+	// Replace the triple.
+	for _, old := range p.Store.Objects(c.IRI, PredRating) {
+		p.Store.Remove(rdf.Quad{S: c.IRI, P: PredRating, O: old})
+	}
+	p.Store.MustAdd(rdf.Quad{S: c.IRI, P: PredRating, O: rdf.NewInteger(int64(stars))})
+	return nil
+}
+
+// Content returns a published content item.
+func (p *Platform) Content(id int64) (*Content, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.contents[id]
+	return c, ok
+}
+
+// Contents returns all published content IDs, sorted.
+func (p *Platform) Contents() []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int64, 0, len(p.contents))
+	for id := range p.contents {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KeywordSearch is the baseline retrieval path: AND keyword search
+// over the folksonomy (§1.2's "wild-free vocabulary" search).
+func (p *Platform) KeywordSearch(keywords ...string) []int64 {
+	ids := p.TagIndex.ByKeywords(keywords...)
+	return parseKeys(ids)
+}
+
+func contentKey(id int64) string { return fmt.Sprintf("%d", id) }
+
+func parseKeys(keys []string) []int64 {
+	out := make([]int64, 0, len(keys))
+	for _, k := range keys {
+		var id int64
+		fmt.Sscanf(k, "%d", &id)
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func latOf(p *geo.Point) any {
+	if p == nil {
+		return nil
+	}
+	return p.Lat
+}
+
+func lonOf(p *geo.Point) any {
+	if p == nil {
+		return nil
+	}
+	return p.Lon
+}

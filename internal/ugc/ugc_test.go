@@ -1,0 +1,313 @@
+package ugc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/rdf"
+	"lodify/internal/resolver"
+	"lodify/internal/sparql"
+)
+
+var (
+	molePt = geo.Point{Lon: 7.6934, Lat: 45.0690}
+	now    = time.Date(2011, 9, 17, 18, 30, 0, 0, time.UTC)
+)
+
+func newPlatform(t testing.TB) (*Platform, *lod.World) {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	pipe := annotate.NewPipeline(w.Store, resolver.DefaultBroker(w.Store), annotate.DefaultConfig())
+	p := New(w.Store, ctx, pipe, Options{})
+	return p, w
+}
+
+func TestRegisterAndFriends(t *testing.T) {
+	p, _ := newPlatform(t)
+	u, err := p.Register("oscar", "Oscar Rodriguez", "https://openid.example/oscar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.IRI.IsZero() {
+		t.Fatal("no user IRI")
+	}
+	if _, err := p.Register("oscar", "", ""); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	p.Register("walter", "Walter Goix", "")
+	if err := p.AddFriend("walter", "oscar"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddFriend("walter", "oscar"); err != nil {
+		t.Fatal("idempotent AddFriend failed")
+	}
+	if err := p.AddFriend("walter", "nobody"); err == nil {
+		t.Fatal("friend with unknown user accepted")
+	}
+	if got := p.Friends("walter"); len(got) != 1 || got[0] != "oscar" {
+		t.Fatalf("friends = %v", got)
+	}
+	// foaf:knows triple exists.
+	wu, _ := p.User("walter")
+	ou, _ := p.User("oscar")
+	if !p.Store.Has(rdf.Quad{S: wu.IRI, P: PredKnows, O: ou.IRI}) {
+		t.Fatal("foaf:knows triple missing")
+	}
+}
+
+func TestPublishRunsBothPaths(t *testing.T) {
+	p, w := newPlatform(t)
+	p.Register("walter", "Walter Goix", "")
+	p.Register("oscar", "Oscar R", "")
+	p.AddFriend("walter", "oscar")
+	p.Ctx.UpdatePresence("oscar", geo.Point{Lon: 7.694, Lat: 45.0695}, now)
+
+	c, err := p.Publish(Upload{
+		User: "walter", Filename: "mole.jpg",
+		Title: "Tramonto sulla Mole Antonelliana",
+		Tags:  []string{"torino", "sunset", "place:is=crowded"},
+		GPS:   &molePt, TakenAt: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Legacy path: context tags generated.
+	if len(c.ContextTags) == 0 {
+		t.Fatal("no context tags")
+	}
+	if len(c.PlainTags) != 2 || len(c.TripleTags) != 1 {
+		t.Fatalf("tag split: %v / %v", c.PlainTags, c.TripleTags)
+	}
+	if got := p.KeywordSearch("sunset"); len(got) != 1 || got[0] != c.ID {
+		t.Fatalf("keyword search = %v", got)
+	}
+
+	// Semantic path: core triples present.
+	if !p.Store.Has(rdf.Quad{S: c.IRI, P: PredType, O: ClassPost}) {
+		t.Fatal("type triple missing")
+	}
+	if p.Store.FirstObject(c.IRI, PredGeometry).IsZero() {
+		t.Fatal("geometry triple missing")
+	}
+	gnTurin, _ := w.GeonamesIRI("Turin")
+	if p.Store.FirstObject(c.IRI, PredSpatial) != gnTurin {
+		t.Fatal("Geonames city link missing")
+	}
+	// Nearby friend resource linked locally.
+	ou, _ := p.User("oscar")
+	if !p.Store.Has(rdf.Quad{S: c.IRI, P: PredNearby, O: ou.IRI}) {
+		t.Fatal("nearby buddy link missing")
+	}
+	// Automatic annotation linked the Mole.
+	about := p.Store.Objects(c.IRI, PredAbout)
+	foundMole := false
+	for _, a := range about {
+		if a.Value() == lod.DBpediaResource+"Mole_Antonelliana" {
+			foundMole = true
+		}
+	}
+	if !foundMole {
+		t.Fatalf("auto annotation missing: %v", about)
+	}
+	if c.Language != "it" {
+		t.Fatalf("language = %q", c.Language)
+	}
+}
+
+func TestPublishWithoutGPS(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	c, err := p.Publish(Upload{User: "walter", Filename: "x.jpg", Title: "no gps", TakenAt: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.ContextTags) != 0 || !c.CityRef.IsZero() {
+		t.Fatalf("context without GPS: %+v", c)
+	}
+	if !p.Store.FirstObject(c.IRI, PredGeometry).IsZero() {
+		t.Fatal("geometry emitted without GPS")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	p, _ := newPlatform(t)
+	if _, err := p.Publish(Upload{User: "ghost", Filename: "x.jpg"}); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	p.Register("walter", "", "")
+	if _, err := p.Publish(Upload{User: "walter"}); err == nil {
+		t.Fatal("missing filename accepted")
+	}
+}
+
+func TestPOITagResolution(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	// The mobile flow: search POIs, pick one, tag the upload.
+	pois := p.SearchPOIs(molePt, "Mole", 3)
+	if len(pois) == 0 {
+		t.Fatal("no POIs")
+	}
+	c, err := p.Publish(Upload{
+		User: "walter", Filename: "m.jpg", Title: "bella giornata",
+		Tags: []string{fmt.Sprintf("poi:recs_id=%s", pois[0].ID)},
+		GPS:  &molePt, TakenAt: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POIs) != 1 {
+		t.Fatalf("POIs = %+v", c.POIs)
+	}
+	if c.POIs[0].Resource.Value() != lod.DBpediaResource+"Mole_Antonelliana" {
+		t.Fatalf("POI resource = %v", c.POIs[0].Resource)
+	}
+	if !p.Store.Has(rdf.Quad{S: c.IRI, P: PredAbout, O: c.POIs[0].Resource}) {
+		t.Fatal("POI triple missing")
+	}
+}
+
+func TestPOITagUnknownIDIgnored(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	c, err := p.Publish(Upload{
+		User: "walter", Filename: "m.jpg",
+		Tags: []string{"poi:recs_id=doesnotexist"},
+		GPS:  &molePt, TakenAt: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POIs) != 0 {
+		t.Fatalf("POIs = %+v", c.POIs)
+	}
+}
+
+func TestRate(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	c, _ := p.Publish(Upload{User: "walter", Filename: "m.jpg", TakenAt: now})
+	if err := p.Rate(c.ID, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rate(c.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	ratings := p.Store.Objects(c.IRI, PredRating)
+	if len(ratings) != 1 || ratings[0].Value() != "3" {
+		t.Fatalf("ratings = %v (re-rating must replace)", ratings)
+	}
+	if err := p.Rate(c.ID, 9); err == nil {
+		t.Fatal("out of range rating accepted")
+	}
+	if err := p.Rate(999, 3); err == nil {
+		t.Fatal("unknown content accepted")
+	}
+}
+
+func TestDeferredUploadQueue(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	t0 := now.Add(-3 * time.Hour)
+	p.QueueUpload(Upload{User: "walter", Filename: "a.jpg", Title: "first", TakenAt: t0})
+	p.QueueUpload(Upload{User: "walter", Filename: "b.jpg", Title: "second", TakenAt: now})
+	if p.PendingUploads() != 2 {
+		t.Fatalf("pending = %d", p.PendingUploads())
+	}
+	published, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(published) != 2 || p.PendingUploads() != 0 {
+		t.Fatalf("published = %d, pending = %d", len(published), p.PendingUploads())
+	}
+	// Original timestamps preserved.
+	if !published[0].TakenAt.Equal(t0) {
+		t.Fatalf("timestamp = %v", published[0].TakenAt)
+	}
+}
+
+type recordingPoster struct {
+	name  string
+	posts []string
+}
+
+func (r *recordingPoster) Name() string { return r.name }
+func (r *recordingPoster) Post(user, title, url string) error {
+	r.posts = append(r.posts, user+"|"+title)
+	return nil
+}
+
+func TestCrossPosting(t *testing.T) {
+	p, _ := newPlatform(t)
+	p.Register("walter", "", "")
+	fb := &recordingPoster{name: "facebook"}
+	tw := &recordingPoster{name: "twitter"}
+	p.AddCrossPoster(fb)
+	p.AddCrossPoster(tw)
+	p.Publish(Upload{User: "walter", Filename: "m.jpg", Title: "hello", TakenAt: now})
+	if len(fb.posts) != 1 || len(tw.posts) != 1 {
+		t.Fatalf("cross posts = %v / %v", fb.posts, tw.posts)
+	}
+}
+
+func TestPaperQueryOverLivePlatform(t *testing.T) {
+	// The §2.3 social+rating query must work over content published
+	// through the real ingestion path.
+	p, _ := newPlatform(t)
+	p.Register("oscar", "Oscar R", "")
+	p.Register("walter", "Walter Goix", "")
+	p.Register("carmen", "Carmen C", "")
+	p.AddFriend("walter", "oscar")
+
+	pub := func(user, title string, pt geo.Point, stars int) int64 {
+		c, err := p.Publish(Upload{User: user, Filename: user + ".jpg", Title: title, GPS: &pt, TakenAt: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Rate(c.ID, stars)
+		return c.ID
+	}
+	near1 := pub("walter", "Mole di sera", geo.Point{Lon: 7.694, Lat: 45.0695}, 5)
+	pub("carmen", "Mole di giorno", geo.Point{Lon: 7.693, Lat: 45.0685}, 4) // not oscar's friend
+	pub("walter", "Colosseo", geo.Point{Lon: 12.4922, Lat: 41.8902}, 5)     // Rome
+
+	e := sparql.NewEngine(p.Store)
+	res, err := e.Query(`
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX comm: <http://comm.semanticweb.org/core.owl#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+SELECT DISTINCT ?link WHERE {
+  ?monument rdfs:label "Mole Antonelliana"@it .
+  ?monument geo:geometry ?sourceGEO .
+  ?resource geo:geometry ?location .
+  ?resource a sioct:MicroblogPost .
+  ?resource comm:image-data ?link .
+  ?resource foaf:maker ?user .
+  ?oscar foaf:name "oscar" .
+  ?user foaf:knows ?oscar .
+  ?resource rev:rating ?points .
+  FILTER( bif:st_intersects( ?location, ?sourceGEO, 0.3 ) ) .
+}
+ORDER BY DESC(?points)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := res.Bindings("link")
+	if len(links) != 1 {
+		t.Fatalf("links = %v", links)
+	}
+	c, _ := p.Content(near1)
+	if links[0].Value() != c.MediaURL {
+		t.Fatalf("link = %v, want %s", links[0], c.MediaURL)
+	}
+}

@@ -1,0 +1,124 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+	"lodify/internal/ugc"
+)
+
+func TestStatsEndpointGroupsByCity(t *testing.T) {
+	s, p := server(t) // one Turin content exists
+	rome := geo.Point{Lon: 12.4964, Lat: 41.9028}
+	p.Publish(ugc.Upload{User: "oscar", Filename: "r1.jpg", Title: "Roma 1", GPS: &rome, TakenAt: now})
+	p.Publish(ugc.Upload{User: "oscar", Filename: "r2.jpg", Title: "Roma 2", GPS: &rome, TakenAt: now})
+
+	rec := get(t, s, "/api/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+	var rows []StatsRow
+	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Rome has 2, Turin 1; ordered by count desc.
+	if rows[0].City != "Rome" || rows[0].N != 2 {
+		t.Fatalf("first row = %+v", rows[0])
+	}
+	if rows[1].City != "Turin" || rows[1].N != 1 {
+		t.Fatalf("second row = %+v", rows[1])
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	s, _ := server(t)
+	// Unconfigured: 501.
+	req := httptest.NewRequest(http.MethodPost, "/admin/snapshot", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("unconfigured code = %d", rec.Code)
+	}
+	// GET: 405.
+	if rec := get(t, s, "/admin/snapshot", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET code = %d", rec.Code)
+	}
+	// Configured: writes the file.
+	path := filepath.Join(t.TempDir(), "snap.nq")
+	s.SnapshotPath = path
+	req = httptest.NewRequest(http.MethodPost, "/admin/snapshot", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "MicroblogPost") {
+		t.Fatal("snapshot missing platform triples")
+	}
+}
+
+func TestSPARQLUpdateEndpoint(t *testing.T) {
+	s, p := server(t)
+	body := `PREFIX ex: <http://ex.org/> INSERT DATA { ex:x ex:p "via-http" }`
+	req := httptest.NewRequest(http.MethodPost, "/sparql-update", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"inserted":1`) {
+		t.Fatalf("code=%d body=%s", rec.Code, rec.Body.String())
+	}
+	if got := len(p.Store.TextSearch("via-http")); got != 1 {
+		t.Fatalf("update not applied: %d", got)
+	}
+	// GET refused; bad update refused.
+	if rec := get(t, s, "/sparql-update", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET code = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/sparql-update", strings.NewReader("garbage"))
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad update code = %d", rec.Code)
+	}
+}
+
+func TestDescribeDereference(t *testing.T) {
+	s, p := server(t)
+	c, _ := p.Content(1)
+	rec := get(t, s, "/describe?iri="+c.IRI.Value(), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/turtle" {
+		t.Fatalf("content type = %s", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "sioct:MicroblogPost") && !strings.Contains(body, "MicroblogPost") {
+		t.Fatalf("turtle = %s", body)
+	}
+	// N-Triples variant parses back.
+	rec = get(t, s, "/describe?format=nt&iri="+c.IRI.Value(), nil)
+	if _, err := rdf.ParseNTriples(rec.Body.String()); err != nil {
+		t.Fatalf("nt reparse: %v", err)
+	}
+	// Unknown resource 404s; missing iri 400s.
+	if rec := get(t, s, "/describe?iri=http://nope.example/x", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown code = %d", rec.Code)
+	}
+	if rec := get(t, s, "/describe", nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing code = %d", rec.Code)
+	}
+}

@@ -1,0 +1,300 @@
+// Package workload generates deterministic user-generated-content
+// corpora and retrieval intents for the benchmark harness. It stands
+// in for the real photo uploads of the paper's user base: titles are
+// drawn from per-language templates over the LOD world's landmarks,
+// GPS positions jitter around the landmark, tags mix the content
+// language and English, and every content records its ground-truth
+// subject so retrieval experiments (E7) can compute recall exactly.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lodify/internal/geo"
+	"lodify/internal/lod"
+	"lodify/internal/ugc"
+)
+
+// Spec parameterizes a corpus.
+type Spec struct {
+	Users    int
+	Contents int
+	// FriendsPerUser is the ring degree of the social graph; a few
+	// random rewires approximate a small world.
+	FriendsPerUser int
+	// RatedFraction of contents get a 1..5 rating.
+	RatedFraction float64
+	Seed          int64
+}
+
+// DefaultSpec is the reference corpus.
+func DefaultSpec() Spec {
+	return Spec{Users: 20, Contents: 300, FriendsPerUser: 4, RatedFraction: 0.7, Seed: 7}
+}
+
+// Record is the ground truth for one generated content.
+type Record struct {
+	ID       int64
+	User     string
+	Lang     string
+	City     string
+	Landmark string // "" when the content is about the city at large
+	Title    string
+	Tags     []string
+}
+
+// Corpus is the generated workload.
+type Corpus struct {
+	Spec    Spec
+	Users   []string
+	Records []Record
+	// ByLandmark indexes record positions by landmark name.
+	ByLandmark map[string][]int
+}
+
+// titleTemplates produce titles mentioning a landmark (%s).
+var titleTemplates = map[string][]string{
+	"en": {
+		"Sunset over %s",
+		"A beautiful day at %s",
+		"Walking around %s with friends",
+		"%s by night",
+	},
+	"it": {
+		"Tramonto su %s",
+		"Una bella giornata a %s",
+		"Passeggiata intorno a %s con gli amici",
+		"%s di notte",
+	},
+	"fr": {
+		"Coucher du soleil sur %s",
+		"Une belle journée à %s",
+		"Promenade autour de %s avec les amis",
+	},
+	"es": {
+		"Puesta de sol sobre %s",
+		"Un hermoso día en %s",
+		"Paseando por %s con los amigos",
+	},
+	"de": {
+		"Sonnenuntergang über %s",
+		"Ein schöner Tag bei %s",
+		"Spaziergang um %s mit Freunden",
+	},
+}
+
+// noEntityTitles have no proper nouns (exercise the TF fallback).
+var noEntityTitles = map[string][]string{
+	"en": {"what a wonderful evening", "great food and good friends"},
+	"it": {"che serata meravigliosa", "ottimo cibo e buoni amici"},
+	"fr": {"quelle soirée merveilleuse"},
+	"es": {"qué tarde tan maravillosa"},
+	"de": {"was für ein wunderbarer abend"},
+}
+
+var langs = []string{"en", "it", "fr", "es", "de"}
+
+// Generate registers users, wires a small-world friend graph and
+// publishes the corpus through the real platform ingestion path.
+func Generate(p *ugc.Platform, w *lod.World, spec Spec) (*Corpus, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c := &Corpus{Spec: spec, ByLandmark: map[string][]int{}}
+
+	for i := 0; i < spec.Users; i++ {
+		name := fmt.Sprintf("user%02d", i)
+		if _, err := p.Register(name, fmt.Sprintf("User %02d", i), ""); err != nil {
+			return nil, err
+		}
+		c.Users = append(c.Users, name)
+	}
+	// Ring lattice + random rewires.
+	n := len(c.Users)
+	for i := 0; i < n; i++ {
+		for k := 1; k <= spec.FriendsPerUser/2 && k < n; k++ {
+			j := (i + k) % n
+			if rng.Float64() < 0.1 {
+				j = rng.Intn(n)
+			}
+			if j != i {
+				if err := p.AddFriend(c.Users[i], c.Users[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Scatter user presence around the cities so the context platform
+	// can detect nearby buddies (people:fn context tags, §1.1).
+	base := time.Date(2011, 6, 1, 10, 0, 0, 0, time.UTC)
+	for i, u := range c.Users {
+		city := w.Cities[i%len(w.Cities)]
+		p.Ctx.UpdatePresence(u, jitter(rng, city.Point, 0.01), base)
+	}
+
+	for i := 0; i < spec.Contents; i++ {
+		user := c.Users[rng.Intn(n)]
+		lang := langs[rng.Intn(len(langs))]
+		city := w.Cities[rng.Intn(len(w.Cities))]
+
+		rec := Record{User: user, Lang: lang, City: city.Name}
+		var pt geo.Point
+		switch {
+		case len(city.Landmarks) > 0 && rng.Float64() < 0.7:
+			lm := city.Landmarks[rng.Intn(len(city.Landmarks))]
+			rec.Landmark = lm.Name
+			label := lm.Labels[lang]
+			if label == "" {
+				label = lm.Name
+			}
+			tpls := titleTemplates[lang]
+			rec.Title = fmt.Sprintf(tpls[rng.Intn(len(tpls))], label)
+			pt = jitter(rng, lm.Point, 0.01)
+			// Tags in the content language (the folksonomy problem:
+			// an English keyword search misses Italian tags).
+			rec.Tags = []string{fold(label)}
+			if rng.Float64() < 0.4 {
+				rec.Tags = append(rec.Tags, fold(city.Labels[lang]))
+			}
+		case rng.Float64() < 0.5:
+			label := city.Labels[lang]
+			if label == "" {
+				label = city.Name
+			}
+			tpls := titleTemplates[lang]
+			rec.Title = fmt.Sprintf(tpls[rng.Intn(len(tpls))], label)
+			pt = jitter(rng, city.Point, 0.05)
+			rec.Tags = []string{fold(label)}
+		default:
+			tpls := noEntityTitles[lang]
+			rec.Title = tpls[rng.Intn(len(tpls))]
+			pt = jitter(rng, city.Point, 0.05)
+		}
+
+		// The uploader is evidently at the shot's location: refresh
+		// their presence so later co-located uploads by friends pick
+		// them up as nearby buddies.
+		takenAt := base.Add(time.Duration(i) * time.Minute)
+		p.Ctx.UpdatePresence(user, pt, takenAt)
+
+		content, err := p.Publish(ugc.Upload{
+			User:     user,
+			Filename: fmt.Sprintf("w%05d.jpg", i),
+			Title:    rec.Title,
+			Tags:     rec.Tags,
+			GPS:      &pt,
+			TakenAt:  takenAt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec.ID = content.ID
+		if rng.Float64() < spec.RatedFraction {
+			if err := p.Rate(content.ID, 1+rng.Intn(5)); err != nil {
+				return nil, err
+			}
+		}
+		c.Records = append(c.Records, rec)
+		if rec.Landmark != "" {
+			c.ByLandmark[rec.Landmark] = append(c.ByLandmark[rec.Landmark], len(c.Records)-1)
+		}
+	}
+	return c, nil
+}
+
+func jitter(rng *rand.Rand, p geo.Point, r float64) geo.Point {
+	return geo.Point{
+		Lon: p.Lon + (rng.Float64()*2-1)*r,
+		Lat: p.Lat + (rng.Float64()*2-1)*r,
+	}
+}
+
+// fold lowercases tags the way users type them.
+func fold(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			r += 'a' - 'A'
+		}
+		if r == ' ' {
+			// users rarely tag multiword phrases; keep first word only
+			break
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// RelevantTo returns the ground-truth relevant content IDs for a
+// landmark intent.
+func (c *Corpus) RelevantTo(landmark string) []int64 {
+	var out []int64
+	for _, i := range c.ByLandmark[landmark] {
+		out = append(out, c.Records[i].ID)
+	}
+	return out
+}
+
+// Intent is one retrieval intent for E7: the user wants content about
+// a landmark, expressed as an English keyword on one side and as a
+// semantic geo query on the other.
+type Intent struct {
+	Landmark string
+	// KeywordQuery is what a keyword-searching user would type.
+	KeywordQuery string
+	// Relevant is the ground truth.
+	Relevant []int64
+}
+
+// Intents derives intents for every landmark with at least minDocs
+// relevant contents.
+func (c *Corpus) Intents(w *lod.World, minDocs int) []Intent {
+	var out []Intent
+	for _, city := range w.Cities {
+		for _, lm := range city.Landmarks {
+			rel := c.RelevantTo(lm.Name)
+			if len(rel) < minDocs {
+				continue
+			}
+			kw := lm.Labels["en"]
+			if kw == "" {
+				kw = lm.Name
+			}
+			out = append(out, Intent{
+				Landmark:     lm.Name,
+				KeywordQuery: fold(kw),
+				Relevant:     rel,
+			})
+		}
+	}
+	return out
+}
+
+// PrecisionRecall computes precision and recall of got against the
+// relevant ground truth.
+func PrecisionRecall(got, relevant []int64) (precision, recall float64) {
+	if len(got) == 0 {
+		if len(relevant) == 0 {
+			return 1, 1
+		}
+		return 0, 0
+	}
+	rel := map[int64]bool{}
+	for _, id := range relevant {
+		rel[id] = true
+	}
+	hit := 0
+	for _, id := range got {
+		if rel[id] {
+			hit++
+		}
+	}
+	precision = float64(hit) / float64(len(got))
+	if len(relevant) == 0 {
+		recall = 1
+	} else {
+		recall = float64(hit) / float64(len(relevant))
+	}
+	return precision, recall
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/ugc"
+)
+
+func build(t testing.TB, spec Spec) (*ugc.Platform, *lod.World, *Corpus) {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	pipe := annotate.NewPipeline(w.Store, resolver.DefaultBroker(w.Store), annotate.DefaultConfig())
+	p := ugc.New(w.Store, ctx, pipe, ugc.Options{})
+	c, err := Generate(p, w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, w, c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Users: 5, Contents: 40, FriendsPerUser: 2, RatedFraction: 0.5, Seed: 3}
+	_, _, a := build(t, spec)
+	_, _, b := build(t, spec)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].Title != b.Records[i].Title || a.Records[i].User != b.Records[i].User {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestGeneratePublishesEverything(t *testing.T) {
+	spec := Spec{Users: 6, Contents: 50, FriendsPerUser: 2, RatedFraction: 1, Seed: 1}
+	p, _, c := build(t, spec)
+	if len(p.Contents()) != spec.Contents {
+		t.Fatalf("published = %d", len(p.Contents()))
+	}
+	if len(c.Users) != spec.Users {
+		t.Fatalf("users = %d", len(c.Users))
+	}
+	// Everyone has at least one friend.
+	for _, u := range c.Users {
+		if len(p.Friends(u)) == 0 {
+			t.Fatalf("user %s has no friends", u)
+		}
+	}
+}
+
+func TestGroundTruthIndexes(t *testing.T) {
+	_, w, c := build(t, Spec{Users: 8, Contents: 120, FriendsPerUser: 2, RatedFraction: 0.5, Seed: 2})
+	total := 0
+	for lm, idxs := range c.ByLandmark {
+		total += len(idxs)
+		for _, i := range idxs {
+			if c.Records[i].Landmark != lm {
+				t.Fatalf("index mismatch at %d", i)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no landmark contents generated")
+	}
+	intents := c.Intents(w, 2)
+	if len(intents) == 0 {
+		t.Fatal("no intents derived")
+	}
+	for _, in := range intents {
+		if len(in.Relevant) < 2 || in.KeywordQuery == "" {
+			t.Fatalf("bad intent %+v", in)
+		}
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	p, r := PrecisionRecall([]int64{1, 2, 3}, []int64{2, 3, 4, 5})
+	if p != 2.0/3.0 || r != 0.5 {
+		t.Fatalf("p=%f r=%f", p, r)
+	}
+	p, r = PrecisionRecall(nil, nil)
+	if p != 1 || r != 1 {
+		t.Fatalf("empty/empty = %f %f", p, r)
+	}
+	p, r = PrecisionRecall(nil, []int64{1})
+	if p != 0 || r != 0 {
+		t.Fatalf("miss = %f %f", p, r)
+	}
+	p, r = PrecisionRecall([]int64{1}, nil)
+	if p != 0 || r != 1 {
+		t.Fatalf("junk = %f %f", p, r)
+	}
+}
+
+func TestE7ShapeSemanticBeatsKeywordRecall(t *testing.T) {
+	// The paper's headline claim: keyword search over free-vocabulary
+	// tags misses content; semantic retrieval finds it.
+	p, w, c := build(t, Spec{Users: 10, Contents: 200, FriendsPerUser: 2, RatedFraction: 0.5, Seed: 11})
+	intents := c.Intents(w, 3)
+	if len(intents) == 0 {
+		t.Skip("no dense intents at this corpus size")
+	}
+	var kwRecall, semRecall float64
+	for _, in := range intents {
+		kw := p.KeywordSearch(in.KeywordQuery)
+		_, r1 := PrecisionRecall(kw, in.Relevant)
+		kwRecall += r1
+
+		// Semantic retrieval: geo query around the landmark.
+		lmIRI, _ := w.DBpediaIRI(in.Landmark)
+		pt, ok := p.Store.GeometryOf(lmIRI)
+		if !ok {
+			t.Fatalf("no geometry for %s", in.Landmark)
+		}
+		var sem []int64
+		for _, subj := range p.Store.GeoWithin(pt, 0.05) {
+			var id int64
+			if n, _ := fmtSscan(subj.Value(), p.BaseURI+"cpg148_pictures/"); n > 0 {
+				id = n
+				sem = append(sem, id)
+			}
+		}
+		_, r2 := PrecisionRecall(sem, in.Relevant)
+		semRecall += r2
+	}
+	kwRecall /= float64(len(intents))
+	semRecall /= float64(len(intents))
+	if semRecall <= kwRecall {
+		t.Fatalf("semantic recall %.2f should beat keyword recall %.2f", semRecall, kwRecall)
+	}
+	if semRecall < 0.9 {
+		t.Fatalf("semantic recall = %.2f, want >= 0.9", semRecall)
+	}
+}
+
+// fmtSscan extracts the numeric suffix of an IRI with the given
+// prefix.
+func fmtSscan(iri, prefix string) (int64, bool) {
+	if len(iri) <= len(prefix) || iri[:len(prefix)] != prefix {
+		return 0, false
+	}
+	var id int64
+	for _, ch := range iri[len(prefix):] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		id = id*10 + int64(ch-'0')
+	}
+	return id, true
+}
