@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race lint bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Project-specific static analysis: rawiri, locksafe, ctxflow, errdrop.
+# Exits non-zero on any finding; see DESIGN.md §7 for the rules.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/lodlint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build lint race

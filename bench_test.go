@@ -6,6 +6,7 @@ package lodify
 // asserted by internal/experiments tests).
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -236,14 +237,14 @@ func BenchmarkE9FederationPush(b *testing.B) {
 	node := federation.NewNode("alice.example", e.Platform, net)
 	sink := &pushSink{}
 	net.Register("sink.example", sink)
-	if err := federation.SubscribeRemote(net.Client(), "http://alice.example/hub",
+	if err := federation.SubscribeRemote(context.Background(), net.Client(), "http://alice.example/hub",
 		node.TopicURL(), "http://sink.example/cb"); err != nil {
 		b.Fatal(err)
 	}
 	user := e.Corpus.Users[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := node.PublishContent(ugc.Upload{
+		_, err := node.PublishContent(context.Background(), ugc.Upload{
 			User: user, Filename: fmt.Sprintf("b%09d.jpg", i),
 			TakenAt: time.Date(2011, 9, 17, 18, 0, 0, 0, time.UTC),
 		})
@@ -279,6 +280,6 @@ func BenchmarkE10AblatedAnnotation(b *testing.B) {
 	pipe := annotate.NewPipeline(e.World.Store, e.Broker.WithoutResolver("geonames"), annotate.DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pipe.Annotate("Tramonto sulla Mole Antonelliana a Torino", []string{"torino"})
+		pipe.Annotate(context.Background(), "Tramonto sulla Mole Antonelliana a Torino", []string{"torino"})
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 	cfg.JaroWinklerThreshold = *jw
 	pipe := annotate.NewPipeline(world.Store, resolver.DefaultBroker(world.Store), cfg)
 
-	res := pipe.Annotate(title, tags)
+	res := pipe.Annotate(context.Background(), title, tags)
 	fmt.Printf("title:    %q\n", title)
 	fmt.Printf("language: %s\n", orDash(res.Language))
 	fmt.Printf("words:    %s\n", strings.Join(res.Words, " | "))

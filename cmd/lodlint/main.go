@@ -1,0 +1,92 @@
+// Command lodlint runs the project-specific static analysis suite
+// (internal/analysis) over the module: rawiri, locksafe, ctxflow and
+// errdrop. It exits 1 when any analyzer reports a finding and 2 on
+// load/type-check failure, making it suitable as a CI gate (see
+// `make lint` and .github/workflows/ci.yml).
+//
+// Usage:
+//
+//	lodlint [-json] [-tests] [-only rawiri,errdrop] [-list] [packages]
+//
+// Packages default to ./... relative to the module root; the tool
+// may be invoked from any directory inside the module.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lodify/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "lodlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := analysis.Load(analysis.LoadConfig{IncludeTests: *tests}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lodlint: %v\n", err)
+		os.Exit(2)
+	}
+	hardErrs := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "lodlint: typecheck %s: %v\n", pkg.Path, terr)
+			hardErrs++
+		}
+	}
+	if hardErrs > 0 {
+		fmt.Fprintf(os.Stderr, "lodlint: %d type error(s); fix the build first (go build ./...)\n", hardErrs)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "lodlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "lodlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

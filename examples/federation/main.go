@@ -7,11 +7,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	neturl "net/url"
 	"time"
 
 	"lodify/internal/annotate"
@@ -35,23 +37,49 @@ type bobSink struct{ received chan string }
 
 func (s *bobSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet { // PuSH verification
-		io.WriteString(w, r.URL.Query().Get("hub.challenge"))
+		if _, err := io.WriteString(w, r.URL.Query().Get("hub.challenge")); err != nil {
+			log.Printf("push verification reply: %v", err)
+		}
 		return
 	}
-	body, _ := io.ReadAll(r.Body)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	s.received <- string(body)
 	w.WriteHeader(http.StatusOK)
 }
 
+// get fetches a URL over the fabric; any failure ends the demo with a
+// non-zero exit.
+func get(client *http.Client, url string) []byte {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return body
+}
+
 func main() {
+	ctx := context.Background()
 	net := federation.NewNetwork()
 
 	alicePlatform := newPlatform()
-	alicePlatform.Register("alice", "Alice Antonelli", "")
+	if _, err := alicePlatform.Register("alice", "Alice Antonelli", ""); err != nil {
+		log.Fatal(err)
+	}
 	alice := federation.NewNode("alice.example", alicePlatform, net)
 
 	bobPlatform := newPlatform()
-	bobPlatform.Register("bob", "Bob Bianchi", "")
+	if _, err := bobPlatform.Register("bob", "Bob Bianchi", ""); err != nil {
+		log.Fatal(err)
+	}
 	federation.NewNode("bob.example", bobPlatform, net)
 
 	sink := &bobSink{received: make(chan string, 8)}
@@ -59,7 +87,7 @@ func main() {
 	client := net.Client()
 
 	// 1. WebFinger discovery (§6.2: identity across networks).
-	links, err := federation.Finger(client, "alice@alice.example")
+	links, err := federation.Finger(ctx, client, "alice@alice.example")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,16 +97,11 @@ func main() {
 	}
 
 	// 2. FOAF profile sharing.
-	resp, err := client.Get(links["describedby"])
-	if err != nil {
-		log.Fatal(err)
-	}
-	foaf, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	foaf := get(client, links["describedby"])
 	fmt.Printf("\nalice's FOAF profile:\n%s\n", foaf)
 
 	// 3. Bob subscribes to alice's feed via her hub.
-	if err := federation.SubscribeRemote(client, links["hub"], alice.TopicURL(),
+	if err := federation.SubscribeRemote(ctx, client, links["hub"], alice.TopicURL(),
 		"http://bob-callbacks.example/push"); err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +109,7 @@ func main() {
 
 	// 4. Alice publishes; bob gets a near-instant push.
 	mole := geo.Point{Lon: 7.6934, Lat: 45.0690}
-	c, err := alice.PublishContent(ugc.Upload{
+	c, err := alice.PublishContent(ctx, ugc.Upload{
 		User: "alice", Filename: "torino.jpg",
 		Title: "Una giornata a Torino", GPS: &mole,
 		TakenAt: time.Date(2011, 9, 17, 12, 0, 0, 0, time.UTC),
@@ -96,11 +119,13 @@ func main() {
 	}
 	payload := <-sink.received
 	var act federation.Activity
-	json.Unmarshal([]byte(payload), &act)
+	if err := json.Unmarshal([]byte(payload), &act); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nbob received push: %s %s %q\n", act.Actor, act.Verb, act.Title)
 
 	// 5. Bob replies with a Salmon.
-	if err := federation.SendSalmon(client, links["salmon"],
+	if err := federation.SendSalmon(ctx, client, links["salmon"],
 		"acct:bob@bob.example", "Bellissima!", c.ID); err != nil {
 		log.Fatal(err)
 	}
@@ -109,22 +134,20 @@ func main() {
 	}
 
 	// 6. Bob embeds the photo via OEmbed.
-	resp, err = client.Get("http://alice.example/oembed?url=" + c.MediaURL)
-	if err != nil {
-		log.Fatal(err)
+	oembedURL := neturl.URL{
+		Scheme:   "http",
+		Host:     "alice.example",
+		Path:     "/oembed",
+		RawQuery: "url=" + neturl.QueryEscape(c.MediaURL),
 	}
 	var oembed map[string]any
-	json.NewDecoder(resp.Body).Decode(&oembed)
-	resp.Body.Close()
+	if err := json.Unmarshal(get(client, oembedURL.String()), &oembed); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("oembed: type=%v title=%q provider=%v\n",
 		oembed["type"], oembed["title"], oembed["provider_name"])
 
 	// 7. Alice's ActivityStreams timeline.
-	resp, err = client.Get(links["http://schemas.google.com/g/2010#updates-from"])
-	if err != nil {
-		log.Fatal(err)
-	}
-	timeline, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	timeline := get(client, links["http://schemas.google.com/g/2010#updates-from"])
 	fmt.Printf("\nalice's activity timeline:\n%s\n", timeline)
 }

@@ -31,7 +31,9 @@ func main() {
 	platform := ugc.New(world.Store, ctx, pipe, ugc.Options{})
 
 	// 3. A user uploads a photo taken at the Mole Antonelliana.
-	platform.Register("walter", "Walter Goix", "https://openid.example/walter")
+	if _, err := platform.Register("walter", "Walter Goix", "https://openid.example/walter"); err != nil {
+		log.Fatal(err)
+	}
 	mole := geo.Point{Lon: 7.6934, Lat: 45.0690}
 	content, err := platform.Publish(ugc.Upload{
 		User:     "walter",

@@ -26,9 +26,15 @@ func main() {
 	pipe := annotate.NewPipeline(world.Store, resolver.DefaultBroker(world.Store), annotate.DefaultConfig())
 	platform := ugc.New(world.Store, ctx, pipe, ugc.Options{})
 
-	platform.Register("oscar", "Oscar Rodriguez", "")
-	platform.Register("walter", "Walter Goix", "")
-	platform.AddFriend("oscar", "walter")
+	if _, err := platform.Register("oscar", "Oscar Rodriguez", ""); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := platform.Register("walter", "Walter Goix", ""); err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.AddFriend("oscar", "walter"); err != nil {
+		log.Fatal(err)
+	}
 
 	day := time.Date(2011, 9, 17, 10, 0, 0, 0, time.UTC)
 	walk := []struct {

@@ -1,0 +1,183 @@
+// Package analysis implements lodlint, the project-specific static
+// analysis suite. The LODify pipeline has two places where silent
+// bugs creep in at scale: IRIs minted from relational keys by ad-hoc
+// string assembly (§2.1's D2R step) and data races in the concurrent
+// SPARQL/resolver fan-out paths. The analyzers here encode the
+// project rules that keep both honest:
+//
+//   - rawiri: IRI/URI construction by string concatenation or
+//     fmt.Sprintf outside internal/rdf — all minting must go through
+//     the rdf term constructors so invalid IRIs cannot enter the store.
+//   - locksafe: sync.Mutex/RWMutex values copied by value, and
+//     methods that call other locking methods of the same receiver
+//     while holding the lock (the Store/Broker re-entrancy hazard).
+//   - ctxflow: exported functions in the remote-endpoint packages
+//     (resolver, sparql, federation, web) that model LOD endpoint
+//     calls but take no context.Context, blocking timeout and
+//     cancellation work.
+//   - errdrop: discarded error returns in cmd/ and examples/ —
+//     binaries must exit non-zero on failure.
+//
+// The package is stdlib-only (go/ast, go/parser, go/types); the
+// driver in cmd/lodlint loads every package of the module and runs
+// all analyzers, exiting non-zero on findings.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static check. Run inspects the package held by the
+// pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name is the short rule identifier (e.g. "rawiri").
+	Name string
+	// Doc is the one-line rule description shown by lodlint -list.
+	Doc string
+	// Run executes the check.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzed package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package import path ("lodify/internal/store").
+	Path string
+	Fset *token.FileSet
+	// Files holds the parsed syntax of every package file.
+	Files []*ast.File
+	// Pkg and Info hold the type-checked package; Info lookups may be
+	// incomplete when the package had type errors.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full rule suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns the findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Column != diags[j].Column {
+			return diags[i].Column < diags[j].Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ---- shared type helpers ----
+
+// isNamedType reports whether t is the named type pkgPath.name
+// (pointers are not dereferenced).
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, or
+// nil for calls through function values, type conversions and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIsPkgFunc reports whether the call invokes the package-level
+// function (or method) pkgPath.name.
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// calleePkgPath returns the defining package path of the called
+// function, or "".
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

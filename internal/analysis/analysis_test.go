@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const moduleRoot = "../.."
+
+// want markers sit on the line the diagnostic is expected on:
+//
+//	bad()          // want "substring of the message"
+//	worse()        // want "first" "second"
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+	quotedRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+func TestRawIRI(t *testing.T) {
+	runFixtureTest(t, RawIRI, "rawiri", "lodify/internal/rawiritest")
+}
+
+func TestLockSafe(t *testing.T) {
+	runFixtureTest(t, LockSafe, "locksafe", "lodify/internal/locktest")
+}
+
+func TestCtxFlow(t *testing.T) {
+	runFixtureTest(t, CtxFlow, "ctxflow", "lodify/internal/resolver/ctxfix")
+}
+
+func TestErrDrop(t *testing.T) {
+	runFixtureTest(t, ErrDrop, "errdrop", "lodify/cmd/fixturecli")
+}
+
+// runFixtureTest loads testdata/<fixture> under importPath, runs the
+// analyzer, and checks its diagnostics against the // want markers:
+// every diagnostic must be expected, every expectation must fire.
+func runFixtureTest(t *testing.T, a *Analyzer, fixture, importPath string) {
+	t.Helper()
+	pkg, err := LoadFixture(moduleRoot, filepath.Join("testdata", fixture), importPath)
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s holds no Go files", fixture)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture must type-check: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	type mark struct {
+		line int
+		want string
+	}
+	var wants []mark
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					wants = append(wants, mark{line: line, want: q[1]})
+				}
+			}
+		}
+	}
+	if len(wants) < 2 {
+		t.Fatalf("fixture %s seeds %d violations; need at least 2", fixture, len(wants))
+	}
+
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		hit := false
+		for i, w := range wants {
+			if !matched[i] && w.line == d.Line && strings.Contains(d.Message, w.want) {
+				matched[i] = true
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.File), d.Line, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic on line %d: want message containing %q", w.line, w.want)
+		}
+	}
+}
+
+// TestLoadRepo loads a real module package and checks it arrives
+// type-clean with syntax and type info populated.
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := Load(LoadConfig{ModuleRoot: moduleRoot}, "./internal/rdf")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load matched %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "lodify/internal/rdf" {
+		t.Errorf("Path = %q, want lodify/internal/rdf", pkg.Path)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Errorf("type errors: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) == 0 || pkg.Types == nil || pkg.Info == nil {
+		t.Errorf("incomplete package: files=%d types=%v", len(pkg.Files), pkg.Types)
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering the CI log
+// and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Analyzer: "rawiri", File: "x.go", Line: 3, Column: 7, Message: "m"}
+	if got, want := d.String(), "x.go:3:7: [rawiri] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

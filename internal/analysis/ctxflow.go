@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxflowPackages are the packages whose exported API models calls to
+// remote LOD endpoints (SPARQL endpoints, resolvers, federation
+// peers, the web tier). Exported functions there that block on the
+// network — or simulate the round trip with a sleep — must accept a
+// context.Context so timeouts and cancellation can be threaded
+// through.
+var ctxflowPackages = []string{
+	"lodify/internal/resolver",
+	"lodify/internal/sparql",
+	"lodify/internal/federation",
+	"lodify/internal/web",
+}
+
+// CtxFlow flags exported functions in the remote-endpoint packages
+// that perform (or model) an endpoint round trip without taking a
+// context.Context: direct *http.Client calls, package-level http
+// request helpers, and time.Sleep latency simulation. It also flags
+// http.NewRequest, which should be http.NewRequestWithContext.
+// http.Handler-shaped functions are exempt — they get their context
+// from the request.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags exported remote-endpoint functions without a context.Context parameter",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	inScope := false
+	for _, p := range ctxflowPackages {
+		if pass.Path == p || strings.HasPrefix(pass.Path, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkNewRequest(pass, fd)
+			if !fd.Name.IsExported() || isHandlerShaped(pass, fd) || hasContextParam(pass, fd) {
+				continue
+			}
+			if pos, kind := findRemoteCall(pass, fd); kind != "" {
+				pass.Reportf(pos,
+					"exported %s %s performs a remote endpoint call (%s) but has no context.Context parameter",
+					funcKind(fd), fd.Name.Name, kind)
+			}
+		}
+	}
+}
+
+func funcKind(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func hasContextParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		if tv, ok := pass.Info.Types[f.Type]; ok && isNamedType(tv.Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerShaped reports the (http.ResponseWriter, *http.Request)
+// signature: handlers take their context from the request.
+func isHandlerShaped(pass *Pass, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 2 {
+		return false
+	}
+	t0, ok0 := pass.Info.Types[params.List[0].Type]
+	t1, ok1 := pass.Info.Types[params.List[1].Type]
+	if !ok0 || !ok1 {
+		return false
+	}
+	if !isNamedType(t0.Type, "net/http", "ResponseWriter") {
+		return false
+	}
+	ptr, ok := t1.Type.(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), "net/http", "Request")
+}
+
+// findRemoteCall scans the body for a direct remote round trip and
+// returns its position and a human-readable label.
+func findRemoteCall(pass *Pass, fd *ast.FuncDecl) (pos token.Pos, kind string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		// Do not descend into function literals: goroutine bodies are
+		// still launched (and waited on) by this function, so their
+		// round trips count against it.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "net/http":
+			switch fn.Name() {
+			case "Do", "Get", "Post", "PostForm", "Head":
+				pos, kind = call.Pos(), "net/http "+fn.Name()
+				return false
+			}
+		case "time":
+			if fn.Name() == "Sleep" {
+				pos, kind = call.Pos(), "time.Sleep latency simulation"
+				return false
+			}
+		}
+		return true
+	})
+	return pos, kind
+}
+
+// checkNewRequest flags http.NewRequest anywhere in the function —
+// requests must carry the caller's context.
+func checkNewRequest(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && calleeIsPkgFunc(pass.Info, call, "net/http", "NewRequest") {
+			pass.Reportf(call.Pos(), "http.NewRequest drops the caller's context; use http.NewRequestWithContext")
+		}
+		return true
+	})
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error returns in the binaries (cmd/...) and
+// runnable examples (examples/...): a call used as a bare statement
+// whose results include an error, or an error result assigned to the
+// blank identifier. CLI binaries must handle errors and exit
+// non-zero, not swallow them.
+//
+// Deliberately excluded: deferred calls (the defer f.Close() idiom),
+// and the fmt print family writing to stdout — a CLI that cannot
+// print has no channel left to report on.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns in cmd/ and examples/",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	if !strings.HasPrefix(pass.Path, "lodify/cmd/") && !strings.HasPrefix(pass.Path, "lodify/examples/") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// defer f.Close() / fire-and-forget goroutines are out
+				// of scope; do not descend into the call itself (its
+				// own arguments cannot be statements).
+				return false
+			case *ast.ExprStmt:
+				call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+				if !ok || errdropExcluded(pass, call) {
+					return true
+				}
+				if i := errResultIndex(pass, call); i >= 0 {
+					pass.Reportf(call.Pos(), "error result of %s discarded; handle it and exit non-zero on failure", calleeLabel(pass, call))
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign flags `x, _ := f()` where the blanked position
+// is an error.
+func checkBlankErrAssign(pass *Pass, n *ast.AssignStmt) {
+	// Multi-value form: one call on the right, n results mapped to
+	// the left-hand sides.
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok || errdropExcluded(pass, call) {
+			return
+		}
+		tv, ok := pass.Info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(n.Lhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			if isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result of %s assigned to _; handle it and exit non-zero on failure", calleeLabel(pass, call))
+			}
+		}
+		return
+	}
+	// 1:1 form: `_ = f()` with f returning exactly an error.
+	if len(n.Rhs) == len(n.Lhs) {
+		for i, lhs := range n.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+			if !ok || errdropExcluded(pass, call) {
+				continue
+			}
+			if tv, ok := pass.Info.Types[call]; ok && isErrorType(tv.Type) {
+				pass.Reportf(lhs.Pos(), "error result of %s assigned to _; handle it and exit non-zero on failure", calleeLabel(pass, call))
+			}
+		}
+	}
+}
+
+// errResultIndex returns the index of an error in the call's result
+// tuple (or 0 for a single error result), -1 if none.
+func errResultIndex(pass *Pass, call *ast.CallExpr) int {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// errdropExcluded lists callees whose error returns a CLI may
+// legitimately ignore: the fmt print family (stdout is the CLI's only
+// reporting channel) and the never-failing in-memory writers.
+func errdropExcluded(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Println", "Printf":
+			return true
+		case "Fprint", "Fprintln", "Fprintf":
+			// Only when writing to the process's own std streams.
+			if len(call.Args) > 0 {
+				if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+						(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+						return true
+					}
+				}
+			}
+		}
+	case "strings", "bytes":
+		// (*strings.Builder) / (*bytes.Buffer) writes never fail.
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return "call"
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() != pass.Path {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)) + "." + fn.Name()
+		}
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafe flags the two locking mistakes the Store/Broker
+// architecture is exposed to:
+//
+//  1. sync.Mutex / sync.RWMutex values copied by value — receivers,
+//     parameters, results, plain assignments and range variables
+//     whose type (directly or through struct/array nesting) contains
+//     a lock. A copied lock guards nothing.
+//  2. lock re-entrancy: a method that acquires a mutex field of its
+//     receiver and, while holding it, calls another method of the
+//     same receiver that acquires the same field. sync mutexes are
+//     not re-entrant; with RWMutex this deadlocks as soon as a writer
+//     is queued between the two acquisitions.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags mutex-by-value copies and re-entrant locking between methods of one receiver",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) {
+	c := &lockChecker{pass: pass, memo: map[types.Type]bool{}}
+	c.checkCopies()
+	c.checkReentrancy()
+}
+
+type lockChecker struct {
+	pass *Pass
+	memo map[types.Type]bool
+}
+
+// containsLock reports whether a value of type t embeds a sync.Mutex
+// or sync.RWMutex without pointer indirection.
+func (c *lockChecker) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := c.memo[t]; ok {
+		return v
+	}
+	c.memo[t] = false // cycle guard; recursive value types go through pointers
+	v := false
+	switch {
+	case isNamedType(t, "sync", "Mutex"), isNamedType(t, "sync", "RWMutex"):
+		v = true
+	default:
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields() && !v; i++ {
+				v = c.containsLock(u.Field(i).Type())
+			}
+		case *types.Array:
+			v = c.containsLock(u.Elem())
+		}
+	}
+	c.memo[t] = v
+	return v
+}
+
+func (c *lockChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	// Idents introduced by := in range clauses are recorded in
+	// Defs/Uses, not in Types.
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.pass.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// checkCopies walks declarations and statements that copy values.
+func (c *lockChecker) checkCopies() {
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, f := range n.Recv.List {
+						c.checkFieldType(f, "receiver")
+					}
+				}
+				if n.Type.Params != nil {
+					for _, f := range n.Type.Params.List {
+						c.checkFieldType(f, "parameter")
+					}
+				}
+				if n.Type.Results != nil {
+					for _, f := range n.Type.Results.List {
+						c.checkFieldType(f, "result")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if copiesValue(rhs) && c.containsLock(c.typeOf(rhs)) {
+						c.pass.Reportf(rhs.Pos(), "assignment copies a value containing a sync mutex (%s)", types.TypeString(c.typeOf(rhs), nil))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := c.typeOf(n.Value); c.containsLock(t) {
+						c.pass.Reportf(n.Value.Pos(), "range copies a value containing a sync mutex (%s); range over indices or pointers instead", types.TypeString(t, nil))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *lockChecker) checkFieldType(f *ast.Field, kind string) {
+	t := c.typeOf(f.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if c.containsLock(t) {
+		c.pass.Reportf(f.Type.Pos(), "%s passes a value containing a sync mutex (%s) by value; use a pointer", kind, types.TypeString(t, nil))
+	}
+}
+
+// copiesValue reports whether rhs denotes an existing addressable
+// value whose assignment duplicates it (as opposed to constructing a
+// fresh one).
+func copiesValue(rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// ---- re-entrancy ----
+
+type methodLockInfo struct {
+	decl *ast.FuncDecl
+	// locks holds the receiver mutex fields this method acquires.
+	locks map[string]bool
+}
+
+func (c *lockChecker) checkReentrancy() {
+	// Pass 1: which methods of which receiver type acquire which
+	// receiver mutex fields.
+	methods := map[string]map[string]*methodLockInfo{} // recv type name -> method -> info
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvType, recvName := receiverOf(fd)
+			if recvType == "" || recvName == "" {
+				continue
+			}
+			info := &methodLockInfo{decl: fd, locks: map[string]bool{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if field, op, ok := c.recvMutexOp(call, recvName); ok && (op == "Lock" || op == "RLock") {
+					info.locks[field] = true
+				}
+				return true
+			})
+			if methods[recvType] == nil {
+				methods[recvType] = map[string]*methodLockInfo{}
+			}
+			methods[recvType][fd.Name.Name] = info
+		}
+	}
+
+	// Pass 2: linear scan of each locking method for held-lock calls
+	// into other locking methods of the same receiver.
+	for recvType, byName := range methods {
+		for _, info := range byName {
+			if len(info.locks) == 0 {
+				continue
+			}
+			c.scanHeldCalls(recvType, byName, info)
+		}
+	}
+}
+
+func (c *lockChecker) scanHeldCalls(recvType string, byName map[string]*methodLockInfo, info *methodLockInfo) {
+	_, recvName := receiverOf(info.decl)
+	held := map[string]bool{}
+	heldToEnd := map[string]bool{}
+
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if field, op, ok := c.recvMutexOp(call, recvName); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[field] = true
+			case "Unlock", "RUnlock":
+				if deferred[call] {
+					heldToEnd[field] = true
+				} else {
+					held[field] = false
+				}
+			}
+			return true
+		}
+		// recv.M(...) where M locks a field currently held here.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == recvName {
+				if callee, ok := byName[sel.Sel.Name]; ok {
+					for field := range callee.locks {
+						if held[field] || heldToEnd[field] {
+							c.pass.Reportf(call.Pos(),
+								"%s.%s calls %s while holding %s.%s, and %s re-locks it (mutexes are not re-entrant)",
+								recvType, info.decl.Name.Name, sel.Sel.Name, recvName, field, sel.Sel.Name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recvMutexOp matches recv.field.Lock/Unlock/RLock/RUnlock() calls on
+// a mutex-typed receiver field and returns the field and operation.
+func (c *lockChecker) recvMutexOp(call *ast.CallExpr, recvName string) (field, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := ast.Unparen(inner.X).(*ast.Ident)
+	if !isIdent || id.Name != recvName {
+		return "", "", false
+	}
+	t := c.typeOf(inner)
+	if t == nil || !(isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")) {
+		return "", "", false
+	}
+	return inner.Sel.Name, op, true
+}
+
+// receiverOf returns the receiver's type name (sans pointer) and the
+// receiver variable name.
+func receiverOf(fd *ast.FuncDecl) (typeName, varName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	f := fd.Recv.List[0]
+	if len(f.Names) == 1 {
+		varName = f.Names[0].Name
+	}
+	t := f.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		typeName = t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	return typeName, varName
+}

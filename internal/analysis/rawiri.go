@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// rdfPkgPath is the only package allowed to assemble IRI strings.
+const rdfPkgPath = "lodify/internal/rdf"
+
+// RawIRI flags IRI construction by raw string assembly: a `+`
+// concatenation whose leftmost operand is a scheme-prefixed string
+// constant, or an fmt.Sprintf whose (possibly %s-led) format resolves
+// to a scheme prefix. Inside internal/rdf the rule is off — that is
+// where the sanctioned minting constructors live — and an assembly
+// expression passed directly as an argument to an internal/rdf call
+// (rdf.NewIRI, rdf.MintIRI, rdf.NewLiteral, ...) is compliant by
+// definition.
+var RawIRI = &Analyzer{
+	Name: "rawiri",
+	Doc:  "flags IRI/URI construction via string concatenation or fmt.Sprintf outside internal/rdf",
+	Run:  runRawIRI,
+}
+
+func runRawIRI(pass *Pass) {
+	if pass.Path == rdfPkgPath || strings.HasPrefix(pass.Path, rdfPkgPath+"/") {
+		return
+	}
+	for _, file := range pass.Files {
+		// Direct arguments of internal/rdf calls are sanctioned: the
+		// minting constructor they feed validates the result.
+		sanctioned := map[ast.Expr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && calleePkgPath(pass.Info, call) == rdfPkgPath {
+				for _, arg := range call.Args {
+					sanctioned[ast.Unparen(arg)] = true
+				}
+			}
+			return true
+		})
+
+		// Interior nodes of a reported concat chain must not be
+		// re-reported.
+		inner := map[ast.Expr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.ADD {
+					return true
+				}
+				// The left sub-chain shares this chain's leftmost
+				// operand; whatever happens here (report, sanction,
+				// suppression), it must not be re-reported.
+				if x, ok := ast.Unparen(e.X).(*ast.BinaryExpr); ok && x.Op == token.ADD {
+					inner[x] = true
+				}
+				if sanctioned[e] || inner[e] {
+					return true
+				}
+				if s, ok := constStringOf(pass, leftmostOperand(e)); ok && hasIRIScheme(s) {
+					pass.Reportf(e.Pos(),
+						"IRI assembled by string concatenation (%q + ...); mint IRIs through internal/rdf (rdf.MintIRI / rdf.NewIRI)", schemeOf(s))
+				}
+			case *ast.CallExpr:
+				if sanctioned[e] || !calleeIsPkgFunc(pass.Info, e, "fmt", "Sprintf") || len(e.Args) == 0 {
+					return true
+				}
+				format, ok := constStringOf(pass, e.Args[0])
+				if !ok {
+					return true
+				}
+				switch {
+				case hasIRIScheme(format):
+					pass.Reportf(e.Pos(),
+						"IRI assembled with fmt.Sprintf(%q, ...); mint IRIs through internal/rdf (rdf.MintIRIf)", schemeOf(format))
+				case strings.HasPrefix(format, "%s") || strings.HasPrefix(format, "%v"):
+					if len(e.Args) > 1 {
+						if s, ok := constStringOf(pass, e.Args[1]); ok && hasIRIScheme(s) {
+							pass.Reportf(e.Pos(),
+								"IRI assembled with fmt.Sprintf over base %q; mint IRIs through internal/rdf (rdf.MintIRIf)", schemeOf(s))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// leftmostOperand descends the left spine of a `+` chain.
+func leftmostOperand(e *ast.BinaryExpr) ast.Expr {
+	expr := ast.Expr(e)
+	for {
+		b, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+		if !ok || b.Op != token.ADD {
+			return ast.Unparen(expr)
+		}
+		expr = b.X
+	}
+}
+
+// constStringOf resolves expr to a compile-time string constant
+// (literal or named constant) via the type checker.
+func constStringOf(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// hasIRIScheme reports whether s starts with a hierarchical IRI
+// scheme ("scheme://") or a urn: prefix.
+func hasIRIScheme(s string) bool {
+	if strings.HasPrefix(s, "urn:") {
+		return true
+	}
+	i := strings.Index(s, "://")
+	if i <= 0 {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		c := s[j]
+		switch {
+		case 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z':
+		case j > 0 && ('0' <= c && c <= '9' || c == '+' || c == '-' || c == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func schemeOf(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+// Package ctxfix seeds ctxflow violations for the analyzer tests.
+// Loaded under "lodify/internal/resolver/ctxfix" so the rule's
+// remote-endpoint package scope applies.
+package ctxfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want "no context.Context parameter"
+}
+
+func Probe(client *http.Client, url string) error {
+	resp, err := client.Head(url) // want "no context.Context parameter"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func Simulate() {
+	time.Sleep(10 * time.Millisecond) // want "latency simulation"
+}
+
+func Build(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "NewRequestWithContext"
+}
+
+// FetchCtx threads its context — compliant.
+func FetchCtx(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// Handler gets its context from the request — exempt shape.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	resp, err := http.DefaultClient.Do(r.Clone(r.Context()))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp.Body.Close()
+}
+
+// unexported helpers are the caller's responsibility — out of scope.
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}

@@ -1,0 +1,37 @@
+// Command fixturecli seeds errdrop violations for the analyzer tests.
+// Loaded under "lodify/cmd/fixturecli" so the binaries-only scope
+// applies.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func step() error { return nil }
+
+func count() (int, error) { return 0, nil }
+
+func main() {
+	step()                              // want "discarded"
+	n, _ := count()                     // want "assigned to _"
+	_ = step()                          // want "assigned to _"
+	fmt.Println(n)                      // compliant: fmt print family
+	fmt.Fprintln(os.Stderr, "progress") // compliant: std stream
+	var b strings.Builder
+	b.WriteString("ok") // compliant: in-memory writer never fails
+	fmt.Println(b.String())
+
+	f, err := os.Open(os.DevNull)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close() // compliant: deferred close idiom
+
+	if err := step(); err != nil { // compliant: handled
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

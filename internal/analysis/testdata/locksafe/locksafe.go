@@ -1,0 +1,72 @@
+// Package locktest seeds locksafe violations for the analyzer tests.
+package locktest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper nests the lock one struct deep; containsLock must see
+// through the nesting.
+type wrapper struct {
+	c counter
+}
+
+func (c counter) bump() { // want "receiver passes a value containing a sync mutex"
+	c.n++
+}
+
+func snapshot(c counter) counter { // want "parameter passes a value containing a sync mutex" "result passes a value containing a sync mutex"
+	return c
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+// double re-enters get while holding the same mutex — deadlock with
+// sync.Mutex.
+func (c *counter) double() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get() * 2 // want "re-locks"
+}
+
+// bumpTwice releases before the call — compliant.
+func (c *counter) bumpTwice() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.add(1)
+}
+
+func copies(w *wrapper) int {
+	v := w.c // want "assignment copies a value containing a sync mutex"
+	return v.n
+}
+
+func total(cs []counter) int {
+	t := 0
+	for _, c := range cs { // want "range copies a value containing a sync mutex"
+		t += c.n
+	}
+	return t
+}
+
+func totalByIndex(cs []counter) int {
+	t := 0
+	for i := range cs { // compliant: index ranging
+		t += cs[i].n
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+// Package rawiritest seeds rawiri violations for the analyzer tests.
+// Loaded by LoadFixture under the import path
+// "lodify/internal/rawiritest" — in scope for the rule (anything
+// outside internal/rdf is).
+package rawiritest
+
+import (
+	"fmt"
+
+	"lodify/internal/rdf"
+)
+
+const base = "http://example.org/"
+
+func profileIRI(user string) string {
+	return base + "people/" + user // want "string concatenation"
+}
+
+func photoIRI(id int) string {
+	return fmt.Sprintf("http://example.org/photo/%d", id) // want "fmt.Sprintf"
+}
+
+func albumIRI(id int) string {
+	return fmt.Sprintf("%salbum/%d", base, id) // want "fmt.Sprintf"
+}
+
+// A long chain must produce exactly one finding (the top of the
+// chain), not one per interior sub-chain.
+func fragmentIRI(host, p, frag string) string {
+	return "https://" + host + "/" + p + "#" + frag // want "string concatenation"
+}
+
+func minted(user string) rdf.Term {
+	return rdf.MustMintIRI(base, "people/", user) // compliant: minting API
+}
+
+func sanctioned(user string) rdf.Term {
+	return rdf.NewIRI(base + user) // compliant: direct rdf argument
+}
+
+func notAnIRI(a, b string) string {
+	return a + ":" + b // compliant: no scheme prefix
+}

@@ -7,8 +7,10 @@
 package annotate
 
 import (
+	"context"
 	"sort"
 	"strings"
+	"sync"
 
 	"lodify/internal/langdetect"
 	"lodify/internal/morph"
@@ -74,8 +76,29 @@ type Pipeline struct {
 	detector *langdetect.Detector
 	broker   *resolver.Broker
 	st       *store.Store // LOD store used for validation
-	// analyzers are cached per language.
-	analyzers map[string]*morph.Analyzer
+	// analyzers caches morphological analyzers per language; shared
+	// (by pointer, so the lock travels with the map) across pipelines
+	// derived with WithConfig.
+	analyzers *analyzerCache
+}
+
+// analyzerCache is the per-language morphological analyzer cache.
+// Pipelines are used from concurrent publishers (web tier, batch
+// jobs), so the map is mutex-guarded.
+type analyzerCache struct {
+	mu     sync.Mutex
+	byLang map[string]*morph.Analyzer
+}
+
+func (c *analyzerCache) get(lang string) *morph.Analyzer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.byLang[lang]; ok {
+		return a
+	}
+	a := morph.NewAnalyzer(lang)
+	c.byLang[lang] = a
+	return a
 }
 
 // NewPipeline wires a pipeline over the LOD store and broker.
@@ -85,7 +108,7 @@ func NewPipeline(st *store.Store, broker *resolver.Broker, cfg Config) *Pipeline
 		detector:  langdetect.New(),
 		broker:    broker,
 		st:        st,
-		analyzers: map[string]*morph.Analyzer{},
+		analyzers: &analyzerCache{byLang: map[string]*morph.Analyzer{}},
 	}
 }
 
@@ -138,15 +161,16 @@ func (r *Result) AutoAnnotations() []Annotation {
 }
 
 // Annotate runs the full Fig. 1 pipeline on a content title and its
-// user-supplied plain tags.
-func (p *Pipeline) Annotate(title string, tags []string) *Result {
+// user-supplied plain tags. The context bounds the brokering fan-out
+// against the (simulated) remote resolvers.
+func (p *Pipeline) Annotate(ctx context.Context, title string, tags []string) *Result {
 	res := &Result{}
 
 	// 1. Language identification (Cavnar-Trenkle n-grams).
 	res.Language = p.detector.Detect(title)
 
 	// 2. Morphological analysis with the identified language.
-	an := p.analyzer(res.Language)
+	an := p.analyzers.get(res.Language)
 	res.Tokens = an.Analyze(title)
 
 	// 3. NP lemma extraction (score >= 0.2, non-numeric) merged with
@@ -156,9 +180,9 @@ func (p *Pipeline) Annotate(title string, tags []string) *Result {
 	// 4-6. Brokering, filtering, decision per word. Full-text
 	// resolvers run once over the whole title; their candidates are
 	// attributed to the words their spans cover.
-	textCands := p.broker.ResolveText(title, res.Language)
+	textCands := p.broker.ResolveText(ctx, title, res.Language)
 	for _, w := range res.Words {
-		cands := p.broker.ResolveTerm(w, res.Language)
+		cands := p.broker.ResolveTerm(ctx, w, res.Language)
 		cands = append(cands, matchSpans(textCands, w)...)
 		res.Annotations = append(res.Annotations, p.decide(w, cands))
 	}
@@ -167,17 +191,8 @@ func (p *Pipeline) Annotate(title string, tags []string) *Result {
 
 // AnnotateWord runs brokering + filtering for a single word (used by
 // the POI and keyword-linking paths).
-func (p *Pipeline) AnnotateWord(word, lang string) Annotation {
-	return p.decide(word, p.broker.ResolveTerm(word, lang))
-}
-
-func (p *Pipeline) analyzer(lang string) *morph.Analyzer {
-	if a, ok := p.analyzers[lang]; ok {
-		return a
-	}
-	a := morph.NewAnalyzer(lang)
-	p.analyzers[lang] = a
-	return a
+func (p *Pipeline) AnnotateWord(ctx context.Context, word, lang string) Annotation {
+	return p.decide(word, p.broker.ResolveTerm(ctx, word, lang))
 }
 
 // wordList computes the well-defined list of unique (multi)words:

@@ -1,6 +1,7 @@
 package annotate
 
 import (
+	"context"
 	"testing"
 
 	"lodify/internal/geo"
@@ -25,7 +26,7 @@ func findAnn(r *Result, word string) *Annotation {
 
 func TestAnnotateItalianTitleEndToEnd(t *testing.T) {
 	p, _ := pipeline(t)
-	res := p.Annotate("Tramonto sulla Mole Antonelliana", nil)
+	res := p.Annotate(context.Background(), "Tramonto sulla Mole Antonelliana", nil)
 	if res.Language != "it" {
 		t.Fatalf("language = %q", res.Language)
 	}
@@ -46,7 +47,7 @@ func TestAnnotateGeonamesPriorityOnCities(t *testing.T) {
 	// "Turin" resolves in both Geonames and DBpedia; the Geonames
 	// graph has priority (§2.2.2), so the auto annotation must pick
 	// the Geonames resource.
-	res := p.Annotate("A walk in Turin", nil)
+	res := p.Annotate(context.Background(), "A walk in Turin", nil)
 	ann := findAnn(res, "Turin")
 	if ann == nil {
 		t.Fatalf("Turin missing from %v", res.Words)
@@ -70,7 +71,7 @@ func TestAnnotateAmbiguousWithoutGeonames(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GraphPriority = []string{"http://dbpedia.org"}
 	p2 := p.WithConfig(cfg)
-	res := p2.Annotate("Springtime in Paris", nil)
+	res := p2.Annotate(context.Background(), "Springtime in Paris", nil)
 	ann := findAnn(res, "Paris")
 	if ann == nil {
 		t.Fatalf("Paris missing from %v", res.Words)
@@ -92,7 +93,7 @@ func TestAnnotateKeywordHookColiseumCase(t *testing.T) {
 	// §2.1.1: a content tagged "Colosseum" links to the Roman
 	// Colosseum resource via the keyword hook.
 	p, _ := pipeline(t)
-	res := p.Annotate("great day", []string{"Colosseum"})
+	res := p.Annotate(context.Background(), "great day", []string{"Colosseum"})
 	ann := findAnn(res, "Colosseum")
 	if ann == nil {
 		t.Fatalf("tag not in word list: %v", res.Words)
@@ -104,7 +105,7 @@ func TestAnnotateKeywordHookColiseumCase(t *testing.T) {
 
 func TestAnnotateUnresolvableWord(t *testing.T) {
 	p, _ := pipeline(t)
-	res := p.Annotate("photo", []string{"zxqwv"})
+	res := p.Annotate(context.Background(), "photo", []string{"zxqwv"})
 	ann := findAnn(res, "zxqwv")
 	if ann == nil || ann.Decision != DecisionNone {
 		t.Fatalf("ann = %+v", ann)
@@ -114,7 +115,7 @@ func TestAnnotateUnresolvableWord(t *testing.T) {
 func TestTermFrequencyFallback(t *testing.T) {
 	p, _ := pipeline(t)
 	// No proper nouns at all: the TF fallback still proposes words.
-	res := p.Annotate("il tramonto sul fiume e il tramonto sul ponte", nil)
+	res := p.Annotate(context.Background(), "il tramonto sul fiume e il tramonto sul ponte", nil)
 	if len(res.Words) == 0 {
 		t.Fatal("TF fallback produced no words")
 	}
@@ -126,7 +127,7 @@ func TestTermFrequencyFallback(t *testing.T) {
 
 func TestNoFallbackWhenNPsPresent(t *testing.T) {
 	p, _ := pipeline(t)
-	res := p.Annotate("visiting Turin with friends and friends of friends", nil)
+	res := p.Annotate(context.Background(), "visiting Turin with friends and friends of friends", nil)
 	for _, w := range res.Words {
 		if w == "friend" || w == "friends" {
 			t.Fatalf("TF fallback leaked despite NP present: %v", res.Words)
@@ -141,8 +142,8 @@ func TestJaroWinklerThresholdSweep(t *testing.T) {
 	loose := p.WithConfig(func() Config { c := DefaultConfig(); c.JaroWinklerThreshold = 0; return c }())
 	strict := p.WithConfig(func() Config { c := DefaultConfig(); c.JaroWinklerThreshold = 0.99; return c }())
 	title := "Springtime in Paris"
-	la := findAnn(loose.Annotate(title, nil), "Paris")
-	sa := findAnn(strict.Annotate(title, nil), "Paris")
+	la := findAnn(loose.Annotate(context.Background(), title, nil), "Paris")
+	sa := findAnn(strict.Annotate(context.Background(), title, nil), "Paris")
 	if la == nil || sa == nil {
 		t.Fatal("Paris missing")
 	}
@@ -159,7 +160,7 @@ func TestGraphPriorityDiscardOthers(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.GraphPriority = []string{"http://nothing.example"}
 	p2 := p.WithConfig(cfg)
-	res := p2.Annotate("A walk in Turin", nil)
+	res := p2.Annotate(context.Background(), "A walk in Turin", nil)
 	ann := findAnn(res, "Turin")
 	if ann == nil || ann.Decision != DecisionNone {
 		t.Fatalf("ann = %+v", ann)
@@ -168,7 +169,7 @@ func TestGraphPriorityDiscardOthers(t *testing.T) {
 
 func TestAutoAnnotationsAccessor(t *testing.T) {
 	p, _ := pipeline(t)
-	res := p.Annotate("Tramonto sulla Mole Antonelliana", []string{"zxqwv"})
+	res := p.Annotate(context.Background(), "Tramonto sulla Mole Antonelliana", []string{"zxqwv"})
 	autos := res.AutoAnnotations()
 	if len(autos) == 0 {
 		t.Fatal("no auto annotations")
@@ -182,7 +183,7 @@ func TestAutoAnnotationsAccessor(t *testing.T) {
 
 func TestAnnotateWordDirect(t *testing.T) {
 	p, _ := pipeline(t)
-	ann := p.AnnotateWord("Colosseum", "en")
+	ann := p.AnnotateWord(context.Background(), "Colosseum", "en")
 	if ann.Decision != DecisionAuto {
 		t.Fatalf("ann = %+v", ann)
 	}
@@ -236,6 +237,6 @@ func BenchmarkAnnotateTitle(b *testing.B) {
 	p := NewPipeline(w.Store, resolver.DefaultBroker(w.Store), DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Annotate("Tramonto sulla Mole Antonelliana a Torino", []string{"torino", "sunset"})
+		p.Annotate(context.Background(), "Tramonto sulla Mole Antonelliana a Torino", []string{"torino", "sunset"})
 	}
 }

@@ -1,0 +1,64 @@
+package annotate
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAnnotateConcurrent drives one pipeline (and a WithConfig
+// sibling sharing its analyzer cache) from concurrent publishers with
+// titles in different languages, the access pattern of the web tier
+// and batch jobs. Run under -race this pins the analyzer-cache
+// locking.
+func TestAnnotateConcurrent(t *testing.T) {
+	p, _ := pipeline(t)
+	strict := p.WithConfig(Config{
+		MinNPScore:           0.2,
+		JaroWinklerThreshold: 0.95,
+		GraphPriority:        p.Config().GraphPriority,
+	})
+	titles := []string{
+		"Tramonto sulla Mole Antonelliana",
+		"A walk in Turin",
+		"Springtime in Paris",
+		"il tramonto sul fiume e il tramonto sul ponte",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				pl := p
+				if (g+i)%2 == 0 {
+					pl = strict
+				}
+				res := pl.Annotate(context.Background(), titles[(g+i)%len(titles)], nil)
+				if len(res.Words) == 0 && res.Language == "" {
+					continue // undetectable is fine; we only exercise locking
+				}
+				pl.AnnotateWord(context.Background(), "Colosseum", "en")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestAnnotateCancelledContext checks that a cancelled context makes
+// the brokering fan-out return promptly and empty-handed instead of
+// sleeping out the simulated latency.
+func TestAnnotateCancelledContext(t *testing.T) {
+	p, _ := pipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	ann := p.AnnotateWord(ctx, "Colosseum", "en")
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled AnnotateWord took %v", elapsed)
+	}
+	if ann.Decision != DecisionNone {
+		t.Fatalf("cancelled resolution decided %q, want none", ann.Decision)
+	}
+}

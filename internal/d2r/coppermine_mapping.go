@@ -13,6 +13,13 @@ const (
 	NSDC    = "http://purl.org/dc/elements/1.1/"
 )
 
+// vocabIRI mints a namespaced vocabulary IRI through the rdf layer
+// (rawiri discipline: no raw scheme-string assembly outside
+// internal/rdf) and returns its string form for the mapping tables.
+func vocabIRI(ns, local string) string {
+	return rdf.MustMintIRI(ns, local).Value()
+}
+
 // CoppermineMapping is the mapping the platform uses for its own
 // database (base URI per the paper: the platform's public host).
 // Keywords are split on spaces into individual dc:subject triples,
@@ -25,57 +32,57 @@ func CoppermineMapping(baseURI string) Mapping {
 			{
 				Table:      "users",
 				URIPattern: "cpg148_users/{user_id}",
-				Class:      NSFoaf + "Person",
+				Class:      vocabIRI(NSFoaf, "Person"),
 				Columns: []ColumnMap{
-					{Column: "user_name", Predicate: NSFoaf + "name"},
-					{Column: "user_fullname", Predicate: NSFoaf + "fn"},
-					{Column: "user_email", Predicate: NSFoaf + "mbox"},
-					{Column: "user_openid", Predicate: NSFoaf + "openid"},
+					{Column: "user_name", Predicate: vocabIRI(NSFoaf, "name")},
+					{Column: "user_fullname", Predicate: vocabIRI(NSFoaf, "fn")},
+					{Column: "user_email", Predicate: vocabIRI(NSFoaf, "mbox")},
+					{Column: "user_openid", Predicate: vocabIRI(NSFoaf, "openid")},
 				},
 			},
 			{
 				Table:      "albums",
 				URIPattern: "cpg148_albums/{aid}",
-				Class:      NSSioc + "Container",
+				Class:      vocabIRI(NSSioc, "Container"),
 				Columns: []ColumnMap{
-					{Column: "title", Predicate: NSDC + "title"},
-					{Column: "description", Predicate: NSDC + "description"},
+					{Column: "title", Predicate: vocabIRI(NSDC, "title")},
+					{Column: "description", Predicate: vocabIRI(NSDC, "description")},
 				},
 				Joins: []JoinMap{
-					{Column: "owner", Predicate: NSSioc + "has_owner", TargetTable: "users"},
+					{Column: "owner", Predicate: vocabIRI(NSSioc, "has_owner"), TargetTable: "users"},
 				},
 			},
 			{
 				Table:      "pictures",
 				URIPattern: "cpg148_pictures/{pid}",
-				Class:      NSSioct + "MicroblogPost",
+				Class:      vocabIRI(NSSioct, "MicroblogPost"),
 				Columns: []ColumnMap{
-					{Column: "title", Predicate: NSDC + "title"},
-					{Column: "caption", Predicate: NSDC + "description"},
-					{Column: "filename", Predicate: NSComm + "image-data"},
+					{Column: "title", Predicate: vocabIRI(NSDC, "title")},
+					{Column: "caption", Predicate: vocabIRI(NSDC, "description")},
+					{Column: "filename", Predicate: vocabIRI(NSComm, "image-data")},
 					// §2.1.1: split the space-separated keywords
 					// column into one triple per keyword.
-					{Column: "keywords", Predicate: NSDC + "subject", Split: " "},
-					{Column: "ctime", Predicate: NSDC + "date"},
-					{Column: "pic_rating", Predicate: NSRev + "rating"},
+					{Column: "keywords", Predicate: vocabIRI(NSDC, "subject"), Split: " "},
+					{Column: "ctime", Predicate: vocabIRI(NSDC, "date")},
+					{Column: "pic_rating", Predicate: vocabIRI(NSRev, "rating")},
 					{Column: "lat", Predicate: "http://www.w3.org/2003/01/geo/wgs84_pos#lat"},
 					{Column: "lon", Predicate: "http://www.w3.org/2003/01/geo/wgs84_pos#long"},
 				},
 				Joins: []JoinMap{
-					{Column: "owner_id", Predicate: NSFoaf + "maker", TargetTable: "users"},
-					{Column: "aid", Predicate: NSSioc + "has_container", TargetTable: "albums"},
+					{Column: "owner_id", Predicate: vocabIRI(NSFoaf, "maker"), TargetTable: "users"},
+					{Column: "aid", Predicate: vocabIRI(NSSioc, "has_container"), TargetTable: "albums"},
 				},
 			},
 			{
 				Table:      "comments",
 				URIPattern: "cpg148_comments/{msg_id}",
-				Class:      NSSioc + "Post",
+				Class:      vocabIRI(NSSioc, "Post"),
 				Columns: []ColumnMap{
-					{Column: "msg_body", Predicate: NSSioc + "content"},
+					{Column: "msg_body", Predicate: vocabIRI(NSSioc, "content")},
 				},
 				Joins: []JoinMap{
-					{Column: "pid", Predicate: NSSioc + "reply_of", TargetTable: "pictures"},
-					{Column: "author_id", Predicate: NSFoaf + "maker", TargetTable: "users"},
+					{Column: "pid", Predicate: vocabIRI(NSSioc, "reply_of"), TargetTable: "pictures"},
+					{Column: "author_id", Predicate: vocabIRI(NSFoaf, "maker"), TargetTable: "users"},
 				},
 			},
 			{
@@ -84,8 +91,8 @@ func CoppermineMapping(baseURI string) Mapping {
 				Columns:    nil,
 				Joins: []JoinMap{
 					// The friendship relation itself interlinks users.
-					{Column: "user_id", Predicate: NSSioc + "follows_from", TargetTable: "users"},
-					{Column: "friend_id", Predicate: NSSioc + "follows_to", TargetTable: "users"},
+					{Column: "user_id", Predicate: vocabIRI(NSSioc, "follows_from"), TargetTable: "users"},
+					{Column: "friend_id", Predicate: vocabIRI(NSSioc, "follows_to"), TargetTable: "users"},
 				},
 			},
 		},
@@ -101,14 +108,14 @@ func FriendshipTriples(dump []rdf.Triple) []rdf.Triple {
 	to := map[rdf.Term]rdf.Term{}
 	for _, t := range dump {
 		switch t.P.Value() {
-		case NSSioc + "follows_from":
+		case vocabIRI(NSSioc, "follows_from"):
 			from[t.S] = t.O
-		case NSSioc + "follows_to":
+		case vocabIRI(NSSioc, "follows_to"):
 			to[t.S] = t.O
 		}
 	}
 	var out []rdf.Triple
-	knows := rdf.NewIRI(NSFoaf + "knows")
+	knows := rdf.MustMintIRI(NSFoaf, "knows")
 	for rel, u := range from {
 		if v, ok := to[rel]; ok {
 			out = append(out, rdf.NewTriple(u, knows, v))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"lodify/internal/annotate"
@@ -79,7 +80,7 @@ func (e *Env) E1ThresholdSweep(thresholds []float64) []E1Row {
 		row := E1Row{Threshold: th, Titles: len(gold)}
 		auto, correct := 0, 0
 		for _, g := range gold {
-			res := pipe.Annotate(g.title, nil)
+			res := pipe.Annotate(context.Background(), g.title, nil)
 			ann := findWord(res, g.word)
 			if ann == nil {
 				continue
@@ -157,7 +158,7 @@ func itoa(n int) string { return strconv.Itoa(n) }
 // E1AnnotateOnce runs a single representative annotation (the bench
 // kernel).
 func (e *Env) E1AnnotateOnce() *annotate.Result {
-	return e.Pipeline.Annotate("Tramonto sulla Mole Antonelliana a Torino", []string{"torino"})
+	return e.Pipeline.Annotate(context.Background(), "Tramonto sulla Mole Antonelliana a Torino", []string{"torino"})
 }
 
 // GoldSize reports the gold corpus size (sanity checks in benches).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -110,7 +111,7 @@ func E9FederationPush(n int) (E9Row, error) {
 	node := federation.NewNode("alice.example", env.Platform, net)
 	sink := &latencySink{}
 	net.Register("sink.example", sink)
-	if err := federation.SubscribeRemote(net.Client(), "http://alice.example/hub", node.TopicURL(), "http://sink.example/cb"); err != nil {
+	if err := federation.SubscribeRemote(context.Background(), net.Client(), "http://alice.example/hub", node.TopicURL(), "http://sink.example/cb"); err != nil {
 		return E9Row{}, err
 	}
 	pt := geo.Point{Lon: 7.6934, Lat: 45.0690}
@@ -120,7 +121,7 @@ func E9FederationPush(n int) (E9Row, error) {
 		sink.mu.Lock()
 		sink.starts = append(sink.starts, time.Now())
 		sink.mu.Unlock()
-		_, err := node.PublishContent(ugc.Upload{
+		_, err := node.PublishContent(context.Background(), ugc.Upload{
 			User: user, Filename: fmt.Sprintf("e9_%d.jpg", i),
 			Title: "federated", GPS: &pt, TakenAt: time.Date(2011, 9, 17, 18, 0, i, 0, time.UTC),
 		})
@@ -172,7 +173,7 @@ func (e *Env) E10Ablation() []E10Row {
 		row := E10Row{Ablation: name}
 		auto, correct := 0, 0
 		for _, g := range gold {
-			res := pipe.Annotate(g.title, nil)
+			res := pipe.Annotate(context.Background(), g.title, nil)
 			ann := findWord(res, g.word)
 			if ann == nil {
 				continue

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -69,7 +70,7 @@ func (s *callbackSink) all() []string {
 
 func TestWebFingerDiscovery(t *testing.T) {
 	net, _, _ := twoNodes(t)
-	links, err := Finger(net.Client(), "alice@alice.example")
+	links, err := Finger(context.Background(), net.Client(), "alice@alice.example")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,10 +81,10 @@ func TestWebFingerDiscovery(t *testing.T) {
 		t.Fatalf("links = %v", links)
 	}
 	// Unknown user and wrong domain fail.
-	if _, err := Finger(net.Client(), "ghost@alice.example"); err == nil {
+	if _, err := Finger(context.Background(), net.Client(), "ghost@alice.example"); err == nil {
 		t.Fatal("ghost resolved")
 	}
-	if _, err := Finger(net.Client(), "alice@nowhere.example"); err == nil {
+	if _, err := Finger(context.Background(), net.Client(), "alice@nowhere.example"); err == nil {
 		t.Fatal("unknown host resolved")
 	}
 }
@@ -109,8 +110,8 @@ func TestFOAFProfileSharing(t *testing.T) {
 
 func TestActivityStreamsTimeline(t *testing.T) {
 	net, a, _ := twoNodes(t)
-	a.PublishContent(ugc.Upload{User: "alice", Filename: "1.jpg", Title: "first", TakenAt: now})
-	a.PublishContent(ugc.Upload{User: "alice", Filename: "2.jpg", Title: "second", TakenAt: now.Add(time.Hour)})
+	a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "1.jpg", Title: "first", TakenAt: now})
+	a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "2.jpg", Title: "second", TakenAt: now.Add(time.Hour)})
 	resp, err := net.Client().Get("http://alice.example/users/alice/activities")
 	if err != nil {
 		t.Fatal(err)
@@ -139,11 +140,11 @@ func TestPubSubHubbubPushOnPublish(t *testing.T) {
 	sink := &callbackSink{}
 	net.Register("sink.example", sink)
 
-	err := SubscribeRemote(net.Client(), "http://alice.example/hub", a.TopicURL(), "http://sink.example/cb")
+	err := SubscribeRemote(context.Background(), net.Client(), "http://alice.example/hub", a.TopicURL(), "http://sink.example/cb")
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.PublishContent(ugc.Upload{User: "alice", Filename: "x.jpg", Title: "pushed", TakenAt: now})
+	a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "x.jpg", Title: "pushed", TakenAt: now})
 	got := sink.all()
 	if len(got) != 1 {
 		t.Fatalf("deliveries = %v", got)
@@ -163,7 +164,7 @@ func TestPuSHSubscriptionVerificationFailure(t *testing.T) {
 	net.Register("bad.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "nope", http.StatusForbidden)
 	}))
-	err := SubscribeRemote(net.Client(), "http://alice.example/hub", a.TopicURL(), "http://bad.example/cb")
+	err := SubscribeRemote(context.Background(), net.Client(), "http://alice.example/hub", a.TopicURL(), "http://bad.example/cb")
 	if err == nil {
 		t.Fatal("unverified callback subscribed")
 	}
@@ -173,9 +174,9 @@ func TestUnsubscribeStopsDeliveries(t *testing.T) {
 	net, a, _ := twoNodes(t)
 	sink := &callbackSink{}
 	net.Register("sink.example", sink)
-	SubscribeRemote(net.Client(), "http://alice.example/hub", a.TopicURL(), "http://sink.example/cb")
+	SubscribeRemote(context.Background(), net.Client(), "http://alice.example/hub", a.TopicURL(), "http://sink.example/cb")
 	a.Hub.Unsubscribe(a.TopicURL(), "http://sink.example/cb")
-	a.PublishContent(ugc.Upload{User: "alice", Filename: "x.jpg", TakenAt: now})
+	a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "x.jpg", TakenAt: now})
 	if got := sink.all(); len(got) != 0 {
 		t.Fatalf("deliveries after unsubscribe = %v", got)
 	}
@@ -198,13 +199,13 @@ SELECT ?link WHERE { ?r a sioct:MicroblogPost . ?r comm:image-data ?link . }`
 		t.Fatal("bad query subscribed")
 	}
 
-	a.PublishContent(ugc.Upload{User: "alice", Filename: "m.jpg", Title: "Mole", GPS: &molePt, TakenAt: now})
+	a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "m.jpg", Title: "Mole", GPS: &molePt, TakenAt: now})
 	first := sink.all()
 	if len(first) != 1 || !strings.Contains(first[0], "m.jpg") {
 		t.Fatalf("sparqlpush = %v", first)
 	}
 	// Publishing again notifies only the new solution.
-	a.PublishContent(ugc.Upload{User: "alice", Filename: "n.jpg", Title: "Mole again", GPS: &molePt, TakenAt: now})
+	a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "n.jpg", Title: "Mole again", GPS: &molePt, TakenAt: now})
 	second := sink.all()
 	if len(second) != 2 {
 		t.Fatalf("deliveries = %v", second)
@@ -216,16 +217,16 @@ SELECT ?link WHERE { ?r a sioct:MicroblogPost . ?r comm:image-data ?link . }`
 
 func TestSalmonReplyAcrossNodes(t *testing.T) {
 	net, a, _ := twoNodes(t)
-	c, err := a.PublishContent(ugc.Upload{User: "alice", Filename: "x.jpg", Title: "hello", TakenAt: now})
+	c, err := a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "x.jpg", Title: "hello", TakenAt: now})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// bob discovers alice via WebFinger, then sends a Salmon reply.
-	links, err := Finger(net.Client(), "alice@alice.example")
+	links, err := Finger(context.Background(), net.Client(), "alice@alice.example")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := SendSalmon(net.Client(), links["salmon"], "acct:bob@bob.example", "nice shot!", c.ID); err != nil {
+	if err := SendSalmon(context.Background(), net.Client(), links["salmon"], "acct:bob@bob.example", "nice shot!", c.ID); err != nil {
 		t.Fatal(err)
 	}
 	comments := a.Comments(c.ID)
@@ -233,14 +234,14 @@ func TestSalmonReplyAcrossNodes(t *testing.T) {
 		t.Fatalf("comments = %+v", comments)
 	}
 	// Salmon to a missing content 404s.
-	if err := SendSalmon(net.Client(), links["salmon"], "acct:bob@bob.example", "x", 999); err == nil {
+	if err := SendSalmon(context.Background(), net.Client(), links["salmon"], "acct:bob@bob.example", "x", 999); err == nil {
 		t.Fatal("salmon to missing content accepted")
 	}
 }
 
 func TestOEmbed(t *testing.T) {
 	net, a, _ := twoNodes(t)
-	c, _ := a.PublishContent(ugc.Upload{User: "alice", Filename: "p.jpg", Title: "photo", TakenAt: now})
+	c, _ := a.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "p.jpg", Title: "photo", TakenAt: now})
 	resp, err := net.Client().Get("http://alice.example/oembed?url=" + c.MediaURL)
 	if err != nil {
 		t.Fatal(err)

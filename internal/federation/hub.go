@@ -2,6 +2,7 @@ package federation
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -61,7 +62,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "topic and callback required", http.StatusBadRequest)
 			return
 		}
-		if err := h.Subscribe(topic, callback); err != nil {
+		if err := h.Subscribe(r.Context(), topic, callback); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -71,7 +72,7 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 	case "publish":
 		body, _ := io.ReadAll(r.Body)
-		h.Publish(topic, body)
+		h.Publish(r.Context(), topic, body)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "unknown hub.mode", http.StatusBadRequest)
@@ -79,8 +80,9 @@ func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Subscribe verifies the callback with a challenge (per the PuSH
-// spec) and registers it.
-func (h *Hub) Subscribe(topic, callback string) error {
+// spec) and registers it. The context bounds the verification round
+// trip.
+func (h *Hub) Subscribe(ctx context.Context, topic, callback string) error {
 	challenge := fmt.Sprintf("ch-%d", len(callback)*7919+len(topic))
 	u, err := url.Parse(callback)
 	if err != nil {
@@ -91,7 +93,11 @@ func (h *Hub) Subscribe(topic, callback string) error {
 	q.Set("hub.topic", topic)
 	q.Set("hub.challenge", challenge)
 	u.RawQuery = q.Encode()
-	resp, err := h.client.Get(u.String())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return fmt.Errorf("federation: bad callback: %w", err)
+	}
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("federation: callback verification failed: %w", err)
 	}
@@ -138,13 +144,14 @@ func (h *Hub) SubscribeSPARQL(query, callback string) error {
 }
 
 // Publish pushes the payload to every subscriber of the topic
-// synchronously ("near-instant notifications", §6.2).
-func (h *Hub) Publish(topic string, payload []byte) {
+// synchronously ("near-instant notifications", §6.2). The context
+// bounds every delivery.
+func (h *Hub) Publish(ctx context.Context, topic string, payload []byte) {
 	h.mu.Lock()
 	subs := append([]subscription(nil), h.subs[topic]...)
 	h.mu.Unlock()
 	for _, s := range subs {
-		req, err := http.NewRequest(http.MethodPost, s.callback, bytes.NewReader(payload))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.callback, bytes.NewReader(payload))
 		if err != nil {
 			continue
 		}
@@ -158,7 +165,7 @@ func (h *Hub) Publish(topic string, payload []byte) {
 
 // NotifySPARQL re-evaluates the semantic subscriptions against the
 // node's store and pushes fresh solutions.
-func (h *Hub) NotifySPARQL() {
+func (h *Hub) NotifySPARQL(ctx context.Context) {
 	if h.st == nil {
 		return
 	}
@@ -185,7 +192,7 @@ func (h *Hub) NotifySPARQL() {
 			continue
 		}
 		payload := strings.Join(fresh, "\n")
-		req, err := http.NewRequest(http.MethodPost, sub.callback, strings.NewReader(payload))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, sub.callback, strings.NewReader(payload))
 		if err != nil {
 			continue
 		}

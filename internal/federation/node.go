@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -71,13 +72,20 @@ func (n *Node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // TopicURL is the node's content-feed topic for PuSH subscriptions.
 func (n *Node) TopicURL() string {
-	return "http://" + n.Domain + "/feed"
+	return httpURL(n.Domain, "/feed")
+}
+
+// httpURL assembles an endpoint URL on the fabric; URL assembly goes
+// through net/url, IRI minting through internal/rdf (rawiri rule).
+func httpURL(domain, path string) string {
+	u := url.URL{Scheme: "http", Host: domain, Path: path}
+	return u.String()
 }
 
 // PublishContent publishes through the platform, records the
 // activity, pushes to PuSH subscribers and re-runs the SparqlPuSH
 // subscriptions.
-func (n *Node) PublishContent(u ugc.Upload) (*ugc.Content, error) {
+func (n *Node) PublishContent(ctx context.Context, u ugc.Upload) (*ugc.Content, error) {
 	c, err := n.Platform.Publish(u)
 	if err != nil {
 		return nil, err
@@ -92,9 +100,12 @@ func (n *Node) PublishContent(u ugc.Upload) (*ugc.Content, error) {
 	n.mu.Lock()
 	n.activities = append(n.activities, act)
 	n.mu.Unlock()
-	payload, _ := json.Marshal(act)
-	n.Hub.Publish(n.TopicURL(), payload)
-	n.Hub.NotifySPARQL()
+	payload, err := json.Marshal(act)
+	if err != nil {
+		return nil, err
+	}
+	n.Hub.Publish(ctx, n.TopicURL(), payload)
+	n.Hub.NotifySPARQL(ctx)
 	return c, nil
 }
 
@@ -141,11 +152,11 @@ func (n *Node) handleWebFinger(w http.ResponseWriter, r *http.Request) {
 	doc := jrd{
 		Subject: resource,
 		Links: []jrdLink{
-			{Rel: "http://webfinger.net/rel/profile-page", Href: "http://" + n.Domain + "/users/" + user},
-			{Rel: "describedby", Type: "text/turtle", Href: "http://" + n.Domain + "/users/" + user + "/foaf"},
-			{Rel: "http://schemas.google.com/g/2010#updates-from", Href: "http://" + n.Domain + "/users/" + user + "/activities"},
-			{Rel: "salmon", Href: "http://" + n.Domain + "/salmon/" + user},
-			{Rel: "hub", Href: "http://" + n.Domain + "/hub"},
+			{Rel: "http://webfinger.net/rel/profile-page", Href: httpURL(n.Domain, "/users/"+user)},
+			{Rel: "describedby", Type: "text/turtle", Href: httpURL(n.Domain, "/users/"+user+"/foaf")},
+			{Rel: "http://schemas.google.com/g/2010#updates-from", Href: httpURL(n.Domain, "/users/"+user+"/activities")},
+			{Rel: "salmon", Href: httpURL(n.Domain, "/salmon/"+user)},
+			{Rel: "hub", Href: httpURL(n.Domain, "/hub")},
 		},
 	}
 	w.Header().Set("Content-Type", "application/jrd+json")
@@ -272,7 +283,7 @@ func (n *Node) handleOEmbed(w http.ResponseWriter, r *http.Request) {
 
 // Finger performs WebFinger discovery for acct:user@domain over the
 // fabric.
-func Finger(client *http.Client, acct string) (map[string]string, error) {
+func Finger(ctx context.Context, client *http.Client, acct string) (map[string]string, error) {
 	if !strings.HasPrefix(acct, "acct:") {
 		acct = "acct:" + acct
 	}
@@ -281,7 +292,17 @@ func Finger(client *http.Client, acct string) (map[string]string, error) {
 		return nil, fmt.Errorf("federation: malformed account %q", acct)
 	}
 	domain := acct[at+1:]
-	resp, err := client.Get("http://" + domain + "/.well-known/webfinger?resource=" + url.QueryEscape(acct))
+	endpoint := url.URL{
+		Scheme:   "http",
+		Host:     domain,
+		Path:     "/.well-known/webfinger",
+		RawQuery: "resource=" + url.QueryEscape(acct),
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, endpoint.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -302,9 +323,17 @@ func Finger(client *http.Client, acct string) (map[string]string, error) {
 }
 
 // SendSalmon posts a reply to a remote user's content.
-func SendSalmon(client *http.Client, salmonURL, author, content string, target int64) error {
-	body, _ := json.Marshal(map[string]any{"author": author, "content": content, "target": target})
-	resp, err := client.Post(salmonURL, "application/json", strings.NewReader(string(body)))
+func SendSalmon(ctx context.Context, client *http.Client, salmonURL, author, content string, target int64) error {
+	body, err := json.Marshal(map[string]any{"author": author, "content": content, "target": target})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, salmonURL, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -317,12 +346,17 @@ func SendSalmon(client *http.Client, salmonURL, author, content string, target i
 
 // SubscribeRemote subscribes callbackURL to a remote node's topic via
 // its hub.
-func SubscribeRemote(client *http.Client, hubURL, topic, callbackURL string) error {
+func SubscribeRemote(ctx context.Context, client *http.Client, hubURL, topic, callbackURL string) error {
 	form := url.Values{}
 	form.Set("hub.mode", "subscribe")
 	form.Set("hub.topic", topic)
 	form.Set("hub.callback", callbackURL)
-	resp, err := client.Post(hubURL, "application/x-www-form-urlencoded", strings.NewReader(form.Encode()))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hubURL, strings.NewReader(form.Encode()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -237,8 +238,8 @@ func (pf *Photoframe) String() string {
 
 // PublishHome publishes through the node (PuSH + SparqlPuSH included)
 // and announces the content on the home media server.
-func (n *Node) PublishHome(u ugc.Upload, ms *MediaServer) (*ugc.Content, error) {
-	c, err := n.PublishContent(u)
+func (n *Node) PublishHome(ctx context.Context, u ugc.Upload, ms *MediaServer) (*ugc.Content, error) {
+	c, err := n.PublishContent(ctx, u)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -42,8 +43,8 @@ func TestDiscoverySearch(t *testing.T) {
 func TestMediaServerBrowseAndFetch(t *testing.T) {
 	node, ms, _ := homeSetup(t)
 	node.Platform.Register("bob", "", "")
-	c1, _ := node.PublishContent(ugc.Upload{User: "alice", Filename: "a.jpg", Title: "A", TakenAt: now})
-	node.PublishContent(ugc.Upload{User: "bob", Filename: "b.jpg", Title: "B", TakenAt: now})
+	c1, _ := node.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "a.jpg", Title: "A", TakenAt: now})
+	node.PublishContent(context.Background(), ugc.Upload{User: "bob", Filename: "b.jpg", Title: "B", TakenAt: now})
 
 	all := ms.Browse("")
 	if len(all) != 2 {
@@ -69,7 +70,7 @@ func TestPhotoframeRealtimeSlideshow(t *testing.T) {
 	pf := NewPhotoframe("http://192.168.1.20/", 3, bus)
 
 	// Preload existing photos.
-	node.PublishContent(ugc.Upload{User: "alice", Filename: "old.jpg", Title: "old", TakenAt: now})
+	node.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "old.jpg", Title: "old", TakenAt: now})
 	pf.Load(ms, "alice")
 	if got := pf.Slideshow(); len(got) != 1 || got[0].Title != "old" {
 		t.Fatalf("preload = %v", got)
@@ -79,7 +80,7 @@ func TestPhotoframeRealtimeSlideshow(t *testing.T) {
 	ch := ms.Subscribe()
 	go pf.Watch(ch)
 	for i := 0; i < 4; i++ {
-		_, err := node.PublishHome(ugc.Upload{
+		_, err := node.PublishHome(context.Background(), ugc.Upload{
 			User: "alice", Filename: time.Now().Format("150405.000") + "-live.jpg",
 			Title: "holiday", TakenAt: now.Add(time.Duration(i) * time.Minute),
 		}, ms)
@@ -116,8 +117,8 @@ func TestPhotoframeRealtimeSlideshow(t *testing.T) {
 func TestPhotoframeIgnoresVideos(t *testing.T) {
 	node, ms, bus := homeSetup(t)
 	pf := NewPhotoframe("http://192.168.1.21/", 10, bus)
-	node.PublishContent(ugc.Upload{User: "alice", Filename: "v.mp4", Kind: "video", Title: "V", TakenAt: now})
-	node.PublishContent(ugc.Upload{User: "alice", Filename: "p.jpg", Title: "P", TakenAt: now})
+	node.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "v.mp4", Kind: "video", Title: "V", TakenAt: now})
+	node.PublishContent(context.Background(), ugc.Upload{User: "alice", Filename: "p.jpg", Title: "P", TakenAt: now})
 	pf.Load(ms, "alice")
 	slides := pf.Slideshow()
 	if len(slides) != 1 || slides[0].Kind != "photo" {

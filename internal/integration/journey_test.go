@@ -6,6 +6,7 @@
 package integration
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -184,11 +185,11 @@ func TestFullPlatformJourney(t *testing.T) {
 		delivered <- buf.String()
 		w.WriteHeader(http.StatusOK)
 	}))
-	if err := federation.SubscribeRemote(net.Client(), "http://home.example/hub",
+	if err := federation.SubscribeRemote(context.Background(), net.Client(), "http://home.example/hub",
 		node.TopicURL(), "http://friendnode.example/cb"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := node.PublishContent(ugc.Upload{
+	if _, err := node.PublishContent(context.Background(), ugc.Upload{
 		User: "oscar", Filename: "federated.jpg", Title: "shared with the federation",
 		TakenAt: day.Add(2 * time.Hour),
 	}); err != nil {

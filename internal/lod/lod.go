@@ -228,21 +228,25 @@ func Generate(cfg Config) *World {
 	// ---- Ontology (schema triples for RDFS inference, §2.3) ----
 	sub := rdf.NewIRI("http://www.w3.org/2000/01/rdf-schema#subClassOf")
 	for _, pair := range [][2]string{
-		{DBpediaOntology + "City", DBpediaOntology + "Place"},
-		{DBpediaOntology + "Town", DBpediaOntology + "Place"},
-		{DBpediaOntology + "Building", DBpediaOntology + "Place"},
-		{DBpediaOntology + "Monument", DBpediaOntology + "Place"},
-		{DBpediaOntology + "Museum", DBpediaOntology + "Building"},
-		{DBpediaOntology + "Castle", DBpediaOntology + "Building"},
-		{DBpediaOntology + "Park", DBpediaOntology + "Place"},
-		{DBpediaOntology + "Square", DBpediaOntology + "Place"},
-		{LGDOntology + "Restaurant", LGDOntology + "Amenity"},
-		{LGDOntology + "Tourism", LGDOntology + "Attraction"},
-		{LGDOntology + "City", LGDOntology + "Place"},
-		{LGDOntology + "Amenity", LGDOntology + "POI"},
-		{LGDOntology + "Attraction", LGDOntology + "POI"},
+		{"City", "Place"},
+		{"Town", "Place"},
+		{"Building", "Place"},
+		{"Monument", "Place"},
+		{"Museum", "Building"},
+		{"Castle", "Building"},
+		{"Park", "Place"},
+		{"Square", "Place"},
 	} {
-		add(dbp, rdf.NewIRI(pair[0]), sub, rdf.NewIRI(pair[1]))
+		add(dbp, rdf.NewIRI(DBpediaOntology+pair[0]), sub, rdf.NewIRI(DBpediaOntology+pair[1]))
+	}
+	for _, pair := range [][2]string{
+		{"Restaurant", "Amenity"},
+		{"Tourism", "Attraction"},
+		{"City", "Place"},
+		{"Amenity", "POI"},
+		{"Attraction", "POI"},
+	} {
+		add(dbp, rdf.NewIRI(LGDOntology+pair[0]), sub, rdf.NewIRI(LGDOntology+pair[1]))
 	}
 
 	// ---- Celebrities (heterogeneous DBpedia concepts) ----

@@ -1,0 +1,83 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckIRI(t *testing.T) {
+	valid := []string{
+		"http://dbpedia.org/resource/Turin",
+		"https://example.org/a/b?x=1&y=2#frag",
+		"http://beta.teamlife.it/cpg148_pictures/42",
+		"urn:uuid:6e8bc430-9c3a-11d9-9669-0800200c9a66",
+		"mailto:user@example.org",
+		"http://example.org/%20escaped",
+		"http://example.org/caffè", // IRIs allow non-ASCII
+	}
+	for _, s := range valid {
+		if err := CheckIRI(s); err != nil {
+			t.Errorf("CheckIRI(%q) = %v, want nil", s, err)
+		}
+	}
+	invalid := []string{
+		"",
+		"no-scheme",
+		"/relative/path",
+		"http://example.org/with space",
+		"http://example.org/tab\there",
+		"http://example.org/new\nline",
+		"http://example.org/<angle>",
+		"http://example.org/back\\slash",
+		"http://example.org/ba`ckquote",
+		"1http://bad-scheme.example/",
+		":noscheme",
+	}
+	for _, s := range invalid {
+		if err := CheckIRI(s); err == nil {
+			t.Errorf("CheckIRI(%q) = nil, want error", s)
+		}
+	}
+}
+
+func TestMintIRI(t *testing.T) {
+	got, err := MintIRI("http://", "example.org", "/users/", "alice")
+	if err != nil {
+		t.Fatalf("MintIRI: %v", err)
+	}
+	if !got.IsIRI() || got.Value() != "http://example.org/users/alice" {
+		t.Fatalf("MintIRI = %v", got)
+	}
+	if _, err := MintIRI("http://example.org/bad path"); err == nil {
+		t.Fatal("MintIRI accepted IRI with space")
+	}
+	if _, err := MintIRI(); err == nil {
+		t.Fatal("MintIRI accepted empty input")
+	}
+}
+
+func TestMintIRIf(t *testing.T) {
+	got, err := MintIRIf("%scpg148_pictures/%d", "http://beta.teamlife.it/", 42)
+	if err != nil {
+		t.Fatalf("MintIRIf: %v", err)
+	}
+	if got.Value() != "http://beta.teamlife.it/cpg148_pictures/42" {
+		t.Fatalf("MintIRIf = %v", got)
+	}
+	if _, err := MintIRIf("%s with space", "http://x.example/"); err == nil {
+		t.Fatal("MintIRIf accepted IRI with space")
+	}
+}
+
+func TestMustMintIRIPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustMintIRI did not panic on invalid IRI")
+		}
+		if !strings.Contains(r.(error).Error(), "whitespace") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	MustMintIRI("http://example.org/a b")
+}

@@ -13,6 +13,7 @@
 package resolver
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -110,16 +111,18 @@ func (b *Broker) WithoutResolver(name string) *Broker {
 
 // ResolveTerm queries every term resolver concurrently for one word
 // and merges the results (deduplicated by resource, keeping the
-// highest-scored instance; deterministic order).
-func (b *Broker) ResolveTerm(word, lang string) []Candidate {
+// highest-scored instance; deterministic order). Cancelling the
+// context abandons resolvers still in their simulated round trip;
+// their results are dropped.
+func (b *Broker) ResolveTerm(ctx context.Context, word, lang string) []Candidate {
 	results := make([][]Candidate, len(b.term))
 	var wg sync.WaitGroup
 	for i, r := range b.term {
 		wg.Add(1)
 		go func(i int, r TermResolver) {
 			defer wg.Done()
-			if b.Latency > 0 {
-				time.Sleep(b.Latency)
+			if !b.simulateRoundTrip(ctx) {
+				return
 			}
 			results[i] = r.ResolveTerm(word, lang, b.PerResolverLimit)
 		}(i, r)
@@ -130,21 +133,40 @@ func (b *Broker) ResolveTerm(word, lang string) []Candidate {
 
 // ResolveText queries every full-text resolver concurrently with the
 // whole title.
-func (b *Broker) ResolveText(title, lang string) []Candidate {
+func (b *Broker) ResolveText(ctx context.Context, title, lang string) []Candidate {
 	results := make([][]Candidate, len(b.text))
 	var wg sync.WaitGroup
 	for i, r := range b.text {
 		wg.Add(1)
 		go func(i int, r TextResolver) {
 			defer wg.Done()
-			if b.Latency > 0 {
-				time.Sleep(b.Latency)
+			if !b.simulateRoundTrip(ctx) {
+				return
 			}
 			results[i] = r.ResolveText(title, lang, b.PerResolverLimit)
 		}(i, r)
 	}
 	wg.Wait()
 	return mergeCandidates(results, "")
+}
+
+// simulateRoundTrip blocks for the configured web-service latency,
+// honoring cancellation. It reports whether the call should proceed.
+func (b *Broker) simulateRoundTrip(ctx context.Context) bool {
+	if err := ctx.Err(); err != nil {
+		return false
+	}
+	if b.Latency <= 0 {
+		return true
+	}
+	t := time.NewTimer(b.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 func mergeCandidates(results [][]Candidate, word string) []Candidate {

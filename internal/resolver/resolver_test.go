@@ -1,6 +1,7 @@
 package resolver
 
 import (
+	"context"
 	"testing"
 
 	"lodify/internal/lod"
@@ -162,7 +163,7 @@ func TestZemantaSpotsAcrossGraphs(t *testing.T) {
 func TestBrokerMergesAndDedupes(t *testing.T) {
 	w := world(t)
 	b := DefaultBroker(w.Store)
-	cands := b.ResolveTerm("Turin", "en")
+	cands := b.ResolveTerm(context.Background(), "Turin", "en")
 	seen := map[string]bool{}
 	for _, c := range cands {
 		if seen[c.Resource.Value()] {
@@ -198,7 +199,7 @@ func TestBrokerWithoutResolverAblation(t *testing.T) {
 	if len(nb.TermResolvers()) != len(b.TermResolvers())-1 {
 		t.Fatalf("resolver not removed: %v", nb.TermResolvers())
 	}
-	for _, c := range nb.ResolveTerm("Turin", "en") {
+	for _, c := range nb.ResolveTerm(context.Background(), "Turin", "en") {
 		if c.Resolver == "geonames" {
 			t.Fatal("ablated resolver still answering")
 		}
@@ -212,10 +213,10 @@ func TestBrokerWithoutResolverAblation(t *testing.T) {
 func TestBrokerEmptyQueries(t *testing.T) {
 	w := world(t)
 	b := DefaultBroker(w.Store)
-	if got := b.ResolveTerm("", "en"); len(got) != 0 {
+	if got := b.ResolveTerm(context.Background(), "", "en"); len(got) != 0 {
 		t.Fatalf("empty term resolved: %v", got)
 	}
-	if got := b.ResolveTerm("zzzzzz-no-such-entity", "en"); len(got) != 0 {
+	if got := b.ResolveTerm(context.Background(), "zzzzzz-no-such-entity", "en"); len(got) != 0 {
 		t.Fatalf("nonsense term resolved: %v", got)
 	}
 }
@@ -224,7 +225,7 @@ func TestPerResolverLimitHonored(t *testing.T) {
 	w := world(t)
 	b := DefaultBroker(w.Store)
 	b.PerResolverLimit = 1
-	cands := b.ResolveTerm("Turin", "en")
+	cands := b.ResolveTerm(context.Background(), "Turin", "en")
 	// 3 term resolvers, 1 candidate each, minus dedup overlap.
 	if len(cands) > 3 {
 		t.Fatalf("limit not applied: %d candidates", len(cands))
@@ -236,7 +237,7 @@ func BenchmarkBrokerResolveTerm(b *testing.B) {
 	br := DefaultBroker(w.Store)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		br.ResolveTerm("Turin", "en")
+		br.ResolveTerm(context.Background(), "Turin", "en")
 	}
 }
 

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lodify/internal/rdf"
+)
+
+// Concurrent stress tests for the Store: writers (direct and
+// transactional), removers and readers (Match, TextSearch, Count,
+// secondary indexes) over shared graphs. They hold no interesting
+// assertions beyond invariant spot-checks — their job is to drive
+// every lock path under `go test -race`.
+
+func stressQuad(writer, i int) rdf.Quad {
+	return rdf.Quad{
+		S: rdf.NewIRI(fmt.Sprintf("http://stress.example/w%d/s%d", writer, i)),
+		P: rdf.NewIRI("http://stress.example/p"),
+		O: rdf.NewLiteral(fmt.Sprintf("payload number %d from writer %d", i, writer)),
+		G: rdf.NewIRI(fmt.Sprintf("http://stress.example/g%d", writer%2)),
+	}
+}
+
+func TestStoreConcurrentAddMatch(t *testing.T) {
+	const writers, perWriter, readers = 4, 200, 4
+	st := New()
+	var writeWG, readWG sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				st.MustAdd(stressQuad(w, i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.Match(rdf.Term{}, rdf.NewIRI("http://stress.example/p"), rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+					if q.S.IsZero() {
+						t.Error("Match yielded a zero subject")
+						return false
+					}
+					return true
+				})
+				st.TextSearch("payload number")
+				st.Count(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.NewIRI("http://stress.example/g0"))
+				st.Len()
+				st.TermCount()
+			}
+		}(r)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if got, want := st.Count(rdf.Term{}, rdf.NewIRI("http://stress.example/p"), rdf.Term{}, rdf.Term{}), writers*perWriter; got != want {
+		t.Fatalf("after concurrent load: %d quads, want %d", got, want)
+	}
+}
+
+func TestStoreConcurrentAddRemove(t *testing.T) {
+	const writers, perWriter = 4, 150
+	st := New()
+
+	// Seed everything, then removers and re-adders fight over the same
+	// quads while readers scan.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			st.MustAdd(stressQuad(w, i))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				q := stressQuad(w, i)
+				st.Remove(q)
+				if i%2 == 0 {
+					st.MustAdd(q)
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st.Has(stressQuad(w, i))
+				st.FirstObject(stressQuad(w, i).S, stressQuad(w, i).P)
+				st.TextSearch(fmt.Sprintf("writer %d", w))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			want := i%2 == 0
+			if got := st.Has(stressQuad(w, i)); got != want {
+				t.Fatalf("quad w%d/i%d: Has = %v, want %v", w, i, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreConcurrentTxn(t *testing.T) {
+	const writers, perWriter = 4, 100
+	st := New()
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := st.Begin()
+			for i := 0; i < perWriter; i++ {
+				if err := tx.Add(stressQuad(w, i)); err != nil {
+					t.Errorf("txn add: %v", err)
+					return
+				}
+			}
+			added, _, err := tx.Commit()
+			if err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+			if added != perWriter {
+				t.Errorf("writer %d committed %d quads, want %d", w, added, perWriter)
+			}
+		}(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st.Graphs()
+				st.Subjects(rdf.NewIRI("http://stress.example/p"), rdf.Term{})
+				st.TextPrefixSearch("payload", 8)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := st.Len(), writers*perWriter; got != want {
+		t.Fatalf("after %d transactions: Len = %d, want %d", writers, got, want)
+	}
+}

@@ -1,6 +1,7 @@
 package ugc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -144,7 +145,7 @@ func (p *Platform) BatchAnnotate(limit int) BatchReport {
 			report.Skipped++
 			continue
 		}
-		result := pipe.Annotate(c.Title, c.PlainTags)
+		result := pipe.Annotate(context.Background(), c.Title, c.PlainTags)
 		autos := result.AutoAnnotations()
 		if len(autos) == 0 {
 			report.Skipped++

@@ -1,6 +1,7 @@
 package ugc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -96,7 +97,9 @@ func (p *Platform) AnnotateRegion(contentID int64, author string, region Region,
 	// Antonelliana" on a picture region links the fragment to the
 	// monument's resource.
 	if pipe != nil && note != "" {
-		res := pipe.Annotate(note, nil)
+		// The platform API is synchronous; the pipeline context starts
+		// here.
+		res := pipe.Annotate(context.Background(), note, nil)
 		for _, a := range res.AutoAnnotations() {
 			p.Store.MustAdd(rdf.Quad{S: ra.IRI, P: PredAbout, O: a.Resource})
 			if ra.Resource.IsZero() {

@@ -11,6 +11,7 @@
 package ugc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -452,7 +453,9 @@ func (p *Platform) Publish(u Upload) (*Content, error) {
 
 	// ---- Automatic semantic tagging (Fig. 1) ----
 	if p.Pipeline != nil && !u.SkipAnnotation {
-		result := p.Pipeline.Annotate(u.Title, plain)
+		// The platform API is synchronous; the pipeline context starts
+		// here.
+		result := p.Pipeline.Annotate(context.Background(), u.Title, plain)
 		c.Language = result.Language
 		c.Annotations = result.Annotations
 		tx2 := p.Store.Begin()
