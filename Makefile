@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race lint bench ci
+.PHONY: all build test race lint bench bench-json ci
+
+# Label for the bench-json artifact (BENCH_<label>.json).
+BENCH_LABEL ?= local
 
 all: build test
 
@@ -21,5 +24,10 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable experiment results: one JSON document per run,
+# suitable for CI artifacts and regression diffing.
+bench-json:
+	$(GO) run ./cmd/benchreport -json -label $(BENCH_LABEL) > BENCH_$(BENCH_LABEL).json
 
 ci: build lint race

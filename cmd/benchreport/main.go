@@ -1,18 +1,23 @@
 // Command benchreport runs the complete experiment suite (E1-E10 of
 // DESIGN.md) and prints the tables EXPERIMENTS.md records. Individual
-// experiments can be selected with -exp.
+// experiments can be selected with -exp; -json switches the output to
+// a machine-readable document (one JSON object on stdout, prose stays
+// on stderr) suitable for BENCH_<label>.json artifacts.
 //
 // Usage:
 //
 //	benchreport               # run everything
 //	benchreport -exp e1,e7    # only the annotation sweep and E7
 //	benchreport -contents 600 # bigger corpus
+//	benchreport -json -label nightly > BENCH_nightly.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -25,6 +30,8 @@ func main() {
 	contents := flag.Int("contents", 300, "corpus size for the shared environment")
 	users := flag.Int("users", 20, "corpus users")
 	seed := flag.Int64("seed", 7, "corpus seed")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document on stdout instead of tables")
+	label := flag.String("label", "local", "run label recorded in the JSON document")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -44,14 +51,26 @@ func main() {
 	}
 	log.Printf("environment ready in %v (store: %d triples)\n", time.Since(start).Round(time.Millisecond), env.Platform.Store.Len())
 
+	// In JSON mode the tables are suppressed and each experiment's rows
+	// collect here instead; durations marshal as nanosecond integers.
+	results := map[string]any{}
 	section := func(id, title string) {
-		fmt.Printf("\n== %s — %s ==\n\n", strings.ToUpper(id), title)
+		if !*jsonOut {
+			fmt.Printf("\n== %s — %s ==\n\n", strings.ToUpper(id), title)
+		}
+	}
+	emit := func(id string, rows any, report func() string) {
+		if *jsonOut {
+			results[id] = rows
+		} else {
+			fmt.Print(report())
+		}
 	}
 
 	if sel("e1") {
 		section("e1", "Fig. 1 annotation pipeline: Jaro-Winkler threshold sweep")
 		rows := env.E1ThresholdSweep([]float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95})
-		fmt.Print(experiments.E1Report(rows))
+		emit("e1", rows, func() string { return experiments.E1Report(rows) })
 	}
 	if sel("e2") {
 		section("e2", "§2.1 D2R dump-rdf scaling")
@@ -59,7 +78,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.E2Report(rows))
+		emit("e2", rows, func() string { return experiments.E2Report(rows) })
 	}
 	if sel("e3") {
 		section("e3", "§2.3 virtual albums (the paper's three queries)")
@@ -67,7 +86,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.E3Report(rows))
+		emit("e3", rows, func() string { return experiments.E3Report(rows) })
 	}
 	if sel("e4") {
 		section("e4", "Figs. 2-3 incremental AJAX search (typing 'Turin')")
@@ -75,7 +94,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.E4Report(rows))
+		emit("e4", rows, func() string { return experiments.E4Report(rows) })
 	}
 	if sel("e5") {
 		section("e5", "§4.1 'About' linked-data mashup (four-arm UNION)")
@@ -83,11 +102,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.E5Report(row))
+		emit("e5", row, func() string { return experiments.E5Report(row) })
 	}
 	if sel("e6") {
 		section("e6", "§1.1 triple-tag navigation (baseline)")
-		fmt.Print(experiments.E6Report(env.E6TagAlbums()))
+		rows := env.E6TagAlbums()
+		emit("e6", rows, func() string { return experiments.E6Report(rows) })
 	}
 	if sel("e7") {
 		section("e7", "keyword vs semantic retrieval (the paper's headline claim)")
@@ -95,11 +115,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.E7Report(rows))
+		emit("e7", rows, func() string { return experiments.E7Report(rows) })
 	}
 	if sel("e8") {
 		section("e8", "§2.2.1 POI tag -> DBpedia resolution")
-		fmt.Print(experiments.E8Report(env.E8POIResolution()))
+		rows := env.E8POIResolution()
+		emit("e8", rows, func() string { return experiments.E8Report(rows) })
 	}
 	if sel("e9") {
 		section("e9", "§6 federated push (publish -> PuSH delivery)")
@@ -107,15 +128,34 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(experiments.E9Report(row))
+		emit("e9", row, func() string { return experiments.E9Report(row) })
 	}
 	if sel("e10") {
 		section("e10", "§2.2.2 resolver & graph-priority ablation")
-		fmt.Print(experiments.E10Report(env.E10Ablation()))
+		rows := env.E10Ablation()
+		emit("e10", rows, func() string { return experiments.E10Report(rows) })
 	}
 	if sel("infer") || want["all"] {
 		section("infer", "§2.3 RDFS inference capabilities (extension)")
-		fmt.Print(experiments.InferReport(env))
+		report := experiments.InferReport(env)
+		emit("infer", map[string]string{"report": report}, func() string { return report })
+	}
+
+	if *jsonOut {
+		doc := map[string]any{
+			"label":       *label,
+			"contents":    *contents,
+			"users":       *users,
+			"seed":        *seed,
+			"experiments": results,
+			"totalNs":     time.Since(start).Nanoseconds(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+		return
 	}
 	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"lodify/internal/annotate"
 	"lodify/internal/ctxmgr"
 	"lodify/internal/lod"
+	"lodify/internal/obs"
 	"lodify/internal/resolver"
 	"lodify/internal/social"
 	"lodify/internal/ugc"
@@ -36,7 +38,12 @@ func main() {
 	users := flag.Int("users", 20, "synthetic users")
 	seed := flag.Int64("seed", 7, "workload seed")
 	snapshot := flag.String("snapshot", "", "N-Quads snapshot file (loaded at boot; POST /admin/snapshot saves)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for pprof/metrics/expvar (empty = disabled)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	log.Printf("generating LOD world (DBpedia/Geonames/LinkedGeoData substitutes)...")
 	world := lod.Generate(lod.DefaultConfig())
@@ -70,4 +77,22 @@ func main() {
 	}
 	fmt.Printf("lodify listening on %s — store holds %d triples\n", *addr, platform.Store.Len())
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// serveDebug runs the profiling/introspection endpoints on their own
+// mux (never the default one, so the main server cannot leak them):
+// /debug/pprof/*, /metrics and /debug/vars.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.MetricsHandler())
+	mux.Handle("/debug/vars", obs.ExpvarHandler())
+	log.Printf("debug server (pprof, metrics) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("debug server: %v", err)
+	}
 }

@@ -7,6 +7,8 @@ import (
 	"context"
 	"net/http"
 	"time"
+
+	"lodify/internal/obs"
 )
 
 func Fetch(url string) (*http.Response, error) {
@@ -46,6 +48,34 @@ func Handler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Body.Close()
+}
+
+// TimedFetch shows that observability instrumentation does not excuse
+// an exported remote call from taking a context: timing the round trip
+// with obs changes nothing about cancellation.
+func TimedFetch(url string) (*http.Response, error) {
+	defer obs.H("ctxfix_fetch_seconds").ObserveSince(time.Now())
+	return http.Get(url) // want "no context.Context parameter"
+}
+
+// TracedProbe sleeps inside a span but still has no way to be
+// cancelled — instrumented latency simulation is still a violation.
+func TracedProbe() {
+	_, sp := obs.StartSpan(context.Background(), "ctxfix.probe")
+	defer sp.End(context.Background())
+	time.Sleep(5 * time.Millisecond) // want "latency simulation"
+}
+
+// SpanFetch threads one context through both the span and the request
+// — the compliant obs-instrumented shape.
+func SpanFetch(ctx context.Context, url string) (*http.Response, error) {
+	ctx, sp := obs.StartSpan(ctx, "ctxfix.fetch")
+	defer sp.End(ctx)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
 }
 
 // unexported helpers are the caller's responsibility — out of scope.

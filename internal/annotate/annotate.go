@@ -14,10 +14,20 @@ import (
 
 	"lodify/internal/langdetect"
 	"lodify/internal/morph"
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
 	"lodify/internal/resolver"
 	"lodify/internal/store"
 	"lodify/internal/textsim"
+)
+
+// Pipeline metrics: one run counter, per-decision outcomes and the
+// pre-filter candidate volume. Stage timings ride the span histogram
+// (lodify_span_seconds{span="annotate.<stage>"}).
+var (
+	mRuns       = obs.C("lodify_annotate_runs_total")
+	mCandidates = obs.C("lodify_annotate_candidates_total")
+	mWords      = obs.C("lodify_annotate_words_total")
 )
 
 // Decision is the pipeline's outcome for one word.
@@ -162,30 +172,50 @@ func (r *Result) AutoAnnotations() []Annotation {
 
 // Annotate runs the full Fig. 1 pipeline on a content title and its
 // user-supplied plain tags. The context bounds the brokering fan-out
-// against the (simulated) remote resolvers.
+// against the (simulated) remote resolvers and carries the trace the
+// per-stage spans attach to (lodify_span_seconds{span="annotate.*"}).
 func (p *Pipeline) Annotate(ctx context.Context, title string, tags []string) *Result {
+	mRuns.Inc()
+	ctx, root := obs.StartSpan(ctx, "annotate")
+	defer root.End(ctx)
 	res := &Result{}
 
 	// 1. Language identification (Cavnar-Trenkle n-grams).
+	stageCtx, sp := obs.StartSpan(ctx, "annotate.langid")
 	res.Language = p.detector.Detect(title)
+	sp.End(stageCtx)
 
 	// 2. Morphological analysis with the identified language.
+	stageCtx, sp = obs.StartSpan(ctx, "annotate.morph")
 	an := p.analyzers.get(res.Language)
 	res.Tokens = an.Analyze(title)
+	sp.End(stageCtx)
 
 	// 3. NP lemma extraction (score >= 0.2, non-numeric) merged with
 	// plain tags into a unique (multi)word list.
+	stageCtx, sp = obs.StartSpan(ctx, "annotate.wordlist")
 	res.Words = p.wordList(an, res.Tokens, tags)
+	sp.End(stageCtx)
+	mWords.Add(int64(len(res.Words)))
 
 	// 4-6. Brokering, filtering, decision per word. Full-text
 	// resolvers run once over the whole title; their candidates are
 	// attributed to the words their spans cover.
-	textCands := p.broker.ResolveText(ctx, title, res.Language)
+	brokerCtx, sp := obs.StartSpan(ctx, "annotate.broker")
+	textCands := p.broker.ResolveText(brokerCtx, title, res.Language)
+	var perWord [][]resolver.Candidate
 	for _, w := range res.Words {
-		cands := p.broker.ResolveTerm(ctx, w, res.Language)
+		cands := p.broker.ResolveTerm(brokerCtx, w, res.Language)
 		cands = append(cands, matchSpans(textCands, w)...)
-		res.Annotations = append(res.Annotations, p.decide(w, cands))
+		perWord = append(perWord, cands)
 	}
+	sp.End(brokerCtx)
+
+	stageCtx, sp = obs.StartSpan(ctx, "annotate.filter")
+	for i, w := range res.Words {
+		res.Annotations = append(res.Annotations, p.decide(w, perWord[i]))
+	}
+	sp.End(stageCtx)
 	return res
 }
 
@@ -246,6 +276,10 @@ func matchSpans(cands []resolver.Candidate, word string) []resolver.Candidate {
 // of one word.
 func (p *Pipeline) decide(word string, cands []resolver.Candidate) Annotation {
 	a := Annotation{Word: word, CandidateCount: len(cands), Decision: DecisionNone}
+	mCandidates.Add(int64(len(cands)))
+	defer func() {
+		obs.C("lodify_annotate_decisions_total", "decision", string(a.Decision)).Inc()
+	}()
 	if len(cands) == 0 {
 		return a
 	}

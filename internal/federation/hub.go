@@ -9,9 +9,22 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
+	"lodify/internal/obs"
 	"lodify/internal/sparql"
 	"lodify/internal/store"
+)
+
+// Hub delivery metrics: how long a publish takes to reach each
+// subscriber (the paper's "near-instant notification" claim, §6.2)
+// and how SparqlPuSH re-evaluations fan out.
+var (
+	mDeliverySeconds = obs.H("lodify_federation_delivery_seconds")
+	mDeliveries      = obs.C("lodify_federation_deliveries_total", "result", "ok")
+	mDeliveryErrs    = obs.C("lodify_federation_deliveries_total", "result", "error")
+	mSparqlPushes    = obs.C("lodify_federation_sparql_pushes_total")
+	mSparqlFresh     = obs.C("lodify_federation_sparql_fresh_solutions_total")
 )
 
 // Hub is a PubSubHubbub hub with an extension for SparqlPuSH-style
@@ -147,18 +160,27 @@ func (h *Hub) SubscribeSPARQL(query, callback string) error {
 // synchronously ("near-instant notifications", §6.2). The context
 // bounds every delivery.
 func (h *Hub) Publish(ctx context.Context, topic string, payload []byte) {
+	ctx, sp := obs.StartSpan(ctx, "federation.publish")
+	defer sp.End(ctx)
 	h.mu.Lock()
 	subs := append([]subscription(nil), h.subs[topic]...)
 	h.mu.Unlock()
 	for _, s := range subs {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.callback, bytes.NewReader(payload))
 		if err != nil {
+			mDeliveryErrs.Inc()
 			continue
 		}
 		req.Header.Set("Content-Type", "application/atom+xml")
 		req.Header.Set("X-Hub-Topic", topic)
+		req.Header.Set(obs.TraceHeader, sp.TraceID)
+		start := time.Now()
 		if resp, err := h.client.Do(req); err == nil {
 			resp.Body.Close()
+			mDeliverySeconds.ObserveSince(start)
+			mDeliveries.Inc()
+		} else {
+			mDeliveryErrs.Inc()
 		}
 	}
 }
@@ -169,6 +191,8 @@ func (h *Hub) NotifySPARQL(ctx context.Context) {
 	if h.st == nil {
 		return
 	}
+	ctx, sp := obs.StartSpan(ctx, "federation.notify_sparql")
+	defer sp.End(ctx)
 	engine := sparql.NewEngine(h.st)
 	h.mu.Lock()
 	subs := append([]*sparqlSub(nil), h.sparql...)
@@ -191,15 +215,23 @@ func (h *Hub) NotifySPARQL(ctx context.Context) {
 		if len(fresh) == 0 {
 			continue
 		}
+		mSparqlFresh.Add(int64(len(fresh)))
 		payload := strings.Join(fresh, "\n")
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, sub.callback, strings.NewReader(payload))
 		if err != nil {
+			mDeliveryErrs.Inc()
 			continue
 		}
 		req.Header.Set("Content-Type", "text/plain")
 		req.Header.Set("X-SparqlPush", "update")
+		req.Header.Set(obs.TraceHeader, sp.TraceID)
+		start := time.Now()
 		if resp, err := h.client.Do(req); err == nil {
 			resp.Body.Close()
+			mDeliverySeconds.ObserveSince(start)
+			mSparqlPushes.Inc()
+		} else {
+			mDeliveryErrs.Inc()
 		}
 	}
 }

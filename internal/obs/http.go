@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// TraceHeader carries the trace identifier across HTTP hops: inbound
+// requests may supply one (federation peers propagate theirs), and
+// every response echoes the request's trace for log correlation.
+const TraceHeader = "X-Trace-Id"
+
+// statusRecorder captures the response status code and byte count.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// Middleware instruments an HTTP handler: it opens a span named after
+// the route, adopts an inbound X-Trace-Id (minting one otherwise),
+// echoes it on the response, and records per-route request counts,
+// status classes, latency and response sizes in the Default registry:
+//
+//	lodify_http_requests_total{route,code}
+//	lodify_http_request_seconds{route}
+//	lodify_http_response_bytes_total{route}
+//	lodify_http_inflight
+func Middleware(route string, next http.Handler) http.Handler {
+	latency := H("lodify_http_request_seconds", "route", route)
+	respBytes := C("lodify_http_response_bytes_total", "route", route)
+	inflight := G("lodify_http_inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if id := r.Header.Get(TraceHeader); id != "" {
+			ctx = WithTraceID(ctx, id)
+		}
+		ctx, sp := StartSpan(ctx, "http "+route)
+		w.Header().Set(TraceHeader, sp.TraceID)
+		sr := &statusRecorder{ResponseWriter: w}
+		inflight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sr, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		inflight.Add(-1)
+		sp.End(ctx)
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		C("lodify_http_requests_total", "route", route, "code", strconv.Itoa(sr.status)).Inc()
+		latency.Observe(elapsed.Seconds())
+		respBytes.Add(sr.bytes)
+	})
+}
+
+// MetricsHandler serves the Default registry in the Prometheus text
+// exposition format (the GET /metrics endpoint).
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := Default.WritePrometheus(w); err != nil {
+			Log(r.Context()).Error("metrics exposition failed", "err", err)
+		}
+	})
+}
+
+// ExpvarHandler serves GET /debug/vars, including the full registry
+// snapshot under the "lodify" key.
+func ExpvarHandler() http.Handler {
+	PublishExpvar()
+	return expvar.Handler()
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// logger holds the process logger; swap it with SetLogger. The default
+// writes logfmt-style lines to stderr at Info level, matching the
+// plain-log behaviour the binaries had before structured logging.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+}
+
+// SetLogger replaces the process logger (cmd wiring; tests may install
+// a discard logger).
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		logger.Store(l)
+	}
+}
+
+// Logger returns the process logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// Log returns the process logger enriched with the trace/span
+// identifiers carried by ctx, the logging half of the trace
+// propagation contract: every line of one request shares a trace_id.
+func Log(ctx context.Context) *slog.Logger {
+	l := Logger()
+	if id := TraceID(ctx); id != "" {
+		l = l.With(slog.String("trace_id", id))
+	}
+	if id := SpanID(ctx); id != "" {
+		l = l.With(slog.String("span_id", id))
+	}
+	return l
+}
+
+// logSpan emits the span-completion debug line.
+func logSpan(ctx context.Context, s *Span, d time.Duration) {
+	l := Logger()
+	if !l.Enabled(ctx, slog.LevelDebug) {
+		return
+	}
+	attrs := []any{
+		slog.String("span", s.Name),
+		slog.String("trace_id", s.TraceID),
+		slog.String("span_id", s.SpanID),
+		slog.Duration("dur", d),
+	}
+	if s.ParentID != "" {
+		attrs = append(attrs, slog.String("parent_id", s.ParentID))
+	}
+	l.DebugContext(ctx, "span", attrs...)
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "op", "add")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("test_ops_total", "op", "add") != c {
+		t.Fatal("same series must return the same counter")
+	}
+	if r.Counter("test_ops_total", "op", "del") == c {
+		t.Fatal("different labels must return a different counter")
+	}
+
+	g := r.Gauge("test_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestSeriesKeySortsLabels(t *testing.T) {
+	a := seriesKey("m", []string{"b", "2", "a", "1"})
+	b := seriesKey("m", []string{"a", "1", "b", "2"})
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Fatalf("keys differ: %q vs %q", a, b)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.05, 0.05, 0.5, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 10.6 || got > 10.61 {
+		t.Fatalf("sum = %g", got)
+	}
+	// Cumulative: le=0.01 -> 1, le=0.1 -> 3, le=1 -> 4, +Inf -> 5.
+	var b strings.Builder
+	if err := writeHistogram(&b, "h", h); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_bucket{le="0.01"} 1`,
+		`h_bucket{le="0.1"} 3`,
+		`h_bucket{le="1"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+		`h_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_reqs_total", "route", "/x").Add(3)
+	r.Gauge("app_depth").Set(2)
+	r.GaugeFunc("app_live", func() float64 { return 1.5 })
+	r.Histogram("app_lat_seconds", "route", "/x").Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE app_reqs_total counter",
+		`app_reqs_total{route="/x"} 3`,
+		"# TYPE app_depth gauge",
+		"app_depth 2",
+		"app_live 1.5",
+		"# TYPE app_lat_seconds histogram",
+		`app_lat_seconds_bucket{route="/x",le="0.0025"} 1`,
+		`app_lat_seconds_count{route="/x"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrentExposition hammers one registry from many
+// goroutines — counters, gauges, histograms, series creation — while
+// concurrently rendering the Prometheus exposition and snapshots. Run
+// with -race (the CI gate does), this is the registry's data-race
+// proof.
+func TestRegistryConcurrentExposition(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(writers)
+	for i := 0; i < writers; i++ {
+		go func(n int) {
+			defer wg.Done()
+			lbl := []string{"w", string(rune('a' + n%4))}
+			for j := 0; j < perWriter; j++ {
+				r.Counter("conc_ops_total", lbl...).Inc()
+				r.Gauge("conc_gauge", lbl...).Add(1)
+				r.Histogram("conc_lat_seconds", lbl...).Observe(float64(j) * 1e-6)
+			}
+		}(i)
+	}
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.CounterValue("conc_ops_total"); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	snap := r.Snapshot()
+	histTotal := 0.0
+	for k, v := range snap {
+		if strings.HasPrefix(k, "conc_lat_seconds") && strings.HasSuffix(k, "_count") {
+			histTotal += v
+		}
+	}
+	if int(histTotal) != writers*perWriter {
+		t.Fatalf("histogram count = %v, want %d", histTotal, writers*perWriter)
+	}
+}
+
+func TestTracePropagation(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("fresh context must carry no trace")
+	}
+	ctx, root := StartSpan(ctx, "root")
+	if root.TraceID == "" || root.SpanID == "" || root.ParentID != "" {
+		t.Fatalf("root span ids: %+v", root)
+	}
+	if TraceID(ctx) != root.TraceID || SpanID(ctx) != root.SpanID {
+		t.Fatal("context must carry the root span identifiers")
+	}
+	ctx2, child := StartSpan(ctx, "child")
+	if child.TraceID != root.TraceID {
+		t.Fatal("child must share the trace")
+	}
+	if child.ParentID != root.SpanID {
+		t.Fatalf("child parent = %q, want %q", child.ParentID, root.SpanID)
+	}
+	child.End(ctx2)
+	root.End(ctx)
+	if H("lodify_span_seconds", "span", "child").Count() < 1 {
+		t.Fatal("span duration not recorded")
+	}
+	// Explicit trace adoption.
+	adopted := WithTraceID(context.Background(), "cafe0123cafe0123")
+	_, sp := StartSpan(adopted, "adopted")
+	if sp.TraceID != "cafe0123cafe0123" {
+		t.Fatalf("adopted trace = %q", sp.TraceID)
+	}
+}
+
+func TestMiddlewareRecordsAndPropagates(t *testing.T) {
+	var seenTrace string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenTrace = TraceID(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	})
+	h := Middleware("/teapot", inner)
+
+	before := Default.Counter("lodify_http_requests_total", "route", "/teapot", "code", "418").Value()
+	req := httptest.NewRequest(http.MethodGet, "/teapot", nil)
+	req.Header.Set(TraceHeader, "feedfacefeedface")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if seenTrace != "feedfacefeedface" {
+		t.Fatalf("handler saw trace %q", seenTrace)
+	}
+	if got := rec.Header().Get(TraceHeader); got != "feedfacefeedface" {
+		t.Fatalf("response trace = %q", got)
+	}
+	after := Default.Counter("lodify_http_requests_total", "route", "/teapot", "code", "418").Value()
+	if after != before+1 {
+		t.Fatalf("request counter %d -> %d", before, after)
+	}
+	if Default.Histogram("lodify_http_request_seconds", "route", "/teapot").Count() < 1 {
+		t.Fatal("latency histogram empty")
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := newHistogram(DefBuckets)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 || h.Sum() < 0.001 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+}

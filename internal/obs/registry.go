@@ -1,0 +1,425 @@
+// Package obs is the platform's observability substrate: a stdlib-only
+// metrics registry (atomic counters, gauges, histograms) with
+// Prometheus-text and expvar exposition, trace/span identifiers that
+// ride the context.Context plumbing the remote-endpoint packages
+// already thread, and structured logging over log/slog. Every hot path
+// — HTTP routes, the SPARQL executor, the quad store, the Fig. 1
+// annotation pipeline, the resolver broker and the federation hub —
+// reports through the Default registry, so one `GET /metrics` scrape
+// answers "where does the time go" for the whole process.
+//
+// Metric naming follows the Prometheus conventions recorded in
+// DESIGN.md §8: `lodify_<subsystem>_<quantity>_<unit>`, counters end
+// in `_total`, timings are histograms in seconds named `_seconds`.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments by n (negative deltas are ignored: counters only go
+// up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add increments (or decrements) the value.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default histogram bucket upper bounds in seconds,
+// spanning microsecond-scale store lookups to multi-second scrapes.
+var DefBuckets = []float64{
+	1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 25e-4, 1e-2, 5e-2, 0.25, 1, 5,
+}
+
+// Histogram is a fixed-bucket cumulative histogram of seconds.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(h.bounds, seconds)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + seconds)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples in seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Registry is a concurrency-safe collection of metric series. The
+// zero value is not usable; use NewRegistry or the package Default.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	gaugeFuncs map[string]func() float64
+	kinds      map[string]string // family name -> prometheus type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		gaugeFuncs: map[string]func() float64{},
+		kinds:      map[string]string{},
+	}
+}
+
+// Default is the process-wide registry every instrumented package
+// reports to.
+var Default = NewRegistry()
+
+// seriesKey renders name plus sorted label pairs into the canonical
+// series identity (also its exposition form).
+func seriesKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter returns (creating if needed) the counter series for name and
+// label pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[key] = c
+	r.kinds[name] = "counter"
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge series for name and
+// label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[key] = g
+	r.kinds[name] = "gauge"
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram series for name
+// and label pairs, with DefBuckets bounds.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	h, ok := r.histograms[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[key]; ok {
+		return h
+	}
+	h = newHistogram(DefBuckets)
+	r.histograms[key] = h
+	r.kinds[name] = "histogram"
+	return h
+}
+
+// GaugeFunc registers (or replaces) a callback gauge: the function is
+// evaluated at exposition time. Replacement semantics keep repeated
+// wiring — every test builds its own web.Server over the shared
+// Default registry — idempotent; the latest instance wins.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[key] = fn
+	r.kinds[name] = "gauge"
+}
+
+// familyOf strips the label block off a series key.
+func familyOf(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// WritePrometheus renders every series in the Prometheus text
+// exposition format (v0.0.4), sorted for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	type line struct {
+		key string
+		val string
+	}
+	lines := make([]line, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFuncs))
+	for k, c := range r.counters {
+		lines = append(lines, line{k, fmt.Sprintf("%d", c.Value())})
+	}
+	for k, g := range r.gauges {
+		lines = append(lines, line{k, fmt.Sprintf("%d", g.Value())})
+	}
+	for k, fn := range r.gaugeFuncs {
+		lines = append(lines, line{k, formatFloat(fn())})
+	}
+	type histLine struct {
+		key string
+		h   *Histogram
+	}
+	hists := make([]histLine, 0, len(r.histograms))
+	for k, h := range r.histograms {
+		hists = append(hists, histLine{k, h})
+	}
+	kinds := make(map[string]string, len(r.kinds))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].key < lines[j].key })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].key < hists[j].key })
+
+	typed := map[string]bool{}
+	writeType := func(family string) error {
+		if typed[family] {
+			return nil
+		}
+		typed[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kinds[family])
+		return err
+	}
+	for _, l := range lines {
+		if err := writeType(familyOf(l.key)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", l.key, l.val); err != nil {
+			return err
+		}
+	}
+	for _, hl := range hists {
+		family := familyOf(hl.key)
+		if err := writeType(family); err != nil {
+			return err
+		}
+		if err := writeHistogram(w, hl.key, hl.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet of
+// one histogram series.
+func writeHistogram(w io.Writer, key string, h *Histogram) error {
+	name, labels := key, ""
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		name, labels = key[:i], key[i+1:len(key)-1]
+	}
+	series := func(suffix, extra string) string {
+		inner := labels
+		if extra != "" {
+			if inner != "" {
+				inner += ","
+			}
+			inner += extra
+		}
+		if inner == "" {
+			return name + suffix
+		}
+		return name + suffix + "{" + inner + "}"
+	}
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+		if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", series("_sum", ""), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", series("_count", ""), h.Count())
+	return err
+}
+
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// Snapshot returns the current value of every counter and gauge series
+// (histograms appear as <key>_count and <key>_sum). It backs the
+// /api/stats gauges and tests.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+2*len(r.histograms))
+	for k, c := range r.counters {
+		out[k] = float64(c.Value())
+	}
+	for k, g := range r.gauges {
+		out[k] = float64(g.Value())
+	}
+	for k, fn := range r.gaugeFuncs {
+		out[k] = fn()
+	}
+	for k, h := range r.histograms {
+		out[k+"_count"] = float64(h.Count())
+		out[k+"_sum"] = h.Sum()
+	}
+	return out
+}
+
+// CounterValue sums every counter series of the family (across all
+// label combinations).
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for k, c := range r.counters {
+		if familyOf(k) == name {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+// Package-level shorthands on the Default registry.
+
+// C is Default.Counter.
+func C(name string, labels ...string) *Counter { return Default.Counter(name, labels...) }
+
+// G is Default.Gauge.
+func G(name string, labels ...string) *Gauge { return Default.Gauge(name, labels...) }
+
+// H is Default.Histogram.
+func H(name string, labels ...string) *Histogram { return Default.Histogram(name, labels...) }
+
+// GaugeFunc registers a callback gauge on Default.
+func GaugeFunc(name string, fn func() float64, labels ...string) {
+	Default.GaugeFunc(name, fn, labels...)
+}
+
+// expvarOnce guards the one-time expvar publication of the Default
+// registry (expvar panics on duplicate names).
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the Default registry under the "lodify"
+// expvar variable so GET /debug/vars includes every series. Safe to
+// call repeatedly.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("lodify", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// ctxKey keys the trace data carried by a context.
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// NewID returns a 16-hex-digit random identifier for traces and spans.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; a zero ID
+		// is still a valid (if degenerate) identifier.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTraceID returns ctx carrying the given trace identifier.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey, id)
+}
+
+// TraceID returns the trace identifier carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey).(string)
+	return id
+}
+
+// SpanID returns the active span identifier carried by ctx, or "".
+func SpanID(ctx context.Context) string {
+	id, _ := ctx.Value(spanKey).(string)
+	return id
+}
+
+// Span is one timed operation inside a trace. End records its duration
+// into the `lodify_span_seconds{span=...}` histogram of the Default
+// registry and logs it at debug level.
+type Span struct {
+	// Name labels the operation ("http /api/search", "annotate.broker").
+	Name string
+	// TraceID is the owning trace; SpanID this span; ParentID the
+	// enclosing span ("" at the root).
+	TraceID  string
+	SpanID   string
+	ParentID string
+
+	start time.Time
+	ended bool
+}
+
+// StartSpan opens a span named name, minting a trace ID when ctx does
+// not already carry one, and returns the derived context (carrying the
+// trace and this span's ID) plus the span. Always end the span:
+//
+//	ctx, sp := obs.StartSpan(ctx, "annotate.broker")
+//	defer sp.End(ctx)
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	trace := TraceID(ctx)
+	if trace == "" {
+		trace = NewID()
+	}
+	sp := &Span{
+		Name:     name,
+		TraceID:  trace,
+		SpanID:   NewID(),
+		ParentID: SpanID(ctx),
+		start:    time.Now(),
+	}
+	ctx = WithTraceID(ctx, trace)
+	ctx = context.WithValue(ctx, spanKey, sp.SpanID)
+	return ctx, sp
+}
+
+// End closes the span, records its duration and returns it. Multiple
+// End calls record once.
+func (s *Span) End(ctx context.Context) time.Duration {
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	H("lodify_span_seconds", "span", s.Name).Observe(d.Seconds())
+	logSpan(ctx, s, d)
+	return d
+}

@@ -19,8 +19,13 @@ import (
 	"sync"
 	"time"
 
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
 )
+
+// mAborts counts resolver round trips abandoned by context
+// cancellation (their candidates are dropped).
+var mAborts = obs.C("lodify_resolver_aborts_total")
 
 // Candidate is one candidate LOD resource for a term or title.
 type Candidate struct {
@@ -122,9 +127,12 @@ func (b *Broker) ResolveTerm(ctx context.Context, word, lang string) []Candidate
 		go func(i int, r TermResolver) {
 			defer wg.Done()
 			if !b.simulateRoundTrip(ctx) {
+				mAborts.Inc()
 				return
 			}
+			start := time.Now()
 			results[i] = r.ResolveTerm(word, lang, b.PerResolverLimit)
+			recordResolve(r.Name(), "term", start, len(results[i]))
 		}(i, r)
 	}
 	wg.Wait()
@@ -141,13 +149,24 @@ func (b *Broker) ResolveText(ctx context.Context, title, lang string) []Candidat
 		go func(i int, r TextResolver) {
 			defer wg.Done()
 			if !b.simulateRoundTrip(ctx) {
+				mAborts.Inc()
 				return
 			}
+			start := time.Now()
 			results[i] = r.ResolveText(title, lang, b.PerResolverLimit)
+			recordResolve(r.Name(), "text", start, len(results[i]))
 		}(i, r)
 	}
 	wg.Wait()
 	return mergeCandidates(results, "")
+}
+
+// recordResolve publishes one resolver round trip: request count,
+// latency and candidates produced, labeled by resolver and kind.
+func recordResolve(name, kind string, start time.Time, candidates int) {
+	obs.C("lodify_resolver_requests_total", "resolver", name, "kind", kind).Inc()
+	obs.H("lodify_resolver_seconds", "resolver", name).ObserveSince(start)
+	obs.C("lodify_resolver_candidates_total", "resolver", name).Add(int64(candidates))
 }
 
 // simulateRoundTrip blocks for the configured web-service latency,

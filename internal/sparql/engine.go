@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
 	"lodify/internal/store"
 )
@@ -35,14 +37,28 @@ type Result struct {
 func (e *Engine) Query(src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
+		mParseErrors.Inc()
 		return nil, err
 	}
 	return e.Exec(q)
 }
 
-// Exec executes a parsed query.
+// Exec executes a parsed query, recording query latency, the solution
+// count and per-algebra-node cardinalities in the Default registry.
 func (e *Engine) Exec(q *Query) (*Result, error) {
-	ex := &executor{st: e.st}
+	start := time.Now()
+	ex := &executor{st: e.st, alg: newAlgCounters()}
+	res, err := e.exec(ex, q)
+	ex.alg.flush()
+	mQuerySeconds.ObserveSince(start)
+	obs.C("lodify_sparql_queries_total", "form", formName(q.Form)).Inc()
+	if res != nil {
+		mSolutions.Add(int64(len(res.Solutions)))
+	}
+	return res, err
+}
+
+func (e *Engine) exec(ex *executor, q *Query) (*Result, error) {
 	switch q.Form {
 	case FormSelect:
 		sols, vars := ex.evalQuery(q)

@@ -15,6 +15,9 @@ type executor struct {
 	// graph restricts BGP matching when inside GRAPH <g> { }; zero
 	// means "any graph" (default + named union, Virtuoso-style).
 	graph rdf.Term
+	// alg accumulates per-node evaluation counts for the query; nil
+	// disables the accounting (bare executors in tests).
+	alg *algCounters
 }
 
 // evalQuery runs the WHERE clause and applies solution modifiers,
@@ -154,6 +157,12 @@ func (ex *executor) evalGroup(g *GroupPattern, input []Solution) []Solution {
 }
 
 func (ex *executor) evalNode(n PatternNode, input []Solution) []Solution {
+	out := ex.evalNodeInner(n, input)
+	ex.alg.record(nodeKind(n), len(out))
+	return out
+}
+
+func (ex *executor) evalNodeInner(n PatternNode, input []Solution) []Solution {
 	switch node := n.(type) {
 	case *BGP:
 		return ex.evalBGP(node, input)
@@ -186,7 +195,7 @@ func (ex *executor) evalNode(n PatternNode, input []Solution) []Solution {
 	case *GraphPattern:
 		return ex.evalGraph(node, input)
 	case *SubQuery:
-		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph}
+		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph, alg: ex.alg}
 		subSols, _ := sub.evalQuery(node.Query)
 		return joinSets(input, subSols)
 	case *BindPattern:

@@ -1,0 +1,96 @@
+package sparql
+
+import (
+	"lodify/internal/obs"
+)
+
+// Query-level metrics (created once; hot paths pay atomic ops only).
+var (
+	mQuerySeconds  = obs.H("lodify_sparql_query_seconds")
+	mSolutions     = obs.C("lodify_sparql_solutions_total")
+	mParseErrors   = obs.C("lodify_sparql_parse_errors_total")
+	mUpdateSeconds = obs.H("lodify_sparql_update_seconds")
+	mUpdateQuads   = obs.C("lodify_sparql_update_quads_total")
+)
+
+// algCounters accumulates per-algebra-node evaluation counts and
+// output cardinalities for one query run. The executor is
+// single-goroutine, so plain ints suffice; flush publishes the totals
+// to the Default registry in one batch instead of contending on it at
+// every node.
+type algCounters struct {
+	evals map[string]int
+	sols  map[string]int
+}
+
+func newAlgCounters() *algCounters {
+	return &algCounters{evals: map[string]int{}, sols: map[string]int{}}
+}
+
+// record notes one evaluation of an algebra node kind and the number
+// of solutions it produced.
+func (a *algCounters) record(node string, produced int) {
+	if a == nil {
+		return
+	}
+	a.evals[node]++
+	a.sols[node] += produced
+}
+
+// flush publishes the accumulated per-node counts:
+//
+//	lodify_sparql_algebra_evals_total{node}
+//	lodify_sparql_algebra_solutions_total{node}
+func (a *algCounters) flush() {
+	if a == nil {
+		return
+	}
+	for node, n := range a.evals {
+		obs.C("lodify_sparql_algebra_evals_total", "node", node).Add(int64(n))
+	}
+	for node, n := range a.sols {
+		obs.C("lodify_sparql_algebra_solutions_total", "node", node).Add(int64(n))
+	}
+}
+
+// nodeKind labels a pattern node for the algebra metrics.
+func nodeKind(n PatternNode) string {
+	switch n.(type) {
+	case *BGP:
+		return "bgp"
+	case *GroupPattern:
+		return "group"
+	case *OptionalPattern:
+		return "optional"
+	case *UnionPattern:
+		return "union"
+	case *MinusPattern:
+		return "minus"
+	case *GraphPattern:
+		return "graph"
+	case *SubQuery:
+		return "subquery"
+	case *BindPattern:
+		return "bind"
+	case *ValuesPattern:
+		return "values"
+	default:
+		return "other"
+	}
+}
+
+// formName labels a query form for the query counter.
+func formName(f QueryForm) string {
+	switch f {
+	case FormSelect:
+		return "select"
+	case FormAsk:
+		return "ask"
+	case FormConstruct:
+		return "construct"
+	case FormDescribe:
+		return "describe"
+	default:
+		return "other"
+	}
+}

@@ -3,6 +3,7 @@ package sparql
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"lodify/internal/rdf"
 )
@@ -268,6 +269,7 @@ type UpdateResult struct {
 func (e *Engine) Update(src string) (UpdateResult, error) {
 	req, err := ParseUpdate(src)
 	if err != nil {
+		mParseErrors.Inc()
 		return UpdateResult{}, err
 	}
 	return e.ExecUpdate(req)
@@ -276,6 +278,7 @@ func (e *Engine) Update(src string) (UpdateResult, error) {
 // ExecUpdate executes a parsed update request. Operations apply in
 // order; each operation is atomic.
 func (e *Engine) ExecUpdate(req *UpdateRequest) (UpdateResult, error) {
+	defer mUpdateSeconds.ObserveSince(time.Now())
 	total := UpdateResult{}
 	for _, op := range req.Ops {
 		res, err := e.execOp(op)
@@ -285,6 +288,7 @@ func (e *Engine) ExecUpdate(req *UpdateRequest) (UpdateResult, error) {
 		total.Inserted += res.Inserted
 		total.Deleted += res.Deleted
 	}
+	mUpdateQuads.Add(int64(total.Inserted + total.Deleted))
 	return total, nil
 }
 

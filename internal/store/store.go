@@ -5,9 +5,24 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"lodify/internal/geo"
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
+)
+
+// Process-wide store metrics (totals across every Store instance;
+// series are created once so the hot paths pay one atomic op each).
+var (
+	mQuadsAdded    = obs.C("lodify_store_quads_added_total")
+	mQuadsRemoved  = obs.C("lodify_store_quads_removed_total")
+	mTxnCommits    = obs.C("lodify_store_txn_commits_total")
+	mTxnSeconds    = obs.H("lodify_store_txn_commit_seconds")
+	mTextSearch    = obs.C("lodify_store_text_searches_total", "kind", "contains")
+	mPrefixSearch  = obs.C("lodify_store_text_searches_total", "kind", "prefix")
+	mSearchSeconds = obs.H("lodify_store_text_search_seconds")
+	mGeoQueries    = obs.C("lodify_store_geo_queries_total")
 )
 
 // Store is the semantic quad store. All methods are safe for
@@ -64,6 +79,7 @@ func (st *Store) Add(q rdf.Quad) (bool, error) {
 		return false, nil
 	}
 	st.size++
+	mQuadsAdded.Inc()
 	st.indexSecondary(q, s, o, true)
 	return true, nil
 }
@@ -106,6 +122,7 @@ func (st *Store) Remove(q rdf.Quad) bool {
 		return false
 	}
 	st.size--
+	mQuadsRemoved.Inc()
 	if gi.size == 0 && g != 0 {
 		delete(st.graphs, g)
 	}
@@ -305,6 +322,8 @@ func (st *Store) Subjects(p, o rdf.Term) []rdf.Term {
 // literal contains every token of query (AND semantics), mirroring
 // Virtuoso's bif:contains. Results are sorted by subject term order.
 func (st *Store) TextSearch(query string) []rdf.Term {
+	mTextSearch.Inc()
+	defer mSearchSeconds.ObserveSince(time.Now())
 	st.mu.RLock()
 	subjIDs := st.text.search(query)
 	out := make([]rdf.Term, 0, len(subjIDs))
@@ -320,6 +339,8 @@ func (st *Store) TextSearch(query string) []rdf.Term {
 // starting with prefix — the operation behind the mobile interface's
 // incremental AJAX search (Fig. 2–3). Limit <= 0 means no limit.
 func (st *Store) TextPrefixSearch(prefix string, limit int) []rdf.Term {
+	mPrefixSearch.Inc()
+	defer mSearchSeconds.ObserveSince(time.Now())
 	st.mu.RLock()
 	subjIDs := st.text.prefixSearch(prefix)
 	out := make([]rdf.Term, 0, len(subjIDs))
@@ -337,6 +358,7 @@ func (st *Store) TextPrefixSearch(prefix string, limit int) []rdf.Term {
 // GeoWithin returns the subjects whose geo:geometry literal lies
 // within radius degrees of center, sorted.
 func (st *Store) GeoWithin(center geo.Point, radius float64) []rdf.Term {
+	mGeoQueries.Inc()
 	st.mu.RLock()
 	ids := st.geo.Within(center, radius)
 	out := make([]rdf.Term, 0, len(ids))
@@ -357,6 +379,49 @@ func (st *Store) GeometryOf(s rdf.Term) (geo.Point, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.geo.Lookup(uint64(sid))
+}
+
+// Stats is a size snapshot of the store and its secondary indexes.
+type Stats struct {
+	// Quads counts stored quads across all graphs; Graphs the named
+	// graphs plus the default one; Terms the interned dictionary size.
+	Quads  int `json:"quads"`
+	Graphs int `json:"graphs"`
+	Terms  int `json:"terms"`
+	// TextTokens and TextPostings size the full-text inverted index;
+	// GeoEntries the spatial grid.
+	TextTokens   int `json:"textTokens"`
+	TextPostings int `json:"textPostings"`
+	GeoEntries   int `json:"geoEntries"`
+}
+
+// StatsSnapshot collects current index sizes (one lock hold).
+func (st *Store) StatsSnapshot() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	tokens, postings := st.text.stats()
+	return Stats{
+		Quads:        st.size,
+		Graphs:       len(st.graphs),
+		Terms:        st.dict.size(),
+		TextTokens:   tokens,
+		TextPostings: postings,
+		GeoEntries:   st.geo.Len(),
+	}
+}
+
+// ExposeMetrics registers live-size gauges for this store on the
+// Default obs registry (lodify_store_quads, _terms, _graphs,
+// _text_tokens, _text_postings, _geo_entries). Re-registering — a new
+// server over a new store — replaces the previous instance, so the
+// gauges always describe the store actually serving traffic.
+func (st *Store) ExposeMetrics() {
+	obs.GaugeFunc("lodify_store_quads", func() float64 { return float64(st.Len()) })
+	obs.GaugeFunc("lodify_store_terms", func() float64 { return float64(st.TermCount()) })
+	obs.GaugeFunc("lodify_store_graphs", func() float64 { return float64(st.StatsSnapshot().Graphs) })
+	obs.GaugeFunc("lodify_store_text_tokens", func() float64 { return float64(st.StatsSnapshot().TextTokens) })
+	obs.GaugeFunc("lodify_store_text_postings", func() float64 { return float64(st.StatsSnapshot().TextPostings) })
+	obs.GaugeFunc("lodify_store_geo_entries", func() float64 { return float64(st.StatsSnapshot().GeoEntries) })
 }
 
 // DumpNQuads writes the entire store as N-Quads in deterministic
@@ -452,6 +517,8 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 		return out
 	}
 	sAdds, sRems := stage(tx.adds), stage(tx.removes)
+	mTxnCommits.Inc()
+	defer mTxnSeconds.ObserveSince(time.Now())
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for _, e := range sRems {
@@ -459,6 +526,7 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 		if ok && gi.del(e.s, e.p, e.o) {
 			st.size--
 			removed++
+			mQuadsRemoved.Inc()
 			st.indexSecondary(e.q, e.s, e.o, false)
 		}
 	}
@@ -471,6 +539,7 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 		if gi.add(e.s, e.p, e.o) {
 			st.size++
 			added++
+			mQuadsAdded.Inc()
 			st.indexSecondary(e.q, e.s, e.o, true)
 		}
 	}

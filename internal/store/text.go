@@ -65,6 +65,16 @@ func (ti *textIndex) unindex(_ termID, subj termID, text string) {
 	}
 }
 
+// stats sizes the index: distinct tokens and total postings entries.
+// Caller holds the store lock.
+func (ti *textIndex) stats() (tokens, postings int) {
+	tokens = len(ti.postings)
+	for _, m := range ti.postings {
+		postings += len(m)
+	}
+	return tokens, postings
+}
+
 // search returns subjects containing every token of query.
 func (ti *textIndex) search(query string) []termID {
 	toks := Tokenize(query)

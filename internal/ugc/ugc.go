@@ -22,10 +22,19 @@ import (
 	"lodify/internal/ctxmgr"
 	"lodify/internal/d2r"
 	"lodify/internal/geo"
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
 	"lodify/internal/reldb"
 	"lodify/internal/store"
 	"lodify/internal/tags"
+)
+
+// Publish-path metrics: ingest latency end to end (both legacy and
+// semantic paths) and the content volume.
+var (
+	mPublishSeconds = obs.H("lodify_ugc_publish_seconds")
+	mPublished      = obs.C("lodify_ugc_published_total")
+	mPublishErrs    = obs.C("lodify_ugc_publish_errors_total")
 )
 
 // Platform namespace for local resources that have no LOD equivalent
@@ -337,6 +346,21 @@ func (p *Platform) PendingUploads() int {
 // Publish ingests one upload through both the legacy and the semantic
 // paths.
 func (p *Platform) Publish(u Upload) (*Content, error) {
+	c, err := p.publish(u)
+	if err != nil {
+		mPublishErrs.Inc()
+	} else {
+		mPublished.Inc()
+	}
+	return c, err
+}
+
+func (p *Platform) publish(u Upload) (*Content, error) {
+	defer mPublishSeconds.ObserveSince(time.Now())
+	// The platform API is synchronous; the observability trace for
+	// this ingest (and the annotation spans under it) starts here.
+	ctx0, span := obs.StartSpan(context.Background(), "ugc.publish")
+	defer span.End(ctx0)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	user, ok := p.users[u.User]

@@ -24,10 +24,11 @@ func TestStatsEndpointGroupsByCity(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code = %d: %s", rec.Code, rec.Body.String())
 	}
-	var rows []StatsRow
-	if err := json.Unmarshal(rec.Body.Bytes(), &rows); err != nil {
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
+	rows := resp.Cities
 	if len(rows) != 2 {
 		t.Fatalf("rows = %+v", rows)
 	}
@@ -37,6 +38,20 @@ func TestStatsEndpointGroupsByCity(t *testing.T) {
 	}
 	if rows[1].City != "Turin" || rows[1].N != 1 {
 		t.Fatalf("second row = %+v", rows[1])
+	}
+	// The store gauges reflect the live indexes and the pipeline
+	// counters have seen the three publishes.
+	if resp.Store.Quads == 0 || resp.Store.Terms == 0 || resp.Store.TextTokens == 0 {
+		t.Fatalf("store stats empty: %+v", resp.Store)
+	}
+	if resp.Store.Quads != s.Platform.Store.Len() {
+		t.Fatalf("quads = %d, store has %d", resp.Store.Quads, s.Platform.Store.Len())
+	}
+	if resp.Pipeline.AnnotateRuns < 3 || resp.Pipeline.Published < 3 {
+		t.Fatalf("pipeline counters missing publishes: %+v", resp.Pipeline)
+	}
+	if resp.Pipeline.SparqlQueries == 0 {
+		t.Fatal("stats query itself should have counted")
 	}
 }
 

@@ -7,6 +7,7 @@
 package web
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"html"
@@ -19,8 +20,10 @@ import (
 	"lodify/internal/album"
 	"lodify/internal/feed"
 	"lodify/internal/geo"
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
 	"lodify/internal/sparql"
+	"lodify/internal/store"
 	"lodify/internal/ugc"
 )
 
@@ -45,18 +48,28 @@ func NewServer(p *ugc.Platform) *Server {
 		mux:         http.NewServeMux(),
 		SearchLimit: 10,
 	}
-	s.mux.HandleFunc("/", s.handleRoot)
-	s.mux.HandleFunc("/m", s.handleMobile)
-	s.mux.HandleFunc("/api/search", s.handleSearch)
-	s.mux.HandleFunc("/api/resource", s.handleResource)
-	s.mux.HandleFunc("/api/about", s.handleAbout)
-	s.mux.HandleFunc("/api/upload", s.handleUpload)
-	s.mux.HandleFunc("/feeds/keyword/", s.handleKeywordFeed)
-	s.mux.HandleFunc("/sparql", s.handleSPARQL)
-	s.mux.HandleFunc("/api/stats", s.handleStats)
-	s.mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("/sparql-update", s.handleSPARQLUpdate)
-	s.mux.HandleFunc("/describe", s.handleDescribe)
+	// Every route goes through the observability middleware: per-route
+	// latency/status series plus trace-ID adoption and echo.
+	handle := func(route string, h http.HandlerFunc) {
+		s.mux.Handle(route, obs.Middleware(route, h))
+	}
+	handle("/", s.handleRoot)
+	handle("/m", s.handleMobile)
+	handle("/api/search", s.handleSearch)
+	handle("/api/resource", s.handleResource)
+	handle("/api/about", s.handleAbout)
+	handle("/api/upload", s.handleUpload)
+	handle("/feeds/keyword/", s.handleKeywordFeed)
+	handle("/sparql", s.handleSPARQL)
+	handle("/api/stats", s.handleStats)
+	handle("/admin/snapshot", s.handleSnapshot)
+	handle("/sparql-update", s.handleSPARQLUpdate)
+	handle("/describe", s.handleDescribe)
+	s.mux.Handle("/metrics", obs.MetricsHandler())
+	s.mux.Handle("/debug/vars", obs.ExpvarHandler())
+	// Bind the store-size gauges to this server's store so /metrics
+	// reflects the live index sizes.
+	p.Store.ExposeMetrics()
 	return s
 }
 
@@ -474,8 +487,29 @@ type StatsRow struct {
 	Avg  string `json:"avgRating,omitempty"`
 }
 
+// StatsResponse is the /api/stats payload: the per-city content
+// aggregation plus live store index sizes and pipeline counters from
+// the observability registry.
+type StatsResponse struct {
+	Cities   []StatsRow    `json:"cities"`
+	Store    store.Stats   `json:"store"`
+	Pipeline PipelineStats `json:"pipeline"`
+}
+
+// PipelineStats surfaces the ingest/query counters most useful on a
+// dashboard; the full series live at /metrics.
+type PipelineStats struct {
+	Published        int64 `json:"published"`
+	AnnotateRuns     int64 `json:"annotateRuns"`
+	Candidates       int64 `json:"candidates"`
+	ResolverRequests int64 `json:"resolverRequests"`
+	SparqlQueries    int64 `json:"sparqlQueries"`
+	HTTPRequests     int64 `json:"httpRequests"`
+}
+
 // handleStats aggregates contents per city via the SPARQL engine's
-// GROUP BY support (contents link cities through dcterms:spatial).
+// GROUP BY support (contents link cities through dcterms:spatial) and
+// attaches the store/pipeline gauges.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Engine.Query(`
 PREFIX sioct: <http://rdfs.org/sioc/types#>
@@ -491,11 +525,20 @@ SELECT ?city (COUNT(?pic) AS ?n) WHERE {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	var out []StatsRow
+	out := StatsResponse{Cities: []StatsRow{}}
 	for _, sol := range res.Solutions {
 		row := StatsRow{City: sol["city"].Value()}
 		fmt.Sscanf(sol["n"].Value(), "%d", &row.N)
-		out = append(out, row)
+		out.Cities = append(out.Cities, row)
+	}
+	out.Store = s.Platform.Store.StatsSnapshot()
+	out.Pipeline = PipelineStats{
+		Published:        obs.Default.CounterValue("lodify_ugc_published_total"),
+		AnnotateRuns:     obs.Default.CounterValue("lodify_annotate_runs_total"),
+		Candidates:       obs.Default.CounterValue("lodify_annotate_candidates_total"),
+		ResolverRequests: obs.Default.CounterValue("lodify_resolver_requests_total"),
+		SparqlQueries:    obs.Default.CounterValue("lodify_sparql_queries_total"),
+		HTTPRequests:     obs.Default.CounterValue("lodify_http_requests_total"),
 	}
 	writeJSON(w, out)
 }
@@ -575,9 +618,20 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	rdf.WriteTurtle(w, res.Triples, rdf.CommonPrefixes())
 }
 
+// writeJSON encodes v into a buffer first so an encoding failure can
+// still produce a 500 (and a log line) instead of a silently truncated
+// 200 response.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		obs.Logger().Error("writeJSON: encode failed", "err", err)
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		obs.Logger().Warn("writeJSON: write failed", "err", err)
+	}
 }
