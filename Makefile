@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench bench-json ci
+.PHONY: all build test race lint bench bench-smoke bench-json ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -24,6 +24,11 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that panic or
+# assert without paying full measurement time (CI gate).
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Machine-readable experiment results: one JSON document per run,
 # suitable for CI artifacts and regression diffing.

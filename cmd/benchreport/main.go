@@ -135,6 +135,14 @@ func main() {
 		rows := env.E10Ablation()
 		emit("e10", rows, func() string { return experiments.E10Report(rows) })
 	}
+	if sel("sparql") {
+		section("sparql", "SPARQL engine microbenchmarks (id-space execution)")
+		rows, err := sparqlBenchRows(200, 3000, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("sparql", rows, func() string { return sparqlBenchReport(rows) })
+	}
 	if sel("infer") || want["all"] {
 		section("infer", "§2.3 RDFS inference capabilities (extension)")
 		report := experiments.InferReport(env)

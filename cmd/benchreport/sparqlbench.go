@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+// SPARQL engine microbenchmarks for the bench-json artifact: the same
+// query shapes as internal/sparql's bench_test.go (multi-pattern BGP
+// joins, DISTINCT, UNION, VALUES hash join, ORDER BY, wide scans) run
+// via testing.Benchmark over a synthetic UGC-shaped store, so engine
+// regressions show up in CI's BENCH_<label>.json diff.
+
+type sparqlBenchRow struct {
+	Name        string `json:"name"`
+	Solutions   int    `json:"solutions"`
+	NsPerOp     int64  `json:"nsPerOp"`
+	AllocsPerOp int64  `json:"allocsPerOp"`
+	BytesPerOp  int64  `json:"bytesPerOp"`
+}
+
+// sparqlBenchStore builds the synthetic store (users with friendships,
+// posts with maker/rating/tag/title).
+func sparqlBenchStore(users, contents, tags int) (*store.Store, error) {
+	st := store.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+	person := rdf.NewIRI("http://xmlns.com/foaf/0.1/Person")
+	post := rdf.NewIRI("http://rdfs.org/sioc/types#MicroblogPost")
+	name := rdf.NewIRI("http://xmlns.com/foaf/0.1/name")
+	maker := rdf.NewIRI("http://xmlns.com/foaf/0.1/maker")
+	knows := rdf.NewIRI("http://xmlns.com/foaf/0.1/knows")
+	rating := rdf.NewIRI("http://purl.org/stuff/rev#rating")
+	tagP := rdf.NewIRI("http://ex.org/p/tag")
+	title := rdf.NewIRI("http://ex.org/p/title")
+
+	user := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://ex.org/user/%d", i)) }
+	tag := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://ex.org/tag/%d", i)) }
+
+	add := func(s, p, o rdf.Term) error {
+		_, err := st.AddTriple(rdf.Triple{S: s, P: p, O: o})
+		return err
+	}
+	for i := 0; i < users; i++ {
+		u := user(i)
+		if err := add(u, typ, person); err != nil {
+			return nil, err
+		}
+		if err := add(u, name, rdf.NewLiteral(fmt.Sprintf("user %d", i))); err != nil {
+			return nil, err
+		}
+		for k := 1; k <= 4; k++ {
+			if err := add(u, knows, user((i+k*7)%users)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < contents; i++ {
+		c := rdf.NewIRI(fmt.Sprintf("http://ex.org/content/%d", i))
+		if err := add(c, typ, post); err != nil {
+			return nil, err
+		}
+		if err := add(c, maker, user(i%users)); err != nil {
+			return nil, err
+		}
+		if err := add(c, rating, rdf.NewInteger(int64(i%5+1))); err != nil {
+			return nil, err
+		}
+		if err := add(c, tagP, tag((i/users+i)%tags)); err != nil {
+			return nil, err
+		}
+		if err := add(c, title, rdf.NewLiteral(fmt.Sprintf("post %d about things", i))); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// sparqlBenchRows runs the engine microbenchmarks and returns one row
+// per query shape.
+func sparqlBenchRows(users, contents, tags int) ([]sparqlBenchRow, error) {
+	st, err := sparqlBenchStore(users, contents, tags)
+	if err != nil {
+		return nil, err
+	}
+	e := sparql.NewEngine(st)
+
+	const benchPrefixes = `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX sioct: <http://rdfs.org/sioc/types#>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX ex: <http://ex.org/>
+`
+	var values strings.Builder
+	for i := 0; i < 64; i++ {
+		values.WriteString(fmt.Sprintf("<http://ex.org/user/%d> ", i))
+	}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bgp_join3", `SELECT ?c ?r WHERE {
+  <http://ex.org/user/0> foaf:knows ?u .
+  ?c foaf:maker ?u .
+  ?c rev:rating ?r .
+}`},
+		{"bgp_join_distinct", `SELECT DISTINCT ?tag WHERE {
+  <http://ex.org/user/0> foaf:knows ?u .
+  ?c foaf:maker ?u .
+  ?c <http://ex.org/p/tag> ?tag .
+}`},
+		{"union_tags", `SELECT ?c WHERE {
+  { ?c <http://ex.org/p/tag> <http://ex.org/tag/1> }
+  UNION
+  { ?c <http://ex.org/p/tag> <http://ex.org/tag/2> }
+}`},
+		{"values_hash_join", `SELECT ?c ?r WHERE {
+  VALUES ?u { ` + values.String() + ` }
+  ?c foaf:maker ?u .
+  ?c rev:rating ?r .
+}`},
+		{"order_by_rating", `SELECT ?c WHERE { ?c rev:rating ?r } ORDER BY DESC(?r) LIMIT 10`},
+		{"wide_bgp_scan", `SELECT ?c ?u ?r WHERE {
+  ?c a sioct:MicroblogPost .
+  ?c foaf:maker ?u .
+  ?c rev:rating ?r .
+}`},
+	}
+
+	rows := make([]sparqlBenchRow, 0, len(cases))
+	for _, c := range cases {
+		q, err := sparql.Parse(benchPrefixes + c.src)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", c.name, err)
+		}
+		res, err := e.Exec(q)
+		if err != nil {
+			return nil, fmt.Errorf("exec %s: %w", c.name, err)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, sparqlBenchRow{
+			Name:        c.name,
+			Solutions:   len(res.Solutions),
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	return rows, nil
+}
+
+// sparqlBenchReport renders the rows as the table mode prints.
+func sparqlBenchReport(rows []sparqlBenchRow) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-20s %10s %14s %12s %12s\n", "query", "solutions", "ns/op", "B/op", "allocs/op"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-20s %10d %14d %12d %12d\n", r.Name, r.Solutions, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp))
+	}
+	return b.String()
+}

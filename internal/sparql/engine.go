@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lodify/internal/obs"
@@ -50,6 +51,8 @@ func (e *Engine) Exec(q *Query) (*Result, error) {
 	ex := &executor{st: e.st, alg: newAlgCounters()}
 	res, err := e.exec(ex, q)
 	ex.alg.flush()
+	mRowsJoined.Add(atomic.LoadInt64(&ex.rowsJoined))
+	mRowsMaterialized.Add(ex.rowsMaterialized)
 	mQuerySeconds.ObserveSince(start)
 	obs.C("lodify_sparql_queries_total", "form", formName(q.Form)).Inc()
 	if res != nil {

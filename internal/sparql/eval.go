@@ -14,24 +14,6 @@ import (
 // to terms. Missing keys are unbound.
 type Solution map[string]rdf.Term
 
-func (s Solution) clone() Solution {
-	out := make(Solution, len(s)+2)
-	for k, v := range s {
-		out[k] = v
-	}
-	return out
-}
-
-// compatible reports whether two solutions agree on shared variables.
-func compatible(a, b Solution) bool {
-	for k, v := range b {
-		if av, ok := a[k]; ok && !av.Equal(v) {
-			return false
-		}
-	}
-	return true
-}
-
 // evalExpr evaluates an expression against a solution. Unbound
 // variables and type errors return a non-nil error; FILTER treats
 // those as false.
@@ -48,7 +30,9 @@ func (ex *executor) evalExpr(e Expr, sol Solution) (rdf.Term, error) {
 	case ExprCall:
 		return ex.evalCall(v, sol)
 	case ExprExists:
-		out := ex.evalGroup(v.Group, []Solution{sol.clone()})
+		// Bridge back into row space: the solution re-encodes onto the
+		// executor's frame (EXISTS groups share the enclosing scope).
+		out := ex.evalGroup(v.Group, []row{ex.rowFromSolution(sol)})
 		found := len(out) > 0
 		if v.Negate {
 			found = !found

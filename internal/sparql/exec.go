@@ -2,13 +2,30 @@ package sparql
 
 import (
 	"regexp"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"lodify/internal/rdf"
 	"lodify/internal/store"
 )
 
-// executor evaluates a parsed query against a store.
+// Parallel BGP evaluation tuning (package vars so tests can pin them).
+// A BGP whose input has at least bgpParallelThreshold rows fans out
+// across up to bgpMaxWorkers goroutines, each with its own read lease;
+// smaller inputs stay sequential so cheap queries pay no
+// synchronization overhead. Output order is identical either way:
+// workers own contiguous input chunks and results concatenate in chunk
+// order.
+var (
+	bgpParallelThreshold = 64
+	bgpMaxWorkers        = runtime.GOMAXPROCS(0)
+)
+
+// executor evaluates a parsed query against a store. Evaluation runs
+// in id space (see rows.go): solutions are rows of dictionary ids laid
+// out by ex.fr, and rdf.Terms appear only at expression and projection
+// boundaries.
 type executor struct {
 	st         *store.Store
 	regexCache map[string]*regexp.Regexp
@@ -18,29 +35,45 @@ type executor struct {
 	// alg accumulates per-node evaluation counts for the query; nil
 	// disables the accounting (bare executors in tests).
 	alg *algCounters
+	// dict assigns ids to query-computed terms; shared with
+	// sub-executors so ids stay comparable across (sub)query scopes.
+	dict *localDict
+	// fr is the slot layout of the current (sub)query scope.
+	fr *frame
+	// rowsJoined counts rows produced by id-space BGP joins (updated
+	// atomically: parallel workers add their chunk totals);
+	// rowsMaterialized counts row→Solution materializations. Both are
+	// flushed to the metrics registry once per query.
+	rowsJoined       int64
+	rowsMaterialized int64
 }
 
 // evalQuery runs the WHERE clause and applies solution modifiers,
 // returning the projected solutions.
 func (ex *executor) evalQuery(q *Query) ([]Solution, []string) {
-	input := []Solution{{}}
-	var sols []Solution
+	if ex.dict == nil {
+		ex.dict = newLocalDict(ex.st)
+	}
+	ex.fr = queryFrame(q)
+	input := []row{make(row, len(ex.fr.names))}
+	rows := input
 	if q.Where != nil {
-		sols = ex.evalGroup(q.Where, input)
-	} else {
-		sols = input
+		rows = ex.evalGroup(q.Where, input)
 	}
 
 	// Aggregation (GROUP BY / HAVING / set functions) replaces the
-	// plain select-expression evaluation when present.
+	// plain select-expression evaluation when present. Aggregates work
+	// on materialized Solutions: this is an expression boundary.
 	if queryUsesAggregates(q) {
-		sols = ex.evalAggregates(q, sols)
-	} else {
+		rows = ex.rowsFromSolutions(ex.evalAggregates(q, ex.solutionsFromRows(rows)))
+	} else if len(q.Binds) > 0 {
 		// Select expressions (expr AS ?var).
-		for _, b := range q.Binds {
-			for _, sol := range sols {
+		for _, r := range rows {
+			sol := ex.materialize(r)
+			for _, b := range q.Binds {
 				if t, err := ex.evalExpr(b.Expr, sol); err == nil {
 					sol[b.Var] = t
+					r[ex.fr.slots[b.Var]] = ex.dict.idOf(t)
 				}
 			}
 		}
@@ -48,88 +81,63 @@ func (ex *executor) evalQuery(q *Query) ([]Solution, []string) {
 
 	// ORDER BY before projection (keys may use unprojected vars).
 	if len(q.OrderBy) > 0 {
-		ex.sortSolutions(sols, q.OrderBy)
+		ex.sortRows(rows, q.OrderBy)
 	}
 
 	vars := q.projectedVars()
-	if !q.Star || len(q.Binds) > 0 {
-		projected := make([]Solution, len(sols))
-		for i, sol := range sols {
-			pr := make(Solution, len(vars))
-			for _, v := range vars {
-				if t, ok := sol[v]; ok {
-					pr[v] = t
-				}
-			}
-			projected[i] = pr
-		}
-		sols = projected
+	projSlots := make([]int, len(vars))
+	for i, v := range vars {
+		projSlots[i] = ex.fr.slots[v]
 	}
 
+	// DISTINCT dedups on projected ids — no term rendering.
 	if q.Distinct || q.Reduced {
-		sols = distinct(sols, vars)
+		rows = distinctRows(rows, projSlots)
 	}
 
 	// OFFSET / LIMIT.
 	if q.Offset > 0 {
-		if q.Offset >= len(sols) {
-			sols = nil
+		if q.Offset >= len(rows) {
+			rows = nil
 		} else {
-			sols = sols[q.Offset:]
+			rows = rows[q.Offset:]
 		}
 	}
-	if q.Limit >= 0 && len(sols) > q.Limit {
-		sols = sols[:q.Limit]
+	if q.Limit >= 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+
+	// Final materialization: only the surviving rows, only the
+	// projected slots.
+	sols := make([]Solution, len(rows))
+	for i, r := range rows {
+		ex.rowsMaterialized++
+		pr := make(Solution, len(vars))
+		for j, v := range vars {
+			if id := r[projSlots[j]]; id != 0 {
+				pr[v] = ex.dict.termOf(id)
+			}
+		}
+		sols[i] = pr
 	}
 	return sols, vars
 }
 
-func (ex *executor) sortSolutions(sols []Solution, keys []OrderKey) {
-	sort.SliceStable(sols, func(i, j int) bool {
-		for _, k := range keys {
-			a, _ := ex.evalExpr(k.Expr, sols[i])
-			b, _ := ex.evalExpr(k.Expr, sols[j])
-			c := orderCompare(a, b)
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-}
-
-func distinct(sols []Solution, vars []string) []Solution {
-	seen := make(map[string]bool, len(sols))
-	out := sols[:0]
-	for _, sol := range sols {
-		key := solutionKey(sol, vars)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, sol)
+// evalWhere evaluates a bare group pattern (UPDATE ... WHERE) and
+// returns its solutions materialized.
+func (ex *executor) evalWhere(g *GroupPattern) []Solution {
+	if ex.dict == nil {
+		ex.dict = newLocalDict(ex.st)
 	}
-	return out
-}
-
-func solutionKey(sol Solution, vars []string) string {
-	var b []byte
-	for _, v := range vars {
-		if t, ok := sol[v]; ok {
-			b = append(b, t.String()...)
-		}
-		b = append(b, 0x1f)
-	}
-	return string(b)
+	ex.fr = groupFrame(g)
+	rows := ex.evalGroup(g, []row{make(row, len(ex.fr.names))})
+	return ex.solutionsFromRows(rows)
 }
 
 // evalGroup folds the group's children left to right, then applies
-// its filters.
-func (ex *executor) evalGroup(g *GroupPattern, input []Solution) []Solution {
+// its filters (filters are an expression boundary: each surviving row
+// is materialized once for all filters).
+func (ex *executor) evalGroup(g *GroupPattern, input []row) []row {
 	cur := input
 	for _, child := range g.Children {
 		if len(cur) == 0 {
@@ -137,9 +145,10 @@ func (ex *executor) evalGroup(g *GroupPattern, input []Solution) []Solution {
 		}
 		cur = ex.evalNode(child, cur)
 	}
-	if len(g.Filters) > 0 {
+	if len(g.Filters) > 0 && len(cur) > 0 {
 		out := cur[:0:0]
-		for _, sol := range cur {
+		for _, r := range cur {
+			sol := ex.materialize(r)
 			ok := true
 			for _, f := range g.Filters {
 				if !ex.evalBool(f, sol) {
@@ -148,7 +157,7 @@ func (ex *executor) evalGroup(g *GroupPattern, input []Solution) []Solution {
 				}
 			}
 			if ok {
-				out = append(out, sol)
+				out = append(out, r)
 			}
 		}
 		cur = out
@@ -156,13 +165,13 @@ func (ex *executor) evalGroup(g *GroupPattern, input []Solution) []Solution {
 	return cur
 }
 
-func (ex *executor) evalNode(n PatternNode, input []Solution) []Solution {
+func (ex *executor) evalNode(n PatternNode, input []row) []row {
 	out := ex.evalNodeInner(n, input)
 	ex.alg.record(nodeKind(n), len(out))
 	return out
 }
 
-func (ex *executor) evalNodeInner(n PatternNode, input []Solution) []Solution {
+func (ex *executor) evalNodeInner(n PatternNode, input []row) []row {
 	switch node := n.(type) {
 	case *BGP:
 		return ex.evalBGP(node, input)
@@ -171,111 +180,81 @@ func (ex *executor) evalNodeInner(n PatternNode, input []Solution) []Solution {
 	case *OptionalPattern:
 		return ex.evalOptional(node, input)
 	case *UnionPattern:
-		var out []Solution
+		var out []row
 		for _, branch := range node.Branches {
-			out = append(out, ex.evalGroup(branch, cloneAll(input))...)
+			out = append(out, ex.evalGroup(branch, cloneRows(input))...)
 		}
 		return out
 	case *MinusPattern:
-		removed := ex.evalGroup(node.Group, []Solution{{}})
-		var out []Solution
-		for _, sol := range input {
+		removed := ex.evalGroup(node.Group, []row{make(row, len(ex.fr.names))})
+		var out []row
+		for _, r := range input {
 			excluded := false
-			for _, r := range removed {
-				if sharesVar(sol, r) && compatible(sol, r) {
+			for _, rm := range removed {
+				if sharesBound(r, rm) && compatibleRows(r, rm) {
 					excluded = true
 					break
 				}
 			}
 			if !excluded {
-				out = append(out, sol)
+				out = append(out, r)
 			}
 		}
 		return out
 	case *GraphPattern:
 		return ex.evalGraph(node, input)
 	case *SubQuery:
-		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph, alg: ex.alg}
+		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph, alg: ex.alg, dict: ex.dict}
 		subSols, _ := sub.evalQuery(node.Query)
-		return joinSets(input, subSols)
+		ex.rowsJoined += sub.rowsJoined
+		ex.rowsMaterialized += sub.rowsMaterialized
+		return joinRowsHash(input, ex.rowsFromSolutions(subSols))
 	case *BindPattern:
-		var out []Solution
-		for _, sol := range input {
-			if _, bound := sol[node.Var]; bound {
+		slot := ex.fr.slots[node.Var]
+		var out []row
+		for _, r := range input {
+			if r[slot] != 0 {
 				continue // BIND on an already-bound var is an error; drop
 			}
-			if t, err := ex.evalExpr(node.Expr, sol); err == nil {
-				sol[node.Var] = t
+			if t, err := ex.evalExpr(node.Expr, ex.materialize(r)); err == nil {
+				r[slot] = ex.dict.idOf(t)
 			}
-			out = append(out, sol)
+			out = append(out, r)
 		}
 		return out
 	case *ValuesPattern:
-		var rows []Solution
-		for _, row := range node.Rows {
-			sol := Solution{}
+		rows := make([]row, 0, len(node.Rows))
+		for _, vr := range node.Rows {
+			r := make(row, len(ex.fr.names))
 			for i, v := range node.Vars {
-				if i < len(row) && !row[i].IsZero() {
-					sol[v] = row[i]
+				if i < len(vr) && !vr[i].IsZero() {
+					if slot, ok := ex.fr.slots[v]; ok {
+						r[slot] = ex.dict.idOf(vr[i])
+					}
 				}
 			}
-			rows = append(rows, sol)
+			rows = append(rows, r)
 		}
-		return joinSets(input, rows)
+		return joinRowsHash(input, rows)
 	default:
 		return nil
 	}
 }
 
-func cloneAll(sols []Solution) []Solution {
-	out := make([]Solution, len(sols))
-	for i, s := range sols {
-		out[i] = s.clone()
-	}
-	return out
-}
-
-func sharesVar(a, b Solution) bool {
-	for k := range b {
-		if _, ok := a[k]; ok {
-			return true
-		}
-	}
-	return false
-}
-
-// joinSets nested-loop joins two solution multisets on their shared
-// variables.
-func joinSets(left, right []Solution) []Solution {
-	var out []Solution
-	for _, l := range left {
-		for _, r := range right {
-			if compatible(l, r) {
-				m := l.clone()
-				for k, v := range r {
-					m[k] = v
-				}
-				out = append(out, m)
-			}
-		}
-	}
-	return out
-}
-
-func (ex *executor) evalOptional(node *OptionalPattern, input []Solution) []Solution {
-	var out []Solution
-	for _, sol := range input {
-		extended := ex.evalGroup(node.Group, []Solution{sol.clone()})
+func (ex *executor) evalOptional(node *OptionalPattern, input []row) []row {
+	var out []row
+	for _, r := range input {
+		extended := ex.evalGroup(node.Group, []row{r.clone()})
 		if len(extended) > 0 {
 			out = append(out, extended...)
 		} else {
-			out = append(out, sol)
+			out = append(out, r)
 		}
 	}
 	return out
 }
 
-func (ex *executor) evalGraph(node *GraphPattern, input []Solution) []Solution {
+func (ex *executor) evalGraph(node *GraphPattern, input []row) []row {
 	if !node.Graph.IsVar() {
 		saved := ex.graph
 		ex.graph = node.Graph.Term
@@ -284,30 +263,88 @@ func (ex *executor) evalGraph(node *GraphPattern, input []Solution) []Solution {
 		return out
 	}
 	// GRAPH ?g: iterate the named graphs, binding ?g.
-	var out []Solution
+	slot := ex.fr.slots[node.Graph.Var]
+	var out []row
 	saved := ex.graph
 	for _, g := range ex.st.Graphs() {
 		ex.graph = g
-		for _, sol := range input {
-			if bound, ok := sol[node.Graph.Var]; ok && !bound.Equal(g) {
+		gid := ex.dict.idOf(g)
+		for _, r := range input {
+			if bound := r[slot]; bound != 0 && bound != gid {
 				continue
 			}
-			start := sol.clone()
-			start[node.Graph.Var] = g
-			out = append(out, ex.evalGroup(node.Group, []Solution{start})...)
+			start := r.clone()
+			start[slot] = gid
+			out = append(out, ex.evalGroup(node.Group, []row{start})...)
 		}
 	}
 	ex.graph = saved
 	return out
 }
 
+// cpTerm is one compiled pattern position: either a variable slot or a
+// constant id (0 = wildcard, covering unbound positions and query
+// blank nodes).
+type cpTerm struct {
+	slot int          // >= 0: variable slot; -1: constant
+	id   store.TermID // constant id when slot < 0
+}
+
+type compiledPattern struct {
+	s, p, o cpTerm
+}
+
+// compileBGP resolves the plain patterns' constant terms to dictionary
+// ids once, up front. A constant the dictionary has never seen cannot
+// match anything; ok=false reports that so the BGP short-circuits to
+// zero solutions.
+func (ex *executor) compileBGP(patterns []TriplePattern) ([]compiledPattern, bool) {
+	conv := func(pt PatternTerm) (cpTerm, bool) {
+		if pt.IsVar() {
+			return cpTerm{slot: ex.fr.slots[pt.Var]}, true
+		}
+		if pt.Term.IsZero() || pt.Term.IsBlank() {
+			return cpTerm{slot: -1}, true // bnode in query acts as wildcard
+		}
+		id, ok := ex.st.LookupID(pt.Term)
+		if !ok {
+			return cpTerm{}, false
+		}
+		return cpTerm{slot: -1, id: id}, true
+	}
+	out := make([]compiledPattern, len(patterns))
+	for i, tp := range patterns {
+		s, ok := conv(tp.S)
+		if !ok {
+			return nil, false
+		}
+		p, ok := conv(tp.P)
+		if !ok {
+			return nil, false
+		}
+		o, ok := conv(tp.O)
+		if !ok {
+			return nil, false
+		}
+		out[i] = compiledPattern{s: s, p: p, o: o}
+	}
+	return out, true
+}
+
+// graphID resolves the executor's current GRAPH restriction for the
+// id-level calls; ok=false means the restriction graph does not exist.
+func (ex *executor) graphID() (store.TermID, bool) {
+	if ex.graph.IsZero() {
+		return store.AnyGraph, true
+	}
+	return ex.st.LookupID(ex.graph)
+}
+
 // evalBGP joins the triple patterns against the store for every input
-// solution, greedily choosing the most selective unresolved pattern
-// next (the store's Count estimates drive the order).
-func (ex *executor) evalBGP(bgp *BGP, input []Solution) []Solution {
-	// Plain patterns join first (selectivity-ordered); property-path
-	// patterns extend the result afterwards, when endpoint bindings
-	// are available.
+// row, entirely in id space. Plain patterns join first
+// (selectivity-ordered); property-path patterns extend the result
+// afterwards, when endpoint bindings are available.
+func (ex *executor) evalBGP(bgp *BGP, input []row) []row {
 	var plain, paths []TriplePattern
 	for _, tp := range bgp.Triples {
 		if tp.Path != nil {
@@ -318,11 +355,20 @@ func (ex *executor) evalBGP(bgp *BGP, input []Solution) []Solution {
 	}
 	cur := input
 	if len(plain) > 0 {
-		var out []Solution
-		for _, sol := range cur {
-			out = ex.joinPatterns(plain, sol, out)
+		cp, okP := ex.compileBGP(plain)
+		gid, okG := ex.graphID()
+		switch {
+		case !okP || !okG:
+			cur = nil
+		case len(cur) >= bgpParallelThreshold && bgpMaxWorkers > 1:
+			cur = ex.joinRowsParallel(cp, gid, cur)
+		default:
+			lease := ex.st.ReadLease()
+			out := ex.joinRowsSeq(lease, cp, gid, cur)
+			lease.Release()
+			atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
+			cur = out
 		}
-		cur = out
 	}
 	for _, tp := range paths {
 		if len(cur) == 0 {
@@ -333,77 +379,132 @@ func (ex *executor) evalBGP(bgp *BGP, input []Solution) []Solution {
 	return cur
 }
 
-func (ex *executor) joinPatterns(patterns []TriplePattern, sol Solution, out []Solution) []Solution {
-	if len(patterns) == 0 {
-		return append(out, sol)
+// joinRowsSeq joins the compiled patterns for each input row under one
+// read lease. The per-row scratch state (binding row + used mask) is
+// reused across rows: backtracking fully restores it after each row.
+func (ex *executor) joinRowsSeq(lease *store.Lease, cp []compiledPattern, gid store.TermID, input []row) []row {
+	if len(input) == 0 {
+		return nil
 	}
-	// Pick the most selective pattern under the current bindings.
-	best, bestCount := 0, int(^uint(0)>>1)
-	for i, tp := range patterns {
-		s, p, o := ex.resolve(tp, sol)
-		c := ex.st.Count(s, p, o, ex.graph)
-		// Fully unbound triple patterns are maximally unselective but
-		// Count returns the full store size, which ranks them last
-		// naturally.
-		if c < bestCount {
-			best, bestCount = i, c
-		}
-		if c == 0 {
-			return out // a pattern with no matches kills this branch
-		}
+	used := make([]bool, len(cp))
+	scratch := make(row, len(input[0]))
+	var out []row
+	for _, r := range input {
+		copy(scratch, r)
+		out = ex.joinStep(lease, cp, used, len(cp), gid, scratch, out)
 	}
-	tp := patterns[best]
-	rest := make([]TriplePattern, 0, len(patterns)-1)
-	rest = append(rest, patterns[:best]...)
-	rest = append(rest, patterns[best+1:]...)
-
-	s, p, o := ex.resolve(tp, sol)
-	ex.st.Match(s, p, o, ex.graph, func(q rdf.Quad) bool {
-		ext := extend(sol, tp, q)
-		if ext != nil {
-			out = ex.joinPatterns(rest, ext, out)
-		}
-		return true
-	})
 	return out
 }
 
-// resolve substitutes bound variables into a pattern, returning
-// concrete terms (zero Terms remain wildcards). Blank nodes in query
-// patterns act as variables scoped to the pattern (approximated as
-// wildcards here).
-func (ex *executor) resolve(tp TriplePattern, sol Solution) (s, p, o rdf.Term) {
-	get := func(pt PatternTerm) rdf.Term {
-		if pt.IsVar() {
-			if t, ok := sol[pt.Var]; ok {
-				return t
-			}
-			return rdf.Term{}
-		}
-		if pt.Term.IsBlank() {
-			return rdf.Term{} // bnode in query acts as wildcard
-		}
-		return pt.Term
+// joinRowsParallel fans the join out over contiguous chunks of the
+// input rows. Each worker holds its own lease and produces only store
+// ids (pattern matching never interns), so workers share no mutable
+// state; chunk results concatenate in order, keeping the output
+// identical to the sequential path.
+func (ex *executor) joinRowsParallel(cp []compiledPattern, gid store.TermID, input []row) []row {
+	mBGPParallel.Inc()
+	workers := bgpMaxWorkers
+	if workers > len(input) {
+		workers = len(input)
 	}
-	return get(tp.S), get(tp.P), get(tp.O)
+	chunk := (len(input) + workers - 1) / workers
+	results := make([][]row, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(input) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(input) {
+			hi = len(input)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lease := ex.st.ReadLease()
+			defer lease.Release()
+			out := ex.joinRowsSeq(lease, cp, gid, input[lo:hi])
+			atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
+			results[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	out := make([]row, 0, total)
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out
 }
 
-// extend binds the pattern's variables from a matching quad; returns
-// nil when an existing binding conflicts.
-func extend(sol Solution, tp TriplePattern, q rdf.Quad) Solution {
-	ext := sol.clone()
-	bind := func(pt PatternTerm, val rdf.Term) bool {
-		if !pt.IsVar() {
+// joinStep recursively joins the unused patterns into cur, greedily
+// choosing the most selective one next (CountIDs estimates under the
+// current bindings drive the order, exactly as the term-space executor
+// did with Count). Bindings happen in place with backtracking; cur is
+// cloned only when a complete solution is emitted.
+func (ex *executor) joinStep(lease *store.Lease, cp []compiledPattern, used []bool, remaining int, gid store.TermID, cur row, out []row) []row {
+	if remaining == 0 {
+		return append(out, cur.clone())
+	}
+	best, bestCount := -1, int(^uint(0)>>1)
+	for i := range cp {
+		if used[i] {
+			continue
+		}
+		s, p, o := resolveIDs(cp[i], cur)
+		c := lease.CountIDs(s, p, o, gid)
+		if c == 0 {
+			return out // a pattern with no matches kills this branch
+		}
+		if c < bestCount {
+			best, bestCount = i, c
+		}
+	}
+	pat := cp[best]
+	used[best] = true
+	s, p, o := resolveIDs(pat, cur)
+	lease.MatchIDs(s, p, o, gid, func(ms, mp, mo, _ store.TermID) bool {
+		// Bind the unbound variable positions, tracking slots to undo.
+		// Already-bound slots were substituted into the scan pattern, so
+		// they can only conflict on repeated-variable patterns.
+		var touched [3]int
+		n := 0
+		bind := func(ct cpTerm, val store.TermID) bool {
+			if ct.slot < 0 {
+				return true
+			}
+			if cur[ct.slot] != 0 {
+				return cur[ct.slot] == val
+			}
+			cur[ct.slot] = val
+			touched[n] = ct.slot
+			n++
 			return true
 		}
-		if old, ok := ext[pt.Var]; ok {
-			return old.Equal(val)
+		if bind(pat.s, ms) && bind(pat.p, mp) && bind(pat.o, mo) {
+			out = ex.joinStep(lease, cp, used, remaining-1, gid, cur, out)
 		}
-		ext[pt.Var] = val
+		for i := 0; i < n; i++ {
+			cur[touched[i]] = 0
+		}
 		return true
+	})
+	used[best] = false
+	return out
+}
+
+// resolveIDs substitutes the current bindings into a compiled pattern,
+// yielding the id triple to scan for (0 = wildcard).
+func resolveIDs(p compiledPattern, cur row) (s, pr, o store.TermID) {
+	get := func(ct cpTerm) store.TermID {
+		if ct.slot >= 0 {
+			return cur[ct.slot]
+		}
+		return ct.id
 	}
-	if !bind(tp.S, q.S) || !bind(tp.P, q.P) || !bind(tp.O, q.O) {
-		return nil
-	}
-	return ext
+	return get(p.s), get(p.p), get(p.o)
 }

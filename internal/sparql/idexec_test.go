@@ -1,0 +1,256 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// Equivalence tests for the id-space executor: the parallel BGP path
+// must produce exactly what the sequential path produces, and the
+// whole engine must agree with a naive term-space reference evaluator
+// on BGP queries.
+
+// canonSolutions renders a solution multiset in a canonical order so
+// result sets compare structurally.
+func canonSolutions(sols []Solution) []string {
+	out := make([]string, len(sols))
+	for i, sol := range sols {
+		vars := make([]string, 0, len(sol))
+		for v := range sol {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var b strings.Builder
+		for _, v := range vars {
+			b.WriteString(v)
+			b.WriteString("=")
+			b.WriteString(sol[v].String())
+			b.WriteString(" ")
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// setParallel pins the parallel-BGP tuning for the duration of a test.
+func setParallel(t *testing.T, threshold, workers int) {
+	t.Helper()
+	savedT, savedW := bgpParallelThreshold, bgpMaxWorkers
+	bgpParallelThreshold, bgpMaxWorkers = threshold, workers
+	t.Cleanup(func() { bgpParallelThreshold, bgpMaxWorkers = savedT, savedW })
+}
+
+// equivalenceQueries exercise multi-row BGP inputs (so the parallel
+// path actually fans out when the threshold allows), joins, DISTINCT,
+// UNION, OPTIONAL, MINUS, VALUES, FILTER and ORDER BY.
+var equivalenceQueries = []string{
+	`SELECT ?c ?u ?r WHERE {
+	  ?c a sioct:MicroblogPost .
+	  ?c foaf:maker ?u .
+	  ?c rev:rating ?r .
+	}`,
+	`SELECT DISTINCT ?tag WHERE {
+	  <http://ex.org/user/0> foaf:knows ?u .
+	  ?c foaf:maker ?u .
+	  ?c <http://ex.org/p/tag> ?tag .
+	}`,
+	`SELECT ?c WHERE {
+	  { ?c <http://ex.org/p/tag> <http://ex.org/tag/1> }
+	  UNION
+	  { ?c <http://ex.org/p/tag> <http://ex.org/tag/2> }
+	}`,
+	`SELECT ?u ?n WHERE {
+	  ?u foaf:knows ?v .
+	  OPTIONAL { ?v foaf:name ?n }
+	  FILTER(STRSTARTS(STR(?u), "http://ex.org/user/1"))
+	}`,
+	`SELECT ?c ?r WHERE {
+	  VALUES ?u { <http://ex.org/user/1> <http://ex.org/user/2> <http://ex.org/user/3> }
+	  ?c foaf:maker ?u .
+	  ?c rev:rating ?r .
+	  MINUS { ?c rev:rating 3 }
+	}`,
+	`SELECT ?u (COUNT(?c) AS ?n) WHERE {
+	  ?c foaf:maker ?u .
+	  ?c rev:rating 5 .
+	} GROUP BY ?u HAVING (COUNT(?c) > 9) ORDER BY DESC(?n) ?u`,
+}
+
+// TestParallelBGPMatchesSequential runs every equivalence query with
+// the parallel fan-out forced on (threshold 1) and forced off, and
+// requires identical solution multisets.
+func TestParallelBGPMatchesSequential(t *testing.T) {
+	e := NewEngine(benchStore())
+	for _, src := range equivalenceQueries {
+		q, err := Parse(benchPrefixes + src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+
+		setParallel(t, 1<<30, 1) // sequential only
+		seqRes, err := e.Exec(q)
+		if err != nil {
+			t.Fatalf("sequential exec: %v", err)
+		}
+
+		setParallel(t, 1, 4) // every multi-row BGP goes parallel
+		parRes, err := e.Exec(q)
+		if err != nil {
+			t.Fatalf("parallel exec: %v", err)
+		}
+
+		seq, par := canonSolutions(seqRes.Solutions), canonSolutions(parRes.Solutions)
+		if len(seq) != len(par) {
+			t.Fatalf("query %q: sequential %d solutions, parallel %d", src, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("query %q: solution %d differs:\n  seq: %s\n  par: %s", src, i, seq[i], par[i])
+			}
+		}
+		if len(seq) == 0 {
+			t.Fatalf("query %q produced no solutions; test is vacuous", src)
+		}
+	}
+}
+
+// refEvalBGP is a deliberately naive term-space BGP evaluator: no
+// selectivity ordering, no dictionary ids, nested-loop extension in
+// pattern order. It is the reference the id-space executor must match.
+func refEvalBGP(st *store.Store, patterns []TriplePattern, sol Solution) []Solution {
+	if len(patterns) == 0 {
+		return []Solution{sol}
+	}
+	tp := patterns[0]
+	get := func(pt PatternTerm) rdf.Term {
+		if pt.IsVar() {
+			return sol[pt.Var]
+		}
+		if pt.Term.IsBlank() {
+			return rdf.Term{}
+		}
+		return pt.Term
+	}
+	var out []Solution
+	st.Match(get(tp.S), get(tp.P), get(tp.O), rdf.Term{}, func(q rdf.Quad) bool {
+		ext := make(Solution, len(sol)+3)
+		for k, v := range sol {
+			ext[k] = v
+		}
+		bind := func(pt PatternTerm, val rdf.Term) bool {
+			if !pt.IsVar() {
+				return true
+			}
+			if old, ok := ext[pt.Var]; ok {
+				return old.Equal(val)
+			}
+			ext[pt.Var] = val
+			return true
+		}
+		if bind(tp.S, q.S) && bind(tp.P, q.P) && bind(tp.O, q.O) {
+			out = append(out, refEvalBGP(st, patterns[1:], ext)...)
+		}
+		return true
+	})
+	return out
+}
+
+// TestIDExecutionMatchesReference compares engine results for plain
+// BGP SELECT * queries against the naive reference evaluator, on both
+// the paper fixture and the synthetic bench store.
+func TestIDExecutionMatchesReference(t *testing.T) {
+	queries := []string{
+		`SELECT * WHERE { ?u foaf:knows ?v . ?v foaf:name ?n . }`,
+		`SELECT * WHERE { ?c foaf:maker ?u . ?c rev:rating ?r . ?u foaf:name ?n . }`,
+		`SELECT * WHERE { ?c a sioct:MicroblogPost . ?c foaf:maker ?u . }`,
+		`SELECT * WHERE { ?s ?p ?o . ?s a foaf:Person . }`,
+	}
+	stores := map[string]*store.Store{
+		"paper": paperStore(t),
+		"bench": benchStore(),
+	}
+	for name, st := range stores {
+		e := NewEngine(st)
+		for _, src := range queries {
+			q, err := Parse(prefixes + src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			res, err := e.Exec(q)
+			if err != nil {
+				t.Fatalf("%s: exec %q: %v", name, src, err)
+			}
+			bgp, ok := q.Where.Children[0].(*BGP)
+			if !ok {
+				t.Fatalf("query %q did not parse to a bare BGP", src)
+			}
+			want := refEvalBGP(st, bgp.Triples, Solution{})
+
+			got, ref := canonSolutions(res.Solutions), canonSolutions(want)
+			if len(got) != len(ref) {
+				t.Fatalf("%s: query %q: engine %d solutions, reference %d", name, src, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: query %q: solution %d differs:\n  engine: %s\n  ref:    %s", name, src, i, got[i], ref[i])
+				}
+			}
+			if len(got) == 0 {
+				t.Fatalf("%s: query %q produced no solutions; test is vacuous", name, src)
+			}
+		}
+	}
+}
+
+// TestLocalIDTermsJoinCorrectly checks that BIND/VALUES terms absent
+// from the store dictionary behave correctly: equal computed terms
+// compare equal (DISTINCT, joins) and never match store patterns.
+func TestLocalIDTermsJoinCorrectly(t *testing.T) {
+	st := paperStore(t)
+	e := NewEngine(st)
+
+	// Computed strings dedup across rows even though they are not in
+	// the store dictionary.
+	res, err := e.Query(prefixes + `
+SELECT DISTINCT ?tag WHERE {
+  ?u a foaf:Person .
+  BIND(CONCAT("person-", "tag") AS ?tag)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("distinct computed terms = %d solutions, want 1", len(res.Solutions))
+	}
+
+	// A VALUES term the store has never seen joins to nothing.
+	res, err = e.Query(prefixes + `
+SELECT ?n WHERE {
+  VALUES ?u { <http://ex.org/user/nobody> }
+  ?u foaf:name ?n .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 0 {
+		t.Fatalf("unknown VALUES term matched %d solutions", len(res.Solutions))
+	}
+
+	// A VALUES mix of known and unknown terms keeps the known ones.
+	res, err = e.Query(prefixes + `
+SELECT ?n WHERE {
+  VALUES ?u { <http://ex.org/user/nobody> <http://ex.org/user/oscar> }
+  ?u foaf:name ?n .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solutions) != 1 {
+		t.Fatalf("mixed VALUES = %d solutions, want 1", len(res.Solutions))
+	}
+}

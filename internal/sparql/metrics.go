@@ -11,6 +11,15 @@ var (
 	mParseErrors   = obs.C("lodify_sparql_parse_errors_total")
 	mUpdateSeconds = obs.H("lodify_sparql_update_seconds")
 	mUpdateQuads   = obs.C("lodify_sparql_update_quads_total")
+	// ID-space execution accounting: rows produced by id-level BGP
+	// joins vs rows materialized into rdf.Term solutions. A healthy
+	// ratio (joined >> materialized) means lazy materialization is
+	// paying off; parity would mean every joined row also crossed the
+	// term boundary.
+	mRowsJoined       = obs.C("lodify_sparql_rows_joined_total")
+	mRowsMaterialized = obs.C("lodify_sparql_rows_materialized_total")
+	// mBGPParallel counts BGP joins that took the parallel path.
+	mBGPParallel = obs.C("lodify_sparql_bgp_parallel_total")
 )
 
 // algCounters accumulates per-algebra-node evaluation counts and

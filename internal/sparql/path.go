@@ -125,16 +125,18 @@ func (p *parser) pathPrimary() (*PathExpr, error) {
 
 // ---- evaluation ----
 
-// evalPathPattern extends each solution by matching (s path o).
-func (ex *executor) evalPathPattern(tp TriplePattern, input []Solution) []Solution {
-	var out []Solution
-	for _, sol := range input {
-		sVal := resolvePT(tp.S, sol)
-		oVal := resolvePT(tp.O, sol)
+// evalPathPattern extends each solution row by matching (s path o).
+// Path evaluation itself runs in term space (closures hop between
+// arbitrary nodes), so endpoints cross the id/term boundary here.
+func (ex *executor) evalPathPattern(tp TriplePattern, input []row) []row {
+	var out []row
+	for _, r := range input {
+		sVal := ex.resolvePT(tp.S, r)
+		oVal := ex.resolvePT(tp.O, r)
 		pairs := ex.evalPath(tp.Path, sVal, oVal)
 		for _, pr := range pairs {
-			ext := sol.clone()
-			if bindPT(ext, tp.S, pr[0]) && bindPT(ext, tp.O, pr[1]) {
+			ext := r.clone()
+			if ex.bindPT(ext, tp.S, pr[0]) && ex.bindPT(ext, tp.O, pr[1]) {
 				out = append(out, ext)
 			}
 		}
@@ -142,24 +144,23 @@ func (ex *executor) evalPathPattern(tp TriplePattern, input []Solution) []Soluti
 	return out
 }
 
-func resolvePT(pt PatternTerm, sol Solution) rdf.Term {
+func (ex *executor) resolvePT(pt PatternTerm, r row) rdf.Term {
 	if pt.IsVar() {
-		if t, ok := sol[pt.Var]; ok {
-			return t
-		}
-		return rdf.Term{}
+		return ex.dict.termOf(r[ex.fr.slots[pt.Var]])
 	}
 	return pt.Term
 }
 
-func bindPT(sol Solution, pt PatternTerm, val rdf.Term) bool {
+func (ex *executor) bindPT(r row, pt PatternTerm, val rdf.Term) bool {
 	if !pt.IsVar() {
 		return pt.Term.Equal(val) || pt.Term.IsBlank()
 	}
-	if old, ok := sol[pt.Var]; ok {
-		return old.Equal(val)
+	slot := ex.fr.slots[pt.Var]
+	id := ex.dict.idOf(val)
+	if r[slot] != 0 {
+		return r[slot] == id
 	}
-	sol[pt.Var] = val
+	r[slot] = id
 	return true
 }
 

@@ -1,0 +1,369 @@
+package sparql
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// ID-space execution model (DESIGN.md §9): each (sub)query scope
+// compiles its variables to integer slots, and solutions flow through
+// the pattern tree as rows of dictionary ids instead of
+// map[string]rdf.Term. Joins, DISTINCT, MINUS and solution
+// compatibility all reduce to uint64 comparisons; rdf.Terms are
+// materialized only at expression boundaries (FILTER, BIND, ORDER BY,
+// aggregates) and at final projection.
+
+// localIDBit marks query-local ids: terms computed during evaluation
+// (BIND arithmetic, VALUES constants, aggregate results) that are not
+// interned in the store dictionary. The store dictionary is consulted
+// first, so two ids are equal exactly when their terms are equal — and
+// a local id can never match a store pattern position, which is the
+// correct semantics for a term the store has never seen.
+const localIDBit = store.TermID(1) << 63
+
+// localDict assigns ids to query-computed terms. It is owned by the
+// root executor and shared with sub-executors so ids stay comparable
+// across (sub)query scopes. Not safe for concurrent use; parallel BGP
+// workers never intern (store matches carry store ids already).
+type localDict struct {
+	st    *store.Store
+	terms []rdf.Term
+	ids   map[rdf.Term]store.TermID
+}
+
+func newLocalDict(st *store.Store) *localDict { return &localDict{st: st} }
+
+// idOf returns the id of t: its store id when interned there, else a
+// query-local id. The zero term maps to 0 (unbound).
+func (d *localDict) idOf(t rdf.Term) store.TermID {
+	if t.IsZero() {
+		return 0
+	}
+	if id, ok := d.st.LookupID(t); ok {
+		return id
+	}
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := localIDBit | store.TermID(len(d.terms))
+	d.terms = append(d.terms, t)
+	if d.ids == nil {
+		d.ids = make(map[rdf.Term]store.TermID)
+	}
+	d.ids[t] = id
+	return id
+}
+
+// termOf materializes an id back into its term.
+func (d *localDict) termOf(id store.TermID) rdf.Term {
+	switch {
+	case id == 0:
+		return rdf.Term{}
+	case id&localIDBit != 0:
+		i := int(id &^ localIDBit)
+		if i < len(d.terms) {
+			return d.terms[i]
+		}
+		return rdf.Term{}
+	default:
+		return d.st.TermOf(id)
+	}
+}
+
+// frame is the compiled binding layout of one (sub)query scope:
+// every variable the scope can mention, assigned a fixed row slot.
+// Slot order is the sorted variable order, so layouts are
+// deterministic.
+type frame struct {
+	slots map[string]int
+	names []string // slot -> variable name
+}
+
+func newFrameFromVars(set map[string]bool) *frame {
+	names := make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	slots := make(map[string]int, len(names))
+	for i, v := range names {
+		slots[v] = i
+	}
+	return &frame{slots: slots, names: names}
+}
+
+// queryFrame compiles the slot layout of a query: WHERE-tree
+// variables plus any mentioned only in the projection, select
+// expressions, GROUP BY/HAVING or ORDER BY.
+func queryFrame(q *Query) *frame {
+	set := map[string]bool{}
+	groupVars(q.Where, set)
+	for _, v := range q.Vars {
+		set[v] = true
+	}
+	for _, b := range q.Binds {
+		set[b.Var] = true
+		exprVars(b.Expr, set)
+	}
+	for _, g := range q.GroupBy {
+		exprVars(g, set)
+	}
+	for _, h := range q.Having {
+		exprVars(h, set)
+	}
+	for _, k := range q.OrderBy {
+		exprVars(k.Expr, set)
+	}
+	for _, v := range q.DescribeVars {
+		set[v] = true
+	}
+	return newFrameFromVars(set)
+}
+
+// groupFrame compiles the layout of a bare group pattern (UPDATE ...
+// WHERE).
+func groupFrame(g *GroupPattern) *frame {
+	set := map[string]bool{}
+	groupVars(g, set)
+	return newFrameFromVars(set)
+}
+
+// row is one solution in id space, indexed by frame slot; 0 = unbound.
+type row []store.TermID
+
+func (r row) clone() row {
+	out := make(row, len(r))
+	copy(out, r)
+	return out
+}
+
+func cloneRows(rows []row) []row {
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = r.clone()
+	}
+	return out
+}
+
+// compatibleRows reports whether two rows agree on every slot bound in
+// both (the SPARQL solution-compatibility check, one uint64 compare
+// per slot).
+func compatibleRows(a, b row) bool {
+	for i, av := range a {
+		if bv := b[i]; av != 0 && bv != 0 && av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// sharesBound reports whether some slot is bound in both rows.
+func sharesBound(a, b row) bool {
+	for i, av := range a {
+		if av != 0 && b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// materialize builds the Solution view of a row: every bound slot.
+// This is the expression boundary — FILTER/BIND/ORDER BY evaluation
+// sees ordinary Solutions.
+func (ex *executor) materialize(r row) Solution {
+	ex.rowsMaterialized++
+	sol := make(Solution, len(r))
+	for i, id := range r {
+		if id != 0 {
+			sol[ex.fr.names[i]] = ex.dict.termOf(id)
+		}
+	}
+	return sol
+}
+
+// rowFromSolution encodes a Solution into the executor's frame.
+// Variables without a slot in the frame are dropped.
+func (ex *executor) rowFromSolution(sol Solution) row {
+	r := make(row, len(ex.fr.names))
+	for v, t := range sol {
+		if i, ok := ex.fr.slots[v]; ok {
+			r[i] = ex.dict.idOf(t)
+		}
+	}
+	return r
+}
+
+func (ex *executor) solutionsFromRows(rows []row) []Solution {
+	out := make([]Solution, len(rows))
+	for i, r := range rows {
+		out[i] = ex.materialize(r)
+	}
+	return out
+}
+
+func (ex *executor) rowsFromSolutions(sols []Solution) []row {
+	out := make([]row, len(sols))
+	for i, sol := range sols {
+		out[i] = ex.rowFromSolution(sol)
+	}
+	return out
+}
+
+// appendRowKey appends the ids of the given slots as a binary key.
+func appendRowKey(buf []byte, r row, slots []int) []byte {
+	for _, s := range slots {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r[s]))
+	}
+	return buf
+}
+
+// distinctRows deduplicates rows on the projected slots, keyed on ids
+// (exact term identity — no string rendering).
+func distinctRows(rows []row, slots []int) []row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var buf []byte
+	for _, r := range rows {
+		buf = appendRowKey(buf[:0], r, slots)
+		if seen[string(buf)] {
+			continue
+		}
+		seen[string(buf)] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// joinRowsHash joins two solution multisets on their shared variables:
+// a hash join bucketed on the slots bound in every row of both sides
+// (VALUES blocks and subquery results have fixed layouts, so this is
+// normally all shared variables), with a full compatibility check per
+// candidate pair covering partially-bound slots. With no definitely-
+// shared slots it falls back to the nested-loop cross product.
+func joinRowsHash(left, right []row) []row {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	width := len(left[0])
+	boundInAll := func(rows []row) []bool {
+		all := make([]bool, width)
+		for i := range all {
+			all[i] = true
+		}
+		for _, r := range rows {
+			for i, v := range r {
+				if v == 0 {
+					all[i] = false
+				}
+			}
+		}
+		return all
+	}
+	la, ra := boundInAll(left), boundInAll(right)
+	var keySlots []int
+	for i := 0; i < width; i++ {
+		if la[i] && ra[i] {
+			keySlots = append(keySlots, i)
+		}
+	}
+	merge := func(l, r row) row {
+		m := l.clone()
+		for i, v := range r {
+			if m[i] == 0 {
+				m[i] = v
+			}
+		}
+		return m
+	}
+	var out []row
+	if len(keySlots) == 0 {
+		for _, l := range left {
+			for _, r := range right {
+				if compatibleRows(l, r) {
+					out = append(out, merge(l, r))
+				}
+			}
+		}
+		return out
+	}
+	buckets := make(map[string][]row, len(right))
+	var buf []byte
+	for _, r := range right {
+		buf = appendRowKey(buf[:0], r, keySlots)
+		buckets[string(buf)] = append(buckets[string(buf)], r)
+	}
+	for _, l := range left {
+		buf = appendRowKey(buf[:0], l, keySlots)
+		for _, r := range buckets[string(buf)] {
+			if compatibleRows(l, r) {
+				out = append(out, merge(l, r))
+			}
+		}
+	}
+	return out
+}
+
+// sortRows orders rows by the ORDER BY keys, decorate-sort-undecorate:
+// every key term is computed once per row, then the comparator only
+// compares precomputed terms (the previous implementation re-evaluated
+// expressions O(n log n) times inside the comparator). Plain-variable
+// keys skip materialization entirely and read ids off the row.
+func (ex *executor) sortRows(rows []row, keys []OrderKey) {
+	if len(rows) < 2 || len(keys) == 0 {
+		return
+	}
+	slots := make([]int, len(keys))
+	allVars := true
+	for i, k := range keys {
+		v, ok := k.Expr.(ExprVar)
+		if !ok {
+			allVars = false
+			break
+		}
+		s, ok := ex.fr.slots[v.Name]
+		if !ok {
+			allVars = false
+			break
+		}
+		slots[i] = s
+	}
+	type decorated struct {
+		r    row
+		keys []rdf.Term
+	}
+	dec := make([]decorated, len(rows))
+	for i, r := range rows {
+		ks := make([]rdf.Term, len(keys))
+		if allVars {
+			for j, s := range slots {
+				ks[j] = ex.dict.termOf(r[s])
+			}
+		} else {
+			sol := ex.materialize(r)
+			for j, k := range keys {
+				ks[j], _ = ex.evalExpr(k.Expr, sol)
+			}
+		}
+		dec[i] = decorated{r: r, keys: ks}
+	}
+	sort.SliceStable(dec, func(i, j int) bool {
+		a, b := dec[i].keys, dec[j].keys
+		for k, key := range keys {
+			c := orderCompare(a[k], b[k])
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range dec {
+		rows[i] = dec[i].r
+	}
+}

@@ -314,7 +314,7 @@ func (e *Engine) execOp(op UpdateOp) (UpdateResult, error) {
 		return UpdateResult{Deleted: removed}, err
 	case UpdateModify:
 		ex := &executor{st: e.st}
-		sols := ex.evalGroup(op.Where, []Solution{{}})
+		sols := ex.evalWhere(op.Where)
 		tx := e.st.Begin()
 		bn := 0
 		for _, sol := range sols {

@@ -12,26 +12,30 @@ import (
 	"lodify/internal/rdf"
 )
 
-// termID identifies a term in the dictionary. 0 is reserved to mean
-// "no term" (the default graph and unbound pattern positions).
-type termID uint64
+// TermID identifies a term in the store's dictionary. 0 is reserved to
+// mean "no term" (the default graph, unbound pattern positions and —
+// in ID-level pattern matching — the wildcard). IDs are dense and
+// stable for the lifetime of the store; the SPARQL engine executes
+// joins directly on them and materializes rdf.Terms only at expression
+// and projection boundaries.
+type TermID uint64
 
 // dict interns RDF terms to dense ids. It is safe for concurrent use.
 type dict struct {
 	mu    sync.RWMutex
-	ids   map[rdf.Term]termID
+	ids   map[rdf.Term]TermID
 	terms []rdf.Term // terms[0] is the zero term
 }
 
 func newDict() *dict {
 	return &dict{
-		ids:   make(map[rdf.Term]termID),
+		ids:   make(map[rdf.Term]TermID),
 		terms: make([]rdf.Term, 1),
 	}
 }
 
 // intern returns the id for t, allocating one if needed.
-func (d *dict) intern(t rdf.Term) termID {
+func (d *dict) intern(t rdf.Term) TermID {
 	if t.IsZero() {
 		return 0
 	}
@@ -46,7 +50,7 @@ func (d *dict) intern(t rdf.Term) termID {
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
-	id = termID(len(d.terms))
+	id = TermID(len(d.terms))
 	d.terms = append(d.terms, t)
 	d.ids[t] = id
 	return id
@@ -54,7 +58,7 @@ func (d *dict) intern(t rdf.Term) termID {
 
 // lookup returns the id for t without allocating; ok is false when the
 // term has never been interned.
-func (d *dict) lookup(t rdf.Term) (termID, bool) {
+func (d *dict) lookup(t rdf.Term) (TermID, bool) {
 	if t.IsZero() {
 		return 0, true
 	}
@@ -65,13 +69,23 @@ func (d *dict) lookup(t rdf.Term) (termID, bool) {
 }
 
 // term returns the term for id. id 0 yields the zero term.
-func (d *dict) term(id termID) rdf.Term {
+func (d *dict) term(id TermID) rdf.Term {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if int(id) >= len(d.terms) {
 		return rdf.Term{}
 	}
 	return d.terms[id]
+}
+
+// termsSnapshot returns the current id→term table. The table is
+// append-only (entries are never rewritten), so holders may index it
+// lock-free for any id below its length; terms interned later land in
+// a newer backing array and simply miss the snapshot.
+func (d *dict) termsSnapshot() []rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms
 }
 
 // size returns the number of interned terms.

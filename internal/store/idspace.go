@@ -1,0 +1,132 @@
+package store
+
+import (
+	"lodify/internal/rdf"
+)
+
+// ID-space read API: the SPARQL engine executes basic graph patterns
+// directly on dictionary ids (one uint64 compare per join check) and
+// only materializes rdf.Terms at expression and projection
+// boundaries. The Lease additionally amortizes locking: one RLock
+// acquisition covers an entire BGP join instead of one per Count/Match
+// call, and term materialization inside the lease is lock-free via a
+// dictionary snapshot.
+
+// AnyGraph is the graph-position wildcard for the ID-level calls.
+// (TermID 0 cannot double as the wildcard there: it already addresses
+// the default graph.)
+const AnyGraph TermID = ^TermID(0)
+
+// LookupID resolves a term to its dictionary id without interning;
+// ok is false when the term has never been stored. The zero term maps
+// to id 0.
+func (st *Store) LookupID(t rdf.Term) (TermID, bool) { return st.dict.lookup(t) }
+
+// TermOf resolves a dictionary id back to its term. Unknown ids yield
+// the zero term.
+func (st *Store) TermOf(id TermID) rdf.Term { return st.dict.term(id) }
+
+// MatchIDs calls fn for every quad matching the id pattern. Id 0 in
+// the s/p/o positions is a wildcard; the graph position takes a
+// concrete graph id (0 = default graph) or AnyGraph to range over all
+// graphs in sorted-gid order. fn returning false stops the iteration.
+func (st *Store) MatchIDs(s, p, o, g TermID, fn func(s, p, o, g TermID) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.matchIDsLocked(s, p, o, g, fn)
+}
+
+// CountIDs returns the number of quads matching the id pattern, with
+// the same pattern conventions as MatchIDs.
+func (st *Store) CountIDs(s, p, o, g TermID) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.countIDsLocked(s, p, o, g)
+}
+
+// matchIDsLocked is MatchIDs with st.mu already held (Lease path).
+func (st *Store) matchIDsLocked(s, p, o, g TermID, fn func(s, p, o, g TermID) bool) bool {
+	if g != AnyGraph {
+		gi, ok := st.graphs[g]
+		if !ok {
+			return true
+		}
+		return gi.scan(s, p, o, func(ms, mp, mo TermID) bool { return fn(ms, mp, mo, g) })
+	}
+	for _, gid := range st.gids {
+		gid := gid
+		if !st.graphs[gid].scan(s, p, o, func(ms, mp, mo TermID) bool { return fn(ms, mp, mo, gid) }) {
+			return false
+		}
+	}
+	return true
+}
+
+// countIDsLocked is CountIDs with st.mu already held (Lease path).
+func (st *Store) countIDsLocked(s, p, o, g TermID) int {
+	if g != AnyGraph {
+		gi, ok := st.graphs[g]
+		if !ok {
+			return 0
+		}
+		return gi.count(s, p, o)
+	}
+	n := 0
+	for _, gi := range st.graphs {
+		n += gi.count(s, p, o)
+	}
+	return n
+}
+
+// Lease is a query-scoped read snapshot: it holds the store's read
+// lock from ReadLease until Release, so a whole BGP join pays one lock
+// acquisition instead of one per Count/Match call.
+//
+// Contract: a Lease is single-goroutine (concurrent workers each take
+// their own), must not outlive the query, and the holder must not call
+// any Store write operation — or any locking read such as Match/Count
+// from a *different* goroutine's write-blocked future — before
+// Release. Release is idempotent.
+type Lease struct {
+	st       *Store
+	terms    []rdf.Term
+	released bool
+}
+
+// ReadLease acquires the store read lock and snapshots the term
+// dictionary for lock-free materialization.
+func (st *Store) ReadLease() *Lease {
+	st.mu.RLock()
+	return &Lease{st: st, terms: st.dict.termsSnapshot()}
+}
+
+// Release drops the read lock. Idempotent.
+func (l *Lease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	l.st.mu.RUnlock()
+}
+
+// MatchIDs is Store.MatchIDs under the already-held lease lock. It
+// reports whether the scan ran to completion (fn never returned
+// false).
+func (l *Lease) MatchIDs(s, p, o, g TermID, fn func(s, p, o, g TermID) bool) bool {
+	return l.st.matchIDsLocked(s, p, o, g, fn)
+}
+
+// CountIDs is Store.CountIDs under the already-held lease lock.
+func (l *Lease) CountIDs(s, p, o, g TermID) int {
+	return l.st.countIDsLocked(s, p, o, g)
+}
+
+// TermOf materializes an id from the lease's dictionary snapshot
+// without locking. Ids minted after the lease was taken (or foreign
+// ids) yield the zero term.
+func (l *Lease) TermOf(id TermID) rdf.Term {
+	if id < TermID(len(l.terms)) {
+		return l.terms[id]
+	}
+	return rdf.Term{}
+}

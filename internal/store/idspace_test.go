@@ -1,0 +1,168 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"lodify/internal/rdf"
+)
+
+func TestLookupIDTermOfRoundtrip(t *testing.T) {
+	st := New()
+	st.MustAdd(quad("s", "p", "o"))
+	for _, term := range []rdf.Term{iri("s"), iri("p"), lit("o")} {
+		id, ok := st.LookupID(term)
+		if !ok || id == 0 {
+			t.Fatalf("LookupID(%v) = %d, %v", term, id, ok)
+		}
+		if got := st.TermOf(id); !got.Equal(term) {
+			t.Fatalf("TermOf(%d) = %v, want %v", id, got, term)
+		}
+	}
+	if _, ok := st.LookupID(iri("absent")); ok {
+		t.Fatal("LookupID found a never-stored term")
+	}
+	if id, ok := st.LookupID(rdf.Term{}); !ok || id != 0 {
+		t.Fatalf("zero term = %d, %v; want 0, true", id, ok)
+	}
+	if got := st.TermOf(9999); !got.IsZero() {
+		t.Fatalf("TermOf(unknown) = %v, want zero", got)
+	}
+}
+
+func TestMatchIDsCountIDs(t *testing.T) {
+	st := New()
+	for i := 0; i < 4; i++ {
+		st.MustAdd(quad("s", "p", fmt.Sprintf("o%d", i)))
+	}
+	g := iri("g")
+	st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("named"), G: g})
+
+	sid, _ := st.LookupID(iri("s"))
+	pid, _ := st.LookupID(iri("p"))
+	gid, _ := st.LookupID(g)
+
+	if n := st.CountIDs(sid, pid, 0, AnyGraph); n != 5 {
+		t.Fatalf("CountIDs any graph = %d, want 5", n)
+	}
+	if n := st.CountIDs(sid, pid, 0, 0); n != 4 {
+		t.Fatalf("CountIDs default graph = %d, want 4", n)
+	}
+	if n := st.CountIDs(sid, pid, 0, gid); n != 1 {
+		t.Fatalf("CountIDs named graph = %d, want 1", n)
+	}
+
+	var got []string
+	st.MatchIDs(sid, pid, 0, AnyGraph, func(s, p, o, g TermID) bool {
+		got = append(got, st.TermOf(o).Value()+"@"+st.TermOf(g).Value())
+		return true
+	})
+	sort.Strings(got)
+	want := []string{"named@http://ex.org/g", "o0@", "o1@", "o2@", "o3@"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("MatchIDs = %v, want %v", got, want)
+	}
+
+	// Early stop.
+	n := 0
+	st.MatchIDs(sid, pid, 0, AnyGraph, func(s, p, o, g TermID) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early-stop visited %d quads", n)
+	}
+}
+
+func TestLeaseMatchesStoreReads(t *testing.T) {
+	st := New()
+	st.MustAdd(quad("s", "p", "o"))
+	sid, _ := st.LookupID(iri("s"))
+
+	l := st.ReadLease()
+	if n := l.CountIDs(sid, 0, 0, AnyGraph); n != 1 {
+		t.Fatalf("lease CountIDs = %d, want 1", n)
+	}
+	seen := 0
+	if !l.MatchIDs(sid, 0, 0, AnyGraph, func(s, p, o, g TermID) bool {
+		seen++
+		if got := l.TermOf(o); !got.Equal(lit("o")) {
+			t.Fatalf("lease TermOf = %v", got)
+		}
+		return true
+	}) {
+		t.Fatal("MatchIDs reported early stop")
+	}
+	if seen != 1 {
+		t.Fatalf("lease MatchIDs visited %d", seen)
+	}
+	l.Release()
+	l.Release() // idempotent
+
+	// A term interned after the lease snapshot misses the snapshot but
+	// the store itself resolves it.
+	l2 := st.ReadLease()
+	l2.Release()
+	st.MustAdd(quad("s2", "p2", "o2"))
+	id, _ := st.LookupID(iri("s2"))
+	if got := l2.TermOf(id); !got.IsZero() {
+		t.Fatalf("stale lease resolved new id to %v", got)
+	}
+	if got := st.TermOf(id); !got.Equal(iri("s2")) {
+		t.Fatalf("store TermOf new id = %v", got)
+	}
+}
+
+// TestGraphSetMaintained checks the incrementally-maintained sorted
+// graph-id slice against the graphs map across adds, removes and
+// transactional commits.
+func TestGraphSetMaintained(t *testing.T) {
+	st := New()
+	check := func(stage string) {
+		t.Helper()
+		st.mu.RLock()
+		defer st.mu.RUnlock()
+		if len(st.gids) != len(st.graphs) {
+			t.Fatalf("%s: gids len %d, graphs len %d", stage, len(st.gids), len(st.graphs))
+		}
+		for i, g := range st.gids {
+			if _, ok := st.graphs[g]; !ok {
+				t.Fatalf("%s: gid %d not in graphs map", stage, g)
+			}
+			if i > 0 && st.gids[i-1] >= g {
+				t.Fatalf("%s: gids not strictly sorted at %d", stage, i)
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		g := rdf.Term{}
+		if i > 0 {
+			g = iri(fmt.Sprintf("g%d", i))
+		}
+		st.MustAdd(rdf.Quad{S: iri("s"), P: iri("p"), O: lit(fmt.Sprint(i)), G: g})
+	}
+	check("after adds")
+
+	tx := st.Begin()
+	if err := tx.Add(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("tx"), G: iri("gtx")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	check("after commit")
+
+	st.Remove(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("2"), G: iri("g2")})
+	check("after graph-emptying remove")
+
+	// Wildcard Match must see every remaining graph.
+	graphs := map[string]bool{}
+	st.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		graphs[q.G.Value()] = true
+		return true
+	})
+	if len(graphs) != 5 { // default + g1, g3, g4, gtx
+		t.Fatalf("wildcard Match saw graphs %v", graphs)
+	}
+}

@@ -2,20 +2,20 @@ package store
 
 import "sort"
 
-// ids is a sorted set of termIDs stored as a slice; small and
+// ids is a sorted set of TermIDs stored as a slice; small and
 // cache-friendly for the posting lists a UGC platform produces.
-type ids []termID
+type ids []TermID
 
-func (s ids) search(v termID) int {
+func (s ids) search(v TermID) int {
 	return sort.Search(len(s), func(i int) bool { return s[i] >= v })
 }
 
-func (s ids) has(v termID) bool {
+func (s ids) has(v TermID) bool {
 	i := s.search(v)
 	return i < len(s) && s[i] == v
 }
 
-func (s ids) insert(v termID) (ids, bool) {
+func (s ids) insert(v TermID) (ids, bool) {
 	i := s.search(v)
 	if i < len(s) && s[i] == v {
 		return s, false
@@ -26,7 +26,7 @@ func (s ids) insert(v termID) (ids, bool) {
 	return s, true
 }
 
-func (s ids) remove(v termID) (ids, bool) {
+func (s ids) remove(v TermID) (ids, bool) {
 	i := s.search(v)
 	if i >= len(s) || s[i] != v {
 		return s, false
@@ -38,12 +38,12 @@ func (s ids) remove(v termID) (ids, bool) {
 // pairIndex maps a leading id to a map of second id to a sorted set of
 // third ids: one permutation of the triple. With three instances (SPO,
 // POS, OSP) every triple pattern resolves with at most one map walk.
-type pairIndex map[termID]map[termID]ids
+type pairIndex map[TermID]map[TermID]ids
 
-func (ix pairIndex) add(a, b, c termID) bool {
+func (ix pairIndex) add(a, b, c TermID) bool {
 	m, ok := ix[a]
 	if !ok {
-		m = make(map[termID]ids)
+		m = make(map[TermID]ids)
 		ix[a] = m
 	}
 	set, changed := m[b].insert(c)
@@ -53,7 +53,7 @@ func (ix pairIndex) add(a, b, c termID) bool {
 	return changed
 }
 
-func (ix pairIndex) del(a, b, c termID) bool {
+func (ix pairIndex) del(a, b, c TermID) bool {
 	m, ok := ix[a]
 	if !ok {
 		return false
@@ -89,7 +89,7 @@ func newGraphIndex() *graphIndex {
 	}
 }
 
-func (g *graphIndex) add(s, p, o termID) bool {
+func (g *graphIndex) add(s, p, o TermID) bool {
 	if !g.spo.add(s, p, o) {
 		return false
 	}
@@ -99,7 +99,7 @@ func (g *graphIndex) add(s, p, o termID) bool {
 	return true
 }
 
-func (g *graphIndex) del(s, p, o termID) bool {
+func (g *graphIndex) del(s, p, o TermID) bool {
 	if !g.spo.del(s, p, o) {
 		return false
 	}
@@ -109,7 +109,7 @@ func (g *graphIndex) del(s, p, o termID) bool {
 	return true
 }
 
-func (g *graphIndex) has(s, p, o termID) bool {
+func (g *graphIndex) has(s, p, o TermID) bool {
 	m, ok := g.spo[s]
 	if !ok {
 		return false
@@ -120,7 +120,7 @@ func (g *graphIndex) has(s, p, o termID) bool {
 // scan calls fn for every triple matching the pattern, where id 0 in a
 // position is a wildcard. It picks the most selective permutation.
 // fn returning false stops the scan.
-func (g *graphIndex) scan(s, p, o termID, fn func(s, p, o termID) bool) bool {
+func (g *graphIndex) scan(s, p, o TermID, fn func(s, p, o TermID) bool) bool {
 	switch {
 	case s != 0 && p != 0 && o != 0:
 		if g.has(s, p, o) {
@@ -192,7 +192,7 @@ func (g *graphIndex) scan(s, p, o termID, fn func(s, p, o termID) bool) bool {
 // count estimates the number of triples matching the pattern without
 // enumerating them fully (exact for all bound/unbound combinations
 // except (s,?,o), which falls back to a scan of the o-side).
-func (g *graphIndex) count(s, p, o termID) int {
+func (g *graphIndex) count(s, p, o TermID) int {
 	switch {
 	case s != 0 && p != 0 && o != 0:
 		if g.has(s, p, o) {

@@ -31,8 +31,12 @@ var (
 type Store struct {
 	mu     sync.RWMutex
 	dict   *dict
-	graphs map[termID]*graphIndex
-	size   int
+	graphs map[TermID]*graphIndex
+	// gids mirrors the keys of graphs as a sorted slice, maintained
+	// incrementally under the write lock so wildcard-graph scans never
+	// rebuild and re-sort it per call.
+	gids ids
+	size int
 
 	text *textIndex
 	geo  *geo.Index
@@ -42,7 +46,7 @@ type Store struct {
 func New() *Store {
 	return &Store{
 		dict:   newDict(),
-		graphs: make(map[termID]*graphIndex),
+		graphs: make(map[TermID]*graphIndex),
 		text:   newTextIndex(),
 		geo:    geo.NewIndex(0.5),
 	}
@@ -74,6 +78,7 @@ func (st *Store) Add(q rdf.Quad) (bool, error) {
 	if !ok {
 		gi = newGraphIndex()
 		st.graphs[g] = gi
+		st.gids, _ = st.gids.insert(g)
 	}
 	if !gi.add(s, p, o) {
 		return false, nil
@@ -125,6 +130,7 @@ func (st *Store) Remove(q rdf.Quad) bool {
 	mQuadsRemoved.Inc()
 	if gi.size == 0 && g != 0 {
 		delete(st.graphs, g)
+		st.gids, _ = st.gids.remove(g)
 	}
 	st.indexSecondary(q, s, o, false)
 	return true
@@ -132,7 +138,7 @@ func (st *Store) Remove(q rdf.Quad) bool {
 
 // indexSecondary keeps the full-text and geo indexes in sync. Caller
 // holds st.mu.
-func (st *Store) indexSecondary(q rdf.Quad, s, o termID, add bool) {
+func (st *Store) indexSecondary(q rdf.Quad, s, o TermID, add bool) {
 	if q.O.IsLiteral() {
 		if add {
 			st.text.index(o, s, q.O.Value())
@@ -194,12 +200,14 @@ func (st *Store) Match(s, p, o, g rdf.Term, fn func(rdf.Quad) bool) {
 	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	emit := func(gid termID) func(s2, p2, o2 termID) bool {
-		gt := st.dict.term(gid)
-		return func(s2, p2, o2 termID) bool {
+	// One dictionary snapshot covers every materialization of the scan:
+	// term lookups become lock-free slice indexing.
+	terms := st.dict.termsSnapshot()
+	emit := func(gid TermID) func(s2, p2, o2 TermID) bool {
+		gt := terms[gid]
+		return func(s2, p2, o2 TermID) bool {
 			return fn(rdf.Quad{
-				S: st.dict.term(s2), P: st.dict.term(p2),
-				O: st.dict.term(o2), G: gt,
+				S: terms[s2], P: terms[p2], O: terms[o2], G: gt,
 			})
 		}
 	}
@@ -213,13 +221,9 @@ func (st *Store) Match(s, p, o, g rdf.Term, fn func(rdf.Quad) bool) {
 		}
 		return
 	}
-	// Wildcard graph: iterate graphs deterministically.
-	gids := make([]termID, 0, len(st.graphs))
-	for gid := range st.graphs {
-		gids = append(gids, gid)
-	}
-	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
-	for _, gid := range gids {
+	// Wildcard graph: the incrementally-sorted gid slice keeps the
+	// iteration deterministic without a per-call rebuild.
+	for _, gid := range st.gids {
 		if !st.graphs[gid].scan(sid, pid, oid, emit(gid)) {
 			return
 		}
@@ -363,7 +367,7 @@ func (st *Store) GeoWithin(center geo.Point, radius float64) []rdf.Term {
 	ids := st.geo.Within(center, radius)
 	out := make([]rdf.Term, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, st.dict.term(termID(id)))
+		out = append(out, st.dict.term(TermID(id)))
 	}
 	st.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
@@ -503,7 +507,7 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 	st := tx.st
 	type iq struct {
 		q          rdf.Quad
-		s, p, o, g termID
+		s, p, o, g TermID
 	}
 	stage := func(qs []rdf.Quad) []iq {
 		out := make([]iq, len(qs))
@@ -535,6 +539,7 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 		if !ok {
 			gi = newGraphIndex()
 			st.graphs[e.g] = gi
+			st.gids, _ = st.gids.insert(e.g)
 		}
 		if gi.add(e.s, e.p, e.o) {
 			st.size++

@@ -388,6 +388,24 @@ func BenchmarkStoreMatchSP(b *testing.B) {
 	for i := 0; i < 10000; i++ {
 		st.MustAdd(quad(fmt.Sprintf("s%d", i%100), fmt.Sprintf("p%d", i%10), fmt.Sprintf("o%d", i)))
 	}
+	matched := 0
+	fn := func(q rdf.Quad) bool { matched++; return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Match(iri("s5"), iri("p5"), rdf.Term{}, rdf.Term{}, fn)
+	}
+	if matched == 0 {
+		b.Fatal("no matches")
+	}
+}
+
+func BenchmarkStoreCountSP(b *testing.B) {
+	st := New()
+	for i := 0; i < 10000; i++ {
+		st.MustAdd(quad(fmt.Sprintf("s%d", i%100), fmt.Sprintf("p%d", i%10), fmt.Sprintf("o%d", i)))
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.Count(iri("s5"), iri("p5"), rdf.Term{}, rdf.Term{})

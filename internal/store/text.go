@@ -15,7 +15,7 @@ import (
 type textIndex struct {
 	// postings maps token -> subject id -> reference count (a subject
 	// may carry the same token through several literals).
-	postings map[string]map[termID]int
+	postings map[string]map[TermID]int
 	// tokens is the sorted token vocabulary for prefix search; lazily
 	// rebuilt when dirty.
 	tokens []string
@@ -23,7 +23,7 @@ type textIndex struct {
 }
 
 func newTextIndex() *textIndex {
-	return &textIndex{postings: make(map[string]map[termID]int)}
+	return &textIndex{postings: make(map[string]map[TermID]int)}
 }
 
 // Tokenize folds and splits text into index tokens. Exported through
@@ -35,11 +35,11 @@ func Tokenize(text string) []string {
 	})
 }
 
-func (ti *textIndex) index(_ termID, subj termID, text string) {
+func (ti *textIndex) index(_ TermID, subj TermID, text string) {
 	for _, tok := range Tokenize(text) {
 		m, ok := ti.postings[tok]
 		if !ok {
-			m = make(map[termID]int)
+			m = make(map[TermID]int)
 			ti.postings[tok] = m
 			ti.dirty = true
 		}
@@ -47,7 +47,7 @@ func (ti *textIndex) index(_ termID, subj termID, text string) {
 	}
 }
 
-func (ti *textIndex) unindex(_ termID, subj termID, text string) {
+func (ti *textIndex) unindex(_ TermID, subj TermID, text string) {
 	for _, tok := range Tokenize(text) {
 		m, ok := ti.postings[tok]
 		if !ok {
@@ -76,7 +76,7 @@ func (ti *textIndex) stats() (tokens, postings int) {
 }
 
 // search returns subjects containing every token of query.
-func (ti *textIndex) search(query string) []termID {
+func (ti *textIndex) search(query string) []TermID {
 	toks := Tokenize(query)
 	if len(toks) == 0 {
 		return nil
@@ -89,7 +89,7 @@ func (ti *textIndex) search(query string) []termID {
 	if !ok {
 		return nil
 	}
-	out := make([]termID, 0, len(first))
+	out := make([]TermID, 0, len(first))
 	for subj := range first {
 		out = append(out, subj)
 	}
@@ -115,7 +115,7 @@ func (ti *textIndex) search(query string) []termID {
 
 // prefixSearch returns subjects having any token with the given
 // prefix.
-func (ti *textIndex) prefixSearch(prefix string) []termID {
+func (ti *textIndex) prefixSearch(prefix string) []TermID {
 	toks := Tokenize(prefix)
 	if len(toks) == 0 {
 		return nil
@@ -130,14 +130,14 @@ func (ti *textIndex) prefixSearch(prefix string) []termID {
 		ti.dirty = false
 	}
 	// All earlier tokens must match exactly; the last is a prefix.
-	var base map[termID]bool
+	var base map[TermID]bool
 	for _, tok := range toks[:len(toks)-1] {
 		m, ok := ti.postings[tok]
 		if !ok {
 			return nil
 		}
 		if base == nil {
-			base = make(map[termID]bool, len(m))
+			base = make(map[TermID]bool, len(m))
 			for s := range m {
 				base[s] = true
 			}
@@ -149,7 +149,7 @@ func (ti *textIndex) prefixSearch(prefix string) []termID {
 			}
 		}
 	}
-	set := make(map[termID]bool)
+	set := make(map[TermID]bool)
 	i := sort.SearchStrings(ti.tokens, p)
 	for ; i < len(ti.tokens) && strings.HasPrefix(ti.tokens[i], p); i++ {
 		for subj := range ti.postings[ti.tokens[i]] {
@@ -158,7 +158,7 @@ func (ti *textIndex) prefixSearch(prefix string) []termID {
 			}
 		}
 	}
-	out := make([]termID, 0, len(set))
+	out := make([]TermID, 0, len(set))
 	for s := range set {
 		out = append(out, s)
 	}
