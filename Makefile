@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke bench-json ci
+.PHONY: all build test race lint bench bench-smoke bench-json bench-ingest bench-ingest-smoke ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -34,5 +34,20 @@ bench-smoke:
 # suitable for CI artifacts and regression diffing.
 bench-json:
 	$(GO) run ./cmd/benchreport -json -label $(BENCH_LABEL) > BENCH_$(BENCH_LABEL).json
+
+# The BENCH_4 bulk-ingest measurement: 500k statements through the
+# sequential and bulk load paths plus the streaming dump. Run each
+# benchmark in its own process so heap state from one leg cannot skew
+# the next (see EXPERIMENTS.md).
+bench-ingest:
+	LODIFY_INGEST_QUADS=500000 $(GO) test -run=NONE -bench='^BenchmarkLoadNQuadsSequential$$' -benchmem -benchtime=3x ./internal/store/
+	LODIFY_INGEST_QUADS=500000 $(GO) test -run=NONE -bench='^BenchmarkLoadNQuadsBulk$$' -benchmem -benchtime=3x ./internal/store/
+	LODIFY_INGEST_QUADS=500000 $(GO) test -run=NONE -bench='^BenchmarkDumpNQuads$$' -benchmem -benchtime=3x ./internal/store/
+
+# Race-enabled smoke of the same pipeline on a small corpus: exercises
+# the chunked reader, worker pool and batch apply under the race
+# detector without paying 500k-quad measurement time (CI gate).
+bench-ingest-smoke:
+	LODIFY_INGEST_QUADS=20000 $(GO) test -race -run=NONE -bench='LoadNQuads|DumpNQuads' -benchtime=1x ./internal/store/
 
 ci: build lint race

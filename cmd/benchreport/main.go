@@ -26,7 +26,8 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10, sparql, ingest) or 'all'")
+	ingestQuads := flag.Int("ingestQuads", 100000, "statement count for the ingest experiment")
 	contents := flag.Int("contents", 300, "corpus size for the shared environment")
 	users := flag.Int("users", 20, "corpus users")
 	seed := flag.Int64("seed", 7, "corpus seed")
@@ -142,6 +143,14 @@ func main() {
 			log.Fatal(err)
 		}
 		emit("sparql", rows, func() string { return sparqlBenchReport(rows) })
+	}
+	if sel("ingest") {
+		section("ingest", "§2.1 bulk ingest: sequential vs chunked parallel load, streaming dump")
+		rows, err := experiments.IngestBench(*ingestQuads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("ingest", rows, func() string { return experiments.IngestReport(rows) })
 	}
 	if sel("infer") || want["all"] {
 		section("infer", "§2.3 RDFS inference capabilities (extension)")

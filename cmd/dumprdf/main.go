@@ -3,13 +3,17 @@
 // writes its semantic dump in N-Triples to stdout, including the
 // split-keyword triples and the cross-table foaf:knows interlinks.
 //
+// The dump streams: each mapped triple is serialized through one
+// reused buffer as it is produced, so memory stays flat no matter how
+// many pictures are generated. Only the friends-table rows are kept
+// aside, to mint the foaf:knows interlinks after the scan.
+//
 // Usage:
 //
 //	dumprdf [-pictures 1000] [-users 25] [-base http://beta.teamlife.it/] [-knows]
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -30,18 +34,27 @@ func main() {
 	db := experiments.BuildCoppermine(*users, *pictures)
 	mapping := d2r.CoppermineMapping(*base)
 
-	triples, err := d2r.Dump(db, mapping)
+	nw := rdf.NewNQuadsWriter(os.Stdout)
+	var follows []rdf.Triple
+	err := d2r.DumpEach(db, mapping, func(t rdf.Triple) error {
+		if *knows && d2r.IsFriendshipInput(t) {
+			follows = append(follows, t)
+		}
+		return nw.WriteTriple(t)
+	})
 	if err != nil {
 		log.Fatalf("dump: %v", err)
 	}
 	if *knows {
-		triples = append(triples, d2r.FriendshipTriples(triples)...)
+		for _, t := range d2r.FriendshipTriples(follows) {
+			if err := nw.WriteTriple(t); err != nil {
+				log.Fatalf("write: %v", err)
+			}
+		}
 	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	if err := rdf.WriteNTriples(w, triples); err != nil {
+	if err := nw.Flush(); err != nil {
 		log.Fatalf("write: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "dumped %d triples from %d pictures / %d users\n",
-		len(triples), *pictures, *users)
+		nw.Count(), *pictures, *users)
 }

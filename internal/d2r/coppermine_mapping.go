@@ -99,10 +99,19 @@ func CoppermineMapping(baseURI string) Mapping {
 	}
 }
 
+// IsFriendshipInput reports whether t is one of the friends-table
+// triples FriendshipTriples consumes. Streaming dumpers keep just
+// these rows aside instead of materializing the whole dump.
+func IsFriendshipInput(t rdf.Triple) bool {
+	p := t.P.Value()
+	return p == vocabIRI(NSSioc, "follows_from") || p == vocabIRI(NSSioc, "follows_to")
+}
+
 // FriendshipTriples post-processes a D2R dump: the friends join table
 // becomes direct foaf:knows links between user resources, which is
 // the "cross-table information" interlinking step of §2.1. It returns
-// the additional triples.
+// the additional triples. The input may be a full dump or just the
+// IsFriendshipInput subset.
 func FriendshipTriples(dump []rdf.Triple) []rdf.Triple {
 	from := map[rdf.Term]rdf.Term{}
 	to := map[rdf.Term]rdf.Term{}

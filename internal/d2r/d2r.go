@@ -60,16 +60,24 @@ type JoinMap struct {
 	TargetTable string
 }
 
-// Dump maps db to triples, in deterministic table/row order.
-func Dump(db *reldb.DB, m Mapping) ([]rdf.Triple, error) {
+// DumpEach maps db to triples in deterministic table/row order,
+// calling fn for each one without materializing the dump. A non-nil
+// error from fn stops the scan and is returned.
+func DumpEach(db *reldb.DB, m Mapping, fn func(rdf.Triple) error) error {
 	byName := map[string]TableMap{}
 	for _, tm := range m.Tables {
 		byName[tm.Table] = tm
 	}
-	var out []rdf.Triple
+	emit := func(t rdf.Triple, dumpErr *error) bool {
+		if err := fn(t); err != nil {
+			*dumpErr = err
+			return false
+		}
+		return true
+	}
 	for _, tm := range m.Tables {
 		if _, err := db.Schema(tm.Table); err != nil {
-			return nil, err
+			return err
 		}
 		tm := tm
 		var dumpErr error
@@ -81,7 +89,9 @@ func Dump(db *reldb.DB, m Mapping) ([]rdf.Triple, error) {
 			}
 			s := rdf.NewIRI(subj)
 			if tm.Class != "" {
-				out = append(out, rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(tm.Class)))
+				if !emit(rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(tm.Class)), &dumpErr) {
+					return false
+				}
 			}
 			for _, cm := range tm.Columns {
 				v, present := row[cm.Column]
@@ -89,7 +99,9 @@ func Dump(db *reldb.DB, m Mapping) ([]rdf.Triple, error) {
 					continue
 				}
 				for _, o := range literalsFor(v, cm) {
-					out = append(out, rdf.NewTriple(s, rdf.NewIRI(cm.Predicate), o))
+					if !emit(rdf.NewTriple(s, rdf.NewIRI(cm.Predicate), o), &dumpErr) {
+						return false
+					}
 				}
 			}
 			for _, jm := range tm.Joins {
@@ -114,31 +126,47 @@ func Dump(db *reldb.DB, m Mapping) ([]rdf.Triple, error) {
 					dumpErr = err
 					return false
 				}
-				out = append(out, rdf.NewTriple(s, rdf.NewIRI(jm.Predicate), rdf.NewIRI(obj)))
+				if !emit(rdf.NewTriple(s, rdf.NewIRI(jm.Predicate), rdf.NewIRI(obj)), &dumpErr) {
+					return false
+				}
 			}
 			return true
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if dumpErr != nil {
-			return nil, dumpErr
+			return dumpErr
 		}
+	}
+	return nil
+}
+
+// Dump maps db to triples, in deterministic table/row order.
+func Dump(db *reldb.DB, m Mapping) ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	err := DumpEach(db, m, func(t rdf.Triple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // DumpNTriples writes the mapped triples as N-Triples — the paper's
-// "semantic database dump in n-triple format".
+// "semantic database dump in n-triple format" — streaming each triple
+// through one reused buffer instead of materializing the dump.
 func DumpNTriples(w io.Writer, db *reldb.DB, m Mapping) (int, error) {
-	triples, err := Dump(db, m)
-	if err != nil {
+	nw := rdf.NewNQuadsWriter(w)
+	if err := DumpEach(db, m, nw.WriteTriple); err != nil {
 		return 0, err
 	}
-	if err := rdf.WriteNTriples(w, triples); err != nil {
+	if err := nw.Flush(); err != nil {
 		return 0, err
 	}
-	return len(triples), nil
+	return nw.Count(), nil
 }
 
 // mintURI substitutes {col} placeholders in the pattern.

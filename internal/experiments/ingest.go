@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// ---- Ingest: §2.1 bulk-load throughput (PR 4) ----
+
+// IngestRow reports one leg of the bulk-ingest experiment.
+type IngestRow struct {
+	Path     string // "sequential", "bulk" or "dump"
+	Quads    int
+	Bytes    int
+	Elapsed  time.Duration
+	QuadsSec float64
+	// Speedup is elapsed(sequential) / elapsed(this leg); 1.0 for the
+	// sequential leg itself.
+	Speedup float64
+}
+
+// SyntheticNQuads renders a UGC-shaped synthetic dump of n statements:
+// picture resources carrying rdf:type, foaf:maker, rev:rating (typed
+// integers), Italian-tagged titles in a UGC named graph, and WKT
+// geometries — the same mix the paper's D2R dump produces, sized for
+// bulk-load measurement.
+func SyntheticNQuads(n int) []byte {
+	var b bytes.Buffer
+	b.Grow(n * 96)
+	for i := 0; i < n; i++ {
+		s := i / 5
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&b, "<http://ex.org/picture/%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://rdfs.org/sioc/types#ImageGallery> .\n", s)
+		case 1:
+			fmt.Fprintf(&b, "<http://ex.org/picture/%d> <http://xmlns.com/foaf/0.1/maker> <http://ex.org/user/%d> .\n", s, s%97)
+		case 2:
+			fmt.Fprintf(&b, "<http://ex.org/picture/%d> <http://purl.org/stuff/rev#rating> \"%d\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n", s, s%5+1)
+		case 3:
+			fmt.Fprintf(&b, "<http://ex.org/picture/%d> <http://purl.org/dc/elements/1.1/title> \"Trip to Venezia %d sunset on the canal\"@it <http://ex.org/graph/ugc> .\n", s, s)
+		case 4:
+			fmt.Fprintf(&b, "<http://ex.org/picture/%d> <http://www.w3.org/2003/01/geo/wgs84_pos#geometry> \"POINT(%.4f %.4f)\" .\n", s, 7.5+float64(s%1000)/10000, 45.0+float64(s%1000)/10000)
+		}
+	}
+	return b.Bytes()
+}
+
+// IngestBench loads a synthetic n-statement dump twice — through the
+// per-quad sequential Add path and through the chunked bulk path — and
+// then streams the resulting store back out, reporting throughput for
+// all three legs. The two load paths are verified to produce stores of
+// identical size.
+func IngestBench(n int) ([]IngestRow, error) {
+	doc := SyntheticNQuads(n)
+
+	seqStart := time.Now()
+	seq := store.New()
+	quads, err := rdf.ParseNQuads(string(doc))
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range quads {
+		if _, err := seq.Add(q); err != nil {
+			return nil, err
+		}
+	}
+	seqEl := time.Since(seqStart)
+
+	bulkStart := time.Now()
+	bulk := store.New()
+	loaded, err := bulk.LoadNQuads(bytes.NewReader(doc))
+	if err != nil {
+		return nil, err
+	}
+	bulkEl := time.Since(bulkStart)
+
+	if bulk.Len() != seq.Len() {
+		return nil, fmt.Errorf("ingest: bulk store has %d quads, sequential %d", bulk.Len(), seq.Len())
+	}
+
+	dumpStart := time.Now()
+	cw := &countWriter{}
+	if err := bulk.DumpNQuads(cw); err != nil {
+		return nil, err
+	}
+	dumpEl := time.Since(dumpStart)
+
+	return []IngestRow{
+		{Path: "sequential", Quads: loaded, Bytes: len(doc), Elapsed: seqEl,
+			QuadsSec: float64(loaded) / seqEl.Seconds(), Speedup: 1},
+		{Path: "bulk", Quads: loaded, Bytes: len(doc), Elapsed: bulkEl,
+			QuadsSec: float64(loaded) / bulkEl.Seconds(), Speedup: seqEl.Seconds() / bulkEl.Seconds()},
+		{Path: "dump", Quads: bulk.Len(), Bytes: cw.n, Elapsed: dumpEl,
+			QuadsSec: float64(bulk.Len()) / dumpEl.Seconds(), Speedup: seqEl.Seconds() / dumpEl.Seconds()},
+	}, nil
+}
+
+// countWriter counts bytes, standing in for io.Discard while sizing
+// the dump.
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+var _ io.Writer = (*countWriter)(nil)
+
+// IngestReport renders the throughput table.
+func IngestReport(rows []IngestRow) string {
+	header := []string{"path", "quads", "MB", "elapsed", "quads/sec", "speedup"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Path, itoa(r.Quads), fmt.Sprintf("%.1f", float64(r.Bytes)/1e6),
+			ms(r.Elapsed), fmt.Sprintf("%.0f", r.QuadsSec), fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return Table(header, body)
+}

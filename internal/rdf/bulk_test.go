@@ -1,0 +1,193 @@
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// collectChunked parses doc through the chunked path and concatenates
+// the emitted batches.
+func collectChunked(t *testing.T, doc string, opts BulkOptions) ([]Quad, BulkStats, error) {
+	t.Helper()
+	var out []Quad
+	stats, err := ParseNQuadsChunked(strings.NewReader(doc), opts, func(batch []Quad) error {
+		// Batch terms alias the parse buffer; retaining them past emit
+		// requires a clone (the documented contract).
+		for _, q := range batch {
+			out = append(out, q.Clone())
+		}
+		return nil
+	})
+	return out, stats, err
+}
+
+// bulkTestDoc builds n statement lines interleaved with comments and
+// blanks, so physical line numbers diverge from statement counts.
+func bulkTestDoc(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i%7 == 0 {
+			sb.WriteString("# comment\n\n")
+		}
+		fmt.Fprintf(&sb, "<http://ex.org/s/%d> <http://ex.org/p> \"v %d\"@en <http://ex.org/g/%d> .\n", i, i, i%3)
+	}
+	return sb.String()
+}
+
+func TestParseNQuadsChunkedMatchesSequential(t *testing.T) {
+	doc := bulkTestDoc(500)
+	want, err := ParseNQuads(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []BulkOptions{
+		{},                               // defaults
+		{ChunkSize: 64, Workers: 4},      // many tiny chunks, carry splits mid-line
+		{ChunkSize: 1, Workers: 2},       // pathological: every read is smaller than a line
+		{ChunkSize: 1 << 20, Workers: 8}, // one chunk holds everything
+		{ChunkSize: 64, Workers: 1},      // fused path, tiny chunks
+		{ChunkSize: 1 << 20, Workers: 1}, // fused path, one chunk
+	} {
+		got, stats, err := collectChunked(t, doc, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("opts %+v: %d quads, want %d", opts, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("opts %+v: quad %d = %v, want %v", opts, i, got[i], want[i])
+			}
+		}
+		if stats.Quads != len(want) || stats.Chunks == 0 {
+			t.Fatalf("opts %+v: stats %+v", opts, stats)
+		}
+	}
+}
+
+func TestParseNQuadsChunkedNoTrailingNewline(t *testing.T) {
+	doc := "<http://a> <http://p> \"x\" .\n<http://b> <http://p> \"y\" ."
+	got, _, err := collectChunked(t, doc, BulkOptions{ChunkSize: 16, Workers: 2})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %d quads, err %v", len(got), err)
+	}
+	if got[1].S.Value() != "http://b" {
+		t.Fatalf("last quad = %v", got[1])
+	}
+}
+
+func TestParseNQuadsChunkedCRLF(t *testing.T) {
+	doc := "<http://a> <http://p> \"x\" .\r\n<http://b> <http://p> \"y\" .\r\n"
+	got, _, err := collectChunked(t, doc, BulkOptions{ChunkSize: 8, Workers: 2})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %d quads, err %v", len(got), err)
+	}
+}
+
+// TestParseNQuadsChunkedErrorLine proves the parallel path reports
+// the same first error, at the same line, as the sequential reader —
+// and that every statement before the bad line was emitted, even when
+// later chunks (parsed concurrently, possibly first) also hold
+// errors.
+func TestParseNQuadsChunkedErrorLine(t *testing.T) {
+	var sb strings.Builder
+	good := 0
+	for i := 0; i < 300; i++ {
+		switch i {
+		case 137, 252: // two bad lines; only the first may be reported
+			sb.WriteString("<http://ex.org/s> bogus .\n")
+		default:
+			fmt.Fprintf(&sb, "<http://ex.org/s/%d> <http://ex.org/p> \"v\" .\n", i)
+			if i < 137 {
+				good++
+			}
+		}
+	}
+	doc := sb.String()
+
+	_, seqErr := ParseNQuads(doc)
+	var seqPE *ParseError
+	if !errors.As(seqErr, &seqPE) {
+		t.Fatalf("sequential error = %v", seqErr)
+	}
+
+	for _, opts := range []BulkOptions{{}, {ChunkSize: 128, Workers: 4}, {ChunkSize: 33, Workers: 3}, {ChunkSize: 50, Workers: 1}} {
+		got, _, err := collectChunked(t, doc, opts)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("opts %+v: error = %v, want *ParseError", opts, err)
+		}
+		if pe.Line != seqPE.Line || pe.Line != 138 {
+			t.Fatalf("opts %+v: error line %d, want %d (sequential %d)", opts, pe.Line, 138, seqPE.Line)
+		}
+		if len(got) != good {
+			t.Fatalf("opts %+v: emitted %d quads before error, want %d", opts, len(got), good)
+		}
+	}
+}
+
+func TestParseNQuadsChunkedEmitErrorStops(t *testing.T) {
+	doc := bulkTestDoc(2000)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := ParseNQuadsChunked(strings.NewReader(doc), BulkOptions{ChunkSize: 512, Workers: 4}, func(batch []Quad) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times after error", calls)
+	}
+}
+
+func TestParseNQuadsChunkedOverlongLine(t *testing.T) {
+	doc := "<http://a> <http://p> \"" + strings.Repeat("x", maxLineBytes+10) + "\" ."
+	for _, workers := range []int{2, 1} {
+		_, _, err := collectChunked(t, doc, BulkOptions{ChunkSize: 1 << 20, Workers: workers})
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("workers=%d: err = %v, want bufio.ErrTooLong", workers, err)
+		}
+	}
+}
+
+func TestParseNQuadsChunkedEmpty(t *testing.T) {
+	for _, doc := range []string{"", "\n\n", "# only comments\n# more\n"} {
+		got, _, err := collectChunked(t, doc, BulkOptions{})
+		if err != nil || len(got) != 0 {
+			t.Fatalf("doc %q: %d quads, err %v", doc, len(got), err)
+		}
+	}
+}
+
+func BenchmarkParseNQuadsSequential(b *testing.B) {
+	doc := bulkTestDoc(20000)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNQuads(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNQuadsChunked(b *testing.B) {
+	doc := bulkTestDoc(20000)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNQuadsChunked(strings.NewReader(doc), BulkOptions{}, func([]Quad) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

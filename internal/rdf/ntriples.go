@@ -165,9 +165,43 @@ func (p *lineParser) term() (Term, error) {
 	}
 }
 
+// iri parses an IRIREF. The fast path slices the input directly —
+// most real-world IRIs contain no escapes — and only an escape
+// triggers the decoding slow path. Returned terms may alias the input
+// string; holders that outlive the line clone what they retain.
 func (p *lineParser) iri() (Term, error) {
 	p.pos++ // consume '<'
+	// One vectorized IndexByte finds the terminator and one IndexAny
+	// vets the span, instead of a byte-at-a-time switch.
+	rest := p.s[p.pos:]
+	end := strings.IndexByte(rest, '>')
+	stop := end
+	if stop < 0 {
+		stop = len(rest)
+	}
+	if j := strings.IndexAny(rest[:stop], "\\ <\""); j >= 0 {
+		if rest[j] == '\\' {
+			start := p.pos
+			p.pos += j
+			return p.iriSlow(start)
+		}
+		p.pos += j
+		return Term{}, p.errf("illegal character %q in IRI", rest[j])
+	}
+	if end < 0 {
+		p.pos = len(p.s)
+		return Term{}, p.errf("unterminated IRI")
+	}
+	v := rest[:end]
+	p.pos += end + 1
+	return NewIRI(v), nil
+}
+
+// iriSlow decodes an IRI containing escapes; p.pos points at the
+// first backslash and start at the first IRI character.
+func (p *lineParser) iriSlow(start int) (Term, error) {
 	var b strings.Builder
+	b.WriteString(p.s[start:p.pos])
 	for p.pos < len(p.s) {
 		c := p.s[p.pos]
 		switch c {
@@ -211,30 +245,33 @@ func isBlankLabelChar(c byte) bool {
 		c == '_' || c == '-' || c == '.'
 }
 
+// literal parses a quoted literal plus optional language tag or
+// datatype. Like iri, the lexical form is sliced from the input when
+// it contains no escapes.
 func (p *lineParser) literal() (Term, error) {
 	p.pos++ // consume opening quote
-	var b strings.Builder
-	for {
-		if p.pos >= len(p.s) {
-			return Term{}, p.errf("unterminated literal")
+	start := p.pos
+	var lex string
+	// Vectorized scans for the closing quote and the first escape
+	// replace the byte-at-a-time loop; an escape before the close (or
+	// before end of line) routes through the decoding slow path.
+	rest := p.s[start:]
+	end := strings.IndexByte(rest, '"')
+	bs := strings.IndexByte(rest, '\\')
+	switch {
+	case bs >= 0 && (end < 0 || bs < end):
+		p.pos = start + bs
+		var err error
+		if lex, err = p.literalSlow(start); err != nil {
+			return Term{}, err
 		}
-		c := p.s[p.pos]
-		if c == '"' {
-			p.pos++
-			break
-		}
-		if c == '\\' {
-			r, err := p.unescape()
-			if err != nil {
-				return Term{}, err
-			}
-			b.WriteRune(r)
-			continue
-		}
-		b.WriteByte(c)
-		p.pos++
+	case end < 0:
+		p.pos = len(p.s)
+		return Term{}, p.errf("unterminated literal")
+	default:
+		lex = rest[:end]
+		p.pos = start + end + 1
 	}
-	lex := b.String()
 	if p.pos < len(p.s) && p.s[p.pos] == '@' {
 		p.pos++
 		start := p.pos
@@ -258,6 +295,34 @@ func (p *lineParser) literal() (Term, error) {
 		return NewTypedLiteral(lex, dt.Value()), nil
 	}
 	return NewLiteral(lex), nil
+}
+
+// literalSlow decodes a lexical form containing escapes; p.pos points
+// at the first backslash and start at the character after the opening
+// quote. It consumes through the closing quote.
+func (p *lineParser) literalSlow(start int) (string, error) {
+	var b strings.Builder
+	b.WriteString(p.s[start:p.pos])
+	for {
+		if p.pos >= len(p.s) {
+			return "", p.errf("unterminated literal")
+		}
+		c := p.s[p.pos]
+		if c == '"' {
+			p.pos++
+			return b.String(), nil
+		}
+		if c == '\\' {
+			r, err := p.unescape()
+			if err != nil {
+				return "", err
+			}
+			b.WriteRune(r)
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
 }
 
 func isAlphaNum(c byte) bool {
@@ -309,24 +374,62 @@ func (p *lineParser) unescape() (rune, error) {
 	}
 }
 
+// NQuadsWriter streams triples/quads in N-Quads syntax through one
+// buffered writer and one reused line buffer, so serializing a dump
+// costs no per-quad allocation. Call Flush once after the last write.
+type NQuadsWriter struct {
+	bw  *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewNQuadsWriter wraps w.
+func NewNQuadsWriter(w io.Writer) *NQuadsWriter {
+	return &NQuadsWriter{bw: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// WriteQuad serializes one quad (plus newline).
+func (nw *NQuadsWriter) WriteQuad(q Quad) error {
+	nw.buf = AppendQuad(nw.buf[:0], q)
+	nw.buf = append(nw.buf, '\n')
+	nw.n++
+	_, err := nw.bw.Write(nw.buf)
+	return err
+}
+
+// WriteTriple serializes one triple into the default graph.
+func (nw *NQuadsWriter) WriteTriple(t Triple) error {
+	nw.buf = AppendTriple(nw.buf[:0], t)
+	nw.buf = append(nw.buf, '\n')
+	nw.n++
+	_, err := nw.bw.Write(nw.buf)
+	return err
+}
+
+// Count returns the number of statements written so far.
+func (nw *NQuadsWriter) Count() int { return nw.n }
+
+// Flush drains the underlying buffer.
+func (nw *NQuadsWriter) Flush() error { return nw.bw.Flush() }
+
 // WriteNTriples writes triples in N-Triples syntax.
 func WriteNTriples(w io.Writer, triples []Triple) error {
-	bw := bufio.NewWriter(w)
+	nw := NewNQuadsWriter(w)
 	for _, t := range triples {
-		if _, err := bw.WriteString(t.String() + "\n"); err != nil {
+		if err := nw.WriteTriple(t); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nw.Flush()
 }
 
 // WriteNQuads writes quads in N-Quads syntax.
 func WriteNQuads(w io.Writer, quads []Quad) error {
-	bw := bufio.NewWriter(w)
+	nw := NewNQuadsWriter(w)
 	for _, q := range quads {
-		if _, err := bw.WriteString(q.String() + "\n"); err != nil {
+		if err := nw.WriteQuad(q); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return nw.Flush()
 }

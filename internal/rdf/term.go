@@ -168,26 +168,48 @@ func (t Term) Datatype() string {
 // and datatype all match).
 func (t Term) Equal(o Term) bool { return t == o }
 
+// Clone returns a copy of t whose strings share no backing memory
+// with a larger buffer. The zero-copy parsers slice term strings out
+// of whole input lines or chunks; a long-lived holder (the store
+// dictionary) clones what it retains so one interned term cannot pin
+// an entire parse chunk.
+func (t Term) Clone() Term {
+	t.value = strings.Clone(t.value)
+	t.lang = strings.Clone(t.lang)
+	t.datatype = strings.Clone(t.datatype)
+	return t
+}
+
 // String renders the term in N-Triples syntax. Invalid terms render
 // as "<invalid>"; this is intended for diagnostics only.
 func (t Term) String() string {
+	return string(AppendTerm(nil, t))
+}
+
+// AppendTerm appends the term's N-Triples rendering to dst and
+// returns the extended slice. It is the allocation-free core behind
+// Term.String and the N-Quads writers: serializing into a reused
+// buffer costs no per-term garbage.
+func AppendTerm(dst []byte, t Term) []byte {
 	switch t.kind {
 	case TermIRI:
-		return "<" + escapeIRI(t.value) + ">"
+		return appendIRI(dst, t.value)
 	case TermBlank:
-		return "_:" + t.value
+		dst = append(dst, '_', ':')
+		return append(dst, t.value...)
 	case TermLiteral:
-		s := `"` + escapeLiteral(t.value) + `"`
+		dst = appendLiteralLex(dst, t.value)
 		switch {
 		case t.lang != "":
-			return s + "@" + t.lang
+			dst = append(dst, '@')
+			dst = append(dst, t.lang...)
 		case t.datatype != "":
-			return s + "^^<" + escapeIRI(t.datatype) + ">"
-		default:
-			return s
+			dst = append(dst, '^', '^')
+			dst = appendIRI(dst, t.datatype)
 		}
+		return dst
 	default:
-		return "<invalid>"
+		return append(dst, "<invalid>"...)
 	}
 }
 
@@ -230,36 +252,50 @@ func formatFloat(v float64) string {
 	return s
 }
 
-func escapeIRI(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
+const hexUpper = "0123456789ABCDEF"
+
+// appendIRI appends "<"+escaped(s)+">". Every character N-Triples
+// requires escaping in an IRI is ASCII, so the scan is byte-wise and
+// clean spans copy in bulk.
+func appendIRI(dst []byte, s string) []byte {
+	dst = append(dst, '<')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
 		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
-			fmt.Fprintf(&b, "\\u%04X", r)
-		default:
-			b.WriteRune(r)
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '0', '0', hexUpper[c>>4], hexUpper[c&0xF])
+			start = i + 1
 		}
 	}
-	return b.String()
+	dst = append(dst, s[start:]...)
+	return append(dst, '>')
 }
 
-func escapeLiteral(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch r {
+// appendLiteralLex appends the quoted, escaped lexical form.
+func appendLiteralLex(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc byte
+		switch s[i] {
 		case '"':
-			b.WriteString(`\"`)
+			esc = '"'
 		case '\\':
-			b.WriteString(`\\`)
+			esc = '\\'
 		case '\n':
-			b.WriteString(`\n`)
+			esc = 'n'
 		case '\r':
-			b.WriteString(`\r`)
+			esc = 'r'
 		case '\t':
-			b.WriteString(`\t`)
+			esc = 't'
 		default:
-			b.WriteRune(r)
+			continue
 		}
+		dst = append(dst, s[start:i]...)
+		dst = append(dst, '\\', esc)
+		start = i + 1
 	}
-	return b.String()
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
 }

@@ -32,7 +32,18 @@ func (t Triple) Validate() error {
 
 // String renders the triple in N-Triples syntax (without newline).
 func (t Triple) String() string {
-	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+	return string(AppendTriple(nil, t))
+}
+
+// AppendTriple appends the triple's N-Triples rendering (without
+// newline) to dst.
+func AppendTriple(dst []byte, t Triple) []byte {
+	dst = AppendTerm(dst, t.S)
+	dst = append(dst, ' ')
+	dst = AppendTerm(dst, t.P)
+	dst = append(dst, ' ')
+	dst = AppendTerm(dst, t.O)
+	return append(dst, ' ', '.')
 }
 
 // Quad is a triple within a named graph. A zero Graph term means the
@@ -50,12 +61,33 @@ func (q Quad) Triple() Triple { return Triple{S: q.S, P: q.P, O: q.O} }
 // InDefaultGraph reports whether the quad belongs to the default graph.
 func (q Quad) InDefaultGraph() bool { return q.G.IsZero() }
 
+// Clone returns a quad whose terms share no backing memory with q.
+// Callers retaining quads from a ParseNQuadsChunked batch beyond the
+// emit call must clone them: batch terms alias the parse buffer, which
+// is recycled once emit returns.
+func (q Quad) Clone() Quad {
+	return Quad{S: q.S.Clone(), P: q.P.Clone(), O: q.O.Clone(), G: q.G.Clone()}
+}
+
 // String renders the quad in N-Quads syntax (without newline).
 func (q Quad) String() string {
+	return string(AppendQuad(nil, q))
+}
+
+// AppendQuad appends the quad's N-Quads rendering (without newline)
+// to dst. Default-graph quads render as plain triples.
+func AppendQuad(dst []byte, q Quad) []byte {
 	if q.InDefaultGraph() {
-		return q.Triple().String()
+		return AppendTriple(dst, q.Triple())
 	}
-	return q.S.String() + " " + q.P.String() + " " + q.O.String() + " " + q.G.String() + " ."
+	dst = AppendTerm(dst, q.S)
+	dst = append(dst, ' ')
+	dst = AppendTerm(dst, q.P)
+	dst = append(dst, ' ')
+	dst = AppendTerm(dst, q.O)
+	dst = append(dst, ' ')
+	dst = AppendTerm(dst, q.G)
+	return append(dst, ' ', '.')
 }
 
 // Graph is an in-memory set of triples with convenience accessors.

@@ -115,7 +115,7 @@ func turtleTerm(t Term, pm *PrefixMap) string {
 				return t.String()
 			default:
 				if c, ok := pm.Compact(t.Datatype()); ok {
-					return `"` + escapeLiteral(t.Value()) + `"^^` + c
+					return string(appendLiteralLex(nil, t.Value())) + "^^" + c
 				}
 			}
 		}

@@ -1,0 +1,62 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// benchQuads builds a mixed-shape serialization corpus: IRIs, plain /
+// language-tagged / typed literals with escapes, blanks, named graphs.
+func benchQuads(n int) []Quad {
+	out := make([]Quad, 0, n)
+	g := NewIRI("http://ex.org/graph/ugc")
+	for i := 0; i < n; i++ {
+		s := NewIRI(fmt.Sprintf("http://ex.org/pic/%d", i))
+		var o Term
+		switch i % 4 {
+		case 0:
+			o = NewLangLiteral(fmt.Sprintf("Mole \"Antonelliana\" %d\n", i), "it")
+		case 1:
+			o = NewInteger(int64(i))
+		case 2:
+			o = NewIRI(fmt.Sprintf("http://ex.org/user/%d", i%97))
+		case 3:
+			o = NewLiteral(fmt.Sprintf("plain title %d", i))
+		}
+		q := Quad{S: s, P: NewIRI("http://purl.org/dc/elements/1.1/title"), O: o}
+		if i%2 == 0 {
+			q.G = g
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func BenchmarkWriteNQuads(b *testing.B) {
+	quads := benchQuads(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteNQuads(io.Discard, quads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteNQuadsAllocRegression pins the serialization path's
+// allocation budget: a reused NQuadsWriter buffer means writing N
+// quads costs a constant number of allocations (writer + buffer
+// growth), not O(N). The bound is deliberately loose — it catches a
+// return to per-term string building, not buffer-growth tuning.
+func TestWriteNQuadsAllocRegression(t *testing.T) {
+	quads := benchQuads(1000)
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := WriteNQuads(io.Discard, quads); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 20 {
+		t.Fatalf("WriteNQuads(1000 quads) = %.0f allocs, want <= 20 (per-quad garbage regression)", allocs)
+	}
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"slices"
+	"time"
+
+	"lodify/internal/geo"
+	"lodify/internal/obs"
+	"lodify/internal/rdf"
+)
+
+// Bulk ingest (DESIGN.md §10): where Add pays four dictionary
+// acquisitions, one store lock and per-quad secondary indexing for
+// every statement, the BulkLoader amortizes all of it across a batch —
+// one read-locked dictionary sweep plus one write-locked miss pass,
+// id-space deduplication, tokenization and WKT parsing outside the
+// store lock, then a single st.mu hold that bulk-inserts into the
+// graph indexes and merges text-index deltas grouped by object term.
+
+// Process-wide ingest metrics.
+var (
+	mIngestQuads   = obs.C("lodify_ingest_quads_total")
+	mIngestBatches = obs.C("lodify_ingest_batches_total")
+	mIngestApply   = obs.H("lodify_ingest_batch_apply_seconds")
+	gIngestWorkers = obs.G("lodify_ingest_parse_workers")
+	// gIngestUtil is parse-worker utilization of the last chunked load,
+	// in permille (gauges are integral).
+	gIngestUtil = obs.G("lodify_ingest_parse_utilization_permille")
+	gIngestRate = obs.G("lodify_ingest_rate_quads_per_second")
+)
+
+// geoPt is a parsed geo:geometry object staged for apply.
+type geoPt struct {
+	pt geo.Point
+	ok bool
+}
+
+// BulkLoader ingests batches of quads with one store-lock acquisition
+// per batch. It is not safe for concurrent use (callers feed it from
+// one goroutine — the chunked parser's emit callback already is); the
+// store itself stays fully concurrent-safe for other readers/writers
+// between batches.
+//
+// Batch terms may alias parser chunk memory: everything the store
+// retains is cloned at intern time, so no input buffer outlives the
+// AddBatch call.
+type BulkLoader struct {
+	st    *Store
+	added int
+
+	// Scratch reused across batches: per-quad parallel arrays (resolved
+	// ids, text tokens, parsed points) plus the sorted apply order.
+	iquads   []iquad
+	hashes   []uint64
+	toks     [][]string
+	geos     []geoPt
+	order    []int32
+	keys     []uint64
+	tokCache map[TermID][]string
+	// postCache maps a distinct literal-object id to its resolved
+	// postings (one per token, carved from postSlab), so repeated
+	// literals in a batch hit the string-keyed text index once.
+	postCache map[TermID][]*posting
+	postSlab  []*posting
+}
+
+// NewBulkLoader returns a loader feeding st.
+func (st *Store) NewBulkLoader() *BulkLoader {
+	return &BulkLoader{
+		st:        st,
+		tokCache:  make(map[TermID][]string),
+		postCache: make(map[TermID][]*posting),
+	}
+}
+
+// Added returns the total number of quads this loader actually
+// inserted (duplicates excluded).
+func (bl *BulkLoader) Added() int { return bl.added }
+
+// AddBatch ingests one batch. Every quad's triple component must be
+// valid RDF; an invalid quad fails the whole batch before anything is
+// applied. It returns the number of quads that were new to the store.
+func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
+	if len(quads) == 0 {
+		return 0, nil
+	}
+	for _, q := range quads {
+		if err := q.Triple().Validate(); err != nil {
+			return 0, err
+		}
+	}
+	st := bl.st
+	bl.iquads, bl.hashes = st.dict.internQuads(quads, bl.iquads, bl.hashes)
+
+	// Precompute secondary-index work outside the lock. Repeated
+	// literal objects (ratings, shared tags) tokenize once per batch.
+	// Duplicates — in-batch or already stored — need no pre-filter
+	// here: the index insert below rejects them in id space, and a
+	// duplicate's staged tokens are simply never merged.
+	clear(bl.tokCache)
+	clear(bl.postCache)
+	bl.postSlab = bl.postSlab[:0]
+	if cap(bl.toks) < len(quads) {
+		bl.toks = make([][]string, len(quads))
+		bl.geos = make([]geoPt, len(quads))
+	} else {
+		bl.toks = bl.toks[:len(quads)]
+		bl.geos = bl.geos[:len(quads)]
+		clear(bl.toks)
+		clear(bl.geos)
+	}
+	for i, e := range bl.iquads {
+		if q := quads[i]; q.O.IsLiteral() {
+			toks, ok := bl.tokCache[e.o]
+			if !ok {
+				toks = Tokenize(q.O.Value())
+				bl.tokCache[e.o] = toks
+			}
+			bl.toks[i] = toks
+			if q.P.Value() == rdf.GeoGeometry {
+				if pt, err := geo.ParseWKT(q.O.Value()); err == nil {
+					bl.geos[i] = geoPt{pt: pt, ok: true}
+				}
+			}
+		}
+	}
+
+	// Sort an index over the batch by (g, s) id — the store's final
+	// state is order-independent within a batch (ids were assigned in
+	// input order above, index postings are sorted sets, text refcounts
+	// and geo inserts commute), and grouping by graph and subject is
+	// what turns the lookups below into memo hits. When the ids fit —
+	// any store under 16M terms whose graph terms landed in the first
+	// 1M, i.e. essentially every bulk load — the key packs into a
+	// uint64 with the batch index in the low bits, and a comparator-free
+	// slices.Sort replaces the 4-field SortFunc.
+	bl.order = bl.order[:0]
+	var maxG, maxS TermID
+	for _, e := range bl.iquads {
+		maxG, maxS = max(maxG, e.g), max(maxS, e.s)
+	}
+	if maxG < 1<<20 && maxS < 1<<24 && len(bl.iquads) <= 1<<20 {
+		keys := bl.keys[:0]
+		for i, e := range bl.iquads {
+			keys = append(keys, uint64(e.g)<<44|uint64(e.s)<<20|uint64(i))
+		}
+		slices.Sort(keys)
+		bl.keys = keys
+		for _, k := range keys {
+			bl.order = append(bl.order, int32(k&(1<<20-1)))
+		}
+	} else {
+		for i := range bl.iquads {
+			bl.order = append(bl.order, int32(i))
+		}
+		slices.SortFunc(bl.order, func(a, b int32) int { return cmpIquad(bl.iquads[a], bl.iquads[b]) })
+	}
+
+	// Apply under one lock hold. Graph and subject-node lookups are
+	// memoized across the sorted runs, predicate and object nodes via
+	// small rings; text postings resolve once per distinct literal
+	// object in the batch via postCache.
+	start := time.Now()
+	st.mu.Lock()
+	added := 0
+	var gi *graphIndex
+	var spoNode *pairSet
+	var posMemo, ospMemo nodeMemo
+	gcur := AnyGraph // sentinel: AnyGraph is never a stored graph id
+	scur := AnyGraph // likewise never a stored subject id
+	for _, idx := range bl.order {
+		e := bl.iquads[idx]
+		if gi == nil || e.g != gcur {
+			var ok bool
+			gi, ok = st.graphs[e.g]
+			if !ok {
+				gi = newGraphIndex()
+				st.graphs[e.g] = gi
+				st.gids, _ = st.gids.insert(e.g)
+			}
+			gcur, scur = e.g, AnyGraph
+			posMemo.reset()
+			ospMemo.reset()
+		}
+		if e.s != scur {
+			spoNode = gi.spo.node(e.s, gi)
+			scur = e.s
+		}
+		posN := posMemo.get(gi.pos, gi, e.p)
+		ospN := ospMemo.get(gi.osp, gi, e.o)
+		if !gi.addNodes(spoNode, posN, ospN, e.s, e.p, e.o) {
+			continue // already stored: secondary indexes unchanged
+		}
+		st.size++
+		added++
+		if toks := bl.toks[idx]; len(toks) > 0 {
+			posts, ok := bl.postCache[e.o]
+			if !ok {
+				lo := len(bl.postSlab)
+				bl.postSlab = st.text.resolvePostings(bl.postSlab, toks)
+				posts = bl.postSlab[lo:len(bl.postSlab):len(bl.postSlab)]
+				bl.postCache[e.o] = posts
+			}
+			for _, p := range posts {
+				p.add(e.s)
+			}
+		}
+		if gp := bl.geos[idx]; gp.ok {
+			st.geo.Insert(uint64(e.s), gp.pt)
+		}
+	}
+	st.mu.Unlock()
+
+	mIngestApply.ObserveSince(start)
+	mIngestBatches.Inc()
+	mIngestQuads.Add(int64(len(quads)))
+	mQuadsAdded.Add(int64(added))
+	bl.added += added
+	return added, nil
+}

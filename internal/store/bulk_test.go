@@ -1,0 +1,181 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+)
+
+// dumpString renders a store's full streamed dump.
+func dumpString(t *testing.T, st *Store) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := st.DumpNQuads(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestBulkLoadMatchesSequential is the bulk-ingest equivalence proof:
+// the chunked/batched LoadNQuads must produce a store
+// indistinguishable from the sequential ReadQuad+Add loop — same
+// added count, same stats (quads, graphs, terms, text and geo index
+// sizes), byte-identical dump (ids are assigned in input order on
+// both paths), and identical text/geo query results.
+func TestBulkLoadMatchesSequential(t *testing.T) {
+	doc := genIngestCorpus(20000)
+
+	seq := New()
+	nSeq, err := loadSequential(seq, strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk := New()
+	nBulk, err := bulk.LoadNQuads(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if nBulk != nSeq {
+		t.Fatalf("bulk added %d quads, sequential %d", nBulk, nSeq)
+	}
+	if sStats, bStats := seq.StatsSnapshot(), bulk.StatsSnapshot(); bStats != sStats {
+		t.Fatalf("stats diverge:\nbulk       %+v\nsequential %+v", bStats, sStats)
+	}
+	if sd, bd := dumpString(t, seq), dumpString(t, bulk); bd != sd {
+		t.Fatalf("dumps diverge (bulk %d bytes, sequential %d bytes)", len(bd), len(sd))
+	}
+
+	sHits := seq.TextSearch("mole antonelliana")
+	bHits := bulk.TextSearch("mole antonelliana")
+	if len(bHits) == 0 || len(bHits) != len(sHits) {
+		t.Fatalf("text search: bulk %d hits, sequential %d", len(bHits), len(sHits))
+	}
+	for i := range sHits {
+		if bHits[i] != sHits[i] {
+			t.Fatalf("text hit %d: bulk %v, sequential %v", i, bHits[i], sHits[i])
+		}
+	}
+
+	center := geo.Point{Lon: 8.0, Lat: 45.4}
+	sGeo := seq.GeoWithin(center, 2)
+	bGeo := bulk.GeoWithin(center, 2)
+	if len(bGeo) == 0 || len(bGeo) != len(sGeo) {
+		t.Fatalf("geo query: bulk %d hits, sequential %d", len(bGeo), len(sGeo))
+	}
+	for i := range sGeo {
+		if bGeo[i] != sGeo[i] {
+			t.Fatalf("geo hit %d: bulk %v, sequential %v", i, bGeo[i], sGeo[i])
+		}
+	}
+}
+
+// TestBulkLoadMalformedMatchesSequential checks the error contract:
+// on malformed input the bulk path must report the same first error at
+// the same line as the sequential loader, having applied exactly the
+// statements preceding it.
+func TestBulkLoadMalformedMatchesSequential(t *testing.T) {
+	good := genIngestCorpus(5000)
+	lines := strings.SplitAfter(good, "\n")
+	// Two bad lines; only the first may be visible in either path.
+	lines[3000] = "<http://beta.teamlife.it/broken> nonsense here .\n"
+	lines[4000] = "also not a statement\n"
+	doc := strings.Join(lines, "")
+
+	seq := New()
+	nSeq, seqErr := loadSequential(seq, strings.NewReader(doc))
+	var seqPE *rdf.ParseError
+	if !errors.As(seqErr, &seqPE) {
+		t.Fatalf("sequential error = %v", seqErr)
+	}
+
+	bulk := New()
+	nBulk, bulkErr := bulk.LoadNQuads(strings.NewReader(doc))
+	var bulkPE *rdf.ParseError
+	if !errors.As(bulkErr, &bulkPE) {
+		t.Fatalf("bulk error = %v", bulkErr)
+	}
+
+	if bulkPE.Line != seqPE.Line || bulkPE.Line != 3001 {
+		t.Fatalf("bulk error at line %d, sequential at %d (want 3001)", bulkPE.Line, seqPE.Line)
+	}
+	if nBulk != nSeq {
+		t.Fatalf("bulk applied %d quads before error, sequential %d", nBulk, nSeq)
+	}
+	if bulk.StatsSnapshot() != seq.StatsSnapshot() {
+		t.Fatalf("stats diverge after error:\nbulk       %+v\nsequential %+v",
+			bulk.StatsSnapshot(), seq.StatsSnapshot())
+	}
+	if sd, bd := dumpString(t, seq), dumpString(t, bulk); bd != sd {
+		t.Fatal("dumps diverge after partial load")
+	}
+}
+
+// TestBulkLoaderDedup exercises in-batch and cross-batch duplicate
+// handling directly at the AddBatch level.
+func TestBulkLoaderDedup(t *testing.T) {
+	q1 := rdf.NewQuad(rdf.NewIRI("http://s/1"), rdf.NewIRI("http://p"), rdf.NewLiteral("uno due"), rdf.Term{})
+	q2 := rdf.NewQuad(rdf.NewIRI("http://s/2"), rdf.NewIRI("http://p"), rdf.NewLiteral("due tre"), rdf.NewIRI("http://g"))
+
+	st := New()
+	bl := st.NewBulkLoader()
+	n, err := bl.AddBatch([]rdf.Quad{q1, q2, q1, q1}) // in-batch dupes
+	if err != nil || n != 2 {
+		t.Fatalf("first batch: added %d, err %v (want 2)", n, err)
+	}
+	n, err = bl.AddBatch([]rdf.Quad{q2, q1}) // cross-batch dupes
+	if err != nil || n != 0 {
+		t.Fatalf("second batch: added %d, err %v (want 0)", n, err)
+	}
+	if bl.Added() != 2 || st.Len() != 2 {
+		t.Fatalf("Added()=%d Len()=%d, want 2/2", bl.Added(), st.Len())
+	}
+	// Refcounts must reflect dedup: removing q1 once empties its tokens.
+	if got := st.TextSearch("due"); len(got) != 2 {
+		t.Fatalf("TextSearch(due) = %v, want both subjects", got)
+	}
+	if !st.Remove(q1) {
+		t.Fatal("Remove(q1) = false")
+	}
+	if got := st.TextSearch("uno"); len(got) != 0 {
+		t.Fatalf("after remove, TextSearch(uno) = %v, want empty", got)
+	}
+}
+
+// TestBulkLoaderInvalidQuad: an invalid quad rejects the whole batch
+// before any mutation.
+func TestBulkLoaderInvalidQuad(t *testing.T) {
+	st := New()
+	bl := st.NewBulkLoader()
+	good := rdf.NewQuad(rdf.NewIRI("http://s"), rdf.NewIRI("http://p"), rdf.NewLiteral("v"), rdf.Term{})
+	bad := rdf.NewQuad(rdf.NewLiteral("not a subject"), rdf.NewIRI("http://p"), rdf.NewLiteral("v"), rdf.Term{})
+	if _, err := bl.AddBatch([]rdf.Quad{good, bad}); err == nil {
+		t.Fatal("AddBatch accepted an invalid quad")
+	}
+	if st.Len() != 0 || bl.Added() != 0 {
+		t.Fatalf("store mutated by rejected batch: Len=%d Added=%d", st.Len(), bl.Added())
+	}
+}
+
+// TestDumpNQuadsRoundTrip: the streamed dump reloads into an
+// equivalent store and re-dumps byte-identically.
+func TestDumpNQuadsRoundTrip(t *testing.T) {
+	st := New()
+	if _, err := st.LoadNQuads(strings.NewReader(genIngestCorpus(3000))); err != nil {
+		t.Fatal(err)
+	}
+	d1 := dumpString(t, st)
+	st2 := New()
+	if _, err := st2.LoadNQuads(strings.NewReader(d1)); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("round trip lost quads: %d -> %d", st.Len(), st2.Len())
+	}
+	if d2 := dumpString(t, st2); d2 != d1 {
+		t.Fatal("round-trip dump not byte-identical")
+	}
+}

@@ -7,6 +7,7 @@
 package store
 
 import (
+	"hash/maphash"
 	"sync"
 
 	"lodify/internal/rdf"
@@ -20,17 +21,112 @@ import (
 // and projection boundaries.
 type TermID uint64
 
+// dictSlot is one open-addressing slot: the term's precomputed hash
+// plus its id. id 0 (reserved for the zero term, which is never
+// stored) doubles as the empty marker.
+type dictSlot struct {
+	hash uint64
+	id   TermID
+}
+
 // dict interns RDF terms to dense ids. It is safe for concurrent use.
+//
+// The term→id direction is a hand-rolled open-addressing table rather
+// than a Go map: interning is the bulk-ingest hot path, and a built-in
+// map keyed by the four-field Term struct re-hashes every string field
+// on every probe and again on every growth rehash. Here each term is
+// hashed once, the hash is stored in the slot, lookups linear-probe
+// with a cheap uint64 compare before the full Term equality check, and
+// growth reinserts by stored hash without touching the strings. The
+// dictionary is append-only (terms are never deleted), so there are no
+// tombstones.
 type dict struct {
 	mu    sync.RWMutex
-	ids   map[rdf.Term]TermID
+	seed  maphash.Seed
+	slots []dictSlot // len is a power of two
+	used  int
 	terms []rdf.Term // terms[0] is the zero term
 }
 
 func newDict() *dict {
 	return &dict{
-		ids:   make(map[rdf.Term]TermID),
+		seed:  maphash.MakeSeed(),
+		slots: make([]dictSlot, 256),
 		terms: make([]rdf.Term, 1),
+	}
+}
+
+// hashTerm hashes every identity-bearing field of t. Equal terms hash
+// equal; the rare cross-kind or cross-datatype collision is resolved
+// by the full equality check at probe time.
+func (d *dict) hashTerm(t rdf.Term) uint64 {
+	h := maphash.String(d.seed, t.Value()) ^ (uint64(t.Kind()) * 0x9e3779b97f4a7c15)
+	if lang := t.Lang(); lang != "" {
+		h ^= maphash.String(d.seed, lang)
+	} else if t.IsLiteral() {
+		if dt := t.Datatype(); dt != rdf.XSDString {
+			h ^= maphash.String(d.seed, dt) * 3
+		}
+	}
+	return h
+}
+
+// lookupHash finds t (with precomputed hash h) under d.mu (either
+// mode).
+func (d *dict) lookupHash(t rdf.Term, h uint64) (TermID, bool) {
+	mask := uint64(len(d.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		sl := d.slots[i]
+		if sl.id == 0 {
+			return 0, false
+		}
+		if sl.hash == h && d.terms[sl.id] == t {
+			return sl.id, true
+		}
+	}
+}
+
+// internHashLocked interns t (with precomputed hash h) under the
+// already-held write lock. The term is cloned before it is retained:
+// parser-produced terms may alias a whole input line or parse chunk,
+// and the dictionary lives forever.
+func (d *dict) internHashLocked(t rdf.Term, h uint64) TermID {
+	mask := uint64(len(d.slots) - 1)
+	i := h & mask
+	for {
+		sl := d.slots[i]
+		if sl.id == 0 {
+			break
+		}
+		if sl.hash == h && d.terms[sl.id] == t {
+			return sl.id
+		}
+		i = (i + 1) & mask
+	}
+	id := TermID(len(d.terms))
+	d.terms = append(d.terms, t.Clone())
+	d.slots[i] = dictSlot{hash: h, id: id}
+	d.used++
+	if d.used*4 > len(d.slots)*3 { // grow at 3/4 load
+		d.grow()
+	}
+	return id
+}
+
+// grow doubles the slot table, reinserting by stored hash.
+func (d *dict) grow() {
+	old := d.slots
+	d.slots = make([]dictSlot, len(old)*2)
+	mask := uint64(len(d.slots) - 1)
+	for _, sl := range old {
+		if sl.id == 0 {
+			continue
+		}
+		i := sl.hash & mask
+		for d.slots[i].id != 0 {
+			i = (i + 1) & mask
+		}
+		d.slots[i] = sl
 	}
 }
 
@@ -39,21 +135,185 @@ func (d *dict) intern(t rdf.Term) TermID {
 	if t.IsZero() {
 		return 0
 	}
+	h := d.hashTerm(t)
 	d.mu.RLock()
-	id, ok := d.ids[t]
+	id, ok := d.lookupHash(t, h)
 	d.mu.RUnlock()
 	if ok {
 		return id
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if id, ok := d.ids[t]; ok {
+	return d.internHashLocked(t, h)
+}
+
+// internLocked interns t under the already-held write lock.
+func (d *dict) internLocked(t rdf.Term) TermID {
+	return d.internHashLocked(t, d.hashTerm(t))
+}
+
+// iquad is a quad resolved to dictionary ids.
+type iquad struct {
+	s, p, o, g TermID
+}
+
+// cmpIquad orders iquads by (g, s, p, o) id — the batch-apply order of
+// the bulk loader.
+func cmpIquad(a, b iquad) int {
+	switch {
+	case a.g != b.g:
+		if a.g < b.g {
+			return -1
+		}
+		return 1
+	case a.s != b.s:
+		if a.s < b.s {
+			return -1
+		}
+		return 1
+	case a.p != b.p:
+		if a.p < b.p {
+			return -1
+		}
+		return 1
+	case a.o != b.o:
+		if a.o < b.o {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// unresolved marks a miss in internQuads' read pass. It can never
+// collide with a real id: ^0 is AnyGraph, which is a pattern-only
+// value the dictionary never allocates.
+const unresolved = ^TermID(0)
+
+// termMemoSize is the ring capacity of internQuads' per-position
+// memo. Position vocabularies in dump-shaped input are tiny over a
+// window this size (a handful of predicates cycling line to line, a
+// subject repeated across its statements), so eight entries catch the
+// repeats a last-one memo misses while a linear struct-compare scan
+// stays far cheaper than hashing the term into the full dictionary.
+const termMemoSize = 8
+
+// termMemo is a fixed-size FIFO ring of recently resolved terms for
+// one quad position. Entries may alias parser chunk memory; a memo
+// never outlives its internQuads call.
+type termMemo struct {
+	terms   [termMemoSize]rdf.Term
+	ids     [termMemoSize]TermID
+	n, next int
+}
+
+func (m *termMemo) get(t rdf.Term) (TermID, bool) {
+	for i := 0; i < m.n; i++ {
+		if m.terms[i] == t {
+			return m.ids[i], true
+		}
+	}
+	return 0, false
+}
+
+func (m *termMemo) put(t rdf.Term, id TermID) {
+	m.terms[m.next], m.ids[m.next] = t, id
+	m.next = (m.next + 1) % termMemoSize
+	if m.n < termMemoSize {
+		m.n++
+	}
+}
+
+// internQuads resolves a batch of quads to ids: one read-lock pass
+// resolves the hits — with a small memo ring per position, since bulk
+// input arrives with runs of repeated subjects and a cycling handful
+// of predicates and graphs — and a single write-lock pass interns the
+// misses in input order (so ids come out exactly as a sequential
+// Add-loop would have assigned them). out and scratch are reused
+// caller scratch; the updated scratch is returned for reuse.
+func (d *dict) internQuads(quads []rdf.Quad, out []iquad, scratch []uint64) ([]iquad, []uint64) {
+	if cap(out) < len(quads) {
+		out = make([]iquad, len(quads))
+	}
+	out = out[:len(quads)]
+	// pending queues the hash of each read-pass miss, in encounter
+	// order; the write pass below visits misses in exactly that order,
+	// so every term is hashed at most once per batch.
+	pending := scratch[:0]
+	var memoS, memoP, memoO, memoG termMemo
+	d.mu.RLock()
+	resolve := func(t rdf.Term, memo *termMemo) TermID {
+		if t.IsZero() {
+			return 0
+		}
+		if id, ok := memo.get(t); ok {
+			return id
+		}
+		h := d.hashTerm(t)
+		id, ok := d.lookupHash(t, h)
+		if !ok {
+			pending = append(pending, h)
+			return unresolved // no memo update: id unknown until the write pass
+		}
+		memo.put(t, id)
 		return id
 	}
-	id = TermID(len(d.terms))
-	d.terms = append(d.terms, t)
-	d.ids[t] = id
-	return id
+	for i, q := range quads {
+		out[i] = iquad{
+			s: resolve(q.S, &memoS),
+			p: resolve(q.P, &memoP),
+			o: resolve(q.O, &memoO),
+			g: resolve(q.G, &memoG),
+		}
+	}
+	d.mu.RUnlock()
+	if len(pending) == 0 {
+		return out, pending
+	}
+	d.mu.Lock()
+	next := 0
+	take := func() uint64 { h := pending[next]; next++; return h }
+	for i := range out {
+		if out[i].s == unresolved {
+			out[i].s = d.internHashLocked(quads[i].S, take())
+		}
+		if out[i].p == unresolved {
+			out[i].p = d.internHashLocked(quads[i].P, take())
+		}
+		if out[i].o == unresolved {
+			out[i].o = d.internHashLocked(quads[i].O, take())
+		}
+		if out[i].g == unresolved {
+			out[i].g = d.internHashLocked(quads[i].G, take())
+		}
+	}
+	d.mu.Unlock()
+	return out, pending
+}
+
+// lookupLocked is lookup with d.mu already held (either mode).
+func (d *dict) lookupLocked(t rdf.Term) (TermID, bool) {
+	if t.IsZero() {
+		return 0, true
+	}
+	return d.lookupHash(t, d.hashTerm(t))
+}
+
+// lookupPattern resolves the three triple-pattern positions under a
+// single read-lock hold (the Match/Count hot path previously paid
+// three acquisitions). ok is false when any non-zero term is unknown,
+// i.e. the pattern cannot match anything.
+func (d *dict) lookupPattern(s, p, o rdf.Term) (si, pi, oi TermID, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if si, ok = d.lookupLocked(s); !ok {
+		return
+	}
+	if pi, ok = d.lookupLocked(p); !ok {
+		return
+	}
+	oi, ok = d.lookupLocked(o)
+	return
 }
 
 // lookup returns the id for t without allocating; ok is false when the
@@ -62,10 +322,10 @@ func (d *dict) lookup(t rdf.Term) (TermID, bool) {
 	if t.IsZero() {
 		return 0, true
 	}
+	h := d.hashTerm(t)
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	id, ok := d.ids[t]
-	return id, ok
+	return d.lookupHash(t, h)
 }
 
 // term returns the term for id. id 0 yields the zero term.

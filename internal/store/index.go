@@ -35,42 +35,252 @@ func (s ids) remove(v TermID) (ids, bool) {
 	return s[:len(s)-1], true
 }
 
-// pairIndex maps a leading id to a map of second id to a sorted set of
-// third ids: one permutation of the triple. With three instances (SPO,
-// POS, OSP) every triple pattern resolves with at most one map walk.
-type pairIndex map[TermID]map[TermID]ids
-
-func (ix pairIndex) add(a, b, c TermID) bool {
-	m, ok := ix[a]
-	if !ok {
-		m = make(map[TermID]ids)
-		ix[a] = m
-	}
-	set, changed := m[b].insert(c)
-	if changed {
-		m[b] = set
-	}
-	return changed
+// bpair is one (second id → sorted third-id set) entry of a pairSet.
+type bpair struct {
+	b   TermID
+	set ids
 }
 
-func (ix pairIndex) del(a, b, c TermID) bool {
-	m, ok := ix[a]
-	if !ok {
+// pairSetCutover is the vector→map upgrade threshold. Subjects carry
+// a handful of predicates and objects a handful of subjects, so the
+// overwhelming share of pairSets never leaves the vector; the hot
+// leading ids (a popular predicate's object table) upgrade to a map.
+const pairSetCutover = 16
+
+// pairSet maps a second id to the sorted set of third ids for one
+// leading id. Small fan-outs — the common case by far — live in a
+// sorted vector (no per-node map allocation, binary search instead of
+// hashing); past pairSetCutover entries it upgrades to a map. arr is
+// the vector's initial backing, so one- and two-entry nodes (most of
+// OSP, where an object typically names a single subject) cost no
+// allocation beyond the node itself.
+type pairSet struct {
+	vec []bpair        // sorted by b; used while m == nil
+	m   map[TermID]ids // non-nil once upgraded
+	arr [2]bpair
+}
+
+func (ps *pairSet) find(b TermID) int {
+	lo, hi := 0, len(ps.vec)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ps.vec[mid].b < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// get returns the set for b (nil when absent).
+func (ps *pairSet) get(b TermID) ids {
+	if ps == nil {
+		return nil
+	}
+	if ps.m != nil {
+		return ps.m[b]
+	}
+	i := ps.find(b)
+	if i < len(ps.vec) && ps.vec[i].b == b {
+		return ps.vec[i].set
+	}
+	return nil
+}
+
+// add inserts c into b's set, allocating fresh one-element sets from
+// g's slab.
+func (ps *pairSet) add(b, c TermID, g *graphIndex) bool {
+	if ps.m != nil {
+		set, changed := ps.m[b].insert(c)
+		if changed {
+			ps.m[b] = set
+		}
+		return changed
+	}
+	i := ps.find(b)
+	if i < len(ps.vec) && ps.vec[i].b == b {
+		set, changed := ps.vec[i].set.insert(c)
+		if changed {
+			ps.vec[i].set = set
+		}
+		return changed
+	}
+	if len(ps.vec) >= pairSetCutover {
+		ps.m = make(map[TermID]ids, len(ps.vec)+1)
+		for _, e := range ps.vec {
+			ps.m[e.b] = e.set
+		}
+		ps.vec = nil
+		ps.m[b] = g.alloc1(c)
+		return true
+	}
+	ps.vec = append(ps.vec, bpair{})
+	copy(ps.vec[i+1:], ps.vec[i:])
+	ps.vec[i] = bpair{b: b, set: g.alloc1(c)}
+	return true
+}
+
+func (ps *pairSet) del(b, c TermID) bool {
+	if ps.m != nil {
+		set, changed := ps.m[b].remove(c)
+		if !changed {
+			return false
+		}
+		if len(set) == 0 {
+			delete(ps.m, b)
+		} else {
+			ps.m[b] = set
+		}
+		return true
+	}
+	i := ps.find(b)
+	if i >= len(ps.vec) || ps.vec[i].b != b {
 		return false
 	}
-	set, changed := m[b].remove(c)
+	set, changed := ps.vec[i].set.remove(c)
 	if !changed {
 		return false
 	}
 	if len(set) == 0 {
-		delete(m, b)
-		if len(m) == 0 {
-			delete(ix, a)
-		}
+		copy(ps.vec[i:], ps.vec[i+1:])
+		ps.vec = ps.vec[:len(ps.vec)-1]
 	} else {
-		m[b] = set
+		ps.vec[i].set = set
 	}
 	return true
+}
+
+func (ps *pairSet) empty() bool {
+	if ps == nil {
+		return true
+	}
+	if ps.m != nil {
+		return len(ps.m) == 0
+	}
+	return len(ps.vec) == 0
+}
+
+// each calls fn for every (b, set) pair until fn returns false. Vector
+// nodes iterate in ascending b order; upgraded nodes in map order.
+func (ps *pairSet) each(fn func(b TermID, set ids) bool) bool {
+	if ps == nil {
+		return true
+	}
+	if ps.m != nil {
+		for b, set := range ps.m {
+			if !fn(b, set) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, e := range ps.vec {
+		if !fn(e.b, e.set) {
+			return false
+		}
+	}
+	return true
+}
+
+// keys appends every b id to dst (sorted for vector nodes, map order
+// otherwise) and returns it; used by callers that sort anyway.
+func (ps *pairSet) keys(dst []TermID) []TermID {
+	if ps == nil {
+		return dst
+	}
+	if ps.m != nil {
+		for b := range ps.m {
+			dst = append(dst, b)
+		}
+		return dst
+	}
+	for _, e := range ps.vec {
+		dst = append(dst, e.b)
+	}
+	return dst
+}
+
+// size returns the total number of third ids across all pairs.
+func (ps *pairSet) size() int {
+	n := 0
+	if ps == nil {
+		return 0
+	}
+	if ps.m != nil {
+		for _, set := range ps.m {
+			n += len(set)
+		}
+		return n
+	}
+	for _, e := range ps.vec {
+		n += len(e.set)
+	}
+	return n
+}
+
+// pairIndex maps a leading id to its pairSet: one permutation of the
+// triple. With three instances (SPO, POS, OSP) every triple pattern
+// resolves with at most one map walk.
+type pairIndex map[TermID]*pairSet
+
+// node returns the pairSet for leading id a, creating it (from g's
+// node slab) when absent. Nodes are stable pointers for the life of
+// the leading id (del drops the map entry only once the node is empty,
+// and adds never replace it), which is what lets callers memoize them
+// across a batch.
+func (ix pairIndex) node(a TermID, g *graphIndex) *pairSet {
+	ps := ix[a]
+	if ps == nil {
+		ps = g.newNode()
+		ix[a] = ps
+	}
+	return ps
+}
+
+func (ix pairIndex) del(a, b, c TermID) bool {
+	ps := ix[a]
+	if ps == nil || !ps.del(b, c) {
+		return false
+	}
+	if ps.empty() {
+		delete(ix, a)
+	}
+	return true
+}
+
+// get returns the third-id set for (a, b), nil when absent.
+func (ix pairIndex) get(a, b TermID) ids {
+	return ix[a].get(b)
+}
+
+// nodeMemo is a small FIFO ring of recently resolved pairIndex nodes,
+// used by the bulk loader to skip the leading-key map probe for ids
+// that recur across a batch (a handful of predicates, popular
+// objects). Valid only across adds under one lock hold: del can
+// retire a node, after which a cached pointer would be stale.
+type nodeMemo struct {
+	keys    [termMemoSize]TermID
+	nodes   [termMemoSize]*pairSet
+	n, next int
+}
+
+func (m *nodeMemo) reset() { m.n, m.next = 0, 0 }
+
+// get returns the (created-if-absent) node for k in ix, memoized.
+func (m *nodeMemo) get(ix pairIndex, g *graphIndex, k TermID) *pairSet {
+	for i := 0; i < m.n; i++ {
+		if m.keys[i] == k {
+			return m.nodes[i]
+		}
+	}
+	ps := ix.node(k, g)
+	m.keys[m.next], m.nodes[m.next] = k, ps
+	m.next = (m.next + 1) % termMemoSize
+	if m.n < termMemoSize {
+		m.n++
+	}
+	return ps
 }
 
 // graphIndex holds the three permutation indexes for one named graph.
@@ -79,6 +289,35 @@ type graphIndex struct {
 	pos  pairIndex
 	osp  pairIndex
 	size int
+	// slab carves one-element sets for pairSet.add, and nodes carves
+	// pairSet structs for pairIndex.node, batching what would otherwise
+	// be one tiny heap allocation per fresh (a, b) pair or leading id.
+	// The full-cap reslice in alloc1 keeps carved sets copy-on-append.
+	slab  ids
+	nodes []pairSet
+}
+
+// alloc1 returns a one-element set holding c.
+func (g *graphIndex) alloc1(c TermID) ids {
+	if len(g.slab) == 0 {
+		g.slab = make(ids, 512)
+	}
+	s := g.slab[0:1:1]
+	s[0] = c
+	g.slab = g.slab[1:]
+	return s
+}
+
+// newNode carves a fresh pairSet from the node slab. Handed-out
+// pointers stay valid: reslicing doesn't move the backing array.
+func (g *graphIndex) newNode() *pairSet {
+	if len(g.nodes) == 0 {
+		g.nodes = make([]pairSet, 256)
+	}
+	ps := &g.nodes[0]
+	g.nodes = g.nodes[1:]
+	ps.vec = ps.arr[:0]
+	return ps
 }
 
 func newGraphIndex() *graphIndex {
@@ -90,11 +329,19 @@ func newGraphIndex() *graphIndex {
 }
 
 func (g *graphIndex) add(s, p, o TermID) bool {
-	if !g.spo.add(s, p, o) {
+	return g.addNodes(g.spo.node(s, g), g.pos.node(p, g), g.osp.node(o, g), s, p, o)
+}
+
+// addNodes is add with all three leading-key nodes already resolved:
+// bulk ingest sorts batches by subject and memoizes the probes, so
+// the (large) leading maps are hashed once per run instead of once
+// per quad.
+func (g *graphIndex) addNodes(spoN, posN, ospN *pairSet, s, p, o TermID) bool {
+	if !spoN.add(p, o, g) {
 		return false
 	}
-	g.pos.add(p, o, s)
-	g.osp.add(o, s, p)
+	posN.add(o, s, g)
+	ospN.add(s, p, g)
 	g.size++
 	return true
 }
@@ -110,11 +357,7 @@ func (g *graphIndex) del(s, p, o TermID) bool {
 }
 
 func (g *graphIndex) has(s, p, o TermID) bool {
-	m, ok := g.spo[s]
-	if !ok {
-		return false
-	}
-	return m[p].has(o)
+	return g.spo.get(s, p).has(o)
 }
 
 // scan calls fn for every triple matching the pattern, where id 0 in a
@@ -128,61 +371,64 @@ func (g *graphIndex) scan(s, p, o TermID, fn func(s, p, o TermID) bool) bool {
 		}
 		return true
 	case s != 0 && p != 0:
-		for _, oo := range g.spo[s][p] {
+		for _, oo := range g.spo.get(s, p) {
 			if !fn(s, p, oo) {
 				return false
 			}
 		}
 		return true
 	case s != 0 && o != 0:
-		for _, pp := range g.osp[o][s] {
+		for _, pp := range g.osp.get(o, s) {
 			if !fn(s, pp, o) {
 				return false
 			}
 		}
 		return true
 	case p != 0 && o != 0:
-		for _, ss := range g.pos[p][o] {
+		for _, ss := range g.pos.get(p, o) {
 			if !fn(ss, p, o) {
 				return false
 			}
 		}
 		return true
 	case s != 0:
-		for pp, os := range g.spo[s] {
+		return g.spo[s].each(func(pp TermID, os ids) bool {
 			for _, oo := range os {
 				if !fn(s, pp, oo) {
 					return false
 				}
 			}
-		}
-		return true
+			return true
+		})
 	case p != 0:
-		for oo, ss := range g.pos[p] {
+		return g.pos[p].each(func(oo TermID, ss ids) bool {
 			for _, s2 := range ss {
 				if !fn(s2, p, oo) {
 					return false
 				}
 			}
-		}
-		return true
+			return true
+		})
 	case o != 0:
-		for ss, ps := range g.osp[o] {
+		return g.osp[o].each(func(ss TermID, ps ids) bool {
 			for _, pp := range ps {
 				if !fn(ss, pp, o) {
 					return false
 				}
 			}
-		}
-		return true
+			return true
+		})
 	default:
 		for ss, pm := range g.spo {
-			for pp, os := range pm {
+			if !pm.each(func(pp TermID, os ids) bool {
 				for _, oo := range os {
 					if !fn(ss, pp, oo) {
 						return false
 					}
 				}
+				return true
+			}) {
+				return false
 			}
 		}
 		return true
@@ -190,8 +436,7 @@ func (g *graphIndex) scan(s, p, o TermID, fn func(s, p, o TermID) bool) bool {
 }
 
 // count estimates the number of triples matching the pattern without
-// enumerating them fully (exact for all bound/unbound combinations
-// except (s,?,o), which falls back to a scan of the o-side).
+// enumerating them fully (exact for all bound/unbound combinations).
 func (g *graphIndex) count(s, p, o TermID) int {
 	switch {
 	case s != 0 && p != 0 && o != 0:
@@ -200,29 +445,17 @@ func (g *graphIndex) count(s, p, o TermID) int {
 		}
 		return 0
 	case s != 0 && p != 0:
-		return len(g.spo[s][p])
+		return len(g.spo.get(s, p))
 	case p != 0 && o != 0:
-		return len(g.pos[p][o])
+		return len(g.pos.get(p, o))
 	case s != 0 && o != 0:
-		return len(g.osp[o][s])
+		return len(g.osp.get(o, s))
 	case s != 0:
-		n := 0
-		for _, os := range g.spo[s] {
-			n += len(os)
-		}
-		return n
+		return g.spo[s].size()
 	case p != 0:
-		n := 0
-		for _, ss := range g.pos[p] {
-			n += len(ss)
-		}
-		return n
+		return g.pos[p].size()
 	case o != 0:
-		n := 0
-		for _, ps := range g.osp[o] {
-			n += len(ps)
-		}
-		return n
+		return g.osp[o].size()
 	default:
 		return g.size
 	}

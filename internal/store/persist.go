@@ -1,7 +1,6 @@
 package store
 
 import (
-	"bufio"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,12 +19,9 @@ func (st *Store) SaveFile(path string) error {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	w := bufio.NewWriter(tmp)
-	if err := st.DumpNQuads(w); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: snapshot: %w", err)
-	}
-	if err := w.Flush(); err != nil {
+	// DumpNQuads buffers internally (rdf.NQuadsWriter), so the file
+	// handle needs no extra wrapping.
+	if err := st.DumpNQuads(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
@@ -51,7 +47,8 @@ func (st *Store) LoadFile(path string) (int, error) {
 		return 0, fmt.Errorf("store: load: %w", err)
 	}
 	defer f.Close()
-	n, err := st.LoadNQuads(bufio.NewReader(f))
+	// LoadNQuads reads in chunk-sized blocks; no reader wrapping needed.
+	n, err := st.LoadNQuads(f)
 	if err != nil {
 		return n, fmt.Errorf("store: load: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"lodify/internal/textsim"
 )
@@ -13,54 +14,209 @@ import (
 // full-text capability the paper's platform relies on for search.
 // Callers synchronize via the store mutex.
 type textIndex struct {
-	// postings maps token -> subject id -> reference count (a subject
-	// may carry the same token through several literals).
-	postings map[string]map[TermID]int
+	// postings maps token -> posting (subject id -> reference count; a
+	// subject may carry the same token through several literals).
+	postings map[string]*posting
 	// tokens is the sorted token vocabulary for prefix search; lazily
 	// rebuilt when dirty.
 	tokens []string
 	dirty  bool
+	// slab carves posting nodes, batching what would otherwise be one
+	// tiny heap allocation per fresh token.
+	slab []posting
 }
 
 func newTextIndex() *textIndex {
-	return &textIndex{postings: make(map[string]map[TermID]int)}
+	return &textIndex{postings: make(map[string]*posting)}
+}
+
+// posting is one token's subject set. The bulk of a UGC corpus's
+// vocabulary is singleton tokens (identifiers, numbers, rare words
+// naming exactly one subject), so the first subject and its refcount
+// live inline and no map exists until a second distinct subject
+// arrives.
+type posting struct {
+	one TermID         // inline subject; meaningful while m == nil && cnt > 0
+	cnt int            // inline refcount
+	m   map[TermID]int // non-nil once a second distinct subject arrives
+}
+
+// add records one occurrence of the token under subj.
+func (p *posting) add(subj TermID) {
+	switch {
+	case p.m != nil:
+		p.m[subj]++
+	case p.cnt == 0:
+		p.one, p.cnt = subj, 1
+	case p.one == subj:
+		p.cnt++
+	default:
+		p.m = map[TermID]int{p.one: p.cnt, subj: 1}
+		p.one, p.cnt = 0, 0
+	}
+}
+
+// remove drops one occurrence under subj, reporting whether the
+// posting is now empty (and should be deleted from the vocabulary).
+func (p *posting) remove(subj TermID) bool {
+	if p.m != nil {
+		if c := p.m[subj]; c <= 1 {
+			delete(p.m, subj)
+		} else {
+			p.m[subj] = c - 1
+		}
+		return len(p.m) == 0
+	}
+	if p.one == subj && p.cnt > 0 {
+		p.cnt--
+	}
+	return p.cnt == 0
+}
+
+// size returns the number of distinct subjects carrying the token.
+func (p *posting) size() int {
+	switch {
+	case p == nil:
+		return 0
+	case p.m != nil:
+		return len(p.m)
+	case p.cnt > 0:
+		return 1
+	}
+	return 0
+}
+
+// has reports whether subj carries the token.
+func (p *posting) has(subj TermID) bool {
+	if p == nil {
+		return false
+	}
+	if p.m != nil {
+		_, ok := p.m[subj]
+		return ok
+	}
+	return p.cnt > 0 && p.one == subj
+}
+
+// each calls fn for every subject carrying the token.
+func (p *posting) each(fn func(TermID)) {
+	if p == nil {
+		return
+	}
+	if p.m != nil {
+		for s := range p.m {
+			fn(s)
+		}
+		return
+	}
+	if p.cnt > 0 {
+		fn(p.one)
+	}
+}
+
+// posting returns tok's posting, carving a fresh one from the slab
+// when the token is new to the vocabulary.
+func (ti *textIndex) posting(tok string) *posting {
+	p, ok := ti.postings[tok]
+	if !ok {
+		if len(ti.slab) == 0 {
+			ti.slab = make([]posting, 256)
+		}
+		p = &ti.slab[0]
+		ti.slab = ti.slab[1:]
+		// A token may alias the literal it was sliced from (and, during
+		// bulk ingest, a whole parse chunk): clone the key so the index
+		// never pins input buffers.
+		ti.postings[strings.Clone(tok)] = p
+		ti.dirty = true
+	}
+	return p
 }
 
 // Tokenize folds and splits text into index tokens. Exported through
 // the store for the web layer's query highlighting.
 func Tokenize(text string) []string {
 	folded := textsim.Fold(text)
-	return strings.FieldsFunc(folded, func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
-	})
+	for i := 0; i < len(folded); i++ {
+		if folded[i] >= utf8.RuneSelf {
+			return strings.FieldsFunc(folded, func(r rune) bool {
+				return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+			})
+		}
+	}
+	// ASCII fast path: count alphanumeric spans, then slice them out,
+	// skipping FieldsFunc's per-rune closure calls.
+	n := 0
+	in := false
+	for i := 0; i < len(folded); i++ {
+		if alnumASCII(folded[i]) {
+			if !in {
+				n++
+				in = true
+			}
+		} else {
+			in = false
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	start := -1
+	for i := 0; i < len(folded); i++ {
+		if alnumASCII(folded[i]) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			out = append(out, folded[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, folded[start:])
+	}
+	return out
+}
+
+// alnumASCII reports whether c is an ASCII letter or digit. Folded
+// text is lowercase, but raw (unfolded) bytes never reach here.
+func alnumASCII(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
 }
 
 func (ti *textIndex) index(_ TermID, subj TermID, text string) {
 	for _, tok := range Tokenize(text) {
-		m, ok := ti.postings[tok]
-		if !ok {
-			m = make(map[TermID]int)
-			ti.postings[tok] = m
-			ti.dirty = true
-		}
-		m[subj]++
+		ti.posting(tok).add(subj)
 	}
+}
+
+// resolvePostings appends each token's posting to dst (creating
+// postings for unseen tokens) and returns dst. This is the bulk
+// loader's term-grouping hook: it resolves a literal's tokens against
+// the string-keyed vocabulary once, the caller caches the resulting
+// list per distinct object term for the batch, and every further
+// statement carrying that literal bumps refcounts through the cached
+// postings without re-hashing any token. Caller holds the store mutex
+// and must not retain dst across batches without re-resolving (unindex
+// may drop emptied postings). The resulting refcounts are exactly what
+// per-statement index calls would have produced.
+func (ti *textIndex) resolvePostings(dst []*posting, toks []string) []*posting {
+	for _, tok := range toks {
+		dst = append(dst, ti.posting(tok))
+	}
+	return dst
 }
 
 func (ti *textIndex) unindex(_ TermID, subj TermID, text string) {
 	for _, tok := range Tokenize(text) {
-		m, ok := ti.postings[tok]
+		p, ok := ti.postings[tok]
 		if !ok {
 			continue
 		}
-		if m[subj] <= 1 {
-			delete(m, subj)
-			if len(m) == 0 {
-				delete(ti.postings, tok)
-				ti.dirty = true
-			}
-		} else {
-			m[subj]--
+		if p.remove(subj) {
+			delete(ti.postings, tok)
+			ti.dirty = true
 		}
 	}
 }
@@ -69,8 +225,8 @@ func (ti *textIndex) unindex(_ TermID, subj TermID, text string) {
 // Caller holds the store lock.
 func (ti *textIndex) stats() (tokens, postings int) {
 	tokens = len(ti.postings)
-	for _, m := range ti.postings {
-		postings += len(m)
+	for _, p := range ti.postings {
+		postings += p.size()
 	}
 	return tokens, postings
 }
@@ -83,24 +239,22 @@ func (ti *textIndex) search(query string) []TermID {
 	}
 	// Intersect starting from the rarest token.
 	sort.Slice(toks, func(i, j int) bool {
-		return len(ti.postings[toks[i]]) < len(ti.postings[toks[j]])
+		return ti.postings[toks[i]].size() < ti.postings[toks[j]].size()
 	})
 	first, ok := ti.postings[toks[0]]
 	if !ok {
 		return nil
 	}
-	out := make([]TermID, 0, len(first))
-	for subj := range first {
-		out = append(out, subj)
-	}
+	out := make([]TermID, 0, first.size())
+	first.each(func(subj TermID) { out = append(out, subj) })
 	for _, tok := range toks[1:] {
-		m, ok := ti.postings[tok]
+		p, ok := ti.postings[tok]
 		if !ok {
 			return nil
 		}
 		keep := out[:0]
 		for _, subj := range out {
-			if _, ok := m[subj]; ok {
+			if p.has(subj) {
 				keep = append(keep, subj)
 			}
 		}
@@ -137,14 +291,12 @@ func (ti *textIndex) prefixSearch(prefix string) []TermID {
 			return nil
 		}
 		if base == nil {
-			base = make(map[TermID]bool, len(m))
-			for s := range m {
-				base[s] = true
-			}
+			base = make(map[TermID]bool, m.size())
+			m.each(func(s TermID) { base[s] = true })
 			continue
 		}
 		for s := range base {
-			if _, ok := m[s]; !ok {
+			if !m.has(s) {
 				delete(base, s)
 			}
 		}
@@ -152,11 +304,11 @@ func (ti *textIndex) prefixSearch(prefix string) []TermID {
 	set := make(map[TermID]bool)
 	i := sort.SearchStrings(ti.tokens, p)
 	for ; i < len(ti.tokens) && strings.HasPrefix(ti.tokens[i], p); i++ {
-		for subj := range ti.postings[ti.tokens[i]] {
+		ti.postings[ti.tokens[i]].each(func(subj TermID) {
 			if base == nil || base[subj] {
 				set[subj] = true
 			}
-		}
+		})
 	}
 	out := make([]TermID, 0, len(set))
 	for s := range set {

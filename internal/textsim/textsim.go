@@ -8,6 +8,7 @@ package textsim
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Jaro returns the Jaro similarity of a and b in [0,1]. It is
@@ -83,8 +84,40 @@ func JaroWinklerFold(a, b string) float64 {
 }
 
 // Fold lowercases and strips combining marks and common Latin
-// diacritics, so "Torinò" folds to "torino".
+// diacritics, so "Torinò" folds to "torino". Input that is already
+// folded — pure lowercase ASCII, the overwhelming case in bulk
+// ingest — is returned as-is without allocating; callers retaining
+// the result beyond the input's lifetime must clone it.
 func Fold(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' || c >= utf8.RuneSelf {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	for j := i; j < len(s); j++ {
+		if s[j] >= utf8.RuneSelf {
+			return foldSlow(s)
+		}
+	}
+	// ASCII with uppercase: lower byte-wise in a single allocation.
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:i])
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+func foldSlow(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
 	for _, r := range strings.ToLower(s) {
