@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench bench-smoke bench-json bench-ingest bench-ingest-smoke ci
+.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -16,11 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Project-specific static analysis: rawiri, locksafe, ctxflow, errdrop.
-# Exits non-zero on any finding; see DESIGN.md §7 for the rules.
+# go vet, then the project-specific suite: rawiri, locksafe, ctxflow,
+# errdrop plus the dataflow analyzers bufescape, leasehold and localid.
+# Fails on any vet or lodlint finding; see DESIGN.md §7 and §11.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lodlint ./...
+
+# Short fuzz run of the N-Quads line parser: exercises the PR-4
+# parse/serialize round-trip contract on every push (CI gate).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseNQuadLine -fuzztime=10s ./internal/rdf
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

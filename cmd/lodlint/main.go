@@ -1,21 +1,32 @@
 // Command lodlint runs the project-specific static analysis suite
-// (internal/analysis) over the module: rawiri, locksafe, ctxflow and
-// errdrop. It exits 1 when any analyzer reports a finding and 2 on
-// load/type-check failure, making it suitable as a CI gate (see
-// `make lint` and .github/workflows/ci.yml).
+// (internal/analysis) over the module: rawiri, locksafe, ctxflow,
+// errdrop, bufescape, leasehold and localid. Packages are analyzed in
+// parallel. It exits 1 when any analyzer reports an unsuppressed
+// finding and 2 on load/type-check failure, making it suitable as a
+// CI gate (see `make lint` and .github/workflows/ci.yml).
 //
 // Usage:
 //
-//	lodlint [-json] [-tests] [-only rawiri,errdrop] [-list] [packages]
+//	lodlint [-json|-sarif] [-tests] [-only rawiri,errdrop] [-modroot dir] [-list] [packages]
 //
-// Packages default to ./... relative to the module root; the tool
-// may be invoked from any directory inside the module.
+// Packages default to ./... relative to the module root; the tool may
+// be invoked from any directory inside the module (or pointed at
+// another module with -modroot).
+//
+// Findings can be silenced with a comment on the offending line or the
+// line above:
+//
+//	//lodlint:ignore <rule> <reason>
+//
+// Suppressions are never silent: every output mode counts and lists
+// them, so stale or accumulating ignores stay reviewable.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,17 +34,40 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
-	tests := flag.Bool("tests", false, "also analyze _test.go files")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Findings     []analysis.Diagnostic  `json:"findings"`
+	Suppressions []analysis.Suppression `json:"suppressions"`
+	Packages     int                    `json:"packages"`
+}
+
+// run is main, testably: it parses args, loads, analyzes and writes,
+// returning the process exit code (0 clean, 1 findings, 2 hard error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lodlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings and suppressions as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	modroot := fs.String("modroot", "", "module root directory (default: walk up from the working directory)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fprintln(stderr, "lodlint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 
 	analyzers := analysis.Analyzers()
@@ -43,50 +77,209 @@ func main() {
 			name = strings.TrimSpace(name)
 			a := analysis.ByName(name)
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "lodlint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fprintf(stderr, "lodlint: unknown analyzer %q\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	pkgs, err := analysis.Load(analysis.LoadConfig{IncludeTests: *tests}, flag.Args()...)
+	pkgs, err := analysis.Load(analysis.LoadConfig{ModuleRoot: *modroot, IncludeTests: *tests}, fs.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lodlint: %v\n", err)
-		os.Exit(2)
+		fprintf(stderr, "lodlint: %v\n", err)
+		return 2
 	}
 	hardErrs := 0
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "lodlint: typecheck %s: %v\n", pkg.Path, terr)
+			fprintf(stderr, "lodlint: typecheck %s: %v\n", pkg.Path, terr)
 			hardErrs++
 		}
 	}
 	if hardErrs > 0 {
-		fmt.Fprintf(os.Stderr, "lodlint: %d type error(s); fix the build first (go build ./...)\n", hardErrs)
-		os.Exit(2)
+		fprintf(stderr, "lodlint: %d type error(s); fix the build first (go build ./...)\n", hardErrs)
+		return 2
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+	diags, suppressed := analysis.Suppress(pkgs, diags)
+
+	switch {
+	case *jsonOut:
+		report := jsonReport{Findings: diags, Suppressions: suppressed, Packages: len(pkgs)}
+		if report.Findings == nil {
+			report.Findings = []analysis.Diagnostic{}
+		}
+		if report.Suppressions == nil {
+			report.Suppressions = []analysis.Suppression{}
+		}
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
+		if err := enc.Encode(report); err != nil {
+			fprintf(stderr, "lodlint: %v\n", err)
+			return 2
 		}
-		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "lodlint: %v\n", err)
-			os.Exit(2)
+	case *sarifOut:
+		if err := writeSARIF(stdout, diags, suppressed); err != nil {
+			fprintf(stderr, "lodlint: %v\n", err)
+			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
-			fmt.Println(d.String())
+			fprintln(stdout, d.String())
+		}
+		if len(suppressed) > 0 {
+			fprintf(stdout, "lodlint: %d finding(s) suppressed by //lodlint:ignore:\n", len(suppressed))
+			for _, s := range suppressed {
+				reason := s.Reason
+				if reason == "" {
+					reason = "(no reason given)"
+				}
+				fprintf(stdout, "  %s:%d: [%s] %s — %s\n", s.File, s.Line, s.Rule, s.Message, reason)
+			}
+		}
+		if len(diags) > 0 {
+			fprintf(stderr, "lodlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "lodlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// ---- SARIF 2.1.0 (minimal static analysis interchange) ----
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders findings as one SARIF run. Suppressed findings
+// are included with a suppression record (SARIF viewers hide them by
+// default but keep them auditable), matching the "ignores must stay
+// visible" policy of the text and JSON modes.
+func writeSARIF(w io.Writer, diags []analysis.Diagnostic, suppressed []analysis.Suppression) error {
+	ruleSeen := map[string]bool{}
+	var rules []sarifRule
+	addRule := func(name string) {
+		if ruleSeen[name] {
+			return
+		}
+		ruleSeen[name] = true
+		doc := name
+		if a := analysis.ByName(name); a != nil {
+			doc = a.Doc
+		}
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags)+len(suppressed))
+	for _, d := range diags {
+		addRule(d.Analyzer)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: d.File},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Column},
+			}}},
+		})
+	}
+	for _, s := range suppressed {
+		addRule(s.Rule)
+		results = append(results, sarifResult{
+			RuleID:  s.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: s.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: s.File},
+				Region:           sarifRegion{StartLine: s.Line, StartColumn: 1},
+			}}},
+			Suppressions: []sarifSuppression{{Kind: "inSource", Justification: s.Reason}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lodlint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// fprintf and fprintln write CLI output. When a write to the process's
+// own streams fails there is no channel left to report on, so the
+// error is deliberately dropped — the suite's own suppression syntax
+// records that decision (and exercises it in production).
+
+func fprintf(w io.Writer, format string, args ...any) {
+	//lodlint:ignore errdrop stream write failures have no reporting channel left
+	fmt.Fprintf(w, format, args...)
+}
+
+func fprintln(w io.Writer, args ...any) {
+	//lodlint:ignore errdrop stream write failures have no reporting channel left
+	fmt.Fprintln(w, args...)
 }

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lodify/internal/analysis"
+)
+
+// writeModule lays out a throwaway module named lodify (so the
+// cmd/-scoped analyzers apply to its cmd/app package) and returns its
+// root.
+func writeModule(t *testing.T, mainSrc string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module lodify\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "cmd", "app")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(mainSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+const dirtyMain = `package main
+
+import "os"
+
+func main() {
+	os.Remove("scratch")
+}
+`
+
+const cleanMain = `package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := os.Remove("scratch"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+`
+
+const suppressedMain = `package main
+
+import "os"
+
+func main() {
+	//lodlint:ignore errdrop cleanup is best-effort
+	os.Remove("scratch")
+}
+`
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestExitCodeDirtyTree(t *testing.T) {
+	root := writeModule(t, dirtyMain)
+	code, out, _ := runLint(t, "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "[errdrop]") || !strings.Contains(out, "discarded") {
+		t.Errorf("output missing errdrop finding:\n%s", out)
+	}
+}
+
+func TestExitCodeCleanTree(t *testing.T) {
+	root := writeModule(t, cleanMain)
+	code, out, stderr := runLint(t, "-modroot", root, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+	if out != "" {
+		t.Errorf("clean tree produced output:\n%s", out)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	root := writeModule(t, dirtyMain)
+	code, out, _ := runLint(t, "-json", "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(report.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1:\n%s", len(report.Findings), out)
+	}
+	f := report.Findings[0]
+	if f.Analyzer != "errdrop" || f.Line == 0 || f.Message == "" ||
+		filepath.Base(f.File) != "main.go" {
+		t.Errorf("finding shape wrong: %+v", f)
+	}
+	if report.Suppressions == nil || len(report.Suppressions) != 0 {
+		t.Errorf("suppressions = %v, want present and empty", report.Suppressions)
+	}
+	if report.Packages == 0 {
+		t.Errorf("packages = 0, want > 0")
+	}
+}
+
+func TestSuppressionCountingAndExitCode(t *testing.T) {
+	root := writeModule(t, suppressedMain)
+
+	// A fully suppressed tree is clean for CI purposes...
+	code, out, _ := runLint(t, "-modroot", root, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	// ...but the suppression is counted and listed, with its reason.
+	if !strings.Contains(out, "1 finding(s) suppressed") ||
+		!strings.Contains(out, "cleanup is best-effort") {
+		t.Errorf("suppression not listed:\n%s", out)
+	}
+
+	code, out, _ = runLint(t, "-json", "-modroot", root, "./...")
+	if code != 0 {
+		t.Fatalf("json exit = %d, want 0", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(report.Findings) != 0 || len(report.Suppressions) != 1 {
+		t.Fatalf("findings=%d suppressions=%d, want 0/1:\n%s",
+			len(report.Findings), len(report.Suppressions), out)
+	}
+	s := report.Suppressions[0]
+	if s.Rule != "errdrop" || s.Reason != "cleanup is best-effort" || s.Message == "" {
+		t.Errorf("suppression shape wrong: %+v", s)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	root := writeModule(t, dirtyMain)
+	code, out, _ := runLint(t, "-sarif", "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0/1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "lodlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 1 || run.Results[0].RuleID != "errdrop" ||
+		run.Results[0].Locations[0].PhysicalLocation.Region.StartLine == 0 {
+		t.Errorf("results wrong: %+v", run.Results)
+	}
+}
+
+func TestListShowsAllSevenAnalyzers(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if got, want := len(analysis.Analyzers()), 7; got != want {
+		t.Fatalf("suite has %d analyzers, want %d", got, want)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list missing analyzer %s", a.Name)
+		}
+	}
+}

@@ -18,6 +18,18 @@
 //   - errdrop: discarded error returns in cmd/ and examples/ —
 //     binaries must exit non-zero on failure.
 //
+// The PR-3/PR-4 performance work added contracts that syntactic
+// matching cannot see, checked by three dataflow analyzers built on
+// the engine in dataflow.go:
+//
+//   - bufescape: chunk-batch quads/terms escaping a
+//     rdf.ParseNQuadsChunked callback without Clone (the batch aliases
+//     a recycled parse buffer).
+//   - leasehold: store read leases with a path to function exit
+//     without Release, or held across a blocking call.
+//   - localid: query-local (high-bit) SPARQL ids flowing into store ID
+//     lookups.
+//
 // The package is stdlib-only (go/ast, go/parser, go/types); the
 // driver in cmd/lodlint loads every package of the module and runs
 // all analyzers, exiting non-zero on findings.
@@ -29,6 +41,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -88,7 +101,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full rule suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop}
+	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -101,23 +114,36 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies each analyzer to each package and returns the findings
-// sorted by position.
+// Run applies each analyzer to each package — packages analyzed in
+// parallel, each package's analyzers in sequence — and returns the
+// findings sorted by position. Analyzers share nothing across packages
+// (each Pass appends to a per-package slice), so the fan-out needs no
+// locking beyond the final merge.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Path:     pkg.Path,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer: a,
+					Path:     pkg.Path,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					diags:    &perPkg[i],
+				}
+				a.Run(pass)
 			}
-			a.Run(pass)
-		}
+		}(i, pkg)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, ds := range perPkg {
+		diags = append(diags, ds...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
@@ -150,10 +176,18 @@ func isNamedType(t types.Type, pkgPath, name string) bool {
 
 // calleeFunc resolves the *types.Func a call expression invokes, or
 // nil for calls through function values, type conversions and
-// builtins.
+// builtins. Explicit generic instantiations (Foo[T](x),
+// recv.Meth[T1, T2](x)) are unwrapped to the underlying function.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch e := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(e.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(e.X)
+	}
 	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:

@@ -19,25 +19,44 @@ var (
 )
 
 func TestRawIRI(t *testing.T) {
-	runFixtureTest(t, RawIRI, "rawiri", "lodify/internal/rawiritest")
+	runFixtureTest(t, []*Analyzer{RawIRI}, "rawiri", "lodify/internal/rawiritest")
 }
 
 func TestLockSafe(t *testing.T) {
-	runFixtureTest(t, LockSafe, "locksafe", "lodify/internal/locktest")
+	runFixtureTest(t, []*Analyzer{LockSafe}, "locksafe", "lodify/internal/locktest")
 }
 
 func TestCtxFlow(t *testing.T) {
-	runFixtureTest(t, CtxFlow, "ctxflow", "lodify/internal/resolver/ctxfix")
+	runFixtureTest(t, []*Analyzer{CtxFlow}, "ctxflow", "lodify/internal/resolver/ctxfix")
 }
 
 func TestErrDrop(t *testing.T) {
-	runFixtureTest(t, ErrDrop, "errdrop", "lodify/cmd/fixturecli")
+	runFixtureTest(t, []*Analyzer{ErrDrop}, "errdrop", "lodify/cmd/fixturecli")
+}
+
+func TestBufEscape(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{BufEscape}, "bufescape", "lodify/internal/ingestfix")
+}
+
+func TestLeaseHold(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{LeaseHold}, "leasehold", "lodify/internal/store/leasefix")
+}
+
+func TestLocalID(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{LocalID}, "localid", "lodify/internal/sparql/localfix")
+}
+
+// TestGenerics runs the path-independent and resolver-scoped analyzers
+// over type-parameterized code: generic receivers and instantiation
+// expressions must neither panic nor produce false positives.
+func TestGenerics(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{LockSafe, CtxFlow}, "generics", "lodify/internal/resolver/generictest")
 }
 
 // runFixtureTest loads testdata/<fixture> under importPath, runs the
-// analyzer, and checks its diagnostics against the // want markers:
+// analyzers, and checks their diagnostics against the // want markers:
 // every diagnostic must be expected, every expectation must fire.
-func runFixtureTest(t *testing.T, a *Analyzer, fixture, importPath string) {
+func runFixtureTest(t *testing.T, as []*Analyzer, fixture, importPath string) {
 	t.Helper()
 	pkg, err := LoadFixture(moduleRoot, filepath.Join("testdata", fixture), importPath)
 	if err != nil {
@@ -76,7 +95,7 @@ func runFixtureTest(t *testing.T, a *Analyzer, fixture, importPath string) {
 		t.Fatalf("fixture %s seeds %d violations; need at least 2", fixture, len(wants))
 	}
 
-	diags := Run([]*Package{pkg}, []*Analyzer{a})
+	diags := Run([]*Package{pkg}, as)
 	matched := make([]bool, len(wants))
 	for _, d := range diags {
 		hit := false

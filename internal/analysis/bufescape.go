@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufEscape enforces the chunk-buffer aliasing contract of
+// rdf.ParseNQuadsChunked (DESIGN.md §10): the quads a chunk callback
+// receives — and every rdf.Term sliced out of them — alias the chunk's
+// backing buffer, which is recycled the moment the emit callback
+// returns. A batch value that outlives the callback (stored to a field
+// or captured variable, appended to a captured slice, sent on a
+// channel, handed to a goroutine, or returned) must go through
+// Quad.Clone/Term.Clone first; anything else is a use-after-recycle
+// that surfaces as silently corrupted terms under load.
+//
+// The analyzer runs the dataflow engine over every function literal
+// passed to ParseNQuadsChunked, seeding the batch parameter as tainted.
+// Clone() is the sanitizer; values whose type cannot hold an rdf.Term
+// (ints, strings, errors) drop the taint at binding time.
+var BufEscape = &Analyzer{
+	Name: "bufescape",
+	Doc:  "flags chunk-batch quads/terms escaping a ParseNQuadsChunked callback without Clone",
+	Run:  runBufEscape,
+}
+
+// tBuf marks values aliasing the chunk parse buffer.
+const tBuf taint = 1
+
+func runBufEscape(pass *Pass) {
+	tc := newTermTypes(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !calleeIsPkgFunc(pass.Info, call, rdfPkgPath, "ParseNQuadsChunked") {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				tc.checkCallback(pass, lit)
+			}
+			return true
+		})
+	}
+}
+
+// termTypes memoizes "can this type hold an rdf.Term?" so the taint
+// stays on quad/term-shaped values only.
+type termTypes struct {
+	pass *Pass
+	memo map[types.Type]bool
+}
+
+func newTermTypes(pass *Pass) *termTypes {
+	return &termTypes{pass: pass, memo: map[types.Type]bool{}}
+}
+
+// holdsTerm reports whether a value of type t can contain an rdf.Term
+// or rdf.Quad (directly or through struct/slice/array/map/pointer
+// nesting) and hence alias the parse buffer.
+func (tc *termTypes) holdsTerm(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := tc.memo[t]; ok {
+		return v
+	}
+	tc.memo[t] = false // cycle guard
+	v := false
+	switch {
+	case isNamedType(t, rdfPkgPath, "Term"), isNamedType(t, rdfPkgPath, "Quad"),
+		isNamedType(t, rdfPkgPath, "Triple"):
+		v = true
+	default:
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields() && !v; i++ {
+				v = tc.holdsTerm(u.Field(i).Type())
+			}
+		case *types.Slice:
+			v = tc.holdsTerm(u.Elem())
+		case *types.Array:
+			v = tc.holdsTerm(u.Elem())
+		case *types.Pointer:
+			v = tc.holdsTerm(u.Elem())
+		case *types.Map:
+			v = tc.holdsTerm(u.Key()) || tc.holdsTerm(u.Elem())
+		case *types.Chan:
+			v = tc.holdsTerm(u.Elem())
+		case *types.Signature:
+			// A closure can capture terms; handled via capture taint,
+			// so the func value itself carries taint dynamically.
+			v = true
+		}
+	}
+	tc.memo[t] = v
+	return v
+}
+
+// checkCallback runs the escape analysis over one emit callback.
+func (tc *termTypes) checkCallback(pass *Pass, lit *ast.FuncLit) {
+	seed := map[types.Object]taint{}
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.Info.ObjectOf(name)
+				if obj != nil && tc.holdsTerm(obj.Type()) {
+					seed[obj] = tBuf
+				}
+			}
+		}
+	}
+	if len(seed) == 0 {
+		return
+	}
+	hooks := &flowHooks{
+		callResult: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint) taint {
+			if recv&tBuf == 0 {
+				merged := recv
+				for _, a := range args {
+					merged |= a
+				}
+				if merged&tBuf == 0 {
+					return 0
+				}
+			}
+			fn := calleeFunc(pass.Info, call)
+			// Clone materializes: the result owns its memory.
+			if fn != nil && fn.Name() == "Clone" &&
+				(isMethodOn(fn, rdfPkgPath, "Quad") || isMethodOn(fn, rdfPkgPath, "Term") ||
+					isMethodOn(fn, rdfPkgPath, "Triple")) {
+				return 0
+			}
+			// Any other call over tainted operands: the result aliases
+			// the buffer iff its type can hold a term (q.Triple() does,
+			// q.S.Compare(x) does not).
+			if tv, ok := pass.Info.Types[call]; ok && !tc.holdsTermTuple(tv.Type) {
+				return 0
+			}
+			var t taint
+			t = recv
+			for _, a := range args {
+				t |= a
+			}
+			return t & tBuf
+		},
+		maskBind: func(f *funcFlow, obj types.Object, t taint) taint {
+			if t&tBuf != 0 && !tc.holdsTerm(obj.Type()) {
+				return t &^ tBuf
+			}
+			return t
+		},
+		onEscape: func(f *funcFlow, kind escapeKind, e ast.Expr, pos token.Pos, t taint) {
+			if t&tBuf == 0 {
+				return
+			}
+			f.Reportf(pos,
+				"chunk-batch value %s without Clone: batch terms alias the parse buffer, which is recycled when emit returns (call .Clone() first)",
+				kind)
+		},
+	}
+	runFlow(pass, lit, hooks, seed)
+}
+
+// holdsTermTuple extends holdsTerm over call-result tuples.
+func (tc *termTypes) holdsTermTuple(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if tc.holdsTerm(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return tc.holdsTerm(t)
+}

@@ -1,0 +1,764 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Intraprocedural forward dataflow (DESIGN.md §11). The PR-3/PR-4
+// performance work introduced contracts that pure AST matching cannot
+// check: chunk-batch quads alias a recycled parse buffer (bufescape),
+// store read leases must reach Release on every path and must not be
+// held across blocking calls (leasehold), and query-local ids must
+// never flow into store ID lookups (localid). All three reduce to the
+// same question — "where does this value go?" — so they share one
+// engine: a per-function abstract interpretation that tracks a small
+// taint bitset per variable through assignments, composite literals,
+// function-literal captures, channel sends and returns, joining state
+// at branches and iterating loops to a (bounded) fixpoint.
+//
+// The engine is deliberately intraprocedural: calls are events the
+// client interprets (source, sanitizer, sink or no-op via flowHooks),
+// never descended into. That keeps the analysis linear in the syntax
+// and the false-positive surface auditable.
+
+// taint is a small provenance bitset. Each analyzer defines its own
+// bit meanings; the engine only unions and compares them.
+type taint uint32
+
+// escapeKind classifies where a tainted value left the analyzed scope.
+type escapeKind int
+
+const (
+	// escapeAssignCaptured is an assignment to a variable declared
+	// outside the analyzed function (captured or package-level),
+	// including the `captured = append(captured, v)` idiom.
+	escapeAssignCaptured escapeKind = iota
+	// escapeStoreOutside is a store through a field, index or pointer
+	// whose root is declared outside the analyzed function.
+	escapeStoreOutside
+	// escapeSend is a channel send.
+	escapeSend
+	// escapeReturn is a return from the analyzed function itself
+	// (returns of nested function literals are not escapes).
+	escapeReturn
+	// escapeGoroutine is a tainted value handed to a go statement.
+	escapeGoroutine
+)
+
+// String names the escape for diagnostics.
+func (k escapeKind) String() string {
+	switch k {
+	case escapeAssignCaptured:
+		return "assigned to a captured variable"
+	case escapeStoreOutside:
+		return "stored outside the callback"
+	case escapeSend:
+		return "sent on a channel"
+	case escapeReturn:
+		return "returned"
+	case escapeGoroutine:
+		return "passed to a goroutine"
+	default:
+		return "escaped"
+	}
+}
+
+// flowHooks is the client contract. Every hook is optional.
+type flowHooks struct {
+	// callResult computes the taint of a call's result from the
+	// receiver and argument taints. The engine has already handled
+	// conversions and the append builtin. A nil hook means calls
+	// return untainted values.
+	callResult func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint) taint
+	// binaryResult refines the taint of a binary expression; the
+	// default is the union of the operand taints. Used by localid to
+	// recognize `x | localIDBit` minting and `x &^ localIDBit` masking.
+	binaryResult func(f *funcFlow, e *ast.BinaryExpr, x, y taint) taint
+	// onCall fires for every evaluated call, after its operands.
+	// deferred marks calls inside a defer statement.
+	onCall func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint, deferred bool)
+	// onBind fires when taint is bound to a named object by an
+	// assignment or declaration (leasehold records acquire sites).
+	onBind func(f *funcFlow, obj types.Object, rhs ast.Expr, t taint)
+	// maskBind filters the taint stored for obj (bufescape drops taint
+	// for types that cannot alias the parse buffer).
+	maskBind func(f *funcFlow, obj types.Object, t taint) taint
+	// onEscape fires when a possibly-tainted value reaches an escape
+	// sink; t may be 0 when only the sink itself matters.
+	onEscape func(f *funcFlow, kind escapeKind, e ast.Expr, pos token.Pos, t taint)
+	// onChanOp fires for channel sends and receives (blocking points).
+	onChanOp func(f *funcFlow, pos token.Pos)
+	// onExit fires at each return of the analyzed function, at each
+	// panic call, and once at the fall-off end of the body. ret/call
+	// are nil when not applicable.
+	onExit func(f *funcFlow, pos token.Pos)
+}
+
+// funcFlow is one function (or function literal) under analysis.
+type funcFlow struct {
+	pass  *Pass
+	hooks *flowHooks
+	// root spans the analyzed function; objects declared inside it are
+	// "local", everything else is captured.
+	root ast.Node
+	// state maps variables to their current taint along this path.
+	state map[types.Object]taint
+	// depth counts nested function literals (their returns are not
+	// escapes of the root); asyncDepth counts literals being walked as
+	// goroutine bodies (their blocking operations do not block the
+	// root).
+	depth      int
+	asyncDepth int
+	// reported dedups diagnostics across loop re-iterations.
+	reported map[string]bool
+}
+
+// runFlow analyzes fn (a *ast.FuncDecl or *ast.FuncLit) with the given
+// hooks. seed pre-taints objects (e.g. the chunk-batch parameter).
+func runFlow(pass *Pass, fn ast.Node, hooks *flowHooks, seed map[types.Object]taint) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	f := &funcFlow{
+		pass:     pass,
+		hooks:    hooks,
+		root:     fn,
+		state:    map[types.Object]taint{},
+		reported: map[string]bool{},
+	}
+	for obj, t := range seed {
+		f.state[obj] = t
+	}
+	terminated := f.walkStmt(body)
+	if !terminated && hooks.onExit != nil {
+		hooks.onExit(f, body.Rbrace)
+	}
+}
+
+// Reportf reports a finding once: loop fixpoint iteration and repeated
+// literal walks revisit the same syntax, so findings dedup on position
+// and message.
+func (f *funcFlow) Reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d\x00%s", pos, msg)
+	if f.reported[key] {
+		return
+	}
+	f.reported[key] = true
+	f.pass.Reportf(pos, "%s", msg)
+}
+
+// objOf resolves an identifier to its object.
+func (f *funcFlow) objOf(id *ast.Ident) types.Object {
+	if obj := f.pass.Info.ObjectOf(id); obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// isLocal reports whether obj is declared inside the analyzed
+// function (parameters and receivers included).
+func (f *funcFlow) isLocal(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= f.root.Pos() && obj.Pos() <= f.root.End()
+}
+
+// anyTainted reports whether any tracked object carries the mask.
+func (f *funcFlow) anyTainted(mask taint) bool {
+	for _, t := range f.state {
+		if t&mask != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// each visits the current state.
+func (f *funcFlow) each(fn func(obj types.Object, t taint)) {
+	for obj, t := range f.state {
+		fn(obj, t)
+	}
+}
+
+// set overwrites an object's taint (typestate transitions).
+func (f *funcFlow) set(obj types.Object, t taint) { f.state[obj] = t }
+
+// get reads an object's taint.
+func (f *funcFlow) get(obj types.Object) taint { return f.state[obj] }
+
+// ---- state lattice ----
+
+func cloneState(s map[types.Object]taint) map[types.Object]taint {
+	out := make(map[types.Object]taint, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// joinState unions b into a (may-analysis: a bit set on any incoming
+// path stays set).
+func joinState(a, b map[types.Object]taint) {
+	for k, v := range b {
+		a[k] |= v
+	}
+}
+
+// ---- statement walk ----
+
+// walkStmt interprets one statement and reports whether it terminates
+// the current path (return or panic — every subsequent statement in
+// the block is unreachable).
+func (f *funcFlow) walkStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if f.walkStmt(st) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		f.eval(s.X)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && f.isPanic(call) {
+			return true
+		}
+	case *ast.AssignStmt:
+		f.walkAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var t taint
+					if i < len(vs.Values) {
+						t = f.eval(vs.Values[i])
+					} else if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						t = f.eval(vs.Values[0])
+					}
+					f.bindIdent(name, vs.Values, t)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init)
+		}
+		f.eval(s.Cond)
+		pre := cloneState(f.state)
+		thenTerm := f.walkStmt(s.Body)
+		thenState := f.state
+		f.state = pre
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = f.walkStmt(s.Else)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			// only the else path continues; f.state already holds it
+		case elseTerm:
+			f.state = thenState
+		default:
+			joinState(f.state, thenState)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init)
+		}
+		f.loop(func() {
+			if s.Cond != nil {
+				f.eval(s.Cond)
+			}
+			f.walkStmt(s.Body)
+			if s.Post != nil {
+				f.walkStmt(s.Post)
+			}
+		})
+	case *ast.RangeStmt:
+		t := f.eval(s.X)
+		// Range variables alias the container's elements.
+		if s.Key != nil {
+			if id, ok := s.Key.(*ast.Ident); ok {
+				f.bindIdent(id, nil, t)
+			}
+		}
+		if s.Value != nil {
+			if id, ok := s.Value.(*ast.Ident); ok {
+				f.bindIdent(id, nil, t)
+			}
+		}
+		f.loop(func() { f.walkStmt(s.Body) })
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			f.eval(s.Tag)
+		}
+		f.walkCases(s.Body, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f.walkStmt(s.Init)
+		}
+		f.walkStmt(s.Assign)
+		f.walkCases(s.Body, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		f.walkCases(s.Body, true)
+	case *ast.CommClause:
+		if s.Comm != nil {
+			f.walkStmt(s.Comm)
+		}
+		for _, st := range s.Body {
+			if f.walkStmt(st) {
+				return true
+			}
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			f.eval(e)
+		}
+		for _, st := range s.Body {
+			if f.walkStmt(st) {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t := f.eval(r)
+			if f.depth == 0 && f.hooks.onEscape != nil {
+				f.hooks.onEscape(f, escapeReturn, r, r.Pos(), t)
+			}
+		}
+		if f.depth == 0 && f.hooks.onExit != nil {
+			f.hooks.onExit(f, s.Pos())
+		}
+		return true
+	case *ast.SendStmt:
+		f.eval(s.Chan)
+		t := f.eval(s.Value)
+		if f.hooks.onChanOp != nil {
+			f.hooks.onChanOp(f, s.Arrow)
+		}
+		if f.hooks.onEscape != nil {
+			f.hooks.onEscape(f, escapeSend, s.Value, s.Arrow, t)
+		}
+	case *ast.DeferStmt:
+		f.evalCall(s.Call, true)
+	case *ast.GoStmt:
+		// The goroutine outlives the current statement: everything the
+		// call closes over or receives escapes the caller's control.
+		f.asyncDepth++
+		var ft taint
+		switch fun := ast.Unparen(s.Call.Fun).(type) {
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if _, isPkg := f.pass.Info.ObjectOf(id).(*types.PkgName); !isPkg {
+					ft |= f.eval(fun.X)
+				}
+			} else {
+				ft |= f.eval(fun.X)
+			}
+		default:
+			ft |= f.eval(s.Call.Fun)
+		}
+		args := make([]taint, len(s.Call.Args))
+		for i, a := range s.Call.Args {
+			args[i] = f.eval(a)
+			ft |= args[i]
+		}
+		f.asyncDepth--
+		if f.hooks.onCall != nil {
+			f.hooks.onCall(f, s.Call, ft, args, false)
+		}
+		if f.hooks.onEscape != nil {
+			f.hooks.onEscape(f, escapeGoroutine, s.Call, s.Call.Pos(), ft)
+		}
+	case *ast.IncDecStmt:
+		f.eval(s.X)
+	case *ast.LabeledStmt:
+		return f.walkStmt(s.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		// break/continue/goto: joined conservatively by the enclosing
+		// loop's fixpoint.
+	}
+	return false
+}
+
+// loop runs body to a bounded fixpoint: taints only grow across
+// iterations (the join is a union), so a few passes reach the loop's
+// transitive propagation; the bound caps pathological cases. The
+// pre-state joins in because the loop may run zero times.
+func (f *funcFlow) loop(body func()) {
+	pre := cloneState(f.state)
+	for i := 0; i < 3; i++ {
+		body()
+		joinState(f.state, pre)
+	}
+}
+
+// walkCases joins all clause states; withoutMatch adds the fall-through
+// path when no clause is guaranteed to run.
+func (f *funcFlow) walkCases(body *ast.BlockStmt, hasDefault bool) {
+	pre := cloneState(f.state)
+	joined := map[types.Object]taint{}
+	anyFallthrough := false
+	for _, cl := range body.List {
+		f.state = cloneState(pre)
+		if !f.walkStmt(cl) {
+			anyFallthrough = true
+		}
+		joinState(joined, f.state)
+	}
+	if !hasDefault || !anyFallthrough || len(body.List) == 0 {
+		joinState(joined, pre)
+	}
+	f.state = joined
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkAssign interprets an assignment: identifiers update the state,
+// stores through selectors/indexes/pointers either taint the local
+// container or escape, depending on where the root is declared.
+func (f *funcFlow) walkAssign(s *ast.AssignStmt) {
+	// Right-hand taints. A multi-value call spreads its single taint
+	// over every left-hand side.
+	taints := make([]taint, len(s.Lhs))
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		t := f.eval(s.Rhs[0])
+		for i := range taints {
+			taints[i] = t
+		}
+	} else {
+		for i := range s.Lhs {
+			if i < len(s.Rhs) {
+				taints[i] = f.eval(s.Rhs[i])
+			}
+		}
+	}
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		f.store(lhs, rhs, taints[i])
+	}
+}
+
+// store binds taint t to the lvalue lhs.
+func (f *funcFlow) store(lhs, rhs ast.Expr, t taint) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := f.objOf(l)
+		if obj == nil {
+			return
+		}
+		if !f.isLocal(obj) {
+			if f.hooks.onEscape != nil {
+				val := rhs
+				if val == nil {
+					val = lhs
+				}
+				f.hooks.onEscape(f, escapeAssignCaptured, val, lhs.Pos(), t)
+			}
+		}
+		f.bind(obj, rhs, t)
+	default:
+		// Store through a field, index or pointer: find the root. The
+		// escape hook receives the escaping value (rhs) so typestate
+		// clients can untrack a transferred object.
+		val := rhs
+		if val == nil {
+			val = lhs
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			if t != 0 && f.hooks.onEscape != nil {
+				f.hooks.onEscape(f, escapeStoreOutside, val, lhs.Pos(), t)
+			}
+			return
+		}
+		obj := f.objOf(root)
+		if f.isLocal(obj) {
+			// The container now holds the value; if the container later
+			// escapes, the taint goes with it.
+			if t != 0 && obj != nil {
+				f.bind(obj, rhs, f.state[obj]|t)
+			}
+			return
+		}
+		if f.hooks.onEscape != nil {
+			f.hooks.onEscape(f, escapeStoreOutside, val, lhs.Pos(), t)
+		}
+	}
+}
+
+// bindIdent is store for declaration names.
+func (f *funcFlow) bindIdent(id *ast.Ident, _ any, t taint) {
+	if id.Name == "_" {
+		return
+	}
+	if obj := f.objOf(id); obj != nil {
+		f.bind(obj, nil, t)
+	}
+}
+
+func (f *funcFlow) bind(obj types.Object, rhs ast.Expr, t taint) {
+	if f.hooks.maskBind != nil {
+		t = f.hooks.maskBind(f, obj, t)
+	}
+	f.state[obj] = t
+	if f.hooks.onBind != nil {
+		f.hooks.onBind(f, obj, rhs, t)
+	}
+}
+
+// rootIdent descends selector/index/star/slice chains to the base
+// identifier, or nil when the base is not a plain variable.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- expression evaluation ----
+
+// eval computes the taint of an expression, firing call/chan hooks for
+// everything it visits.
+func (f *funcFlow) eval(e ast.Expr) taint {
+	if e == nil {
+		return 0
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := f.objOf(e); obj != nil {
+			return f.state[obj]
+		}
+	case *ast.ParenExpr:
+		return f.eval(e.X)
+	case *ast.CallExpr:
+		return f.evalCall(e, false)
+	case *ast.SelectorExpr:
+		// Package-qualified names carry no value taint.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := f.pass.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				return 0
+			}
+		}
+		return f.eval(e.X)
+	case *ast.IndexExpr:
+		// Either an index operation or a generic instantiation; both
+		// propagate the base taint.
+		f.eval(e.Index)
+		return f.eval(e.X)
+	case *ast.IndexListExpr:
+		return f.eval(e.X)
+	case *ast.SliceExpr:
+		f.eval(e.Low)
+		f.eval(e.High)
+		f.eval(e.Max)
+		return f.eval(e.X)
+	case *ast.StarExpr:
+		return f.eval(e.X)
+	case *ast.UnaryExpr:
+		t := f.eval(e.X)
+		if e.Op == token.ARROW {
+			if f.hooks.onChanOp != nil {
+				f.hooks.onChanOp(f, e.Pos())
+			}
+		}
+		return t
+	case *ast.BinaryExpr:
+		x, y := f.eval(e.X), f.eval(e.Y)
+		if f.hooks.binaryResult != nil {
+			return f.hooks.binaryResult(f, e, x, y)
+		}
+		return x | y
+	case *ast.CompositeLit:
+		var t taint
+		for _, el := range e.Elts {
+			t |= f.eval(el)
+		}
+		return t
+	case *ast.KeyValueExpr:
+		f.eval(e.Key)
+		return f.eval(e.Value)
+	case *ast.TypeAssertExpr:
+		return f.eval(e.X)
+	case *ast.FuncLit:
+		// The literal's value carries the taint of everything it
+		// captures; its body executes under the root's locality (its
+		// own locals sit inside the root span).
+		t := f.captureTaint(e)
+		f.depth++
+		f.walkStmt(e.Body)
+		f.depth--
+		return t
+	}
+	return 0
+}
+
+// captureTaint unions the current taints of the free variables a
+// function literal closes over.
+func (f *funcFlow) captureTaint(lit *ast.FuncLit) taint {
+	var t taint
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := f.pass.Info.ObjectOf(id)
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				t |= f.state[obj]
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// evalCall evaluates a call's operands and produces its result taint.
+func (f *funcFlow) evalCall(call *ast.CallExpr, deferred bool) taint {
+	// Type conversion: the value passes through unchanged.
+	if tv, ok := f.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		var t taint
+		for _, a := range call.Args {
+			t |= f.eval(a)
+		}
+		return t
+	}
+	// Receiver taint: method calls via selector on a value; plain
+	// identifiers cover calls through (possibly captured) func values.
+	var recv taint
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, isPkg := f.pass.Info.ObjectOf(id).(*types.PkgName); !isPkg {
+				recv = f.eval(fun.X)
+			}
+		} else {
+			recv = f.eval(fun.X)
+		}
+	default:
+		recv = f.eval(call.Fun)
+	}
+	args := make([]taint, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = f.eval(a)
+	}
+	// Builtins the engine interprets directly.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := f.pass.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				var t taint
+				for _, a := range args {
+					t |= a
+				}
+				return t
+			case "panic":
+				if f.depth == 0 && f.hooks.onExit != nil {
+					f.hooks.onExit(f, call.Pos())
+				}
+				return 0
+			case "len", "cap", "make", "new", "delete", "copy", "clear",
+				"min", "max", "print", "println", "recover", "complex",
+				"real", "imag":
+				return 0
+			}
+		}
+	}
+	var t taint
+	if f.hooks.callResult != nil {
+		t = f.hooks.callResult(f, call, recv, args)
+	}
+	if f.hooks.onCall != nil {
+		f.hooks.onCall(f, call, recv, args, deferred)
+	}
+	return t
+}
+
+// isPanic reports a direct call to the panic builtin.
+func (f *funcFlow) isPanic(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := f.pass.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+// ---- shared type predicates for the contract analyzers ----
+
+// namedOrPtr unwraps one pointer level and returns the named type, or
+// nil.
+func namedOrPtr(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isMethodOn reports whether fn is a method whose receiver (after
+// pointer unwrapping) is pkgPath.typeName.
+func isMethodOn(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOrPtr(sig.Recv().Type())
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == typeName &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

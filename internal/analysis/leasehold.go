@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// storePkgPath hosts the quad store whose locking contracts leasehold
+// and localid enforce.
+const storePkgPath = "lodify/internal/store"
+
+// LeaseHold enforces the store.ReadLease contract (DESIGN.md §9): a
+// read lease holds the store's RWMutex read lock from ReadLease until
+// Release, so
+//
+//  1. every path out of the acquiring function — returns, panics, the
+//     fall-off end — must Release first (defer lease.Release() covers
+//     all of them), and
+//  2. the lease must not be held across a blocking call: a network
+//     round trip, a channel operation, a sync.WaitGroup/Cond wait,
+//     another lock acquisition, or any Store method that takes the
+//     store mutex itself (with a writer queued between the two
+//     acquisitions, the second read lock deadlocks).
+//
+// The analyzer runs the dataflow engine over every function and
+// function literal, tracking lease variables as typestate (held /
+// covered-by-defer). A lease that escapes the function (returned,
+// stored to a field, sent away) transfers ownership and stops being
+// tracked.
+var LeaseHold = &Analyzer{
+	Name: "leasehold",
+	Doc:  "flags store read leases leaked on an exit path or held across a blocking call",
+	Run:  runLeaseHold,
+}
+
+const (
+	// tHeld marks a lease whose read lock is currently held.
+	tHeld taint = 1
+	// tCovered marks a lease with a deferred Release registered.
+	tCovered taint = 2
+)
+
+func runLeaseHold(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLeases(pass, fd)
+		}
+		// Function literals are separate scopes: a goroutine body or
+		// callback acquiring its own lease is checked against its own
+		// exits, not its parent's.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLeases(pass, lit)
+			}
+			return true
+		})
+	}
+}
+
+// checkLeases analyzes one function scope.
+func checkLeases(pass *Pass, fn ast.Node) {
+	// acquire records where each tracked lease was minted and at what
+	// literal nesting depth, so blocking calls only count against
+	// leases alive in the current synchronous scope.
+	type site struct {
+		pos   token.Pos
+		depth int
+	}
+	acquire := map[types.Object]site{}
+
+	// Every function literal is also analyzed as its own root (see
+	// runLeaseHold), so reporting here is confined to leases acquired at
+	// the root scope of THIS analysis (depth 0): issues inside nested
+	// literals belong to the literal's own pass, which keeps each
+	// finding single-owner and duplicate-free.
+	holdsAt := func(f *funcFlow) (types.Object, bool) {
+		if f.depth != 0 {
+			return nil, false
+		}
+		var found types.Object
+		f.each(func(obj types.Object, t taint) {
+			if t&tHeld != 0 {
+				if s, ok := acquire[obj]; ok && s.depth == 0 {
+					found = obj
+				}
+			}
+		})
+		return found, found != nil
+	}
+
+	hooks := &flowHooks{
+		callResult: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint) taint {
+			fn := calleeFunc(pass.Info, call)
+			if fn != nil && fn.Name() == "ReadLease" && isMethodOn(fn, storePkgPath, "Store") {
+				return tHeld
+			}
+			return 0
+		},
+		onBind: func(f *funcFlow, obj types.Object, rhs ast.Expr, t taint) {
+			if t&tHeld != 0 {
+				if _, ok := acquire[obj]; !ok {
+					pos := obj.Pos()
+					if rhs != nil {
+						pos = rhs.Pos()
+					}
+					acquire[obj] = site{pos: pos, depth: f.depth}
+				}
+			}
+		},
+		onCall: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint, deferred bool) {
+			callee := calleeFunc(pass.Info, call)
+			// Release transitions the typestate.
+			if callee != nil && callee.Name() == "Release" && isMethodOn(callee, storePkgPath, "Lease") {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if root := rootIdent(sel.X); root != nil {
+						if obj := pass.Info.ObjectOf(root); obj != nil {
+							if deferred {
+								f.set(obj, f.get(obj)|tCovered)
+							} else {
+								f.set(obj, f.get(obj)&^tHeld)
+							}
+						}
+					}
+				}
+				return
+			}
+			if f.asyncDepth > 0 {
+				return // goroutine bodies block their own goroutine only
+			}
+			if kind := blockingCallKind(pass, call, callee); kind != "" {
+				if obj, ok := holdsAt(f); ok {
+					f.Reportf(call.Pos(),
+						"store read lease %s is held across %s; release it first or keep blocking work outside the lease",
+						objName(obj), kind)
+				}
+			}
+		},
+		onChanOp: func(f *funcFlow, pos token.Pos) {
+			if f.asyncDepth > 0 {
+				return
+			}
+			if obj, ok := holdsAt(f); ok {
+				f.Reportf(pos,
+					"store read lease %s is held across a channel operation; release it first or keep blocking work outside the lease",
+					objName(obj))
+			}
+		},
+		onEscape: func(f *funcFlow, kind escapeKind, e ast.Expr, pos token.Pos, t taint) {
+			// A lease handed out of the function transfers ownership:
+			// returning it, storing it into a struct, sending it away.
+			// Stop tracking so the holder's contract applies instead.
+			if root := rootIdent(e); root != nil {
+				if obj := pass.Info.ObjectOf(root); obj != nil && f.get(obj)&tHeld != 0 {
+					f.set(obj, 0)
+					delete(acquire, obj)
+				}
+			}
+		},
+		onExit: func(f *funcFlow, pos token.Pos) {
+			f.each(func(obj types.Object, t taint) {
+				if t&tHeld != 0 && t&tCovered == 0 {
+					if s, ok := acquire[obj]; ok && s.depth == 0 {
+						f.Reportf(s.pos,
+							"store read lease %s has a path to function exit without Release; use defer %s.Release() or release on every branch",
+							objName(obj), objName(obj))
+					}
+				}
+			})
+		},
+	}
+	runFlow(pass, fn, hooks, nil)
+}
+
+func objName(obj types.Object) string {
+	if obj == nil || obj.Name() == "" {
+		return "lease"
+	}
+	return obj.Name()
+}
+
+// blockingCallKind classifies calls that can block the goroutine for
+// an unbounded time while the lease pins the store's read lock.
+func blockingCallKind(pass *Pass, call *ast.CallExpr, fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "a network round trip (net/http " + name + ")"
+		}
+	case "net":
+		if strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") {
+			return "a network call (net." + name + ")"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		switch {
+		case name == "Wait" && (isMethodOn(fn, "sync", "WaitGroup") || isMethodOn(fn, "sync", "Cond")):
+			return "a sync wait (" + recvTypeName(fn) + ".Wait)"
+		case (name == "Lock" || name == "RLock") &&
+			(isMethodOn(fn, "sync", "Mutex") || isMethodOn(fn, "sync", "RWMutex")):
+			return "another lock acquisition (" + recvTypeName(fn) + "." + name + ")"
+		}
+	case storePkgPath:
+		if isMethodOn(fn, storePkgPath, "Store") && storeLockingMethods[name] {
+			return "the store lock method Store." + name
+		}
+	}
+	return ""
+}
+
+// storeLockingMethods lists the exported *store.Store methods that
+// acquire st.mu. Calling one while a read lease is held re-enters the
+// RWMutex: with a writer queued in between, that deadlocks. Lease
+// methods (MatchIDs/CountIDs/TermOf on *store.Lease) are the
+// sanctioned under-lease API and are deliberately absent.
+var storeLockingMethods = map[string]bool{
+	"Add": true, "AddTriple": true, "MustAdd": true, "Remove": true,
+	"Has": true, "Match": true, "MatchSlice": true, "Count": true,
+	"Graphs": true, "Objects": true, "FirstObject": true, "Subjects": true,
+	"TextSearch": true, "TextPrefixSearch": true, "GeoWithin": true,
+	"GeometryOf": true, "StatsSnapshot": true, "DumpNQuads": true,
+	"LoadNQuads": true, "SaveFile": true, "LoadFile": true, "Len": true,
+	"MatchIDs": true, "CountIDs": true, "ReadLease": true,
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOrPtr(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// LocalID enforces the id-space separation contract (DESIGN.md §8):
+// the SPARQL executor mints query-local ids for values that are not in
+// the store dictionary (UNION branch literals, BIND results, VALUES
+// rows) by setting the high bit — localIDBit — on a local-dictionary
+// index. Those ids are only meaningful to the query's localDict; fed
+// to a store ID lookup (MatchIDs, CountIDs, TermOf) they alias an
+// unrelated term, silently corrupting results.
+//
+// The analyzer taints values produced by a local-id mint — `x | C`
+// where C is a store.TermID constant with the high bit set, or an
+// idOf-style local-dictionary method — and reports when a tainted id
+// reaches a store.Store or store.Lease id-space parameter. Masking the
+// high bit off (`id &^ localIDBit`) materializes the id back into
+// local-dictionary index space and drops the taint.
+var LocalID = &Analyzer{
+	Name: "localid",
+	Doc:  "flags query-local (high-bit) ids flowing into store ID lookups",
+	Run:  runLocalID,
+}
+
+// tLocal marks ids carrying the localIDBit flag.
+const tLocal taint = 1
+
+// idSinkMethods are the store.Store / store.Lease methods whose
+// parameters are dictionary ids.
+var idSinkMethods = map[string]bool{
+	"MatchIDs": true, "CountIDs": true, "TermOf": true,
+}
+
+func runLocalID(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLocalIDs(pass, fd)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLocalIDs(pass, lit)
+			}
+			return true
+		})
+	}
+}
+
+func checkLocalIDs(pass *Pass, fn ast.Node) {
+	hooks := &flowHooks{
+		binaryResult: func(f *funcFlow, e *ast.BinaryExpr, x, y taint) taint {
+			switch e.Op {
+			case token.OR:
+				// id | localIDBit mints a local id.
+				if isHighBitIDConst(pass, e.X) || isHighBitIDConst(pass, e.Y) {
+					return (x | y) | tLocal
+				}
+			case token.AND_NOT:
+				// id &^ localIDBit strips the flag: the result is a plain
+				// local-dictionary index again.
+				if isHighBitIDConst(pass, e.Y) {
+					return (x | y) &^ tLocal
+				}
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+				token.LAND, token.LOR:
+				// Comparisons produce bools, which carry no id.
+				return 0
+			}
+			return x | y
+		},
+		callResult: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint) taint {
+			callee := calleeFunc(pass.Info, call)
+			if callee != nil && callee.Name() == "idOf" && resultIsTermID(callee) {
+				// localDict.idOf-style minting constructors.
+				return tLocal
+			}
+			// Anything else: a call result holds a local id only if its
+			// type can, and an operand carried one in.
+			if (recv|orTaints(args))&tLocal == 0 {
+				return 0
+			}
+			if tv, ok := pass.Info.Types[call]; ok && !typeHoldsTermID(tv.Type) {
+				return 0
+			}
+			return tLocal
+		},
+		maskBind: func(f *funcFlow, obj types.Object, t taint) taint {
+			if t&tLocal != 0 && obj != nil && !typeHoldsTermID(obj.Type()) {
+				return t &^ tLocal
+			}
+			return t
+		},
+		onCall: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint, deferred bool) {
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || !idSinkMethods[callee.Name()] {
+				return
+			}
+			if !isMethodOn(callee, storePkgPath, "Store") && !isMethodOn(callee, storePkgPath, "Lease") {
+				return
+			}
+			for i, a := range call.Args {
+				if i < len(args) && args[i]&tLocal != 0 && isTermIDExpr(pass, a) {
+					f.Reportf(a.Pos(),
+						"query-local id (localIDBit set) passed to store %s: local ids index the query's localDict, not the store dictionary — mask with &^ localIDBit and resolve via the local dict instead",
+						callee.Name())
+				}
+			}
+		},
+	}
+	runFlow(pass, fn, hooks, nil)
+}
+
+// isHighBitIDConst reports whether e is a constant store.TermID with
+// the top bit set — the localIDBit flag, wherever it is declared.
+func isHighBitIDConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || !isNamedType(tv.Type, storePkgPath, "TermID") {
+		return false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	return ok && v&(1<<63) != 0
+}
+
+// resultIsTermID reports whether fn's (single) result is store.TermID.
+func resultIsTermID(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isNamedType(sig.Results().At(0).Type(), storePkgPath, "TermID")
+}
+
+// isTermIDExpr reports whether e has type store.TermID.
+func isTermIDExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && isNamedType(tv.Type, storePkgPath, "TermID")
+}
+
+// typeHoldsTermID reports whether t can carry a store.TermID value
+// (directly or through one container level — the shapes the executor
+// actually uses: ids, id slices/arrays, rows).
+func typeHoldsTermID(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isNamedType(t, storePkgPath, "TermID") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return typeHoldsTermIDShallow(u.Elem())
+	case *types.Array:
+		return typeHoldsTermIDShallow(u.Elem())
+	case *types.Map:
+		return typeHoldsTermIDShallow(u.Key()) || typeHoldsTermIDShallow(u.Elem())
+	case *types.Pointer:
+		return typeHoldsTermID(u.Elem())
+	case *types.Chan:
+		return typeHoldsTermIDShallow(u.Elem())
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if typeHoldsTermID(u.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func typeHoldsTermIDShallow(t types.Type) bool {
+	if isNamedType(t, storePkgPath, "TermID") {
+		return true
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok { // rows: [][]TermID
+		return isNamedType(s.Elem(), storePkgPath, "TermID")
+	}
+	return false
+}
+
+func orTaints(ts []taint) taint {
+	var t taint
+	for _, x := range ts {
+		t |= x
+	}
+	return t
+}

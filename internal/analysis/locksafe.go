@@ -291,7 +291,11 @@ func receiverOf(fd *ast.FuncDecl) (typeName, varName string) {
 	switch t := t.(type) {
 	case *ast.Ident:
 		typeName = t.Name
-	case *ast.IndexExpr: // generic receiver
+	case *ast.IndexExpr: // generic receiver, one type parameter
+		if id, ok := t.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	case *ast.IndexListExpr: // generic receiver, multiple type parameters
 		if id, ok := t.X.(*ast.Ident); ok {
 			typeName = id.Name
 		}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Suppression is one finding silenced by a //lodlint:ignore comment.
+// Suppressions are first-class output: the driver counts and lists
+// them, so an ignore that no longer matches a finding — or a pile of
+// ignores hiding real debt — stays visible instead of rotting silently.
+type Suppression struct {
+	// File/Line locate the suppressed finding.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Rule is the analyzer the directive names.
+	Rule string `json:"rule"`
+	// Reason is the justification text after the rule name.
+	Reason string `json:"reason"`
+	// Message is the finding that was silenced.
+	Message string `json:"message"`
+}
+
+// ignoreDirective is one parsed //lodlint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+}
+
+const ignorePrefix = "//lodlint:ignore"
+
+// Suppress partitions diags by the //lodlint:ignore directives in the
+// analyzed packages. A directive
+//
+//	//lodlint:ignore <rule> <reason>
+//
+// silences findings of <rule> on its own line (trailing comment) or on
+// the line directly below (comment-above idiom). Anything else in the
+// comment after the rule name is the recorded reason.
+func Suppress(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppressed []Suppression) {
+	var directives []ignoreDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					directives = append(directives, ignoreDirective{
+						file:   pos.Filename,
+						line:   pos.Line,
+						rule:   fields[0],
+						reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+
+	kept = diags[:0:0]
+	for _, d := range diags {
+		matched := false
+		for _, dir := range directives {
+			if dir.file == d.File && dir.rule == d.Analyzer &&
+				(dir.line == d.Line || dir.line == d.Line-1) {
+				suppressed = append(suppressed, Suppression{
+					File:    d.File,
+					Line:    d.Line,
+					Rule:    dir.rule,
+					Reason:  dir.reason,
+					Message: d.Message,
+				})
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(suppressed, func(i, j int) bool {
+		if suppressed[i].File != suppressed[j].File {
+			return suppressed[i].File < suppressed[j].File
+		}
+		return suppressed[i].Line < suppressed[j].Line
+	})
+	return kept, suppressed
+}

@@ -1,0 +1,94 @@
+// Package ingestfix seeds bufescape violations for the analyzer tests.
+// Loaded under "lodify/internal/ingestfix" so it can import the real
+// rdf package: the analyzer keys on rdf.ParseNQuadsChunked callbacks
+// and the rdf.Quad/rdf.Term types.
+package ingestfix
+
+import (
+	"strings"
+
+	"lodify/internal/rdf"
+)
+
+// batchSink models a struct that outlives the parse.
+type batchSink struct {
+	first rdf.Quad
+}
+
+// LeakAppend retains batch quads in a captured slice without cloning:
+// once emit returns, the kept terms alias recycled buffer memory.
+func LeakAppend(src string) ([]rdf.Quad, error) {
+	var kept []rdf.Quad
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		for _, q := range batch {
+			kept = append(kept, q) // want "assigned to a captured variable"
+		}
+		return nil
+	})
+	return kept, err
+}
+
+// LeakField stores a batch quad into a captured struct field.
+func LeakField(src string, sink *batchSink) error {
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		if len(batch) > 0 {
+			sink.first = batch[0] // want "stored outside the callback"
+		}
+		return nil
+	})
+	return err
+}
+
+// LeakSend ships batch terms to a consumer on another goroutine, which
+// will read them after the buffer is recycled.
+func LeakSend(src string, out chan rdf.Term) error {
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		for _, q := range batch {
+			out <- q.S // want "sent on a channel"
+		}
+		return nil
+	})
+	return err
+}
+
+// LeakGoroutine hands a batch quad to a goroutine that outlives emit.
+func LeakGoroutine(src string) error {
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		for _, q := range batch {
+			go record(q) // want "passed to a goroutine"
+		}
+		return nil
+	})
+	return err
+}
+
+func record(rdf.Quad) {}
+
+// CloneBeforeKeep is the compliant shape: each retained quad is cloned
+// inside the callback, so nothing aliases the parse buffer.
+func CloneBeforeKeep(src string) ([]rdf.Quad, error) {
+	var kept []rdf.Quad
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		for _, q := range batch {
+			kept = append(kept, q.Clone())
+		}
+		return nil
+	})
+	return kept, err
+}
+
+// DerivedScalars is also compliant: extracted strings and counts own
+// their memory (Term.Value copies into a string header the moment the
+// result is used), so no term-shaped value escapes.
+func DerivedScalars(src string) ([]string, int, error) {
+	var values []string
+	n := 0
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		n += len(batch)
+		for _, q := range batch {
+			values = append(values, q.O.Value())
+		}
+		return nil
+	})
+	return values, n, err
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -12,6 +13,23 @@ import (
 func step() error { return nil }
 
 func count() (int, error) { return 0, nil }
+
+var errEmpty = errors.New("empty")
+
+func firstOrErr[T any](xs []T) (T, error) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, errEmpty
+	}
+	return xs[0], nil
+}
+
+func drain[T any](xs []T) error {
+	if len(xs) == 0 {
+		return errEmpty
+	}
+	return nil
+}
 
 func main() {
 	step()                              // want "discarded"
@@ -33,5 +51,16 @@ func main() {
 	if err := step(); err != nil { // compliant: handled
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// Generic callees: inferred and explicitly instantiated calls must
+	// resolve the same as monomorphic ones.
+	xs := []int{1, 2}
+	drain(xs)              // want "discarded"
+	drain[int](xs)         // want "discarded"
+	v, _ := firstOrErr(xs) // want "assigned to _"
+	fmt.Println(v)
+	if w, err := firstOrErr[int](xs); err == nil { // compliant: handled
+		fmt.Println(w)
 	}
 }

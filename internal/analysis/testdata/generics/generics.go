@@ -1,0 +1,128 @@
+// Package generictest exercises the analyzers on generic functions,
+// methods and receivers: type-parameterized code must neither panic
+// the suite nor change what counts as a violation. Loaded under
+// "lodify/internal/resolver/generictest" so the ctxflow remote-endpoint
+// scope applies; locksafe is path-independent.
+package generictest
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Cache is a generic container guarding its map with a mutex.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// Get locks, reads, unlocks: fine on its own.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// GetBoth re-enters the mutex through Get while holding it — the
+// multi-type-parameter receiver (IndexListExpr) must still be matched.
+func (c *Cache[K, V]) GetBoth(k1, k2 K) (V, V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, _ := c.Get(k1) // want "mutexes are not re-entrant"
+	b, _ := c.Get(k2) // want "mutexes are not re-entrant"
+	return a, b
+}
+
+// Counter has a single type parameter (IndexExpr receiver).
+type Counter[T comparable] struct {
+	mu sync.Mutex
+	n  map[T]int
+}
+
+// Inc locks the counter.
+func (c *Counter[T]) Inc(k T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == nil {
+		c.n = map[T]int{}
+	}
+	c.n[k]++
+}
+
+// IncAll re-enters through Inc while holding the lock.
+func (c *Counter[T]) IncAll(ks []T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, k := range ks {
+		c.Inc(k) // want "mutexes are not re-entrant"
+	}
+}
+
+// SnapshotCache copies a generic value containing a mutex by value.
+func SnapshotCache[K comparable, V any](c Cache[K, V]) int { // want "passes a value containing a sync mutex"
+	return len(c.m)
+}
+
+// Fetch is an exported generic function performing a remote round trip
+// without a context.
+func Fetch[T any](urls []string, parse func(*http.Response) T) ([]T, error) {
+	var out []T
+	for _, u := range urls {
+		resp, err := http.Get(u) // want "no context.Context parameter"
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parse(resp))
+		resp.Body.Close()
+	}
+	return out, nil
+}
+
+// Retry is an exported generic helper simulating endpoint latency.
+func Retry[T any](attempts int, f func() (T, error)) (T, error) {
+	var zero T
+	for i := 0; i < attempts; i++ {
+		v, err := f()
+		if err == nil {
+			return v, nil
+		}
+		time.Sleep(time.Millisecond) // want "no context.Context parameter"
+	}
+	return zero, nil
+}
+
+// FetchCtx threads a context through the same generic round trip:
+// compliant. The explicitly instantiated Retry[int] call exercises the
+// IndexExpr call path in the callee resolution.
+func FetchCtx[T any](ctx context.Context, url string, parse func(*http.Response) T) (T, error) {
+	var zero T
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return zero, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	n, err := Retry[int](1, func() (int, error) { return resp.StatusCode, nil })
+	if err != nil || n == 0 {
+		return zero, err
+	}
+	return parse(resp), nil
+}
+
+// keyed is a generic value type without locks: copying it is fine and
+// must not be flagged.
+type keyed[K comparable] struct {
+	k K
+}
+
+// CopyKeyed copies a lock-free generic value: compliant.
+func CopyKeyed[K comparable](v keyed[K]) keyed[K] {
+	w := v
+	return w
+}

@@ -1,0 +1,111 @@
+// Package leasefix seeds leasehold violations for the analyzer tests.
+// Loaded under "lodify/internal/store/leasefix" so it can use the real
+// store.ReadLease / Lease.Release API the analyzer keys on.
+package leasefix
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"lodify/internal/store"
+)
+
+var errBoom = errors.New("boom")
+
+// LeakOnError returns early while the lease is still held: the store's
+// read lock stays pinned until GC, blocking every writer.
+func LeakOnError(st *store.Store, fail bool) (int, error) {
+	lease := st.ReadLease() // want "path to function exit without Release"
+	if fail {
+		return 0, errBoom
+	}
+	n := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	lease.Release()
+	return n, nil
+}
+
+// LeakOnPanic panics while holding the lease.
+func LeakOnPanic(st *store.Store, n int) int {
+	lease := st.ReadLease() // want "path to function exit without Release"
+	if n < 0 {
+		panic("negative count")
+	}
+	c := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	lease.Release()
+	return c
+}
+
+// HeldAcrossSleep blocks while the read lock pins writers out.
+func HeldAcrossSleep(st *store.Store) int {
+	lease := st.ReadLease()
+	defer lease.Release()
+	time.Sleep(time.Millisecond) // want "held across time.Sleep"
+	return lease.CountIDs(0, 0, 0, store.AnyGraph)
+}
+
+// HeldAcrossStoreCall re-enters the store mutex under the lease: with
+// a writer queued between the two acquisitions this deadlocks.
+func HeldAcrossStoreCall(st *store.Store) int {
+	lease := st.ReadLease()
+	defer lease.Release()
+	return st.Len() + lease.CountIDs(0, 0, 0, store.AnyGraph) // want "held across the store lock method Store.Len"
+}
+
+// HeldAcrossChannel parks on a channel send while holding the lease.
+func HeldAcrossChannel(st *store.Store, out chan int) {
+	lease := st.ReadLease()
+	defer lease.Release()
+	out <- lease.CountIDs(0, 0, 0, store.AnyGraph) // want "held across a channel operation"
+}
+
+// DeferRelease is the canonical compliant shape: the deferred Release
+// covers every exit, and only Lease methods run under the lock.
+func DeferRelease(st *store.Store, fail bool) (int, error) {
+	lease := st.ReadLease()
+	defer lease.Release()
+	if fail {
+		return 0, errBoom
+	}
+	return lease.CountIDs(0, 0, 0, store.AnyGraph), nil
+}
+
+// BranchRelease releases explicitly on every exit path: compliant.
+func BranchRelease(st *store.Store, fail bool) int {
+	lease := st.ReadLease()
+	if fail {
+		lease.Release()
+		return 0
+	}
+	n := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	lease.Release()
+	return n
+}
+
+// ReleaseThenBlock sleeps only after the lease is gone: compliant.
+func ReleaseThenBlock(st *store.Store) int {
+	lease := st.ReadLease()
+	n := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	lease.Release()
+	if n > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return n
+}
+
+// WorkerLease matches the parallel-join shape in internal/sparql: each
+// goroutine owns its lease with a deferred Release, and the parent's
+// Wait holds none. Compliant.
+func WorkerLease(st *store.Store) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		lease := st.ReadLease()
+		defer lease.Release()
+		total += lease.CountIDs(0, 0, 0, store.AnyGraph)
+	}()
+	wg.Wait()
+	return total
+}
