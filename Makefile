@@ -17,11 +17,18 @@ race:
 	$(GO) test -race ./...
 
 # go vet, then the project-specific suite: rawiri, locksafe, ctxflow,
-# errdrop plus the dataflow analyzers bufescape, leasehold and localid.
-# Fails on any vet or lodlint finding; see DESIGN.md §7 and §11.
+# errdrop, the dataflow analyzers bufescape, leasehold and localid,
+# and the interprocedural analyzers lockorder and goleak. Fails on any
+# vet or lodlint finding; see DESIGN.md §7, §11 and §12.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lodlint ./...
+
+# The lint SARIF document: same findings as `make lint`, as a CI
+# artifact for code-scanning viewers. Exit code 1 (findings) still
+# produces the report; only hard errors (exit 2) fail the write.
+lint-sarif:
+	$(GO) run ./cmd/lodlint -sarif ./... > lodlint.sarif || [ $$? -eq 1 ]
 
 # Short fuzz run of the N-Quads line parser: exercises the PR-4
 # parse/serialize round-trip contract on every push (CI gate).

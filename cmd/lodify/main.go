@@ -42,6 +42,7 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
+		//lodlint:ignore goleak — process-lifetime debug server: it serves until exit by design, there is nothing to await or cancel
 		go serveDebug(*debugAddr)
 	}
 

@@ -1,17 +1,25 @@
 // Command lodlint runs the project-specific static analysis suite
 // (internal/analysis) over the module: rawiri, locksafe, ctxflow,
-// errdrop, bufescape, leasehold and localid. Packages are analyzed in
-// parallel. It exits 1 when any analyzer reports an unsuppressed
-// finding and 2 on load/type-check failure, making it suitable as a
-// CI gate (see `make lint` and .github/workflows/ci.yml).
+// errdrop, bufescape, leasehold, localid, lockorder and goleak.
+// Packages are analyzed in parallel over a shared interprocedural
+// summary index (DESIGN.md §12). It exits 1 when any analyzer reports
+// an unsuppressed finding and 2 on load/type-check failure, making it
+// suitable as a CI gate (see `make lint` and .github/workflows/ci.yml).
 //
 // Usage:
 //
-//	lodlint [-json|-sarif] [-tests] [-only rawiri,errdrop] [-modroot dir] [-list] [packages]
+//	lodlint [-json|-sarif] [-tests] [-only rawiri,errdrop] [-modroot dir]
+//	        [-interproc on|off] [-summary-cache dir|off] [-list] [packages]
 //
 // Packages default to ./... relative to the module root; the tool may
 // be invoked from any directory inside the module (or pointed at
 // another module with -modroot).
+//
+// -interproc=off degrades the dataflow analyzers to intraprocedural
+// (v2) behavior — calls are opaque — as an escape hatch if a summary
+// bug blocks CI. Summaries are cached on disk keyed by package content
+// hash (default: a lodlint-summaries directory under os.UserCacheDir;
+// -summary-cache=off recomputes every run).
 //
 // Findings can be silenced with a comment on the offending line or the
 // line above:
@@ -19,7 +27,8 @@
 //	//lodlint:ignore <rule> <reason>
 //
 // Suppressions are never silent: every output mode counts and lists
-// them, so stale or accumulating ignores stay reviewable.
+// them, and a suppression without a reason is itself a finding
+// (bareignore), so stale or accumulating ignores stay reviewable.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"lodify/internal/analysis"
@@ -54,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", false, "also analyze _test.go files")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	modroot := fs.String("modroot", "", "module root directory (default: walk up from the working directory)")
+	interproc := fs.String("interproc", "on", "interprocedural summaries: on or off (off = v2 behavior, calls opaque)")
+	cacheFlag := fs.String("summary-cache", "", "summary cache directory; off disables, empty picks a per-user default")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jsonOut && *sarifOut {
 		fprintln(stderr, "lodlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	if *interproc != "on" && *interproc != "off" {
+		fprintf(stderr, "lodlint: -interproc must be on or off, got %q\n", *interproc)
 		return 2
 	}
 
@@ -101,7 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	cfg := analysis.RunConfig{Interproc: *interproc == "on", CacheDir: summaryCacheDir(*cacheFlag)}
+	diags := analysis.RunWith(cfg, pkgs, analyzers)
 	diags, suppressed := analysis.Suppress(pkgs, diags)
 
 	switch {
@@ -146,6 +163,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// summaryCacheDir resolves the -summary-cache flag: "off" disables
+// caching entirely, an explicit path is used as given, and the empty
+// default lands in the per-user cache directory (falling back to the
+// system temp dir when the platform reports none). Caching is a pure
+// speedup — the cache key chains package content hashes and dependency
+// keys, so a stale entry can never be served.
+func summaryCacheDir(flagVal string) string {
+	switch flagVal {
+	case "off":
+		return ""
+	case "":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			base = os.TempDir()
+		}
+		return filepath.Join(base, "lodlint-summaries")
+	default:
+		return flagVal
+	}
 }
 
 // ---- SARIF 2.1.0 (minimal static analysis interchange) ----

@@ -174,17 +174,179 @@ func TestSARIFOutput(t *testing.T) {
 	}
 }
 
-func TestListShowsAllSevenAnalyzers(t *testing.T) {
+func TestListShowsAllNineAnalyzers(t *testing.T) {
 	code, out, _ := runLint(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if got, want := len(analysis.Analyzers()), 7; got != want {
+	if got, want := len(analysis.Analyzers()), 9; got != want {
 		t.Fatalf("suite has %d analyzers, want %d", got, want)
 	}
 	for _, a := range analysis.Analyzers() {
 		if !strings.Contains(out, a.Name) {
 			t.Errorf("-list missing analyzer %s", a.Name)
 		}
+	}
+}
+
+const bareIgnoreMain = `package main
+
+import "os"
+
+func main() {
+	//lodlint:ignore errdrop
+	os.Remove("scratch")
+}
+`
+
+func TestBareIgnoreIsAFinding(t *testing.T) {
+	root := writeModule(t, bareIgnoreMain)
+	code, out, _ := runLint(t, "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	// The reasonless directive suppresses nothing: the underlying
+	// errdrop finding survives, and the directive itself is reported.
+	if !strings.Contains(out, "[bareignore]") || !strings.Contains(out, "without a reason") {
+		t.Errorf("bare directive not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "[errdrop]") {
+		t.Errorf("underlying finding was silenced by a reasonless directive:\n%s", out)
+	}
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("reasonless directive counted as a suppression:\n%s", out)
+	}
+}
+
+const multiDropMain = `package main
+
+import "os"
+
+func main() {
+	os.Remove("a")
+	os.Remove("b")
+}
+`
+
+// writeTree lays out a throwaway lodify module from a path→source map.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module lodify\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestDeterministicOutput locks in the ordering contract: packages are
+// analyzed in parallel, but repeated runs — cold summary cache, then
+// warm — must produce byte-identical text and JSON output, sorted by
+// file, line, column, analyzer.
+func TestDeterministicOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"cmd/app1/main.go": multiDropMain,
+		"cmd/app2/main.go": multiDropMain,
+	})
+	cache := filepath.Join(t.TempDir(), "summaries")
+
+	var texts, jsons []string
+	for i := 0; i < 3; i++ { // run 0 populates the cache; 1 and 2 hit it
+		code, out, _ := runLint(t, "-modroot", root, "-summary-cache", cache, "./...")
+		if code != 1 {
+			t.Fatalf("run %d: exit = %d, want 1; output:\n%s", i, code, out)
+		}
+		texts = append(texts, out)
+		code, jout, _ := runLint(t, "-json", "-modroot", root, "-summary-cache", cache, "./...")
+		if code != 1 {
+			t.Fatalf("json run %d: exit = %d, want 1", i, code)
+		}
+		jsons = append(jsons, jout)
+	}
+	for i := 1; i < len(texts); i++ {
+		if texts[i] != texts[0] {
+			t.Errorf("text output differs between run 0 and run %d:\n--- run 0\n%s--- run %d\n%s", i, texts[0], i, texts[i])
+		}
+		if jsons[i] != jsons[0] {
+			t.Errorf("JSON output differs between run 0 and run %d", i)
+		}
+	}
+	// Sorted order: all app1 findings precede all app2 findings.
+	if i1, i2 := strings.Index(texts[0], "app1"), strings.Index(texts[0], "app2"); i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Errorf("findings not sorted by file:\n%s", texts[0])
+	}
+	if strings.Count(texts[0], "[errdrop]") != 4 {
+		t.Errorf("want 4 errdrop findings (2 per package):\n%s", texts[0])
+	}
+}
+
+const leaseStoreSrc = `package store
+
+import "sync"
+
+type Store struct{ mu sync.RWMutex }
+
+type Lease struct{ st *Store }
+
+func (st *Store) ReadLease() *Lease {
+	st.mu.RLock()
+	return &Lease{st: st}
+}
+
+func (l *Lease) Release() { l.st.mu.RUnlock() }
+`
+
+const leaseBlockMain = `package main
+
+import "lodify/internal/store"
+
+func main() {
+	st := &store.Store{}
+	l := st.ReadLease()
+	defer l.Release()
+	wait()
+}
+
+func wait() {
+	ch := make(chan struct{})
+	<-ch
+}
+`
+
+// TestInterprocOffEscapeHatch: a lease held across a helper that blocks
+// internally is only visible through the helper's summary. -interproc
+// defaults to on and reports it; -interproc=off degrades to v2
+// (calls opaque) and stays quiet — the escape hatch if a summary bug
+// ever blocks CI.
+func TestInterprocOffEscapeHatch(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/store/store.go": leaseStoreSrc,
+		"cmd/app/main.go":         leaseBlockMain,
+	})
+
+	code, out, _ := runLint(t, "-modroot", root, "-only", "leasehold", "./...")
+	if code != 1 {
+		t.Fatalf("interproc on: exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "wait, which blocks on") {
+		t.Errorf("interproc on: missing blocking-chain finding:\n%s", out)
+	}
+
+	code, out, _ = runLint(t, "-modroot", root, "-only", "leasehold", "-interproc=off", "./...")
+	if code != 0 {
+		t.Fatalf("interproc off: exit = %d, want 0; output:\n%s", code, out)
+	}
+
+	code, _, errOut := runLint(t, "-modroot", root, "-interproc=sideways", "./...")
+	if code != 2 || !strings.Contains(errOut, "-interproc") {
+		t.Errorf("bad -interproc value: exit = %d, stderr:\n%s", code, errOut)
 	}
 }

@@ -30,6 +30,19 @@
 //   - localid: query-local (high-bit) SPARQL ids flowing into store ID
 //     lookups.
 //
+// The v3 interprocedural layer (callgraph.go, summary.go) computes
+// bottom-up per-function effect summaries over the loaded package
+// DAG, so the three dataflow analyzers see through helper calls —
+// a Clone or Release inside a callee counts — and two more analyzers
+// ride on the same machinery:
+//
+//   - lockorder: the static lock-acquisition graph across
+//     sync.Mutex/RWMutex fields — cycles with witness paths, plus the
+//     declared //lodlint:lockorder order checked at every
+//     nested-acquire site.
+//   - goleak: goroutines spawned without a ctx/done-channel/WaitGroup
+//     completion path.
+//
 // The package is stdlib-only (go/ast, go/parser, go/types); the
 // driver in cmd/lodlint loads every package of the module and runs
 // all analyzers, exiting non-zero on findings.
@@ -82,6 +95,11 @@ type Pass struct {
 	// incomplete when the package had type errors.
 	Pkg  *types.Package
 	Info *types.Info
+	// Index holds the interprocedural function summaries shared by all
+	// passes of a run; nil means summaries are unavailable
+	// (-interproc=off) and the dataflow analyzers fall back to
+	// treating calls as opaque.
+	Index *SummaryIndex
 
 	diags *[]Diagnostic
 }
@@ -101,7 +119,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full rule suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID}
+	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID, LockOrder, GoLeak}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -114,12 +132,34 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies each analyzer to each package — packages analyzed in
-// parallel, each package's analyzers in sequence — and returns the
-// findings sorted by position. Analyzers share nothing across packages
-// (each Pass appends to a per-package slice), so the fan-out needs no
-// locking beyond the final merge.
+// RunConfig controls a lint run.
+type RunConfig struct {
+	// Interproc enables the interprocedural summary index; off, the
+	// dataflow analyzers degrade to v2 (calls opaque) and lockorder/
+	// goleak to per-package evidence.
+	Interproc bool
+	// CacheDir is the on-disk summary cache directory; "" disables
+	// caching (summaries recomputed every run).
+	CacheDir string
+}
+
+// Run applies each analyzer to each package with interprocedural
+// summaries enabled and no on-disk cache (the fixture-test and
+// library default).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWith(RunConfig{Interproc: true}, pkgs, analyzers)
+}
+
+// RunWith is Run with explicit configuration — packages analyzed in
+// parallel, each package's analyzers in sequence — returning the
+// findings in deterministic order. The summary index is built
+// up-front (bottom-up over the package DAG) and shared read-only by
+// every pass, so the fan-out needs no locking beyond the final merge.
+func RunWith(cfg RunConfig, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var ix *SummaryIndex
+	if cfg.Interproc {
+		ix = BuildSummaries(pkgs, cfg.CacheDir)
+	}
 	perPkg := make([][]Diagnostic, len(pkgs))
 	var wg sync.WaitGroup
 	for i, pkg := range pkgs {
@@ -134,6 +174,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					Files:    pkg.Files,
 					Pkg:      pkg.Types,
 					Info:     pkg.Info,
+					Index:    ix,
 					diags:    &perPkg[i],
 				}
 				a.Run(pass)
@@ -145,6 +186,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, ds := range perPkg {
 		diags = append(diags, ds...)
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer and
+// finally message — a total order, so the parallel per-package fan-out
+// cannot leak scheduling nondeterminism into any output format.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].File != diags[j].File {
 			return diags[i].File < diags[j].File
@@ -155,9 +204,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if diags[i].Column != diags[j].Column {
 			return diags[i].Column < diags[j].Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags
 }
 
 // ---- shared type helpers ----

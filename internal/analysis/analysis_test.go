@@ -46,6 +46,22 @@ func TestLocalID(t *testing.T) {
 	runFixtureTest(t, []*Analyzer{LocalID}, "localid", "lodify/internal/sparql/localfix")
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{LockOrder}, "lockorder", "lodify/internal/lockorderfix")
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{GoLeak}, "goleak", "lodify/internal/goleakfix")
+}
+
+// TestInterproc covers the summary index through generics and method
+// values: generic helpers that block or alias (one summary at the
+// origin, applied per instantiation), method values stashed vs run,
+// and compliant Clone/Release twins for each.
+func TestInterproc(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{LeaseHold, BufEscape}, "interproc", "lodify/internal/store/interprocfix")
+}
+
 // TestGenerics runs the path-independent and resolver-scoped analyzers
 // over type-parameterized code: generic receivers and instantiation
 // expressions must neither panic nor produce false positives.

@@ -131,16 +131,28 @@ func (tc *termTypes) checkCallback(pass *Pass, lit *ast.FuncLit) {
 			}
 			fn := calleeFunc(pass.Info, call)
 			// Clone materializes: the result owns its memory.
-			if fn != nil && fn.Name() == "Clone" &&
-				(isMethodOn(fn, rdfPkgPath, "Quad") || isMethodOn(fn, rdfPkgPath, "Term") ||
-					isMethodOn(fn, rdfPkgPath, "Triple")) {
+			if isRdfClone(fn) {
 				return 0
 			}
-			// Any other call over tainted operands: the result aliases
-			// the buffer iff its type can hold a term (q.Triple() does,
-			// q.S.Compare(x) does not).
+			// The result aliases the buffer only if its type can hold a
+			// term (q.Triple() does, q.S.Compare(x) does not).
 			if tv, ok := pass.Info.Types[call]; ok && !tc.holdsTermTuple(tv.Type) {
 				return 0
+			}
+			// With a summary, only the operands the callee actually
+			// threads into its results carry the taint through — a helper
+			// that Clones internally returns an untainted value even
+			// though a tainted quad went in.
+			if s := pass.Index.Summary(fn); s != nil {
+				var t taint
+				mapEachAliasedOperand(s.ResultAlias, fn, call.Args, func(i int) {
+					if i < 0 {
+						t |= recv
+					} else if i < len(args) {
+						t |= args[i]
+					}
+				})
+				return t & tBuf
 			}
 			var t taint
 			t = recv
@@ -148,6 +160,28 @@ func (tc *termTypes) checkCallback(pass *Pass, lit *ast.FuncLit) {
 				t |= a
 			}
 			return t & tBuf
+		},
+		onCall: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint, deferred bool) {
+			// A tainted batch value stored beyond the callback inside a
+			// callee escapes just as surely as a direct store here.
+			fn := calleeFunc(pass.Info, call)
+			s := pass.Index.Summary(fn)
+			if s == nil || s.EscapesTerm == 0 {
+				return
+			}
+			report := func(pos token.Pos) {
+				f.Reportf(pos,
+					"chunk-batch value escapes via call to %s, which stores it beyond the callback: batch terms alias the parse buffer, which is recycled when emit returns (call .Clone() first)",
+					fn.Name())
+			}
+			if s.EscapesTerm&summaryRecvBit != 0 && recv&tBuf != 0 {
+				report(call.Pos())
+			}
+			for i, a := range call.Args {
+				if i < len(args) && args[i]&tBuf != 0 && calleeParamBitSet(s.EscapesTerm, fn, i) {
+					report(a.Pos())
+				}
+			}
 		},
 		maskBind: func(f *funcFlow, obj types.Object, t taint) taint {
 			if t&tBuf != 0 && !tc.holdsTerm(obj.Type()) {

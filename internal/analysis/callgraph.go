@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Call-graph scaffolding for the interprocedural layer (DESIGN.md §12).
+// The summary pass (summary.go) walks every function of every loaded
+// package bottom-up: packages in dependency order, functions within a
+// package iterated to a small bounded fixpoint so intra-package call
+// cycles (including recursion) converge. This file provides the
+// pieces that make that walk deterministic and addressable:
+//
+//   - FuncKey: a stable string identity for a *types.Func, usable as a
+//     cross-package (and on-disk cache) summary key.
+//   - funcDecls: the FuncDecls of a package in file/position order.
+//   - topoPackages: loaded packages sorted callees-first.
+//
+// Only statically-resolvable calls participate (the same calleeFunc
+// resolution the v1/v2 analyzers use, generic instantiations
+// unwrapped). Calls through function values are opaque to the graph —
+// except for func-typed parameters, which summaries model via
+// CallsParams so method values passed into helpers stay visible.
+
+// FuncKey returns a stable identity for fn: "pkgpath.Name" for
+// package-level functions, "pkgpath.(Recv).Name" for methods (pointer
+// receivers are not distinguished from value receivers — Go allows one
+// method set per name anyway). The empty string means fn has no
+// useful identity (builtins, error.Error, interface methods).
+func FuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(fn.Pkg().Path())
+	b.WriteByte('.')
+	if recv := sig.Recv(); recv != nil {
+		n := namedOrPtr(recv.Type())
+		if n == nil || n.Obj() == nil {
+			return "" // interface or type-parameter receiver: no single body
+		}
+		b.WriteByte('(')
+		b.WriteString(n.Obj().Name())
+		b.WriteString(").")
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}
+
+// funcDecls returns the package's function declarations with bodies,
+// in file order then position order — the deterministic iteration
+// order of the summary fixpoint.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// declKey resolves the FuncKey of a declaration via its defining
+// object.
+func declKey(pkg *Package, fd *ast.FuncDecl) string {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return FuncKey(fn)
+}
+
+// topoPackages orders the loaded packages callees-first: a package
+// appears after every loaded package it imports. Ties (and the
+// cycle-free remainder) break by import path, so the order — and
+// everything derived from it, summaries included — is reproducible.
+func topoPackages(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	indeg := make(map[string]int, len(pkgs))
+	dependents := make(map[string][]string, len(pkgs))
+	for _, p := range pkgs {
+		if _, ok := indeg[p.Path]; !ok {
+			indeg[p.Path] = 0
+		}
+		if p.Types == nil {
+			continue
+		}
+		for _, imp := range p.Types.Imports() {
+			if _, loaded := byPath[imp.Path()]; loaded {
+				indeg[p.Path]++
+				dependents[imp.Path()] = append(dependents[imp.Path()], p.Path)
+			}
+		}
+	}
+	ready := make([]string, 0, len(pkgs))
+	for path, d := range indeg {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	var out []*Package
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		next := dependents[path]
+		sort.Strings(next)
+		for _, dep := range next {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+				sort.Strings(ready)
+			}
+		}
+	}
+	// Import cycles cannot type-check in Go, but stay total anyway.
+	if len(out) < len(pkgs) {
+		seen := map[string]bool{}
+		for _, p := range out {
+			seen[p.Path] = true
+		}
+		var rest []*Package
+		for _, p := range pkgs {
+			if !seen[p.Path] {
+				rest = append(rest, p)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].Path < rest[j].Path })
+		out = append(out, rest...)
+	}
+	return out
+}

@@ -91,6 +91,11 @@ type flowHooks struct {
 	onEscape func(f *funcFlow, kind escapeKind, e ast.Expr, pos token.Pos, t taint)
 	// onChanOp fires for channel sends and receives (blocking points).
 	onChanOp func(f *funcFlow, pos token.Pos)
+	// onCondFalse fires when control flow enters a path on which cond
+	// is known false: the else branch of an if, or a later clause of a
+	// tagless switch. Clients refine taints for flag-test idioms
+	// (localid clears the local bit when `id&localIDBit != 0` failed).
+	onCondFalse func(f *funcFlow, cond ast.Expr)
 	// onExit fires at each return of the analyzed function, at each
 	// panic call, and once at the fall-off end of the body. ret/call
 	// are nil when not applicable.
@@ -260,6 +265,11 @@ func (f *funcFlow) walkStmt(s ast.Stmt) bool {
 		thenTerm := f.walkStmt(s.Body)
 		thenState := f.state
 		f.state = pre
+		// The else branch (and, when then terminates, the fall-through)
+		// runs with the condition refuted.
+		if f.hooks.onCondFalse != nil {
+			f.hooks.onCondFalse(f, s.Cond)
+		}
 		elseTerm := false
 		if s.Else != nil {
 			elseTerm = f.walkStmt(s.Else)
@@ -289,6 +299,12 @@ func (f *funcFlow) walkStmt(s ast.Stmt) bool {
 		})
 	case *ast.RangeStmt:
 		t := f.eval(s.X)
+		// Ranging over a channel is a blocking receive per iteration.
+		if tv, ok := f.pass.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && f.hooks.onChanOp != nil {
+				f.hooks.onChanOp(f, s.X.Pos())
+			}
+		}
 		// Range variables alias the container's elements.
 		if s.Key != nil {
 			if id, ok := s.Key.(*ast.Ident); ok {
@@ -308,15 +324,15 @@ func (f *funcFlow) walkStmt(s ast.Stmt) bool {
 		if s.Tag != nil {
 			f.eval(s.Tag)
 		}
-		f.walkCases(s.Body, hasDefaultClause(s.Body))
+		f.walkCases(s.Body, hasDefaultClause(s.Body), s.Tag == nil)
 	case *ast.TypeSwitchStmt:
 		if s.Init != nil {
 			f.walkStmt(s.Init)
 		}
 		f.walkStmt(s.Assign)
-		f.walkCases(s.Body, hasDefaultClause(s.Body))
+		f.walkCases(s.Body, hasDefaultClause(s.Body), false)
 	case *ast.SelectStmt:
-		f.walkCases(s.Body, true)
+		f.walkCases(s.Body, true, false)
 	case *ast.CommClause:
 		if s.Comm != nil {
 			f.walkStmt(s.Comm)
@@ -410,17 +426,29 @@ func (f *funcFlow) loop(body func()) {
 }
 
 // walkCases joins all clause states; withoutMatch adds the fall-through
-// path when no clause is guaranteed to run.
-func (f *funcFlow) walkCases(body *ast.BlockStmt, hasDefault bool) {
+// path when no clause is guaranteed to run. In a tagless switch each
+// clause runs knowing every earlier condition failed (onCondFalse).
+func (f *funcFlow) walkCases(body *ast.BlockStmt, hasDefault, tagless bool) {
 	pre := cloneState(f.state)
 	joined := map[types.Object]taint{}
 	anyFallthrough := false
+	var priorConds []ast.Expr
 	for _, cl := range body.List {
 		f.state = cloneState(pre)
+		if tagless && f.hooks.onCondFalse != nil {
+			for _, c := range priorConds {
+				f.hooks.onCondFalse(f, c)
+			}
+		}
 		if !f.walkStmt(cl) {
 			anyFallthrough = true
 		}
 		joinState(joined, f.state)
+		if tagless {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				priorConds = append(priorConds, cc.List...)
+			}
+		}
 	}
 	if !hasDefault || !anyFallthrough || len(body.List) == 0 {
 		joinState(joined, pre)

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoLeak flags goroutines spawned with no way to await or cancel
+// them. The concurrent fan-outs in sparql/resolver/rdf all follow the
+// supervised pattern — WaitGroup accounting, a done/jobs channel, or
+// a context — and a spawn without any of those is either a leak
+// (blocked forever on an abandoned channel) or an unsupervised
+// lifetime bug that the sharded store's per-shard workers would
+// multiply.
+//
+// Evidence that a goroutine is bounded, checked on the spawned body
+// (literals) or the spawned function (transitively, via its summary):
+//
+//   - any channel operation (send, receive, range, select);
+//   - sync.WaitGroup Done/Wait;
+//   - context use;
+//   - a lifecycle handle in the callee's signature (context.Context,
+//     a channel, *sync.WaitGroup) — the spawner holds the other end.
+//
+// Calls through function values are unresolvable and deliberately not
+// flagged (conservative toward false negatives, like the rest of the
+// suite).
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags goroutines spawned without a ctx/done-channel/WaitGroup completion path",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineBounded(pass, gs.Call) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine spawned without a completion path: no channel, WaitGroup, or context ties it back to the spawner, so it can neither be awaited nor cancelled")
+			return true
+		})
+	}
+}
+
+// goroutineBounded reports whether the spawned call shows completion
+// evidence.
+func goroutineBounded(pass *Pass, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return boundedEvidence(pass, lit.Body, pass.Index)
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		// go f() through a func value or method value: unresolvable,
+		// assume supervised.
+		return true
+	}
+	if sigHasLifecycleParam(fn) {
+		return true
+	}
+	if s := pass.Index.Summary(fn); s != nil {
+		return s.Bounded
+	}
+	// No summary available: check a same-package declaration directly
+	// (the -interproc=off path), otherwise stay conservative.
+	if fn.Pkg() != nil && pass.Pkg != nil && fn.Pkg().Path() == pass.Pkg.Path() {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if pass.Info.Defs[fd.Name] == fn {
+					return boundedEvidence(pass, fd.Body, pass.Index)
+				}
+			}
+		}
+	}
+	return true
+}

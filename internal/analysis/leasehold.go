@@ -74,6 +74,11 @@ func checkLeases(pass *Pass, fn ast.Node) {
 	}
 	acquire := map[types.Object]site{}
 
+	// methodValue maps a variable bound to lease.Release (a method
+	// value) back to its lease, so `rel := lease.Release; defer rel()`
+	// counts as a deferred Release of that lease.
+	methodValue := map[types.Object]types.Object{}
+
 	// Every function literal is also analyzed as its own root (see
 	// runLeaseHold), so reporting here is confined to leases acquired at
 	// the root scope of THIS analysis (depth 0): issues inside nested
@@ -94,15 +99,50 @@ func checkLeases(pass *Pass, fn ast.Node) {
 		return found, found != nil
 	}
 
+	// transition applies a Release (direct, deferred, or inside a
+	// helper) to the lease object's typestate.
+	transition := func(f *funcFlow, obj types.Object, deferred bool) {
+		if obj == nil {
+			return
+		}
+		if deferred {
+			f.set(obj, f.get(obj)|tCovered)
+		} else {
+			f.set(obj, f.get(obj)&^tHeld)
+		}
+	}
+	rootObj := func(e ast.Expr) types.Object {
+		if root := rootIdent(e); root != nil {
+			return pass.Info.ObjectOf(root)
+		}
+		return nil
+	}
+
 	hooks := &flowHooks{
 		callResult: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint) taint {
 			fn := calleeFunc(pass.Info, call)
 			if fn != nil && fn.Name() == "ReadLease" && isMethodOn(fn, storePkgPath, "Store") {
 				return tHeld
 			}
+			// A helper that wraps ReadLease hands out a held lease too.
+			if s := pass.Index.Summary(fn); s != nil && s.ResultLease {
+				return tHeld
+			}
 			return 0
 		},
 		onBind: func(f *funcFlow, obj types.Object, rhs ast.Expr, t taint) {
+			// Binding lease.Release as a method value: the new variable
+			// is a release handle, not a second lease.
+			if mv := methodValueFunc(pass, rhs); mv != nil &&
+				mv.Name() == "Release" && isMethodOn(mv, storePkgPath, "Lease") {
+				if sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr); ok {
+					if lobj := rootObj(sel.X); lobj != nil {
+						methodValue[obj] = lobj
+					}
+				}
+				f.set(obj, 0)
+				return
+			}
 			if t&tHeld != 0 {
 				if _, ok := acquire[obj]; !ok {
 					pos := obj.Pos()
@@ -118,22 +158,81 @@ func checkLeases(pass *Pass, fn ast.Node) {
 			// Release transitions the typestate.
 			if callee != nil && callee.Name() == "Release" && isMethodOn(callee, storePkgPath, "Lease") {
 				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-					if root := rootIdent(sel.X); root != nil {
-						if obj := pass.Info.ObjectOf(root); obj != nil {
-							if deferred {
-								f.set(obj, f.get(obj)|tCovered)
-							} else {
-								f.set(obj, f.get(obj)&^tHeld)
+					transition(f, rootObj(sel.X), deferred)
+				}
+				return
+			}
+			// Calling a bound method value: rel() releases its lease.
+			if callee == nil {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if lobj, ok := methodValue[pass.Info.ObjectOf(id)]; ok {
+						transition(f, lobj, deferred)
+						return
+					}
+				}
+			}
+			s := pass.Index.Summary(callee)
+			if s != nil {
+				var recvObj types.Object
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					recvObj = rootObj(sel.X)
+				}
+				// The helper releases some of its lease operands.
+				if s.Releases != 0 && f.asyncDepth == 0 {
+					if s.Releases&summaryRecvBit != 0 {
+						transition(f, recvObj, deferred)
+					}
+					for i, a := range call.Args {
+						if calleeParamBitSet(s.Releases, callee, i) {
+							transition(f, rootObj(a), deferred)
+						}
+					}
+				}
+				// A method value passed into an invoked func parameter:
+				// runThen(lease.Release) releases lease.
+				if s.CallsParams != 0 && f.asyncDepth == 0 {
+					for i, a := range call.Args {
+						if !calleeParamBitSet(s.CallsParams, callee, i) {
+							continue
+						}
+						if mv := methodValueFunc(pass, a); mv != nil &&
+							mv.Name() == "Release" && isMethodOn(mv, storePkgPath, "Lease") {
+							if sel, ok := ast.Unparen(a).(*ast.SelectorExpr); ok {
+								transition(f, rootObj(sel.X), deferred)
+							}
+						} else if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+							if lobj, ok := methodValue[pass.Info.ObjectOf(id)]; ok {
+								transition(f, lobj, deferred)
 							}
 						}
 					}
 				}
-				return
+				// The helper stores the lease away: ownership transfers.
+				if s.EscapesLease != 0 {
+					untrack := func(obj types.Object) {
+						if obj != nil && f.get(obj)&tHeld != 0 {
+							f.set(obj, 0)
+							delete(acquire, obj)
+						}
+					}
+					if s.EscapesLease&summaryRecvBit != 0 {
+						untrack(recvObj)
+					}
+					for i, a := range call.Args {
+						if calleeParamBitSet(s.EscapesLease, callee, i) {
+							untrack(rootObj(a))
+						}
+					}
+				}
 			}
 			if f.asyncDepth > 0 {
 				return // goroutine bodies block their own goroutine only
 			}
-			if kind := blockingCallKind(pass, call, callee); kind != "" {
+			kind := blockingCallKind(pass, call, callee)
+			if kind == "" && s != nil && s.Blocking != "" {
+				kind = "a call to " + callee.Name() + ", which blocks on " + s.Blocking
+			}
+			if kind != "" {
 				if obj, ok := holdsAt(f); ok {
 					f.Reportf(call.Pos(),
 						"store read lease %s is held across %s; release it first or keep blocking work outside the lease",

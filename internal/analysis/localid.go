@@ -80,6 +80,27 @@ func checkLocalIDs(pass *Pass, fn ast.Node) {
 				// localDict.idOf-style minting constructors.
 				return tLocal
 			}
+			if s := pass.Index.Summary(callee); s != nil {
+				// A helper that mints a local id is a source; one that
+				// only threads masked/clean values through is not, even if
+				// a local id went in (the summary's alias bits vanish at
+				// the `&^ localIDBit` mask inside the helper).
+				if s.MintsLocal {
+					return tLocal
+				}
+				if tv, ok := pass.Info.Types[call]; ok && !typeHoldsTermID(tv.Type) {
+					return 0
+				}
+				var t taint
+				mapEachAliasedOperand(s.ResultAlias, callee, call.Args, func(i int) {
+					if i < 0 {
+						t |= recv
+					} else if i < len(args) {
+						t |= args[i]
+					}
+				})
+				return t & tLocal
+			}
 			// Anything else: a call result holds a local id only if its
 			// type can, and an operand carried one in.
 			if (recv|orTaints(args))&tLocal == 0 {
@@ -96,24 +117,87 @@ func checkLocalIDs(pass *Pass, fn ast.Node) {
 			}
 			return t
 		},
+		onCondFalse: func(f *funcFlow, cond ast.Expr) {
+			// `id & localIDBit != 0` refuted: id is a plain store id on
+			// this path (the localDict.termOf dispatch idiom).
+			if e := highBitTestedOperand(pass, cond); e != nil {
+				if root := rootIdent(e); root != nil {
+					if obj := pass.Info.ObjectOf(root); obj != nil {
+						f.set(obj, f.get(obj)&^tLocal)
+					}
+				}
+			}
+		},
 		onCall: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint, deferred bool) {
 			callee := calleeFunc(pass.Info, call)
-			if callee == nil || !idSinkMethods[callee.Name()] {
+			if callee == nil {
 				return
 			}
-			if !isMethodOn(callee, storePkgPath, "Store") && !isMethodOn(callee, storePkgPath, "Lease") {
+			if idSinkMethods[callee.Name()] &&
+				(isMethodOn(callee, storePkgPath, "Store") || isMethodOn(callee, storePkgPath, "Lease")) {
+				for i, a := range call.Args {
+					if i < len(args) && args[i]&tLocal != 0 && isTermIDExpr(pass, a) {
+						f.Reportf(a.Pos(),
+							"query-local id (localIDBit set) passed to store %s: local ids index the query's localDict, not the store dictionary — mask with &^ localIDBit and resolve via the local dict instead",
+							callee.Name())
+					}
+				}
 				return
 			}
-			for i, a := range call.Args {
-				if i < len(args) && args[i]&tLocal != 0 && isTermIDExpr(pass, a) {
-					f.Reportf(a.Pos(),
-						"query-local id (localIDBit set) passed to store %s: local ids index the query's localDict, not the store dictionary — mask with &^ localIDBit and resolve via the local dict instead",
-						callee.Name())
+			// A helper that forwards its parameter into a store id-space
+			// lookup is a sink one hop removed.
+			if s := pass.Index.Summary(callee); s != nil && s.SinksID != 0 {
+				for i, a := range call.Args {
+					if i < len(args) && args[i]&tLocal != 0 && isTermIDExpr(pass, a) &&
+						calleeParamBitSet(s.SinksID, callee, i) {
+						f.Reportf(a.Pos(),
+							"query-local id (localIDBit set) reaches a store ID lookup via call to %s: local ids index the query's localDict, not the store dictionary — mask with &^ localIDBit and resolve via the local dict instead",
+							callee.Name())
+					}
 				}
 			}
 		},
 	}
 	runFlow(pass, fn, hooks, nil)
+}
+
+// highBitTestedOperand recognizes the flag-dispatch guard
+// `x & localIDBit != 0` (either operand order, compared against 0)
+// and returns the tested expression x, or nil. On the path where the
+// guard is false, x provably has no local bit.
+func highBitTestedOperand(pass *Pass, cond ast.Expr) ast.Expr {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return nil
+	}
+	andSide := b.X
+	switch {
+	case isZeroConst(pass, b.Y):
+	case isZeroConst(pass, b.X):
+		andSide = b.Y
+	default:
+		return nil
+	}
+	ab, ok := ast.Unparen(andSide).(*ast.BinaryExpr)
+	if !ok || ab.Op != token.AND {
+		return nil
+	}
+	if isHighBitIDConst(pass, ab.Y) {
+		return ab.X
+	}
+	if isHighBitIDConst(pass, ab.X) {
+		return ab.Y
+	}
+	return nil
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
 }
 
 // isHighBitIDConst reports whether e is a constant store.TermID with

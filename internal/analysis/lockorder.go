@@ -1,0 +1,680 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the static lock-acquisition graph — an edge A→B
+// for every site that acquires mutex B while holding mutex A — and
+// reports (1) cycles, each with a witness path, and (2) violations of
+// the declared order. The declared order is the contract the shard
+// refactor will be built against (ROADMAP: kill the global st.mu):
+//
+//	//lodlint:lockorder Store.mu < dict.mu
+//
+// declares that Store.mu must be acquired before dict.mu wherever the
+// two nest; chains (`A.mu < B.mu < C.mu`) declare the pairwise orders
+// transitively. Locks are identified instance-blind by owner type and
+// field (`Store.mu`, `dict.mu`): two instances of the same type count
+// as one lock, which over-approximates (sound for deadlock freedom —
+// an ordered pair of instances of one type still needs an external
+// tiebreak) and keeps the graph finite.
+//
+// Interprocedural edges come from the summary index: holding A across
+// a call whose summary acquires B adds A→B. Calls through function
+// values are invisible to the graph (the obs gauge-func pattern);
+// with -interproc=off the graph degrades to per-package direct edges.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags lock-acquisition cycles and violations of the declared //lodlint:lockorder order",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one observed nested acquisition: to was acquired while
+// from was held.
+type lockEdge struct {
+	from, to string
+	// pkg owns the acquire site (the pass that reports on this edge).
+	pkg string
+	pos token.Position
+	// fn names the function containing the site; via names the callee
+	// whose summary contributed the acquisition ("" = direct).
+	fn  string
+	via string
+}
+
+// lockDecl is one parsed //lodlint:lockorder chain.
+type lockDecl struct {
+	labels []string
+	pkg    string
+	pos    token.Position
+	// err records a grammar problem ("" = well-formed).
+	err string
+}
+
+// lockOrder is the declared partial order with its transitive closure.
+type lockOrder struct {
+	decls []lockDecl
+	// before[a][b]: a must be acquired before b.
+	before map[string]map[string]bool
+	// declAt locates the declaration that introduced each direct pair,
+	// for citation in violation messages.
+	declAt map[string]token.Position
+	// conflicts are pairs declared in both directions.
+	conflicts []lockConflict
+}
+
+type lockConflict struct {
+	a, b string
+	pkg  string
+	pos  token.Position
+}
+
+const lockOrderPrefix = "//lodlint:lockorder"
+
+// parseLockDecls extracts the //lodlint:lockorder declarations of one
+// package. Grammar: a "<"-separated chain of Type.field labels.
+func parseLockDecls(pkg *Package) []lockDecl {
+	var out []lockDecl
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, lockOrderPrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				d := lockDecl{pkg: pkg.Path, pos: pkg.Fset.Position(c.Pos())}
+				parts := strings.Split(rest, "<")
+				for _, p := range parts {
+					p = strings.TrimSpace(p)
+					if !validLockLabel(p) {
+						d.err = fmt.Sprintf("malformed lock label %q (want Type.field, e.g. Store.mu)", p)
+						break
+					}
+					d.labels = append(d.labels, p)
+				}
+				if d.err == "" && len(d.labels) < 2 {
+					d.err = "a lockorder declaration needs at least two labels (A.f < B.g)"
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func validLockLabel(s string) bool {
+	dot := strings.IndexByte(s, '.')
+	if dot <= 0 || dot == len(s)-1 {
+		return false
+	}
+	for i, r := range s {
+		if i == dot {
+			continue
+		}
+		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return strings.IndexByte(s[dot+1:], '.') < 0
+}
+
+// buildLockOrder closes the declared pairs transitively and detects
+// contradictions.
+func buildLockOrder(decls []lockDecl) *lockOrder {
+	lo := &lockOrder{
+		decls:  decls,
+		before: map[string]map[string]bool{},
+		declAt: map[string]token.Position{},
+	}
+	add := func(a, b string, pos token.Position) {
+		if lo.before[a] == nil {
+			lo.before[a] = map[string]bool{}
+		}
+		lo.before[a][b] = true
+		if _, ok := lo.declAt[a+"<"+b]; !ok {
+			lo.declAt[a+"<"+b] = pos
+		}
+	}
+	var labels []string
+	seen := map[string]bool{}
+	for _, d := range decls {
+		if d.err != "" {
+			continue
+		}
+		for i := 0; i+1 < len(d.labels); i++ {
+			add(d.labels[i], d.labels[i+1], d.pos)
+		}
+		for _, l := range d.labels {
+			if !seen[l] {
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+	}
+	sort.Strings(labels)
+	// Transitive closure (label sets are tiny).
+	for _, k := range labels {
+		for _, a := range labels {
+			if !lo.before[a][k] {
+				continue
+			}
+			for _, b := range labels {
+				if lo.before[k][b] {
+					add(a, b, lo.declAt[a+"<"+k])
+				}
+			}
+		}
+	}
+	for _, a := range labels {
+		for _, b := range labels {
+			if a < b && lo.before[a][b] && lo.before[b][a] {
+				pos := lo.declAt[a+"<"+b]
+				lo.conflicts = append(lo.conflicts, lockConflict{
+					a: a, b: b, pos: pos, pkg: declPkgAt(decls, pos),
+				})
+			}
+		}
+	}
+	return lo
+}
+
+func declPkgAt(decls []lockDecl, pos token.Position) string {
+	for _, d := range decls {
+		if d.pos == pos {
+			return d.pkg
+		}
+	}
+	if len(decls) > 0 {
+		return decls[0].pkg
+	}
+	return ""
+}
+
+// ---- acquisition-graph scan ----
+
+// mutexOpOn classifies call as a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex and returns the lock label, or "".
+func mutexOpOn(pass *Pass, call *ast.CallExpr) (label, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", ""
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isMethodOn(fn, "sync", "Mutex") && !isMethodOn(fn, "sync", "RWMutex") {
+		return "", ""
+	}
+	return lockLabelOf(pass, sel.X), sel.Sel.Name
+}
+
+// lockLabelOf names the mutex operand: `st.mu` → "Store.mu" (owner
+// struct type + field), a package-level `var mu sync.Mutex` →
+// "pkgname.mu". Function-local mutexes and unresolvable shapes yield
+// "" and drop out of the graph.
+func lockLabelOf(pass *Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		fv, ok := pass.Info.Uses[x.Sel].(*types.Var)
+		if !ok || !fv.IsField() {
+			return ""
+		}
+		if n := namedOrPtr(exprType(pass, x.X)); n != nil && n.Obj() != nil {
+			return n.Obj().Name() + "." + x.Sel.Name
+		}
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(x)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + x.Name
+		}
+	}
+	return ""
+}
+
+// lockScanner walks one synchronous scope maintaining the held-lock
+// stack. The walk is linear and branch-blind (like locksafe's held
+// scan): a conditionally-acquired lock counts as held afterwards,
+// which over-approximates edges — acceptable for a deadlock linter.
+type lockScanner struct {
+	pass *Pass
+	ix   *SummaryIndex
+	fn   string
+	held []string
+	// acquired accumulates every label this scope locked (the Locks
+	// summary); edges, when non-nil, collects the nested-acquire edges.
+	acquired map[string]bool
+	edges    *[]lockEdge
+	// goBodies defers go-statement literals for scanning as fresh
+	// roots (their held context starts empty on the new goroutine).
+	goBodies []*ast.FuncLit
+}
+
+func (sc *lockScanner) addEdge(to, via string, pos token.Pos) {
+	if sc.edges == nil {
+		return
+	}
+	for _, h := range sc.held {
+		if h == to {
+			continue
+		}
+		*sc.edges = append(*sc.edges, lockEdge{
+			from: h, to: to, pkg: sc.pass.Path,
+			pos: sc.pass.Fset.Position(pos), fn: sc.fn, via: via,
+		})
+	}
+}
+
+func (sc *lockScanner) acquire(label string, pos token.Pos) {
+	sc.addEdge(label, "", pos)
+	sc.acquired[label] = true
+	sc.held = append(sc.held, label)
+}
+
+func (sc *lockScanner) release(label string) {
+	for i := len(sc.held) - 1; i >= 0; i-- {
+		if sc.held[i] == label {
+			sc.held = append(sc.held[:i], sc.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (sc *lockScanner) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			sc.stmt(st)
+		}
+	case *ast.ExprStmt:
+		sc.expr(s.X, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			sc.expr(e, false)
+		}
+		for _, e := range s.Lhs {
+			sc.expr(e, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						sc.expr(v, false)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Cond, false)
+		sc.stmt(s.Body)
+		sc.stmt(s.Else)
+	case *ast.ForStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Cond, false)
+		sc.stmt(s.Body)
+		sc.stmt(s.Post)
+	case *ast.RangeStmt:
+		sc.expr(s.X, false)
+		sc.stmt(s.Body)
+	case *ast.SwitchStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Tag, false)
+		sc.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		sc.stmt(s.Init)
+		sc.stmt(s.Assign)
+		sc.stmt(s.Body)
+	case *ast.SelectStmt:
+		sc.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			sc.expr(e, false)
+		}
+		for _, st := range s.Body {
+			sc.stmt(st)
+		}
+	case *ast.CommClause:
+		sc.stmt(s.Comm)
+		for _, st := range s.Body {
+			sc.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			sc.expr(e, false)
+		}
+	case *ast.SendStmt:
+		sc.expr(s.Chan, false)
+		sc.expr(s.Value, false)
+	case *ast.DeferStmt:
+		sc.expr(s.Call, true)
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			sc.goBodies = append(sc.goBodies, lit)
+		}
+		for _, a := range s.Call.Args {
+			sc.expr(a, false)
+		}
+	case *ast.LabeledStmt:
+		sc.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		sc.expr(s.X, false)
+	}
+}
+
+func (sc *lockScanner) expr(e ast.Expr, deferred bool) {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			sc.expr(a, false)
+		}
+		if label, op := mutexOpOn(sc.pass, e); label != "" {
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				sc.acquire(label, e.Pos())
+			case "Unlock", "RUnlock":
+				// A deferred unlock keeps the lock held to scope end; a
+				// direct unlock closes the region here.
+				if !deferred {
+					sc.release(label)
+				}
+			}
+			return
+		}
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// Immediately-invoked (or deferred) literal runs in this
+			// goroutine under the current held set.
+			sc.stmt(lit.Body)
+			return
+		}
+		sc.expr(e.Fun, false)
+		if fn := calleeFunc(sc.pass.Info, e); fn != nil {
+			if s := sc.ix.Summary(fn); s != nil {
+				for _, l := range s.Locks {
+					sc.addEdge(l, fn.Name(), e.Pos())
+					sc.acquired[l] = true
+				}
+			}
+		}
+	case *ast.FuncLit:
+		// A literal bound to a variable or passed as a callback most
+		// often runs synchronously under the current held set (the
+		// st.Match(func(...)...) pattern); go-launched literals are
+		// handled at GoStmt.
+		sc.stmt(e.Body)
+	case *ast.UnaryExpr:
+		sc.expr(e.X, false)
+	case *ast.BinaryExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Y, false)
+	case *ast.StarExpr:
+		sc.expr(e.X, false)
+	case *ast.SelectorExpr:
+		sc.expr(e.X, false)
+	case *ast.IndexExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Index, false)
+	case *ast.IndexListExpr:
+		sc.expr(e.X, false)
+	case *ast.SliceExpr:
+		sc.expr(e.X, false)
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			sc.expr(el, false)
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(e.Value, false)
+	}
+}
+
+// scanRoots runs the scanner over fd and every go-launched literal in
+// it (each on a fresh held stack).
+func scanRoots(pass *Pass, ix *SummaryIndex, fd *ast.FuncDecl, edges *[]lockEdge) map[string]bool {
+	acquired := map[string]bool{}
+	roots := []ast.Stmt{ast.Stmt(fd.Body)}
+	name := fd.Name.Name
+	for len(roots) > 0 {
+		sc := &lockScanner{pass: pass, ix: ix, fn: name, acquired: acquired, edges: edges}
+		sc.stmt(roots[0])
+		roots = roots[1:]
+		for _, lit := range sc.goBodies {
+			roots = append(roots, ast.Stmt(lit.Body))
+		}
+	}
+	return acquired
+}
+
+// scanFuncLocks returns the sorted lock labels fd acquires (directly
+// or via summarized callees) — the Locks field of its summary.
+func scanFuncLocks(pass *Pass, fd *ast.FuncDecl, ix *SummaryIndex) []string {
+	if fd.Body == nil {
+		return nil
+	}
+	acquired := scanRoots(pass, ix, fd, nil)
+	if len(acquired) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(acquired))
+	for l := range acquired {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectLockEdges gathers the nested-acquisition edges of one
+// package for the global graph.
+func collectLockEdges(pkg *Package, ix *SummaryIndex) []lockEdge {
+	scratch := []Diagnostic{}
+	pass := &Pass{
+		Analyzer: summaryAnalyzer, Path: pkg.Path, Fset: pkg.Fset,
+		Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, diags: &scratch,
+	}
+	var edges []lockEdge
+	for _, fd := range funcDecls(pkg) {
+		scanRoots(pass, ix, fd, &edges)
+	}
+	return edges
+}
+
+// ---- the analyzer ----
+
+func runLockOrder(pass *Pass) {
+	var (
+		edges    []lockEdge
+		declared *lockOrder
+	)
+	if pass.Index != nil {
+		edges = pass.Index.lockEdges
+		declared = pass.Index.declared
+	} else {
+		// -interproc=off: degrade to this package's direct edges and
+		// its own declarations.
+		pkg := &Package{Path: pass.Path, Fset: pass.Fset, Files: pass.Files,
+			Types: pass.Pkg, Info: pass.Info}
+		edges = collectLockEdges(pkg, nil)
+		declared = buildLockOrder(parseLockDecls(pkg))
+	}
+
+	// Malformed or contradictory declarations are findings themselves,
+	// owned by the package holding the comment.
+	for _, d := range declared.decls {
+		if d.err != "" && d.pkg == pass.Path {
+			pass.Reportf(declPos(pass, d.pos), "lockorder declaration: %s", d.err)
+		}
+	}
+	for _, c := range declared.conflicts {
+		if c.pkg == pass.Path {
+			pass.Reportf(declPos(pass, c.pos),
+				"contradictory lockorder declarations: both %s < %s and %s < %s are declared (directly or transitively)",
+				c.a, c.b, c.b, c.a)
+		}
+	}
+
+	// Declared-order violations: an observed edge from→to where the
+	// declaration says to < from. Checked at every nested-acquire site
+	// this package owns.
+	for _, e := range edges {
+		if e.pkg != pass.Path {
+			continue
+		}
+		if declared.before[e.to][e.from] {
+			site := "acquired directly"
+			if e.via != "" {
+				site = "acquired via call to " + e.via
+			}
+			pass.Reportf(declPos(pass, e.pos),
+				"lock order violation in %s: %s %s while %s is held, but the declared order (//lodlint:lockorder at %s:%d) requires %s before %s",
+				e.fn, e.to, site, e.from,
+				shortPath(declared.declAt[e.to+"<"+e.from].Filename), declared.declAt[e.to+"<"+e.from].Line,
+				e.to, e.from)
+		}
+	}
+
+	// Cycles: each reported once, by the pass owning the first edge of
+	// the canonical witness.
+	for _, cyc := range findLockCycles(edges) {
+		if cyc[0].pkg != pass.Path {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString(cyc[0].from)
+		for _, e := range cyc {
+			fmt.Fprintf(&b, " → %s (%s, %s:%d)", e.to, e.fn, shortPath(e.pos.Filename), e.pos.Line)
+		}
+		pass.Reportf(declPos(pass, cyc[0].pos),
+			"lock-acquisition cycle: %s; two goroutines interleaving these chains deadlock — pick one order and declare it with //lodlint:lockorder",
+			b.String())
+	}
+}
+
+// findLockCycles returns every elementary cycle in the edge set as a
+// witness edge path, canonicalized (rotated to start at the smallest
+// label, deduplicated) and sorted for deterministic output.
+func findLockCycles(edges []lockEdge) [][]lockEdge {
+	adj := map[string][]lockEdge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for from := range adj {
+		es := adj[from]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].to != es[j].to {
+				return es[i].to < es[j].to
+			}
+			if es[i].pos.Filename != es[j].pos.Filename {
+				return es[i].pos.Filename < es[j].pos.Filename
+			}
+			return es[i].pos.Line < es[j].pos.Line
+		})
+		// One witness edge per (from, to) pair keeps paths canonical.
+		dedup := es[:0]
+		for _, e := range es {
+			if len(dedup) > 0 && dedup[len(dedup)-1].to == e.to {
+				continue
+			}
+			dedup = append(dedup, e)
+		}
+		adj[from] = dedup
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var cycles [][]lockEdge
+	seen := map[string]bool{}
+	var path []lockEdge
+	onPath := map[string]int{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		onPath[n] = len(path)
+		for _, e := range adj[n] {
+			if i, ok := onPath[e.to]; ok {
+				cyc := append(append([]lockEdge{}, path[i:]...), e)
+				cyc = rotateCycle(cyc)
+				key := cycleKey(cyc)
+				if !seen[key] {
+					seen[key] = true
+					cycles = append(cycles, cyc)
+				}
+				continue
+			}
+			path = append(path, e)
+			dfs(e.to)
+			path = path[:len(path)-1]
+		}
+		delete(onPath, n)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycleKey(cycles[i]) < cycleKey(cycles[j]) })
+	return cycles
+}
+
+func rotateCycle(cyc []lockEdge) []lockEdge {
+	min := 0
+	for i := range cyc {
+		if cyc[i].from < cyc[min].from {
+			min = i
+		}
+	}
+	return append(append([]lockEdge{}, cyc[min:]...), cyc[:min]...)
+}
+
+func cycleKey(cyc []lockEdge) string {
+	var b strings.Builder
+	for _, e := range cyc {
+		b.WriteString(e.from)
+		b.WriteString("→")
+	}
+	return b.String()
+}
+
+// declPos converts a resolved token.Position back into a pos within
+// this pass's fileset so Reportf renders the right location. The
+// position was produced by the same shared FileSet, so a direct
+// search over its files recovers the token.Pos.
+func declPos(pass *Pass, p token.Position) token.Pos {
+	var found token.Pos
+	pass.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == p.Filename && p.Offset < f.Size() {
+			found = f.Pos(p.Offset)
+			return false
+		}
+		return true
+	})
+	if found == token.NoPos {
+		// Fall back to the first file of the pass; the rendered
+		// file/line comes from the Position either way for edges that
+		// resolved, so this only guards pathological cases.
+		if len(pass.Files) > 0 {
+			return pass.Files[0].Pos()
+		}
+	}
+	return found
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

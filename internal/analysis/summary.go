@@ -1,0 +1,695 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Interprocedural function summaries (DESIGN.md §12). The v2 dataflow
+// engine treats every call as opaque, so a lease released inside a
+// helper, a quad cloned inside a helper, or a buffer stored to a
+// global inside a helper were all invisible. The summary pass closes
+// that hole without giving up the engine's linearity: every function
+// of every loaded package is abstract-interpreted ONCE with its
+// parameters as the taint sources, producing a small per-parameter
+// effect record; the analyzers then map those records onto their own
+// taints at each call site instead of guessing.
+//
+// Summaries are computed bottom-up over the topologically-ordered
+// packages (callgraph.go) and, within a package, iterated to a small
+// bounded fixpoint so mutual recursion converges — effects only grow
+// across rounds (every field is a union), so three rounds reach any
+// realistic call chain and the bound caps pathological ones.
+
+// summaryFormatVersion invalidates cached summaries when the encoding
+// or the computation changes shape.
+const summaryFormatVersion = "lodlint-summary-v1"
+
+// Bit layout of the summary-computation taint. The low bits identify
+// which parameter a value derives from; two marker bits track
+// fresh-value provenance the analyzers care about (leases, local ids).
+const (
+	// summaryMaxParam caps the distinguishable parameters; later
+	// parameters share the last bit (a sound conflation).
+	summaryMaxParam = 11
+	// summaryRecvBit marks values derived from the receiver.
+	summaryRecvBit uint32 = 1 << 12
+	// summaryLeaseBit marks a fresh store read lease minted here.
+	summaryLeaseBit uint32 = 1 << 13
+	// summaryMintBit marks a freshly minted query-local id.
+	summaryMintBit uint32 = 1 << 14
+
+	summaryParamMask = summaryRecvBit | (1 << 12) - 1
+)
+
+// summaryBit returns the taint bit of parameter index i.
+func summaryBit(i int) uint32 {
+	if i > summaryMaxParam {
+		i = summaryMaxParam
+	}
+	return 1 << uint(i)
+}
+
+// Summary records the externally-visible effects of one function on
+// its parameters and results. All uint32 fields are parameter bitsets
+// (summaryBit/summaryRecvBit).
+type Summary struct {
+	// ResultAlias: results may alias (share memory with) these
+	// parameters. Clone-style helpers have no bits set — that absence
+	// is what lets bufescape drop taint through a cloning helper.
+	ResultAlias uint32 `json:"alias,omitempty"`
+	// ResultLease: a result is a fresh store read lease (the helper
+	// wraps Store.ReadLease).
+	ResultLease bool `json:"lease,omitempty"`
+	// MintsLocal: a result carries a freshly minted query-local
+	// (high-bit) id.
+	MintsLocal bool `json:"mint,omitempty"`
+	// EscapesTerm: term-holding values of these parameters escape the
+	// callee (stored to a global/field, sent, handed to a goroutine).
+	EscapesTerm uint32 `json:"escTerm,omitempty"`
+	// EscapesLease: a lease parameter escapes the callee — ownership
+	// transfers to wherever it was stored.
+	EscapesLease uint32 `json:"escLease,omitempty"`
+	// Releases: the callee calls Release on these lease parameters
+	// (directly, deferred, or through further helpers) on some path.
+	Releases uint32 `json:"releases,omitempty"`
+	// SinksID: the callee passes these parameters into a store
+	// id-space lookup (MatchIDs/CountIDs/TermOf).
+	SinksID uint32 `json:"sinks,omitempty"`
+	// CallsParams: the callee invokes these func-typed parameters, so
+	// a method value passed there (runThen(lease.Release)) executes.
+	CallsParams uint32 `json:"calls,omitempty"`
+	// Blocking describes the first unbounded-blocking operation the
+	// callee may perform synchronously ("" = none known). Propagated
+	// through call chains so leasehold sees blocking behind helpers.
+	Blocking string `json:"blocking,omitempty"`
+	// Bounded: the function body (transitively) contains a
+	// completion-signal — a channel operation, WaitGroup Done/Wait, or
+	// context use — so a goroutine running it can be awaited or
+	// cancelled. Consumed by goleak.
+	Bounded bool `json:"bounded,omitempty"`
+	// Locks lists the lock labels (lockorder.go) the function acquires
+	// synchronously, directly or through callees, sorted.
+	Locks []string `json:"locks,omitempty"`
+}
+
+// equal reports field-wise equality (the fixpoint's change test).
+func (s *Summary) equal(o *Summary) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.ResultAlias != o.ResultAlias || s.ResultLease != o.ResultLease ||
+		s.MintsLocal != o.MintsLocal || s.EscapesTerm != o.EscapesTerm ||
+		s.EscapesLease != o.EscapesLease || s.Releases != o.Releases ||
+		s.SinksID != o.SinksID || s.CallsParams != o.CallsParams ||
+		s.Blocking != o.Blocking || s.Bounded != o.Bounded ||
+		len(s.Locks) != len(o.Locks) {
+		return false
+	}
+	for i := range s.Locks {
+		if s.Locks[i] != o.Locks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SummaryIndex holds the summaries of every loaded function plus the
+// global lock-order facts, shared read-only by all analyzer passes.
+type SummaryIndex struct {
+	funcs map[string]*Summary
+	// lockEdges is the global lock-acquisition graph: an edge A→B
+	// means some function acquires B while holding A (lockorder.go).
+	lockEdges []lockEdge
+	// declared is the annotated lock order from //lodlint:lockorder
+	// comments, with conflicts detected at build time.
+	declared *lockOrder
+}
+
+// Summary returns the computed summary for fn, or nil when fn was not
+// part of the loaded set (stdlib, unexported dependency internals).
+func (ix *SummaryIndex) Summary(fn *types.Func) *Summary {
+	if ix == nil || fn == nil {
+		return nil
+	}
+	key := FuncKey(fn)
+	if key == "" {
+		return nil
+	}
+	return ix.funcs[key]
+}
+
+// BuildSummaries computes (or loads from cacheDir) the summary of
+// every function in pkgs and collects the global lock graph. cacheDir
+// "" disables the on-disk cache.
+func BuildSummaries(pkgs []*Package, cacheDir string) *SummaryIndex {
+	ix := &SummaryIndex{funcs: map[string]*Summary{}}
+	ordered := topoPackages(pkgs)
+	keys := map[string]string{}
+	for _, pkg := range ordered {
+		key := packageCacheKey(pkg, keys)
+		keys[pkg.Path] = key
+		if m, ok := loadSummaryCache(cacheDir, key); ok {
+			for k, s := range m {
+				ix.funcs[k] = s
+			}
+			continue
+		}
+		m := summarizePackage(pkg, ix)
+		for k, s := range m {
+			ix.funcs[k] = s
+		}
+		saveSummaryCache(cacheDir, key, m)
+	}
+	// Lock edges carry source positions, so they are recomputed every
+	// run (cheap linear scans) rather than cached.
+	var decls []lockDecl
+	for _, pkg := range ordered {
+		decls = append(decls, parseLockDecls(pkg)...)
+		ix.lockEdges = append(ix.lockEdges, collectLockEdges(pkg, ix)...)
+	}
+	ix.declared = buildLockOrder(decls)
+	return ix
+}
+
+// summarizePackage computes the summaries of one package, reading
+// dependency summaries (and in-progress same-package summaries) from
+// ix. Three rounds bound the intra-package fixpoint.
+func summarizePackage(pkg *Package, ix *SummaryIndex) map[string]*Summary {
+	scratch := []Diagnostic{}
+	pass := &Pass{
+		Analyzer: summaryAnalyzer,
+		Path:     pkg.Path,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    &scratch,
+	}
+	tc := newTermTypes(pass)
+	decls := funcDecls(pkg)
+	out := map[string]*Summary{}
+	for round := 0; round < 3; round++ {
+		changed := false
+		for _, fd := range decls {
+			key := declKey(pkg, fd)
+			if key == "" {
+				continue
+			}
+			sm := summarizeFunc(pass, tc, fd, ix)
+			if !sm.equal(ix.funcs[key]) {
+				changed = true
+			}
+			ix.funcs[key] = sm
+			out[key] = sm
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// summaryAnalyzer labels the internal pass used while computing
+// summaries; it never reports.
+var summaryAnalyzer = &Analyzer{Name: "summary", Doc: "internal summary computation"}
+
+// summarizeFunc abstract-interprets one declaration with its
+// parameters as taint sources and records the observed effects.
+func summarizeFunc(pass *Pass, tc *termTypes, fd *ast.FuncDecl, ix *SummaryIndex) *Summary {
+	sm := &Summary{}
+	paramBit := map[types.Object]uint32{}
+	seed := map[types.Object]taint{}
+	addParam := func(names []*ast.Ident, bit uint32) {
+		for _, name := range names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				paramBit[obj] = bit
+				seed[obj] = taint(bit)
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			addParam(field.Names, summaryRecvBit)
+		}
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				addParam([]*ast.Ident{name}, summaryBit(idx))
+				idx++
+			}
+		}
+	}
+
+	hooks := &flowHooks{
+		callResult: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint) taint {
+			fn := calleeFunc(pass.Info, call)
+			if fn != nil {
+				if fn.Name() == "ReadLease" && isMethodOn(fn, storePkgPath, "Store") {
+					return taint(summaryLeaseBit)
+				}
+				if isRdfClone(fn) {
+					return 0
+				}
+				if fn.Name() == "idOf" && resultIsTermID(fn) {
+					return taint(summaryMintBit)
+				}
+				if s := ix.Summary(fn); s != nil {
+					var t taint
+					mapEachAliasedOperand(s.ResultAlias, fn, call.Args, func(i int) {
+						if i < 0 {
+							t |= recv
+						} else if i < len(args) {
+							t |= args[i]
+						}
+					})
+					if s.ResultLease {
+						t |= taint(summaryLeaseBit)
+					}
+					if s.MintsLocal {
+						t |= taint(summaryMintBit)
+					}
+					return t
+				}
+			}
+			// Unknown callee: the result may alias anything passed in.
+			return recv | orTaints(args)
+		},
+		binaryResult: func(f *funcFlow, e *ast.BinaryExpr, x, y taint) taint {
+			switch e.Op {
+			case token.OR:
+				if isHighBitIDConst(pass, e.X) || isHighBitIDConst(pass, e.Y) {
+					return (x | y) | taint(summaryMintBit)
+				}
+			case token.AND_NOT:
+				// Masking the high bit materializes a plain local-dict
+				// index: the numeric result aliases no term and carries no
+				// local flag.
+				if isHighBitIDConst(pass, e.Y) {
+					return 0
+				}
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+				token.LAND, token.LOR:
+				return 0
+			}
+			return x | y
+		},
+		onCall: func(f *funcFlow, call *ast.CallExpr, recv taint, args []taint, deferred bool) {
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				// Calling a func-typed parameter directly.
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if bit := paramBit[pass.Info.ObjectOf(id)]; bit != 0 {
+						sm.CallsParams |= bit
+					}
+				}
+				return
+			}
+			if fn.Name() == "Release" && isMethodOn(fn, storePkgPath, "Lease") {
+				if f.asyncDepth == 0 {
+					sm.Releases |= uint32(recv) & summaryParamMask
+				}
+				return
+			}
+			if idSinkMethods[fn.Name()] &&
+				(isMethodOn(fn, storePkgPath, "Store") || isMethodOn(fn, storePkgPath, "Lease")) {
+				for i, a := range call.Args {
+					if i < len(args) && isTermIDExpr(pass, a) {
+						sm.SinksID |= uint32(args[i]) & summaryParamMask
+					}
+				}
+			}
+			if f.asyncDepth == 0 && f.depth == 0 && sm.Blocking == "" {
+				if kind := summaryBlockingKind(pass, call, fn); kind != "" {
+					sm.Blocking = kind
+				}
+			}
+			s := ix.Summary(fn)
+			if s == nil {
+				return
+			}
+			mapBits := func(calleeBits uint32) uint32 {
+				var out uint32
+				mapEachAliasedOperand(calleeBits, fn, call.Args, func(i int) {
+					if i < 0 {
+						out |= uint32(recv)
+					} else if i < len(args) {
+						out |= uint32(args[i])
+					}
+				})
+				return out & summaryParamMask
+			}
+			if f.asyncDepth == 0 {
+				sm.Releases |= mapBits(s.Releases)
+			}
+			sm.SinksID |= mapBits(s.SinksID)
+			sm.EscapesTerm |= mapBits(s.EscapesTerm)
+			sm.EscapesLease |= mapBits(s.EscapesLease)
+			if f.asyncDepth == 0 && f.depth == 0 && sm.Blocking == "" && s.Blocking != "" {
+				sm.Blocking = "a call to " + fn.Name() + ", which blocks on " + s.Blocking
+			}
+			if s.CallsParams != 0 {
+				// A method value passed into an invoked func parameter runs:
+				// runThen(lease.Release) releases the lease.
+				for i, a := range call.Args {
+					if !calleeParamBitSet(s.CallsParams, fn, i) {
+						continue
+					}
+					if mv := methodValueFunc(pass, a); mv != nil &&
+						mv.Name() == "Release" && isMethodOn(mv, storePkgPath, "Lease") &&
+						i < len(args) && f.asyncDepth == 0 {
+						sm.Releases |= uint32(args[i]) & summaryParamMask
+					}
+				}
+			}
+		},
+		onChanOp: func(f *funcFlow, pos token.Pos) {
+			if f.asyncDepth == 0 && f.depth == 0 && sm.Blocking == "" {
+				sm.Blocking = "a channel operation"
+			}
+		},
+		onCondFalse: func(f *funcFlow, cond ast.Expr) {
+			// The high-bit guard refuted: the tested TermID is a plain
+			// store id here, so neither its localness nor its (id-only)
+			// parameter derivation survives into sinks on this path.
+			if e := highBitTestedOperand(pass, cond); e != nil {
+				if root := rootIdent(e); root != nil {
+					if obj := pass.Info.ObjectOf(root); obj != nil {
+						f.set(obj, 0)
+					}
+				}
+			}
+		},
+		onEscape: func(f *funcFlow, kind escapeKind, e ast.Expr, pos token.Pos, t taint) {
+			bits := uint32(t) & summaryParamMask
+			et := exprType(pass, e)
+			if kind == escapeReturn {
+				if bits != 0 && tc.holdsTermTuple(et) {
+					sm.ResultAlias |= bits
+				}
+				if uint32(t)&summaryLeaseBit != 0 && typeIsLease(et) {
+					sm.ResultLease = true
+				}
+				if uint32(t)&summaryMintBit != 0 && typeHoldsTermID(et) {
+					sm.MintsLocal = true
+				}
+				return
+			}
+			if bits == 0 {
+				return
+			}
+			if tc.holdsTermTuple(et) {
+				sm.EscapesTerm |= bits
+			}
+			if typeIsLease(et) {
+				sm.EscapesLease |= bits
+			}
+		},
+	}
+	runFlow(pass, fd, hooks, seed)
+
+	sm.Bounded = boundedEvidence(pass, fd.Body, ix)
+	sm.Locks = scanFuncLocks(pass, fd, ix)
+	return sm
+}
+
+// mapEachAliasedOperand translates a callee parameter bitset into
+// call-site operand indexes: visit(-1) for the receiver, visit(i) for
+// argument i. Variadic arguments collapse onto the last parameter.
+func mapEachAliasedOperand(calleeBits uint32, fn *types.Func, args []ast.Expr, visit func(i int)) {
+	if calleeBits == 0 {
+		return
+	}
+	if calleeBits&summaryRecvBit != 0 {
+		visit(-1)
+	}
+	for i := range args {
+		if calleeParamBitSet(calleeBits, fn, i) {
+			visit(i)
+		}
+	}
+}
+
+// calleeParamBitSet reports whether the callee bitset covers the
+// parameter that receives argument i.
+func calleeParamBitSet(calleeBits uint32, fn *types.Func, argIdx int) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	np := sig.Params().Len()
+	if np == 0 {
+		return false
+	}
+	if argIdx >= np {
+		argIdx = np - 1
+	}
+	return calleeBits&summaryBit(argIdx) != 0
+}
+
+// summaryBlockingKind is blockingCallKind minus the generic
+// sync.Mutex/RWMutex acquisition case: a short critical section inside
+// a helper (metrics, registries) is bounded work, not the unbounded
+// blocking the lease contract is about. Direct mutex acquisitions at
+// the lease holder's own level are still flagged by leasehold itself,
+// and store-lock re-entry keeps propagating via the storePkgPath case.
+func summaryBlockingKind(pass *Pass, call *ast.CallExpr, fn *types.Func) string {
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		(fn.Name() == "Lock" || fn.Name() == "RLock") {
+		return ""
+	}
+	return blockingCallKind(pass, call, fn)
+}
+
+// isRdfClone matches the rdf.Quad/Term/Triple Clone sanitizers.
+func isRdfClone(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Clone" &&
+		(isMethodOn(fn, rdfPkgPath, "Quad") || isMethodOn(fn, rdfPkgPath, "Term") ||
+			isMethodOn(fn, rdfPkgPath, "Triple"))
+}
+
+// typeIsLease reports whether t is *store.Lease (or store.Lease).
+func typeIsLease(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if typeIsLease(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	n := namedOrPtr(t)
+	return n != nil && isNamedType(n, storePkgPath, "Lease")
+}
+
+// exprType returns the static type of e, or nil.
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// methodValueFunc returns the method a selector expression binds as a
+// method value (lease.Release used as a func()), or nil.
+func methodValueFunc(pass *Pass, e ast.Expr) *types.Func {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	fn, _ := s.Obj().(*types.Func)
+	return fn
+}
+
+// boundedEvidence reports whether body contains a completion signal a
+// spawner could wait on: any channel operation, a WaitGroup
+// Done/Wait, a context.Context method call (Done/Err/Deadline/Value —
+// the spawner holds the cancel side), or a call into a function
+// already known to be bounded. Nested function literals are skipped:
+// a closure that is merely built or returned here does not run in
+// this function's extent, so its contents prove nothing about it.
+func boundedEvidence(pass *Pass, body *ast.BlockStmt, ix *SummaryIndex) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := exprType(pass, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			// An immediately-invoked or deferred literal does run here.
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				if boundedEvidence(pass, lit.Body, ix) {
+					found = true
+				}
+				return false
+			}
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			switch {
+			case (fn.Name() == "Done" || fn.Name() == "Wait") && isMethodOn(fn, "sync", "WaitGroup"):
+				found = true
+			case fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+				sig != nil && sig.Recv() != nil:
+				found = true
+			default:
+				if s := ix.Summary(fn); s != nil && s.Bounded {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sigHasLifecycleParam reports whether fn's signature accepts a
+// lifecycle handle — a context.Context, a channel, or a
+// *sync.WaitGroup — through which the spawner controls or observes
+// completion.
+func sigHasLifecycleParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isContextType(t) {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			if isNamedType(p.Elem(), "sync", "WaitGroup") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ---- on-disk summary cache ----
+
+// packageCacheKey hashes everything a package's summaries depend on:
+// the format version, the import path, every source file's contents,
+// and the cache keys of its loaded dependencies (so a change deep in
+// internal/store invalidates internal/sparql too).
+func packageCacheKey(pkg *Package, depKeys map[string]string) string {
+	h := sha256.New()
+	h.Write([]byte(summaryFormatVersion))
+	h.Write([]byte(pkg.Path))
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		h.Write([]byte(name))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			// Unreadable source: salt the key so the cache misses.
+			h.Write([]byte(err.Error()))
+			continue
+		}
+		h.Write(data)
+	}
+	if pkg.Types != nil {
+		var deps []string
+		for _, imp := range pkg.Types.Imports() {
+			if k, ok := depKeys[imp.Path()]; ok {
+				deps = append(deps, imp.Path()+"="+k)
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			h.Write([]byte(d))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func cacheFilePath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key+".json")
+}
+
+func loadSummaryCache(cacheDir, key string) (map[string]*Summary, bool) {
+	if cacheDir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(cacheFilePath(cacheDir, key))
+	if err != nil {
+		return nil, false
+	}
+	var m map[string]*Summary
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+func saveSummaryCache(cacheDir, key string, m map[string]*Summary) {
+	if cacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	// Atomic-enough for a cache: write-then-rename so concurrent runs
+	// never read a torn file; any failure just means a future miss.
+	tmp := cacheFilePath(cacheDir, key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, cacheFilePath(cacheDir, key))
+}

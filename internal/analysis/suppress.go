@@ -31,16 +31,24 @@ type ignoreDirective struct {
 
 const ignorePrefix = "//lodlint:ignore"
 
+// bareIgnoreRule names the findings emitted for reasonless ignore
+// directives; it is not a runnable analyzer, just a rule id in output.
+const bareIgnoreRule = "bareignore"
+
 // Suppress partitions diags by the //lodlint:ignore directives in the
 // analyzed packages. A directive
 //
-//	//lodlint:ignore <rule> <reason>
+//	//lodlint:ignore <rule> — <reason>
 //
 // silences findings of <rule> on its own line (trailing comment) or on
-// the line directly below (comment-above idiom). Anything else in the
-// comment after the rule name is the recorded reason.
+// the line directly below (comment-above idiom). The reason — any text
+// after the rule name, with an optional leading dash — is mandatory: a
+// bare `//lodlint:ignore <rule>` suppresses nothing and is itself
+// reported as a finding, so undocumented debt cannot hide behind the
+// directive that was supposed to document it.
 func Suppress(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppressed []Suppression) {
 	var directives []ignoreDirective
+	kept = diags[:0:0]
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -54,18 +62,31 @@ func Suppress(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppresse
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
+					reason := strings.Join(fields[1:], " ")
+					reason = strings.TrimSpace(strings.TrimLeft(reason, "—–- \t"))
+					if reason == "" {
+						kept = append(kept, Diagnostic{
+							Analyzer: bareIgnoreRule,
+							Pos:      pos,
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Column:   pos.Column,
+							Message: "suppression without a reason: write //lodlint:ignore " +
+								fields[0] + " — <why this finding is acceptable>",
+						})
+						continue
+					}
 					directives = append(directives, ignoreDirective{
 						file:   pos.Filename,
 						line:   pos.Line,
 						rule:   fields[0],
-						reason: strings.Join(fields[1:], " "),
+						reason: reason,
 					})
 				}
 			}
 		}
 	}
 
-	kept = diags[:0:0]
 	for _, d := range diags {
 		matched := false
 		for _, dir := range directives {
@@ -86,11 +107,18 @@ func Suppress(pkgs []*Package, diags []Diagnostic) (kept []Diagnostic, suppresse
 			kept = append(kept, d)
 		}
 	}
+	SortDiagnostics(kept)
 	sort.Slice(suppressed, func(i, j int) bool {
 		if suppressed[i].File != suppressed[j].File {
 			return suppressed[i].File < suppressed[j].File
 		}
-		return suppressed[i].Line < suppressed[j].Line
+		if suppressed[i].Line != suppressed[j].Line {
+			return suppressed[i].Line < suppressed[j].Line
+		}
+		if suppressed[i].Rule != suppressed[j].Rule {
+			return suppressed[i].Rule < suppressed[j].Rule
+		}
+		return suppressed[i].Message < suppressed[j].Message
 	})
 	return kept, suppressed
 }

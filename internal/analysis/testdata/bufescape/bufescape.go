@@ -92,3 +92,44 @@ func DerivedScalars(src string) ([]string, int, error) {
 	})
 	return values, n, err
 }
+
+// ---- interprocedural cases: visible only through summaries ----
+
+// lastSeen models a diagnostics cache that outlives every parse.
+var lastSeen rdf.Quad
+
+// remember stores its argument into the package-level cache; only the
+// summary reveals the escape to the call site.
+func remember(q rdf.Quad) {
+	lastSeen = q
+}
+
+// LeakViaHelper retains a batch quad through a helper store: v2 saw
+// an opaque call, v3 reports the escape at the argument.
+func LeakViaHelper(src string) error {
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		for _, q := range batch {
+			remember(q) // want "escapes via call to remember"
+		}
+		return nil
+	})
+	return err
+}
+
+// rememberOwned is the compliant twin: it clones before the store, so
+// its summary records no escaping parameter.
+func rememberOwned(q rdf.Quad) {
+	lastSeen = q.Clone()
+}
+
+// KeepViaCloningHelper routes every retained quad through the cloning
+// helper: nothing aliases the parse buffer.
+func KeepViaCloningHelper(src string) error {
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		for _, q := range batch {
+			rememberOwned(q)
+		}
+		return nil
+	})
+	return err
+}

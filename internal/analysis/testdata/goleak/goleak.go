@@ -1,0 +1,76 @@
+// Package goleakfix seeds goleak violations for the analyzer tests:
+// fire-and-forget spawns with no completion path, against the
+// supervised shapes (WaitGroup, channel, context, lifecycle param)
+// the rest of the module uses.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// spin churns forever with no lifecycle handle; its summary carries
+// Bounded=false to every spawn site.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// SpawnUnsupervised fires and forgets a named function: nothing can
+// await or cancel it.
+func SpawnUnsupervised() {
+	go spin() // want "goroutine spawned without a completion path"
+}
+
+// SpawnBareLiteral leaks a literal with no evidence either: the
+// callback func value is unresolvable and carries no lifecycle.
+func SpawnBareLiteral(log func(string)) {
+	go func() { // want "goroutine spawned without a completion path"
+		log("fire and forget")
+	}()
+}
+
+// SpawnWaited is compliant: WaitGroup accounting bounds the goroutine.
+func SpawnWaited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// SpawnChannel is compliant: the spawner holds the other end of out.
+func SpawnChannel() chan int {
+	out := make(chan int)
+	go func() { out <- 1 }()
+	return out
+}
+
+// drain consumes until its channel closes.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// SpawnDrain is compliant: the channel parameter is the lifecycle
+// handle, and drain's summary shows the bounded receive loop.
+func SpawnDrain(ch chan int) {
+	go drain(ch)
+}
+
+// SpawnCtx is compliant: the context bounds the goroutine.
+func SpawnCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// SpawnFuncValue is deliberately not flagged: a func-value spawn is
+// unresolvable, and the suite stays conservative toward false
+// negatives.
+func SpawnFuncValue(f func()) {
+	go f()
+}

@@ -1,0 +1,99 @@
+// Package interprocfix exercises the v3 summary index through the
+// call-graph shapes the intraprocedural analyzers cannot see: generic
+// helpers (one summary on the generic origin, applied at every
+// instantiation) and method values (lease.Release bound, stashed, or
+// passed to a runner), each paired with a compliant twin.
+package interprocfix
+
+import (
+	"strings"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// recvOne is a generic blocking helper: nothing in its signature says
+// "blocking", only the summary of its body does.
+func recvOne[T any](ch chan T) T { return <-ch }
+
+// WaitUnderLease blocks through the generic helper while the lease
+// pins the store's read lock.
+func WaitUnderLease(st *store.Store, ch chan int) int {
+	lease := st.ReadLease()
+	defer lease.Release()
+	return recvOne(ch) + lease.CountIDs(0, 0, 0, store.AnyGraph) // want "recvOne, which blocks on a channel operation"
+}
+
+// saved models a registry that holds callbacks beyond this package's
+// control.
+var saved func()
+
+// keep stores the handle without invoking it.
+func keep(f func()) { saved = f }
+
+// StashedRelease hands its Release method value away without calling
+// it: every exit of this function still holds the read lock.
+func StashedRelease(st *store.Store) int {
+	lease := st.ReadLease() // want "path to function exit without Release"
+	keep(lease.Release)
+	return lease.CountIDs(0, 0, 0, store.AnyGraph)
+}
+
+// runThen invokes the callback it is given; its summary records the
+// invoked parameter.
+func runThen(f func()) { f() }
+
+// RunnerRelease is compliant: runThen(lease.Release) releases before
+// the return.
+func RunnerRelease(st *store.Store) int {
+	lease := st.ReadLease()
+	n := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	runThen(lease.Release)
+	return n
+}
+
+// BoundRelease is compliant: the bound handle rel releases the lease
+// on every exit.
+func BoundRelease(st *store.Store) int {
+	lease := st.ReadLease()
+	rel := lease.Release
+	defer rel()
+	return lease.CountIDs(0, 0, 0, store.AnyGraph)
+}
+
+// firstOf threads a batch element straight through: the generic
+// summary maps its result onto the parameter.
+func firstOf[S ~[]rdf.Quad](batch S) rdf.Quad { return batch[0] }
+
+// LeakFirst keeps a quad that aliased the parse buffer through the
+// generic helper.
+func LeakFirst(src string) (rdf.Quad, error) {
+	var first rdf.Quad
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		if len(batch) > 0 {
+			first = firstOf(batch) // want "assigned to a captured variable"
+		}
+		return nil
+	})
+	return first, err
+}
+
+// cloneAll is the compliant twin: it clones every element, so its
+// summary aliases nothing.
+func cloneAll[S ~[]rdf.Quad](batch S) []rdf.Quad {
+	out := make([]rdf.Quad, 0, len(batch))
+	for _, q := range batch {
+		out = append(out, q.Clone())
+	}
+	return out
+}
+
+// KeepClones retains only cloned quads through the generic helper.
+func KeepClones(src string) ([]rdf.Quad, error) {
+	var kept []rdf.Quad
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		kept = append(kept, cloneAll(batch)...)
+		return nil
+	})
+	return kept, err
+}

@@ -93,6 +93,59 @@ func ReleaseThenBlock(st *store.Store) int {
 	return n
 }
 
+// ---- interprocedural cases: visible only through summaries ----
+
+// sleepyLookup blocks inside; the call site shows a plain function
+// call, and only the helper's summary carries the evidence.
+func sleepyLookup(lease *store.Lease) int {
+	time.Sleep(time.Millisecond)
+	return lease.CountIDs(0, 0, 0, store.AnyGraph)
+}
+
+// HeldAcrossHelper blocks one hop removed: v2 saw an opaque call and
+// stayed quiet, v3 chains the helper's blocking evidence.
+func HeldAcrossHelper(st *store.Store) int {
+	lease := st.ReadLease()
+	defer lease.Release()
+	return sleepyLookup(lease) // want "sleepyLookup, which blocks on time.Sleep"
+}
+
+// openLease wraps ReadLease; its summary marks the result as a fresh
+// held lease.
+func openLease(st *store.Store) *store.Lease {
+	return st.ReadLease()
+}
+
+// LeakWrappedAcquire leaks a helper-acquired lease on the error path:
+// without the summary no lease is ever tracked here.
+func LeakWrappedAcquire(st *store.Store, fail bool) (int, error) {
+	lease := openLease(st) // want "path to function exit without Release"
+	if fail {
+		return 0, errBoom
+	}
+	n := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	lease.Release()
+	return n, nil
+}
+
+// closeLease releases its argument; the summary's release effect
+// keeps callers that route every exit through it compliant.
+func closeLease(l *store.Lease) {
+	l.Release()
+}
+
+// HelperRelease releases through the helper on every path: compliant.
+func HelperRelease(st *store.Store, fail bool) int {
+	lease := st.ReadLease()
+	if fail {
+		closeLease(lease)
+		return 0
+	}
+	n := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	closeLease(lease)
+	return n
+}
+
 // WorkerLease matches the parallel-join shape in internal/sparql: each
 // goroutine owns its lease with a deferred Release, and the parent's
 // Wait holds none. Compliant.

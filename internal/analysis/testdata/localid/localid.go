@@ -85,3 +85,33 @@ func ResolveLocal(d *localDict, st *store.Store, id store.TermID) rdf.Term {
 func IsLocal(d *localDict, t rdf.Term) bool {
 	return d.idOf(t)&localIDBit != 0
 }
+
+// ---- interprocedural cases: visible only through summaries ----
+
+// countThrough forwards an id into a store count: a sink one hop out.
+func countThrough(st *store.Store, id store.TermID) int {
+	return st.CountIDs(id, 0, 0, store.AnyGraph)
+}
+
+// CountViaHelper sinks a minted id through the helper: v2 saw an
+// opaque call, v3 maps the argument onto the helper's sink parameter.
+func CountViaHelper(st *store.Store, base store.TermID) int {
+	lid := base | localIDBit
+	return countThrough(st, lid) // want "via call to countThrough"
+}
+
+// maskAndResolve dispatches on the flag before any store lookup — the
+// executor's localDict.termOf idiom. On the path that reaches
+// st.TermOf the guard was refuted, so the summary records no sink.
+func maskAndResolve(st *store.Store, d *localDict, id store.TermID) rdf.Term {
+	if id&localIDBit != 0 {
+		return d.terms[id&^localIDBit]
+	}
+	return st.TermOf(id)
+}
+
+// ResolveViaHelper is compliant: the helper masks or dispatches, so a
+// minted id never reaches the store dictionary.
+func ResolveViaHelper(st *store.Store, d *localDict, t rdf.Term) rdf.Term {
+	return maskAndResolve(st, d, d.idOf(t))
+}

@@ -1,0 +1,96 @@
+// Package lockorderfix seeds lockorder violations for the analyzer
+// tests: an undeclared two-lock cycle, a violation of a declared
+// order, a malformed declaration, and a compliant declared pair.
+//
+//lodlint:lockorder Acct.mu < Audit.mu
+//lodlint:lockorder Pool.mu < Conn.mu
+package lockorderfix
+
+import "sync"
+
+// Jobs and Reg nest in both directions with no declared order: a
+// deadlock-shaped cycle.
+type Jobs struct {
+	mu    sync.Mutex
+	queue []int
+}
+
+type Reg struct {
+	mu   sync.Mutex
+	jobs *Jobs
+}
+
+// FlushJobs locks Reg.mu, then Jobs.mu.
+func (r *Reg) FlushJobs() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobs.mu.Lock()
+	r.jobs.queue = nil
+	r.jobs.mu.Unlock()
+}
+
+// Requeue locks Jobs.mu, then Reg.mu: interleaved with FlushJobs on
+// another goroutine, both block forever.
+func (j *Jobs) Requeue(r *Reg) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r.mu.Lock() // want "lock-acquisition cycle"
+	r.jobs = j
+	r.mu.Unlock()
+}
+
+// Acct and Audit have a declared order (file header): Acct.mu first.
+type Acct struct {
+	mu  sync.Mutex
+	bal int
+}
+
+type Audit struct {
+	mu  sync.Mutex
+	log []string
+}
+
+// Backfill acquires against the declared order. Only this direction
+// is in the graph, so it is a violation but not (yet) a cycle — the
+// declaration exists precisely to flag the first wrong-way site
+// before a second function completes the deadlock.
+func Backfill(a *Acct, u *Audit) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	a.mu.Lock() // want "lock order violation"
+	a.bal++
+	a.mu.Unlock()
+}
+
+// Pool and Conn nest only in the declared direction: compliant.
+type Pool struct {
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+type Conn struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+// Checkout respects Pool.mu < Conn.mu.
+func (p *Pool) Checkout() *Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.mu.Lock()
+		if !c.busy {
+			c.busy = true
+			c.mu.Unlock()
+			return c
+		}
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// The trailing junk makes this declaration unparseable; the analyzer
+// reports the grammar error at the comment itself.
+//
+//lodlint:lockorder Pool.mu < not a label // want "malformed lock label"
+var _ = 0

@@ -42,6 +42,16 @@ func FuzzParseNQuadLine(f *testing.F) {
 		`<http://a> <http://p> bogus .`,
 		`<http://a> <http://p> "x"`,
 		`<http://a> <http://p> "x" <http://g> extra .`,
+		// Malformed shapes from the bulk-ingest error tests: lines the
+		// chunked parser must reject at the same position as the
+		// sequential one.
+		`<http://ex.org/s> bogus .`,
+		`<http://beta.teamlife.it/broken> nonsense here .`,
+		`also not a statement`,
+		`\r` + "\r",
+		// An overlong line: a statement far past any chunk size, to
+		// steer the fuzzer toward buffer-boundary handling.
+		`<http://a> <http://p> "` + strings.Repeat("padding ", 512) + `" .`,
 	} {
 		f.Add(seed)
 	}

@@ -29,6 +29,14 @@ var (
 // Store is the semantic quad store. All methods are safe for
 // concurrent use. A zero graph term addresses the default graph;
 // pattern positions holding the zero Term act as wildcards.
+//
+// Lock order: the store lock nests outside the dictionary lock —
+// Match/DumpNQuads/ReadLease hold st.mu while resolving terms through
+// st.dict — and lodlint's lockorder analyzer checks every nested
+// acquisition in the module against this declaration. The shard
+// refactor (ROADMAP) extends the chain with per-shard locks.
+//
+//lodlint:lockorder Store.mu < dict.mu
 type Store struct {
 	mu     sync.RWMutex
 	dict   *dict
