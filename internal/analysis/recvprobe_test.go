@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestRecvProbe(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{BufEscape}, "recvfix", "lodify/internal/store/recvfix")
+}

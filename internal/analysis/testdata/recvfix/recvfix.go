@@ -1,0 +1,26 @@
+// Package recvfix probes receiver-routed summary effects.
+package recvfix
+
+import (
+	"strings"
+
+	"lodify/internal/rdf"
+)
+
+type box struct{ q rdf.Quad }
+
+// get returns its receiver's quad: ResultAlias should carry the
+// receiver bit.
+func (b box) get() rdf.Quad { return b.q }
+
+func LeakViaMethod(src string) (rdf.Quad, error) {
+	var first rdf.Quad
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		if len(batch) > 0 {
+			b := box{q: batch[0]}
+			first = b.get() // want "assigned to a captured variable"
+		}
+		return nil
+	})
+	return first, err
+}
