@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke ci
+.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-slo-smoke ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -17,9 +17,9 @@ race:
 	$(GO) test -race ./...
 
 # go vet, then the project-specific suite: rawiri, locksafe, ctxflow,
-# errdrop, the dataflow analyzers bufescape, leasehold and localid,
-# and the interprocedural analyzers lockorder and goleak. Fails on any
-# vet or lodlint finding; see DESIGN.md §7, §11 and §12.
+# errdrop, spanend, the dataflow analyzers bufescape, leasehold and
+# localid, and the interprocedural analyzers lockorder and goleak.
+# Fails on any vet or lodlint finding; see DESIGN.md §7, §11 and §12.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lodlint ./...
@@ -62,5 +62,12 @@ bench-ingest:
 # detector without paying 500k-quad measurement time (CI gate).
 bench-ingest-smoke:
 	LODIFY_INGEST_QUADS=20000 $(GO) test -race -run=NONE -bench='LoadNQuads|DumpNQuads' -benchtime=1x ./internal/store/
+
+# The SLO gate (CI): drive a live cmd/lodify binary with the closed-loop
+# workload, collect the server's own SLO verdicts and per-operator
+# profile totals into BENCH_slo.json + metrics_slo.txt, and fail if any
+# objective is unattainable. See DESIGN.md §13.
+bench-slo-smoke:
+	GO="$(GO)" sh scripts/slo_smoke.sh
 
 ci: build lint race

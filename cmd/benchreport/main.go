@@ -26,13 +26,15 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10, sparql, ingest) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10, sparql, ingest, slo) or 'all'")
 	ingestQuads := flag.Int("ingestQuads", 100000, "statement count for the ingest experiment")
 	contents := flag.Int("contents", 300, "corpus size for the shared environment")
 	users := flag.Int("users", 20, "corpus users")
 	seed := flag.Int64("seed", 7, "corpus seed")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document on stdout instead of tables")
 	label := flag.String("label", "local", "run label recorded in the JSON document")
+	target := flag.String("target", "", "base URL of a running lodify server for the slo experiment (empty = in-process server)")
+	sloDur := flag.Duration("sloDur", 3*time.Second, "closed-loop duration of the slo experiment driver")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -152,6 +154,16 @@ func main() {
 		}
 		emit("ingest", rows, func() string { return experiments.IngestReport(rows) })
 	}
+	sloOK := true
+	if sel("slo") {
+		section("slo", "query-level observability: SLO attainment and plan profiles under live HTTP load")
+		rows, err := sloExperiment(env, *target, *sloDur, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sloOK = rows.OK
+		emit("slo", rows, func() string { return sloReport(rows) })
+	}
 	if sel("infer") || want["all"] {
 		section("infer", "§2.3 RDFS inference capabilities (extension)")
 		report := experiments.InferReport(env)
@@ -172,7 +184,13 @@ func main() {
 		if err := enc.Encode(doc); err != nil {
 			log.Fatalf("encode: %v", err)
 		}
+		if !sloOK {
+			log.Fatal("slo: one or more objectives are unattainable (zero events) — the driver did not exercise a route the SLO covers")
+		}
 		return
 	}
 	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+	if !sloOK {
+		log.Fatal("slo: one or more objectives are unattainable (zero events) — the driver did not exercise a route the SLO covers")
+	}
 }

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"lodify/internal/album"
+	"lodify/internal/experiments"
+	"lodify/internal/obs"
+	"lodify/internal/web"
+	"lodify/internal/workload"
+)
+
+// The slo experiment (BENCH_7): drive a live lodify HTTP server with
+// the paper's read mix under concurrent ingest and report what the
+// server's own observability stack says about it — SLO attainment
+// with multi-window burn rates, per-operator profile totals, the
+// slow-query capture, and an EXPLAIN ANALYZE plan profile of the §2.3
+// friends album query (a 3+-join BGP) taken while uploads are landing.
+//
+// With -target empty the server runs in-process over the shared
+// environment; pointing -target at a running `lodify` instance turns
+// this into a black-box measurement of that deployment.
+
+// sloRows is the machine-readable result of the slo experiment.
+type sloRows struct {
+	Target  string                 `json:"target"`
+	Driver  *workload.DriverReport `json:"driver"`
+	Explain json.RawMessage        `json:"explainAnalyze,omitempty"`
+	Slowlog json.RawMessage        `json:"slowlog,omitempty"`
+	// OK is false when any objective is unattainable (zero events):
+	// the driver failed to exercise a route the SLO covers, which is a
+	// harness bug, not a latency regression.
+	OK bool `json:"ok"`
+}
+
+func sloExperiment(env *experiments.Env, target string, dur time.Duration, seed int64) (*sloRows, error) {
+	// Capture every query for the duration of the run so the slowlog
+	// and per-operator totals carry plan profiles; restore the
+	// process-wide threshold afterwards.
+	prev := obs.SlowQueries.Threshold()
+	obs.SlowQueries.SetThreshold(0)
+	defer obs.SlowQueries.SetThreshold(prev)
+
+	base := strings.TrimRight(target, "/")
+	if base == "" {
+		ts := httptest.NewServer(web.NewServer(env.Platform))
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	// Derive the workload from the corpus ground truth: real landmark
+	// keywords (so feeds return rows) and the §2.3 album queries.
+	var keywords, terms []string
+	for _, in := range env.Corpus.Intents(env.World, 1) {
+		keywords = append(keywords, in.KeywordQuery)
+	}
+	label, lang := firstLandmarkLabel(env)
+	for _, city := range env.World.Cities {
+		if l := city.Labels["en"]; l != "" {
+			terms = append(terms, l)
+		}
+	}
+	queries := []string{
+		album.NearMonument(env.Platform.Store, label, lang, 0.05).Query,
+		album.ByKeywordSemantic(env.Platform.Store, firstOr(keywords, "turin")).Query,
+	}
+
+	rep, err := workload.RunDriver(workload.DriverSpec{
+		BaseURL:     base,
+		Duration:    dur,
+		Readers:     4,
+		Uploaders:   2, // album/feed latencies measured under concurrent ingest
+		Seed:        seed,
+		Keywords:    keywords,
+		SearchTerms: terms,
+		Queries:     queries,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := &sloRows{Target: base, Driver: rep, OK: true}
+	for _, st := range rep.SLO {
+		if st.Unattainable {
+			rows.OK = false
+		}
+	}
+
+	// The acceptance plan profile: EXPLAIN ANALYZE on the friends
+	// album query (8 patterns, 3+ joins) while the uploaders' writes
+	// are still fresh in the store.
+	friends := album.NearMonumentByFriends(env.Platform.Store, label, lang, 0.05, "user00").Query
+	if raw, err := workload.ExplainAnalyze(nil, base, friends); err == nil {
+		rows.Explain = raw
+	}
+	if raw, err := fetchRaw(base + "/debug/slowlog?n=3"); err == nil {
+		rows.Slowlog = raw
+	}
+	return rows, nil
+}
+
+// firstLandmarkLabel picks a landmark the corpus actually photographed.
+func firstLandmarkLabel(env *experiments.Env) (label, lang string) {
+	for _, city := range env.World.Cities {
+		for _, lm := range city.Landmarks {
+			if l := lm.Labels["en"]; l != "" {
+				return l, "en"
+			}
+		}
+	}
+	return "Mole Antonelliana", "en"
+}
+
+func firstOr(ss []string, fallback string) string {
+	if len(ss) > 0 {
+		return ss[0]
+	}
+	return fallback
+}
+
+func fetchRaw(u string) (json.RawMessage, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d err %v", u, resp.StatusCode, err)
+	}
+	return json.RawMessage(raw), nil
+}
+
+// sloReport renders the human-readable table.
+func sloReport(rows *sloRows) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("target: %s (driver ran %v)\n\n", rows.Target, time.Duration(rows.Driver.DurationNs).Round(time.Millisecond)))
+	b.WriteString(fmt.Sprintf("%-8s %8s %6s %12s %12s %12s\n", "op", "count", "errs", "p50", "p95", "p99"))
+	for _, op := range rows.Driver.Ops {
+		b.WriteString(fmt.Sprintf("%-8s %8d %6d %12v %12v %12v\n", op.Op, op.Count, op.Errors,
+			time.Duration(op.P50Ns), time.Duration(op.P95Ns), time.Duration(op.P99Ns)))
+	}
+	b.WriteString("\nSLO verdicts (server-reported):\n")
+	for _, st := range rows.Driver.SLO {
+		verdict := "ATTAINED"
+		switch {
+		case st.Unattainable:
+			verdict = "UNATTAINABLE (no events)"
+		case !st.Attained:
+			verdict = "MISSED"
+		}
+		b.WriteString(fmt.Sprintf("  %-12s target %.3f attainment %.4f (%d/%d) %s\n",
+			st.Name, st.Target, st.Attainment, st.Good, st.Total, verdict))
+		for _, wb := range st.Windows {
+			if !wb.NoData {
+				b.WriteString(fmt.Sprintf("    burn[%s] = %.2f\n", wb.Window, wb.BurnRate))
+			}
+		}
+	}
+	if len(rows.Driver.OpTotals) > 0 {
+		b.WriteString("\nper-operator totals (server-side profile):\n")
+		for _, t := range rows.Driver.OpTotals {
+			b.WriteString(fmt.Sprintf("  %-10s self %12v rows %12.0f\n", t.Op, time.Duration(int64(t.Nanos)), t.Rows))
+		}
+	}
+	return b.String()
+}

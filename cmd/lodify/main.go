@@ -20,6 +20,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"lodify/internal/annotate"
 	"lodify/internal/ctxmgr"
@@ -39,7 +40,22 @@ func main() {
 	seed := flag.Int64("seed", 7, "workload seed")
 	snapshot := flag.String("snapshot", "", "N-Quads snapshot file (loaded at boot; POST /admin/snapshot saves)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for pprof/metrics/expvar (empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold: queries at least this slow are captured with their plan profile on /debug/slowlog (0 captures every query, negative disables)")
+	traceExport := flag.String("trace-export", "", "append finished spans as OTLP-shaped JSON to this file (empty = disabled)")
 	flag.Parse()
+
+	// The library default keeps the slow-query log (and with it plan
+	// profiling) off; the server process opts in here.
+	obs.SlowQueries.SetThreshold(*slowQuery)
+	if *traceExport != "" {
+		fe, err := obs.NewFileExporter(*traceExport, "lodify")
+		if err != nil {
+			log.Fatalf("trace-export: %v", err)
+		}
+		defer fe.Close()
+		obs.Spans.AddExporter(fe)
+		log.Printf("exporting spans to %s", *traceExport)
+	}
 
 	if *debugAddr != "" {
 		//lodlint:ignore goleak — process-lifetime debug server: it serves until exit by design, there is nothing to await or cancel

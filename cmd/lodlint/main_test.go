@@ -174,12 +174,12 @@ func TestSARIFOutput(t *testing.T) {
 	}
 }
 
-func TestListShowsAllNineAnalyzers(t *testing.T) {
+func TestListShowsAllTenAnalyzers(t *testing.T) {
 	code, out, _ := runLint(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if got, want := len(analysis.Analyzers()), 9; got != want {
+	if got, want := len(analysis.Analyzers()), 10; got != want {
 		t.Fatalf("suite has %d analyzers, want %d", got, want)
 	}
 	for _, a := range analysis.Analyzers() {

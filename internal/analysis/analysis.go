@@ -119,7 +119,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full rule suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID, LockOrder, GoLeak}
+	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID, LockOrder, GoLeak, SpanEnd}
 }
 
 // ByName returns the named analyzer, or nil.

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// obsPkgPath is the observability package the span contract lives in.
+const obsPkgPath = "lodify/internal/obs"
+
+// SpanEnd flags spans from obs.StartSpan that are never ended and
+// never handed off: without End the span is unrecorded — it reaches
+// neither the collector ring nor the lodify_span_seconds histogram —
+// and its trace renders incomplete. End is idempotent and nil-safe,
+// so the fix (usually `defer sp.End(ctx)`) is always safe to apply.
+//
+// A span escapes the started function when it is returned, stored, or
+// passed to another call; ownership moves with it, and the analyzer
+// stays quiet (the receiving code is responsible for ending it).
+// Selector uses (sp.Event, sp.TraceID) do not transfer ownership.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs.StartSpan spans that are never ended or handed off",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanEnds(pass, fd.Body)
+		}
+	}
+}
+
+type spanUse struct {
+	pos     token.Pos
+	name    string
+	ended   bool
+	escaped bool
+}
+
+// checkSpanEnds analyzes one function body (nested literals included:
+// a span ended inside a deferred closure counts).
+func checkSpanEnds(pass *Pass, body *ast.BlockStmt) {
+	spans := map[types.Object]*spanUse{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !calleeIsPkgFunc(pass.Info, call, obsPkgPath, "StartSpan") {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id] // ctx, sp = ... (plain assign)
+			}
+			if obj == nil || !isSpanPtr(obj.Type()) {
+				continue
+			}
+			if _, seen := spans[obj]; !seen {
+				spans[obj] = &spanUse{pos: id.Pos(), name: id.Name}
+			}
+		}
+		return true
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Classify every use of each span variable: an End call ends it; a
+	// selector use (sp.Event, sp.TraceID) is benign; `_ = sp` keeps the
+	// compiler happy without handing anything off; any other bare use
+	// transfers ownership (returned, stored, passed along) and silences
+	// the rule for that span.
+	selectorBase := map[*ast.Ident]bool{}
+	blankAssigned := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if si := spans[pass.Info.Uses[id]]; si != nil {
+						si.ended = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				selectorBase[id] = true
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if !isBlank(lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok {
+					blankAssigned[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		si := spans[pass.Info.Uses[id]]
+		if si == nil || selectorBase[id] || blankAssigned[id] {
+			return true
+		}
+		si.escaped = true
+		return true
+	})
+
+	ordered := make([]*spanUse, 0, len(spans))
+	for _, si := range spans {
+		ordered = append(ordered, si)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].pos < ordered[j].pos })
+	for _, si := range ordered {
+		if !si.ended && !si.escaped {
+			pass.Reportf(si.pos,
+				"span %s from obs.StartSpan is never ended: the span goes unrecorded and its trace stays incomplete; defer %s.End(ctx) (End is idempotent and nil-safe) or hand the span off",
+				si.name, si.name)
+		}
+	}
+}
+
+// isSpanPtr reports *obs.Span.
+func isSpanPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isNamedType(p.Elem(), obsPkgPath, "Span")
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestSpanEnd(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{SpanEnd}, "spanend", "lodify/internal/web/spanfix")
+}

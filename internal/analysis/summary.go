@@ -46,7 +46,9 @@ const (
 	// summaryMintBit marks a freshly minted query-local id.
 	summaryMintBit uint32 = 1 << 14
 
-	summaryParamMask = summaryRecvBit | (1 << 12) - 1
+	// summaryParamMask covers all parameter bits plus the receiver bit.
+	// (| and - share precedence in Go: the inner parens are load-bearing.)
+	summaryParamMask = summaryRecvBit | ((1 << 12) - 1)
 )
 
 // summaryBit returns the taint bit of parameter index i.

@@ -13,12 +13,28 @@ type box struct{ q rdf.Quad }
 // receiver bit.
 func (b box) get() rdf.Quad { return b.q }
 
+// getp is the pointer-receiver variant: ResultAlias must route
+// through an indirect receiver too.
+func (b *box) getp() rdf.Quad { return b.q }
+
 func LeakViaMethod(src string) (rdf.Quad, error) {
 	var first rdf.Quad
 	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
 		if len(batch) > 0 {
 			b := box{q: batch[0]}
 			first = b.get() // want "assigned to a captured variable"
+		}
+		return nil
+	})
+	return first, err
+}
+
+func LeakViaPointerMethod(src string) (rdf.Quad, error) {
+	var first rdf.Quad
+	_, err := rdf.ParseNQuadsChunked(strings.NewReader(src), rdf.BulkOptions{}, func(batch []rdf.Quad) error {
+		if len(batch) > 0 {
+			b := &box{q: batch[0]}
+			first = b.getp() // want "assigned to a captured variable"
 		}
 		return nil
 	})

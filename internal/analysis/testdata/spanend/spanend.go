@@ -1,0 +1,68 @@
+// Package spanfix seeds spanend violations: spans started via
+// obs.StartSpan that are neither ended nor handed off.
+package spanfix
+
+import (
+	"context"
+
+	"lodify/internal/obs"
+)
+
+// Leak starts a span and drops it: never recorded, trace incomplete.
+func Leak(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "leak") // want "never ended"
+	_ = sp
+}
+
+// LeakWithEvent annotates the span but still never ends it; Event is
+// not a handoff.
+func LeakWithEvent(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "leak-event") // want "never ended"
+	sp.Event("halfway")
+}
+
+// LeakShadowed reuses the same variable for a second span; both leak
+// and each start position is reported.
+func LeakShadowed(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "leak-first") // want "never ended"
+	sp.Event("first")
+	{
+		_, sp := obs.StartSpan(ctx, "leak-shadow") // want "never ended"
+		sp.Event("second")
+	}
+}
+
+// EndsDeferred is the canonical correct shape.
+func EndsDeferred(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "ok-defer")
+	defer sp.End(ctx)
+	sp.Event("work")
+}
+
+// EndsDirect ends inline; equally fine.
+func EndsDirect(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "ok-direct")
+	sp.End(ctx)
+}
+
+// EndsInClosure ends inside a returned closure: the End call is still
+// inside this function body, so the span counts as ended.
+func EndsInClosure(ctx context.Context) func() {
+	ctx, sp := obs.StartSpan(ctx, "ok-closure")
+	return func() { sp.End(ctx) }
+}
+
+// HandsOff returns the span: ownership moves to the caller, and the
+// rule stays quiet here.
+func HandsOff(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, "ok-handoff")
+	return ctx, sp
+}
+
+// StoresAway parks the span in a struct; also a handoff.
+type carrier struct{ sp *obs.Span }
+
+func StoresAway(ctx context.Context, c *carrier) {
+	_, sp := obs.StartSpan(ctx, "ok-stored")
+	c.sp = sp
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// SpanRecord is one completed span as the collector stores it: ids for
+// parent/child linking plus wall-clock bounds and events. Records are
+// immutable once collected.
+type SpanRecord struct {
+	Name          string      `json:"name"`
+	TraceID       string      `json:"traceId"`
+	SpanID        string      `json:"spanId"`
+	ParentID      string      `json:"parentId,omitempty"`
+	StartUnixNano int64       `json:"startUnixNano"`
+	EndUnixNano   int64       `json:"endUnixNano"`
+	Events        []SpanEvent `json:"events,omitempty"`
+}
+
+// DurNs returns the span's wall time in nanoseconds.
+func (r SpanRecord) DurNs() int64 { return r.EndUnixNano - r.StartUnixNano }
+
+// Exporter receives completed spans in batches. Implementations must
+// be safe for concurrent ExportSpans calls.
+type Exporter interface {
+	ExportSpans([]SpanRecord) error
+}
+
+// Collector is a bounded in-process span sink: a ring buffer of the
+// most recent completed spans (the /debug/trace/recent source) plus a
+// fan-out to registered exporters. Dropping the oldest span under
+// pressure is the contract — observability must never grow without
+// bound inside the process it observes.
+type Collector struct {
+	mu        sync.Mutex
+	ring      []SpanRecord
+	next      int
+	filled    bool
+	total     int64
+	exporters []Exporter
+}
+
+// NewCollector returns a collector retaining the most recent size
+// spans (minimum 1).
+func NewCollector(size int) *Collector {
+	if size < 1 {
+		size = 1
+	}
+	return &Collector{ring: make([]SpanRecord, size)}
+}
+
+// Spans is the process-wide collector Span.End reports to.
+var Spans = NewCollector(2048)
+
+// SetCapacity resizes the ring, keeping the newest spans that fit.
+func (c *Collector) SetCapacity(size int) {
+	if size < 1 {
+		size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recent := c.recentLocked(size)
+	c.ring = make([]SpanRecord, size)
+	c.next, c.filled = 0, false
+	// recent is newest-first; replay oldest-first to restore order.
+	for i := len(recent) - 1; i >= 0; i-- {
+		c.ring[c.next] = recent[i]
+		c.next = (c.next + 1) % size
+		if c.next == 0 {
+			c.filled = true
+		}
+	}
+}
+
+// AddExporter registers an exporter; every subsequently collected span
+// is handed to it (current spans in the ring are not replayed).
+func (c *Collector) AddExporter(e Exporter) {
+	if e == nil {
+		return
+	}
+	c.mu.Lock()
+	c.exporters = append(c.exporters, e)
+	c.mu.Unlock()
+}
+
+// record stores one completed span and fans it out to the exporters.
+func (c *Collector) record(r SpanRecord) {
+	c.mu.Lock()
+	c.ring[c.next] = r
+	c.next = (c.next + 1) % len(c.ring)
+	if c.next == 0 {
+		c.filled = true
+	}
+	c.total++
+	exporters := c.exporters
+	c.mu.Unlock()
+	for _, e := range exporters {
+		// Exporter failures must not break the instrumented path; the
+		// error counter is the only signal.
+		if err := e.ExportSpans([]SpanRecord{r}); err != nil {
+			C("lodify_trace_export_errors_total").Inc()
+		}
+	}
+}
+
+// Total returns the number of spans collected over the process
+// lifetime (including those evicted from the ring).
+func (c *Collector) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Recent returns up to n spans, newest first.
+func (c *Collector) Recent(n int) []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recentLocked(n)
+}
+
+func (c *Collector) recentLocked(n int) []SpanRecord {
+	have := c.next
+	if c.filled {
+		have = len(c.ring)
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, c.ring[(c.next-i+len(c.ring))%len(c.ring)])
+	}
+	return out
+}
+
+// Trace returns every retained span of one trace, oldest first.
+func (c *Collector) Trace(id string) []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []SpanRecord
+	have := c.next
+	if c.filled {
+		have = len(c.ring)
+	}
+	for i := have; i >= 1; i-- {
+		if r := c.ring[(c.next-i+len(c.ring))%len(c.ring)]; r.TraceID == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TraceNode is one span with its children nested: the request tree a
+// slow trace renders as.
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// BuildTree links spans into parent/child trees. Spans whose parent is
+// missing from the batch (evicted, or a foreign root) become roots.
+// Roots and children are ordered by start time.
+func BuildTree(spans []SpanRecord) []*TraceNode {
+	nodes := make(map[string]*TraceNode, len(spans))
+	for _, s := range spans {
+		nodes[s.SpanID] = &TraceNode{SpanRecord: s}
+	}
+	var roots []*TraceNode
+	for _, s := range spans {
+		n := nodes[s.SpanID]
+		if p, ok := nodes[s.ParentID]; ok && s.ParentID != s.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*TraceNode) {
+		sort.SliceStable(ns, func(i, j int) bool { return ns[i].StartUnixNano < ns[j].StartUnixNano })
+	}
+	byStart(roots)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+	return roots
+}
+
+// TraceRecentHandler serves GET /debug/trace/recent: the newest spans
+// in the collector as JSON ({"spans": [...], "total": N}), newest
+// first. ?n= caps the count (default 100); ?trace=<id> instead returns
+// that trace's spans as a nested tree ({"trace": id, "roots": [...]}).
+func TraceRecentHandler() http.Handler {
+	return TraceHandlerFor(Spans)
+}
+
+// TraceHandlerFor is TraceRecentHandler over an explicit collector.
+func TraceHandlerFor(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			spans := c.Trace(id)
+			if err := enc.Encode(map[string]any{"trace": id, "spans": len(spans), "roots": BuildTree(spans)}); err != nil {
+				Log(r.Context()).Error("trace exposition failed", "err", err)
+			}
+			return
+		}
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		if err := enc.Encode(map[string]any{"total": c.Total(), "spans": c.Recent(n)}); err != nil {
+			Log(r.Context()).Error("trace exposition failed", "err", err)
+		}
+	})
+}
+
+// FileExporter writes spans to a file as OTLP-shaped JSON: one
+// ExportTraceServiceRequest-shaped document per batch, newline
+// delimited, with the OTLP field names (traceId, spanId,
+// parentSpanId, startTimeUnixNano, ...). Collectors that speak
+// OTLP/JSON can replay the file line by line.
+type FileExporter struct {
+	mu sync.Mutex
+	w  io.WriteCloser
+	// Service names the resource the spans belong to.
+	Service string
+}
+
+// NewFileExporter creates (truncating) the file at path.
+func NewFileExporter(path, service string) (*FileExporter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileExporter{w: f, Service: service}, nil
+}
+
+// otlpSpan mirrors the OTLP JSON span encoding for the fields the
+// in-process spans carry.
+type otlpSpan struct {
+	TraceID           string      `json:"traceId"`
+	SpanID            string      `json:"spanId"`
+	ParentSpanID      string      `json:"parentSpanId,omitempty"`
+	Name              string      `json:"name"`
+	StartTimeUnixNano string      `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string      `json:"endTimeUnixNano"`
+	Events            []otlpEvent `json:"events,omitempty"`
+}
+
+type otlpEvent struct {
+	TimeUnixNano string     `json:"timeUnixNano"`
+	Name         string     `json:"name"`
+	Attributes   []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string `json:"key"`
+	Value struct {
+		StringValue string `json:"stringValue"`
+	} `json:"value"`
+}
+
+// ExportSpans writes one OTLP-shaped document for the batch.
+func (fe *FileExporter) ExportSpans(spans []SpanRecord) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]otlpSpan, len(spans))
+	for i, s := range spans {
+		o := otlpSpan{
+			TraceID:           s.TraceID,
+			SpanID:            s.SpanID,
+			ParentSpanID:      s.ParentID,
+			Name:              s.Name,
+			StartTimeUnixNano: strconv.FormatInt(s.StartUnixNano, 10),
+			EndTimeUnixNano:   strconv.FormatInt(s.EndUnixNano, 10),
+		}
+		for _, ev := range s.Events {
+			oe := otlpEvent{TimeUnixNano: strconv.FormatInt(ev.TimeUnixNano, 10), Name: ev.Name}
+			keys := make([]string, 0, len(ev.Attrs))
+			for k := range ev.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				var a otlpAttr
+				a.Key = k
+				a.Value.StringValue = ev.Attrs[k]
+				oe.Attributes = append(oe.Attributes, a)
+			}
+			o.Events = append(o.Events, oe)
+		}
+		out[i] = o
+	}
+	doc := map[string]any{
+		"resourceSpans": []map[string]any{{
+			"resource": map[string]any{
+				"attributes": []map[string]any{{
+					"key":   "service.name",
+					"value": map[string]string{"stringValue": fe.Service},
+				}},
+			},
+			"scopeSpans": []map[string]any{{
+				"scope": map[string]string{"name": "lodify/internal/obs"},
+				"spans": out,
+			}},
+		}},
+	}
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	enc := json.NewEncoder(fe.w)
+	return enc.Encode(doc)
+}
+
+// Close closes the underlying file.
+func (fe *FileExporter) Close() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.w.Close()
+}

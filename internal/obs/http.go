@@ -44,10 +44,16 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 //	lodify_http_request_seconds{route}
 //	lodify_http_response_bytes_total{route}
 //	lodify_http_inflight
+//
+// plus the label-free lodify_http_requests_seen_total /
+// lodify_http_errors_total pair the error-ratio SLO reads (static
+// counter pointers: SLO callbacks cannot take registry locks).
 func Middleware(route string, next http.Handler) http.Handler {
 	latency := H("lodify_http_request_seconds", "route", route)
 	respBytes := C("lodify_http_response_bytes_total", "route", route)
 	inflight := G("lodify_http_inflight")
+	seen := C("lodify_http_requests_seen_total")
+	errors := C("lodify_http_errors_total")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
 		if id := r.Header.Get(TraceHeader); id != "" {
@@ -68,6 +74,10 @@ func Middleware(route string, next http.Handler) http.Handler {
 		C("lodify_http_requests_total", "route", route, "code", strconv.Itoa(sr.status)).Inc()
 		latency.Observe(elapsed.Seconds())
 		respBytes.Add(sr.bytes)
+		seen.Inc()
+		if sr.status >= 500 {
+			errors.Inc()
+		}
 	})
 }
 

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- SLO evaluator ---
+
+func TestSLOEvaluatorBurnRates(t *testing.T) {
+	var good, total int64
+	var mu sync.Mutex
+	obj := Objective{
+		Name: "t", Target: 0.9,
+		Good: func() (int64, int64) { mu.Lock(); defer mu.Unlock(); return good, total },
+	}
+	ev := NewEvaluator([]time.Duration{time.Minute}, obj)
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	set := func(g, n int64) { mu.Lock(); good, total = g, n; mu.Unlock() }
+
+	// No events at all: unattainable, windows NoData.
+	st := ev.Status(t0)[0]
+	if !st.Unattainable || !st.Windows[0].NoData {
+		t.Fatalf("empty objective: %+v", st)
+	}
+
+	// 100 events, 95 good: attained (0.95 >= 0.9), burn = 0.05/0.1.
+	set(95, 100)
+	st = ev.Status(t0.Add(10 * time.Second))[0]
+	if st.Unattainable || !st.Attained || st.Attainment != 0.95 {
+		t.Fatalf("attained status: %+v", st)
+	}
+	wb := st.Windows[0]
+	if wb.NoData || wb.TotalDelta != 100 || wb.BurnRate < 0.49 || wb.BurnRate > 0.51 {
+		t.Fatalf("burn window: %+v", wb)
+	}
+
+	// Next 100 events all bad: lifetime attainment drops below target,
+	// and the windowed burn over the fresh delta is 10x budget.
+	set(95, 200)
+	st = ev.Status(t0.Add(30 * time.Second))[0]
+	if st.Attained || st.Attainment >= 0.9 {
+		t.Fatalf("missed status: %+v", st)
+	}
+	if b := st.Windows[0].BurnRate; b < 5 {
+		t.Fatalf("burn rate after bad burst = %v, want >= 5", b)
+	}
+}
+
+func TestSLOEvaluatorPrunesOldSamples(t *testing.T) {
+	var n int64
+	obj := Objective{Name: "t", Target: 0.5, Good: func() (int64, int64) { return n, n }}
+	ev := NewEvaluator([]time.Duration{time.Minute}, obj)
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 600; i++ {
+		n++
+		ev.Status(t0.Add(time.Duration(i) * 2 * time.Second))
+	}
+	ev.mu.Lock()
+	kept := len(ev.samples)
+	ev.mu.Unlock()
+	// A minute window sampled every 2s needs ~30 samples plus the
+	// minute of slack; hundreds would mean the ring never prunes.
+	if kept > 70 {
+		t.Fatalf("evaluator retained %d samples for a 1m window", kept)
+	}
+}
+
+func TestLatencyObjectiveCountsBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_lat")
+	for i := 0; i < 9; i++ {
+		h.Observe(0.001) // <= 0.01 bucket
+	}
+	h.Observe(3) // slow outlier
+	obj := LatencyObjective("lat", "", h, 0.25, 0.9)
+	good, total := obj.Good()
+	if good != 9 || total != 10 {
+		t.Fatalf("good/total = %d/%d, want 9/10", good, total)
+	}
+}
+
+// --- slow-query log ---
+
+func TestSlowLogRingAndThreshold(t *testing.T) {
+	l := NewSlowLog(3)
+	if l.Enabled() {
+		t.Fatal("new log must start disabled")
+	}
+	l.SetThreshold(0)
+	if !l.Enabled() || l.Threshold() != 0 {
+		t.Fatal("threshold 0 must enable capture")
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(SlowQuery{Query: strings.Repeat("q", i+1), DurNs: int64(i)})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", l.Len())
+	}
+	recent := l.Recent(10)
+	if len(recent) != 3 || recent[0].DurNs != 4 || recent[2].DurNs != 2 {
+		t.Fatalf("recent order wrong: %+v", recent)
+	}
+}
+
+func TestSlowlogHandlerShape(t *testing.T) {
+	l := NewSlowLog(4)
+	l.SetThreshold(0)
+	l.Record(SlowQuery{Query: "SELECT 1", DurNs: 42, Profile: json.RawMessage(`{"op":"select"}`)})
+	rec := httptest.NewRecorder()
+	SlowlogHandlerFor(l).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog?n=2", nil))
+	var doc struct {
+		ThresholdNs int64       `json:"thresholdNs"`
+		Queries     []SlowQuery `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ThresholdNs != 0 || len(doc.Queries) != 1 || doc.Queries[0].Query != "SELECT 1" {
+		t.Fatalf("slowlog document: %s", rec.Body.String())
+	}
+	var prof struct {
+		Op string `json:"op"`
+	}
+	if err := json.Unmarshal(doc.Queries[0].Profile, &prof); err != nil || prof.Op != "select" {
+		t.Fatalf("profile lost (err=%v): %s", err, doc.Queries[0].Profile)
+	}
+}
+
+// --- span collector and exporters ---
+
+func TestCollectorRingAndTraceTree(t *testing.T) {
+	c := NewCollector(4)
+	ctx, root := StartSpan(context.Background(), "root")
+	swap := swapCollector(c)
+	defer swap()
+
+	cctx, child := StartSpan(ctx, "child")
+	child.Event("step", "k", "v")
+	child.End(cctx)
+	root.End(ctx)
+
+	if c.Total() != 2 {
+		t.Fatalf("collected %d spans", c.Total())
+	}
+	recent := c.Recent(10)
+	if len(recent) != 2 || recent[0].Name != "root" || recent[1].Name != "child" {
+		t.Fatalf("recent: %+v", recent)
+	}
+	if recent[1].ParentID != recent[0].SpanID || recent[1].TraceID != recent[0].TraceID {
+		t.Fatalf("parent/child links broken: %+v", recent)
+	}
+	roots := BuildTree(c.Trace(recent[0].TraceID))
+	if len(roots) != 1 || roots[0].Name != "root" || len(roots[0].Children) != 1 {
+		t.Fatalf("tree: %+v", roots)
+	}
+	if evs := roots[0].Children[0].Events; len(evs) != 1 || evs[0].Name != "step" {
+		t.Fatalf("events lost: %+v", roots[0].Children[0])
+	}
+}
+
+// swapCollector points the process collector at c for one test.
+func swapCollector(c *Collector) func() {
+	prev := Spans
+	Spans = c
+	return func() { Spans = prev }
+}
+
+func TestFileExporterWritesOTLPShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	fe, err := NewFileExporter(path, "lodify-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = fe.ExportSpans([]SpanRecord{{
+		Name: "s", TraceID: "t1", SpanID: "s1",
+		StartUnixNano: 1, EndUnixNano: 2,
+		Events: []SpanEvent{{TimeUnixNano: 1, Name: "e", Attrs: map[string]string{"k": "v"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID           string `json:"traceId"`
+					StartTimeUnixNano string `json:"startTimeUnixNano"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, raw)
+	}
+	sp := doc.ResourceSpans[0].ScopeSpans[0].Spans[0]
+	// OTLP encodes nanos as decimal strings.
+	if sp.TraceID != "t1" || sp.StartTimeUnixNano != "1" {
+		t.Fatalf("OTLP shape wrong: %s", raw)
+	}
+	if !strings.Contains(string(raw), `"service.name"`) {
+		t.Fatalf("resource attribute missing: %s", raw)
+	}
+}
+
+func TestCollectorConcurrentRecordAndRead(t *testing.T) {
+	c := NewCollector(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c.record(SpanRecord{Name: "s", TraceID: "t", SpanID: "x"})
+				_ = c.Recent(4)
+				_ = c.Trace("t")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Total() != 200 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}

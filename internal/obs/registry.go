@@ -98,6 +98,22 @@ func (h *Histogram) ObserveSince(start time.Time) {
 // Count returns the number of samples observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// CumulativeCount returns the number of samples at or under le,
+// counted against the largest bucket bound <= le (the histogram
+// cannot see inside a bucket, and samples in the +Inf overflow bucket
+// are never included). le below every bound yields 0.
+func (h *Histogram) CumulativeCount(le float64) int64 {
+	i := sort.SearchFloat64s(h.bounds, le) // first bound >= le
+	if i < len(h.bounds) && h.bounds[i] == le {
+		i++
+	}
+	var n int64
+	for j := 0; j < i; j++ {
+		n += h.counts[j].Load()
+	}
+	return n
+}
+
 // Sum returns the sum of all observed samples in seconds.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
@@ -370,7 +386,12 @@ func (r *Registry) Snapshot() map[string]float64 {
 		out[k] = float64(g.Value())
 	}
 	for k, fn := range r.gaugeFuncs {
-		out[k] = fn()
+		// Snapshot feeds JSON surfaces (expvar, /api/stats); non-finite
+		// values (SLO gauges without data report NaN) would poison the
+		// whole document, so they are omitted rather than encoded.
+		if v := fn(); !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out[k] = v
+		}
 	}
 	for k, h := range r.histograms {
 		out[k+"_count"] = float64(h.Count())

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SLO support: named objectives ("99% of album reads under 250ms")
+// evaluated over the cumulative series the registry already collects.
+// The registry has no time dimension, so the Evaluator builds one by
+// sampling the cumulative good/total counts whenever it is consulted
+// (every /metrics scrape evaluates the exposed gauges): deltas between
+// retained samples yield windowed error rates, and the burn rate of a
+// window is its error rate divided by the objective's error budget —
+// burn 1.0 consumes the budget exactly at the sustainable pace, 10x
+// exhausts a 30-day budget in 3 days. Multi-window reporting (5m and
+// 1h by default) is the standard fast-burn/slow-burn alert pair.
+
+// Objective is one service-level objective: a target fraction of good
+// events. Good returns the cumulative (good, total) event counts; it
+// is called with the Evaluator lock held and MUST NOT acquire registry
+// locks — read Counter/Histogram pointers captured at construction
+// (their reads are atomic), never Registry lookups. (The exposed
+// gauges are evaluated under the registry read lock, so a registry
+// lookup here would re-enter it.)
+type Objective struct {
+	Name        string
+	Description string
+	// Target is the required good fraction in [0, 1), e.g. 0.99.
+	Target float64
+	Good   func() (good, total int64)
+}
+
+// LatencyObjective builds an objective over a latency histogram:
+// target fraction of observations at or under threshold seconds.
+// The threshold should align with a bucket upper bound; observations
+// are counted against the largest bound <= threshold.
+func LatencyObjective(name, desc string, h *Histogram, threshold, target float64) Objective {
+	return Objective{
+		Name:        name,
+		Description: desc,
+		Target:      target,
+		Good: func() (int64, int64) {
+			return h.CumulativeCount(threshold), h.Count()
+		},
+	}
+}
+
+// RatioObjective builds an objective from two counters: errors out of
+// total. Good events are total - errors.
+func RatioObjective(name, desc string, errors, total *Counter, target float64) Objective {
+	return Objective{
+		Name:        name,
+		Description: desc,
+		Target:      target,
+		Good: func() (int64, int64) {
+			t := total.Value()
+			e := errors.Value()
+			if e > t {
+				e = t
+			}
+			return t - e, t
+		},
+	}
+}
+
+// WindowBurn is the burn rate of one objective over one trailing
+// window.
+type WindowBurn struct {
+	Window string `json:"window"`
+	// BurnRate is windowed error rate / error budget; 0 when the
+	// window saw only good events. Meaningless when NoData.
+	BurnRate float64 `json:"burnRate"`
+	// GoodDelta/TotalDelta are the event deltas the rate derives from.
+	GoodDelta  int64 `json:"goodDelta"`
+	TotalDelta int64 `json:"totalDelta"`
+	// NoData marks a window without two samples or without events —
+	// the burn rate would be a division by zero, reported explicitly
+	// instead of silently passing.
+	NoData bool `json:"noData"`
+}
+
+// SLOStatus is the evaluation of one objective.
+type SLOStatus struct {
+	Name         string       `json:"name"`
+	Description  string       `json:"description,omitempty"`
+	Target       float64      `json:"target"`
+	Good         int64        `json:"good"`
+	Total        int64        `json:"total"`
+	Attainment   float64      `json:"attainment"` // good/total over the process lifetime; 0 when Unattainable
+	Attained     bool         `json:"attained"`
+	Unattainable bool         `json:"unattainable"` // no events at all: the objective divides by zero
+	Windows      []WindowBurn `json:"windows"`
+}
+
+// Evaluator samples a set of objectives and computes multi-window burn
+// rates. It keeps a bounded ring of cumulative samples covering the
+// longest window; sampling happens lazily on Status (at most once per
+// second), so exposing the evaluator's gauges on a scraped registry is
+// enough to drive it — no background goroutine.
+type Evaluator struct {
+	mu         sync.Mutex
+	objectives []Objective
+	windows    []time.Duration
+	minGap     time.Duration
+	samples    []sloSample
+
+	lastStatus []SLOStatus
+	lastEval   time.Time
+}
+
+type sloSample struct {
+	t     time.Time
+	good  []int64
+	total []int64
+}
+
+// DefaultSLOWindows is the standard fast-burn/slow-burn pair.
+var DefaultSLOWindows = []time.Duration{5 * time.Minute, time.Hour}
+
+// NewEvaluator builds an evaluator over the objectives with the given
+// trailing windows (DefaultSLOWindows when nil).
+func NewEvaluator(windows []time.Duration, objectives ...Objective) *Evaluator {
+	if len(windows) == 0 {
+		windows = DefaultSLOWindows
+	}
+	return &Evaluator{
+		objectives: objectives,
+		windows:    append([]time.Duration(nil), windows...),
+		minGap:     time.Second,
+	}
+}
+
+// Objectives returns the configured objectives.
+func (e *Evaluator) Objectives() []Objective { return e.objectives }
+
+// Status samples (if due) and evaluates every objective at now.
+// Callers normally pass time.Now(); tests drive synthetic clocks.
+func (e *Evaluator) Status(now time.Time) []SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sampleLocked(now)
+	// Memoize within minGap: one scrape evaluates many gauges.
+	if !e.lastEval.IsZero() && now.Sub(e.lastEval) < e.minGap && e.lastStatus != nil {
+		return e.lastStatus
+	}
+	out := make([]SLOStatus, len(e.objectives))
+	cur := e.samples[len(e.samples)-1]
+	for i, o := range e.objectives {
+		st := SLOStatus{Name: o.Name, Description: o.Description, Target: o.Target,
+			Good: cur.good[i], Total: cur.total[i]}
+		if st.Total == 0 {
+			st.Unattainable = true
+		} else {
+			st.Attainment = float64(st.Good) / float64(st.Total)
+			st.Attained = st.Attainment >= o.Target
+		}
+		budget := 1 - o.Target
+		for _, w := range e.windows {
+			wb := WindowBurn{Window: w.String(), NoData: true}
+			if base, ok := e.baseSampleLocked(now, w); ok {
+				wb.GoodDelta = cur.good[i] - base.good[i]
+				wb.TotalDelta = cur.total[i] - base.total[i]
+				if wb.TotalDelta > 0 {
+					wb.NoData = false
+					errRate := 1 - float64(wb.GoodDelta)/float64(wb.TotalDelta)
+					switch {
+					case budget > 0:
+						wb.BurnRate = errRate / budget
+					case errRate > 0:
+						wb.BurnRate = math.Inf(1)
+					}
+				}
+			}
+			st.Windows = append(st.Windows, wb)
+		}
+		out[i] = st
+	}
+	e.lastStatus, e.lastEval = out, now
+	return out
+}
+
+// sampleLocked appends a cumulative sample when the last one is older
+// than minGap, and prunes samples that fell out of every window.
+func (e *Evaluator) sampleLocked(now time.Time) {
+	if n := len(e.samples); n > 0 && now.Sub(e.samples[n-1].t) < e.minGap {
+		return
+	}
+	s := sloSample{t: now, good: make([]int64, len(e.objectives)), total: make([]int64, len(e.objectives))}
+	for i, o := range e.objectives {
+		s.good[i], s.total[i] = o.Good()
+	}
+	e.samples = append(e.samples, s)
+	maxW := e.windows[0]
+	for _, w := range e.windows[1:] {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	cutoff := now.Add(-maxW - time.Minute)
+	drop := 0
+	for drop < len(e.samples)-2 && e.samples[drop].t.Before(cutoff) {
+		drop++
+	}
+	e.samples = e.samples[drop:]
+}
+
+// baseSampleLocked returns the oldest retained sample inside the
+// trailing window, provided it is strictly older than the newest one.
+func (e *Evaluator) baseSampleLocked(now time.Time, w time.Duration) (sloSample, bool) {
+	cut := now.Add(-w)
+	for i := 0; i < len(e.samples)-1; i++ {
+		if !e.samples[i].t.Before(cut) {
+			return e.samples[i], true
+		}
+	}
+	return sloSample{}, false
+}
+
+// Expose registers the evaluator's gauges on the registry:
+//
+//	lodify_slo_target{slo}
+//	lodify_slo_attainment{slo}          (NaN until the first event)
+//	lodify_slo_good_total{slo}
+//	lodify_slo_events_total{slo}
+//	lodify_slo_burn_rate{slo,window}    (NaN while a window lacks data)
+//
+// The gauge callbacks drive sampling: a scraped registry keeps the
+// window ring warm. Registration replaces previous instances, so
+// repeated wiring (every test server) stays idempotent.
+func (e *Evaluator) Expose(r *Registry) {
+	pick := func(name string, f func(SLOStatus) float64) func() float64 {
+		return func() float64 {
+			for _, st := range e.Status(time.Now()) {
+				if st.Name == name {
+					return f(st)
+				}
+			}
+			return math.NaN()
+		}
+	}
+	for _, o := range e.objectives {
+		name := o.Name
+		target := o.Target
+		r.GaugeFunc("lodify_slo_target", func() float64 { return target }, "slo", name)
+		r.GaugeFunc("lodify_slo_attainment", pick(name, func(st SLOStatus) float64 {
+			if st.Unattainable {
+				return math.NaN()
+			}
+			return st.Attainment
+		}), "slo", name)
+		r.GaugeFunc("lodify_slo_good_total", pick(name, func(st SLOStatus) float64 {
+			return float64(st.Good)
+		}), "slo", name)
+		r.GaugeFunc("lodify_slo_events_total", pick(name, func(st SLOStatus) float64 {
+			return float64(st.Total)
+		}), "slo", name)
+		for _, w := range e.windows {
+			window := w.String()
+			r.GaugeFunc("lodify_slo_burn_rate", pick(name, func(st SLOStatus) float64 {
+				for _, wb := range st.Windows {
+					if wb.Window == window {
+						if wb.NoData {
+							return math.NaN()
+						}
+						return wb.BurnRate
+					}
+				}
+				return math.NaN()
+			}), "slo", name, "window", window)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowQuery is one captured slow query: the normalized query text, the
+// trace it ran under, its wall time, the lease statistics of its
+// execution and the plan-shaped profile tree (produced by the SPARQL
+// profiler; stored pre-marshalled so this package needs no knowledge
+// of the plan types).
+type SlowQuery struct {
+	Time        time.Time       `json:"time"`
+	TraceID     string          `json:"traceId,omitempty"`
+	Query       string          `json:"query"`
+	DurNs       int64           `json:"durNs"`
+	Rows        int             `json:"rows"`
+	Leases      int             `json:"leases"`
+	LeaseWaitNs int64           `json:"leaseWaitNs"`
+	Profile     json.RawMessage `json:"profile,omitempty"`
+}
+
+// SlowLog is a bounded ring of the slowest-path evidence: queries
+// whose wall time met the configured threshold, with their captured
+// plans. Recording is mutex-guarded and cheap relative to any query
+// slow enough to be recorded.
+type SlowLog struct {
+	mu     sync.Mutex
+	ring   []SlowQuery
+	next   int
+	filled bool
+
+	// thresholdNs < 0 disables capture entirely (the library default:
+	// only processes that opt in — cmd/lodify's -slow-query flag — pay
+	// for profiling). 0 captures every query.
+	thresholdNs atomic.Int64
+	// lastLogNs rate-limits the slog output: at most one warning per
+	// logEveryNs, the rest only count.
+	lastLogNs  atomic.Int64
+	logEveryNs int64
+}
+
+// NewSlowLog returns a disabled slow-query log retaining size entries.
+func NewSlowLog(size int) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	l := &SlowLog{ring: make([]SlowQuery, size), logEveryNs: int64(time.Second)}
+	l.thresholdNs.Store(-1)
+	return l
+}
+
+// SlowQueries is the process-wide slow-query log the SPARQL engine
+// reports to.
+var SlowQueries = NewSlowLog(256)
+
+// SetThreshold configures the capture threshold: queries at least this
+// slow are recorded. 0 records every query; negative disables capture.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.thresholdNs.Store(int64(d)) }
+
+// Threshold returns the current capture threshold (negative =
+// disabled).
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.thresholdNs.Load()) }
+
+// Enabled reports whether capture is on (threshold >= 0).
+func (l *SlowLog) Enabled() bool { return l.thresholdNs.Load() >= 0 }
+
+// Record captures one slow query. The caller applies the threshold
+// (it knows the duration); Record always stores. A rate-limited Warn
+// line goes to the process logger; the overflow only increments
+// lodify_slowlog_suppressed_logs_total.
+func (l *SlowLog) Record(sq SlowQuery) {
+	l.mu.Lock()
+	l.ring[l.next] = sq
+	l.next = (l.next + 1) % len(l.ring)
+	if l.next == 0 {
+		l.filled = true
+	}
+	l.mu.Unlock()
+	C("lodify_slowlog_captured_total").Inc()
+
+	now := time.Now().UnixNano()
+	last := l.lastLogNs.Load()
+	if now-last >= l.logEveryNs && l.lastLogNs.CompareAndSwap(last, now) {
+		Logger().Warn("slow query",
+			"trace_id", sq.TraceID,
+			"dur", time.Duration(sq.DurNs),
+			"rows", sq.Rows,
+			"leases", sq.Leases,
+			"lease_wait", time.Duration(sq.LeaseWaitNs),
+			"query", sq.Query,
+		)
+	} else {
+		C("lodify_slowlog_suppressed_logs_total").Inc()
+	}
+}
+
+// Recent returns up to n captured queries, newest first.
+func (l *SlowLog) Recent(n int) []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	have := l.next
+	if l.filled {
+		have = len(l.ring)
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		return len(l.ring)
+	}
+	return l.next
+}
+
+// SlowlogHandler serves GET /debug/slowlog: the captured ring as JSON,
+// newest first ({"thresholdNs": t, "captured": N, "queries": [...]}).
+// ?n= caps the count (default 50).
+func SlowlogHandler() http.Handler {
+	return SlowlogHandlerFor(SlowQueries)
+}
+
+// SlowlogHandlerFor is SlowlogHandler over an explicit log.
+func SlowlogHandlerFor(l *SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		err := enc.Encode(map[string]any{
+			"thresholdNs": int64(l.Threshold()),
+			"captured":    Default.CounterValue("lodify_slowlog_captured_total"),
+			"queries":     l.Recent(n),
+		})
+		if err != nil {
+			Log(r.Context()).Error("slowlog exposition failed", "err", err)
+		}
+	})
+}

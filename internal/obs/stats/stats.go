@@ -1,0 +1,179 @@
+// Package stats is the query planner's statistics substrate: a
+// concurrency-safe sink of observed per-(predicate, graph)
+// cardinalities, fed by the SPARQL executor as it evaluates basic
+// graph patterns. Planner v2 (ROADMAP: "query planner v2:
+// statistics") reads the sink to cost join orders from *observed*
+// store cardinalities instead of per-pattern Count probes; until
+// then, /debug/querystats and the EXPLAIN machinery surface the same
+// numbers to humans.
+//
+// The sink is deliberately independent of the store and the executor:
+// keys are rendered predicate/graph IRIs, so a snapshot survives
+// process restarts and store reloads (ids do not).
+package stats
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Key identifies one tracked series: a predicate IRI and the graph it
+// was observed in ("" = the query ranged over every graph).
+type Key struct {
+	Pred  string `json:"pred"`
+	Graph string `json:"graph,omitempty"`
+}
+
+// Card accumulates the cardinality observations of one key.
+type Card struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum/Min/Max/Last aggregate the observed cardinalities (the
+	// store's matching-quad count at observation time).
+	Sum  int64 `json:"sum"`
+	Min  int64 `json:"min"`
+	Max  int64 `json:"max"`
+	Last int64 `json:"last"`
+	// UpdatedUnixNano is the last observation time.
+	UpdatedUnixNano int64 `json:"updatedUnixNano"`
+}
+
+// Entry is one snapshot row: a key with its aggregates.
+type Entry struct {
+	Key
+	Card
+	// Avg is Sum/Count, the estimate a cost model starts from.
+	Avg float64 `json:"avg"`
+}
+
+// Sink collects cardinality observations.
+type Sink struct {
+	mu sync.RWMutex
+	m  map[Key]*Card
+}
+
+// New returns an empty sink.
+func New() *Sink { return &Sink{m: map[Key]*Card{}} }
+
+// Default is the process-wide sink the SPARQL executor feeds.
+var Default = New()
+
+// Observe records one cardinality observation for (pred, graph).
+func (s *Sink) Observe(pred, graph string, card int64) {
+	if pred == "" {
+		return
+	}
+	now := time.Now().UnixNano()
+	k := Key{Pred: pred, Graph: graph}
+	s.mu.Lock()
+	c, ok := s.m[k]
+	if !ok {
+		c = &Card{Min: card, Max: card}
+		s.m[k] = c
+	}
+	c.Count++
+	c.Sum += card
+	if card < c.Min {
+		c.Min = card
+	}
+	if card > c.Max {
+		c.Max = card
+	}
+	c.Last = card
+	c.UpdatedUnixNano = now
+	s.mu.Unlock()
+}
+
+// ObserveBatch records a set of observations under one lock hold (the
+// executor flushes per-query batches).
+func (s *Sink) ObserveBatch(obs map[Key]int64) {
+	if len(obs) == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	for k, card := range obs {
+		if k.Pred == "" {
+			continue
+		}
+		c, ok := s.m[k]
+		if !ok {
+			c = &Card{Min: card, Max: card}
+			s.m[k] = c
+		}
+		c.Count++
+		c.Sum += card
+		if card < c.Min {
+			c.Min = card
+		}
+		if card > c.Max {
+			c.Max = card
+		}
+		c.Last = card
+		c.UpdatedUnixNano = now
+	}
+	s.mu.Unlock()
+}
+
+// Lookup returns the aggregates for (pred, graph); ok is false when
+// the key was never observed. This is the planner read path.
+func (s *Sink) Lookup(pred, graph string) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.m[Key{Pred: pred, Graph: graph}]
+	if !ok {
+		return Entry{}, false
+	}
+	return entryOf(Key{Pred: pred, Graph: graph}, c), true
+}
+
+// Len returns the number of tracked keys.
+func (s *Sink) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Snapshot returns every entry, sorted by predicate then graph — the
+// stable JSON document planner v2 will consume.
+func (s *Sink) Snapshot() []Entry {
+	s.mu.RLock()
+	out := make([]Entry, 0, len(s.m))
+	for k, c := range s.m {
+		out = append(out, entryOf(k, c))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pred != out[j].Pred {
+			return out[i].Pred < out[j].Pred
+		}
+		return out[i].Graph < out[j].Graph
+	})
+	return out
+}
+
+func entryOf(k Key, c *Card) Entry {
+	e := Entry{Key: k, Card: *c}
+	if c.Count > 0 {
+		e.Avg = float64(c.Sum) / float64(c.Count)
+	}
+	return e
+}
+
+// Handler serves the sink snapshot as JSON (the /debug/querystats
+// endpoint): {"entries": N, "stats": [...]}.
+func Handler() http.Handler { return HandlerFor(Default) }
+
+// HandlerFor is Handler over an explicit sink.
+func HandlerFor(s *Sink) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		snap := s.Snapshot()
+		_ = enc.Encode(map[string]any{"entries": len(snap), "stats": snap})
+	})
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestSinkObserveAndLookup(t *testing.T) {
+	s := New()
+	s.Observe("p1", "", 10)
+	s.Observe("p1", "", 30)
+	s.Observe("p1", "g1", 7)
+	s.Observe("", "", 99) // empty predicate: dropped
+
+	e, ok := s.Lookup("p1", "")
+	if !ok || e.Count != 2 || e.Min != 10 || e.Max != 30 || e.Last != 30 || e.Avg != 20 {
+		t.Fatalf("p1 entry: %+v ok=%v", e, ok)
+	}
+	if _, ok := s.Lookup("", ""); ok {
+		t.Fatal("empty predicate must not be stored")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSinkObserveBatchAndSnapshotOrder(t *testing.T) {
+	s := New()
+	s.ObserveBatch(map[Key]int64{
+		{Pred: "b", Graph: ""}:  2,
+		{Pred: "a", Graph: "g"}: 1,
+		{Pred: "a", Graph: ""}:  3,
+	})
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	// Sorted by predicate then graph.
+	if snap[0].Pred != "a" || snap[0].Graph != "" || snap[1].Graph != "g" || snap[2].Pred != "b" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+}
+
+func TestSinkConcurrent(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Observe("p", "", int64(i))
+				s.ObserveBatch(map[Key]int64{{Pred: "q"}: int64(i)})
+				_, _ = s.Lookup("p", "")
+				_ = s.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e, _ := s.Lookup("p", ""); e.Count != 800 {
+		t.Fatalf("count = %d", e.Count)
+	}
+}
+
+func TestStatsHandler(t *testing.T) {
+	s := New()
+	s.Observe("p", "g", 5)
+	rec := httptest.NewRecorder()
+	HandlerFor(s).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/querystats", nil))
+	var doc struct {
+		Entries int     `json:"entries"`
+		Stats   []Entry `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Entries != 1 || len(doc.Stats) != 1 || doc.Stats[0].Pred != "p" || doc.Stats[0].Last != 5 {
+		t.Fatalf("handler document: %s", rec.Body.String())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,9 +45,18 @@ func SpanID(ctx context.Context) string {
 	return id
 }
 
+// SpanEvent is one timestamped annotation inside a span (a cache miss,
+// a retry, the lease acquisition of a BGP join).
+type SpanEvent struct {
+	TimeUnixNano int64             `json:"timeUnixNano"`
+	Name         string            `json:"name"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+}
+
 // Span is one timed operation inside a trace. End records its duration
 // into the `lodify_span_seconds{span=...}` histogram of the Default
-// registry and logs it at debug level.
+// registry, hands the completed record to the Spans collector (and its
+// exporters) and logs it at debug level.
 type Span struct {
 	// Name labels the operation ("http /api/search", "annotate.broker").
 	Name string
@@ -56,7 +67,10 @@ type Span struct {
 	ParentID string
 
 	start time.Time
-	ended bool
+	ended atomic.Bool
+
+	mu     sync.Mutex
+	events []SpanEvent
 }
 
 // StartSpan opens a span named name, minting a trace ID when ctx does
@@ -82,15 +96,50 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return ctx, sp
 }
 
-// End closes the span, records its duration and returns it. Multiple
-// End calls record once.
+// Event appends a timestamped event to the span. Attribute arguments
+// are key/value pairs (a trailing odd key is dropped). Safe on nil and
+// already-ended spans (the event is discarded).
+func (s *Span) Event(name string, attrs ...string) {
+	if s == nil || s.start.IsZero() || s.ended.Load() {
+		return
+	}
+	ev := SpanEvent{TimeUnixNano: time.Now().UnixNano(), Name: name}
+	if len(attrs) >= 2 {
+		ev.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			ev.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// End closes the span, records its duration and returns it. End is a
+// safe no-op on a nil span, on the zero Span value (never started) and
+// on repeat calls — instrumented helpers may defer it unconditionally.
 func (s *Span) End(ctx context.Context) time.Duration {
+	if s == nil || s.start.IsZero() {
+		return 0
+	}
 	d := time.Since(s.start)
-	if s.ended {
+	if !s.ended.CompareAndSwap(false, true) {
 		return d
 	}
-	s.ended = true
 	H("lodify_span_seconds", "span", s.Name).Observe(d.Seconds())
+	s.mu.Lock()
+	events := s.events
+	s.events = nil
+	s.mu.Unlock()
+	Spans.record(SpanRecord{
+		Name:          s.Name,
+		TraceID:       s.TraceID,
+		SpanID:        s.SpanID,
+		ParentID:      s.ParentID,
+		StartUnixNano: s.start.UnixNano(),
+		EndUnixNano:   s.start.Add(d).UnixNano(),
+		Events:        events,
+	})
 	logSpan(ctx, s, d)
 	return d
 }

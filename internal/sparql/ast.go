@@ -31,6 +31,9 @@ func (f QueryForm) String() string {
 type Query struct {
 	Form     QueryForm
 	Prefixes *rdf.PrefixMap
+	// Src is the source text the query was parsed from (slow-query
+	// log / EXPLAIN echo); empty for hand-built queries.
+	Src string
 
 	// Select projection. Empty with Star true means SELECT *.
 	Star     bool

@@ -1,6 +1,8 @@
 package sparql
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,29 +38,95 @@ type Result struct {
 
 // Query parses and executes a SPARQL query string.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query under a caller context: the execution span joins
+// the context's trace, and slow queries are logged with its trace id.
+func (e *Engine) QueryCtx(ctx context.Context, src string) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		mParseErrors.Inc()
 		return nil, err
 	}
-	return e.Exec(q)
+	return e.ExecCtx(ctx, q)
 }
 
 // Exec executes a parsed query, recording query latency, the solution
 // count and per-algebra-node cardinalities in the Default registry.
 func (e *Engine) Exec(q *Query) (*Result, error) {
+	return e.ExecCtx(context.Background(), q)
+}
+
+// ExecCtx is Exec under a caller context. Plan profiling activates
+// automatically while the slow-query log is enabled, so every capture
+// carries its profile tree; otherwise queries run unprofiled.
+func (e *Engine) ExecCtx(ctx context.Context, q *Query) (*Result, error) {
+	res, _, err := e.run(ctx, q, obs.SlowQueries.Enabled())
+	return res, err
+}
+
+// run is the shared execution core behind ExecCtx and Explain.
+func (e *Engine) run(ctx context.Context, q *Query, profile bool) (*Result, *profiler, error) {
+	// The engine contributes a child span only to an existing trace
+	// (the HTTP middleware roots one per request): untraced library
+	// calls — benchmarks, batch jobs — pay no span bookkeeping.
+	var sp *obs.Span
+	if obs.TraceID(ctx) != "" {
+		ctx, sp = obs.StartSpan(ctx, "sparql "+formName(q.Form))
+	}
 	start := time.Now()
-	ex := &executor{st: e.st, alg: newAlgCounters()}
+	// Cardinality observation rides the profiling switch: a server with
+	// the slow-query log armed feeds the planner statistics sink on
+	// every query, while unprofiled library calls skip the per-pattern
+	// wildcard-graph Count probes (they walk every graph index).
+	ex := &executor{st: e.st, alg: newAlgCounters(), obsStats: profile}
+	if profile {
+		ex.prof = newProfiler(q.Form)
+	}
 	res, err := e.exec(ex, q)
+	elapsed := time.Since(start)
 	ex.alg.flush()
 	mRowsJoined.Add(atomic.LoadInt64(&ex.rowsJoined))
 	mRowsMaterialized.Add(ex.rowsMaterialized)
-	mQuerySeconds.ObserveSince(start)
+	mQuerySeconds.Observe(elapsed.Seconds())
 	obs.C("lodify_sparql_queries_total", "form", formName(q.Form)).Inc()
+	rows := 0
 	if res != nil {
-		mSolutions.Add(int64(len(res.Solutions)))
+		rows = len(res.Solutions)
+		mSolutions.Add(int64(rows))
 	}
-	return res, err
+	if ex.prof != nil {
+		ex.prof.finish(elapsed, rows)
+		ex.prof.flushOpTotals()
+	}
+	sp.End(ctx)
+	e.maybeSlowlog(ctx, q, ex, elapsed, rows)
+	return res, ex.prof, err
+}
+
+// maybeSlowlog captures the query in the process slow-query log when
+// its wall time met the configured threshold.
+func (e *Engine) maybeSlowlog(ctx context.Context, q *Query, ex *executor, elapsed time.Duration, rows int) {
+	l := obs.SlowQueries
+	if !l.Enabled() || elapsed < l.Threshold() {
+		return
+	}
+	sq := obs.SlowQuery{
+		Time:    time.Now(),
+		TraceID: obs.TraceID(ctx),
+		Query:   NormalizeQuery(q.Src),
+		DurNs:   int64(elapsed),
+		Rows:    rows,
+	}
+	if ex.prof != nil {
+		sq.Leases = int(ex.prof.leases)
+		sq.LeaseWaitNs = ex.prof.leaseWaitNs
+		if b, err := json.Marshal(ex.prof.root); err == nil {
+			sq.Profile = b
+		}
+	}
+	l.Record(sq)
 }
 
 func (e *Engine) exec(ex *executor, q *Query) (*Result, error) {

@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"lodify/internal/obs/stats"
 	"lodify/internal/rdf"
 	"lodify/internal/store"
 )
@@ -46,6 +48,14 @@ type executor struct {
 	// flushed to the metrics registry once per query.
 	rowsJoined       int64
 	rowsMaterialized int64
+	// prof, when non-nil, times every evalNode dispatch into a
+	// plan-shaped tree (EXPLAIN ANALYZE / slow-query capture). Nil
+	// keeps the hot path at one pointer check per node.
+	prof *profiler
+	// obsStats feeds per-(predicate,graph) cardinality observations to
+	// the planner statistics sink as BGPs evaluate; false (bare
+	// executors in tests) disables collection.
+	obsStats bool
 }
 
 // evalQuery runs the WHERE clause and applies solution modifiers,
@@ -166,7 +176,15 @@ func (ex *executor) evalGroup(g *GroupPattern, input []row) []row {
 }
 
 func (ex *executor) evalNode(n PatternNode, input []row) []row {
+	if ex.prof == nil {
+		out := ex.evalNodeInner(n, input)
+		ex.alg.record(nodeKind(n), len(out))
+		return out
+	}
+	pn := ex.prof.enter(n, len(input))
+	start := time.Now()
 	out := ex.evalNodeInner(n, input)
+	ex.prof.exit(pn, time.Since(start), len(out), len(ex.fr.names))
 	ex.alg.record(nodeKind(n), len(out))
 	return out
 }
@@ -204,7 +222,8 @@ func (ex *executor) evalNodeInner(n PatternNode, input []row) []row {
 	case *GraphPattern:
 		return ex.evalGraph(node, input)
 	case *SubQuery:
-		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph, alg: ex.alg, dict: ex.dict}
+		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph, alg: ex.alg, dict: ex.dict,
+			prof: ex.prof, obsStats: ex.obsStats}
 		subSols, _ := sub.evalQuery(node.Query)
 		ex.rowsJoined += sub.rowsJoined
 		ex.rowsMaterialized += sub.rowsMaterialized
@@ -360,10 +379,16 @@ func (ex *executor) evalBGP(bgp *BGP, input []row) []row {
 		switch {
 		case !okP || !okG:
 			cur = nil
-		case len(cur) >= bgpParallelThreshold && bgpMaxWorkers > 1:
-			cur = ex.joinRowsParallel(cp, gid, cur)
 		default:
+			if ex.obsStats {
+				ex.observePredCards(plain, cp, gid)
+			}
+			if len(cur) >= bgpParallelThreshold && bgpMaxWorkers > 1 {
+				cur = ex.joinRowsParallel(cp, gid, cur)
+				break
+			}
 			lease := ex.st.ReadLease()
+			ex.prof.addLease(lease.Wait())
 			out := ex.joinRowsSeq(lease, cp, gid, cur)
 			lease.Release()
 			atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
@@ -424,6 +449,7 @@ func (ex *executor) joinRowsParallel(cp []compiledPattern, gid store.TermID, inp
 			defer wg.Done()
 			lease := ex.st.ReadLease()
 			defer lease.Release()
+			ex.prof.addLease(lease.Wait())
 			out := ex.joinRowsSeq(lease, cp, gid, input[lo:hi])
 			atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
 			results[w] = out
@@ -495,6 +521,22 @@ func (ex *executor) joinStep(lease *store.Lease, cp []compiledPattern, used []bo
 	})
 	used[best] = false
 	return out
+}
+
+// observePredCards feeds the planner statistics sink: for every plain
+// pattern with a constant predicate, the predicate-only match count in
+// the current graph restriction, recorded straight into stats.Default
+// (struct keys and in-place entry updates: no per-query allocation).
+// The count call is the same index-size read the greedy join order
+// already pays per pattern.
+func (ex *executor) observePredCards(plain []TriplePattern, cp []compiledPattern, gid store.TermID) {
+	for i, tp := range plain {
+		if tp.P.IsVar() || cp[i].p.slot >= 0 || cp[i].p.id == 0 {
+			continue
+		}
+		stats.Default.Observe(tp.P.Term.Value(), ex.graph.Value(),
+			int64(ex.st.CountIDs(0, cp[i].p.id, 0, gid)))
+	}
 }
 
 // resolveIDs substitutes the current bindings into a compiled pattern,

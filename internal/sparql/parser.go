@@ -20,6 +20,7 @@ func Parse(src string) (*Query, error) {
 	if !p.at(tokEOF, "") {
 		return nil, p.errHere("unexpected %s after end of query", p.cur())
 	}
+	q.Src = src
 	return q, nil
 }
 

@@ -1,6 +1,9 @@
 package store
 
 import (
+	"time"
+
+	"lodify/internal/obs"
 	"lodify/internal/rdf"
 )
 
@@ -90,15 +93,28 @@ func (st *Store) countIDsLocked(s, p, o, g TermID) int {
 type Lease struct {
 	st       *Store
 	terms    []rdf.Term
+	wait     time.Duration
 	released bool
 }
 
 // ReadLease acquires the store read lock and snapshots the term
-// dictionary for lock-free materialization.
+// dictionary for lock-free materialization. The time spent blocked on
+// the lock (writer contention) is recorded in
+// lodify_store_lease_wait_seconds and retrievable via Wait — the
+// query profiler attributes it to the waiting plan node.
 func (st *Store) ReadLease() *Lease {
+	start := time.Now()
 	st.mu.RLock()
-	return &Lease{st: st, terms: st.dict.termsSnapshot()}
+	wait := time.Since(start)
+	leaseWait.Observe(wait.Seconds())
+	return &Lease{st: st, terms: st.dict.termsSnapshot(), wait: wait}
 }
+
+// leaseWait is resolved once: ReadLease is on the per-BGP hot path.
+var leaseWait = obs.H("lodify_store_lease_wait_seconds")
+
+// Wait returns how long ReadLease blocked acquiring the read lock.
+func (l *Lease) Wait() time.Duration { return l.wait }
 
 // Release drops the read lock. Idempotent.
 func (l *Lease) Release() {

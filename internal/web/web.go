@@ -21,6 +21,7 @@ import (
 	"lodify/internal/feed"
 	"lodify/internal/geo"
 	"lodify/internal/obs"
+	"lodify/internal/obs/stats"
 	"lodify/internal/rdf"
 	"lodify/internal/sparql"
 	"lodify/internal/store"
@@ -38,6 +39,9 @@ type Server struct {
 	// SnapshotPath, when non-empty, enables POST /admin/snapshot to
 	// persist the triple store as N-Quads to that file.
 	SnapshotPath string
+	// SLO evaluates the server's service-level objectives; its burn
+	// rates are exposed on /metrics and in /api/stats.
+	SLO *obs.Evaluator
 }
 
 // NewServer builds the handler tree.
@@ -67,9 +71,31 @@ func NewServer(p *ugc.Platform) *Server {
 	handle("/describe", s.handleDescribe)
 	s.mux.Handle("/metrics", obs.MetricsHandler())
 	s.mux.Handle("/debug/vars", obs.ExpvarHandler())
+	// Observability surfaces (direct, like /metrics: these must stay
+	// readable even when the instrumented routes are saturated).
+	s.mux.Handle("/debug/slowlog", obs.SlowlogHandler())
+	s.mux.Handle("/debug/trace/recent", obs.TraceRecentHandler())
+	s.mux.Handle("/debug/querystats", stats.Handler())
 	// Bind the store-size gauges to this server's store so /metrics
 	// reflects the live index sizes.
 	p.Store.ExposeMetrics()
+
+	// Service-level objectives over the middleware's series. Latency
+	// thresholds align with histogram bucket bounds (CumulativeCount
+	// counts whole buckets); the error-ratio objective reads the
+	// label-free seen/errors counter pair. Scrapes of /metrics drive
+	// the window sampling — no background goroutine.
+	s.SLO = obs.NewEvaluator(nil,
+		obs.LatencyObjective("album-read", "99% of album feed reads under 250ms",
+			obs.H("lodify_http_request_seconds", "route", "/feeds/keyword/"), 0.25, 0.99),
+		obs.LatencyObjective("search", "99% of AJAX searches under 50ms",
+			obs.H("lodify_http_request_seconds", "route", "/api/search"), 0.05, 0.99),
+		obs.LatencyObjective("sparql", "99% of SPARQL queries under 250ms",
+			obs.H("lodify_http_request_seconds", "route", "/sparql"), 0.25, 0.99),
+		obs.RatioObjective("http-errors", "99.9% of requests answered without a 5xx",
+			obs.C("lodify_http_errors_total"), obs.C("lodify_http_requests_seen_total"), 0.999),
+	)
+	s.SLO.Expose(obs.Default)
 	return s
 }
 
@@ -267,7 +293,7 @@ func (s *Server) handleAbout(w http.ResponseWriter, r *http.Request) {
 	if lang == "" {
 		lang = "it" // the paper's query filters italian abstracts
 	}
-	res, err := s.Engine.Query(AboutMashupQuery(c.IRI.Value(), lang))
+	res, err := s.Engine.QueryCtx(r.Context(), AboutMashupQuery(c.IRI.Value(), lang))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -436,7 +462,33 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query", http.StatusBadRequest)
 		return
 	}
-	res, err := s.Engine.Query(query)
+	// EXPLAIN / EXPLAIN ANALYZE: requested by the explain query
+	// parameter ("1"/"true" = plan only, "analyze" = execute and
+	// profile) or an EXPLAIN [ANALYZE] prefix on the query text. The
+	// response format follows Accept: text/plain renders the indented
+	// plan tree, anything else the JSON explanation document.
+	query, explain, analyze := sparql.StripExplain(query)
+	switch strings.ToLower(r.URL.Query().Get("explain")) {
+	case "analyze":
+		explain, analyze = true, true
+	case "1", "true", "plan":
+		explain = true
+	}
+	if explain {
+		exp, err := s.Engine.Explain(r.Context(), query, analyze)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "query: %s\n%s", exp.Query, exp.Plan.Text())
+			return
+		}
+		writeJSON(w, exp)
+		return
+	}
+	res, err := s.Engine.QueryCtx(r.Context(), query)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -494,6 +546,9 @@ type StatsResponse struct {
 	Cities   []StatsRow    `json:"cities"`
 	Store    store.Stats   `json:"store"`
 	Pipeline PipelineStats `json:"pipeline"`
+	// SLO is additive (clients keyed on cities/store/pipeline are
+	// unaffected): the current objective attainments and burn rates.
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // PipelineStats surfaces the ingest/query counters most useful on a
@@ -511,7 +566,7 @@ type PipelineStats struct {
 // GROUP BY support (contents link cities through dcterms:spatial) and
 // attaches the store/pipeline gauges.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	res, err := s.Engine.Query(`
+	res, err := s.Engine.QueryCtx(r.Context(), `
 PREFIX sioct: <http://rdfs.org/sioc/types#>
 PREFIX dcterms: <http://purl.org/dc/terms/>
 PREFIX gn: <http://www.geonames.org/ontology#>
@@ -532,6 +587,9 @@ SELECT ?city (COUNT(?pic) AS ?n) WHERE {
 		out.Cities = append(out.Cities, row)
 	}
 	out.Store = s.Platform.Store.StatsSnapshot()
+	if s.SLO != nil {
+		out.SLO = s.SLO.Status(time.Now())
+	}
 	out.Pipeline = PipelineStats{
 		Published:        obs.Default.CounterValue("lodify_ugc_published_total"),
 		AnnotateRuns:     obs.Default.CounterValue("lodify_annotate_runs_total"),
@@ -600,7 +658,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing iri", http.StatusBadRequest)
 		return
 	}
-	res, err := s.Engine.Query("DESCRIBE <" + iri + ">")
+	res, err := s.Engine.QueryCtx(r.Context(), "DESCRIBE <"+iri+">")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lodify/internal/obs"
+)
+
+// HTTP driver: a closed-loop load generator against a live lodify
+// server. Reader workers issue the paper's retrieval mix — keyword
+// album feeds, incremental AJAX searches and SPARQL queries — while
+// uploader workers publish new contents through /api/upload, so the
+// read latencies are measured under concurrent ingest (writer
+// contention on the store lock shows up as lease wait in the profile
+// trees). After the run the driver turns around and reads the
+// server's own observability surfaces: SLO verdicts from /api/stats
+// and per-operator totals from /metrics.
+
+// DriverSpec parameterizes one driver run.
+type DriverSpec struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Duration of the closed loop.
+	Duration time.Duration
+	// Readers is the number of closed-loop read workers (default 4).
+	Readers int
+	// Uploaders is the number of concurrent upload workers (default 1;
+	// 0 disables ingest).
+	Uploaders int
+	Seed      int64
+	// Keywords feed the /feeds/keyword/<kw> album reads.
+	Keywords []string
+	// SearchTerms feed /api/search?q= (each term is typed
+	// incrementally, like the E4 AJAX client).
+	SearchTerms []string
+	// Queries is the SPARQL mix for /sparql.
+	Queries []string
+	// UploadUsers own the uploaded contents; they must be registered
+	// on the target (the synthetic corpus registers user00, user01...).
+	UploadUsers []string
+	Client      *http.Client
+}
+
+func (s *DriverSpec) defaults() {
+	if s.Duration <= 0 {
+		s.Duration = 2 * time.Second
+	}
+	if s.Readers <= 0 {
+		s.Readers = 4
+	}
+	if s.Uploaders < 0 {
+		s.Uploaders = 0
+	}
+	if len(s.Keywords) == 0 {
+		s.Keywords = []string{"turin", "paris"}
+	}
+	if len(s.SearchTerms) == 0 {
+		s.SearchTerms = []string{"Turin", "Paris"}
+	}
+	if len(s.Queries) == 0 {
+		s.Queries = []string{"ASK { ?s ?p ?o }"}
+	}
+	if len(s.UploadUsers) == 0 {
+		s.UploadUsers = []string{"user00", "user01"}
+	}
+	if s.Client == nil {
+		s.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+}
+
+// OpStat is the client-side latency digest of one operation class.
+type OpStat struct {
+	Op     string `json:"op"`
+	Count  int64  `json:"count"`
+	Errors int64  `json:"errors"`
+	P50Ns  int64  `json:"p50Ns"`
+	P95Ns  int64  `json:"p95Ns"`
+	P99Ns  int64  `json:"p99Ns"`
+	MaxNs  int64  `json:"maxNs"`
+}
+
+// OpTotal is one per-operator total scraped from the server's
+// lodify_sparql_op_* series: cumulative self-time and output rows of
+// one plan-operator kind across every profiled query.
+type OpTotal struct {
+	Op    string  `json:"op"`
+	Nanos float64 `json:"nanos"`
+	Rows  float64 `json:"rows"`
+}
+
+// DriverReport is the outcome of a driver run.
+type DriverReport struct {
+	DurationNs int64    `json:"durationNs"`
+	Ops        []OpStat `json:"ops"`
+	// SLO carries the server's own verdicts (from /api/stats).
+	SLO []obs.SLOStatus `json:"slo"`
+	// OpTotals carries the server's per-operator profile totals
+	// (from /metrics); empty when the server ran unprofiled.
+	OpTotals []OpTotal `json:"opTotals,omitempty"`
+}
+
+// opRecorder accumulates latencies for one operation class.
+type opRecorder struct {
+	mu     sync.Mutex
+	ns     []int64
+	errors int64
+}
+
+func (r *opRecorder) add(d time.Duration, ok bool) {
+	r.mu.Lock()
+	r.ns = append(r.ns, int64(d))
+	if !ok {
+		r.errors++
+	}
+	r.mu.Unlock()
+}
+
+func (r *opRecorder) stat(op string) OpStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := OpStat{Op: op, Count: int64(len(r.ns)), Errors: r.errors}
+	if len(r.ns) == 0 {
+		return st
+	}
+	sorted := append([]int64(nil), r.ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	st.P50Ns, st.P95Ns, st.P99Ns = pct(0.50), pct(0.95), pct(0.99)
+	st.MaxNs = sorted[len(sorted)-1]
+	return st
+}
+
+// RunDriver executes the closed loop and collects the report. An error
+// is returned only when the server is unreachable outright; individual
+// request failures are counted per operation instead.
+func RunDriver(spec DriverSpec) (*DriverReport, error) {
+	spec.defaults()
+	base := strings.TrimRight(spec.BaseURL, "/")
+
+	// Fail fast when nothing listens there: every worker would
+	// otherwise spin on connection errors for the full duration.
+	if _, err := fetch(spec.Client, base+"/api/stats"); err != nil {
+		return nil, fmt.Errorf("workload driver: target %s unreachable: %w", base, err)
+	}
+
+	recs := map[string]*opRecorder{
+		"feed": {}, "search": {}, "sparql": {}, "upload": {},
+	}
+	deadline := time.Now().Add(spec.Duration)
+	var wg sync.WaitGroup
+	var uploadSeq atomic.Int64
+
+	for i := 0; i < spec.Readers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(worker)))
+			for time.Now().Before(deadline) {
+				switch rng.Intn(3) {
+				case 0:
+					kw := spec.Keywords[rng.Intn(len(spec.Keywords))]
+					timeOp(spec.Client, recs["feed"], base+"/feeds/keyword/"+url.PathEscape(kw))
+				case 1:
+					term := spec.SearchTerms[rng.Intn(len(spec.SearchTerms))]
+					// Type incrementally like the E4 AJAX client: each
+					// prefix from 3 runes up is its own request.
+					for n := 3; n <= len(term); n++ {
+						timeOp(spec.Client, recs["search"], base+"/api/search?q="+url.QueryEscape(term[:n]))
+					}
+				default:
+					q := spec.Queries[rng.Intn(len(spec.Queries))]
+					timeOp(spec.Client, recs["sparql"], base+"/sparql?query="+url.QueryEscape(q))
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < spec.Uploaders; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + 1000 + int64(worker)))
+			for time.Now().Before(deadline) {
+				n := uploadSeq.Add(1)
+				body, _ := json.Marshal(map[string]any{
+					"user":     spec.UploadUsers[rng.Intn(len(spec.UploadUsers))],
+					"filename": fmt.Sprintf("drv%06d.jpg", n),
+					"title":    fmt.Sprintf("driver upload %d: what a wonderful evening", n),
+					"tags":     []string{"driver"},
+				})
+				start := time.Now()
+				resp, err := spec.Client.Post(base+"/api/upload", "application/json", bytes.NewReader(body))
+				ok := err == nil && resp.StatusCode < 400
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+				}
+				recs["upload"].add(time.Since(start), ok)
+			}
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+
+	rep := &DriverReport{DurationNs: int64(time.Since(start))}
+	for _, op := range []string{"feed", "search", "sparql", "upload"} {
+		rep.Ops = append(rep.Ops, recs[op].stat(op))
+	}
+	if slo, err := FetchSLO(spec.Client, base); err == nil {
+		rep.SLO = slo
+	}
+	if totals, err := FetchOpTotals(spec.Client, base); err == nil {
+		rep.OpTotals = totals
+	}
+	return rep, nil
+}
+
+// timeOp GETs the URL and records its latency; non-2xx/3xx statuses
+// and transport errors count as operation errors.
+func timeOp(c *http.Client, rec *opRecorder, u string) {
+	start := time.Now()
+	status, err := fetch(c, u)
+	rec.add(time.Since(start), err == nil && status < 400)
+}
+
+// fetch GETs and drains the URL, returning the status code.
+func fetch(c *http.Client, u string) (int, error) {
+	resp, err := c.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// FetchSLO reads the server's SLO verdicts from /api/stats (the
+// additive "slo" key).
+func FetchSLO(c *http.Client, base string) ([]obs.SLOStatus, error) {
+	resp, err := c.Get(strings.TrimRight(base, "/") + "/api/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		SLO []obs.SLOStatus `json:"slo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.SLO, nil
+}
+
+// FetchOpTotals scrapes /metrics and extracts the per-operator
+// profile totals (lodify_sparql_op_nanos_total / _rows_total).
+func FetchOpTotals(c *http.Client, base string) ([]OpTotal, error) {
+	resp, err := c.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	byOp := map[string]*OpTotal{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		name, labels, value, ok := parsePromLine(line)
+		if !ok || (name != "lodify_sparql_op_nanos_total" && name != "lodify_sparql_op_rows_total") {
+			continue
+		}
+		op := labels["op"]
+		if op == "" {
+			continue
+		}
+		t := byOp[op]
+		if t == nil {
+			t = &OpTotal{Op: op}
+			byOp[op] = t
+		}
+		if name == "lodify_sparql_op_nanos_total" {
+			t.Nanos = value
+		} else {
+			t.Rows = value
+		}
+	}
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	out := make([]OpTotal, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, *byOp[op])
+	}
+	return out, nil
+}
+
+// parsePromLine parses one Prometheus text-format sample line:
+// name{k="v",...} value. Comment and malformed lines report !ok.
+func parsePromLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", nil, 0, false
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(line[sp+1:], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	series := line[:sp]
+	labels = map[string]string{}
+	if br := strings.IndexByte(series, '{'); br >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", nil, 0, false
+		}
+		for _, pair := range strings.Split(series[br+1:len(series)-1], ",") {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				continue
+			}
+			labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+		}
+		series = series[:br]
+	}
+	return series, labels, v, true
+}
+
+// ExplainAnalyze runs EXPLAIN ANALYZE for the query on the target's
+// SPARQL endpoint and returns the raw explanation document.
+func ExplainAnalyze(c *http.Client, base, query string) (json.RawMessage, error) {
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	u := strings.TrimRight(base, "/") + "/sparql?explain=analyze&query=" + url.QueryEscape(query)
+	resp, err := c.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("explain analyze: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return json.RawMessage(raw), nil
+}

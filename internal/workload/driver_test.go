@@ -1,0 +1,85 @@
+package workload_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lodify/internal/annotate"
+	"lodify/internal/ctxmgr"
+	"lodify/internal/lod"
+	"lodify/internal/resolver"
+	"lodify/internal/ugc"
+	"lodify/internal/web"
+	"lodify/internal/workload"
+)
+
+// The driver test lives in an external test package: workload is
+// imported by web's dependents' benchmarks, while the driver drives a
+// web.Server — the _test package keeps the production import graph
+// acyclic-by-construction.
+
+func TestDriverClosedLoop(t *testing.T) {
+	w := lod.Generate(lod.DefaultConfig())
+	ctx := ctxmgr.New(w)
+	pipe := annotate.NewPipeline(w.Store, resolver.DefaultBroker(w.Store), annotate.DefaultConfig())
+	p := ugc.New(w.Store, ctx, pipe, ugc.Options{})
+	corpus, err := workload.Generate(p, w, workload.Spec{
+		Users: 4, Contents: 20, FriendsPerUser: 2, RatedFraction: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(web.NewServer(p))
+	defer ts.Close()
+
+	// Past the evaluator's 1s sampling gap: a shorter loop would read
+	// the memoized first sample (zero events) back from /api/stats.
+	rep, err := workload.RunDriver(workload.DriverSpec{
+		BaseURL:     ts.URL,
+		Duration:    1200 * time.Millisecond,
+		Readers:     2,
+		Uploaders:   1,
+		Seed:        1,
+		UploadUsers: corpus.Users,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]workload.OpStat{}
+	for _, op := range rep.Ops {
+		byOp[op.Op] = op
+		if op.Errors > 0 {
+			t.Errorf("op %s saw %d errors", op.Op, op.Errors)
+		}
+	}
+	total := int64(0)
+	for _, op := range byOp {
+		total += op.Count
+	}
+	if total == 0 {
+		t.Fatal("driver issued no requests")
+	}
+	if byOp["upload"].Count == 0 {
+		t.Fatal("uploader idle: reads were not measured under ingest")
+	}
+	// The server's own SLO verdicts come back with the report.
+	if len(rep.SLO) == 0 {
+		t.Fatal("no SLO status scraped from /api/stats")
+	}
+	for _, st := range rep.SLO {
+		if st.Name == "http-errors" && st.Unattainable {
+			t.Fatalf("http-errors objective saw no events: %+v", st)
+		}
+	}
+}
+
+func TestDriverUnreachableTarget(t *testing.T) {
+	_, err := workload.RunDriver(workload.DriverSpec{
+		BaseURL:  "http://127.0.0.1:1",
+		Duration: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("unreachable target must fail fast")
+	}
+}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# slo_smoke.sh — the CI SLO gate (DESIGN.md §13, EXPERIMENTS.md).
+#
+# Builds the real cmd/lodify binary, starts it with the slow-query log
+# armed and the trace exporter on, drives it with the closed-loop
+# workload via `benchreport -exp slo -target`, and scrapes /metrics
+# afterwards. benchreport exits non-zero when any SLO objective is
+# unattainable (zero events: the driver failed to exercise a route the
+# objective covers), which fails this script and the CI step.
+#
+# Artifacts: BENCH_slo.json (driver report, server-side SLO verdicts,
+# EXPLAIN ANALYZE plan, slowlog tail) and metrics_slo.txt (the final
+# Prometheus scrape, lodify_slo_* included).
+set -eu
+
+GO="${GO:-go}"
+PORT="${LODIFY_SLO_PORT:-18080}"
+DUR="${LODIFY_SLO_DUR:-3s}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building cmd/lodify"
+"$GO" build -o "$WORK/lodify" ./cmd/lodify
+
+echo "== starting lodify on $BASE (slow-query log armed, trace export on)"
+"$WORK/lodify" -addr ":${PORT}" -contents 300 -slow-query 0 \
+	-trace-export "$WORK/traces.json" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Readiness: the corpus build takes a moment; poll /api/stats.
+i=0
+until curl -fsS "$BASE/api/stats" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 120 ]; then
+		echo "server never became ready; log tail:" >&2
+		tail -20 "$WORK/server.log" >&2
+		exit 1
+	fi
+	if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+		echo "server exited during startup; log tail:" >&2
+		tail -20 "$WORK/server.log" >&2
+		exit 1
+	fi
+	sleep 0.5
+done
+
+echo "== driving the live server for $DUR"
+"$GO" run ./cmd/benchreport -exp slo -target "$BASE" -sloDur "$DUR" \
+	-json -label slo >BENCH_slo.json
+
+echo "== scraping /metrics"
+curl -fsS "$BASE/metrics" >metrics_slo.txt
+if ! grep -q '^lodify_slo_attainment' metrics_slo.txt; then
+	echo "scrape lacks lodify_slo_attainment series" >&2
+	exit 1
+fi
+if ! grep -q '^lodify_sparql_op_nanos_total' metrics_slo.txt; then
+	echo "scrape lacks per-operator profile totals" >&2
+	exit 1
+fi
+if [ ! -s "$WORK/traces.json" ]; then
+	echo "trace exporter wrote no spans" >&2
+	exit 1
+fi
+
+echo "== SLO smoke ok: BENCH_slo.json + metrics_slo.txt written"
