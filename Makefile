@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-slo-smoke ci
+.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-shard bench-shard-smoke bench-slo-smoke ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -62,6 +62,17 @@ bench-ingest:
 # detector without paying 500k-quad measurement time (CI gate).
 bench-ingest-smoke:
 	LODIFY_INGEST_QUADS=20000 $(GO) test -race -run=NONE -bench='LoadNQuads|DumpNQuads' -benchtime=1x ./internal/store/
+
+# The shard writer-scaling sweep: the same synthetic dump bulk-loaded
+# at 1, 2, 4 and 8 shards with one loader goroutine per shard, under
+# concurrent leased readers. GOMAXPROCS is pinned so the sweep measures
+# lock contention, not scheduler luck on smaller machines.
+bench-shard:
+	GOMAXPROCS=8 $(GO) run ./cmd/benchreport -exp shard -ingestQuads 500000 -json -label shard > BENCH_shard.json
+
+# The BENCH_8 artifact: the same sweep at a CI-friendly corpus size.
+bench-shard-smoke:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchreport -exp shard -ingestQuads 100000 -json -label 8 > BENCH_8.json
 
 # The SLO gate (CI): drive a live cmd/lodify binary with the closed-loop
 # workload, collect the server's own SLO verdicts and per-operator

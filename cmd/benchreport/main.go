@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,9 +26,24 @@ import (
 	"lodify/internal/workload"
 )
 
+// parseInts parses a comma-separated integer list flag value.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10, sparql, ingest, slo) or 'all'")
-	ingestQuads := flag.Int("ingestQuads", 100000, "statement count for the ingest experiment")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (e1..e10, sparql, ingest, shard, slo) or 'all'")
+	ingestQuads := flag.Int("ingestQuads", 100000, "statement count for the ingest and shard experiments")
+	shardCounts := flag.String("shardCounts", "1,2,4,8", "shard counts swept by the shard experiment")
+	shardReaders := flag.Int("shardReaders", 2, "concurrent leased readers during the shard experiment")
 	contents := flag.Int("contents", 300, "corpus size for the shared environment")
 	users := flag.Int("users", 20, "corpus users")
 	seed := flag.Int64("seed", 7, "corpus seed")
@@ -153,6 +169,18 @@ func main() {
 			log.Fatal(err)
 		}
 		emit("ingest", rows, func() string { return experiments.IngestReport(rows) })
+	}
+	if sel("shard") {
+		section("shard", "§2.1 sharded store writer scaling: concurrent bulk load under leased readers")
+		counts, err := parseInts(*shardCounts)
+		if err != nil {
+			log.Fatalf("shardCounts: %v", err)
+		}
+		rows, err := experiments.ShardBench(*ingestQuads, counts, *shardReaders)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("shard", rows, func() string { return experiments.ShardReport(rows) })
 	}
 	sloOK := true
 	if sel("slo") {

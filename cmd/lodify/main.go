@@ -28,6 +28,7 @@ import (
 	"lodify/internal/obs"
 	"lodify/internal/resolver"
 	"lodify/internal/social"
+	"lodify/internal/store"
 	"lodify/internal/ugc"
 	"lodify/internal/web"
 	"lodify/internal/workload"
@@ -42,7 +43,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate listen address for pprof/metrics/expvar (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "slow-query log threshold: queries at least this slow are captured with their plan profile on /debug/slowlog (0 captures every query, negative disables)")
 	traceExport := flag.String("trace-export", "", "append finished spans as OTLP-shaped JSON to this file (empty = disabled)")
+	shards := flag.Int("shards", 0, "store shard count, rounded up to a power of two (0 = GOMAXPROCS, 1 = legacy single-shard layout)")
 	flag.Parse()
+
+	// Every store this process creates (the LOD world's and any
+	// auxiliary ones) honors the operator's shard choice.
+	store.SetDefaultShards(*shards)
 
 	// The library default keeps the slow-query log (and with it plan
 	// profiling) off; the server process opts in here.
@@ -64,7 +70,8 @@ func main() {
 
 	log.Printf("generating LOD world (DBpedia/Geonames/LinkedGeoData substitutes)...")
 	world := lod.Generate(lod.DefaultConfig())
-	log.Printf("LOD world: %d triples, %d cities", world.Store.Len(), len(world.Cities))
+	log.Printf("LOD world: %d triples, %d cities, %d store shards",
+		world.Store.Len(), len(world.Cities), world.Store.NumShards())
 
 	ctx := ctxmgr.New(world)
 	broker := resolver.DefaultBroker(world.Store)

@@ -12,17 +12,17 @@ import (
 const storePkgPath = "lodify/internal/store"
 
 // LeaseHold enforces the store.ReadLease contract (DESIGN.md §9): a
-// read lease holds the store's RWMutex read lock from ReadLease until
-// Release, so
+// read lease holds every shard's RWMutex read lock from ReadLease
+// until Release (the cross-shard epoch snapshot), so
 //
 //  1. every path out of the acquiring function — returns, panics, the
 //     fall-off end — must Release first (defer lease.Release() covers
 //     all of them), and
 //  2. the lease must not be held across a blocking call: a network
 //     round trip, a channel operation, a sync.WaitGroup/Cond wait,
-//     another lock acquisition, or any Store method that takes the
-//     store mutex itself (with a writer queued between the two
-//     acquisitions, the second read lock deadlocks).
+//     another lock acquisition, or any Store method that takes shard
+//     locks itself (with a writer queued between the two acquisitions,
+//     the second read lock deadlocks).
 //
 // The analyzer runs the dataflow engine over every function and
 // function literal, tracking lease variables as typestate (held /
@@ -321,18 +321,21 @@ func blockingCallKind(pass *Pass, call *ast.CallExpr, fn *types.Func) string {
 }
 
 // storeLockingMethods lists the exported *store.Store methods that
-// acquire st.mu. Calling one while a read lease is held re-enters the
-// RWMutex: with a writer queued in between, that deadlocks. Lease
-// methods (MatchIDs/CountIDs/TermOf on *store.Lease) are the
-// sanctioned under-lease API and are deliberately absent.
+// acquire shard locks (the shard-lease contract: a lease holds every
+// shard's read lock). Calling one while a read lease is held re-enters
+// an RWMutex the lease already holds: with a writer queued in between,
+// that deadlocks. Lease methods (MatchIDs/CountIDs/TermOf on
+// *store.Lease) are the sanctioned under-lease API and are
+// deliberately absent, as are the lock-free accessors (Len, Epoch,
+// NumShards, ShardOf read only atomics or immutable routing state).
 var storeLockingMethods = map[string]bool{
 	"Add": true, "AddTriple": true, "MustAdd": true, "Remove": true,
 	"Has": true, "Match": true, "MatchSlice": true, "Count": true,
 	"Graphs": true, "Objects": true, "FirstObject": true, "Subjects": true,
 	"TextSearch": true, "TextPrefixSearch": true, "GeoWithin": true,
-	"GeometryOf": true, "StatsSnapshot": true, "DumpNQuads": true,
-	"LoadNQuads": true, "SaveFile": true, "LoadFile": true, "Len": true,
-	"MatchIDs": true, "CountIDs": true, "ReadLease": true,
+	"GeometryOf": true, "StatsSnapshot": true, "ShardStats": true,
+	"DumpNQuads": true, "LoadNQuads": true, "SaveFile": true,
+	"LoadFile": true, "MatchIDs": true, "CountIDs": true, "ReadLease": true,
 }
 
 func recvTypeName(fn *types.Func) string {

@@ -31,9 +31,11 @@ var LocalID = &Analyzer{
 const tLocal taint = 1
 
 // idSinkMethods are the store.Store / store.Lease methods whose
-// parameters are dictionary ids.
+// parameters are dictionary ids. ShardOf routes a (graph, subject) id
+// pair to a shard index: a local id fed to it picks an arbitrary shard
+// that never holds the quad, so it is an id-space sink like the scans.
 var idSinkMethods = map[string]bool{
-	"MatchIDs": true, "CountIDs": true, "TermOf": true,
+	"MatchIDs": true, "CountIDs": true, "TermOf": true, "ShardOf": true,
 }
 
 func runLocalID(pass *Pass) {

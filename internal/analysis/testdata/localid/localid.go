@@ -62,6 +62,14 @@ func MatchLocal(st *store.Store, base store.TermID) int {
 	return n
 }
 
+// ShardRouteLocal routes with a minted id: ShardOf hashes the (graph,
+// subject) pair, so a local id picks an arbitrary shard that never
+// holds the subject's quads.
+func ShardRouteLocal(st *store.Store, base store.TermID) int {
+	lid := base | localIDBit
+	return st.ShardOf(0, lid) // want "query-local id"
+}
+
 // CountStore passes a store-dictionary id straight through: compliant.
 func CountStore(st *store.Store, t rdf.Term) int {
 	id, ok := st.LookupID(t)

@@ -1,9 +1,12 @@
 // Package lockorderfix seeds lockorder violations for the analyzer
 // tests: an undeclared two-lock cycle, a violation of a declared
-// order, a malformed declaration, and a compliant declared pair.
+// order, a transitive violation of a declared chain (the shard-store
+// shape: Store.mu < shard.mu < dict.mu), a malformed declaration, and
+// compliant declared pairs.
 //
 //lodlint:lockorder Acct.mu < Audit.mu
 //lodlint:lockorder Pool.mu < Conn.mu
+//lodlint:lockorder Hub.mu < Ring.mu < Node.mu
 package lockorderfix
 
 import "sync"
@@ -87,6 +90,46 @@ func (p *Pool) Checkout() *Conn {
 		c.mu.Unlock()
 	}
 	return nil
+}
+
+// Hub, Ring and Node mirror the sharded store's three-level chain
+// (Store.mu < shard.mu < dict.mu): the chain declaration orders the
+// pairs transitively, so Hub.mu < Node.mu holds without being written.
+type Hub struct {
+	mu    sync.Mutex
+	rings []*Ring
+}
+
+type Ring struct {
+	mu    sync.Mutex
+	nodes []*Node
+}
+
+type Node struct {
+	mu  sync.Mutex
+	hot bool
+}
+
+// Demote acquires the chain head while the tail is held: no direct
+// `Hub.mu < Node.mu` declaration exists, only the transitive closure
+// of the chain — the analyzer must still flag it.
+func Demote(h *Hub, n *Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h.mu.Lock() // want "lock order violation"
+	h.rings = nil
+	h.mu.Unlock()
+}
+
+// Rebalance respects the chain's first declared pair: compliant.
+func Rebalance(h *Hub) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.rings {
+		r.mu.Lock()
+		r.nodes = nil
+		r.mu.Unlock()
+	}
 }
 
 // The trailing junk makes this declaration unparseable; the analyzer

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// ---- Shard: §2.1 writer scaling on the sharded store (PR 8) ----
+
+// ShardRow reports one leg of the shard-scaling experiment: the same
+// synthetic dump bulk-loaded into a store with Shards shards by
+// Writers concurrent loaders, while leased readers run alongside.
+type ShardRow struct {
+	Shards  int
+	Writers int
+	Quads   int
+	Elapsed time.Duration
+	// QuadsSec is ingest throughput for this leg.
+	QuadsSec float64
+	// Speedup is elapsed(1-shard leg) / elapsed(this leg).
+	Speedup float64
+	// Reads counts the leased read operations (an epoch-pinned
+	// cross-shard snapshot each) that completed during the load.
+	Reads int64
+	// LeaseWait totals the time those leases spent blocked on writers —
+	// the same per-shard waits the lodify_store_shard_lease_wait_seconds
+	// histograms record.
+	LeaseWait time.Duration
+}
+
+// shardBatch is the per-AddBatch chunk size: small enough that each
+// writer takes many lock holds per leg (the contention being measured),
+// large enough to keep the sort/intern amortization realistic.
+const shardBatch = 4096
+
+// ShardBench parses one synthetic n-statement dump, then for each
+// shard count loads it into a fresh store with one bulk loader per
+// shard (writers split the statement stream evenly) while `readers`
+// goroutines continuously take read leases and run wildcard and
+// bound-subject counts. Every leg must reach the same final size; the
+// 1-shard leg is the single-lock baseline the speedups are against.
+func ShardBench(n int, shardCounts []int, readers int) ([]ShardRow, error) {
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4, 8}
+	}
+	quads, err := rdf.ParseNQuads(string(SyntheticNQuads(n)))
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ShardRow
+	for _, sc := range shardCounts {
+		st := store.NewSharded(sc)
+		writers := st.NumShards()
+		if writers > len(quads) {
+			writers = len(quads)
+		}
+
+		var (
+			stop      = make(chan struct{})
+			readerWG  sync.WaitGroup
+			reads     atomic.Int64
+			leaseWait atomic.Int64
+		)
+		probe := rdf.NewIRI("http://ex.org/picture/1")
+		for r := 0; r < readers; r++ {
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// The probe id is a dictionary lookup, not a shard
+					// read, so it is resolved before the lease is taken.
+					pid, ok := st.LookupID(probe)
+					lease := st.ReadLease()
+					if ok {
+						lease.CountIDs(pid, 0, 0, store.AnyGraph)
+					}
+					lease.CountIDs(0, 0, 0, store.AnyGraph)
+					leaseWait.Add(int64(lease.Wait()))
+					lease.Release()
+					reads.Add(1)
+					// Pace the read loop: an unthrottled spin starves the
+					// writers on small machines and the leg degenerates
+					// into a reader benchmark.
+					time.Sleep(500 * time.Microsecond)
+				}
+			}()
+		}
+
+		start := time.Now()
+		var (
+			writerWG sync.WaitGroup
+			loadErr  error
+			errOnce  sync.Once
+		)
+		per := (len(quads) + writers - 1) / writers
+		for w := 0; w < writers; w++ {
+			lo := w * per
+			hi := min(lo+per, len(quads))
+			if lo >= hi {
+				continue
+			}
+			writerWG.Add(1)
+			go func(part []rdf.Quad) {
+				defer writerWG.Done()
+				bl := st.NewBulkLoader()
+				for len(part) > 0 {
+					b := min(shardBatch, len(part))
+					if _, err := bl.AddBatch(part[:b]); err != nil {
+						errOnce.Do(func() { loadErr = err })
+						return
+					}
+					part = part[b:]
+				}
+			}(quads[lo:hi])
+		}
+		writerWG.Wait()
+		elapsed := time.Since(start)
+		close(stop)
+		readerWG.Wait()
+		if loadErr != nil {
+			return nil, loadErr
+		}
+		if st.Len() != len(quads) {
+			return nil, fmt.Errorf("shard: %d-shard store has %d quads, want %d", sc, st.Len(), len(quads))
+		}
+
+		row := ShardRow{
+			Shards: st.NumShards(), Writers: writers, Quads: len(quads),
+			Elapsed: elapsed, QuadsSec: float64(len(quads)) / elapsed.Seconds(),
+			Speedup: 1, Reads: reads.Load(),
+			LeaseWait: time.Duration(leaseWait.Load()),
+		}
+		if len(rows) > 0 {
+			row.Speedup = rows[0].Elapsed.Seconds() / elapsed.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ShardReport renders the writer-scaling table.
+func ShardReport(rows []ShardRow) string {
+	header := []string{"shards", "writers", "quads", "elapsed", "quads/sec", "speedup", "leased reads", "lease wait"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			itoa(r.Shards), itoa(r.Writers), itoa(r.Quads), ms(r.Elapsed),
+			fmt.Sprintf("%.0f", r.QuadsSec), fmt.Sprintf("%.2fx", r.Speedup),
+			itoa(int(r.Reads)), ms(r.LeaseWait),
+		})
+	}
+	return Table(header, body)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestShardBenchShape(t *testing.T) {
+	rows, err := ShardBench(5000, []int{1, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Shards != 1 || rows[1].Shards != 4 {
+		t.Fatalf("shard counts = %d, %d; want 1, 4", rows[0].Shards, rows[1].Shards)
+	}
+	for _, r := range rows {
+		if r.Quads != 5000 {
+			t.Fatalf("%d-shard leg loaded %d quads, want 5000", r.Shards, r.Quads)
+		}
+		if r.Writers != r.Shards {
+			t.Fatalf("%d-shard leg used %d writers", r.Shards, r.Writers)
+		}
+		if r.QuadsSec <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("%d-shard leg reported no throughput: %+v", r.Shards, r)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %f, want 1", rows[0].Speedup)
+	}
+	report := ShardReport(rows)
+	for _, col := range []string{"shards", "quads/sec", "lease wait"} {
+		if !strings.Contains(report, col) {
+			t.Fatalf("report missing %q:\n%s", col, report)
+		}
+	}
+}

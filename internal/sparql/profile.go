@@ -43,7 +43,8 @@ type PlanNode struct {
 	AllocBytes int64 `json:"allocBytes,omitempty"`
 	// Leases/LeaseWaitNs count store read leases acquired while this
 	// operator was on top of the plan stack and the time they spent
-	// blocked on writers.
+	// blocked on writers — summed across every shard lock the lease
+	// acquired, so the field stays truthful on sharded stores.
 	Leases      int64 `json:"leases,omitempty"`
 	LeaseWaitNs int64 `json:"leaseWaitNs,omitempty"`
 	// EstRows is the static EXPLAIN cardinality estimate (the most
@@ -100,7 +101,10 @@ func (p *profiler) exit(pn *PlanNode, wall time.Duration, rowsOut, rowWidth int)
 }
 
 // addLease attributes one store read-lease acquisition to the current
-// operator. Safe from parallel BGP workers (and nil receivers).
+// operator. The wait argument is the lease's total blocked time —
+// store.Lease sums its per-shard acquisition waits before reporting,
+// so one cross-shard lease still counts as one lease here. Safe from
+// parallel BGP workers (and nil receivers).
 func (p *profiler) addLease(wait time.Duration) {
 	if p == nil {
 		return

@@ -2,6 +2,7 @@ package store
 
 import (
 	"slices"
+	"sync"
 	"time"
 
 	"lodify/internal/geo"
@@ -9,13 +10,17 @@ import (
 	"lodify/internal/rdf"
 )
 
-// Bulk ingest (DESIGN.md §10): where Add pays four dictionary
-// acquisitions, one store lock and per-quad secondary indexing for
+// Bulk ingest (DESIGN.md §10, §14): where Add pays four dictionary
+// acquisitions, one shard lock and per-quad secondary indexing for
 // every statement, the BulkLoader amortizes all of it across a batch —
 // one read-locked dictionary sweep plus one write-locked miss pass,
 // id-space deduplication, tokenization and WKT parsing outside the
-// store lock, then a single st.mu hold that bulk-inserts into the
-// graph indexes and merges text-index deltas grouped by object term.
+// store locks, then one write-lock hold per touched shard that
+// bulk-inserts into the graph indexes and merges text-index deltas
+// grouped by object term. On a sharded store the per-shard applies run
+// in parallel: the batch sort already groups quads by (graph, subject)
+// — the same key shard routing hashes — so each shard's slice of the
+// batch keeps the memoization-friendly order.
 
 // Process-wide ingest metrics.
 var (
@@ -35,11 +40,26 @@ type geoPt struct {
 	ok bool
 }
 
-// BulkLoader ingests batches of quads with one store-lock acquisition
-// per batch. It is not safe for concurrent use (callers feed it from
-// one goroutine — the chunked parser's emit callback already is); the
-// store itself stays fully concurrent-safe for other readers/writers
-// between batches.
+// shardScratch is one shard's reusable apply-phase state. The text
+// postCache must be per shard: postings resolve against the shard's
+// own text segment.
+type shardScratch struct {
+	// postCache maps a distinct literal-object id to its resolved
+	// postings (one per token, carved from postSlab), so repeated
+	// literals in a shard's slice of the batch hit the string-keyed
+	// text index once.
+	postCache map[TermID][]*posting
+	postSlab  []*posting
+}
+
+// BulkLoader ingests batches of quads with one lock acquisition per
+// touched shard per batch. It is not safe for concurrent use (callers
+// feed it from one goroutine — the chunked parser's emit callback
+// already is); the store itself stays fully concurrent-safe for other
+// readers/writers between and during batches. A batch is not applied
+// atomically across shards: concurrent readers may observe one
+// shard's slice of a batch before another's — bulk load promises
+// final-state equivalence, not mid-load isolation (use Txn for that).
 //
 // Batch terms may alias parser chunk memory: everything the store
 // retains is cloned at intern time, so no input buffer outlives the
@@ -57,20 +77,27 @@ type BulkLoader struct {
 	order    []int32
 	keys     []uint64
 	tokCache map[TermID][]string
-	// postCache maps a distinct literal-object id to its resolved
-	// postings (one per token, carved from postSlab), so repeated
-	// literals in a batch hit the string-keyed text index once.
-	postCache map[TermID][]*posting
-	postSlab  []*posting
+
+	// Per-shard apply state: the sorted order bucketed by shard, each
+	// shard's text scratch, and each worker's added count.
+	shardOrder [][]int32
+	scratch    []shardScratch
+	addedBy    []int
 }
 
 // NewBulkLoader returns a loader feeding st.
 func (st *Store) NewBulkLoader() *BulkLoader {
-	return &BulkLoader{
-		st:        st,
-		tokCache:  make(map[TermID][]string),
-		postCache: make(map[TermID][]*posting),
+	bl := &BulkLoader{
+		st:         st,
+		tokCache:   make(map[TermID][]string),
+		shardOrder: make([][]int32, len(st.shards)),
+		scratch:    make([]shardScratch, len(st.shards)),
+		addedBy:    make([]int, len(st.shards)),
 	}
+	for i := range bl.scratch {
+		bl.scratch[i].postCache = make(map[TermID][]*posting)
+	}
+	return bl
 }
 
 // Added returns the total number of quads this loader actually
@@ -98,8 +125,6 @@ func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
 	// here: the index insert below rejects them in id space, and a
 	// duplicate's staged tokens are simply never merged.
 	clear(bl.tokCache)
-	clear(bl.postCache)
-	bl.postSlab = bl.postSlab[:0]
 	if cap(bl.toks) < len(quads) {
 		bl.toks = make([][]string, len(quads))
 		bl.geos = make([]geoPt, len(quads))
@@ -156,27 +181,78 @@ func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
 		slices.SortFunc(bl.order, func(a, b int32) int { return cmpIquad(bl.iquads[a], bl.iquads[b]) })
 	}
 
-	// Apply under one lock hold. Graph and subject-node lookups are
-	// memoized across the sorted runs, predicate and object nodes via
-	// small rings; text postings resolve once per distinct literal
-	// object in the batch via postCache.
+	// Apply with one write-lock hold per touched shard. Sharding is by
+	// the same (g, s) pair the sort grouped on, so bucketing the sorted
+	// order by shard preserves each shard's (g, s) runs — graph and
+	// subject-node lookups stay memoized across the runs, predicate and
+	// object nodes via small rings; text postings resolve once per
+	// distinct literal object per shard via that shard's postCache.
 	start := time.Now()
-	st.mu.Lock()
+	added := 0
+	if len(st.shards) == 1 {
+		added = bl.applyShard(st.shards[0], bl.order, &bl.scratch[0])
+	} else {
+		for i := range bl.shardOrder {
+			bl.shardOrder[i] = bl.shardOrder[i][:0]
+		}
+		for _, idx := range bl.order {
+			e := bl.iquads[idx]
+			k := st.shardIndex(e.g, e.s)
+			bl.shardOrder[k] = append(bl.shardOrder[k], idx)
+		}
+		// Shard applies are independent (disjoint index state, disjoint
+		// scratch) and run concurrently — this is where ingest scales
+		// across cores.
+		var wg sync.WaitGroup
+		for k := range st.shards {
+			if len(bl.shardOrder[k]) == 0 {
+				bl.addedBy[k] = 0
+				continue
+			}
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				bl.addedBy[k] = bl.applyShard(st.shards[k], bl.shardOrder[k], &bl.scratch[k])
+			}(k)
+		}
+		wg.Wait()
+		for _, n := range bl.addedBy {
+			added += n
+		}
+	}
+	st.size.Add(int64(added))
+
+	mIngestApply.ObserveSince(start)
+	mIngestBatches.Inc()
+	mIngestQuads.Add(int64(len(quads)))
+	mQuadsAdded.Add(int64(added))
+	bl.added += added
+	return added, nil
+}
+
+// applyShard applies one shard's slice of the sorted batch under that
+// shard's write lock and returns how many quads were new. The slice
+// preserves the batch's (g, s) sort order, so the same memoization as
+// the single-lock apply holds per shard.
+func (bl *BulkLoader) applyShard(sh *shard, idxs []int32, sc *shardScratch) int {
+	clear(sc.postCache)
+	sc.postSlab = sc.postSlab[:0]
+	sh.mu.Lock()
 	added := 0
 	var gi *graphIndex
 	var spoNode *pairSet
 	var posMemo, ospMemo nodeMemo
 	gcur := AnyGraph // sentinel: AnyGraph is never a stored graph id
 	scur := AnyGraph // likewise never a stored subject id
-	for _, idx := range bl.order {
+	for _, idx := range idxs {
 		e := bl.iquads[idx]
 		if gi == nil || e.g != gcur {
 			var ok bool
-			gi, ok = st.graphs[e.g]
+			gi, ok = sh.graphs[e.g]
 			if !ok {
 				gi = newGraphIndex()
-				st.graphs[e.g] = gi
-				st.gids, _ = st.gids.insert(e.g)
+				sh.graphs[e.g] = gi
+				sh.gids, _ = sh.gids.insert(e.g)
 			}
 			gcur, scur = e.g, AnyGraph
 			posMemo.reset()
@@ -191,30 +267,27 @@ func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
 		if !gi.addNodes(spoNode, posN, ospN, e.s, e.p, e.o) {
 			continue // already stored: secondary indexes unchanged
 		}
-		st.size++
+		sh.size++
 		added++
 		if toks := bl.toks[idx]; len(toks) > 0 {
-			posts, ok := bl.postCache[e.o]
+			posts, ok := sc.postCache[e.o]
 			if !ok {
-				lo := len(bl.postSlab)
-				bl.postSlab = st.text.resolvePostings(bl.postSlab, toks)
-				posts = bl.postSlab[lo:len(bl.postSlab):len(bl.postSlab)]
-				bl.postCache[e.o] = posts
+				lo := len(sc.postSlab)
+				sc.postSlab = sh.text.resolvePostings(sc.postSlab, toks)
+				posts = sc.postSlab[lo:len(sc.postSlab):len(sc.postSlab)]
+				sc.postCache[e.o] = posts
 			}
 			for _, p := range posts {
 				p.add(e.s)
 			}
 		}
 		if gp := bl.geos[idx]; gp.ok {
-			st.geo.Insert(uint64(e.s), gp.pt)
+			sh.geo.Insert(uint64(e.s), gp.pt)
 		}
 	}
-	st.mu.Unlock()
-
-	mIngestApply.ObserveSince(start)
-	mIngestBatches.Inc()
-	mIngestQuads.Add(int64(len(quads)))
-	mQuadsAdded.Add(int64(added))
-	bl.added += added
-	return added, nil
+	if added > 0 {
+		sh.epoch = bl.st.epoch.Add(1)
+	}
+	sh.mu.Unlock()
+	return added
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"time"
 
 	"lodify/internal/obs"
@@ -10,10 +11,10 @@ import (
 // ID-space read API: the SPARQL engine executes basic graph patterns
 // directly on dictionary ids (one uint64 compare per join check) and
 // only materializes rdf.Terms at expression and projection
-// boundaries. The Lease additionally amortizes locking: one RLock
-// acquisition covers an entire BGP join instead of one per Count/Match
-// call, and term materialization inside the lease is lock-free via a
-// dictionary snapshot.
+// boundaries. The Lease additionally amortizes locking: one cross-
+// shard acquisition covers an entire BGP join instead of one per
+// Count/Match call, and term materialization inside the lease is
+// lock-free via a dictionary snapshot.
 
 // AnyGraph is the graph-position wildcard for the ID-level calls.
 // (TermID 0 cannot double as the wildcard there: it already addresses
@@ -34,56 +35,69 @@ func (st *Store) TermOf(id TermID) rdf.Term { return st.dict.term(id) }
 // concrete graph id (0 = default graph) or AnyGraph to range over all
 // graphs in sorted-gid order. fn returning false stops the iteration.
 func (st *Store) MatchIDs(s, p, o, g TermID, fn func(s, p, o, g TermID) bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	st.matchIDsLocked(s, p, o, g, fn)
+	st.lockAllR()
+	defer st.unlockAllR()
+	if g != AnyGraph {
+		st.matchGraphIDsLocked(g, s, p, o, fn)
+		return
+	}
+	for _, gid := range st.mergedGidsLocked() {
+		if !st.matchGraphIDsLocked(gid, s, p, o, fn) {
+			return
+		}
+	}
 }
 
 // CountIDs returns the number of quads matching the id pattern, with
 // the same pattern conventions as MatchIDs.
 func (st *Store) CountIDs(s, p, o, g TermID) int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.lockAllR()
+	defer st.unlockAllR()
 	return st.countIDsLocked(s, p, o, g)
 }
 
-// matchIDsLocked is MatchIDs with st.mu already held (Lease path).
-func (st *Store) matchIDsLocked(s, p, o, g TermID, fn func(s, p, o, g TermID) bool) bool {
-	if g != AnyGraph {
-		gi, ok := st.graphs[g]
-		if !ok {
-			return true
-		}
-		return gi.scan(s, p, o, func(ms, mp, mo TermID) bool { return fn(ms, mp, mo, g) })
-	}
-	for _, gid := range st.gids {
-		gid := gid
-		if !st.graphs[gid].scan(s, p, o, func(ms, mp, mo TermID) bool { return fn(ms, mp, mo, gid) }) {
-			return false
-		}
-	}
-	return true
+// matchGraphIDsLocked scans one graph with the relevant shard locks
+// already held (Lease and locked-store paths). A bound subject visits
+// only its owning shard; a subject wildcard walks the graph's slice in
+// every shard.
+func (st *Store) matchGraphIDsLocked(g, s, p, o TermID, fn func(s, p, o, g TermID) bool) bool {
+	wrap := func(ms, mp, mo TermID) bool { return fn(ms, mp, mo, g) }
+	return st.scanGraphLocked(g, s, p, o, wrap)
 }
 
-// countIDsLocked is CountIDs with st.mu already held (Lease path).
+// countIDsLocked is CountIDs with the shard locks already held.
 func (st *Store) countIDsLocked(s, p, o, g TermID) int {
 	if g != AnyGraph {
-		gi, ok := st.graphs[g]
-		if !ok {
-			return 0
+		if s != 0 {
+			gi := st.shards[st.shardIndex(g, s)].graphs[g]
+			if gi == nil {
+				return 0
+			}
+			return gi.count(s, p, o)
 		}
-		return gi.count(s, p, o)
+		n := 0
+		for _, sh := range st.shards {
+			if gi := sh.graphs[g]; gi != nil {
+				n += gi.count(s, p, o)
+			}
+		}
+		return n
 	}
 	n := 0
-	for _, gi := range st.graphs {
-		n += gi.count(s, p, o)
+	for _, sh := range st.shards {
+		for _, gi := range sh.graphs {
+			n += gi.count(s, p, o)
+		}
 	}
 	return n
 }
 
-// Lease is a query-scoped read snapshot: it holds the store's read
-// lock from ReadLease until Release, so a whole BGP join pays one lock
-// acquisition instead of one per Count/Match call.
+// Lease is a query-scoped read snapshot: it holds every shard's read
+// lock from ReadLease until Release, so a whole BGP join pays one
+// cross-shard acquisition instead of one per Count/Match call. The
+// lease additionally pins the store's write epoch — epochs only
+// advance under a shard write lock, so the epoch cannot move while
+// the lease holds all read locks, and Release checks that invariant.
 //
 // Contract: a Lease is single-goroutine (concurrent workers each take
 // their own), must not outlive the query, and the holder must not call
@@ -91,48 +105,95 @@ func (st *Store) countIDsLocked(s, p, o, g TermID) int {
 // from a *different* goroutine's write-blocked future — before
 // Release. Release is idempotent.
 type Lease struct {
-	st       *Store
-	terms    []rdf.Term
+	st    *Store
+	terms []rdf.Term
+	// gids caches the merged wildcard-graph iteration order, built on
+	// first use (the shard gid slices are frozen while the lease holds
+	// the read locks).
+	gids     ids
+	gidsOK   bool
 	wait     time.Duration
+	epoch    uint64
 	released bool
 }
 
-// ReadLease acquires the store read lock and snapshots the term
-// dictionary for lock-free materialization. The time spent blocked on
-// the lock (writer contention) is recorded in
-// lodify_store_lease_wait_seconds and retrievable via Wait — the
-// query profiler attributes it to the waiting plan node.
+// ReadLease acquires every shard's read lock in ascending shard order
+// and snapshots the term dictionary for lock-free materialization.
+// Uncontended shards are taken via TryRLock without touching the
+// clock; for contended shards the blocked time is recorded per shard
+// in lodify_store_shard_lease_wait_seconds{shard=i} and the summed
+// wait in lodify_store_lease_wait_seconds and Wait — the query
+// profiler attributes the sum to the waiting plan node.
 func (st *Store) ReadLease() *Lease {
-	start := time.Now()
-	st.mu.RLock()
-	wait := time.Since(start)
+	var wait time.Duration
+	for _, sh := range st.shards {
+		if sh.mu.TryRLock() {
+			continue
+		}
+		start := time.Now()
+		sh.mu.RLock()
+		w := time.Since(start)
+		sh.leaseWait.Observe(w.Seconds())
+		wait += w
+	}
 	leaseWait.Observe(wait.Seconds())
-	return &Lease{st: st, terms: st.dict.termsSnapshot(), wait: wait}
+	return &Lease{
+		st:    st,
+		terms: st.dict.termsSnapshot(),
+		wait:  wait,
+		epoch: st.epoch.Load(),
+	}
 }
 
 // leaseWait is resolved once: ReadLease is on the per-BGP hot path.
 var leaseWait = obs.H("lodify_store_lease_wait_seconds")
 
-// Wait returns how long ReadLease blocked acquiring the read lock.
+// Wait returns how long ReadLease blocked acquiring shard read locks
+// (summed across shards; uncontended shards contribute zero).
 func (l *Lease) Wait() time.Duration { return l.wait }
 
-// Release drops the read lock. Idempotent.
+// Release drops the shard read locks (in reverse order) after
+// verifying the pinned epoch: a moved epoch means some writer mutated
+// the store while the lease's read locks were held, which the locking
+// protocol makes impossible short of a bug — so it panics rather than
+// let a torn snapshot escape silently.
 func (l *Lease) Release() {
 	if l.released {
 		return
 	}
 	l.released = true
-	l.st.mu.RUnlock()
+	if e := l.st.epoch.Load(); e != l.epoch {
+		panic(fmt.Sprintf("store: write epoch advanced %d -> %d during read lease", l.epoch, e))
+	}
+	l.st.unlockAllR()
 }
 
-// MatchIDs is Store.MatchIDs under the already-held lease lock. It
+// graphIDs returns the lease's merged sorted graph-id order, built
+// once per lease.
+func (l *Lease) graphIDs() ids {
+	if !l.gidsOK {
+		l.gids = l.st.mergedGidsLocked()
+		l.gidsOK = true
+	}
+	return l.gids
+}
+
+// MatchIDs is Store.MatchIDs under the already-held lease locks. It
 // reports whether the scan ran to completion (fn never returned
 // false).
 func (l *Lease) MatchIDs(s, p, o, g TermID, fn func(s, p, o, g TermID) bool) bool {
-	return l.st.matchIDsLocked(s, p, o, g, fn)
+	if g != AnyGraph {
+		return l.st.matchGraphIDsLocked(g, s, p, o, fn)
+	}
+	for _, gid := range l.graphIDs() {
+		if !l.st.matchGraphIDsLocked(gid, s, p, o, fn) {
+			return false
+		}
+	}
+	return true
 }
 
-// CountIDs is Store.CountIDs under the already-held lease lock.
+// CountIDs is Store.CountIDs under the already-held lease locks.
 func (l *Lease) CountIDs(s, p, o, g TermID) int {
 	return l.st.countIDsLocked(s, p, o, g)
 }

@@ -121,18 +121,23 @@ func TestGraphSetMaintained(t *testing.T) {
 	st := New()
 	check := func(stage string) {
 		t.Helper()
-		st.mu.RLock()
-		defer st.mu.RUnlock()
-		if len(st.gids) != len(st.graphs) {
-			t.Fatalf("%s: gids len %d, graphs len %d", stage, len(st.gids), len(st.graphs))
-		}
-		for i, g := range st.gids {
-			if _, ok := st.graphs[g]; !ok {
-				t.Fatalf("%s: gid %d not in graphs map", stage, g)
+		for si, sh := range st.shards {
+			sh.mu.RLock()
+			if len(sh.gids) != len(sh.graphs) {
+				sh.mu.RUnlock()
+				t.Fatalf("%s: shard %d gids len %d, graphs len %d", stage, si, len(sh.gids), len(sh.graphs))
 			}
-			if i > 0 && st.gids[i-1] >= g {
-				t.Fatalf("%s: gids not strictly sorted at %d", stage, i)
+			for i, g := range sh.gids {
+				if _, ok := sh.graphs[g]; !ok {
+					sh.mu.RUnlock()
+					t.Fatalf("%s: shard %d gid %d not in graphs map", stage, si, g)
+				}
+				if i > 0 && sh.gids[i-1] >= g {
+					sh.mu.RUnlock()
+					t.Fatalf("%s: shard %d gids not strictly sorted at %d", stage, si, i)
+				}
 			}
+			sh.mu.RUnlock()
 		}
 	}
 	for i := 0; i < 5; i++ {

@@ -1,0 +1,257 @@
+package store
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"lodify/internal/geo"
+	"lodify/internal/obs"
+	"lodify/internal/rdf"
+)
+
+// Sharding (DESIGN.md §14): the store is partitioned into a power-of-
+// two number of shards keyed by a hash of the (graph, subject) id pair
+// — the same pair the BulkLoader already sorts batches on. Each shard
+// owns its own lock, graph indexes, and text/geo segments, so writers
+// on different shards proceed in parallel and a writer stalls only the
+// readers of its own shard. The term dictionary stays global (interning
+// must assign one id per term, and ids must match the single-lock
+// store byte-for-byte for dump identity); it is mostly-read and has
+// its own finer lock.
+//
+// Routing is a pure function of the (g, s) ids: every quad of one
+// subject within one graph lands in one shard, which keeps the
+// per-graph permutation indexes intact per shard and makes point
+// lookups (Has, bound-subject scans) single-shard operations.
+
+// maxShards bounds the shard count; it also lets writer shard sets be
+// tracked as a uint64 bitmask.
+const maxShards = 64
+
+// defaultShardsOverride holds the operator-set shard count for New()
+// (0 = automatic: GOMAXPROCS rounded up to a power of two).
+var defaultShardsOverride atomic.Int32
+
+// SetDefaultShards fixes the shard count used by New() for stores
+// created afterwards — the cmd/lodify -shards flag. n <= 0 restores
+// the automatic default; 1 selects the legacy single-lock layout.
+func SetDefaultShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultShardsOverride.Store(int32(n))
+}
+
+// DefaultShards returns the shard count New() would use right now.
+func DefaultShards() int {
+	if n := int(defaultShardsOverride.Load()); n > 0 {
+		return normalizeShards(n)
+	}
+	return normalizeShards(runtime.GOMAXPROCS(0))
+}
+
+// normalizeShards rounds n up to a power of two in [1, maxShards] so
+// shard routing is a mask, not a modulo.
+func normalizeShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shard is one partition of the quad store: the graph indexes and the
+// text/geo segments for every (graph, subject) pair routed here, all
+// guarded by the shard lock. The global Store.mu (multi-shard writer
+// coordination) nests outside sh.mu; the dictionary lock nests inside.
+type shard struct {
+	mu     sync.RWMutex
+	graphs map[TermID]*graphIndex
+	// gids mirrors the keys of graphs as a sorted slice, maintained
+	// incrementally under the write lock (see Store.mergedGidsLocked).
+	gids ids
+	size int
+	// epoch is the global store epoch as of this shard's last mutation;
+	// written under sh.mu, read by ShardStats and the epoch gauges.
+	epoch uint64
+
+	text *textIndex
+	geo  *geo.Index
+
+	// leaseWait records this shard's contribution to cross-shard lease
+	// acquisition waits (lodify_store_shard_lease_wait_seconds{shard=i});
+	// resolved once per shard, observed only on contended acquisitions.
+	leaseWait *obs.Histogram
+}
+
+func newShard(i int) *shard {
+	return &shard{
+		graphs:    make(map[TermID]*graphIndex),
+		text:      newTextIndex(),
+		geo:       geo.NewIndex(0.5),
+		leaseWait: obs.H("lodify_store_shard_lease_wait_seconds", "shard", strconv.Itoa(i)),
+	}
+}
+
+// indexSecondary keeps the shard's full-text and geo segments in sync
+// with a quad mutation. Caller holds sh.mu.
+func (sh *shard) indexSecondary(q rdf.Quad, s, o TermID, add bool) {
+	if q.O.IsLiteral() {
+		if add {
+			sh.text.index(o, s, q.O.Value())
+		} else {
+			sh.text.unindex(o, s, q.O.Value())
+		}
+		if q.P.Value() == rdf.GeoGeometry {
+			if pt, err := geo.ParseWKT(q.O.Value()); err == nil {
+				if add {
+					sh.geo.Insert(uint64(s), pt)
+				} else {
+					sh.geo.Remove(uint64(s))
+				}
+			}
+		}
+	}
+}
+
+// shardIndex routes a (graph, subject) id pair to its shard. The ids
+// are dense dictionary counters, so they are mixed (splitmix64 finisher)
+// before masking; the route is deterministic per store, which DumpNQuads
+// relies on to find each subject's owning shard during the merge.
+func (st *Store) shardIndex(g, s TermID) int {
+	if st.mask == 0 {
+		return 0
+	}
+	x := uint64(g)<<32 ^ uint64(s)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x & st.mask)
+}
+
+// ShardOf reports which shard stores quads of subject s in graph g.
+// Both arguments are dictionary ids — like MatchIDs, it must never be
+// fed query-local ids (the localid analyzer enforces this).
+func (st *Store) ShardOf(g, s TermID) int { return st.shardIndex(g, s) }
+
+// NumShards returns the store's shard count (1 = legacy single-lock
+// layout).
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Epoch returns the store's current write epoch: it advances by one
+// for every committed mutation batch (Add, Remove, Txn.Commit, bulk
+// batch per shard) and is frozen while any ReadLease is held.
+func (st *Store) Epoch() uint64 { return st.epoch.Load() }
+
+// lockAllR acquires every shard's read lock in ascending shard order.
+// The fixed order is what makes cross-shard snapshots deadlock-free:
+// all full-store readers and the multi-shard writer path (Txn.Commit)
+// acquire shard locks ascending, so no cycle can form through Go's
+// writer-preferring RWMutex.
+func (st *Store) lockAllR() {
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+	}
+}
+
+// unlockAllR releases what lockAllR acquired, in reverse order.
+func (st *Store) unlockAllR() {
+	for i := len(st.shards) - 1; i >= 0; i-- {
+		st.shards[i].mu.RUnlock()
+	}
+}
+
+// lockShards write-locks the shards named by mask in ascending order
+// (the Txn.Commit multi-shard path; caller holds Store.mu).
+func (st *Store) lockShards(mask uint64) {
+	for i := range st.shards {
+		if mask&(1<<uint(i)) != 0 {
+			st.shards[i].mu.Lock()
+		}
+	}
+}
+
+// unlockShards releases what lockShards acquired, in reverse order.
+func (st *Store) unlockShards(mask uint64) {
+	for i := len(st.shards) - 1; i >= 0; i-- {
+		if mask&(1<<uint(i)) != 0 {
+			st.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// mergedGidsLocked returns the sorted union of the per-shard graph-id
+// slices. Caller holds every shard lock (read or write); with one
+// shard the live slice is returned directly and must not be retained
+// past the lock.
+func (st *Store) mergedGidsLocked() ids {
+	if len(st.shards) == 1 {
+		return st.shards[0].gids
+	}
+	var out ids
+	for _, sh := range st.shards {
+		out = mergeIDs(out, sh.gids)
+	}
+	return out
+}
+
+// mergeIDs returns the sorted union of two sorted id slices. The
+// result never aliases b (shard state), so it survives lock release.
+func mergeIDs(a, b ids) ids {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(ids(nil), b...)
+	}
+	out := make(ids, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// ShardStat sizes one shard for ShardStats and the shard gauges.
+type ShardStat struct {
+	// Quads and Graphs count this shard's share; Epoch is the global
+	// epoch as of the shard's last mutation.
+	Quads  int    `json:"quads"`
+	Graphs int    `json:"graphs"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// ShardStats snapshots per-shard sizes (one short lock hold per
+// shard). Shares are disjoint: summing Quads gives Len().
+func (st *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(st.shards))
+	for i, sh := range st.shards {
+		sh.mu.RLock()
+		out[i] = ShardStat{Quads: sh.size, Graphs: len(sh.graphs), Epoch: sh.epoch}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,509 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lodify/internal/geo"
+	"lodify/internal/rdf"
+)
+
+// shardCorpus builds a deterministic mixed corpus exercising every
+// secondary index: multiple graphs, plain/lang/typed literals, and
+// WKT geometries spread across subjects so that multi-shard stores
+// split it across segments.
+func shardCorpus(n int) []rdf.Quad {
+	quads := make([]rdf.Quad, 0, n*5)
+	for i := 0; i < n; i++ {
+		s := iri(fmt.Sprintf("photo/%d", i))
+		g := rdf.Term{}
+		if i%3 != 0 {
+			g = iri(fmt.Sprintf("graph/user%d", i%7))
+		}
+		quads = append(quads,
+			rdf.Quad{S: s, P: iri("title"), O: rdf.NewLiteral(fmt.Sprintf("sunset over pier %d", i)), G: g},
+			rdf.Quad{S: s, P: iri("tag"), O: rdf.NewLiteral(fmt.Sprintf("holiday beach%d", i%11)), G: g},
+			rdf.Quad{S: s, P: iri("note"), O: rdf.NewLangLiteral("bellissima spiaggia", "it"), G: g},
+			rdf.Quad{S: s, P: iri("rating"), O: rdf.NewTypedLiteral(fmt.Sprint(i%5), rdf.XSDInteger), G: g},
+			rdf.Quad{S: s, P: rdf.NewIRI(rdf.GeoGeometry),
+				O: rdf.NewLiteral(fmt.Sprintf("POINT(%.3f %.3f)", 9.0+float64(i%50)/100, 45.0+float64(i%40)/100)), G: g},
+		)
+	}
+	return quads
+}
+
+// loadVia loads the corpus into st through a mix of write paths: the
+// first chunk via Add, a middle chunk via one Txn, the rest via the
+// bulk loader — the three paths must compose to the same state.
+func loadVia(t *testing.T, st *Store, quads []rdf.Quad) {
+	t.Helper()
+	third := len(quads) / 3
+	for _, q := range quads[:third] {
+		st.MustAdd(q)
+	}
+	tx := st.Begin()
+	for _, q := range quads[third : 2*third] {
+		if err := tx.Add(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	bl := st.NewBulkLoader()
+	if _, err := bl.AddBatch(quads[2*third:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardRouting(t *testing.T) {
+	st := NewSharded(8)
+	if got := st.NumShards(); got != 8 {
+		t.Fatalf("NumShards = %d, want 8", got)
+	}
+	for g := TermID(0); g < 50; g++ {
+		for s := TermID(0); s < 50; s++ {
+			k := st.ShardOf(g, s)
+			if k < 0 || k >= 8 {
+				t.Fatalf("ShardOf(%d,%d) = %d out of range", g, s, k)
+			}
+			if k2 := st.ShardOf(g, s); k2 != k {
+				t.Fatalf("ShardOf(%d,%d) not deterministic: %d vs %d", g, s, k, k2)
+			}
+		}
+	}
+	// Rounding and clamping of shard counts.
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {9, 16}, {100, 64}} {
+		if got := NewSharded(tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewSharded(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardedDumpByteIdentical is the PR's dump-identity regression:
+// DumpNQuads over 1-, 4- and 8-shard stores loaded with the same
+// corpus (through the same write paths) must be byte-identical —
+// including through the persist.go snapshot/restore cycle.
+func TestShardedDumpByteIdentical(t *testing.T) {
+	quads := shardCorpus(60)
+	dumps := make(map[int]string)
+	for _, n := range []int{1, 4, 8} {
+		st := NewSharded(n)
+		loadVia(t, st, quads)
+		var buf bytes.Buffer
+		if err := st.DumpNQuads(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dumps[n] = buf.String()
+	}
+	if dumps[1] != dumps[4] || dumps[1] != dumps[8] {
+		t.Fatalf("dumps differ across shard counts: len1=%d len4=%d len8=%d",
+			len(dumps[1]), len(dumps[4]), len(dumps[8]))
+	}
+	if dumps[1] == "" {
+		t.Fatal("empty dump")
+	}
+
+	// Snapshot with a sharded store, restore, dump again: still
+	// byte-identical (ids are re-assigned in dump order, which the dump
+	// preserves).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.nq")
+	st8 := NewSharded(8)
+	loadVia(t, st8, quads)
+	if err := st8.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != dumps[1] {
+		t.Fatal("SaveFile snapshot differs from single-shard dump")
+	}
+	st2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := st2.DumpNQuads(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != dumps[1] {
+		t.Fatal("dump after snapshot/restore differs")
+	}
+}
+
+// TestShardedReadEquivalence loads the same corpus into a single-shard
+// and an 8-shard store and compares every read API.
+func TestShardedReadEquivalence(t *testing.T) {
+	quads := shardCorpus(40)
+	st1, st8 := NewSharded(1), NewSharded(8)
+	loadVia(t, st1, quads)
+	loadVia(t, st8, quads)
+
+	if st1.Len() != st8.Len() {
+		t.Fatalf("Len: %d vs %d", st1.Len(), st8.Len())
+	}
+	if st1.TermCount() != st8.TermCount() {
+		t.Fatalf("TermCount: %d vs %d", st1.TermCount(), st8.TermCount())
+	}
+
+	canon := func(qs []rdf.Quad) []string {
+		out := make([]string, len(qs))
+		for i, q := range qs {
+			out[i] = fmt.Sprintf("%v|%v|%v|%v", q.S, q.P, q.O, q.G)
+		}
+		sortStrings(out)
+		return out
+	}
+	patterns := []struct{ s, p, o, g rdf.Term }{
+		{rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{}},
+		{iri("photo/3"), rdf.Term{}, rdf.Term{}, rdf.Term{}},
+		{rdf.Term{}, iri("tag"), rdf.Term{}, rdf.Term{}},
+		{rdf.Term{}, rdf.Term{}, rdf.Term{}, iri("graph/user1")},
+		{rdf.Term{}, iri("rating"), rdf.NewTypedLiteral("2", rdf.XSDInteger), rdf.Term{}},
+		{iri("photo/5"), iri("title"), rdf.Term{}, iri("graph/user5")},
+	}
+	for i, pat := range patterns {
+		m1 := canon(st1.MatchSlice(pat.s, pat.p, pat.o, pat.g))
+		m8 := canon(st8.MatchSlice(pat.s, pat.p, pat.o, pat.g))
+		if len(m1) == 0 && i != 5 {
+			t.Errorf("pattern %d matched nothing", i)
+		}
+		if !equalStrings(m1, m8) {
+			t.Errorf("pattern %d: %d vs %d rows", i, len(m1), len(m8))
+		}
+		if c1, c8 := st1.Count(pat.s, pat.p, pat.o, pat.g), st8.Count(pat.s, pat.p, pat.o, pat.g); c1 != c8 || c1 != len(m1) {
+			t.Errorf("pattern %d: Count %d vs %d (rows %d)", i, c1, c8, len(m1))
+		}
+	}
+
+	// Wildcard-graph Match must surface graphs in the same sorted-gid
+	// order on both stores (ids are identical by construction).
+	var order1, order8 []string
+	seen := map[string]bool{}
+	st1.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		if g := q.G.Value(); !seen[g] {
+			seen[g] = true
+			order1 = append(order1, g)
+		}
+		return true
+	})
+	seen = map[string]bool{}
+	st8.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}, rdf.Term{}, func(q rdf.Quad) bool {
+		if g := q.G.Value(); !seen[g] {
+			seen[g] = true
+			order8 = append(order8, g)
+		}
+		return true
+	})
+	if !equalStrings(order1, order8) {
+		t.Errorf("graph iteration order differs: %v vs %v", order1, order8)
+	}
+
+	termList := func(ts []rdf.Term) []string {
+		out := make([]string, len(ts))
+		for i, x := range ts {
+			out[i] = x.String()
+		}
+		return out
+	}
+	for _, q := range []string{"sunset", "holiday beach3", "bellissima spiaggia", "pier 7 sunset"} {
+		if a, b := termList(st1.TextSearch(q)), termList(st8.TextSearch(q)); !equalStrings(a, b) {
+			t.Errorf("TextSearch(%q): %d vs %d", q, len(a), len(b))
+		}
+	}
+	for _, q := range []string{"sun", "beach", "holiday bea", "piz"} {
+		if a, b := termList(st1.TextPrefixSearch(q, 0)), termList(st8.TextPrefixSearch(q, 0)); !equalStrings(a, b) {
+			t.Errorf("TextPrefixSearch(%q): %d vs %d", q, len(a), len(b))
+		}
+	}
+	if a, b := termList(st1.GeoWithin(geo.Point{Lon: 9.2, Lat: 45.2}, 0.3)), termList(st8.GeoWithin(geo.Point{Lon: 9.2, Lat: 45.2}, 0.3)); !equalStrings(a, b) {
+		t.Errorf("GeoWithin: %d vs %d", len(a), len(b))
+	}
+	if a, b := termList(st1.Graphs()), termList(st8.Graphs()); !equalStrings(a, b) {
+		t.Errorf("Graphs: %v vs %v", a, b)
+	}
+	p1, ok1 := st1.GeometryOf(iri("photo/9"))
+	p8, ok8 := st8.GeometryOf(iri("photo/9"))
+	if ok1 != ok8 || p1 != p8 {
+		t.Errorf("GeometryOf: (%v,%v) vs (%v,%v)", p1, ok1, p8, ok8)
+	}
+
+	s1, s8 := st1.StatsSnapshot(), st8.StatsSnapshot()
+	if s1.Quads != s8.Quads || s1.Graphs != s8.Graphs || s1.Terms != s8.Terms || s1.GeoEntries != s8.GeoEntries {
+		t.Errorf("stats differ: %+v vs %+v", s1, s8)
+	}
+
+	// Removing everything again through the point path leaves both
+	// stores empty and equal.
+	for _, q := range quads {
+		if st1.Remove(q) != st8.Remove(q) {
+			t.Fatalf("Remove(%v) diverged", q)
+		}
+	}
+	if st1.Len() != 0 || st8.Len() != 0 {
+		t.Fatalf("Len after removes: %d vs %d", st1.Len(), st8.Len())
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEpochSemantics: the write epoch ticks once per committed
+// mutation batch and cannot move while a lease holds the cross-shard
+// snapshot.
+func TestEpochSemantics(t *testing.T) {
+	st := NewSharded(4)
+	e0 := st.Epoch()
+	st.MustAdd(quad("s", "p", "o1"))
+	if st.Epoch() != e0+1 {
+		t.Fatalf("epoch after Add = %d, want %d", st.Epoch(), e0+1)
+	}
+	if _, err := st.Add(quad("s", "p", "o1")); err != nil || st.Epoch() != e0+1 {
+		t.Fatalf("duplicate Add moved epoch to %d", st.Epoch())
+	}
+	tx := st.Begin()
+	_ = tx.Add(quad("s", "p", "o2"))
+	_ = tx.Add(rdf.Quad{S: iri("s"), P: iri("p"), O: lit("o3"), G: iri("g")})
+	if _, _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != e0+2 {
+		t.Fatalf("epoch after multi-graph Txn = %d, want one tick to %d", st.Epoch(), e0+2)
+	}
+
+	lease := st.ReadLease()
+	pinned := st.Epoch()
+	done := make(chan struct{})
+	go func() {
+		st.MustAdd(quad("s", "p", "o4")) // blocks until the lease releases
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("writer completed while lease held every shard lock")
+	default:
+	}
+	if st.Epoch() != pinned {
+		t.Fatalf("epoch moved to %d during lease", st.Epoch())
+	}
+	lease.Release()
+	<-done
+	if st.Epoch() != pinned+1 {
+		t.Fatalf("epoch after release = %d, want %d", st.Epoch(), pinned+1)
+	}
+
+	if !st.Remove(quad("s", "p", "o4")) {
+		t.Fatal("Remove missed")
+	}
+	if st.Epoch() != pinned+2 {
+		t.Fatalf("epoch after Remove = %d, want %d", st.Epoch(), pinned+2)
+	}
+}
+
+// TestShardLeaseWaitRecorded: a lease blocked behind a shard writer
+// reports the wait through Wait() (the sum the profiler attributes).
+func TestShardLeaseWaitRecorded(t *testing.T) {
+	st := NewSharded(4)
+	st.MustAdd(quad("s", "p", "o"))
+	sh := st.shards[2]
+	sh.mu.Lock()
+	got := make(chan time.Duration)
+	go func() {
+		l := st.ReadLease()
+		w := l.Wait()
+		l.Release()
+		got <- w
+	}()
+	time.Sleep(20 * time.Millisecond)
+	sh.mu.Unlock()
+	if w := <-got; w < 10*time.Millisecond {
+		t.Fatalf("lease Wait = %v, want >= 10ms of writer contention", w)
+	}
+}
+
+func TestShardStatsSumToLen(t *testing.T) {
+	st := NewSharded(8)
+	loadVia(t, st, shardCorpus(30))
+	stats := st.ShardStats()
+	if len(stats) != 8 {
+		t.Fatalf("ShardStats len = %d", len(stats))
+	}
+	total, populated := 0, 0
+	for _, s := range stats {
+		total += s.Quads
+		if s.Quads > 0 {
+			populated++
+		}
+	}
+	if total != st.Len() {
+		t.Fatalf("shard quads sum %d != Len %d", total, st.Len())
+	}
+	if populated < 2 {
+		t.Fatalf("corpus landed in %d shard(s); routing is not spreading", populated)
+	}
+}
+
+// TestShardStress drives concurrent bulk ingest, point writes, Txns
+// and every leased/locked read path against an 8-shard store; run
+// under -race it is the PR's concurrency regression.
+func TestShardStress(t *testing.T) {
+	st := NewSharded(8)
+	loadVia(t, st, shardCorpus(20))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Bulk ingest worker: fresh batches through its own loader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bl := st.NewBulkLoader()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var batch []rdf.Quad
+			for j := 0; j < 50; j++ {
+				s := iri(fmt.Sprintf("bulk/%d", rng.Intn(200)))
+				batch = append(batch, rdf.Quad{
+					S: s, P: iri("tag"),
+					O: rdf.NewLiteral(fmt.Sprintf("stress token%d run%d", rng.Intn(30), i)),
+					G: iri(fmt.Sprintf("graph/user%d", rng.Intn(5))),
+				})
+			}
+			if _, err := bl.AddBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Point writer: add/remove cycles plus cross-shard Txns.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := rdf.Quad{S: iri(fmt.Sprintf("pt/%d", i%40)), P: iri("note"),
+				O: rdf.NewLiteral("ephemeral"), G: iri(fmt.Sprintf("graph/user%d", i%5))}
+			st.MustAdd(q)
+			tx := st.Begin()
+			_ = tx.Add(rdf.Quad{S: iri("txs"), P: iri("p"), O: lit(fmt.Sprint(i)), G: iri("graph/user1")})
+			_ = tx.Add(rdf.Quad{S: iri("txs2"), P: iri("p"), O: lit(fmt.Sprint(i)), G: iri("graph/user2")})
+			if _, _, err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			st.Remove(q)
+		}
+	}()
+
+	// Leased reader: the executor's access pattern (nested ID scans
+	// under one lease).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tag, _ := st.LookupID(iri("tag"))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l := st.ReadLease()
+			n := 0
+			l.MatchIDs(0, tag, 0, AnyGraph, func(s, p, o, g TermID) bool {
+				n += l.CountIDs(s, 0, 0, g)
+				_ = l.TermOf(s)
+				return n < 5000
+			})
+			l.Release()
+		}
+	}()
+
+	// Locked readers: term-level scans, text, geo, dumps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 5 {
+			case 0:
+				st.Count(rdf.Term{}, iri("tag"), rdf.Term{}, rdf.Term{})
+			case 1:
+				st.TextSearch("stress")
+			case 2:
+				st.TextPrefixSearch("tok", 10)
+			case 3:
+				st.GeoWithin(geo.Point{Lon: 9.2, Lat: 45.2}, 0.5)
+			case 4:
+				if err := st.DumpNQuads(&discardWriter{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Post-stress invariants: sizes consistent, dump parseable.
+	total := 0
+	for _, s := range st.ShardStats() {
+		total += s.Quads
+	}
+	if total != st.Len() {
+		t.Fatalf("shard sizes sum %d != Len %d after stress", total, st.Len())
+	}
+	var buf bytes.Buffer
+	if err := st.DumpNQuads(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != st.Len() {
+		t.Fatalf("dump has %d lines, store has %d quads", n, st.Len())
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -5,7 +5,9 @@ import (
 	"io"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lodify/internal/geo"
@@ -30,43 +32,68 @@ var (
 // concurrent use. A zero graph term addresses the default graph;
 // pattern positions holding the zero Term act as wildcards.
 //
-// Lock order: the store lock nests outside the dictionary lock —
-// Match/DumpNQuads/ReadLease hold st.mu while resolving terms through
-// st.dict — and lodlint's lockorder analyzer checks every nested
-// acquisition in the module against this declaration. The shard
-// refactor (ROADMAP) extends the chain with per-shard locks.
+// The store is sharded (DESIGN.md §14): quads are routed to shards by
+// a hash of their (graph, subject) ids, each shard guarding its own
+// indexes with its own RWMutex. Single-shard writes (Add, Remove,
+// single-shard Txns) take only their shard's lock; cross-shard reads
+// take every shard lock in ascending order; Txns spanning shards
+// additionally serialize on Store.mu.
 //
-//lodlint:lockorder Store.mu < dict.mu
+// Lock order: Store.mu nests outside the shard locks, which nest
+// outside the dictionary lock — cross-shard commits hold st.mu while
+// write-locking shards, and scans hold shard locks while resolving
+// terms through st.dict. lodlint's lockorder analyzer checks every
+// nested acquisition in the module against this declaration.
+//
+//lodlint:lockorder Store.mu < shard.mu < dict.mu
 type Store struct {
-	mu     sync.RWMutex
-	dict   *dict
-	graphs map[TermID]*graphIndex
-	// gids mirrors the keys of graphs as a sorted slice, maintained
-	// incrementally under the write lock so wildcard-graph scans never
-	// rebuild and re-sort it per call.
-	gids ids
-	size int
+	// mu serializes writers that span more than one shard (multi-shard
+	// Txn.Commit), so two cross-shard commits can't interleave their
+	// shard acquisitions. Single-shard writers and all readers bypass it.
+	mu   sync.Mutex
+	dict *dict
 
-	text *textIndex
-	geo  *geo.Index
+	shards []*shard
+	// mask is len(shards)-1 (shard counts are powers of two).
+	mask uint64
+
+	// epoch counts committed mutation batches. It is advanced only
+	// while holding at least one shard write lock, so it cannot move
+	// while a ReadLease holds every shard read lock — that freeze is
+	// the lease's cross-shard consistency argument, and Release checks
+	// it dynamically.
+	epoch atomic.Uint64
+	// size is the total quad count across shards (atomic so Len needs
+	// no locks; mutated only under the owning shard's write lock).
+	size atomic.Int64
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{
-		dict:   newDict(),
-		graphs: make(map[TermID]*graphIndex),
-		text:   newTextIndex(),
-		geo:    geo.NewIndex(0.5),
+// New returns an empty store with the default shard count
+// (SetDefaultShards, else GOMAXPROCS rounded up to a power of two).
+func New() *Store { return NewSharded(0) }
+
+// NewSharded returns an empty store with n shards. n is rounded up to
+// a power of two and clamped to [1, 64]; n <= 0 selects the default.
+// NewSharded(1) reproduces the legacy single-lock store exactly.
+func NewSharded(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards()
+	} else {
+		n = normalizeShards(n)
 	}
+	st := &Store{
+		dict:   newDict(),
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range st.shards {
+		st.shards[i] = newShard(i)
+	}
+	return st
 }
 
 // Len returns the total number of quads across all graphs.
-func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.size
-}
+func (st *Store) Len() int { return int(st.size.Load()) }
 
 // TermCount returns the number of distinct interned terms.
 func (st *Store) TermCount() int { return st.dict.size() }
@@ -81,20 +108,23 @@ func (st *Store) Add(q rdf.Quad) (bool, error) {
 	p := st.dict.intern(q.P)
 	o := st.dict.intern(q.O)
 	g := st.dict.intern(q.G)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	gi, ok := st.graphs[g]
+	sh := st.shards[st.shardIndex(g, s)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gi, ok := sh.graphs[g]
 	if !ok {
 		gi = newGraphIndex()
-		st.graphs[g] = gi
-		st.gids, _ = st.gids.insert(g)
+		sh.graphs[g] = gi
+		sh.gids, _ = sh.gids.insert(g)
 	}
 	if !gi.add(s, p, o) {
 		return false, nil
 	}
-	st.size++
+	sh.size++
+	st.size.Add(1)
+	sh.epoch = st.epoch.Add(1)
 	mQuadsAdded.Inc()
-	st.indexSecondary(q, s, o, true)
+	sh.indexSecondary(q, s, o, true)
 	return true, nil
 }
 
@@ -129,44 +159,28 @@ func (st *Store) Remove(q rdf.Quad) bool {
 	if !ok {
 		return false
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	gi, ok := st.graphs[g]
+	sh := st.shards[st.shardIndex(g, s)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	gi, ok := sh.graphs[g]
 	if !ok || !gi.del(s, p, o) {
 		return false
 	}
-	st.size--
+	sh.size--
+	st.size.Add(-1)
+	sh.epoch = st.epoch.Add(1)
 	mQuadsRemoved.Inc()
 	if gi.size == 0 && g != 0 {
-		delete(st.graphs, g)
-		st.gids, _ = st.gids.remove(g)
+		delete(sh.graphs, g)
+		sh.gids, _ = sh.gids.remove(g)
 	}
-	st.indexSecondary(q, s, o, false)
+	sh.indexSecondary(q, s, o, false)
 	return true
 }
 
-// indexSecondary keeps the full-text and geo indexes in sync. Caller
-// holds st.mu.
-func (st *Store) indexSecondary(q rdf.Quad, s, o TermID, add bool) {
-	if q.O.IsLiteral() {
-		if add {
-			st.text.index(o, s, q.O.Value())
-		} else {
-			st.text.unindex(o, s, q.O.Value())
-		}
-		if q.P.Value() == rdf.GeoGeometry {
-			if pt, err := geo.ParseWKT(q.O.Value()); err == nil {
-				if add {
-					st.geo.Insert(uint64(s), pt)
-				} else {
-					st.geo.Remove(uint64(s))
-				}
-			}
-		}
-	}
-}
-
-// Has reports whether the exact quad is present.
+// Has reports whether the exact quad is present. Both ids are bound,
+// so this is a single-shard read: writers on other shards never block
+// it.
 func (st *Store) Has(q rdf.Quad) bool {
 	s, p, o, ok := st.dict.lookupPattern(q.S, q.P, q.O)
 	if !ok {
@@ -176,23 +190,27 @@ func (st *Store) Has(q rdf.Quad) bool {
 	if !ok {
 		return false
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	gi, ok := st.graphs[g]
+	sh := st.shards[st.shardIndex(g, s)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	gi, ok := sh.graphs[g]
 	return ok && gi.has(s, p, o)
 }
 
 // Match calls fn for every quad matching the pattern; zero Terms are
 // wildcards, including the graph position (which then ranges over the
-// default graph and every named graph). fn returning false stops the
-// iteration early.
+// default graph and every named graph in sorted-gid order). fn
+// returning false stops the iteration early. The scan holds every
+// shard read lock for its duration (one consistent cross-shard
+// snapshot); within a graph, subjects surface in shard-partitioned
+// order, which is deterministic per store but not sorted.
 func (st *Store) Match(s, p, o, g rdf.Term, fn func(rdf.Quad) bool) {
 	sid, pid, oid, ok := st.dict.lookupPattern(s, p, o)
 	if !ok {
 		return
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.lockAllR()
+	defer st.unlockAllR()
 	// One dictionary snapshot covers every materialization of the scan:
 	// term lookups become lock-free slice indexing.
 	terms := st.dict.termsSnapshot()
@@ -209,18 +227,37 @@ func (st *Store) Match(s, p, o, g rdf.Term, fn func(rdf.Quad) bool) {
 		if !ok {
 			return
 		}
-		if gi, ok := st.graphs[gid]; ok {
-			gi.scan(sid, pid, oid, emit(gid))
-		}
+		st.scanGraphLocked(gid, sid, pid, oid, emit(gid))
 		return
 	}
-	// Wildcard graph: the incrementally-sorted gid slice keeps the
-	// iteration deterministic without a per-call rebuild.
-	for _, gid := range st.gids {
-		if !st.graphs[gid].scan(sid, pid, oid, emit(gid)) {
+	// Wildcard graph: merge the incrementally-sorted per-shard gid
+	// slices so the graph iteration stays deterministic and sorted.
+	for _, gid := range st.mergedGidsLocked() {
+		if !st.scanGraphLocked(gid, sid, pid, oid, emit(gid)) {
 			return
 		}
 	}
+}
+
+// scanGraphLocked scans one graph's pattern matches across the shards
+// that hold a slice of it. Caller holds the relevant shard locks. A
+// bound subject visits only its owning shard.
+func (st *Store) scanGraphLocked(gid, s, p, o TermID, fn func(s, p, o TermID) bool) bool {
+	if s != 0 {
+		gi := st.shards[st.shardIndex(gid, s)].graphs[gid]
+		if gi == nil {
+			return true
+		}
+		return gi.scan(s, p, o, fn)
+	}
+	for _, sh := range st.shards {
+		if gi := sh.graphs[gid]; gi != nil {
+			if !gi.scan(s, p, o, fn) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // MatchSlice collects matches into a slice (convenience for tests and
@@ -240,37 +277,30 @@ func (st *Store) Count(s, p, o, g rdf.Term) int {
 	if !ok {
 		return 0
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.lockAllR()
+	defer st.unlockAllR()
 	if !g.IsZero() {
 		gid, ok := st.dict.lookup(g)
 		if !ok {
 			return 0
 		}
-		gi, ok := st.graphs[gid]
-		if !ok {
-			return 0
-		}
-		return gi.count(sid, pid, oid)
+		return st.countIDsLocked(sid, pid, oid, gid)
 	}
-	n := 0
-	for _, gi := range st.graphs {
-		n += gi.count(sid, pid, oid)
-	}
-	return n
+	return st.countIDsLocked(sid, pid, oid, AnyGraph)
 }
 
 // Graphs returns the named graphs present (excluding the default
 // graph), sorted.
 func (st *Store) Graphs() []rdf.Term {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	var out []rdf.Term
-	for gid := range st.graphs {
+	st.lockAllR()
+	gids := st.mergedGidsLocked()
+	out := make([]rdf.Term, 0, len(gids))
+	for _, gid := range gids {
 		if gid != 0 {
 			out = append(out, st.dict.term(gid))
 		}
 	}
+	st.unlockAllR()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
@@ -310,17 +340,61 @@ func (st *Store) Subjects(p, o rdf.Term) []rdf.Term {
 // TextSearch returns the subjects of literal-object triples whose
 // literal contains every token of query (AND semantics), mirroring
 // Virtuoso's bif:contains. Results are sorted by subject term order.
+// A subject's tokens may span shards (literals in different graphs),
+// so token sets are unioned across shard segments before the AND
+// intersection.
 func (st *Store) TextSearch(query string) []rdf.Term {
 	mTextSearch.Inc()
 	defer mSearchSeconds.ObserveSince(time.Now())
-	st.mu.RLock()
-	subjIDs := st.text.search(query)
+	st.lockAllR()
+	subjIDs := st.textSearchLocked(query)
 	out := make([]rdf.Term, 0, len(subjIDs))
 	for _, id := range subjIDs {
 		out = append(out, st.dict.term(id))
 	}
-	st.mu.RUnlock()
+	st.unlockAllR()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// textSearchLocked intersects the query tokens' subject sets across
+// shard segments. Caller holds every shard read lock.
+func (st *Store) textSearchLocked(query string) []TermID {
+	if len(st.shards) == 1 {
+		return st.shards[0].text.search(query)
+	}
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	// Union each token's postings across shards, then intersect
+	// starting from the smallest merged set.
+	sets := make([]map[TermID]struct{}, len(toks))
+	for i, tok := range toks {
+		m := make(map[TermID]struct{})
+		for _, sh := range st.shards {
+			sh.text.postings[tok].each(func(s TermID) { m[s] = struct{}{} })
+		}
+		if len(m) == 0 {
+			return nil
+		}
+		sets[i] = m
+	}
+	slices.SortFunc(sets, func(a, b map[TermID]struct{}) int { return len(a) - len(b) })
+	out := make([]TermID, 0, len(sets[0]))
+	for s := range sets[0] {
+		in := true
+		for _, m := range sets[1:] {
+			if _, ok := m[s]; !ok {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -330,13 +404,13 @@ func (st *Store) TextSearch(query string) []rdf.Term {
 func (st *Store) TextPrefixSearch(prefix string, limit int) []rdf.Term {
 	mPrefixSearch.Inc()
 	defer mSearchSeconds.ObserveSince(time.Now())
-	st.mu.RLock()
-	subjIDs := st.text.prefixSearch(prefix)
+	st.lockAllR()
+	subjIDs := st.textPrefixLocked(prefix)
 	out := make([]rdf.Term, 0, len(subjIDs))
 	for _, id := range subjIDs {
 		out = append(out, st.dict.term(id))
 	}
-	st.mu.RUnlock()
+	st.unlockAllR()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
@@ -344,30 +418,99 @@ func (st *Store) TextPrefixSearch(prefix string, limit int) []rdf.Term {
 	return out
 }
 
+// textPrefixLocked merges prefix matches across shard segments: all
+// earlier query tokens must match exactly (membership unioned across
+// shards), the last token is a vocabulary prefix scan per shard.
+// Caller holds every shard read lock.
+func (st *Store) textPrefixLocked(prefix string) []TermID {
+	if len(st.shards) == 1 {
+		return st.shards[0].text.prefixSearch(prefix)
+	}
+	toks := Tokenize(prefix)
+	if len(toks) == 0 {
+		return nil
+	}
+	p := toks[len(toks)-1]
+	var base map[TermID]bool
+	for _, tok := range toks[:len(toks)-1] {
+		m := make(map[TermID]bool)
+		for _, sh := range st.shards {
+			sh.text.postings[tok].each(func(s TermID) { m[s] = true })
+		}
+		if len(m) == 0 {
+			return nil
+		}
+		if base == nil {
+			base = m
+			continue
+		}
+		for s := range base {
+			if !m[s] {
+				delete(base, s)
+			}
+		}
+		if len(base) == 0 {
+			return nil
+		}
+	}
+	set := make(map[TermID]bool)
+	for _, sh := range st.shards {
+		sh.text.eachPrefixToken(p, func(_ string, pst *posting) {
+			pst.each(func(s TermID) {
+				if base == nil || base[s] {
+					set[s] = true
+				}
+			})
+		})
+	}
+	out := make([]TermID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // GeoWithin returns the subjects whose geo:geometry literal lies
-// within radius degrees of center, sorted.
+// within radius degrees of center, sorted. Per-shard spatial segments
+// are unioned (a subject appears once even if its geometry is asserted
+// in graphs routed to different shards).
 func (st *Store) GeoWithin(center geo.Point, radius float64) []rdf.Term {
 	mGeoQueries.Inc()
-	st.mu.RLock()
-	ids := st.geo.Within(center, radius)
-	out := make([]rdf.Term, 0, len(ids))
-	for _, id := range ids {
+	st.lockAllR()
+	var hits []uint64
+	for _, sh := range st.shards {
+		hits = append(hits, sh.geo.Within(center, radius)...)
+	}
+	slices.Sort(hits)
+	hits = slices.Compact(hits)
+	out := make([]rdf.Term, 0, len(hits))
+	for _, id := range hits {
 		out = append(out, st.dict.term(TermID(id)))
 	}
-	st.mu.RUnlock()
+	st.unlockAllR()
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
-// GeometryOf returns the parsed geometry of a subject, if indexed.
+// GeometryOf returns the parsed geometry of a subject, if indexed —
+// probing shards in ascending order (a subject has one geometry per
+// shard at most; with geometries asserted in several graphs the
+// lowest-indexed shard wins).
 func (st *Store) GeometryOf(s rdf.Term) (geo.Point, bool) {
 	sid, ok := st.dict.lookup(s)
 	if !ok {
 		return geo.Point{}, false
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.geo.Lookup(uint64(sid))
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		pt, ok := sh.geo.Lookup(uint64(sid))
+		sh.mu.RUnlock()
+		if ok {
+			return pt, true
+		}
+	}
+	return geo.Point{}, false
 }
 
 // Stats is a size snapshot of the store and its secondary indexes.
@@ -377,33 +520,42 @@ type Stats struct {
 	Quads  int `json:"quads"`
 	Graphs int `json:"graphs"`
 	Terms  int `json:"terms"`
-	// TextTokens and TextPostings size the full-text inverted index;
-	// GeoEntries the spatial grid.
+	// TextTokens and TextPostings size the full-text inverted index,
+	// summed over shard segments (a token indexed in several shards
+	// counts once per segment); GeoEntries the spatial grids.
 	TextTokens   int `json:"textTokens"`
 	TextPostings int `json:"textPostings"`
 	GeoEntries   int `json:"geoEntries"`
+	// Shards is the store's shard count.
+	Shards int `json:"shards"`
 }
 
-// StatsSnapshot collects current index sizes (one lock hold).
+// StatsSnapshot collects current index sizes under one cross-shard
+// lock hold.
 func (st *Store) StatsSnapshot() Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	tokens, postings := st.text.stats()
-	return Stats{
-		Quads:        st.size,
-		Graphs:       len(st.graphs),
-		Terms:        st.dict.size(),
-		TextTokens:   tokens,
-		TextPostings: postings,
-		GeoEntries:   st.geo.Len(),
+	st.lockAllR()
+	defer st.unlockAllR()
+	s := Stats{
+		Quads:  int(st.size.Load()),
+		Graphs: len(st.mergedGidsLocked()),
+		Terms:  st.dict.size(),
+		Shards: len(st.shards),
 	}
+	for _, sh := range st.shards {
+		tokens, postings := sh.text.stats()
+		s.TextTokens += tokens
+		s.TextPostings += postings
+		s.GeoEntries += sh.geo.Len()
+	}
+	return s
 }
 
 // ExposeMetrics registers live-size gauges for this store on the
 // Default obs registry (lodify_store_quads, _terms, _graphs,
-// _text_tokens, _text_postings, _geo_entries). Re-registering — a new
-// server over a new store — replaces the previous instance, so the
-// gauges always describe the store actually serving traffic.
+// _text_tokens, _text_postings, _geo_entries, _shards, plus per-shard
+// _shard_quads and _shard_epoch). Re-registering — a new server over a
+// new store — replaces the previous instance, so the gauges always
+// describe the store actually serving traffic.
 func (st *Store) ExposeMetrics() {
 	obs.GaugeFunc("lodify_store_quads", func() float64 { return float64(st.Len()) })
 	obs.GaugeFunc("lodify_store_terms", func() float64 { return float64(st.TermCount()) })
@@ -411,29 +563,55 @@ func (st *Store) ExposeMetrics() {
 	obs.GaugeFunc("lodify_store_text_tokens", func() float64 { return float64(st.StatsSnapshot().TextTokens) })
 	obs.GaugeFunc("lodify_store_text_postings", func() float64 { return float64(st.StatsSnapshot().TextPostings) })
 	obs.GaugeFunc("lodify_store_geo_entries", func() float64 { return float64(st.StatsSnapshot().GeoEntries) })
+	obs.GaugeFunc("lodify_store_shards", func() float64 { return float64(len(st.shards)) })
+	for i := range st.shards {
+		sh := st.shards[i]
+		label := strconv.Itoa(i)
+		obs.GaugeFunc("lodify_store_shard_quads", func() float64 {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return float64(sh.size)
+		}, "shard", label)
+		obs.GaugeFunc("lodify_store_shard_epoch", func() float64 {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return float64(sh.epoch)
+		}, "shard", label)
+	}
 }
 
 // DumpNQuads streams the entire store as N-Quads in deterministic
 // order: graphs, subjects and predicates ascend by dictionary id and
-// objects come straight off the (sorted) SPO postings — so nothing is
-// materialized or re-sorted, each quad costs only its serialization.
-// Two stores loaded from the same input produce byte-identical dumps;
-// the order is id order (insertion-stable), not term-lexicographic.
+// objects come straight off the (sorted) SPO postings. The subject
+// walk merges per-shard subject sets back into one ascending sequence
+// and resolves each subject's postings in its owning shard, so the
+// dump is byte-identical to the single-shard (and pre-shard) store for
+// the same input. Two stores loaded from the same input produce
+// byte-identical dumps; the order is id order (insertion-stable), not
+// term-lexicographic.
 func (st *Store) DumpNQuads(w io.Writer) error {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.lockAllR()
+	defer st.unlockAllR()
 	terms := st.dict.termsSnapshot()
 	nw := rdf.NewNQuadsWriter(w)
+	single := len(st.shards) == 1
 	var subjs, preds []TermID
-	for _, gid := range st.gids {
-		gi := st.graphs[gid]
+	for _, gid := range st.mergedGidsLocked() {
 		gt := terms[gid]
 		subjs = subjs[:0]
-		for s := range gi.spo {
-			subjs = append(subjs, s)
+		for _, sh := range st.shards {
+			if gi := sh.graphs[gid]; gi != nil {
+				for s := range gi.spo {
+					subjs = append(subjs, s)
+				}
+			}
 		}
 		slices.Sort(subjs)
 		for _, s := range subjs {
+			gi := st.shards[0].graphs[gid]
+			if !single {
+				gi = st.shards[st.shardIndex(gid, s)].graphs[gid]
+			}
 			ps := gi.spo[s]
 			// Vector nodes come back already sorted; the sort is then a
 			// no-op scan. Upgraded (map) nodes need the real sort.
@@ -510,14 +688,19 @@ func (tx *Txn) Remove(q rdf.Quad) error {
 }
 
 // Commit applies the batch atomically with respect to readers (they
-// observe either none or all of the batch). It returns the number of
-// quads actually added and removed.
+// observe either none or all of the batch). A batch whose quads all
+// route to one shard commits under that shard's lock alone; a batch
+// spanning shards serializes on Store.mu and write-locks its touched
+// shards in ascending order — the same order every cross-shard reader
+// uses, so the atomicity holds without a global lock. It returns the
+// number of quads actually added and removed.
 func (tx *Txn) Commit() (added, removed int, err error) {
 	if tx.done {
 		return 0, 0, fmt.Errorf("store: transaction already finished")
 	}
 	tx.done = true
-	// Intern outside the store lock, then apply under one lock hold.
+	// Intern outside the store locks, then apply under one hold of the
+	// touched shard set.
 	st := tx.st
 	type iq struct {
 		q          rdf.Quad
@@ -537,29 +720,59 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 	sAdds, sRems := stage(tx.adds), stage(tx.removes)
 	mTxnCommits.Inc()
 	defer mTxnSeconds.ObserveSince(time.Now())
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	var touched uint64
 	for _, e := range sRems {
-		gi, ok := st.graphs[e.g]
+		touched |= 1 << uint(st.shardIndex(e.g, e.s))
+	}
+	for _, e := range sAdds {
+		touched |= 1 << uint(st.shardIndex(e.g, e.s))
+	}
+	if touched == 0 {
+		return 0, 0, nil
+	}
+	if touched&(touched-1) != 0 {
+		// Multi-shard commit: serialize against other cross-shard
+		// writers, then take the touched shard locks ascending.
+		st.mu.Lock()
+		defer st.mu.Unlock()
+	}
+	st.lockShards(touched)
+	defer st.unlockShards(touched)
+	for _, e := range sRems {
+		sh := st.shards[st.shardIndex(e.g, e.s)]
+		gi, ok := sh.graphs[e.g]
 		if ok && gi.del(e.s, e.p, e.o) {
-			st.size--
+			sh.size--
+			st.size.Add(-1)
 			removed++
 			mQuadsRemoved.Inc()
-			st.indexSecondary(e.q, e.s, e.o, false)
+			sh.indexSecondary(e.q, e.s, e.o, false)
 		}
 	}
 	for _, e := range sAdds {
-		gi, ok := st.graphs[e.g]
+		sh := st.shards[st.shardIndex(e.g, e.s)]
+		gi, ok := sh.graphs[e.g]
 		if !ok {
 			gi = newGraphIndex()
-			st.graphs[e.g] = gi
-			st.gids, _ = st.gids.insert(e.g)
+			sh.graphs[e.g] = gi
+			sh.gids, _ = sh.gids.insert(e.g)
 		}
 		if gi.add(e.s, e.p, e.o) {
-			st.size++
+			sh.size++
+			st.size.Add(1)
 			added++
 			mQuadsAdded.Inc()
-			st.indexSecondary(e.q, e.s, e.o, true)
+			sh.indexSecondary(e.q, e.s, e.o, true)
+		}
+	}
+	if added+removed > 0 {
+		// One epoch tick for the whole batch, while the shard locks are
+		// still held.
+		ep := st.epoch.Add(1)
+		for i := range st.shards {
+			if touched&(1<<uint(i)) != 0 {
+				st.shards[i].epoch = ep
+			}
 		}
 	}
 	return added, removed, nil

@@ -3,6 +3,7 @@ package store
 import (
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 	"unicode/utf8"
 
@@ -12,15 +13,21 @@ import (
 // textIndex is an inverted index from folded tokens of literal objects
 // to the subjects carrying them, reproducing Virtuoso's bif:contains
 // full-text capability the paper's platform relies on for search.
-// Callers synchronize via the store mutex.
+// Each shard owns one segment; callers synchronize mutations and
+// posting reads via the owning shard's mutex.
 type textIndex struct {
 	// postings maps token -> posting (subject id -> reference count; a
 	// subject may carry the same token through several literals).
 	postings map[string]*posting
 	// tokens is the sorted token vocabulary for prefix search; lazily
-	// rebuilt when dirty.
-	tokens []string
-	dirty  bool
+	// rebuilt when dirty. The rebuild happens on the read path (prefix
+	// searches run under the shard's shared read lock), so vocabMu
+	// serializes it against concurrent prefix searches.
+	//
+	//lodlint:lockorder shard.mu < textIndex.vocabMu
+	vocabMu sync.Mutex
+	tokens  []string
+	dirty   bool
 	// slab carves posting nodes, batching what would otherwise be one
 	// tiny heap allocation per fresh token.
 	slab []posting
@@ -267,14 +274,14 @@ func (ti *textIndex) search(query string) []TermID {
 	return out
 }
 
-// prefixSearch returns subjects having any token with the given
-// prefix.
-func (ti *textIndex) prefixSearch(prefix string) []TermID {
-	toks := Tokenize(prefix)
-	if len(toks) == 0 {
-		return nil
-	}
-	p := toks[len(toks)-1]
+// eachPrefixToken calls fn for every vocabulary token starting with p,
+// in sorted token order. The sorted vocabulary cache rebuilds lazily
+// under vocabMu: dirty can only be set by writers (who exclude readers
+// via the shard lock), so once rebuilt the cache is stable for every
+// concurrent reader — vocabMu only serializes the rebuild itself.
+// Caller holds the shard's read lock.
+func (ti *textIndex) eachPrefixToken(p string, fn func(tok string, post *posting)) {
+	ti.vocabMu.Lock()
 	if ti.dirty {
 		ti.tokens = ti.tokens[:0]
 		for tok := range ti.postings {
@@ -283,6 +290,22 @@ func (ti *textIndex) prefixSearch(prefix string) []TermID {
 		sort.Strings(ti.tokens)
 		ti.dirty = false
 	}
+	tokens := ti.tokens
+	ti.vocabMu.Unlock()
+	i := sort.SearchStrings(tokens, p)
+	for ; i < len(tokens) && strings.HasPrefix(tokens[i], p); i++ {
+		fn(tokens[i], ti.postings[tokens[i]])
+	}
+}
+
+// prefixSearch returns subjects having any token with the given
+// prefix.
+func (ti *textIndex) prefixSearch(prefix string) []TermID {
+	toks := Tokenize(prefix)
+	if len(toks) == 0 {
+		return nil
+	}
+	p := toks[len(toks)-1]
 	// All earlier tokens must match exactly; the last is a prefix.
 	var base map[TermID]bool
 	for _, tok := range toks[:len(toks)-1] {
@@ -302,14 +325,13 @@ func (ti *textIndex) prefixSearch(prefix string) []TermID {
 		}
 	}
 	set := make(map[TermID]bool)
-	i := sort.SearchStrings(ti.tokens, p)
-	for ; i < len(ti.tokens) && strings.HasPrefix(ti.tokens[i], p); i++ {
-		ti.postings[ti.tokens[i]].each(func(subj TermID) {
+	ti.eachPrefixToken(p, func(_ string, post *posting) {
+		post.each(func(subj TermID) {
 			if base == nil || base[subj] {
 				set[subj] = true
 			}
 		})
-	}
+	})
 	out := make([]TermID, 0, len(set))
 	for s := range set {
 		out = append(out, s)
