@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-shard bench-shard-smoke bench-slo-smoke ci
+.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-shard bench-shard-smoke bench-album-smoke bench-slo-smoke ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -73,6 +73,14 @@ bench-shard:
 # The BENCH_8 artifact: the same sweep at a CI-friendly corpus size.
 bench-shard-smoke:
 	GOMAXPROCS=4 $(GO) run ./cmd/benchreport -exp shard -ingestQuads 100000 -json -label 8 > BENCH_8.json
+
+# The BENCH_9 artifact: the cost-based planner vs the greedy executor
+# on the multi-join shapes, plus 1k materialized keyword albums read
+# under concurrent ingest against per-request evaluation, with
+# maintenance lag metered. GOMAXPROCS is pinned for stable numbers on
+# shared CI machines.
+bench-album-smoke:
+	GOMAXPROCS=4 $(GO) run ./cmd/benchreport -exp planner,album -albums 1000 -json -label 9 > BENCH_9.json
 
 # The SLO gate (CI): drive a live cmd/lodify binary with the closed-loop
 # workload, collect the server's own SLO verdicts and per-operator

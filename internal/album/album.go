@@ -75,6 +75,13 @@ func (a *TagAlbum) Items() ([]Item, error) {
 
 // ---- Semantic albums (§2.3) ----
 
+// Materialized is the read side of an incrementally maintained view
+// (matview.View satisfies it): a result set kept current by the
+// store's commit stream, read in O(result) without evaluation.
+type Materialized interface {
+	Solutions() []sparql.Solution
+}
+
 // SemanticAlbum evaluates a SPARQL SELECT; LinkVar names the variable
 // holding the content link (the paper's ?link).
 type SemanticAlbum struct {
@@ -82,6 +89,9 @@ type SemanticAlbum struct {
 	Engine  *sparql.Engine
 	Query   string
 	LinkVar string
+	// View, when set, serves Items from the materialized result set
+	// instead of evaluating Query per read.
+	View Materialized
 }
 
 // Name implements Album.
@@ -89,16 +99,22 @@ func (a *SemanticAlbum) Name() string { return a.Title }
 
 // Items implements Album.
 func (a *SemanticAlbum) Items() ([]Item, error) {
-	res, err := a.Engine.Query(a.Query)
-	if err != nil {
-		return nil, fmt.Errorf("album %q: %w", a.Title, err)
+	var sols []sparql.Solution
+	if a.View != nil {
+		sols = a.View.Solutions()
+	} else {
+		res, err := a.Engine.Query(a.Query)
+		if err != nil {
+			return nil, fmt.Errorf("album %q: %w", a.Title, err)
+		}
+		sols = res.Solutions
 	}
 	linkVar := a.LinkVar
 	if linkVar == "" {
 		linkVar = "link"
 	}
 	var out []Item
-	for _, sol := range res.Solutions {
+	for _, sol := range sols {
 		item := Item{}
 		if t, ok := sol[linkVar]; ok {
 			item.MediaURL = t.Value()

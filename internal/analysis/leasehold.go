@@ -316,6 +316,14 @@ func blockingCallKind(pass *Pass, call *ast.CallExpr, fn *types.Func) string {
 		if isMethodOn(fn, storePkgPath, "Store") && storeLockingMethods[name] {
 			return "the store lock method Store." + name
 		}
+		// The bulk apply takes every shard's write lock batch by batch.
+		// A goroutine holding a read lease across it deadlocks against
+		// itself: the lease pins the shard read locks the apply wants.
+		// (The matview maintenance goroutine is the canonical caller
+		// that must stay lease-free here.)
+		if isMethodOn(fn, storePkgPath, "BulkLoader") && name == "AddBatch" {
+			return "the bulk-load apply BulkLoader.AddBatch"
+		}
 	}
 	return ""
 }

@@ -552,6 +552,19 @@ func runLockOrder(pass *Pass) {
 		if cyc[0].pkg != pass.Path {
 			continue
 		}
+		// A cycle that crosses a declared order is already reported
+		// above at its wrong-way edge; the generic cycle report would
+		// only advise declaring an order that is already declared.
+		violatesDecl := false
+		for _, e := range cyc {
+			if declared.before[e.to][e.from] {
+				violatesDecl = true
+				break
+			}
+		}
+		if violatesDecl {
+			continue
+		}
 		var b strings.Builder
 		b.WriteString(cyc[0].from)
 		for _, e := range cyc {

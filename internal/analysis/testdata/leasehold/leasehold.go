@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"lodify/internal/rdf"
 	"lodify/internal/store"
 )
 
@@ -100,6 +101,37 @@ func ReleaseThenBlock(st *store.Store) int {
 		time.Sleep(time.Millisecond)
 	}
 	return n
+}
+
+// ---- the album-maintenance path (matview): bulk apply under lease ----
+
+// MaintainAcrossApply mirrors a broken materialized-view maintainer:
+// it pins a read lease while folding a delta through the bulk loader.
+// AddBatch wants every shard's write lock; the lease holds the read
+// side of those same locks, so with this goroutine both sides deadlock.
+func MaintainAcrossApply(st *store.Store, batch []rdf.Quad) (int, error) {
+	lease := st.ReadLease()
+	defer lease.Release()
+	bl := st.NewBulkLoader()
+	n, err := bl.AddBatch(batch) // want "held across the bulk-load apply BulkLoader.AddBatch"
+	if err != nil {
+		return 0, err
+	}
+	return n + lease.CountIDs(0, 0, 0, store.AnyGraph), nil
+}
+
+// MaintainThenApply is the compliant maintenance shape: read what the
+// fold needs under the lease, release, then apply with no lease held.
+func MaintainThenApply(st *store.Store, batch []rdf.Quad) (int, error) {
+	lease := st.ReadLease()
+	before := lease.CountIDs(0, 0, 0, store.AnyGraph)
+	lease.Release()
+	bl := st.NewBulkLoader()
+	n, err := bl.AddBatch(batch)
+	if err != nil {
+		return 0, err
+	}
+	return before + n, nil
 }
 
 // ---- interprocedural cases: visible only through summaries ----

@@ -7,6 +7,7 @@
 //lodlint:lockorder Acct.mu < Audit.mu
 //lodlint:lockorder Pool.mu < Conn.mu
 //lodlint:lockorder Hub.mu < Ring.mu < Node.mu
+//lodlint:lockorder Curator.mu < Exhibit.mu
 package lockorderfix
 
 import "sync"
@@ -130,6 +131,45 @@ func Rebalance(h *Hub) {
 		r.nodes = nil
 		r.mu.Unlock()
 	}
+}
+
+// Curator and Exhibit mirror the materialized-view registry's
+// maintenance shape (matview: Registry.mu < View.mu): the registry
+// mutex guards the view map, each view guards its rows with an
+// RWMutex, and maintenance snapshots under the registry lock before
+// folding into the views.
+type Curator struct {
+	mu       sync.Mutex
+	exhibits []*Exhibit
+}
+
+type Exhibit struct {
+	mu   sync.RWMutex
+	rows int
+}
+
+// Refold is the compliant maintenance order: snapshot the exhibit list
+// under Curator.mu, fold into each exhibit under its own write lock.
+func (c *Curator) Refold() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.exhibits {
+		e.mu.Lock()
+		e.rows++
+		e.mu.Unlock()
+	}
+}
+
+// Adopt re-enters the registry from under a view's read lock — the
+// declared order written backwards, including the RLock side of the
+// RWMutex. Interleaved with Refold this deadlocks.
+func (e *Exhibit) Adopt(c *Curator) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c.mu.Lock() // want "lock order violation"
+	n := len(c.exhibits)
+	c.mu.Unlock()
+	return n + e.rows
 }
 
 // The trailing junk makes this declaration unparseable; the analyzer

@@ -1,11 +1,12 @@
 // Package stats is the query planner's statistics substrate: a
 // concurrency-safe sink of observed per-(predicate, graph)
 // cardinalities, fed by the SPARQL executor as it evaluates basic
-// graph patterns. Planner v2 (ROADMAP: "query planner v2:
-// statistics") reads the sink to cost join orders from *observed*
-// store cardinalities instead of per-pattern Count probes; until
-// then, /debug/querystats and the EXPLAIN machinery surface the same
-// numbers to humans.
+// graph patterns. The executor sources the observations from the
+// store's maintained per-(predicate, graph) statistics (counts plus
+// distinct-subject/object sketches) — the same numbers the cost-based
+// planner reads directly in id space — so /debug/querystats shows
+// humans exactly what the planner saw, keyed by rendered IRIs that
+// survive restarts and store reloads (ids do not).
 //
 // The sink is deliberately independent of the store and the executor:
 // keys are rendered predicate/graph IRIs, so a snapshot survives
@@ -37,6 +38,12 @@ type Card struct {
 	Min  int64 `json:"min"`
 	Max  int64 `json:"max"`
 	Last int64 `json:"last"`
+	// DistinctS/DistinctO are the store's distinct-subject/object
+	// estimates for the predicate at the last observation (0 when the
+	// observer did not supply them) — the join-selectivity divisors
+	// planner v2 costs with, surfaced here for /debug/querystats.
+	DistinctS int64 `json:"distinctS,omitempty"`
+	DistinctO int64 `json:"distinctO,omitempty"`
 	// UpdatedUnixNano is the last observation time.
 	UpdatedUnixNano int64 `json:"updatedUnixNano"`
 }
@@ -49,41 +56,57 @@ type Entry struct {
 	Avg float64 `json:"avg"`
 }
 
-// Sink collects cardinality observations.
+// OtherPred is the predicate label of the overflow bucket: when the
+// sink is full, the stalest series fold their aggregates into
+// (OtherPred, "") instead of growing the map without bound. The
+// bucket keeps the totals truthful (Sum and Count survive eviction)
+// while per-predicate resolution degrades only for cold keys.
+const OtherPred = "(other)"
+
+// DefaultLimit bounds Default: ample for real vocabularies (a LOD
+// sharing deployment observes tens of predicates), small enough that
+// a hostile or synthetic workload cannot grow the sink without bound.
+const DefaultLimit = 1024
+
+// Sink collects cardinality observations. It holds at most limit
+// tracked keys: inserts beyond that evict the stalest eighth of the
+// map into the OtherPred bucket.
 type Sink struct {
-	mu sync.RWMutex
-	m  map[Key]*Card
+	mu    sync.RWMutex
+	m     map[Key]*Card
+	limit int
 }
 
-// New returns an empty sink.
-func New() *Sink { return &Sink{m: map[Key]*Card{}} }
+// New returns an empty sink bounded at DefaultLimit keys.
+func New() *Sink { return NewWithLimit(DefaultLimit) }
+
+// NewWithLimit returns an empty sink holding at most limit keys
+// (minimum 2: one live key plus the overflow bucket).
+func NewWithLimit(limit int) *Sink {
+	if limit < 2 {
+		limit = 2
+	}
+	return &Sink{m: map[Key]*Card{}, limit: limit}
+}
 
 // Default is the process-wide sink the SPARQL executor feeds.
 var Default = New()
 
 // Observe records one cardinality observation for (pred, graph).
 func (s *Sink) Observe(pred, graph string, card int64) {
+	s.ObserveCard(pred, graph, card, 0, 0)
+}
+
+// ObserveCard records one observation together with the store's
+// distinct-subject/object estimates (0 = unknown). This is the call
+// the executor makes from the maintained per-shard statistics.
+func (s *Sink) ObserveCard(pred, graph string, card, distinctS, distinctO int64) {
 	if pred == "" {
 		return
 	}
 	now := time.Now().UnixNano()
-	k := Key{Pred: pred, Graph: graph}
 	s.mu.Lock()
-	c, ok := s.m[k]
-	if !ok {
-		c = &Card{Min: card, Max: card}
-		s.m[k] = c
-	}
-	c.Count++
-	c.Sum += card
-	if card < c.Min {
-		c.Min = card
-	}
-	if card > c.Max {
-		c.Max = card
-	}
-	c.Last = card
-	c.UpdatedUnixNano = now
+	s.observeLocked(Key{Pred: pred, Graph: graph}, card, distinctS, distinctO, now)
 	s.mu.Unlock()
 }
 
@@ -99,23 +122,84 @@ func (s *Sink) ObserveBatch(obs map[Key]int64) {
 		if k.Pred == "" {
 			continue
 		}
-		c, ok := s.m[k]
-		if !ok {
-			c = &Card{Min: card, Max: card}
-			s.m[k] = c
-		}
-		c.Count++
-		c.Sum += card
-		if card < c.Min {
-			c.Min = card
-		}
-		if card > c.Max {
-			c.Max = card
-		}
-		c.Last = card
-		c.UpdatedUnixNano = now
+		s.observeLocked(k, card, 0, 0, now)
 	}
 	s.mu.Unlock()
+}
+
+// observeLocked updates one series under s.mu, evicting first when a
+// new key would overflow the limit.
+func (s *Sink) observeLocked(k Key, card, distinctS, distinctO, now int64) {
+	c, ok := s.m[k]
+	if !ok {
+		if len(s.m) >= s.limit {
+			s.evictLocked(now)
+		}
+		c = &Card{Min: card, Max: card}
+		s.m[k] = c
+	}
+	c.Count++
+	c.Sum += card
+	if card < c.Min {
+		c.Min = card
+	}
+	if card > c.Max {
+		c.Max = card
+	}
+	c.Last = card
+	if distinctS > 0 {
+		c.DistinctS = distinctS
+	}
+	if distinctO > 0 {
+		c.DistinctO = distinctO
+	}
+	c.UpdatedUnixNano = now
+}
+
+// evictLocked folds the stalest eighth of the map (at least one key,
+// never the overflow bucket itself) into the OtherPred series. Batched
+// eviction keeps the amortized cost of a key-churning workload O(1)
+// per insert instead of a full scan each time.
+func (s *Sink) evictLocked(now int64) {
+	type aged struct {
+		k Key
+		t int64
+	}
+	victims := make([]aged, 0, len(s.m))
+	for k, c := range s.m {
+		if k.Pred == OtherPred {
+			continue
+		}
+		victims = append(victims, aged{k, c.UpdatedUnixNano})
+	}
+	if len(victims) == 0 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].t < victims[j].t })
+	n := len(victims) / 8
+	if n < 1 {
+		n = 1
+	}
+	ok := Key{Pred: OtherPred}
+	other, has := s.m[ok]
+	if !has {
+		other = &Card{Min: s.m[victims[0].k].Min}
+		s.m[ok] = other
+	}
+	for _, v := range victims[:n] {
+		c := s.m[v.k]
+		other.Count += c.Count
+		other.Sum += c.Sum
+		if c.Min < other.Min {
+			other.Min = c.Min
+		}
+		if c.Max > other.Max {
+			other.Max = c.Max
+		}
+		other.Last = c.Last
+		delete(s.m, v.k)
+	}
+	other.UpdatedUnixNano = now
 }
 
 // Lookup returns the aggregates for (pred, graph); ok is false when

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -61,6 +62,57 @@ func TestSinkConcurrent(t *testing.T) {
 	wg.Wait()
 	if e, _ := s.Lookup("p", ""); e.Count != 800 {
 		t.Fatalf("count = %d", e.Count)
+	}
+}
+
+func TestSinkBounded(t *testing.T) {
+	const limit = 64
+	s := NewWithLimit(limit)
+	var wantSum, wantCount int64
+	for i := 0; i < 5000; i++ {
+		card := int64(i%17 + 1)
+		s.Observe(fmt.Sprintf("p%d", i), "", card)
+		wantSum += card
+		wantCount++
+	}
+	if s.Len() > limit {
+		t.Fatalf("sink grew to %d keys, limit %d", s.Len(), limit)
+	}
+	// Eviction must fold, not drop: totals across the snapshot
+	// (including the overflow bucket) match what was observed.
+	var sum, count int64
+	sawOther := false
+	for _, e := range s.Snapshot() {
+		sum += e.Sum
+		count += e.Count
+		if e.Pred == OtherPred {
+			sawOther = true
+		}
+	}
+	if sum != wantSum || count != wantCount {
+		t.Fatalf("snapshot totals sum=%d count=%d, want sum=%d count=%d",
+			sum, count, wantSum, wantCount)
+	}
+	if !sawOther {
+		t.Fatal("no OtherPred overflow bucket after evictions")
+	}
+	// The most recent keys survive eviction individually.
+	if _, ok := s.Lookup("p4999", ""); !ok {
+		t.Fatal("hottest key evicted")
+	}
+}
+
+func TestSinkDistinctCounts(t *testing.T) {
+	s := New()
+	s.ObserveCard("p", "g", 100, 40, 25)
+	e, ok := s.Lookup("p", "g")
+	if !ok || e.DistinctS != 40 || e.DistinctO != 25 {
+		t.Fatalf("entry %+v ok=%v, want distinctS=40 distinctO=25", e, ok)
+	}
+	// Unknown distincts (0) must not clobber known ones.
+	s.Observe("p", "g", 90)
+	if e, _ := s.Lookup("p", "g"); e.DistinctS != 40 || e.DistinctO != 25 || e.Last != 90 {
+		t.Fatalf("after plain observe: %+v", e)
 	}
 }
 

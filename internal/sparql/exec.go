@@ -52,6 +52,10 @@ type executor struct {
 	// plan-shaped tree (EXPLAIN ANALYZE / slow-query capture). Nil
 	// keeps the hot path at one pointer check per node.
 	prof *profiler
+	// plans caches cost-based BGP plans per (syntax node, graph) for
+	// this execution — OPTIONAL inner BGPs re-evaluate per input row
+	// and must not re-plan (planner.go).
+	plans map[planKey]*bgpPlan
 	// obsStats feeds per-(predicate,graph) cardinality observations to
 	// the planner statistics sink as BGPs evaluate; false (bare
 	// executors in tests) disables collection.
@@ -383,6 +387,10 @@ func (ex *executor) evalBGP(bgp *BGP, input []row) []row {
 			if ex.obsStats {
 				ex.observePredCards(plain, cp, gid)
 			}
+			if plan := ex.planBGP(bgp, cp, gid, len(cur), inputBoundMask(cur)); plan != nil {
+				cur = ex.execPlan(plan, plain, cp, gid, cur)
+				break
+			}
 			if len(cur) >= bgpParallelThreshold && bgpMaxWorkers > 1 {
 				cur = ex.joinRowsParallel(cp, gid, cur)
 				break
@@ -524,18 +532,21 @@ func (ex *executor) joinStep(lease *store.Lease, cp []compiledPattern, used []bo
 }
 
 // observePredCards feeds the planner statistics sink: for every plain
-// pattern with a constant predicate, the predicate-only match count in
-// the current graph restriction, recorded straight into stats.Default
-// (struct keys and in-place entry updates: no per-query allocation).
-// The count call is the same index-size read the greedy join order
-// already pays per pattern.
+// pattern with a constant predicate, the maintained per-(predicate,
+// graph) count plus distinct-subject/object estimates, recorded
+// straight into stats.Default (struct keys and in-place entry
+// updates: no per-query allocation). PredStatIDs merges the per-shard
+// series under shard read locks — cheaper than the CountIDs index
+// walk this used to pay — and must not run under a held read lease;
+// here it doesn't, leases are taken later inside the join paths.
 func (ex *executor) observePredCards(plain []TriplePattern, cp []compiledPattern, gid store.TermID) {
 	for i, tp := range plain {
 		if tp.P.IsVar() || cp[i].p.slot >= 0 || cp[i].p.id == 0 {
 			continue
 		}
-		stats.Default.Observe(tp.P.Term.Value(), ex.graph.Value(),
-			int64(ex.st.CountIDs(0, cp[i].p.id, 0, gid)))
+		ps := ex.st.PredStatIDs(cp[i].p.id, gid)
+		stats.Default.ObserveCard(tp.P.Term.Value(), ex.graph.Value(),
+			ps.Count, ps.DistinctS, ps.DistinctO)
 	}
 }
 

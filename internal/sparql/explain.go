@@ -66,7 +66,7 @@ func (e *Engine) staticNode(n PatternNode) *PlanNode {
 	pn := &PlanNode{Op: nodeKind(n), Detail: nodeDetail(n)}
 	switch node := n.(type) {
 	case *BGP:
-		pn.EstRows = e.estimateBGP(node)
+		pn.EstRows, pn.Children = e.staticBGPPlan(node)
 	case *GroupPattern:
 		for _, c := range node.Children {
 			pn.Children = append(pn.Children, e.staticNode(c))
@@ -95,6 +95,48 @@ func (e *Engine) staticNode(n PatternNode) *PlanNode {
 		pn.Children = append(pn.Children, e.staticPlan(node.Query))
 	}
 	return pn
+}
+
+// staticBGPPlan plans the BGP against the live statistics and renders
+// its join steps as child plan nodes (op scan/hash-join, cumulative
+// estimate per step). When the planner declines — greedy mode pinned,
+// too many patterns — it falls back to the greedy bound with no step
+// children. Static planning has no GRAPH context, so it estimates
+// across all graphs, like estimateBGP always has.
+func (e *Engine) staticBGPPlan(node *BGP) (int64, []*PlanNode) {
+	var plain []TriplePattern
+	for _, tp := range node.Triples {
+		if tp.Path == nil {
+			plain = append(plain, tp)
+		}
+	}
+	if len(plain) == 0 {
+		return 0, nil
+	}
+	ex := &executor{st: e.st}
+	ex.fr = groupFrame(&GroupPattern{Children: []PatternNode{node}})
+	cp, ok := ex.compileBGP(plain)
+	if !ok {
+		return 0, nil
+	}
+	plan := ex.planBGP(node, cp, store.AnyGraph, 1, 0)
+	if plan == nil {
+		return e.estimateBGP(node), nil
+	}
+	if plan.empty {
+		return 0, nil
+	}
+	children := make([]*PlanNode, 0, len(plan.steps))
+	for _, stp := range plan.steps {
+		op := "scan"
+		if stp.hash {
+			op = "hash-join"
+		}
+		children = append(children, &PlanNode{
+			Op: op, Detail: patternText(plain[stp.pat]), EstRows: estRows(stp.est),
+		})
+	}
+	return plan.est, children
 }
 
 // estimateBGP returns the smallest per-pattern match count — the

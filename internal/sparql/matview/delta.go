@@ -1,0 +1,348 @@
+package matview
+
+import (
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+// Delta-maintenance classification and the VALUES-prefix rewrite
+// (DESIGN.md §15). A query is delta-capable when an added quad can
+// only ever *add* solutions (monotonicity) and the result is a set
+// (DISTINCT), so folding per-pattern rewrite results into the
+// materialized map is exact. Everything else — and every removal —
+// takes the conservative full re-evaluation path.
+
+// patInfo is one plain triple pattern of the view's WHERE tree,
+// together with its GRAPH context: graph is the restricting constant
+// (zero Term = none), graphVar the ?g name when the context is
+// variable.
+type patInfo struct {
+	pat      sparql.TriplePattern
+	graph    rdf.Term
+	graphVar string
+	// vars are the distinct variable names of the pattern (plus
+	// graphVar), in S,P,O,G order — the VALUES header of the rewrite.
+	vars []string
+	// hasDup marks a repeated variable (?r p ?r): only then does
+	// matches need the consistency pass.
+	hasDup bool
+}
+
+// classify walks the parsed query, deciding delta capability and
+// collecting the patterns (with graph context) the delta matcher
+// checks. The reason string names the first disqualifier, for
+// /debug/matviews.
+func classify(q *sparql.Query) (ok bool, reason string, pats []patInfo) {
+	switch {
+	case q.Form != sparql.FormSelect:
+		reason = "non-SELECT form"
+	case !q.Distinct:
+		reason = "not DISTINCT"
+	case len(q.OrderBy) > 0 || q.Limit >= 0 || q.Offset > 0:
+		reason = "ORDER BY / LIMIT / OFFSET"
+	case len(q.GroupBy) > 0 || len(q.Having) > 0 || len(q.Binds) > 0:
+		reason = "aggregation / select expressions"
+	}
+	if q.Where != nil {
+		walkReason := walkGroup(q.Where, rdf.Term{}, "", &pats)
+		if reason == "" {
+			reason = walkReason
+		}
+	}
+	return reason == "", reason, pats
+}
+
+// walkGroup collects patterns under a graph context and returns the
+// first delta-disqualifying shape it finds ("" when none). It keeps
+// walking after a disqualifier so even fallback views get a full
+// pattern list for relevance filtering.
+func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]patInfo) string {
+	reason := ""
+	note := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	for _, e := range g.Filters {
+		if r := walkExpr(e); r != "" {
+			note(r)
+		}
+	}
+	for _, child := range g.Children {
+		switch n := child.(type) {
+		case *sparql.BGP:
+			for _, tp := range n.Triples {
+				if tp.Path != nil {
+					note("property path")
+					continue
+				}
+				if hasBlank(tp) {
+					note("blank node in pattern")
+					continue
+				}
+				*pats = append(*pats, newPatInfo(tp, graph, graphVar))
+			}
+		case *sparql.GroupPattern:
+			note(walkGroup(n, graph, graphVar, pats))
+		case *sparql.UnionPattern:
+			for _, br := range n.Branches {
+				note(walkGroup(br, graph, graphVar, pats))
+			}
+		case *sparql.GraphPattern:
+			cg, cv := graph, graphVar
+			if n.Graph.IsVar() {
+				cg, cv = rdf.Term{}, n.Graph.Var
+			} else {
+				cg, cv = n.Graph.Term, ""
+			}
+			note(walkGroup(n.Group, cg, cv, pats))
+		case *sparql.OptionalPattern:
+			note("OPTIONAL")
+			note(walkGroup(n.Group, graph, graphVar, pats))
+		case *sparql.MinusPattern:
+			note("MINUS")
+			note(walkGroup(n.Group, graph, graphVar, pats))
+		case *sparql.SubQuery:
+			note("subquery")
+			if n.Query.Where != nil {
+				note(walkGroup(n.Query.Where, graph, graphVar, pats))
+			}
+		case *sparql.BindPattern:
+			// BIND computes from already-bound vars: monotone, allowed.
+		case *sparql.ValuesPattern:
+			// Constant rows: monotone, allowed.
+		default:
+			note("unsupported pattern")
+		}
+	}
+	return reason
+}
+
+// walkExpr rejects EXISTS/NOT EXISTS: a new quad can flip them for
+// *old* rows, which no per-pattern rewrite re-derives.
+func walkExpr(e sparql.Expr) string {
+	switch x := e.(type) {
+	case sparql.ExprExists:
+		return "EXISTS in FILTER"
+	case sparql.ExprCall:
+		for _, a := range x.Args {
+			if r := walkExpr(a); r != "" {
+				return r
+			}
+		}
+	}
+	return ""
+}
+
+func hasBlank(tp sparql.TriplePattern) bool {
+	for _, pt := range [3]sparql.PatternTerm{tp.S, tp.P, tp.O} {
+		if !pt.IsVar() && pt.Term.IsBlank() {
+			return true
+		}
+	}
+	return false
+}
+
+func newPatInfo(tp sparql.TriplePattern, graph rdf.Term, graphVar string) patInfo {
+	pi := patInfo{pat: tp, graph: graph, graphVar: graphVar}
+	seen := map[string]bool{}
+	for _, pt := range [3]sparql.PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar() {
+			if seen[pt.Var] {
+				pi.hasDup = true
+				continue
+			}
+			seen[pt.Var] = true
+			pi.vars = append(pi.vars, pt.Var)
+		}
+	}
+	if graphVar != "" && !seen[graphVar] {
+		pi.vars = append(pi.vars, graphVar)
+	}
+	return pi
+}
+
+// matches reports whether one added/removed quad can instantiate the
+// pattern: constant positions equal, repeated variables consistent,
+// graph context honored (a constant GRAPH must equal the quad's
+// graph; GRAPH ?g only ranges over named graphs; a top-level pattern
+// matches any graph, mirroring the executor's wildcard scan).
+func (pi *patInfo) matches(q store.IDQuad, terms *termResolver) bool {
+	if !pi.graph.IsZero() {
+		if q.G == 0 || terms.term(q.G) != pi.graph {
+			return false
+		}
+	} else if pi.graphVar != "" && q.G == 0 {
+		return false
+	}
+	// This runs per quad per pattern per view on every commit batch:
+	// constants reject first (one dictionary lookup each), and the
+	// variable-consistency pass — fixed-size scratch, never a map
+	// allocation — only runs for the rare repeated-variable pattern.
+	pts := [3]sparql.PatternTerm{pi.pat.S, pi.pat.P, pi.pat.O}
+	ids := [3]store.TermID{q.S, q.P, q.O}
+	for i, pt := range pts {
+		if !pt.IsVar() && terms.term(ids[i]) != pt.Term {
+			return false
+		}
+	}
+	if !pi.hasDup {
+		return true
+	}
+	var bound [3]struct {
+		name string
+		id   store.TermID
+	}
+	nb := 0
+	for i, pt := range pts {
+		if !pt.IsVar() {
+			continue
+		}
+		dup := false
+		for j := 0; j < nb; j++ {
+			if bound[j].name == pt.Var {
+				if bound[j].id != ids[i] {
+					return false
+				}
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			bound[nb].name, bound[nb].id = pt.Var, ids[i]
+			nb++
+		}
+	}
+	return true
+}
+
+// valuesFor builds the VALUES node pinning this pattern's variables
+// to the added quads that match it; nil when none do. Rows dedup in
+// id space.
+func (pi *patInfo) valuesFor(added []store.IDQuad, terms *termResolver) *sparql.ValuesPattern {
+	if len(pi.vars) == 0 {
+		// A fully-constant pattern contributes no bindings; a matching
+		// add still means new solutions may exist, so pin nothing and
+		// let the full WHERE re-derive them (rare shape: the pattern is
+		// an existence guard).
+		for _, q := range added {
+			if pi.matches(q, terms) {
+				return &sparql.ValuesPattern{}
+			}
+		}
+		return nil
+	}
+	type key struct{ s, p, o, g store.TermID }
+	seen := map[key]bool{}
+	vp := &sparql.ValuesPattern{Vars: pi.vars}
+	for _, q := range added {
+		if !pi.matches(q, terms) {
+			continue
+		}
+		k := key{}
+		row := make([]rdf.Term, len(pi.vars))
+		fill := func(name string, id store.TermID) {
+			for i, v := range pi.vars {
+				if v == name {
+					row[i] = terms.term(id)
+				}
+			}
+		}
+		for i, pt := range [3]sparql.PatternTerm{pi.pat.S, pi.pat.P, pi.pat.O} {
+			id := [3]store.TermID{q.S, q.P, q.O}[i]
+			if pt.IsVar() {
+				fill(pt.Var, id)
+				switch i {
+				case 0:
+					k.s = id
+				case 1:
+					k.p = id
+				case 2:
+					k.o = id
+				}
+			}
+		}
+		if pi.graphVar != "" {
+			fill(pi.graphVar, q.G)
+			k.g = q.G
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		vp.Rows = append(vp.Rows, row)
+	}
+	if len(vp.Rows) == 0 {
+		return nil
+	}
+	return vp
+}
+
+// subjectPivot returns the variable shared by every pattern's subject
+// position, when one exists and no pattern sits under a variable GRAPH
+// context (GRAPH ?g bindings must be pinned per quad, which pivot rows
+// do not carry). With a pivot, one rewrite per delta —
+// VALUES ?pivot { distinct added subjects } — covers every pattern at
+// once: a new solution uses an added quad at some pattern, that
+// pattern binds ?pivot to the quad's subject, so the solution survives
+// the restriction (complete); the VALUES only restricts (sound). This
+// collapses the per-pattern fan-out on the common star/chain album
+// shapes, where every pattern hangs off ?resource.
+func subjectPivot(pats []patInfo) (string, bool) {
+	if len(pats) == 0 {
+		return "", false
+	}
+	pivot := ""
+	for i := range pats {
+		if pats[i].graphVar != "" || !pats[i].pat.S.IsVar() {
+			return "", false
+		}
+		switch s := pats[i].pat.S.Var; {
+		case pivot == "":
+			pivot = s
+		case s != pivot:
+			return "", false
+		}
+	}
+	return pivot, true
+}
+
+// pivotValues builds the single-variable VALUES over the distinct
+// subjects of added quads that match any pattern; nil when none do.
+func pivotValues(pats []patInfo, pivot string, added []store.IDQuad, terms *termResolver) *sparql.ValuesPattern {
+	seen := map[store.TermID]bool{}
+	vp := &sparql.ValuesPattern{Vars: []string{pivot}}
+	for _, q := range added {
+		if seen[q.S] {
+			continue
+		}
+		for i := range pats {
+			if pats[i].matches(q, terms) {
+				seen[q.S] = true
+				vp.Rows = append(vp.Rows, []rdf.Term{terms.term(q.S)})
+				break
+			}
+		}
+	}
+	if len(vp.Rows) == 0 {
+		return nil
+	}
+	return vp
+}
+
+// rewriteWith prefixes the query's WHERE with the VALUES restriction:
+// the delta-evaluation query. Shallow copies only — the base AST is
+// shared and never mutated. An empty ValuesPattern (no vars) is the
+// "re-derive everything" sentinel from a constant-pattern match and
+// adds no restriction.
+func rewriteWith(q *sparql.Query, vp *sparql.ValuesPattern) *sparql.Query {
+	rq := *q
+	children := make([]sparql.PatternNode, 0, len(q.Where.Children)+1)
+	if len(vp.Vars) > 0 {
+		children = append(children, vp)
+	}
+	children = append(children, q.Where.Children...)
+	rq.Where = &sparql.GroupPattern{Children: children, Filters: q.Where.Filters}
+	return &rq
+}

@@ -1,0 +1,56 @@
+package matview
+
+import (
+	"fmt"
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// BenchmarkFoldRound measures one coalesced maintenance round: V views
+// folding one additive delta of P posts (the album-bench shape).
+func BenchmarkFoldRound(b *testing.B) {
+	const V, seedPosts, deltaPosts = 100, 3000, 800
+	st := store.NewSharded(0)
+	mk := func(i, kw int) []rdf.Quad {
+		p := iri(fmt.Sprintf("bp/%d", i))
+		return []rdf.Quad{
+			{S: p, P: rdf.NewIRI(rdf.RDFType), O: iri("Post")},
+			{S: p, P: iri("image"), O: iri(fmt.Sprintf("m/%d.jpg", i))},
+			{S: p, P: iri("subject"), O: rdf.NewLiteral(fmt.Sprintf("kw%d-x", kw))},
+		}
+	}
+	bl := st.NewBulkLoader()
+	var quads []rdf.Quad
+	for i := 0; i < seedPosts; i++ {
+		quads = append(quads, mk(i, i%V)...)
+	}
+	if _, err := bl.AddBatch(quads); err != nil {
+		b.Fatal(err)
+	}
+	r := New(st)
+	defer r.Close()
+	for v := 0; v < V; v++ {
+		src := fmt.Sprintf(`SELECT DISTINCT ?r ?link WHERE {
+  ?r a <http://ex.org/Post> .
+  ?r <http://ex.org/image> ?link .
+  ?r <http://ex.org/subject> ?kw .
+  FILTER(CONTAINS(?kw, "kw%d-")) }`, v)
+		if _, err := r.Register(fmt.Sprintf("v%d", v), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var delta []rdf.Quad
+		for i := 0; i < deltaPosts; i++ {
+			delta = append(delta, mk(seedPosts+n*deltaPosts+i, i%V)...)
+		}
+		wbl := st.NewBulkLoader()
+		if _, err := wbl.AddBatch(delta); err != nil {
+			b.Fatal(err)
+		}
+		r.Sync()
+	}
+}

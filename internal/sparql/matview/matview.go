@@ -1,0 +1,574 @@
+// Package matview incrementally materializes SPARQL views — the
+// semantic albums of the paper's §2.3, registered once and read many
+// times. A view's result set is kept current against the store's
+// commit stream (store.OnCommit): for monotone DISTINCT SELECT
+// queries, an added batch is folded in by *delta evaluation* — the
+// query re-runs with each triple pattern in turn pre-bound (via a
+// VALUES prefix) to the batch quads that match it, so work scales
+// with the delta, not the corpus. Shapes the delta rules do not cover
+// (OPTIONAL, MINUS, aggregates, ORDER BY/LIMIT, property paths,
+// EXISTS, non-DISTINCT) and every removal fall back to a conservative
+// full re-evaluation; the fallback matrix is DESIGN.md §15.
+//
+// Correctness of the delta rule: any solution that is new after a
+// purely-additive batch must use at least one added quad at some
+// triple pattern; the rewrite for that pattern pins the pattern's
+// variables to exactly the added quads' values, so the solution
+// survives the VALUES restriction (complete), and every rewrite
+// solution is a solution of the unrestricted query (sound). DISTINCT
+// set semantics absorb the overlap between per-pattern rewrites.
+package matview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lodify/internal/obs"
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+//lodlint:lockorder Registry.mu < View.mu
+
+// DefaultMaxViews bounds a registry: ample for thousands of album
+// subscriptions, small enough that a runaway registrar cannot pin
+// unbounded result sets.
+const DefaultMaxViews = 8192
+
+var (
+	mDelta  = obs.C("lodify_matview_delta_total")
+	mReeval = obs.C("lodify_matview_reeval_total")
+	mSkip   = obs.C("lodify_matview_skip_total")
+	gViews  = obs.G("lodify_matview_views")
+	gLagNs  = obs.G("lodify_matview_lag_nanos")
+)
+
+// Registry owns the materialized views of one store and the single
+// maintenance goroutine that keeps them current. Commit hooks only
+// enqueue (copying the delta); all evaluation happens on the
+// maintenance goroutine, so writers are never blocked on query work
+// and the goroutine never holds a read lease across someone else's
+// bulk apply.
+type Registry struct {
+	st  *store.Store
+	eng *sparql.Engine
+
+	mu       sync.Mutex // guards views + queue; held briefly, never across evaluation
+	views    map[string]*View
+	queue    []work
+	maxViews int
+
+	wake       chan struct{}
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	cancelHook func()
+	closeOnce  sync.Once
+}
+
+// work is one maintenance-queue item: a copied commit delta, or a
+// flush token (Sync) that closes its channel when reached.
+type work struct {
+	delta store.Delta
+	flush chan struct{}
+}
+
+// New starts a registry over st with its own maintenance goroutine.
+// Close must be called to release the commit hook and stop the
+// goroutine.
+func New(st *store.Store) *Registry {
+	r := &Registry{
+		st:       st,
+		eng:      sparql.NewEngine(st),
+		views:    map[string]*View{},
+		maxViews: DefaultMaxViews,
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	r.cancelHook = st.OnCommit(r.enqueue)
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// enqueue is the commit hook: copy the delta (the slices are only
+// valid during the call) and signal the maintenance goroutine. Safe
+// for concurrent writers.
+func (r *Registry) enqueue(d store.Delta) {
+	cp := d
+	cp.Added = append([]store.IDQuad(nil), d.Added...)
+	cp.Removed = append([]store.IDQuad(nil), d.Removed...)
+	r.mu.Lock()
+	r.queue = append(r.queue, work{delta: cp})
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Sync blocks until every delta committed before the call has been
+// applied to every view — the barrier tests and benchmarks measure
+// maintenance lag against.
+func (r *Registry) Sync() {
+	ch := make(chan struct{})
+	r.mu.Lock()
+	r.queue = append(r.queue, work{flush: ch})
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case <-ch:
+	case <-r.stop:
+	}
+}
+
+// Close cancels the commit hook and stops the maintenance goroutine,
+// draining nothing further. Idempotent.
+func (r *Registry) Close() {
+	r.closeOnce.Do(func() {
+		r.cancelHook()
+		close(r.stop)
+		r.wg.Wait()
+	})
+}
+
+// loop is the maintenance goroutine: drain the queue in commit order,
+// applying each delta to every registered view.
+func (r *Registry) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.wake:
+		}
+		for {
+			r.mu.Lock()
+			batch := r.queue
+			r.queue = nil
+			vs := make([]*View, 0, len(r.views))
+			for _, v := range r.views {
+				vs = append(vs, v)
+			}
+			r.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for _, w := range coalesce(batch) {
+				if w.flush != nil {
+					close(w.flush)
+					continue
+				}
+				r.applyDelta(vs, w.delta)
+			}
+		}
+	}
+}
+
+// coalesce merges maximal runs of purely-additive deltas in a drained
+// queue segment: when ingest outpaces maintenance the queue backs up,
+// and folding one merged delta amortizes the per-view rewrite overhead
+// across every pending commit instead of paying it per commit. A
+// merged run keeps the oldest AtUnixNano (lag is metered against the
+// oldest pending commit, the honest worst case) and the newest Epoch.
+// Removal batches and flush tokens are barriers and stay in commit
+// order. The input items' Added slices are owned by the registry, so
+// extending the run head in place is safe.
+func coalesce(batch []work) []work {
+	out := batch[:0]
+	run := -1 // index in out of the open additive run, -1 when closed
+	for _, w := range batch {
+		switch {
+		case w.flush != nil || len(w.delta.Removed) > 0:
+			run = -1
+		case run >= 0:
+			d := &out[run].delta
+			d.Added = append(d.Added, w.delta.Added...)
+			if w.delta.Epoch > d.Epoch {
+				d.Epoch = w.delta.Epoch
+			}
+			continue
+		default:
+			run = len(out)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// applyDelta folds one commit batch into every view, metering the
+// commit-to-current lag.
+func (r *Registry) applyDelta(vs []*View, d store.Delta) {
+	res := newTermResolver(r.st)
+	for _, v := range vs {
+		v.apply(r.eng, d, res)
+	}
+	gLagNs.Set(time.Now().UnixNano() - d.AtUnixNano)
+}
+
+// Register parses, classifies and materializes a view. The first
+// evaluation is synchronous; from then on the maintenance goroutine
+// keeps it current. Registering an existing name or exceeding the
+// view cap errors.
+func (r *Registry) Register(name, src string) (*View, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("matview %q: %w", name, err)
+	}
+	v := &View{name: name, src: src, q: q, rows: map[string]sparql.Solution{}}
+	v.deltaOK, v.reason, v.pats = classify(q)
+	v.pivot, v.pivotOK = subjectPivot(v.pats)
+
+	r.mu.Lock()
+	if _, dup := r.views[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("matview %q: already registered", name)
+	}
+	if len(r.views) >= r.maxViews {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("matview %q: registry full (%d views)", name, r.maxViews)
+	}
+	// Visible to the maintenance goroutine *before* the initial
+	// evaluation: a delta racing the evaluation is then applied on top
+	// of it, which is idempotent (additive deltas merge into the set;
+	// removals force full re-evaluation), so no commit is ever missed.
+	r.views[name] = v
+	gViews.Set(int64(len(r.views)))
+	r.mu.Unlock()
+
+	if err := v.refresh(r.eng); err != nil {
+		r.Deregister(name)
+		return nil, fmt.Errorf("matview %q: %w", name, err)
+	}
+	return v, nil
+}
+
+// Deregister drops a view; reads against the returned View keep
+// working but it is no longer maintained.
+func (r *Registry) Deregister(name string) {
+	r.mu.Lock()
+	delete(r.views, name)
+	gViews.Set(int64(len(r.views)))
+	r.mu.Unlock()
+}
+
+// Get returns a registered view.
+func (r *Registry) Get(name string) (*View, bool) {
+	r.mu.Lock()
+	v, ok := r.views[name]
+	r.mu.Unlock()
+	return v, ok
+}
+
+// Names lists the registered views, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.views))
+	for n := range r.views {
+		out = append(out, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered views.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.views)
+}
+
+// ViewStats is one view's maintenance counters.
+type ViewStats struct {
+	Name         string `json:"name"`
+	Rows         int    `json:"rows"`
+	Version      uint64 `json:"version"`
+	DeltaCapable bool   `json:"deltaCapable"`
+	// Reason says why the view is not delta-capable ("" when it is).
+	Reason string `json:"reason,omitempty"`
+	// DeltaApplies counts incremental folds, FullReevals complete
+	// re-evaluations (including the initial one), Skips batches that
+	// touched no pattern of the view.
+	DeltaApplies int64 `json:"deltaApplies"`
+	FullReevals  int64 `json:"fullReevals"`
+	Skips        int64 `json:"skips"`
+	// LastLagNs is commit-to-applied latency of the last fold.
+	LastLagNs int64 `json:"lastLagNs"`
+}
+
+// Stats snapshots every view's counters, sorted by name — the
+// /debug/matviews document.
+func (r *Registry) Stats() []ViewStats {
+	r.mu.Lock()
+	vs := make([]*View, 0, len(r.views))
+	for _, v := range r.views {
+		vs = append(vs, v)
+	}
+	r.mu.Unlock()
+	out := make([]ViewStats, len(vs))
+	for i, v := range vs {
+		out[i] = v.Stats()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// View is one materialized result set. Reads (Snapshot, Solutions)
+// are O(result) map copies under a read lock — no query evaluation.
+type View struct {
+	name string
+	src  string
+	q    *sparql.Query
+
+	deltaOK bool
+	reason  string
+	pats    []patInfo
+	// pivot is the subject variable shared by every pattern (see
+	// subjectPivot): when set, one rewrite per delta covers all
+	// patterns instead of one rewrite per pattern.
+	pivot   string
+	pivotOK bool
+
+	mu      sync.RWMutex // View.mu: rows/version/counters
+	rows    map[string]sparql.Solution
+	version uint64
+
+	deltaApplies int64
+	fullReevals  int64
+	skips        int64
+	lastLagNs    int64
+}
+
+// Name returns the view's registry name.
+func (v *View) Name() string { return v.name }
+
+// Query returns the view's SPARQL source.
+func (v *View) Query() string { return v.src }
+
+// Version increments on every materialization change.
+func (v *View) Version() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.version
+}
+
+// Len reports the current result-set size.
+func (v *View) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.rows)
+}
+
+// Solutions copies the materialized result set, in canonical row-key
+// order (deterministic, not the query's ORDER BY — views with ORDER
+// BY semantics fall back to full re-evaluation and callers re-sort).
+func (v *View) Solutions() []sparql.Solution {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.rows))
+	for k := range v.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]sparql.Solution, len(keys))
+	for i, k := range keys {
+		sol := v.rows[k]
+		cp := make(sparql.Solution, len(sol))
+		for name, t := range sol {
+			cp[name] = t
+		}
+		out[i] = cp
+	}
+	v.mu.RUnlock()
+	return out
+}
+
+// Stats snapshots the view's counters.
+func (v *View) Stats() ViewStats {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return ViewStats{
+		Name: v.name, Rows: len(v.rows), Version: v.version,
+		DeltaCapable: v.deltaOK, Reason: v.reason,
+		DeltaApplies: v.deltaApplies, FullReevals: v.fullReevals,
+		Skips: v.skips, LastLagNs: v.lastLagNs,
+	}
+}
+
+// refresh fully re-evaluates the view (the conservative fallback and
+// the initial materialization).
+func (v *View) refresh(eng *sparql.Engine) error {
+	res, err := eng.Exec(v.q)
+	if err != nil {
+		return err
+	}
+	rows := make(map[string]sparql.Solution, len(res.Solutions))
+	for _, sol := range res.Solutions {
+		rows[rowKey(sol)] = sol
+	}
+	v.mu.Lock()
+	v.rows = rows
+	v.version++
+	v.fullReevals++
+	v.mu.Unlock()
+	mReeval.Inc()
+	return nil
+}
+
+// apply folds one commit delta into the view: skip when no pattern is
+// touched, delta-evaluate when the rules cover the query and the
+// batch is purely additive, fully re-evaluate otherwise.
+func (v *View) apply(eng *sparql.Engine, d store.Delta, terms *termResolver) {
+	if !v.deltaOK || len(d.Removed) > 0 {
+		if v.relevant(d, terms) {
+			if err := v.refresh(eng); err == nil {
+				v.noteLag(d)
+			}
+		} else {
+			v.noteSkip()
+		}
+		return
+	}
+	// fold delta-evaluates one VALUES restriction and merges the result
+	// rows; false means it fell back to a full refresh (stop folding).
+	fold := func(vp *sparql.ValuesPattern) bool {
+		rq := rewriteWith(v.q, vp)
+		res, err := eng.Exec(rq)
+		if err != nil {
+			// The rewrite should never fail where the base query parsed;
+			// stay correct anyway.
+			if rerr := v.refresh(eng); rerr == nil {
+				v.noteLag(d)
+			}
+			return false
+		}
+		if len(res.Solutions) > 0 {
+			v.mu.Lock()
+			grew := false
+			for _, sol := range res.Solutions {
+				k := rowKey(sol)
+				if _, dup := v.rows[k]; !dup {
+					v.rows[k] = sol
+					grew = true
+				}
+			}
+			if grew {
+				v.version++
+			}
+			v.mu.Unlock()
+		}
+		return true
+	}
+
+	touched := false
+	if v.pivotOK {
+		if vp := pivotValues(v.pats, v.pivot, d.Added, terms); vp != nil {
+			touched = true
+			if !fold(vp) {
+				return
+			}
+		}
+	} else {
+		for _, pi := range v.pats {
+			vp := pi.valuesFor(d.Added, terms)
+			if vp == nil {
+				continue
+			}
+			touched = true
+			if !fold(vp) {
+				return
+			}
+		}
+	}
+	if !touched {
+		v.noteSkip()
+		return
+	}
+	v.mu.Lock()
+	v.deltaApplies++
+	v.lastLagNs = time.Now().UnixNano() - d.AtUnixNano
+	v.mu.Unlock()
+	mDelta.Inc()
+}
+
+// relevant reports whether any quad of the delta matches any pattern
+// of the view — the cheap guard that makes unrelated ingest O(#pats)
+// per batch. Views that are not delta-capable have pats too (collected
+// best-effort); an empty pats list is always relevant (conservative).
+func (v *View) relevant(d store.Delta, terms *termResolver) bool {
+	if len(v.pats) == 0 {
+		return true
+	}
+	for _, q := range d.Added {
+		for i := range v.pats {
+			if v.pats[i].matches(q, terms) {
+				return true
+			}
+		}
+	}
+	for _, q := range d.Removed {
+		for i := range v.pats {
+			if v.pats[i].matches(q, terms) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (v *View) noteSkip() {
+	v.mu.Lock()
+	v.skips++
+	v.mu.Unlock()
+	mSkip.Inc()
+}
+
+func (v *View) noteLag(d store.Delta) {
+	v.mu.Lock()
+	v.lastLagNs = time.Now().UnixNano() - d.AtUnixNano
+	v.mu.Unlock()
+}
+
+// rowKey renders a solution canonically (sorted var=term) for set
+// membership.
+func rowKey(sol sparql.Solution) string {
+	vars := make([]string, 0, len(sol))
+	for v := range sol {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		b.WriteString(v)
+		b.WriteByte('=')
+		b.WriteString(sol[v].String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// termResolver caches id→term lookups for one delta batch, shared
+// across the views it is applied to.
+type termResolver struct {
+	st *store.Store
+	m  map[store.TermID]rdf.Term
+}
+
+func newTermResolver(st *store.Store) *termResolver {
+	return &termResolver{st: st, m: map[store.TermID]rdf.Term{}}
+}
+
+func (tr *termResolver) term(id store.TermID) rdf.Term {
+	if t, ok := tr.m[id]; ok {
+		return t
+	}
+	t := tr.st.TermOf(id)
+	tr.m[id] = t
+	return t
+}

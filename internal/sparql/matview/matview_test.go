@@ -1,0 +1,488 @@
+package matview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"lodify/internal/rdf"
+	"lodify/internal/sparql"
+	"lodify/internal/store"
+)
+
+const ns = "http://ex.org/"
+
+func iri(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+
+// albumQuery is a monotone DISTINCT UNION+FILTER shape — the
+// ByKeywordSemantic album, reduced to test vocabulary.
+const albumQuery = `SELECT DISTINCT ?r ?link WHERE {
+  ?r a <http://ex.org/Post> .
+  ?r <http://ex.org/image> ?link .
+  { ?r <http://ex.org/subject> ?kw . FILTER(CONTAINS(?kw, "mole")) }
+  UNION
+  { ?r <http://ex.org/refs> ?ref . ?ref <http://ex.org/label> ?lbl . FILTER(CONTAINS(?lbl, "mole")) }
+}`
+
+// post emits the quads of one synthetic post; every third post is
+// about the keyword via dc:subject, every fifth via a referenced
+// labelled resource.
+func post(i int) []rdf.Quad {
+	r := iri(fmt.Sprintf("post/%d", i))
+	quads := []rdf.Quad{
+		{S: r, P: rdf.NewIRI(rdf.RDFType), O: iri("Post")},
+		{S: r, P: iri("image"), O: iri(fmt.Sprintf("media/%d.jpg", i))},
+	}
+	if i%3 == 0 {
+		quads = append(quads, rdf.Quad{S: r, P: iri("subject"), O: rdf.NewLiteral("mole antonelliana")})
+	} else {
+		quads = append(quads, rdf.Quad{S: r, P: iri("subject"), O: rdf.NewLiteral("something else")})
+	}
+	if i%5 == 0 {
+		ref := iri(fmt.Sprintf("poi/%d", i))
+		quads = append(quads,
+			rdf.Quad{S: r, P: iri("refs"), O: ref},
+			rdf.Quad{S: ref, P: iri("label"), O: rdf.NewLiteral("the mole landmark")})
+	}
+	return quads
+}
+
+// canon renders solutions canonically for multiset comparison.
+func canon(sols []sparql.Solution) []string {
+	out := make([]string, len(sols))
+	for i, sol := range sols {
+		vars := make([]string, 0, len(sol))
+		for v := range sol {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var b strings.Builder
+		for _, v := range vars {
+			b.WriteString(v + "=" + sol[v].String() + " ")
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// requireFresh asserts the view equals a fresh evaluation of its
+// query right now.
+func requireFresh(t *testing.T, st *store.Store, v *View) {
+	t.Helper()
+	res, err := sparql.NewEngine(st).Query(v.Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := canon(v.Solutions()), canon(res.Solutions)
+	if len(got) != len(want) {
+		t.Fatalf("view %q: %d materialized rows, fresh eval %d", v.Name(), len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("view %q row %d:\n  view:  %s\n  fresh: %s", v.Name(), i, got[i], want[i])
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src    string
+		ok     bool
+		reason string
+	}{
+		{albumQuery, true, ""},
+		{`SELECT ?r WHERE { ?r a <http://ex.org/Post> }`, false, "not DISTINCT"},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> } ORDER BY ?r`, false, "ORDER BY / LIMIT / OFFSET"},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> } LIMIT 5`, false, "ORDER BY / LIMIT / OFFSET"},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> OPTIONAL { ?r <http://ex.org/image> ?l } }`, false, "OPTIONAL"},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> MINUS { ?r <http://ex.org/hidden> true } }`, false, "MINUS"},
+		{`SELECT DISTINCT ?r (COUNT(?l) AS ?n) WHERE { ?r <http://ex.org/image> ?l } GROUP BY ?r`, false, "aggregation / select expressions"},
+		{`SELECT DISTINCT ?a WHERE { ?a <http://ex.org/knows>+ ?b }`, false, "property path"},
+		{`ASK { ?r a <http://ex.org/Post> }`, false, "non-SELECT form"},
+		{`SELECT DISTINCT ?g ?r WHERE { GRAPH ?g { ?r a <http://ex.org/Post> } }`, true, ""},
+	}
+	for _, c := range cases {
+		q, err := sparql.Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		ok, reason, pats := classify(q)
+		if ok != c.ok || reason != c.reason {
+			t.Fatalf("classify(%q) = (%v, %q), want (%v, %q)", c.src, ok, reason, c.ok, c.reason)
+		}
+		// Path-only queries legitimately collect no plain patterns (an
+		// empty list means "always relevant" — conservative fallback).
+		if len(pats) == 0 && c.reason != "property path" {
+			t.Fatalf("classify(%q) collected no patterns", c.src)
+		}
+	}
+}
+
+// TestDeltaMaintenanceAllPaths registers a view, then grows the store
+// through every mutation path — Add, Txn, BulkLoader — and requires
+// the view to equal fresh evaluation after each Sync, maintained by
+// deltas (exactly one full evaluation: the initial one).
+func TestDeltaMaintenanceAllPaths(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		st := store.NewSharded(shards)
+		for i := 0; i < 30; i++ {
+			for _, q := range post(i) {
+				st.MustAdd(q)
+			}
+		}
+		r := New(st)
+		defer r.Close()
+		v, err := r.Register("keyword-mole", albumQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Stats().DeltaCapable {
+			t.Fatalf("album query classified fallback: %q", v.Stats().Reason)
+		}
+		if v.Len() == 0 {
+			t.Fatal("initial materialization is empty; test is vacuous")
+		}
+		requireFresh(t, st, v)
+
+		// Single Adds.
+		for _, q := range post(30) {
+			st.MustAdd(q)
+		}
+		// Txn.
+		tx := st.Begin()
+		for i := 31; i < 34; i++ {
+			for _, q := range post(i) {
+				if err := tx.Add(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, _, err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// BulkLoader.
+		var batch []rdf.Quad
+		for i := 34; i < 60; i++ {
+			batch = append(batch, post(i)...)
+		}
+		if _, err := st.NewBulkLoader().AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		r.Sync()
+		requireFresh(t, st, v)
+
+		stats := v.Stats()
+		if stats.FullReevals != 1 {
+			t.Fatalf("shards=%d: %d full re-evaluations, want 1 (initial only); stats %+v",
+				shards, stats.FullReevals, stats)
+		}
+		if stats.DeltaApplies == 0 {
+			t.Fatalf("shards=%d: no delta applies recorded; stats %+v", shards, stats)
+		}
+	}
+}
+
+// TestRemovalFallsBack: removals must trigger full re-evaluation and
+// still converge to fresh results.
+func TestRemovalFallsBack(t *testing.T) {
+	st := store.NewSharded(4)
+	for i := 0; i < 30; i++ {
+		for _, q := range post(i) {
+			st.MustAdd(q)
+		}
+	}
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("mole", albumQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := v.Len()
+	// Remove post 0's keyword quad: it leaves the result set (post 0
+	// is also i%5==0, so it survives via the refs arm — remove that
+	// label too).
+	if !st.Remove(rdf.Quad{S: iri("post/0"), P: iri("subject"), O: rdf.NewLiteral("mole antonelliana")}) {
+		t.Fatal("remove failed")
+	}
+	if !st.Remove(rdf.Quad{S: iri("poi/0"), P: iri("label"), O: rdf.NewLiteral("the mole landmark")}) {
+		t.Fatal("remove failed")
+	}
+	r.Sync()
+	requireFresh(t, st, v)
+	if v.Len() >= before {
+		t.Fatalf("view still %d rows after removal (was %d)", v.Len(), before)
+	}
+	if s := v.Stats(); s.FullReevals < 2 {
+		t.Fatalf("removal did not force full re-evaluation: %+v", s)
+	}
+}
+
+// TestIrrelevantIngestSkips: commits touching none of the view's
+// patterns must be skipped without evaluation.
+func TestIrrelevantIngestSkips(t *testing.T) {
+	st := store.NewSharded(4)
+	st.MustAdd(post(0)[0])
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("mole", albumQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := v.Version()
+	// Sync per commit so the loop cannot coalesce the batches: every
+	// commit must be individually skipped without evaluation.
+	for i := 0; i < 10; i++ {
+		st.MustAdd(rdf.Quad{S: iri(fmt.Sprintf("x/%d", i)), P: iri("unrelated"), O: rdf.NewLiteral("y")})
+		r.Sync()
+	}
+	s := v.Stats()
+	if s.Skips < 10 {
+		t.Fatalf("want ≥10 skipped batches, got %+v", s)
+	}
+	if v.Version() != ver {
+		t.Fatalf("version moved on irrelevant ingest: %d -> %d", ver, v.Version())
+	}
+	// The rdf:type predicate IS relevant (pattern ?r a Post).
+	st.MustAdd(rdf.Quad{S: iri("post/x"), P: rdf.NewIRI(rdf.RDFType), O: iri("Post")})
+	r.Sync()
+	if v.Stats().Skips != s.Skips {
+		t.Fatal("relevant commit was skipped")
+	}
+}
+
+// TestGraphViewMaintenance exercises a GRAPH ?g view: the graph
+// variable must be pinned from the delta quad's graph id.
+func TestGraphViewMaintenance(t *testing.T) {
+	st := store.NewSharded(8)
+	g := func(i int) rdf.Term { return iri(fmt.Sprintf("graph/%d", i)) }
+	for i := 0; i < 6; i++ {
+		st.MustAdd(rdf.Quad{S: iri(fmt.Sprintf("post/%d", i)), P: rdf.NewIRI(rdf.RDFType), O: iri("Post"), G: g(i % 3)})
+	}
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("graphs", `SELECT DISTINCT ?g ?r WHERE { GRAPH ?g { ?r a <http://ex.org/Post> } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireFresh(t, st, v)
+	for i := 6; i < 12; i++ {
+		st.MustAdd(rdf.Quad{S: iri(fmt.Sprintf("post/%d", i)), P: rdf.NewIRI(rdf.RDFType), O: iri("Post"), G: g(i % 4)})
+	}
+	// Default-graph typing must NOT enter the GRAPH ?g view.
+	st.MustAdd(rdf.Quad{S: iri("post/default"), P: rdf.NewIRI(rdf.RDFType), O: iri("Post")})
+	r.Sync()
+	requireFresh(t, st, v)
+	if s := v.Stats(); s.FullReevals != 1 || s.DeltaApplies == 0 {
+		t.Fatalf("graph view not delta-maintained: %+v", s)
+	}
+}
+
+// TestConcurrentIngestEquivalence is the -race suite: writers ingest
+// through the bulk loader while readers snapshot the views; after a
+// final Sync every view equals fresh evaluation.
+func TestConcurrentIngestEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		st := store.NewSharded(shards)
+		r := New(st)
+		v, err := r.Register("mole", albumQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := r.Register("typed", `SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const writers, perWriter = 4, 50
+		var writeWg, readWg sync.WaitGroup
+		stopRead := make(chan struct{})
+		readWg.Add(1)
+		go func() { // concurrent reader
+			defer readWg.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				_ = v.Solutions()
+				_ = v2.Len()
+			}
+		}()
+		for w := 0; w < writers; w++ {
+			writeWg.Add(1)
+			go func(w int) {
+				defer writeWg.Done()
+				bl := st.NewBulkLoader()
+				for i := 0; i < perWriter; i++ {
+					if _, err := bl.AddBatch(post(w*perWriter + i)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		writeWg.Wait()
+		close(stopRead)
+		readWg.Wait()
+
+		r.Sync()
+		requireFresh(t, st, v)
+		requireFresh(t, st, v2)
+		r.Close()
+	}
+}
+
+// TestRegistryLifecycle covers duplicate names, the view cap,
+// deregistration and idempotent Close.
+// TestSubjectPivotMaintenance: when every pattern hangs off the same
+// subject variable, one VALUES-?r rewrite per delta covers all
+// patterns. The staged commits check completeness: the quad that
+// finally completes a solution arrives alone, with the rest of the
+// row's quads already in the store.
+func TestSubjectPivotMaintenance(t *testing.T) {
+	const pivotQuery = `SELECT DISTINCT ?r ?link WHERE {
+  ?r a <http://ex.org/Post> .
+  ?r <http://ex.org/image> ?link .
+  ?r <http://ex.org/subject> ?kw .
+  FILTER(CONTAINS(?kw, "mole"))
+}`
+	st := store.NewSharded(4)
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("pivot", pivotQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.pivotOK || v.pivot != "r" {
+		t.Fatalf("pivot not detected: ok=%v var=%q", v.pivotOK, v.pivot)
+	}
+	// The UNION album query must NOT pivot: the refs arm's second
+	// pattern has subject ?ref.
+	if uv, err := r.Register("union", albumQuery); err != nil {
+		t.Fatal(err)
+	} else if uv.pivotOK {
+		t.Fatal("UNION query with mixed subjects must not use the pivot path")
+	}
+
+	// Stage 1: type + subject only — no solution yet.
+	p := iri("post/p")
+	st.MustAdd(rdf.Quad{S: p, P: rdf.NewIRI(rdf.RDFType), O: iri("Post")})
+	st.MustAdd(rdf.Quad{S: p, P: iri("subject"), O: rdf.NewLiteral("mole antonelliana")})
+	r.Sync()
+	if v.Len() != 0 {
+		t.Fatalf("incomplete post already materialized: %d rows", v.Len())
+	}
+	// Stage 2: the image quad alone completes the solution — the pivot
+	// VALUES must re-derive the row from this single added quad.
+	st.MustAdd(rdf.Quad{S: p, P: iri("image"), O: iri("media/p.jpg")})
+	r.Sync()
+	requireFresh(t, st, v)
+	if v.Len() != 1 {
+		t.Fatalf("want 1 row after completing quad, got %d", v.Len())
+	}
+	s := v.Stats()
+	if s.DeltaApplies == 0 || s.FullReevals != 1 {
+		t.Fatalf("pivot path did not delta-maintain: %+v", s)
+	}
+}
+
+// TestSubjectPivotRejects: shapes the pivot must not claim.
+func TestSubjectPivotRejects(t *testing.T) {
+	parse := func(src string) []patInfo {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, pats := classify(q)
+		return pats
+	}
+	for _, tc := range []struct {
+		name, src string
+		want      bool
+	}{
+		{"shared subject", `SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> . ?r <http://ex.org/image> ?l }`, true},
+		{"mixed subjects", `SELECT DISTINCT ?r WHERE { ?r <http://ex.org/refs> ?x . ?x <http://ex.org/label> ?l }`, false},
+		{"constant subject", `SELECT DISTINCT ?o WHERE { <http://ex.org/s> <http://ex.org/p> ?o }`, false},
+		{"graph var", `SELECT DISTINCT ?r ?g WHERE { GRAPH ?g { ?r a <http://ex.org/Post> } }`, false},
+	} {
+		if _, ok := subjectPivot(parse(tc.src)); ok != tc.want {
+			t.Errorf("%s: pivot=%v, want %v", tc.name, ok, tc.want)
+		}
+	}
+	if _, ok := subjectPivot(nil); ok {
+		t.Error("empty pattern list must not pivot")
+	}
+}
+
+// TestCoalesce: the maintenance loop merges maximal runs of purely-
+// additive deltas; removals and flush tokens are in-order barriers.
+func TestCoalesce(t *testing.T) {
+	add := func(at, epoch int64, quads ...store.IDQuad) work {
+		return work{delta: store.Delta{Added: quads, AtUnixNano: at, Epoch: uint64(epoch)}}
+	}
+	q := func(s store.TermID) store.IDQuad { return store.IDQuad{S: s, P: 1, O: 2} }
+	flush := work{flush: make(chan struct{})}
+	rem := work{delta: store.Delta{Removed: []store.IDQuad{q(9)}, AtUnixNano: 40, Epoch: 4}}
+
+	out := coalesce([]work{
+		add(10, 1, q(1)), add(20, 2, q(2)), add(30, 3, q(3)), // merge
+		rem,                            // barrier
+		add(50, 5, q(5)), add(60, 6, q(6)), // merge
+		flush,            // barrier
+		add(70, 7, q(7)), // own run
+	})
+	if len(out) != 5 {
+		t.Fatalf("want 5 items (run, removal, run, flush, run), got %d", len(out))
+	}
+	first := out[0].delta
+	if len(first.Added) != 3 || first.AtUnixNano != 10 || first.Epoch != 3 {
+		t.Fatalf("merged run: %+v (want 3 quads, oldest time 10, newest epoch 3)", first)
+	}
+	if len(out[1].delta.Removed) != 1 {
+		t.Fatalf("removal barrier lost: %+v", out[1].delta)
+	}
+	if len(out[2].delta.Added) != 2 || out[2].delta.AtUnixNano != 50 {
+		t.Fatalf("second run: %+v", out[2].delta)
+	}
+	if out[3].flush == nil {
+		t.Fatal("flush token lost")
+	}
+	if len(out[4].delta.Added) != 1 || out[4].delta.AtUnixNano != 70 {
+		t.Fatalf("trailing run: %+v", out[4].delta)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	st := store.NewSharded(2)
+	st.MustAdd(post(0)[0])
+	r := New(st)
+	r.maxViews = 2
+	if _, err := r.Register("a", albumQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("a", albumQuery); err == nil {
+		t.Fatal("duplicate registration allowed")
+	}
+	if _, err := r.Register("b", albumQuery); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("c", albumQuery); err == nil {
+		t.Fatal("registry cap not enforced")
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("names %v", got)
+	}
+	r.Deregister("a")
+	if r.Len() != 1 {
+		t.Fatalf("len %d after deregister", r.Len())
+	}
+	if stats := r.Stats(); len(stats) != 1 || stats[0].Name != "b" {
+		t.Fatalf("stats %+v", stats)
+	}
+	r.Close()
+	r.Close() // idempotent
+}

@@ -1,0 +1,227 @@
+package sparql
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lodify/internal/store"
+)
+
+// Execution of cost-based BGP plans (planner.go). The step order is
+// fixed, so no per-row count probes are paid. Consecutive scan steps
+// fuse into one backtracking nested-loop run with the same in-place
+// binding scratch the greedy path uses (solutions clone only at
+// emission); hash steps evaluate their pattern standalone once and
+// merge through joinRowsHash. Under a profiler the steps instead run
+// one at a time, materialized, so EXPLAIN ANALYZE can report actual
+// per-step cardinalities against the estimates.
+
+// execPlan runs a cost-based plan over the input rows.
+func (ex *executor) execPlan(plan *bgpPlan, plain []TriplePattern, cp []compiledPattern, gid store.TermID, input []row) []row {
+	if plan.empty || len(input) == 0 {
+		return nil
+	}
+	if ex.prof != nil {
+		return ex.execPlanProfiled(plan, plain, cp, gid, input)
+	}
+	cur := input
+	for i := 0; i < len(plan.steps); {
+		if len(cur) == 0 {
+			return nil
+		}
+		if plan.steps[i].hash {
+			cur = joinRowsHash(cur, ex.scanPattern(cp[plan.steps[i].pat], gid))
+			atomic.AddInt64(&ex.rowsJoined, int64(len(cur)))
+			i++
+			continue
+		}
+		// Fuse the run of consecutive scan steps into one backtracking
+		// pass — no intermediate materialization between them.
+		j := i
+		for j < len(plan.steps) && !plan.steps[j].hash {
+			j++
+		}
+		order := make([]int, 0, j-i)
+		for k := i; k < j; k++ {
+			order = append(order, plan.steps[k].pat)
+		}
+		cur = ex.joinFixed(order, cp, gid, cur)
+		i = j
+	}
+	return cur
+}
+
+// execPlanProfiled runs the plan step-at-a-time, recording one child
+// plan node per join step with estimated and actual cardinalities.
+func (ex *executor) execPlanProfiled(plan *bgpPlan, plain []TriplePattern, cp []compiledPattern, gid store.TermID, input []row) []row {
+	ex.prof.setTopEst(plan.est)
+	cur := input
+	for i := range plan.steps {
+		step := plan.steps[i]
+		op := "scan"
+		if step.hash {
+			op = "hash-join"
+		}
+		detail := ""
+		if step.pat < len(plain) {
+			detail = patternText(plain[step.pat])
+		}
+		child := ex.prof.stepChild(stepKey{plan: plan, idx: i}, op, detail, estRows(step.est))
+		start := time.Now()
+		rowsIn := len(cur)
+		if step.hash {
+			cur = joinRowsHash(cur, ex.scanPattern(cp[step.pat], gid))
+			atomic.AddInt64(&ex.rowsJoined, int64(len(cur)))
+		} else if len(cur) > 0 {
+			cur = ex.joinFixed([]int{step.pat}, cp, gid, cur)
+		}
+		ex.prof.stepExit(child, time.Since(start), rowsIn, len(cur), len(ex.fr.names))
+	}
+	return cur
+}
+
+// stepKey identifies one plan step across re-evaluations (OPTIONAL
+// inner BGPs run once per input row and must aggregate per step).
+type stepKey struct {
+	plan *bgpPlan
+	idx  int
+}
+
+// joinFixed extends the input rows through the given pattern order,
+// fanning out like the greedy path when the input is large.
+func (ex *executor) joinFixed(order []int, cp []compiledPattern, gid store.TermID, input []row) []row {
+	if len(input) >= bgpParallelThreshold && bgpMaxWorkers > 1 {
+		return ex.joinFixedParallel(order, cp, gid, input)
+	}
+	lease := ex.st.ReadLease()
+	ex.prof.addLease(lease.Wait())
+	out := ex.joinFixedSeq(lease, order, cp, gid, input)
+	lease.Release()
+	atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
+	return out
+}
+
+// joinFixedSeq is the single-lease nested-loop run over the fixed
+// pattern order, with the same scratch-row backtracking as joinStep.
+func (ex *executor) joinFixedSeq(lease *store.Lease, order []int, cp []compiledPattern, gid store.TermID, input []row) []row {
+	if len(input) == 0 {
+		return nil
+	}
+	scratch := make(row, len(input[0]))
+	var out []row
+	for _, r := range input {
+		copy(scratch, r)
+		out = ex.fixedStep(lease, order, cp, 0, gid, scratch, out)
+	}
+	return out
+}
+
+// joinFixedParallel mirrors joinRowsParallel: contiguous input chunks,
+// one lease per worker, results concatenated in chunk order.
+func (ex *executor) joinFixedParallel(order []int, cp []compiledPattern, gid store.TermID, input []row) []row {
+	mBGPParallel.Inc()
+	workers := bgpMaxWorkers
+	if workers > len(input) {
+		workers = len(input)
+	}
+	chunk := (len(input) + workers - 1) / workers
+	results := make([][]row, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(input) {
+			break
+		}
+		hi := min(lo+chunk, len(input))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lease := ex.st.ReadLease()
+			defer lease.Release()
+			ex.prof.addLease(lease.Wait())
+			out := ex.joinFixedSeq(lease, order, cp, gid, input[lo:hi])
+			atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
+			results[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	out := make([]row, 0, total)
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// fixedStep is joinStep without the greedy selection: the pattern at
+// order[k] extends cur, recursing down the fixed order. Bindings are
+// in-place with backtracking; complete rows clone at emission.
+func (ex *executor) fixedStep(lease *store.Lease, order []int, cp []compiledPattern, k int, gid store.TermID, cur row, out []row) []row {
+	if k == len(order) {
+		return append(out, cur.clone())
+	}
+	pat := cp[order[k]]
+	s, p, o := resolveIDs(pat, cur)
+	lease.MatchIDs(s, p, o, gid, func(ms, mp, mo, _ store.TermID) bool {
+		var touched [3]int
+		n := 0
+		bind := func(ct cpTerm, val store.TermID) bool {
+			if ct.slot < 0 {
+				return true
+			}
+			if cur[ct.slot] != 0 {
+				return cur[ct.slot] == val
+			}
+			cur[ct.slot] = val
+			touched[n] = ct.slot
+			n++
+			return true
+		}
+		if bind(pat.s, ms) && bind(pat.p, mp) && bind(pat.o, mo) {
+			out = ex.fixedStep(lease, order, cp, k+1, gid, cur, out)
+		}
+		for i := 0; i < n; i++ {
+			cur[touched[i]] = 0
+		}
+		return true
+	})
+	return out
+}
+
+// scanPattern evaluates one pattern standalone — constants only, every
+// variable a wildcard — into full-width rows for a hash-join build
+// side, under its own short lease.
+func (ex *executor) scanPattern(p compiledPattern, gid store.TermID) []row {
+	lease := ex.st.ReadLease()
+	ex.prof.addLease(lease.Wait())
+	defer lease.Release()
+	width := len(ex.fr.names)
+	var out []row
+	s, pr, o := resolveConsts(p)
+	lease.MatchIDs(s, pr, o, gid, func(ms, mp, mo, _ store.TermID) bool {
+		r := make(row, width)
+		if bindScan(r, p.s, ms) && bindScan(r, p.p, mp) && bindScan(r, p.o, mo) {
+			out = append(out, r)
+		}
+		return true
+	})
+	atomic.AddInt64(&ex.rowsJoined, int64(len(out)))
+	return out
+}
+
+// bindScan binds one scan match position into a fresh row; a repeated
+// variable must match its earlier binding.
+func bindScan(r row, ct cpTerm, val store.TermID) bool {
+	if ct.slot < 0 {
+		return true
+	}
+	if r[ct.slot] != 0 {
+		return r[ct.slot] == val
+	}
+	r[ct.slot] = val
+	return true
+}

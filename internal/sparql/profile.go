@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -47,12 +48,18 @@ type PlanNode struct {
 	// acquired, so the field stays truthful on sharded stores.
 	Leases      int64 `json:"leases,omitempty"`
 	LeaseWaitNs int64 `json:"leaseWaitNs,omitempty"`
-	// EstRows is the static EXPLAIN cardinality estimate (the most
-	// selective pattern's store count); 0 in ANALYZE trees.
-	EstRows  int64       `json:"estRows,omitempty"`
-	Children []*PlanNode `json:"children,omitempty"`
+	// EstRows is the planner's cardinality estimate, from the live
+	// per-(predicate, graph) statistics: cost-planned BGPs and their
+	// join steps carry it in both static EXPLAIN and ANALYZE trees.
+	EstRows int64 `json:"estRows,omitempty"`
+	// MissFactor is the estimate-vs-actual mis-estimation ratio
+	// (max/min of EstRows and RowsOut, ≥ 1), filled when an ANALYZE
+	// run finishes on nodes that have an estimate. 10x and worse is a
+	// planner regression worth a slow-query-log look.
+	MissFactor float64     `json:"missFactor,omitempty"`
+	Children   []*PlanNode `json:"children,omitempty"`
 
-	children map[PatternNode]*PlanNode // syntax-node identity -> child
+	children map[any]*PlanNode // syntax-node (or step) identity -> child
 }
 
 // profiler accumulates a PlanNode tree during one query execution.
@@ -77,7 +84,7 @@ func newProfiler(form QueryForm) *profiler {
 func (p *profiler) enter(n PatternNode, rowsIn int) *PlanNode {
 	parent := p.stack[len(p.stack)-1]
 	if parent.children == nil {
-		parent.children = map[PatternNode]*PlanNode{}
+		parent.children = map[any]*PlanNode{}
 	}
 	pn, ok := parent.children[n]
 	if !ok {
@@ -118,12 +125,74 @@ func (p *profiler) addLease(wait time.Duration) {
 	p.mu.Unlock()
 }
 
+// setTopEst records the planner estimate on the operator currently on
+// top of the stack (the BGP node, during execPlanProfiled), keeping
+// the first estimate on re-evaluation.
+func (p *profiler) setTopEst(est int64) {
+	top := p.stack[len(p.stack)-1]
+	if top.EstRows == 0 {
+		top.EstRows = est
+	}
+}
+
+// stepChild finds or creates a child of the current stack top keyed by
+// an arbitrary identity — planner join steps, which are not syntax
+// nodes — without pushing it onto the stack (leases taken during a
+// step keep attributing to the owning BGP).
+func (p *profiler) stepChild(key any, op, detail string, est int64) *PlanNode {
+	parent := p.stack[len(p.stack)-1]
+	if parent.children == nil {
+		parent.children = map[any]*PlanNode{}
+	}
+	pn, ok := parent.children[key]
+	if !ok {
+		pn = &PlanNode{Op: op, Detail: detail, EstRows: est}
+		parent.children[key] = pn
+		parent.Children = append(parent.Children, pn)
+	}
+	return pn
+}
+
+// stepExit accumulates one execution of a stepChild node.
+func (p *profiler) stepExit(pn *PlanNode, wall time.Duration, rowsIn, rowsOut, rowWidth int) {
+	pn.Evals++
+	pn.RowsIn += int64(rowsIn)
+	pn.WallNs += int64(wall)
+	pn.RowsOut += int64(rowsOut)
+	pn.AllocBytes += int64(rowsOut) * int64(rowWidth+3) * 8
+}
+
 // finish closes the root with the query's total wall time and
-// solution count.
+// solution count, then fills mis-estimation factors on every node
+// that carries a planner estimate.
 func (p *profiler) finish(elapsed time.Duration, rows int) {
 	p.root.Evals++
 	p.root.WallNs = int64(elapsed)
 	p.root.RowsOut = int64(rows)
+	fillMissFactors(p.root)
+}
+
+// fillMissFactors computes EstRows-vs-RowsOut ratios recursively. Both
+// sides floor at 1 so zero-row actuals yield a finite factor.
+func fillMissFactors(n *PlanNode) {
+	if n.EstRows > 0 && n.Evals > 0 {
+		est, act := float64(n.EstRows), float64(n.RowsOut)
+		if est < 1 {
+			est = 1
+		}
+		if act < 1 {
+			act = 1
+		}
+		f := est / act
+		if f < 1 {
+			f = 1 / f
+		}
+		// Two decimals keep the JSON stable across runs of equal shape.
+		n.MissFactor = math.Round(f*100) / 100
+	}
+	for _, c := range n.Children {
+		fillMissFactors(c)
+	}
 }
 
 // flushOpTotals publishes per-operator self time (inclusive wall minus
@@ -204,6 +273,9 @@ func (n *PlanNode) writeText(b *strings.Builder, depth int) {
 	}
 	if n.EstRows > 0 {
 		fmt.Fprintf(b, " est=%d", n.EstRows)
+	}
+	if n.MissFactor > 0 {
+		fmt.Fprintf(b, " miss=%.1fx", n.MissFactor)
 	}
 	if n.Evals > 0 {
 		fmt.Fprintf(b, " evals=%d in=%d out=%d wall=%s",

@@ -50,6 +50,9 @@ type shardScratch struct {
 	// text index once.
 	postCache map[TermID][]*posting
 	postSlab  []*posting
+	// addedQ collects this shard's applied quads for the commit hooks
+	// (only populated while a hook is registered).
+	addedQ []IDQuad
 }
 
 // BulkLoader ingests batches of quads with one lock acquisition per
@@ -83,6 +86,10 @@ type BulkLoader struct {
 	shardOrder [][]int32
 	scratch    []shardScratch
 	addedBy    []int
+	// collect arms per-shard delta collection for the current batch; it
+	// is sampled once per AddBatch so a hook registered mid-apply waits
+	// for the next batch.
+	collect bool
 }
 
 // NewBulkLoader returns a loader feeding st.
@@ -189,6 +196,7 @@ func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
 	// distinct literal object per shard via that shard's postCache.
 	start := time.Now()
 	added := 0
+	bl.collect = st.hooks.active()
 	if len(st.shards) == 1 {
 		added = bl.applyShard(st.shards[0], bl.order, &bl.scratch[0])
 	} else {
@@ -221,6 +229,15 @@ func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
 		}
 	}
 	st.size.Add(int64(added))
+	if bl.collect {
+		// Merge the per-shard delta slices and deliver one batch-level
+		// notification, after every shard lock is back down.
+		var quadsAdded []IDQuad
+		for i := range bl.scratch {
+			quadsAdded = append(quadsAdded, bl.scratch[i].addedQ...)
+		}
+		st.fireCommit(quadsAdded, nil)
+	}
 
 	mIngestApply.ObserveSince(start)
 	mIngestBatches.Inc()
@@ -237,6 +254,7 @@ func (bl *BulkLoader) AddBatch(quads []rdf.Quad) (int, error) {
 func (bl *BulkLoader) applyShard(sh *shard, idxs []int32, sc *shardScratch) int {
 	clear(sc.postCache)
 	sc.postSlab = sc.postSlab[:0]
+	sc.addedQ = sc.addedQ[:0]
 	sh.mu.Lock()
 	added := 0
 	var gi *graphIndex
@@ -269,6 +287,10 @@ func (bl *BulkLoader) applyShard(sh *shard, idxs []int32, sc *shardScratch) int 
 		}
 		sh.size++
 		added++
+		sh.statAdd(e.g, e.p, e.s, e.o)
+		if bl.collect {
+			sc.addedQ = append(sc.addedQ, IDQuad{S: e.s, P: e.p, O: e.o, G: e.g})
+		}
 		if toks := bl.toks[idx]; len(toks) > 0 {
 			posts, ok := sc.postCache[e.o]
 			if !ok {

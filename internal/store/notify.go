@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Commit notification: subscribers (the matview registry, cache
+// invalidation) register a hook with OnCommit and receive every applied
+// mutation batch as an id-space Delta. Hooks run synchronously on the
+// committing goroutine strictly AFTER all store locks are released, so
+// a hook may freely read the store (take leases, run queries) — but a
+// slow hook slows its writer, so subscribers that do real work should
+// hand the delta to their own goroutine. Concurrent writers (parallel
+// bulk loaders, independent Adds) invoke hooks concurrently; hooks
+// must be safe for that.
+//
+// With no hooks registered every mutation path pays one atomic load
+// and allocates nothing.
+
+// IDQuad is one quad in dictionary-id space (G is a concrete graph id;
+// 0 = default graph — never AnyGraph).
+type IDQuad struct {
+	S, P, O, G TermID
+}
+
+// Delta describes one committed mutation batch.
+type Delta struct {
+	// Added and Removed hold the quads actually applied (duplicates and
+	// absent removals excluded). The slices are owned by the receiver
+	// chain for the duration of the calls only — hooks must copy what
+	// they retain.
+	Added   []IDQuad
+	Removed []IDQuad
+	// Epoch is the store write epoch sampled after the commit.
+	Epoch uint64
+	// AtUnixNano stamps commit completion; maintenance-lag meters
+	// subtract it from their apply time.
+	AtUnixNano int64
+}
+
+// commitHooks is the subscriber table. The count is mirrored into an
+// atomic so mutation hot paths can skip the whole mechanism with one
+// load.
+type commitHooks struct {
+	n   atomic.Int32
+	mu  sync.RWMutex
+	seq int
+	fns map[int]func(Delta)
+}
+
+func (h *commitHooks) active() bool { return h.n.Load() > 0 }
+
+// OnCommit registers fn to observe every subsequently applied mutation
+// batch and returns its cancel function (idempotent).
+func (st *Store) OnCommit(fn func(Delta)) (cancel func()) {
+	h := &st.hooks
+	h.mu.Lock()
+	if h.fns == nil {
+		h.fns = make(map[int]func(Delta))
+	}
+	id := h.seq
+	h.seq++
+	h.fns[id] = fn
+	h.n.Store(int32(len(h.fns)))
+	h.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.fns, id)
+			h.n.Store(int32(len(h.fns)))
+			h.mu.Unlock()
+		})
+	}
+}
+
+// fireCommit delivers one applied batch to every registered hook.
+// Callers must have released every store lock first (the lockorder
+// contract: hooks may re-enter the store).
+func (st *Store) fireCommit(added, removed []IDQuad) {
+	if !st.hooks.active() || len(added)+len(removed) == 0 {
+		return
+	}
+	st.hooks.mu.RLock()
+	fns := make([]func(Delta), 0, len(st.hooks.fns))
+	for _, fn := range st.hooks.fns {
+		fns = append(fns, fn)
+	}
+	st.hooks.mu.RUnlock()
+	d := Delta{
+		Added: added, Removed: removed,
+		Epoch:      st.epoch.Load(),
+		AtUnixNano: time.Now().UnixNano(),
+	}
+	for _, fn := range fns {
+		fn(d)
+	}
+}

@@ -1,0 +1,189 @@
+package store
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Planner statistics (DESIGN.md §15): every mutation path — Add,
+// Remove, Txn.Commit and the BulkLoader's per-shard apply — maintains
+// a per-shard table of per-(graph, predicate) cardinalities: an exact
+// quad count plus fixed-width distinct-subject and distinct-object
+// sketches. The cost-based join planner reads the merged view through
+// PredStatIDs to estimate pattern cardinalities and join fan-outs
+// without probing the indexes, and the EXPLAIN machinery surfaces the
+// same numbers as estRows.
+//
+// Counts are exact: they increment only when a quad is actually new to
+// its graph index and decrement only on a real deletion, under the
+// owning shard's write lock. The sketches are insert-only HyperLogLogs
+// (deletions leave them untouched), so distinct estimates are upper
+// bounds after churn; a (g, p) entry whose count reaches zero is
+// dropped and re-learned from scratch on the next insert.
+
+// gpKey identifies one statistics series: a graph id and predicate id.
+type gpKey struct {
+	g, p TermID
+}
+
+// sketchRegisters is the HLL register count (m). 64 registers cost 64
+// bytes per sketch and give a ~13% standard error — good enough for
+// join ordering, where estimates only need the right order of
+// magnitude.
+const sketchRegisters = 64
+
+// sketch is a fixed-width HyperLogLog distinct counter.
+type sketch [sketchRegisters]uint8
+
+// add folds one hashed value into the sketch. The register index comes
+// from the top bits and the rank from the remainder (shifted back to
+// the top so its leading zeros are unbiased); |1 bounds the rank
+// without a branch.
+func (sk *sketch) add(h uint64) {
+	idx := h >> 58
+	r := uint8(bits.LeadingZeros64(h<<6|1)) + 1
+	if r > sk[idx] {
+		sk[idx] = r
+	}
+}
+
+// merge folds another sketch in (register-wise max), the standard HLL
+// union. Used to combine per-shard and per-graph sketches on read.
+func (sk *sketch) merge(o *sketch) {
+	for i := range sk {
+		if o[i] > sk[i] {
+			sk[i] = o[i]
+		}
+	}
+}
+
+// estimate returns the approximate distinct count, with the standard
+// linear-counting correction for small cardinalities.
+func (sk *sketch) estimate() int64 {
+	const m = float64(sketchRegisters)
+	var sum float64
+	zeros := 0
+	for _, r := range sk {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := 0.709 * m * m / sum
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return int64(est + 0.5)
+}
+
+// mix64 is the splitmix64 finisher — the same mixer shard routing
+// uses — turning dense dictionary ids into uniform sketch inputs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// predStat accumulates one (graph, predicate) series within a shard.
+type predStat struct {
+	count int64
+	subj  sketch
+	obj   sketch
+}
+
+// statAdd records a successful quad insertion. Caller holds sh.mu.
+func (sh *shard) statAdd(g, p, s, o TermID) {
+	ps, ok := sh.pstats[gpKey{g: g, p: p}]
+	if !ok {
+		ps = &predStat{}
+		sh.pstats[gpKey{g: g, p: p}] = ps
+	}
+	ps.count++
+	ps.subj.add(mix64(uint64(s)))
+	ps.obj.add(mix64(uint64(o)))
+}
+
+// statRemove records a successful quad deletion. Caller holds sh.mu.
+func (sh *shard) statRemove(g, p TermID) {
+	k := gpKey{g: g, p: p}
+	if ps, ok := sh.pstats[k]; ok {
+		ps.count--
+		if ps.count <= 0 {
+			delete(sh.pstats, k)
+		}
+	}
+}
+
+// PredStat is the merged statistics view of one (predicate, graph)
+// pair: the exact matching-quad count and approximate distinct
+// subject/object counts.
+type PredStat struct {
+	// Count is the exact number of quads (*, p, *, g).
+	Count int64 `json:"count"`
+	// DistinctS / DistinctO estimate the distinct subjects and objects
+	// among those quads (HLL, ~13% error; upper bounds after deletes).
+	DistinctS int64 `json:"distinctS"`
+	DistinctO int64 `json:"distinctO"`
+}
+
+// PredStatIDs returns the merged statistics for predicate p in graph g
+// (AnyGraph unions every graph). Each shard's read lock is taken
+// briefly in turn — the numbers are advisory planner input and need no
+// cross-shard snapshot. Callers must not hold a read lease (the shard
+// locks re-enter).
+func (st *Store) PredStatIDs(p, g TermID) PredStat {
+	var (
+		count    int64
+		sub, obj sketch
+	)
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		if g == AnyGraph {
+			for k, ps := range sh.pstats {
+				if k.p == p {
+					count += ps.count
+					sub.merge(&ps.subj)
+					obj.merge(&ps.obj)
+				}
+			}
+		} else if ps, ok := sh.pstats[gpKey{g: g, p: p}]; ok {
+			count += ps.count
+			sub.merge(&ps.subj)
+			obj.merge(&ps.obj)
+		}
+		sh.mu.RUnlock()
+	}
+	out := PredStat{Count: count}
+	if count > 0 {
+		out.DistinctS = clampDistinct(sub.estimate(), count)
+		out.DistinctO = clampDistinct(obj.estimate(), count)
+	}
+	return out
+}
+
+// clampDistinct keeps a sketch estimate inside its logical bounds:
+// at least 1, at most the exact quad count.
+func clampDistinct(est, count int64) int64 {
+	if est < 1 {
+		return 1
+	}
+	if est > count {
+		return count
+	}
+	return est
+}
+
+// PredStatKeys counts tracked (graph, predicate) series across shards
+// (the lodify_store_pred_stats gauge).
+func (st *Store) PredStatKeys() int {
+	n := 0
+	for _, sh := range st.shards {
+		sh.mu.RLock()
+		n += len(sh.pstats)
+		sh.mu.RUnlock()
+	}
+	return n
+}

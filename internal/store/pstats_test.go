@@ -1,0 +1,192 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"lodify/internal/rdf"
+)
+
+func psIRI(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+// statQuad builds one quad of the test corpus: subject i, predicate p,
+// object j, graph g ("" = default graph).
+func statQuad(p string, i, j int, g string) rdf.Quad {
+	q := rdf.Quad{
+		S: psIRI(fmt.Sprintf("s/%d", i)),
+		P: psIRI(p),
+		O: psIRI(fmt.Sprintf("o/%d", j)),
+	}
+	if g != "" {
+		q.G = psIRI(g)
+	}
+	return q
+}
+
+// predStatOf resolves predicate/graph terms and returns the merged
+// stats (zero PredStat when the predicate was never stored).
+func predStatOf(t *testing.T, st *Store, p, g string) PredStat {
+	t.Helper()
+	pid, ok := st.LookupID(psIRI(p))
+	if !ok {
+		return PredStat{}
+	}
+	gid := AnyGraph
+	if g != "" {
+		gid, ok = st.LookupID(psIRI(g))
+		if !ok {
+			t.Fatalf("graph %q not interned", g)
+		}
+	}
+	return st.PredStatIDs(pid, gid)
+}
+
+// TestPredStatsMutationPaths checks the exact-count invariant on every
+// mutation path — Add, Remove, Txn.Commit, and the BulkLoader — at 1
+// and 8 shards.
+func TestPredStatsMutationPaths(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			st := NewSharded(shards)
+
+			// Add: 10 distinct quads plus one duplicate.
+			for i := 0; i < 10; i++ {
+				if _, err := st.Add(statQuad("knows", i, i%3, "")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st.MustAdd(statQuad("knows", 0, 0, "")) // duplicate: no count change
+			if got := predStatOf(t, st, "knows", ""); got.Count != 10 {
+				t.Fatalf("knows count after Add = %d, want 10", got.Count)
+			}
+
+			// Distinct estimates: 10 subjects, 3 objects — the sketch is
+			// exact at these cardinalities (linear counting regime).
+			ps := predStatOf(t, st, "knows", "")
+			if ps.DistinctS != 10 || ps.DistinctO != 3 {
+				t.Fatalf("knows distincts = (%d, %d), want (10, 3)", ps.DistinctS, ps.DistinctO)
+			}
+
+			// Remove: two deletions, one no-op removal.
+			if !st.Remove(statQuad("knows", 0, 0, "")) || !st.Remove(statQuad("knows", 1, 1, "")) {
+				t.Fatal("Remove of present quads failed")
+			}
+			if st.Remove(statQuad("knows", 99, 0, "")) {
+				t.Fatal("Remove of absent quad succeeded")
+			}
+			if got := predStatOf(t, st, "knows", ""); got.Count != 8 {
+				t.Fatalf("knows count after Remove = %d, want 8", got.Count)
+			}
+
+			// Txn: adds in a named graph plus a removal in the default one.
+			tx := st.Begin()
+			for i := 0; i < 5; i++ {
+				if err := tx.Add(statQuad("tag", i, i, "g/a")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx.Remove(statQuad("knows", 2, 2, "")); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if got := predStatOf(t, st, "tag", "g/a"); got.Count != 5 {
+				t.Fatalf("tag count in g/a = %d, want 5", got.Count)
+			}
+			if got := predStatOf(t, st, "knows", ""); got.Count != 7 {
+				t.Fatalf("knows count after Txn = %d, want 7", got.Count)
+			}
+
+			// Bulk: a batch with in-batch duplicates, across two graphs.
+			bl := st.NewBulkLoader()
+			var batch []rdf.Quad
+			for i := 0; i < 50; i++ {
+				batch = append(batch, statQuad("rated", i, i%7, "g/a"))
+				batch = append(batch, statQuad("rated", i, i%7, "g/b"))
+			}
+			batch = append(batch, statQuad("rated", 0, 0, "g/a")) // in-batch duplicate
+			if _, err := bl.AddBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			if got := predStatOf(t, st, "rated", "g/a"); got.Count != 50 {
+				t.Fatalf("rated count in g/a = %d, want 50", got.Count)
+			}
+			// AnyGraph merges both graphs: 100 quads, 50 subjects, 7 objects.
+			ps = predStatOf(t, st, "rated", "")
+			if ps.Count != 100 {
+				t.Fatalf("rated count (AnyGraph) = %d, want 100", ps.Count)
+			}
+			if ps.DistinctS < 40 || ps.DistinctS > 60 {
+				t.Fatalf("rated distinctS = %d, want ≈50", ps.DistinctS)
+			}
+			if ps.DistinctO < 5 || ps.DistinctO > 9 {
+				t.Fatalf("rated distinctO = %d, want ≈7", ps.DistinctO)
+			}
+
+			// Emptied series drop their entry (and re-learn on re-add).
+			for i := 0; i < 10; i++ {
+				st.Remove(statQuad("knows", i, i%3, ""))
+			}
+			if got := predStatOf(t, st, "knows", ""); got.Count != 0 {
+				t.Fatalf("knows count after full removal = %d, want 0", got.Count)
+			}
+		})
+	}
+}
+
+// TestPredStatsShardMerge loads the same corpus at 1 and 8 shards and
+// checks the merged statistics agree exactly on counts and closely on
+// sketches (per-shard sketches hash the same ids, so the HLL union is
+// in fact identical when dictionary ids match).
+func TestPredStatsShardMerge(t *testing.T) {
+	build := func(shards int) *Store {
+		st := NewSharded(shards)
+		bl := st.NewBulkLoader()
+		var batch []rdf.Quad
+		for i := 0; i < 400; i++ {
+			batch = append(batch, statQuad("knows", i, (i*7)%90, "g/x"))
+		}
+		if _, err := bl.AddBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	one, eight := build(1), build(8)
+	a := predStatOf(t, one, "knows", "g/x")
+	b := predStatOf(t, eight, "knows", "g/x")
+	if a != b {
+		t.Fatalf("1-shard stats %+v != 8-shard stats %+v", a, b)
+	}
+	if a.Count != 400 {
+		t.Fatalf("count = %d, want 400", a.Count)
+	}
+	// 400 distinct subjects with 64 registers: expect within HLL error.
+	if a.DistinctS < 280 || a.DistinctS > 520 {
+		t.Fatalf("distinctS = %d, want ≈400", a.DistinctS)
+	}
+	if a.DistinctO < 63 || a.DistinctO > 117 {
+		t.Fatalf("distinctO = %d, want ≈90", a.DistinctO)
+	}
+	// PredStatKeys counts per-shard series: 1 at one shard, one per
+	// populated shard at eight.
+	if one.PredStatKeys() != 1 {
+		t.Fatalf("1-shard PredStatKeys = %d, want 1", one.PredStatKeys())
+	}
+	if k := eight.PredStatKeys(); k < 1 || k > 8 {
+		t.Fatalf("8-shard PredStatKeys = %d, want 1..8", k)
+	}
+}
+
+// TestPredStatsUnknown checks absent predicates and graphs yield zero.
+func TestPredStatsUnknown(t *testing.T) {
+	st := New()
+	st.MustAdd(statQuad("knows", 1, 2, ""))
+	if got := st.PredStatIDs(9999, AnyGraph); got != (PredStat{}) {
+		t.Fatalf("unknown predicate stats = %+v, want zero", got)
+	}
+	pid, _ := st.LookupID(psIRI("knows"))
+	if got := st.PredStatIDs(pid, 12345); got != (PredStat{}) {
+		t.Fatalf("unknown graph stats = %+v, want zero", got)
+	}
+}

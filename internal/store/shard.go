@@ -83,6 +83,11 @@ type shard struct {
 	// written under sh.mu, read by ShardStats and the epoch gauges.
 	epoch uint64
 
+	// pstats holds the planner statistics for every (graph, predicate)
+	// pair routed here (pstats.go); mutated under sh.mu by the same
+	// paths that mutate the graph indexes.
+	pstats map[gpKey]*predStat
+
 	text *textIndex
 	geo  *geo.Index
 
@@ -95,6 +100,7 @@ type shard struct {
 func newShard(i int) *shard {
 	return &shard{
 		graphs:    make(map[TermID]*graphIndex),
+		pstats:    make(map[gpKey]*predStat),
 		text:      newTextIndex(),
 		geo:       geo.NewIndex(0.5),
 		leaseWait: obs.H("lodify_store_shard_lease_wait_seconds", "shard", strconv.Itoa(i)),

@@ -66,6 +66,10 @@ type Store struct {
 	// size is the total quad count across shards (atomic so Len needs
 	// no locks; mutated only under the owning shard's write lock).
 	size atomic.Int64
+
+	// hooks delivers applied mutation batches to OnCommit subscribers
+	// (notify.go); fired only after every store lock is released.
+	hooks commitHooks
 }
 
 // New returns an empty store with the default shard count
@@ -108,6 +112,18 @@ func (st *Store) Add(q rdf.Quad) (bool, error) {
 	p := st.dict.intern(q.P)
 	o := st.dict.intern(q.O)
 	g := st.dict.intern(q.G)
+	if !st.addIDs(q, s, p, o, g) {
+		return false, nil
+	}
+	if st.hooks.active() {
+		st.fireCommit([]IDQuad{{S: s, P: p, O: o, G: g}}, nil)
+	}
+	return true, nil
+}
+
+// addIDs inserts one interned quad under its shard's write lock,
+// reporting whether it was new.
+func (st *Store) addIDs(q rdf.Quad, s, p, o, g TermID) bool {
 	sh := st.shards[st.shardIndex(g, s)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -118,14 +134,15 @@ func (st *Store) Add(q rdf.Quad) (bool, error) {
 		sh.gids, _ = sh.gids.insert(g)
 	}
 	if !gi.add(s, p, o) {
-		return false, nil
+		return false
 	}
 	sh.size++
 	st.size.Add(1)
 	sh.epoch = st.epoch.Add(1)
 	mQuadsAdded.Inc()
+	sh.statAdd(g, p, s, o)
 	sh.indexSecondary(q, s, o, true)
-	return true, nil
+	return true
 }
 
 // AddTriple inserts a triple into the default graph.
@@ -159,6 +176,18 @@ func (st *Store) Remove(q rdf.Quad) bool {
 	if !ok {
 		return false
 	}
+	if !st.removeIDs(q, s, p, o, g) {
+		return false
+	}
+	if st.hooks.active() {
+		st.fireCommit(nil, []IDQuad{{S: s, P: p, O: o, G: g}})
+	}
+	return true
+}
+
+// removeIDs deletes one resolved quad under its shard's write lock,
+// reporting whether it was present.
+func (st *Store) removeIDs(q rdf.Quad, s, p, o, g TermID) bool {
 	sh := st.shards[st.shardIndex(g, s)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -170,6 +199,7 @@ func (st *Store) Remove(q rdf.Quad) bool {
 	st.size.Add(-1)
 	sh.epoch = st.epoch.Add(1)
 	mQuadsRemoved.Inc()
+	sh.statRemove(g, p)
 	if gi.size == 0 && g != 0 {
 		delete(sh.graphs, g)
 		sh.gids, _ = sh.gids.remove(g)
@@ -702,14 +732,10 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 	// Intern outside the store locks, then apply under one hold of the
 	// touched shard set.
 	st := tx.st
-	type iq struct {
-		q          rdf.Quad
-		s, p, o, g TermID
-	}
-	stage := func(qs []rdf.Quad) []iq {
-		out := make([]iq, len(qs))
+	stage := func(qs []rdf.Quad) []stagedQuad {
+		out := make([]stagedQuad, len(qs))
 		for i, q := range qs {
-			out[i] = iq{
+			out[i] = stagedQuad{
 				q: q,
 				s: st.dict.intern(q.S), p: st.dict.intern(q.P),
 				o: st.dict.intern(q.O), g: st.dict.intern(q.G),
@@ -730,6 +756,29 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 	if touched == 0 {
 		return 0, 0, nil
 	}
+	// Delta collection only when someone is listening; the apply runs
+	// under the shard locks, the hooks strictly after their release.
+	var delta *Delta
+	if st.hooks.active() {
+		delta = &Delta{}
+	}
+	added, removed = st.applyStaged(sAdds, sRems, touched, delta)
+	if delta != nil {
+		st.fireCommit(delta.Added, delta.Removed)
+	}
+	return added, removed, nil
+}
+
+// stagedQuad is an interned quad staged for a Txn commit.
+type stagedQuad struct {
+	q          rdf.Quad
+	s, p, o, g TermID
+}
+
+// applyStaged applies a staged Txn batch under one hold of the touched
+// shard set (multi-shard batches additionally serialize on Store.mu),
+// recording applied quads into delta when non-nil.
+func (st *Store) applyStaged(sAdds, sRems []stagedQuad, touched uint64, delta *Delta) (added, removed int) {
 	if touched&(touched-1) != 0 {
 		// Multi-shard commit: serialize against other cross-shard
 		// writers, then take the touched shard locks ascending.
@@ -746,7 +795,11 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 			st.size.Add(-1)
 			removed++
 			mQuadsRemoved.Inc()
+			sh.statRemove(e.g, e.p)
 			sh.indexSecondary(e.q, e.s, e.o, false)
+			if delta != nil {
+				delta.Removed = append(delta.Removed, IDQuad{S: e.s, P: e.p, O: e.o, G: e.g})
+			}
 		}
 	}
 	for _, e := range sAdds {
@@ -762,7 +815,11 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 			st.size.Add(1)
 			added++
 			mQuadsAdded.Inc()
+			sh.statAdd(e.g, e.p, e.s, e.o)
 			sh.indexSecondary(e.q, e.s, e.o, true)
+			if delta != nil {
+				delta.Added = append(delta.Added, IDQuad{S: e.s, P: e.p, O: e.o, G: e.g})
+			}
 		}
 	}
 	if added+removed > 0 {
@@ -775,7 +832,7 @@ func (tx *Txn) Commit() (added, removed int, err error) {
 			}
 		}
 	}
-	return added, removed, nil
+	return added, removed
 }
 
 // Rollback discards the batch.

@@ -24,6 +24,7 @@ import (
 	"lodify/internal/obs/stats"
 	"lodify/internal/rdf"
 	"lodify/internal/sparql"
+	"lodify/internal/sparql/matview"
 	"lodify/internal/store"
 	"lodify/internal/ugc"
 )
@@ -42,6 +43,10 @@ type Server struct {
 	// SLO evaluates the server's service-level objectives; its burn
 	// rates are exposed on /metrics and in /api/stats.
 	SLO *obs.Evaluator
+	// Views materializes album queries incrementally: the first read
+	// of a keyword feed registers its SPARQL, later reads are
+	// O(result) snapshots kept current by the store's commit stream.
+	Views *matview.Registry
 }
 
 // NewServer builds the handler tree.
@@ -51,6 +56,7 @@ func NewServer(p *ugc.Platform) *Server {
 		Engine:      sparql.NewEngine(p.Store),
 		mux:         http.NewServeMux(),
 		SearchLimit: 10,
+		Views:       matview.New(p.Store),
 	}
 	// Every route goes through the observability middleware: per-route
 	// latency/status series plus trace-ID adoption and echo.
@@ -76,6 +82,10 @@ func NewServer(p *ugc.Platform) *Server {
 	s.mux.Handle("/debug/slowlog", obs.SlowlogHandler())
 	s.mux.Handle("/debug/trace/recent", obs.TraceRecentHandler())
 	s.mux.Handle("/debug/querystats", stats.Handler())
+	s.mux.Handle("/debug/matviews", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		vs := s.Views.Stats()
+		writeJSON(w, map[string]any{"views": len(vs), "matviews": vs})
+	}))
 	// Bind the store-size gauges to this server's store so /metrics
 	// reflects the live index sizes.
 	p.Store.ExposeMetrics()
@@ -102,6 +112,14 @@ func NewServer(p *ugc.Platform) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Close releases the server's background resources (the view
+// registry's commit hook and maintenance goroutine).
+func (s *Server) Close() {
+	if s.Views != nil {
+		s.Views.Close()
+	}
 }
 
 // isMobileUA applies the §3 behaviour: mobile browsers are redirected
@@ -434,6 +452,22 @@ func (s *Server) handleKeywordFeed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a := album.ByKeywordSemantic(s.Platform.Store, kw)
+	if s.Views != nil {
+		// First read registers the album's query as a materialized
+		// view; from then on the feed is an O(result) snapshot.
+		// Registration failure (registry full) degrades to per-request
+		// evaluation.
+		name := "keyword:" + kw
+		v, ok := s.Views.Get(name)
+		if !ok {
+			if reg, err := s.Views.Register(name, a.Query); err == nil {
+				v, ok = reg, true
+			}
+		}
+		if ok {
+			a.View = v
+		}
+	}
 	f, err := feed.FromAlbum(a, r.URL.String(), time.Now().UTC())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -244,6 +244,7 @@ func TestUploadAPI(t *testing.T) {
 
 func TestKeywordFeed(t *testing.T) {
 	s, _ := server(t)
+	defer s.Close()
 	rec := get(t, s, "/feeds/keyword/torino", nil)
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "<rss") {
 		t.Fatalf("rss: %d %s", rec.Code, rec.Body.String()[:min(200, rec.Body.Len())])
@@ -251,6 +252,33 @@ func TestKeywordFeed(t *testing.T) {
 	rec = get(t, s, "/feeds/keyword/torino?format=atom", nil)
 	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "<feed") {
 		t.Fatalf("atom: %d", rec.Code)
+	}
+	// The first read registered the album query as a materialized
+	// view; later reads serve from it, and new matching content shows
+	// up after maintenance catches up.
+	if _, ok := s.Views.Get("keyword:torino"); !ok {
+		t.Fatal("keyword feed did not register a materialized view")
+	}
+	before := rec.Body.String()
+	if _, err := s.Platform.Publish(ugc.Upload{
+		User: "oscar", Filename: "mole2.jpg",
+		Title: "Another torino Mole shot",
+		Tags:  []string{"torino"}, GPS: &molePt, TakenAt: now,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Views.Sync()
+	rec = get(t, s, "/feeds/keyword/torino", nil)
+	if rec.Code != 200 {
+		t.Fatalf("post-ingest feed code = %d", rec.Code)
+	}
+	if rec.Body.String() == before {
+		t.Fatal("materialized feed did not pick up newly published content")
+	}
+	// The registry introspection endpoint reports the view.
+	rec = get(t, s, "/debug/matviews", nil)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "keyword:torino") {
+		t.Fatalf("/debug/matviews: %d %s", rec.Code, rec.Body.String())
 	}
 }
 
