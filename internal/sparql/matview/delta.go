@@ -32,8 +32,12 @@ type patInfo struct {
 // classify walks the parsed query, deciding delta capability and
 // collecting the patterns (with graph context) the delta matcher
 // checks. The reason string names the first disqualifier, for
-// /debug/matviews.
-func classify(q *sparql.Query) (ok bool, reason string, pats []patInfo) {
+// /debug/matviews. incomplete reports that some store-matching shape
+// (property path, blank node, EXISTS group) was NOT collected into
+// pats: relevance filtering over an incomplete list would classify
+// deltas touching only the uncollected shape as skips and let the
+// view go stale, so callers must treat every delta as relevant then.
+func classify(q *sparql.Query) (ok bool, reason string, pats []patInfo, incomplete bool) {
 	switch {
 	case q.Form != sparql.FormSelect:
 		reason = "non-SELECT form"
@@ -45,19 +49,21 @@ func classify(q *sparql.Query) (ok bool, reason string, pats []patInfo) {
 		reason = "aggregation / select expressions"
 	}
 	if q.Where != nil {
-		walkReason := walkGroup(q.Where, rdf.Term{}, "", &pats)
+		walkReason := walkGroup(q.Where, rdf.Term{}, "", &pats, &incomplete)
 		if reason == "" {
 			reason = walkReason
 		}
 	}
-	return reason == "", reason, pats
+	return reason == "", reason, pats, incomplete
 }
 
 // walkGroup collects patterns under a graph context and returns the
 // first delta-disqualifying shape it finds ("" when none). It keeps
 // walking after a disqualifier so even fallback views get a full
-// pattern list for relevance filtering.
-func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]patInfo) string {
+// pattern list for relevance filtering; whenever a store-matching
+// shape is skipped instead of collected, *incomplete is set so the
+// filter knows the list cannot be trusted.
+func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]patInfo, incomplete *bool) string {
 	reason := ""
 	note := func(r string) {
 		if reason == "" {
@@ -66,7 +72,10 @@ func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]
 	}
 	for _, e := range g.Filters {
 		if r := walkExpr(e); r != "" {
+			// The EXISTS group's inner patterns are not collected: new
+			// quads matching only them can still change results.
 			note(r)
+			*incomplete = true
 		}
 	}
 	for _, child := range g.Children {
@@ -75,19 +84,21 @@ func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]
 			for _, tp := range n.Triples {
 				if tp.Path != nil {
 					note("property path")
+					*incomplete = true
 					continue
 				}
 				if hasBlank(tp) {
 					note("blank node in pattern")
+					*incomplete = true
 					continue
 				}
 				*pats = append(*pats, newPatInfo(tp, graph, graphVar))
 			}
 		case *sparql.GroupPattern:
-			note(walkGroup(n, graph, graphVar, pats))
+			note(walkGroup(n, graph, graphVar, pats, incomplete))
 		case *sparql.UnionPattern:
 			for _, br := range n.Branches {
-				note(walkGroup(br, graph, graphVar, pats))
+				note(walkGroup(br, graph, graphVar, pats, incomplete))
 			}
 		case *sparql.GraphPattern:
 			cg, cv := graph, graphVar
@@ -96,17 +107,17 @@ func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]
 			} else {
 				cg, cv = n.Graph.Term, ""
 			}
-			note(walkGroup(n.Group, cg, cv, pats))
+			note(walkGroup(n.Group, cg, cv, pats, incomplete))
 		case *sparql.OptionalPattern:
 			note("OPTIONAL")
-			note(walkGroup(n.Group, graph, graphVar, pats))
+			note(walkGroup(n.Group, graph, graphVar, pats, incomplete))
 		case *sparql.MinusPattern:
 			note("MINUS")
-			note(walkGroup(n.Group, graph, graphVar, pats))
+			note(walkGroup(n.Group, graph, graphVar, pats, incomplete))
 		case *sparql.SubQuery:
 			note("subquery")
 			if n.Query.Where != nil {
-				note(walkGroup(n.Query.Where, graph, graphVar, pats))
+				note(walkGroup(n.Query.Where, graph, graphVar, pats, incomplete))
 			}
 		case *sparql.BindPattern:
 			// BIND computes from already-bound vars: monotone, allowed.
@@ -114,6 +125,7 @@ func walkGroup(g *sparql.GroupPattern, graph rdf.Term, graphVar string, pats *[]
 			// Constant rows: monotone, allowed.
 		default:
 			note("unsupported pattern")
+			*incomplete = true
 		}
 	}
 	return reason
@@ -277,6 +289,91 @@ func (pi *patInfo) valuesFor(added []store.IDQuad, terms *termResolver) *sparql.
 		return nil
 	}
 	return vp
+}
+
+// certainlyBound collects into set the variables bound in EVERY
+// solution of the group — the standard certainly-bound analysis. A
+// group binds the union of what its conjoined children certainly
+// bind; a UNION binds only the intersection over its branches;
+// OPTIONAL and MINUS bind nothing to the outside; BIND, VALUES and
+// subqueries are treated conservatively (BIND leaves its var unbound
+// on expression error, VALUES rows may carry UNDEF, a subquery's
+// projection is not inspected).
+func certainlyBound(g *sparql.GroupPattern, set map[string]bool) {
+	if g == nil {
+		return
+	}
+	for _, child := range g.Children {
+		switch n := child.(type) {
+		case *sparql.BGP:
+			for _, tp := range n.Triples {
+				// Path patterns bind their endpoint variables too.
+				for _, pt := range [3]sparql.PatternTerm{tp.S, tp.P, tp.O} {
+					if pt.IsVar() {
+						set[pt.Var] = true
+					}
+				}
+			}
+		case *sparql.GroupPattern:
+			certainlyBound(n, set)
+		case *sparql.UnionPattern:
+			var inter map[string]bool
+			for _, br := range n.Branches {
+				s := map[string]bool{}
+				certainlyBound(br, s)
+				if inter == nil {
+					inter = s
+					continue
+				}
+				for v := range inter {
+					if !s[v] {
+						delete(inter, v)
+					}
+				}
+			}
+			for v := range inter {
+				set[v] = true
+			}
+		case *sparql.GraphPattern:
+			certainlyBound(n.Group, set)
+			if n.Graph.IsVar() {
+				set[n.Graph.Var] = true
+			}
+		}
+	}
+}
+
+// projects reports whether the query's SELECT clause exposes v.
+func projects(q *sparql.Query, v string) bool {
+	if q.Star {
+		return true
+	}
+	for _, pv := range q.Vars {
+		if pv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// valuesPrefixSafe reports whether prefixing q's WHERE with a VALUES
+// over vars is a sound delta rewrite. The executor seeds every UNION
+// branch with the VALUES-bound input rows, so a branch that never
+// binds a pinned variable emits solutions with it bound from the seed;
+// if that variable is projected, those are rows the unrestricted query
+// never produces, and fold() would merge the non-solutions into the
+// view permanently. Safe therefore means: every pinned variable the
+// query projects is certainly bound in all solutions of the WHERE
+// (certain is certainlyBound of the WHERE). Pinned variables that are
+// not projected cannot corrupt the projected row — a seed binding for
+// them either restricts or is projected away.
+func valuesPrefixSafe(q *sparql.Query, certain map[string]bool, vars []string) bool {
+	for _, v := range vars {
+		if projects(q, v) && !certain[v] {
+			return false
+		}
+	}
+	return true
 }
 
 // subjectPivot returns the variable shared by every pattern's subject

@@ -69,11 +69,14 @@ type Registry struct {
 	closeOnce  sync.Once
 }
 
-// work is one maintenance-queue item: a copied commit delta, or a
-// flush token (Sync) that closes its channel when reached.
+// work is one maintenance-queue item: a copied commit delta, a flush
+// token (Sync) that closes its channel when reached, or a view's
+// initial materialization (Register) reporting its result on done.
 type work struct {
 	delta store.Delta
 	flush chan struct{}
+	init  *View
+	done  chan error
 }
 
 // New starts a registry over st with its own maintenance goroutine.
@@ -161,11 +164,14 @@ func (r *Registry) loop() {
 				break
 			}
 			for _, w := range coalesce(batch) {
-				if w.flush != nil {
+				switch {
+				case w.flush != nil:
 					close(w.flush)
-					continue
+				case w.init != nil:
+					w.done <- w.init.refresh(r.eng)
+				default:
+					r.applyDelta(vs, w.delta)
 				}
-				r.applyDelta(vs, w.delta)
 			}
 		}
 	}
@@ -177,15 +183,16 @@ func (r *Registry) loop() {
 // across every pending commit instead of paying it per commit. A
 // merged run keeps the oldest AtUnixNano (lag is metered against the
 // oldest pending commit, the honest worst case) and the newest Epoch.
-// Removal batches and flush tokens are barriers and stay in commit
-// order. The input items' Added slices are owned by the registry, so
-// extending the run head in place is safe.
+// Removal batches, flush tokens and initial materializations are
+// barriers and stay in commit order. The input items' Added slices
+// are owned by the registry, so extending the run head in place is
+// safe.
 func coalesce(batch []work) []work {
 	out := batch[:0]
 	run := -1 // index in out of the open additive run, -1 when closed
 	for _, w := range batch {
 		switch {
-		case w.flush != nil || len(w.delta.Removed) > 0:
+		case w.flush != nil || w.init != nil || len(w.delta.Removed) > 0:
 			run = -1
 		case run >= 0:
 			d := &out[run].delta
@@ -212,19 +219,41 @@ func (r *Registry) applyDelta(vs []*View, d store.Delta) {
 	gLagNs.Set(time.Now().UnixNano() - d.AtUnixNano)
 }
 
-// Register parses, classifies and materializes a view. The first
-// evaluation is synchronous; from then on the maintenance goroutine
-// keeps it current. Registering an existing name or exceeding the
-// view cap errors.
+// Register parses, classifies and materializes a view. Register
+// blocks until the initial evaluation completes; from then on the
+// maintenance goroutine keeps the view current. Registering an
+// existing name or exceeding the view cap errors.
 func (r *Registry) Register(name, src string) (*View, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("matview %q: %w", name, err)
 	}
 	v := &View{name: name, src: src, q: q, rows: map[string]sparql.Solution{}}
-	v.deltaOK, v.reason, v.pats = classify(q)
-	v.pivot, v.pivotOK = subjectPivot(v.pats)
+	v.deltaOK, v.reason, v.pats, v.patsIncomplete = classify(q)
+	if v.deltaOK {
+		// The VALUES-prefix rewrite is only sound when no UNION branch
+		// can emit a pinned projected variable it never binds itself
+		// (valuesPrefixSafe). Check the single-variable pivot rewrite
+		// first, then the per-pattern rewrites; when neither is safe the
+		// view falls back to full re-evaluation.
+		certain := map[string]bool{}
+		certainlyBound(q.Where, certain)
+		v.pivot, v.pivotOK = subjectPivot(v.pats)
+		if v.pivotOK && !valuesPrefixSafe(q, certain, []string{v.pivot}) {
+			v.pivot, v.pivotOK = "", false
+		}
+		if !v.pivotOK {
+			for _, pi := range v.pats {
+				if !valuesPrefixSafe(q, certain, pi.vars) {
+					v.deltaOK = false
+					v.reason = "pinned projected variable unbound in some UNION branch"
+					break
+				}
+			}
+		}
+	}
 
+	init := work{init: v, done: make(chan error, 1)}
 	r.mu.Lock()
 	if _, dup := r.views[name]; dup {
 		r.mu.Unlock()
@@ -234,17 +263,31 @@ func (r *Registry) Register(name, src string) (*View, error) {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("matview %q: registry full (%d views)", name, r.maxViews)
 	}
-	// Visible to the maintenance goroutine *before* the initial
-	// evaluation: a delta racing the evaluation is then applied on top
-	// of it, which is idempotent (additive deltas merge into the set;
-	// removals force full re-evaluation), so no commit is ever missed.
+	// Publish the view and enqueue its initial materialization under
+	// one lock hold, so the refresh runs on the maintenance goroutine
+	// ordered against commit deltas: a delta enqueued before the
+	// refresh is skipped by the not-yet-ready view and covered by the
+	// refresh's snapshot (commit hooks fire after the store applied
+	// the batch); a delta enqueued after is folded on top of the
+	// materialized rows. No interleaving can discard a fold.
 	r.views[name] = v
 	gViews.Set(int64(len(r.views)))
+	r.queue = append(r.queue, init)
 	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
 
-	if err := v.refresh(r.eng); err != nil {
+	select {
+	case err := <-init.done:
+		if err != nil {
+			r.Deregister(name)
+			return nil, fmt.Errorf("matview %q: %w", name, err)
+		}
+	case <-r.stop:
 		r.Deregister(name)
-		return nil, fmt.Errorf("matview %q: %w", name, err)
+		return nil, fmt.Errorf("matview %q: registry closed", name)
 	}
 	return v, nil
 }
@@ -330,6 +373,12 @@ type View struct {
 	deltaOK bool
 	reason  string
 	pats    []patInfo
+	// patsIncomplete marks that classify could not collect every
+	// store-matching shape into pats (property path, blank node,
+	// EXISTS): relevance filtering is then disabled — every delta is
+	// treated as relevant — so the view cannot go stale on a commit
+	// that only touches an uncollected shape.
+	patsIncomplete bool
 	// pivot is the subject variable shared by every pattern (see
 	// subjectPivot): when set, one rewrite per delta covers all
 	// patterns instead of one rewrite per pattern.
@@ -339,6 +388,10 @@ type View struct {
 	mu      sync.RWMutex // View.mu: rows/version/counters
 	rows    map[string]sparql.Solution
 	version uint64
+	// ready flips true after the first successful materialization;
+	// deltas queued ahead of the initial refresh are skipped (their
+	// commits are already in the refresh's store snapshot).
+	ready bool
 
 	deltaApplies int64
 	fullReevals  int64
@@ -416,6 +469,7 @@ func (v *View) refresh(eng *sparql.Engine) error {
 	v.rows = rows
 	v.version++
 	v.fullReevals++
+	v.ready = true
 	v.mu.Unlock()
 	mReeval.Inc()
 	return nil
@@ -425,6 +479,14 @@ func (v *View) refresh(eng *sparql.Engine) error {
 // touched, delta-evaluate when the rules cover the query and the
 // batch is purely additive, fully re-evaluate otherwise.
 func (v *View) apply(eng *sparql.Engine, d store.Delta, terms *termResolver) {
+	v.mu.RLock()
+	ready := v.ready
+	v.mu.RUnlock()
+	if !ready {
+		// The initial materialization sits later in the queue; its Exec
+		// snapshot already contains this delta's commit.
+		return
+	}
 	if !v.deltaOK || len(d.Removed) > 0 {
 		if v.relevant(d, terms) {
 			if err := v.refresh(eng); err == nil {
@@ -500,9 +562,12 @@ func (v *View) apply(eng *sparql.Engine, d store.Delta, terms *termResolver) {
 // relevant reports whether any quad of the delta matches any pattern
 // of the view — the cheap guard that makes unrelated ingest O(#pats)
 // per batch. Views that are not delta-capable have pats too (collected
-// best-effort); an empty pats list is always relevant (conservative).
+// best-effort); an empty or incomplete pats list (classify skipped a
+// property path, blank node or EXISTS group) is always relevant —
+// filtering on it would miss deltas that touch only the uncollected
+// shape and leave the view stale.
 func (v *View) relevant(d store.Delta, terms *termResolver) bool {
-	if len(v.pats) == 0 {
+	if v.patsIncomplete || len(v.pats) == 0 {
 		return true
 	}
 	for _, q := range d.Added {

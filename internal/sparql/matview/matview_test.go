@@ -89,33 +89,38 @@ func requireFresh(t *testing.T, st *store.Store, v *View) {
 
 func TestClassify(t *testing.T) {
 	cases := []struct {
-		src    string
-		ok     bool
-		reason string
+		src        string
+		ok         bool
+		reason     string
+		incomplete bool
 	}{
-		{albumQuery, true, ""},
-		{`SELECT ?r WHERE { ?r a <http://ex.org/Post> }`, false, "not DISTINCT"},
-		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> } ORDER BY ?r`, false, "ORDER BY / LIMIT / OFFSET"},
-		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> } LIMIT 5`, false, "ORDER BY / LIMIT / OFFSET"},
-		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> OPTIONAL { ?r <http://ex.org/image> ?l } }`, false, "OPTIONAL"},
-		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> MINUS { ?r <http://ex.org/hidden> true } }`, false, "MINUS"},
-		{`SELECT DISTINCT ?r (COUNT(?l) AS ?n) WHERE { ?r <http://ex.org/image> ?l } GROUP BY ?r`, false, "aggregation / select expressions"},
-		{`SELECT DISTINCT ?a WHERE { ?a <http://ex.org/knows>+ ?b }`, false, "property path"},
-		{`ASK { ?r a <http://ex.org/Post> }`, false, "non-SELECT form"},
-		{`SELECT DISTINCT ?g ?r WHERE { GRAPH ?g { ?r a <http://ex.org/Post> } }`, true, ""},
+		{albumQuery, true, "", false},
+		{`SELECT ?r WHERE { ?r a <http://ex.org/Post> }`, false, "not DISTINCT", false},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> } ORDER BY ?r`, false, "ORDER BY / LIMIT / OFFSET", false},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> } LIMIT 5`, false, "ORDER BY / LIMIT / OFFSET", false},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> OPTIONAL { ?r <http://ex.org/image> ?l } }`, false, "OPTIONAL", false},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> MINUS { ?r <http://ex.org/hidden> true } }`, false, "MINUS", false},
+		{`SELECT DISTINCT ?r (COUNT(?l) AS ?n) WHERE { ?r <http://ex.org/image> ?l } GROUP BY ?r`, false, "aggregation / select expressions", false},
+		{`SELECT DISTINCT ?a WHERE { ?a <http://ex.org/knows>+ ?b }`, false, "property path", true},
+		{`SELECT DISTINCT ?a WHERE { ?a a <http://ex.org/Post> . ?a <http://ex.org/knows>+ ?b }`, false, "property path", true},
+		{`SELECT DISTINCT ?r WHERE { ?r a <http://ex.org/Post> FILTER EXISTS { ?r <http://ex.org/image> ?l } }`, false, "EXISTS in FILTER", true},
+		{`ASK { ?r a <http://ex.org/Post> }`, false, "non-SELECT form", false},
+		{`SELECT DISTINCT ?g ?r WHERE { GRAPH ?g { ?r a <http://ex.org/Post> } }`, true, "", false},
 	}
 	for _, c := range cases {
 		q, err := sparql.Parse(c.src)
 		if err != nil {
 			t.Fatalf("parse %q: %v", c.src, err)
 		}
-		ok, reason, pats := classify(q)
-		if ok != c.ok || reason != c.reason {
-			t.Fatalf("classify(%q) = (%v, %q), want (%v, %q)", c.src, ok, reason, c.ok, c.reason)
+		ok, reason, pats, incomplete := classify(q)
+		if ok != c.ok || reason != c.reason || incomplete != c.incomplete {
+			t.Fatalf("classify(%q) = (%v, %q, incomplete=%v), want (%v, %q, incomplete=%v)",
+				c.src, ok, reason, incomplete, c.ok, c.reason, c.incomplete)
 		}
-		// Path-only queries legitimately collect no plain patterns (an
-		// empty list means "always relevant" — conservative fallback).
-		if len(pats) == 0 && c.reason != "property path" {
+		// A path-only query legitimately collects no plain patterns
+		// (its incomplete flag disables relevance filtering); every
+		// other shape must collect.
+		if len(pats) == 0 && c.src != `SELECT DISTINCT ?a WHERE { ?a <http://ex.org/knows>+ ?b }` {
 			t.Fatalf("classify(%q) collected no patterns", c.src)
 		}
 	}
@@ -325,6 +330,13 @@ func TestConcurrentIngestEquivalence(t *testing.T) {
 				}
 			}(w)
 		}
+		// Register mid-ingest: the initial materialization runs on the
+		// maintenance goroutine, ordered against the commit deltas, so
+		// no interleaving of refresh and fold can lose a commit.
+		v3, err := r.Register("mid-ingest", albumQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
 		writeWg.Wait()
 		close(stopRead)
 		readWg.Wait()
@@ -332,6 +344,7 @@ func TestConcurrentIngestEquivalence(t *testing.T) {
 		r.Sync()
 		requireFresh(t, st, v)
 		requireFresh(t, st, v2)
+		requireFresh(t, st, v3)
 		r.Close()
 	}
 }
@@ -397,7 +410,7 @@ func TestSubjectPivotRejects(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, _, pats := classify(q)
+		_, _, pats, _ := classify(q)
 		return pats
 	}
 	for _, tc := range []struct {
@@ -453,6 +466,93 @@ func TestCoalesce(t *testing.T) {
 	}
 	if len(out[4].delta.Added) != 1 || out[4].delta.AtUnixNano != 70 {
 		t.Fatalf("trailing run: %+v", out[4].delta)
+	}
+}
+
+// TestPathRelevanceFallback: a view mixing a plain pattern with a
+// property path has an incomplete collected-pattern list; a commit
+// touching only the (uncollected) path predicate must still trigger a
+// refresh instead of being classified as a skip.
+func TestPathRelevanceFallback(t *testing.T) {
+	st := store.NewSharded(2)
+	a, b := iri("a"), iri("b")
+	st.MustAdd(rdf.Quad{S: a, P: rdf.NewIRI(rdf.RDFType), O: iri("Post")})
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("path", `SELECT DISTINCT ?a WHERE { ?a a <http://ex.org/Post> . ?a <http://ex.org/knows>+ ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats().DeltaCapable {
+		t.Fatal("property-path view classified delta-capable")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("want empty initial view, got %d rows", v.Len())
+	}
+	// Only the path predicate is touched: the collected pattern
+	// (?a a Post) does not match, so a relevance filter over the
+	// incomplete list would wrongly skip this commit.
+	st.MustAdd(rdf.Quad{S: a, P: iri("knows"), O: b})
+	r.Sync()
+	requireFresh(t, st, v)
+	if v.Len() != 1 {
+		t.Fatalf("view stale after path-only commit: %d rows, want 1", v.Len())
+	}
+}
+
+// TestUnionBranchLocalVarFallsBack: the per-pattern VALUES rewrite is
+// unsound when a UNION branch never binds a pinned projected variable
+// (the executor seeds every branch with the VALUES rows, minting
+// cross-branch non-solutions). Such views must fall back to full
+// re-evaluation and stay equal to fresh evaluation.
+func TestUnionBranchLocalVarFallsBack(t *testing.T) {
+	st := store.NewSharded(2)
+	st.MustAdd(rdf.Quad{S: iri("s1"), P: iri("q"), O: iri("c")})
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("branch-local",
+		`SELECT DISTINCT ?x ?y WHERE { { ?s <http://ex.org/p> ?x } UNION { ?t <http://ex.org/q> ?y } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := v.Stats(); s.DeltaCapable {
+		t.Fatalf("branch-local projected variables must disable the delta path: %+v", s)
+	}
+	st.MustAdd(rdf.Quad{S: iri("a"), P: iri("p"), O: iri("b")})
+	r.Sync()
+	requireFresh(t, st, v)
+	// The unsound rewrite would materialize {?x=b ?y=c}: a row binding
+	// both variables exists in no solution of the original query.
+	for _, sol := range v.Solutions() {
+		if len(sol) == 2 {
+			t.Fatalf("cross-branch row materialized: %v", sol)
+		}
+	}
+}
+
+// TestUnionSafePinStaysDelta: pinned variables that every UNION
+// branch certainly binds (?s below) — or that the query does not
+// project (?kw-style branch locals) — must NOT cost a view its delta
+// capability; the albumQuery cases in the suites above assert the
+// same end-to-end.
+func TestUnionSafePinStaysDelta(t *testing.T) {
+	st := store.NewSharded(2)
+	r := New(st)
+	defer r.Close()
+	v, err := r.Register("safe-union",
+		`SELECT DISTINCT ?s WHERE { { ?s <http://ex.org/p> ?x } UNION { ?s <http://ex.org/q> ?y } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := v.Stats(); !s.DeltaCapable {
+		t.Fatalf("safe UNION pin lost delta capability: %+v", s)
+	}
+	st.MustAdd(rdf.Quad{S: iri("a"), P: iri("p"), O: iri("b")})
+	st.MustAdd(rdf.Quad{S: iri("c"), P: iri("q"), O: iri("d")})
+	r.Sync()
+	requireFresh(t, st, v)
+	if s := v.Stats(); s.FullReevals != 1 || s.DeltaApplies == 0 {
+		t.Fatalf("safe UNION view not delta-maintained: %+v", s)
 	}
 }
 

@@ -70,11 +70,16 @@ func (ex *executor) execPlanProfiled(plan *bgpPlan, plain []TriplePattern, cp []
 		child := ex.prof.stepChild(stepKey{plan: plan, idx: i}, op, detail, estRows(step.est))
 		start := time.Now()
 		rowsIn := len(cur)
-		if step.hash {
-			cur = joinRowsHash(cur, ex.scanPattern(cp[step.pat], gid))
-			atomic.AddInt64(&ex.rowsJoined, int64(len(cur)))
-		} else if len(cur) > 0 {
-			cur = ex.joinFixed([]int{step.pat}, cp, gid, cur)
+		// Mirror the unprofiled path's empty-input early-out: a hash
+		// step's standalone build scan can produce no join rows, so only
+		// the zero-actuals profile node is recorded.
+		if rowsIn > 0 {
+			if step.hash {
+				cur = joinRowsHash(cur, ex.scanPattern(cp[step.pat], gid))
+				atomic.AddInt64(&ex.rowsJoined, int64(len(cur)))
+			} else {
+				cur = ex.joinFixed([]int{step.pat}, cp, gid, cur)
+			}
 		}
 		ex.prof.stepExit(child, time.Since(start), rowsIn, len(cur), len(ex.fr.names))
 	}
