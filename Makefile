@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-shard bench-shard-smoke bench-album-smoke bench-slo-smoke ci
+.PHONY: all build test race lint lint-sarif lint-diff fuzz-smoke bench bench-smoke bench-json bench-ingest bench-ingest-smoke bench-shard bench-shard-smoke bench-album-smoke bench-slo-smoke ci
 
 # Label for the bench-json artifact (BENCH_<label>.json).
 BENCH_LABEL ?= local
@@ -18,8 +18,10 @@ race:
 
 # go vet, then the project-specific suite: rawiri, locksafe, ctxflow,
 # errdrop, spanend, the dataflow analyzers bufescape, leasehold and
-# localid, and the interprocedural analyzers lockorder and goleak.
-# Fails on any vet or lodlint finding; see DESIGN.md §7, §11 and §12.
+# localid, the interprocedural analyzers lockorder and goleak, and the
+# concurrency-contract analyzers atomicmix, hookreent and statshold
+# (thirteen in all). Fails on any vet or lodlint finding; see
+# DESIGN.md §7, §11, §12 and §16.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/lodlint ./...
@@ -29,6 +31,15 @@ lint:
 # produces the report; only hard errors (exit 2) fail the write.
 lint-sarif:
 	$(GO) run ./cmd/lodlint -sarif ./... > lodlint.sarif || [ $$? -eq 1 ]
+
+# Diff-mode lint for pull requests: the merge-base ref is analyzed in
+# a throwaway worktree as the baseline, every finding is still
+# printed, but only findings absent from the baseline fail the run —
+# analyzer upgrades that surface pre-existing debt do not block
+# unrelated PRs. Override LINT_BASE_REF to diff against another ref.
+LINT_BASE_REF ?= origin/main
+lint-diff:
+	$(GO) run ./cmd/lodlint -since "$$(git merge-base $(LINT_BASE_REF) HEAD)" ./...
 
 # Short fuzz run of the N-Quads line parser: exercises the PR-4
 # parse/serialize round-trip contract on every push (CI gate).

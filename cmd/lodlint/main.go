@@ -1,24 +1,36 @@
 // Command lodlint runs the project-specific static analysis suite
 // (internal/analysis) over the module: rawiri, locksafe, ctxflow,
-// errdrop, bufescape, leasehold, localid, lockorder and goleak.
-// Packages are analyzed in parallel over a shared interprocedural
-// summary index (DESIGN.md §12). It exits 1 when any analyzer reports
-// an unsuppressed finding and 2 on load/type-check failure, making it
-// suitable as a CI gate (see `make lint` and .github/workflows/ci.yml).
+// errdrop, bufescape, leasehold, localid, lockorder, goleak, spanend,
+// atomicmix, hookreent and statshold. Packages are analyzed in
+// parallel over a shared interprocedural summary index (DESIGN.md
+// §12/§16). It exits 1 when any analyzer reports an unsuppressed
+// finding and 2 on load/type-check failure, making it suitable as a
+// CI gate (see `make lint` and .github/workflows/ci.yml).
 //
 // Usage:
 //
 //	lodlint [-json|-sarif] [-tests] [-only rawiri,errdrop] [-modroot dir]
-//	        [-interproc on|off] [-summary-cache dir|off] [-list] [packages]
+//	        [-interproc on|off] [-summary-cache dir|off]
+//	        [-baseline report.sarif | -since ref] [-list] [packages]
 //
 // Packages default to ./... relative to the module root; the tool may
 // be invoked from any directory inside the module (or pointed at
 // another module with -modroot).
 //
+// Baseline/diff mode makes analyzer upgrades non-flag-day: with
+// -baseline, known findings are read back from a previous SARIF
+// report; with -since, the named git ref is checked out into a
+// temporary worktree and analyzed with the same configuration. Either
+// way every finding is still printed (and the full SARIF still
+// uploads, with baselineState set), but the exit code is 1 only when
+// a finding is NOT in the baseline — CI fails on regressions, not on
+// debt a new analyzer just learned to see.
+//
 // -interproc=off degrades the dataflow analyzers to intraprocedural
 // (v2) behavior — calls are opaque — as an escape hatch if a summary
 // bug blocks CI. Summaries are cached on disk keyed by package content
-// hash (default: a lodlint-summaries directory under os.UserCacheDir;
+// hash plus the analyzer version and enabled set (default: a
+// lodlint-summaries directory under os.UserCacheDir;
 // -summary-cache=off recomputes every run).
 //
 // Findings can be silenced with a comment on the offending line or the
@@ -32,12 +44,15 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 
 	"lodify/internal/analysis"
@@ -47,11 +62,26 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// jsonReport is the -json output shape.
+// jsonReport is the -json output shape. Version and Analyzers record
+// which suite produced the report, so a consumer (or a human reading
+// an artifact) can tell a v3 report from a v4 one.
 type jsonReport struct {
+	Version      string                 `json:"version"`
+	Analyzers    []string               `json:"analyzers"`
 	Findings     []analysis.Diagnostic  `json:"findings"`
 	Suppressions []analysis.Suppression `json:"suppressions"`
 	Packages     int                    `json:"packages"`
+	// Baseline is present only in -baseline/-since mode.
+	Baseline *jsonBaseline `json:"baseline,omitempty"`
+}
+
+// jsonBaseline reports the diff-mode outcome.
+type jsonBaseline struct {
+	// Source is the SARIF path (-baseline) or git ref (-since).
+	Source string `json:"source"`
+	// New lists the findings absent from the baseline — the ones that
+	// make the exit code 1.
+	New []analysis.Diagnostic `json:"new"`
 }
 
 // run is main, testably: it parses args, loads, analyzes and writes,
@@ -66,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	modroot := fs.String("modroot", "", "module root directory (default: walk up from the working directory)")
 	interproc := fs.String("interproc", "on", "interprocedural summaries: on or off (off = v2 behavior, calls opaque)")
 	cacheFlag := fs.String("summary-cache", "", "summary cache directory; off disables, empty picks a per-user default")
+	baselineFlag := fs.String("baseline", "", "SARIF report of known findings; exit 1 only on findings not in it")
+	sinceFlag := fs.String("since", "", "git ref to analyze as the baseline (checked out into a temporary worktree)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *interproc != "on" && *interproc != "off" {
 		fprintf(stderr, "lodlint: -interproc must be on or off, got %q\n", *interproc)
+		return 2
+	}
+	if *baselineFlag != "" && *sinceFlag != "" {
+		fprintln(stderr, "lodlint: -baseline and -since are mutually exclusive")
 		return 2
 	}
 
@@ -121,14 +157,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	diags := analysis.RunWith(cfg, pkgs, analyzers)
 	diags, suppressed := analysis.Suppress(pkgs, diags)
 
+	root := *modroot
+	if root == "" {
+		root = findModRoot(".")
+	}
+
+	// Diff mode: build the known-finding multiset, then classify every
+	// current finding as new or pre-existing. The full report is always
+	// emitted either way — only the exit code narrows.
+	var (
+		baseline    map[string]int
+		baselineSrc string
+		newDiags    []analysis.Diagnostic
+		newIdx      map[int]bool
+	)
+	switch {
+	case *baselineFlag != "":
+		baseline, err = baselineFromSARIF(*baselineFlag, root)
+		baselineSrc = *baselineFlag
+	case *sinceFlag != "":
+		baseline, err = baselineFromRef(root, *sinceFlag, cfg, analyzers, *tests, fs.Args(), stderr)
+		baselineSrc = *sinceFlag
+	}
+	if err != nil {
+		fprintf(stderr, "lodlint: baseline: %v\n", err)
+		return 2
+	}
+	if baseline != nil {
+		newIdx = map[int]bool{}
+		for i, d := range diags {
+			k := baselineKey(d.Analyzer, relTo(root, d.File), d.Message)
+			if baseline[k] > 0 {
+				baseline[k]--
+				continue
+			}
+			newIdx[i] = true
+			newDiags = append(newDiags, d)
+		}
+	}
+
+	names := analyzerNames(analyzers)
 	switch {
 	case *jsonOut:
-		report := jsonReport{Findings: diags, Suppressions: suppressed, Packages: len(pkgs)}
+		report := jsonReport{
+			Version:      analysis.Version,
+			Analyzers:    names,
+			Findings:     diags,
+			Suppressions: suppressed,
+			Packages:     len(pkgs),
+		}
 		if report.Findings == nil {
 			report.Findings = []analysis.Diagnostic{}
 		}
 		if report.Suppressions == nil {
 			report.Suppressions = []analysis.Suppression{}
+		}
+		if baseline != nil {
+			nb := &jsonBaseline{Source: baselineSrc, New: newDiags}
+			if nb.New == nil {
+				nb.New = []analysis.Diagnostic{}
+			}
+			report.Baseline = nb
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -137,7 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	case *sarifOut:
-		if err := writeSARIF(stdout, diags, suppressed); err != nil {
+		if err := writeSARIF(stdout, root, names, diags, suppressed, baseline != nil, newIdx); err != nil {
 			fprintf(stderr, "lodlint: %v\n", err)
 			return 2
 		}
@@ -158,11 +247,178 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(diags) > 0 {
 			fprintf(stderr, "lodlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		}
+		if baseline != nil {
+			fprintf(stderr, "lodlint: %d new finding(s) vs baseline %s\n", len(newDiags), baselineSrc)
+		}
+	}
+	if baseline != nil {
+		if len(newDiags) > 0 {
+			return 1
+		}
+		return 0
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// analyzerNames lists the enabled analyzer names in run order; the set
+// is embedded in every report so a baseline produced by a narrower
+// -only run is distinguishable from a full-suite one.
+func analyzerNames(analyzers []*analysis.Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// findModRoot walks up from start looking for go.mod, mirroring the
+// loader's module-root discovery so baseline keys and SARIF URIs are
+// module-root-relative. Returns "" when no module root is found (keys
+// then fall back to absolute paths).
+func findModRoot(start string) string {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// relTo renders file relative to root with forward slashes, so finding
+// keys and SARIF URIs compare equal across checkouts (the head tree,
+// a CI workspace, a -since worktree). Files outside root — or when
+// root is unknown — keep their original path.
+func relTo(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// lineRefRE matches ":<line>" references that analyzers embed in
+// messages (e.g. "acquired at engine.go:90"). Baseline keys normalize
+// them away so an unrelated edit that shifts a cited line does not make
+// an old finding look new.
+var lineRefRE = regexp.MustCompile(`:[0-9]+`)
+
+// baselineKey identifies a finding for diff purposes: rule, file
+// (module-root-relative) and line-normalized message — deliberately not
+// the finding's own line, which moves with every edit above it.
+func baselineKey(rule, relFile, message string) string {
+	return rule + "\x00" + relFile + "\x00" + lineRefRE.ReplaceAllString(message, ":#")
+}
+
+// baselineFromSARIF reads a previous lodlint SARIF report back into the
+// known-finding multiset. Suppressed results are skipped: they are not
+// counted as findings by the current run either, and un-suppressing a
+// finding should fail the diff gate.
+func baselineFromSARIF(path, root string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := map[string]int{}
+	for _, run := range log.Runs {
+		for _, res := range run.Results {
+			if len(res.Suppressions) > 0 {
+				continue
+			}
+			uri := ""
+			if len(res.Locations) > 0 {
+				uri = res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+			}
+			m[baselineKey(res.RuleID, relTo(root, filepath.FromSlash(uri)), res.Message.Text)]++
+		}
+	}
+	return m, nil
+}
+
+// baselineFromRef checks ref out into a temporary git worktree, runs
+// the identical analyzer set and configuration over it, and returns its
+// findings as the baseline multiset. The worktree is detached (no
+// branch is created) and removed before returning. Summaries are shared
+// through the same cache — keys are content-addressed, so the two trees
+// never collide.
+func baselineFromRef(root, ref string, cfg analysis.RunConfig, analyzers []*analysis.Analyzer, tests bool, patterns []string, stderr io.Writer) (map[string]int, error) {
+	if root == "" {
+		return nil, fmt.Errorf("-since requires a module root (go.mod not found; pass -modroot)")
+	}
+	sha, err := gitOut(root, "rev-parse", "--verify", ref+"^{commit}")
+	if err != nil {
+		return nil, fmt.Errorf("resolving ref %q: %v", ref, err)
+	}
+	tmp, err := os.MkdirTemp("", "lodlint-baseline-")
+	if err != nil {
+		return nil, err
+	}
+	wt := filepath.Join(tmp, "tree")
+	if _, err := gitOut(root, "worktree", "add", "--detach", wt, sha); err != nil {
+		if rmErr := os.RemoveAll(tmp); rmErr != nil {
+			fprintf(stderr, "lodlint: baseline tempdir cleanup: %v\n", rmErr)
+		}
+		return nil, fmt.Errorf("checking out %s: %v", ref, err)
+	}
+	defer func() {
+		if _, err := gitOut(root, "worktree", "remove", "--force", wt); err != nil {
+			fprintf(stderr, "lodlint: baseline worktree cleanup: %v\n", err)
+		}
+		if err := os.RemoveAll(tmp); err != nil {
+			fprintf(stderr, "lodlint: baseline tempdir cleanup: %v\n", err)
+		}
+	}()
+
+	pkgs, err := analysis.Load(analysis.LoadConfig{ModuleRoot: wt, IncludeTests: tests}, patterns...)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %v", ref, err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fprintf(stderr, "lodlint: baseline %s: typecheck %s: %v\n", ref, pkg.Path, terr)
+		}
+	}
+	diags := analysis.RunWith(cfg, pkgs, analyzers)
+	diags, _ = analysis.Suppress(pkgs, diags)
+	m := map[string]int{}
+	for _, d := range diags {
+		m[baselineKey(d.Analyzer, relTo(wt, d.File), d.Message)]++
+	}
+	return m, nil
+}
+
+// gitOut runs one git command against root's repository and returns its
+// trimmed stdout.
+func gitOut(root string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(errb.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return "", fmt.Errorf("git %s: %s", args[0], msg)
+	}
+	return strings.TrimSpace(out.String()), nil
 }
 
 // summaryCacheDir resolves the -summary-cache flag: "off" disables
@@ -204,9 +460,11 @@ type sarifTool struct {
 }
 
 type sarifDriver struct {
-	Name           string      `json:"name"`
-	InformationURI string      `json:"informationUri,omitempty"`
-	Rules          []sarifRule `json:"rules"`
+	Name           string         `json:"name"`
+	Version        string         `json:"version,omitempty"`
+	InformationURI string         `json:"informationUri,omitempty"`
+	Rules          []sarifRule    `json:"rules"`
+	Properties     map[string]any `json:"properties,omitempty"`
 }
 
 type sarifRule struct {
@@ -219,11 +477,12 @@ type sarifMessage struct {
 }
 
 type sarifResult struct {
-	RuleID       string             `json:"ruleId"`
-	Level        string             `json:"level"`
-	Message      sarifMessage       `json:"message"`
-	Locations    []sarifLocation    `json:"locations"`
-	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+	RuleID        string             `json:"ruleId"`
+	Level         string             `json:"level"`
+	Message       sarifMessage       `json:"message"`
+	Locations     []sarifLocation    `json:"locations"`
+	Suppressions  []sarifSuppression `json:"suppressions,omitempty"`
+	BaselineState string             `json:"baselineState,omitempty"`
 }
 
 type sarifLocation struct {
@@ -247,8 +506,13 @@ type sarifRegion struct {
 // writeSARIF renders findings as one SARIF run. Suppressed findings
 // are included with a suppression record (SARIF viewers hide them by
 // default but keep them auditable), matching the "ignores must stay
-// visible" policy of the text and JSON modes.
-func writeSARIF(w io.Writer, diags []analysis.Diagnostic, suppressed []analysis.Suppression) error {
+// visible" policy of the text and JSON modes. URIs are emitted
+// module-root-relative so reports compare equal across checkouts and
+// feed back in as -baseline input; the driver block embeds the
+// analyzer version and enabled set. In diff mode each finding carries
+// baselineState ("new" or "unchanged", per newIdx) so SARIF consumers
+// see the same verdict the exit code encodes.
+func writeSARIF(w io.Writer, root string, analyzerSet []string, diags []analysis.Diagnostic, suppressed []analysis.Suppression, hasBaseline bool, newIdx map[int]bool) error {
 	ruleSeen := map[string]bool{}
 	var rules []sarifRule
 	addRule := func(name string) {
@@ -264,16 +528,24 @@ func writeSARIF(w io.Writer, diags []analysis.Diagnostic, suppressed []analysis.
 	}
 
 	results := make([]sarifResult, 0, len(diags)+len(suppressed))
-	for _, d := range diags {
+	for i, d := range diags {
 		addRule(d.Analyzer)
+		state := ""
+		if hasBaseline {
+			state = "unchanged"
+			if newIdx[i] {
+				state = "new"
+			}
+		}
 		results = append(results, sarifResult{
 			RuleID:  d.Analyzer,
 			Level:   "error",
 			Message: sarifMessage{Text: d.Message},
 			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
-				ArtifactLocation: sarifArtifactLocation{URI: d.File},
+				ArtifactLocation: sarifArtifactLocation{URI: relTo(root, d.File)},
 				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Column},
 			}}},
+			BaselineState: state,
 		})
 	}
 	for _, s := range suppressed {
@@ -283,7 +555,7 @@ func writeSARIF(w io.Writer, diags []analysis.Diagnostic, suppressed []analysis.
 			Level:   "error",
 			Message: sarifMessage{Text: s.Message},
 			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
-				ArtifactLocation: sarifArtifactLocation{URI: s.File},
+				ArtifactLocation: sarifArtifactLocation{URI: relTo(root, s.File)},
 				Region:           sarifRegion{StartLine: s.Line, StartColumn: 1},
 			}}},
 			Suppressions: []sarifSuppression{{Kind: "inSource", Justification: s.Reason}},
@@ -296,7 +568,12 @@ func writeSARIF(w io.Writer, diags []analysis.Diagnostic, suppressed []analysis.
 		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
 		Version: "2.1.0",
 		Runs: []sarifRun{{
-			Tool:    sarifTool{Driver: sarifDriver{Name: "lodlint", Rules: rules}},
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:       "lodlint",
+				Version:    analysis.Version,
+				Rules:      rules,
+				Properties: map[string]any{"enabledAnalyzers": analyzerSet},
+			}},
 			Results: results,
 		}},
 	})

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -174,12 +175,12 @@ func TestSARIFOutput(t *testing.T) {
 	}
 }
 
-func TestListShowsAllTenAnalyzers(t *testing.T) {
+func TestListShowsAllThirteenAnalyzers(t *testing.T) {
 	code, out, _ := runLint(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if got, want := len(analysis.Analyzers()), 10; got != want {
+	if got, want := len(analysis.Analyzers()), 13; got != want {
 		t.Fatalf("suite has %d analyzers, want %d", got, want)
 	}
 	for _, a := range analysis.Analyzers() {
@@ -285,6 +286,147 @@ func TestDeterministicOutput(t *testing.T) {
 	}
 	if strings.Count(texts[0], "[errdrop]") != 4 {
 		t.Errorf("want 4 errdrop findings (2 per package):\n%s", texts[0])
+	}
+}
+
+const threeDropMain = `package main
+
+import "os"
+
+func main() {
+	os.Remove("a")
+	os.Remove("b")
+	os.Remove("c")
+}
+`
+
+// TestBaselineDiff locks in the diff-mode contract: against a SARIF
+// baseline the full report is still emitted but only findings absent
+// from the baseline fail the run, matching is a count-consumed
+// multiset (three identical drops vs two baselined ones = one new),
+// and JSON/SARIF carry the version, analyzer set and per-finding
+// verdicts.
+func TestBaselineDiff(t *testing.T) {
+	root := writeModule(t, multiDropMain)
+	baseline := filepath.Join(t.TempDir(), "base.sarif")
+
+	code, out, _ := runLint(t, "-sarif", "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("seed run: exit = %d, want 1", code)
+	}
+	if err := os.WriteFile(baseline, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same tree vs its own baseline: findings still print, exit is 0.
+	code, out, errOut := runLint(t, "-baseline", baseline, "-modroot", root, "./...")
+	if code != 0 {
+		t.Fatalf("baseline run: exit = %d, want 0; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "[errdrop]") {
+		t.Errorf("baseline mode swallowed the full report:\n%s", out)
+	}
+	if !strings.Contains(errOut, "0 new finding(s)") {
+		t.Errorf("missing new-finding summary:\n%s", errOut)
+	}
+
+	// A third identical drop exceeds the baselined count: one new.
+	if err := os.WriteFile(filepath.Join(root, "cmd", "app", "main.go"), []byte(threeDropMain), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runLint(t, "-baseline", baseline, "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("regressed run: exit = %d, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "1 new finding(s)") {
+		t.Errorf("want exactly one new finding:\n%s", errOut)
+	}
+
+	// JSON embeds the suite identity and the new-finding list.
+	code, jout, _ := runLint(t, "-json", "-baseline", baseline, "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("json regressed run: exit = %d, want 1", code)
+	}
+	var report jsonReport
+	if err := json.Unmarshal([]byte(jout), &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.Version != analysis.Version {
+		t.Errorf("version = %q, want %q", report.Version, analysis.Version)
+	}
+	if len(report.Analyzers) != len(analysis.Analyzers()) {
+		t.Errorf("analyzers = %v, want the full suite", report.Analyzers)
+	}
+	if report.Baseline == nil || report.Baseline.Source != baseline || len(report.Baseline.New) != 1 {
+		t.Errorf("baseline block wrong: %+v", report.Baseline)
+	}
+
+	// SARIF marks every result's baselineState.
+	code, sout, _ := runLint(t, "-sarif", "-baseline", baseline, "-modroot", root, "./...")
+	if code != 1 {
+		t.Fatalf("sarif regressed run: exit = %d, want 1", code)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(sout), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v", err)
+	}
+	states := map[string]int{}
+	for _, r := range log.Runs[0].Results {
+		states[r.BaselineState]++
+	}
+	if states["new"] != 1 || states["unchanged"] != 2 {
+		t.Errorf("baselineState counts = %v, want 1 new / 2 unchanged", states)
+	}
+	if log.Runs[0].Tool.Driver.Version != analysis.Version {
+		t.Errorf("driver version = %q, want %q", log.Runs[0].Tool.Driver.Version, analysis.Version)
+	}
+}
+
+// TestSinceRefBaseline covers the CI shape: the baseline is computed
+// by analyzing a git ref in a throwaway worktree, so the gate needs no
+// stored artifact.
+func TestSinceRefBaseline(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	root := writeModule(t, multiDropMain)
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", root,
+			"-c", "user.email=ci@example.com", "-c", "user.name=ci"}, args...)...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+
+	// Unchanged tree vs HEAD: everything is pre-existing debt.
+	code, _, errOut := runLint(t, "-since", "HEAD", "-modroot", root, "./...")
+	if code != 0 {
+		t.Fatalf("unchanged vs HEAD: exit = %d, want 0; stderr:\n%s", code, errOut)
+	}
+
+	// One more drop than HEAD has: the diff gate fails.
+	if err := os.WriteFile(filepath.Join(root, "cmd", "app", "main.go"), []byte(threeDropMain), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runLint(t, "-since", "HEAD", "-modroot", root, "./...")
+	if code != 1 || !strings.Contains(errOut, "1 new finding(s)") {
+		t.Fatalf("regressed vs HEAD: exit = %d, want 1 with one new finding; stderr:\n%s", code, errOut)
+	}
+
+	// An unresolvable ref is a hard error, not a silent empty baseline.
+	code, _, errOut = runLint(t, "-since", "no-such-ref", "-modroot", root, "./...")
+	if code != 2 || !strings.Contains(errOut, "baseline") {
+		t.Errorf("bad ref: exit = %d, stderr:\n%s", code, errOut)
+	}
+
+	// The two baseline sources are mutually exclusive.
+	code, _, errOut = runLint(t, "-baseline", "x.sarif", "-since", "HEAD", "-modroot", root, "./...")
+	if code != 2 || !strings.Contains(errOut, "mutually exclusive") {
+		t.Errorf("both flags: exit = %d, stderr:\n%s", code, errOut)
 	}
 }
 

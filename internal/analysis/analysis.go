@@ -43,6 +43,20 @@
 //   - goleak: goroutines spawned without a ctx/done-channel/WaitGroup
 //     completion path.
 //
+// The v4 generation machine-checks the concurrency contracts the
+// sharded store (PR 8) and incremental matviews (PR 9) introduced:
+//
+//   - atomicmix: struct fields accessed via sync/atomic at one site
+//     and by plain load/store at another with no lock held, seeing
+//     through accessor helpers via the MixPlain summary field.
+//   - hookreent: callbacks registered on Store.OnCommit must not
+//     reach a store mutation or acquire locks on the commit path;
+//     `//lodlint:lockorder nolock <reason>` marks reviewed exceptions
+//     (lock findings only — mutations are never exempt).
+//   - statshold: pstats counters and HLL sketches mutated only while
+//     the owning shard's write lock is held, with helpers like
+//     (*shard).statAdd summarized via MutatesStats.
+//
 // The package is stdlib-only (go/ast, go/parser, go/types); the
 // driver in cmd/lodlint loads every package of the module and runs
 // all analyzers, exiting non-zero on findings.
@@ -117,9 +131,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Version identifies the analyzer suite generation. It is embedded in
+// JSON/SARIF output and folded into the summary cache key so caches
+// from an older suite cannot mask findings from a newer one.
+const Version = "4.0.0"
+
 // Analyzers returns the full rule suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID, LockOrder, GoLeak, SpanEnd}
+	return []*Analyzer{RawIRI, LockSafe, CtxFlow, ErrDrop, BufEscape, LeaseHold, LocalID, LockOrder, GoLeak, SpanEnd, AtomicMix, HookReent, StatsHold}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -158,7 +177,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 func RunWith(cfg RunConfig, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var ix *SummaryIndex
 	if cfg.Interproc {
-		ix = BuildSummaries(pkgs, cfg.CacheDir)
+		salt := Version
+		for _, a := range analyzers {
+			salt += ":" + a.Name
+		}
+		ix = BuildSummaries(pkgs, cfg.CacheDir, salt)
 	}
 	perPkg := make([][]Diagnostic, len(pkgs))
 	var wg sync.WaitGroup

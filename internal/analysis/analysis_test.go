@@ -54,6 +54,30 @@ func TestGoLeakFixture(t *testing.T) {
 	runFixtureTest(t, []*Analyzer{GoLeak}, "goleak", "lodify/internal/goleakfix")
 }
 
+// TestAtomicMix covers mixed atomic/plain access detection: struct and
+// package-level counters with atomic sites, plain accesses with and
+// without the owning lock, accessor helpers judged at their call
+// sites, and the typed-atomic / never-atomic negatives.
+func TestAtomicMix(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{AtomicMix}, "atomicmix", "lodify/internal/obs/mixfix")
+}
+
+// TestHookReent covers commit-hook reentrancy against the real store
+// package: lock acquisition and store mutation in literal and
+// method-value hooks, the goroutine handoff shape, and the nolock
+// reviewed exception.
+func TestHookReent(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{HookReent}, "hookreent", "lodify/internal/store/hookfix")
+}
+
+// TestStatsHold covers the per-shard stats leasehold: unlocked and
+// RLock-only mutations, derived locals, deferred unexported helpers,
+// the sticky lock-acquiring callee shape, delete, and the compliant
+// locked/local-merge twins.
+func TestStatsHold(t *testing.T) {
+	runFixtureTest(t, []*Analyzer{StatsHold}, "statshold", "lodify/internal/store/statsfix")
+}
+
 // TestInterproc covers the summary index through generics and method
 // values: generic helpers that block or alias (one summary at the
 // origin, applied per instantiation), method values stashed vs run,

@@ -1,0 +1,523 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// AtomicMix flags struct fields (and package-level variables) that
+// are accessed via sync/atomic free functions at one site and by a
+// plain load or store at another with no lock held. Mixing the two is
+// a data race even when the plain side "only reads": the Go memory
+// model gives a plain access no ordering against the atomic one.
+//
+// Detection runs in two global phases over the summary index: phase
+// one records every `atomic.AddInt64(&x.f, ...)`-shaped site, naming
+// the operand instance-blind by owner type and field (lockLabelOf);
+// phase two records every plain access to one of those labels that
+// happens with no mutex held. A plain access under ANY held lock is
+// accepted — the protecting-lock association is owner-blind on
+// purpose, trading missed pairings for zero false alarms on
+// lock-protected snapshot paths.
+//
+// Accessor helpers are seen through via the MixPlain summary field:
+// an unexported function's unprotected plain accesses rooted at a
+// parameter or receiver are deferred to its call sites (the
+// "caller holds the lock" idiom must be judged where the caller's
+// held set is known), and surface there unless the caller holds a
+// lock or defers again. Exported functions report at the access site
+// directly — their callers are outside the loaded world.
+//
+// With -interproc=off both phases degrade to per-package facts and
+// helpers become opaque.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags fields accessed via sync/atomic at one site and by plain load/store at another with no lock held",
+	Run:  runAtomicMix,
+}
+
+// mixSite is one access to an atomically-used field: a sync/atomic
+// call site or an unprotected plain load/store.
+type mixSite struct {
+	label string
+	pkg   string
+	pos   token.Position
+	// fn names the containing function; via names the callee whose
+	// MixPlain summary surfaced the plain access ("" = the access is
+	// in fn's own body).
+	fn  string
+	via string
+}
+
+// atomicOperandLabel classifies call as a sync/atomic free function
+// taking &X.f (or &pkgvar) and returns the operand's lock label, or
+// "". Methods on the typed atomics (atomic.Int64 and friends) are
+// excluded: their field type makes a plain mixed access impossible.
+func atomicOperandLabel(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	if len(call.Args) == 0 {
+		return ""
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return ""
+	}
+	return lockLabelOf(pass, un.X)
+}
+
+// plainAccessLabel names e when it is a plain access to an
+// atomic-capable slot: a selector of a basic integer-kind struct
+// field, or a package-level integer variable. Everything else — local
+// variables, pointer/struct fields — yields "".
+func plainAccessLabel(pass *Pass, e ast.Expr) string {
+	var t types.Type
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		fv, ok := pass.Info.Uses[x.Sel].(*types.Var)
+		if !ok || !fv.IsField() {
+			return ""
+		}
+		t = fv.Type()
+	case *ast.Ident:
+		v, ok := pass.Info.ObjectOf(x).(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return ""
+		}
+		t = v.Type()
+	default:
+		return ""
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return ""
+	}
+	return lockLabelOf(pass, e)
+}
+
+// scratchMixPass wraps a package in a non-reporting pass for the
+// global fact-collection phases.
+func scratchMixPass(pkg *Package) *Pass {
+	scratch := []Diagnostic{}
+	return &Pass{
+		Analyzer: summaryAnalyzer, Path: pkg.Path, Fset: pkg.Fset,
+		Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, diags: &scratch,
+	}
+}
+
+// collectAtomicSites records every sync/atomic free-function site of
+// pkg into ix.atomicSites (phase one).
+func collectAtomicSites(pkg *Package, ix *SummaryIndex) {
+	pass := scratchMixPass(pkg)
+	for _, fd := range funcDecls(pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if label := atomicOperandLabel(pass, call); label != "" {
+				ix.atomicSites[label] = append(ix.atomicSites[label], mixSite{
+					label: label, pkg: pkg.Path,
+					pos: pkg.Fset.Position(call.Pos()), fn: name,
+				})
+			}
+			return true
+		})
+	}
+}
+
+// sortAtomicSites orders each label's sites so the first entry is a
+// deterministic witness for report messages.
+func sortAtomicSites(ix *SummaryIndex) {
+	for _, sites := range ix.atomicSites {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].pos.Filename != sites[j].pos.Filename {
+				return sites[i].pos.Filename < sites[j].pos.Filename
+			}
+			if sites[i].pos.Line != sites[j].pos.Line {
+				return sites[i].pos.Line < sites[j].pos.Line
+			}
+			return sites[i].pos.Column < sites[j].pos.Column
+		})
+	}
+}
+
+// collectPlainMixSites records pkg's unprotected plain accesses to
+// atomically-used labels into ix.plainSites (phase two).
+func collectPlainMixSites(pkg *Package, ix *SummaryIndex) {
+	if len(ix.atomicSites) == 0 {
+		return
+	}
+	pass := scratchMixPass(pkg)
+	seen := map[string]bool{}
+	for _, fd := range funcDecls(pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		params := declParamBits(pass, fd)
+		exported := fd.Name.IsExported()
+		name := fd.Name.Name
+		emit := func(label string, pos token.Pos, root types.Object, via string) {
+			if _, mixed := ix.atomicSites[label]; !mixed {
+				return
+			}
+			if !exported && root != nil && params[root] != 0 {
+				// Deferred through MixPlain: the access surfaces at the
+				// call sites, where the caller's held set is known.
+				return
+			}
+			p := pkg.Fset.Position(pos)
+			key := label + "\x00" + p.Filename + "\x00" + strconv.Itoa(p.Line)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			ix.plainSites = append(ix.plainSites, mixSite{
+				label: label, pkg: pkg.Path, pos: p, fn: name, via: via,
+			})
+		}
+		scanMix(pass, ix, fd, emit)
+	}
+}
+
+// mixPlainSummary computes the MixPlain summary field of one
+// unexported declaration: label → the parameter bits whose fields it
+// loads or stores plainly with no lock held. Callee MixPlain entries
+// propagate when the operand is itself parameter-rooted, so accessor
+// chains fold up within the summary fixpoint.
+func mixPlainSummary(pass *Pass, fd *ast.FuncDecl, ix *SummaryIndex, paramBit map[types.Object]uint32) map[string]uint32 {
+	if fd.Body == nil {
+		return nil
+	}
+	var out map[string]uint32
+	emit := func(label string, pos token.Pos, root types.Object, via string) {
+		if root == nil {
+			return
+		}
+		bit := paramBit[root] & summaryParamMask
+		if bit == 0 {
+			return
+		}
+		if out == nil {
+			out = map[string]uint32{}
+		}
+		out[label] |= bit
+	}
+	scanMix(pass, ix, fd, emit)
+	return out
+}
+
+// declParamBits maps fd's receiver and parameter objects to their
+// summary taint bits (summaryRecvBit / summaryBit(i)).
+func declParamBits(pass *Pass, fd *ast.FuncDecl) map[types.Object]uint32 {
+	out := map[types.Object]uint32{}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					out[obj] = summaryRecvBit
+				}
+			}
+		}
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					out[obj] = summaryBit(idx)
+				}
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// scanMix runs the mix scanner over fd's body and every go-launched
+// literal in it, the latter on a fresh (empty) held set — a lock held
+// at spawn time does not protect the goroutine's body.
+func scanMix(pass *Pass, ix *SummaryIndex, fd *ast.FuncDecl, emit func(label string, pos token.Pos, root types.Object, via string)) {
+	roots := []ast.Stmt{ast.Stmt(fd.Body)}
+	for len(roots) > 0 {
+		sc := &mixScanner{pass: pass, ix: ix, emit: emit}
+		sc.stmt(roots[0])
+		roots = roots[1:]
+		for _, lit := range sc.goBodies {
+			roots = append(roots, ast.Stmt(lit.Body))
+		}
+	}
+}
+
+// mixScanner is a branch-blind statement walker that tracks the
+// directly-held mutex set and emits every unprotected plain access to
+// an atomic-capable slot. Any held lock counts as protection.
+type mixScanner struct {
+	pass *Pass
+	ix   *SummaryIndex
+	held []string
+	// goBodies defers go-statement literals for scanning as fresh
+	// roots.
+	goBodies []*ast.FuncLit
+	emit     func(label string, pos token.Pos, root types.Object, via string)
+}
+
+func (sc *mixScanner) access(label string, pos token.Pos, root types.Object, via string) {
+	if label == "" || len(sc.held) > 0 {
+		return
+	}
+	sc.emit(label, pos, root, via)
+}
+
+func (sc *mixScanner) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			sc.stmt(st)
+		}
+	case *ast.ExprStmt:
+		sc.expr(s.X, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			sc.expr(e, false)
+		}
+		for _, e := range s.Lhs {
+			sc.expr(e, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						sc.expr(v, false)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Cond, false)
+		sc.stmt(s.Body)
+		sc.stmt(s.Else)
+	case *ast.ForStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Cond, false)
+		sc.stmt(s.Body)
+		sc.stmt(s.Post)
+	case *ast.RangeStmt:
+		sc.expr(s.X, false)
+		sc.stmt(s.Body)
+	case *ast.SwitchStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Tag, false)
+		sc.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		sc.stmt(s.Init)
+		sc.stmt(s.Assign)
+		sc.stmt(s.Body)
+	case *ast.SelectStmt:
+		sc.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			sc.expr(e, false)
+		}
+		for _, st := range s.Body {
+			sc.stmt(st)
+		}
+	case *ast.CommClause:
+		sc.stmt(s.Comm)
+		for _, st := range s.Body {
+			sc.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			sc.expr(e, false)
+		}
+	case *ast.SendStmt:
+		sc.expr(s.Chan, false)
+		sc.expr(s.Value, false)
+	case *ast.DeferStmt:
+		sc.expr(s.Call, true)
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			sc.goBodies = append(sc.goBodies, lit)
+		}
+		for _, a := range s.Call.Args {
+			sc.expr(a, false)
+		}
+	case *ast.LabeledStmt:
+		sc.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		sc.expr(s.X, false)
+	}
+}
+
+func (sc *mixScanner) expr(e ast.Expr, deferred bool) {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.CallExpr:
+		if label := atomicOperandLabel(sc.pass, e); label != "" {
+			// The atomic access itself: skip its operand selector, walk
+			// the base and the remaining arguments.
+			if un, ok := ast.Unparen(e.Args[0]).(*ast.UnaryExpr); ok {
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					sc.expr(sel.X, false)
+				}
+			}
+			for _, a := range e.Args[1:] {
+				sc.expr(a, false)
+			}
+			return
+		}
+		for _, a := range e.Args {
+			sc.expr(a, false)
+		}
+		if label, op := mutexOpOn(sc.pass, e); label != "" {
+			switch op {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				sc.held = append(sc.held, label)
+			case "Unlock", "RUnlock":
+				if !deferred {
+					for i := len(sc.held) - 1; i >= 0; i-- {
+						if sc.held[i] == label {
+							sc.held = append(sc.held[:i], sc.held[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			return
+		}
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			sc.stmt(lit.Body)
+			return
+		}
+		sc.expr(e.Fun, false)
+		fn := calleeFunc(sc.pass.Info, e)
+		if fn == nil {
+			return
+		}
+		s := sc.ix.Summary(fn)
+		if s == nil || len(s.MixPlain) == 0 {
+			return
+		}
+		var recvExpr ast.Expr
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if sg, _ := fn.Type().(*types.Signature); sg != nil && sg.Recv() != nil {
+				recvExpr = sel.X
+			}
+		}
+		labels := make([]string, 0, len(s.MixPlain))
+		for l := range s.MixPlain {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			mapEachAliasedOperand(s.MixPlain[label], fn, e.Args, func(i int) {
+				operand := recvExpr
+				if i >= 0 {
+					operand = e.Args[i]
+				}
+				if operand == nil {
+					return
+				}
+				var root types.Object
+				if id := rootIdent(operand); id != nil {
+					root = sc.pass.Info.ObjectOf(id)
+				}
+				sc.access(label, e.Pos(), root, fn.Name())
+			})
+		}
+	case *ast.FuncLit:
+		// A literal bound or passed as a callback most often runs
+		// synchronously under the current held set; go-launched
+		// literals are handled at GoStmt.
+		sc.stmt(e.Body)
+	case *ast.SelectorExpr:
+		if label := plainAccessLabel(sc.pass, e); label != "" {
+			var root types.Object
+			if id := rootIdent(e); id != nil {
+				root = sc.pass.Info.ObjectOf(id)
+			}
+			sc.access(label, e.Pos(), root, "")
+		}
+		sc.expr(e.X, false)
+	case *ast.Ident:
+		if label := plainAccessLabel(sc.pass, e); label != "" {
+			sc.access(label, e.Pos(), sc.pass.Info.ObjectOf(e), "")
+		}
+	case *ast.UnaryExpr:
+		sc.expr(e.X, false)
+	case *ast.BinaryExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Y, false)
+	case *ast.StarExpr:
+		sc.expr(e.X, false)
+	case *ast.IndexExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Index, false)
+	case *ast.IndexListExpr:
+		sc.expr(e.X, false)
+	case *ast.SliceExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Low, false)
+		sc.expr(e.High, false)
+		sc.expr(e.Max, false)
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			sc.expr(el, false)
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(e.Value, false)
+	}
+}
+
+// ---- the analyzer ----
+
+func runAtomicMix(pass *Pass) {
+	ix := pass.Index
+	if ix == nil {
+		// -interproc=off: degrade to this package's own facts with
+		// helpers opaque.
+		pkg := &Package{Path: pass.Path, Fset: pass.Fset, Files: pass.Files,
+			Types: pass.Pkg, Info: pass.Info}
+		ix = &SummaryIndex{atomicSites: map[string][]mixSite{}}
+		collectAtomicSites(pkg, ix)
+		sortAtomicSites(ix)
+		collectPlainMixSites(pkg, ix)
+	}
+	for _, s := range ix.plainSites {
+		if s.pkg != pass.Path {
+			continue
+		}
+		w := ix.atomicSites[s.label][0]
+		if s.via != "" {
+			pass.Reportf(declPos(pass, s.pos),
+				"%s is accessed via sync/atomic (e.g. %s:%d in %s) but %s, reached from this call in %s, loads or stores it plainly with no lock held; use sync/atomic there too or guard both sites with one mutex",
+				s.label, shortPath(w.pos.Filename), w.pos.Line, w.fn, s.via, s.fn)
+		} else {
+			pass.Reportf(declPos(pass, s.pos),
+				"%s is accessed via sync/atomic (e.g. %s:%d in %s) but %s loads or stores it plainly here with no lock held; use sync/atomic for every access or guard both sites with one mutex",
+				s.label, shortPath(w.pos.Filename), w.pos.Line, w.fn, s.fn)
+		}
+	}
+}

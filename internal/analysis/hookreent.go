@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HookReent proves that callbacks registered on the store commit hook
+// (Store.OnCommit — the matview maintenance path) cannot reach a
+// store mutation or acquire a lock on any synchronous interprocedural
+// path. fireCommit runs the hooks with every store lock released but
+// still inside the committing writer's call frame: a hook that
+// re-enters Store.Add deadlocks-or-recurses the commit pipeline, and
+// a hook that takes locks couples the commit latency to arbitrary
+// subsystem contention.
+//
+// Lock acquisitions travel through the HookLocks summary field —
+// computed like Locks but excluding go-launched literals (a goroutine
+// spawned by a hook leaves the commit path) — and can be exempted
+// after review by annotating the hook function:
+//
+//	//lodlint:lockorder nolock — brief leaf lock, never held across evaluation
+//
+// The exemption covers lock findings only; a path to a store mutation
+// (the MutatesStore summary field) is never exempt.
+//
+// Hooks passed as opaque func values (built elsewhere, stored in a
+// variable) are invisible; literals and named functions/method values
+// — every registration shape the repo uses — are checked. With
+// -interproc=off only literal hooks' direct operations are checked.
+var HookReent = &Analyzer{
+	Name: "hookreent",
+	Doc:  "proves Store.OnCommit callbacks reach no store mutation or lock acquisition on the commit path",
+	Run:  runHookReent,
+}
+
+// storeMutatingMethods lists the store entry points that mutate the
+// quad store, keyed Type.Method. Txn.Add/Remove only stage; Commit
+// applies.
+var storeMutatingMethods = map[string]bool{
+	"Store.Add":             true,
+	"Store.AddTriple":       true,
+	"Store.MustAdd":         true,
+	"Store.Remove":          true,
+	"Store.LoadNQuads":      true,
+	"Store.LoadFile":        true,
+	"Store.addIDs":          true,
+	"Store.removeIDs":       true,
+	"Store.applyStaged":     true,
+	"Txn.Commit":            true,
+	"BulkLoader.AddBatch":   true,
+	"BulkLoader.applyShard": true,
+}
+
+// storeMutatingCall names the store mutation a call performs, or "".
+func storeMutatingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != storePkgPath {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	n := namedOrPtr(sig.Recv().Type())
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	if !storeMutatingMethods[n.Obj().Name()+"."+fn.Name()] {
+		return ""
+	}
+	return "(*store." + n.Obj().Name() + ")." + fn.Name()
+}
+
+// storeMutationWitness describes how fd reaches a store mutation
+// synchronously, "" when it provably does not — the MutatesStore
+// summary field. Go statements are excluded (their argument
+// evaluation is not): the spawned goroutine runs outside the caller's
+// frame, so a hook that hands the delta to a worker is the sanctioned
+// shape, not a violation.
+func storeMutationWitness(pass *Pass, fd *ast.FuncDecl, ix *SummaryIndex) string {
+	if fd.Body == nil {
+		return ""
+	}
+	return storeMutationIn(pass, fd.Body, ix)
+}
+
+func storeMutationIn(pass *Pass, root ast.Node, ix *SummaryIndex) string {
+	witness := ""
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if witness != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				for _, a := range n.Call.Args {
+					walk(a)
+				}
+				return false
+			case *ast.CallExpr:
+				if name := storeMutatingCall(pass, n); name != "" {
+					witness = "calls " + name
+					return false
+				}
+				if fn := calleeFunc(pass.Info, n); fn != nil {
+					if s := ix.Summary(fn); s != nil && s.MutatesStore != "" {
+						witness = "calls " + fn.Name() + ", which " + s.MutatesStore
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+	return witness
+}
+
+// ---- the analyzer ----
+
+func runHookReent(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Name() != "OnCommit" || !isMethodOn(fn, storePkgPath, "Store") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			checkHookArg(pass, call.Args[0])
+			return true
+		})
+	}
+}
+
+// checkHookArg dispatches on the registration shape: a function
+// literal is walked directly; a named function or method value is
+// judged by its summary.
+func checkHookArg(pass *Pass, arg ast.Expr) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		checkHookLit(pass, e)
+		return
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[e].(*types.Func); ok {
+			checkHookFunc(pass, arg, fn)
+		}
+		return
+	case *ast.SelectorExpr:
+		if mv := methodValueFunc(pass, arg); mv != nil {
+			checkHookFunc(pass, arg, mv)
+			return
+		}
+		if fn, ok := pass.Info.Uses[e.Sel].(*types.Func); ok {
+			checkHookFunc(pass, arg, fn)
+		}
+	}
+}
+
+// checkHookFunc judges a named hook by its HookLocks and MutatesStore
+// summaries. A `//lodlint:lockorder nolock` annotation on the hook
+// pins its HookLocks empty, so reviewed acquisitions pass silently;
+// MutatesStore is never exempt.
+func checkHookFunc(pass *Pass, arg ast.Expr, fn *types.Func) {
+	if pass.Index == nil {
+		return
+	}
+	s := pass.Index.Summary(fn)
+	if s == nil {
+		return
+	}
+	for _, l := range s.HookLocks {
+		pass.Reportf(arg.Pos(),
+			"commit hook %s acquires %s on the commit path; hooks run inside the committing writer's frame — move the work behind a channel/goroutine, or annotate %s with //lodlint:lockorder nolock <reason> after review",
+			fn.Name(), l, fn.Name())
+	}
+	if s.MutatesStore != "" {
+		pass.Reportf(arg.Pos(),
+			"commit hook %s can re-enter a store mutation (it %s); OnCommit callbacks must never mutate the store — hand the delta to a worker goroutine instead",
+			fn.Name(), s.MutatesStore)
+	}
+}
+
+// checkHookLit walks a literal hook's body: direct lock acquisitions
+// and store mutations are reported in place, callees are judged by
+// their summaries, and go statements are excluded like everywhere
+// else on the hook path.
+func checkHookLit(pass *Pass, lit *ast.FuncLit) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				for _, a := range n.Call.Args {
+					walk(a)
+				}
+				return false
+			case *ast.CallExpr:
+				if label, op := mutexOpOn(pass, n); label != "" {
+					switch op {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						pass.Reportf(n.Pos(),
+							"commit hook acquires %s on the commit path; hooks run inside the committing writer's frame — move the work behind a channel/goroutine, or register a reviewed named function annotated //lodlint:lockorder nolock <reason>",
+							label)
+					}
+					return true
+				}
+				if name := storeMutatingCall(pass, n); name != "" {
+					pass.Reportf(n.Pos(),
+						"commit hook calls %s on the commit path; OnCommit callbacks must never mutate the store — hand the delta to a worker goroutine instead",
+						name)
+					return true
+				}
+				fn := calleeFunc(pass.Info, n)
+				if fn == nil || pass.Index == nil {
+					return true
+				}
+				if s := pass.Index.Summary(fn); s != nil {
+					for _, l := range s.HookLocks {
+						pass.Reportf(n.Pos(),
+							"commit hook acquires %s via call to %s on the commit path; move the work behind a channel/goroutine, or annotate %s with //lodlint:lockorder nolock <reason> after review",
+							l, fn.Name(), fn.Name())
+					}
+					if s.MutatesStore != "" {
+						pass.Reportf(n.Pos(),
+							"commit hook can re-enter a store mutation via call to %s (it %s); OnCommit callbacks must never mutate the store",
+							fn.Name(), s.MutatesStore)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(lit.Body)
+}

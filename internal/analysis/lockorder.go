@@ -78,7 +78,9 @@ type lockConflict struct {
 const lockOrderPrefix = "//lodlint:lockorder"
 
 // parseLockDecls extracts the //lodlint:lockorder declarations of one
-// package. Grammar: a "<"-separated chain of Type.field labels.
+// package. Grammar: a "<"-separated chain of Type.field labels. Lines
+// using the `nolock` keyword are a separate declaration form handled
+// by parseNolockDecls and are skipped here.
 func parseLockDecls(pkg *Package) []lockDecl {
 	var out []lockDecl
 	for _, f := range pkg.Files {
@@ -86,6 +88,9 @@ func parseLockDecls(pkg *Package) []lockDecl {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, lockOrderPrefix)
 				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				if fields := strings.Fields(rest); len(fields) > 0 && fields[0] == "nolock" {
 					continue
 				}
 				d := lockDecl{pkg: pkg.Path, pos: pkg.Fset.Position(c.Pos())}
@@ -123,6 +128,87 @@ func validLockLabel(s string) bool {
 		}
 	}
 	return strings.IndexByte(s[dot+1:], '.') < 0
+}
+
+// ---- nolock region annotations ----
+
+// nolockDecl is one parsed `//lodlint:lockorder nolock <reason>`
+// annotation: a reviewed exception marking a function whose lock
+// acquisitions are sanctioned on the store commit-hook path (the
+// matview enqueue shape: a leaf lock held briefly, never across
+// evaluation). hookreent exempts the annotated function's lock
+// acquisitions; store mutations are never exempt.
+type nolockDecl struct {
+	// key is the FuncKey of the annotated declaration ("" when the
+	// annotation is malformed or unattached).
+	key    string
+	reason string
+	pkg    string
+	pos    token.Position
+	// err records a grammar problem ("" = well-formed).
+	err string
+}
+
+// cutNolock splits a comment into the text after the `nolock` keyword
+// of a `//lodlint:lockorder nolock ...` line, or ok=false.
+func cutNolock(text string) (rest string, ok bool) {
+	rest, ok = strings.CutPrefix(text, lockOrderPrefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || fields[0] != "nolock" {
+		return "", false
+	}
+	i := strings.Index(rest, "nolock")
+	return rest[i+len("nolock"):], true
+}
+
+// parseNolockDecls extracts the nolock annotations of one package. An
+// annotation must sit in the doc comment of the function it reviews
+// and carry a reason (any text after the keyword, with an optional
+// leading dash) — the same "documented debt" policy as
+// //lodlint:ignore. Floating annotations and reasonless ones are
+// grammar errors reported by lockorder.
+func parseNolockDecls(pkg *Package) []nolockDecl {
+	claimed := map[token.Pos]bool{}
+	var out []nolockDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, ok := cutNolock(c.Text)
+				if !ok {
+					continue
+				}
+				claimed[c.Pos()] = true
+				nd := nolockDecl{pkg: pkg.Path, pos: pkg.Fset.Position(fd.Name.Pos())}
+				reason := strings.TrimSpace(strings.TrimLeft(strings.TrimSpace(rest), "—–- \t"))
+				if reason == "" {
+					nd.err = fmt.Sprintf("the nolock annotation on %s needs a reason: write //lodlint:lockorder nolock — <why these acquisitions are safe on the commit-hook path>", fd.Name.Name)
+				} else {
+					nd.key = declKey(pkg, fd)
+					nd.reason = reason
+				}
+				out = append(out, nd)
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, ok := cutNolock(c.Text); !ok || claimed[c.Pos()] {
+					continue
+				}
+				out = append(out, nolockDecl{
+					pkg: pkg.Path, pos: pkg.Fset.Position(c.Pos()),
+					err: "a nolock annotation must sit in the doc comment of the function it reviews",
+				})
+			}
+		}
+	}
+	return out
 }
 
 // buildLockOrder closes the declared pairs transitively and detects
@@ -258,6 +344,11 @@ type lockScanner struct {
 	// goBodies defers go-statement literals for scanning as fresh
 	// roots (their held context starts empty on the new goroutine).
 	goBodies []*ast.FuncLit
+	// hook switches the scan to commit-hook-path semantics: call sites
+	// contribute the callee's HookLocks (nolock-reviewed functions
+	// contribute nothing) instead of Locks. Consumed by hookreent via
+	// the HookLocks summary field.
+	hook bool
 }
 
 func (sc *lockScanner) addEdge(to, via string, pos token.Pos) {
@@ -403,7 +494,11 @@ func (sc *lockScanner) expr(e ast.Expr, deferred bool) {
 		sc.expr(e.Fun, false)
 		if fn := calleeFunc(sc.pass.Info, e); fn != nil {
 			if s := sc.ix.Summary(fn); s != nil {
-				for _, l := range s.Locks {
+				labels := s.Locks
+				if sc.hook {
+					labels = s.HookLocks
+				}
+				for _, l := range labels {
 					sc.addEdge(l, fn.Name(), e.Pos())
 					sc.acquired[l] = true
 				}
@@ -477,6 +572,30 @@ func scanFuncLocks(pass *Pass, fd *ast.FuncDecl, ix *SummaryIndex) []string {
 	return out
 }
 
+// scanHookLocks returns the sorted lock labels fd acquires
+// synchronously on a commit-hook path — the HookLocks field of its
+// summary. Unlike scanFuncLocks, go-launched literals are excluded
+// (a goroutine spawned by a hook does not run inside the commit
+// path), and callees contribute their HookLocks, so a nolock-reviewed
+// helper in the chain contributes nothing.
+func scanHookLocks(pass *Pass, fd *ast.FuncDecl, ix *SummaryIndex) []string {
+	if fd.Body == nil {
+		return nil
+	}
+	acquired := map[string]bool{}
+	sc := &lockScanner{pass: pass, ix: ix, fn: fd.Name.Name, acquired: acquired, hook: true}
+	sc.stmt(fd.Body)
+	if len(acquired) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(acquired))
+	for l := range acquired {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // collectLockEdges gathers the nested-acquisition edges of one
 // package for the global graph.
 func collectLockEdges(pkg *Package, ix *SummaryIndex) []lockEdge {
@@ -516,6 +635,23 @@ func runLockOrder(pass *Pass) {
 	for _, d := range declared.decls {
 		if d.err != "" && d.pkg == pass.Path {
 			pass.Reportf(declPos(pass, d.pos), "lockorder declaration: %s", d.err)
+		}
+	}
+	var nolockErrs []nolockDecl
+	if pass.Index != nil {
+		nolockErrs = pass.Index.nolockErrs
+	} else {
+		pkg := &Package{Path: pass.Path, Fset: pass.Fset, Files: pass.Files,
+			Types: pass.Pkg, Info: pass.Info}
+		for _, nd := range parseNolockDecls(pkg) {
+			if nd.err != "" {
+				nolockErrs = append(nolockErrs, nd)
+			}
+		}
+	}
+	for _, nd := range nolockErrs {
+		if nd.err != "" && nd.pkg == pass.Path {
+			pass.Reportf(declPos(pass, nd.pos), "lockorder declaration: %s", nd.err)
 		}
 	}
 	for _, c := range declared.conflicts {

@@ -1,0 +1,612 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StatsHold enforces the PR 9 cardinality-statistics invariant: the
+// per-shard `pstats` map, its counter records and its HLL sketches
+// are only mutated while the owning shard's WRITE lock is held.
+// Reads ride the shard's read lease machinery and merge into local
+// sketches, so only mutations are checked; RLock is never enough.
+//
+// The owner shape is recognized structurally — a struct with a sync
+// lock field and a `pstats` map field — so the fixture packages and
+// internal/store are both covered without naming either. Payload
+// types (the map's value record and every named type among its
+// fields) are tracked through derivation: `ps := sh.pstats[k]` makes
+// ps require the same lock as sh.pstats, including values bound by
+// range statements.
+//
+// Helpers that document "caller holds sh.mu" — the (*shard).statAdd
+// shape — are seen through via the MutatesStats summary bitset: an
+// unexported function's unprotected stats mutations rooted at a
+// parameter or receiver defer to its call sites, where the caller's
+// held set (direct acquisitions plus lockShards-style helper
+// acquisitions from the Locks summary, held sticky) decides. The
+// shard-index dataflow reuses the localid mask machinery: a mutation
+// reached through a shard selected by term-id routing is called out
+// in the message.
+var StatsHold = &Analyzer{
+	Name: "statshold",
+	Doc:  "flags pstats counters and HLL sketches mutated without the owning shard's write lock held",
+	Run:  runStatsHold,
+}
+
+// statsTypes identifies one package's stats shapes.
+type statsTypes struct {
+	// ownerLock maps an owner named type (has a lock and a pstats map)
+	// to its lock label ("shard.mu").
+	ownerLock map[*types.Named]string
+	// payload holds the named types of the stats records and sketches
+	// reachable from a pstats map value.
+	payload map[*types.Named]bool
+}
+
+func (stc *statsTypes) empty() bool {
+	return len(stc.ownerLock) == 0
+}
+
+// newStatsTypes scans the package scope for owner structs and their
+// payload types.
+func newStatsTypes(pass *Pass) *statsTypes {
+	stc := &statsTypes{ownerLock: map[*types.Named]string{}, payload: map[*types.Named]bool{}}
+	if pass.Pkg == nil {
+		return stc
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		str, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		lockField := ""
+		var pstatsElem types.Type
+		for i := 0; i < str.NumFields(); i++ {
+			f := str.Field(i)
+			if lockField == "" &&
+				(isNamedType(f.Type(), "sync", "Mutex") || isNamedType(f.Type(), "sync", "RWMutex")) {
+				lockField = f.Name()
+			}
+			if f.Name() == "pstats" {
+				if m, ok := f.Type().Underlying().(*types.Map); ok {
+					pstatsElem = m.Elem()
+				}
+			}
+		}
+		if lockField == "" || pstatsElem == nil {
+			continue
+		}
+		stc.ownerLock[named] = named.Obj().Name() + "." + lockField
+		stc.addPayload(pstatsElem)
+	}
+	return stc
+}
+
+func (stc *statsTypes) addPayload(t types.Type) {
+	named := namedOrPtr(t)
+	if named == nil || stc.payload[named] {
+		return
+	}
+	stc.payload[named] = true
+	if str, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < str.NumFields(); i++ {
+			stc.addPayload(str.Field(i).Type())
+		}
+	}
+}
+
+func (stc *statsTypes) isPayload(t types.Type) bool {
+	n := namedOrPtr(t)
+	return n != nil && stc.payload[n]
+}
+
+func (stc *statsTypes) ownerOf(t types.Type) (string, bool) {
+	n := namedOrPtr(t)
+	if n == nil {
+		return "", false
+	}
+	label, ok := stc.ownerLock[n]
+	return label, ok
+}
+
+// pstatsPath reports whether e's selector path runs through an owner
+// type's pstats field, returning the owner's lock label and whether
+// the path crosses an index selected by a term-id (the routed-shard
+// shape, st.shards[shardOf(id)].pstats).
+func pstatsPath(pass *Pass, stc *statsTypes, e ast.Expr) (label string, routed, ok bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "pstats" {
+				if fv, isVar := pass.Info.Uses[x.Sel].(*types.Var); isVar && fv.IsField() {
+					if l, owned := stc.ownerOf(exprType(pass, x.X)); owned {
+						label, ok = l, true
+					}
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if termIDRouted(pass, x.Index) {
+				routed = true
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr, *ast.Ident:
+			return label, routed && ok, ok
+		default:
+			return label, routed && ok, ok
+		}
+	}
+}
+
+// termIDRouted reports whether an index expression is (or derives
+// from) a term id — the localid mask machinery's notion of an
+// id-typed value — directly or through a routing call's arguments.
+func termIDRouted(pass *Pass, idx ast.Expr) bool {
+	if isTermIDExpr(pass, idx) {
+		return true
+	}
+	if call, ok := ast.Unparen(idx).(*ast.CallExpr); ok {
+		for _, a := range call.Args {
+			if isTermIDExpr(pass, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// statsMutationBits computes the MutatesStats summary field: the
+// parameter bits through which fd mutates stats state with no write
+// lock held (the "caller holds the lock" helper shape).
+func statsMutationBits(pass *Pass, stc *statsTypes, fd *ast.FuncDecl, ix *SummaryIndex, paramBit map[types.Object]uint32) uint32 {
+	if fd.Body == nil || stc.empty() {
+		return 0
+	}
+	var out uint32
+	emit := func(label string, pos token.Pos, bit uint32, what string, routed bool) {
+		out |= bit & summaryParamMask
+	}
+	scanStats(pass, ix, stc, fd, paramBit, emit)
+	return out
+}
+
+// scanStats runs the stats scanner over fd's body and every
+// go-launched literal in it, the latter on fresh held/derived state.
+func scanStats(pass *Pass, ix *SummaryIndex, stc *statsTypes, fd *ast.FuncDecl, paramBit map[types.Object]uint32, emit func(label string, pos token.Pos, bit uint32, what string, routed bool)) {
+	roots := []ast.Stmt{ast.Stmt(fd.Body)}
+	for len(roots) > 0 {
+		sc := &statsScanner{
+			pass: pass, ix: ix, stc: stc, paramBit: paramBit,
+			sticky: map[string]bool{}, derived: map[types.Object]statsOrigin{},
+			emit: emit,
+		}
+		sc.stmt(roots[0])
+		roots = roots[1:]
+		for _, lit := range sc.goBodies {
+			roots = append(roots, ast.Stmt(lit.Body))
+		}
+	}
+}
+
+// statsOrigin records where a derived value came from: the lock label
+// that must be write-held to mutate it, and the parameter bit of the
+// base it was reached from (0 = a local/global base).
+type statsOrigin struct {
+	label string
+	bit   uint32
+}
+
+// statsScanner is a branch-blind walker tracking write-held locks and
+// pstats-derived locals.
+type statsScanner struct {
+	pass     *Pass
+	ix       *SummaryIndex
+	stc      *statsTypes
+	paramBit map[types.Object]uint32
+	// wheld holds directly write-acquired labels (Lock/TryLock; RLock
+	// does not count). sticky holds labels acquired inside callees —
+	// the lockShards shape — held blind to scope end.
+	wheld  []string
+	sticky map[string]bool
+	// derived maps a local object to the origin of its pstats-reached
+	// value (ps := sh.pstats[k]).
+	derived  map[types.Object]statsOrigin
+	goBodies []*ast.FuncLit
+	emit     func(label string, pos token.Pos, bit uint32, what string, routed bool)
+}
+
+func (sc *statsScanner) heldW(label string) bool {
+	if sc.sticky[label] {
+		return true
+	}
+	for _, h := range sc.wheld {
+		if h == label {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *statsScanner) rootObj(e ast.Expr) types.Object {
+	if id := rootIdent(e); id != nil {
+		return sc.pass.Info.ObjectOf(id)
+	}
+	return nil
+}
+
+// classify resolves the lock label and origin bit an expression's
+// mutation would require: a pstats path, a derived local, or a
+// payload-typed parameter.
+func (sc *statsScanner) classify(e ast.Expr) (label string, bit uint32, routed, ok bool) {
+	if l, r, isPath := pstatsPath(sc.pass, sc.stc, e); isPath {
+		var b uint32
+		if obj := sc.rootObj(e); obj != nil {
+			b = sc.paramBit[obj]
+		}
+		return l, b, r, true
+	}
+	if obj := sc.rootObj(e); obj != nil {
+		if o, isDerived := sc.derived[obj]; isDerived {
+			return o.label, o.bit, false, true
+		}
+		if b := sc.paramBit[obj]; b != 0 && sc.stc.isPayload(obj.Type()) {
+			// A payload-typed parameter: the helper mutates a record its
+			// caller reached from some shard's pstats.
+			return "", b, false, true
+		}
+	}
+	return "", 0, false, false
+}
+
+// mutate handles one mutation of target (an assignment LHS, IncDec
+// operand, delete target, or call operand).
+func (sc *statsScanner) mutate(target ast.Expr, pos token.Pos, what string) {
+	label, bit, routed, ok := sc.classify(target)
+	if !ok {
+		return
+	}
+	if label != "" && sc.heldW(label) {
+		return
+	}
+	if label == "" && bit != 0 {
+		// A payload parameter with no known owner: the lock obligation
+		// lives at the caller; only the summary bit travels.
+		sc.emit("", pos, bit, what, routed)
+		return
+	}
+	sc.emit(label, pos, bit, what, routed)
+}
+
+// hasSteps reports whether e mutates through at least one selector,
+// index or dereference — a plain `v = ...` rebind of a derived local
+// is not a stats mutation.
+func hasSteps(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func (sc *statsScanner) bindDerived(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := sc.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if label, routed, ok := pstatsPath(sc.pass, sc.stc, rhs); ok {
+		_ = routed
+		var bit uint32
+		if base := sc.rootObj(rhs); base != nil {
+			bit = sc.paramBit[base]
+		}
+		sc.derived[obj] = statsOrigin{label: label, bit: bit}
+		return
+	}
+	if base := sc.rootObj(rhs); base != nil {
+		if o, isDerived := sc.derived[base]; isDerived {
+			sc.derived[obj] = o
+			return
+		}
+	}
+	delete(sc.derived, obj)
+}
+
+func (sc *statsScanner) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			sc.stmt(st)
+		}
+	case *ast.ExprStmt:
+		sc.expr(s.X, false)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			sc.expr(e, false)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				sc.bindDerived(s.Lhs[i], s.Rhs[i])
+			}
+		} else if len(s.Rhs) == 1 {
+			// v, ok := sh.pstats[k]
+			for _, l := range s.Lhs {
+				sc.bindDerived(l, s.Rhs[0])
+			}
+		}
+		for _, e := range s.Lhs {
+			if hasSteps(e) {
+				sc.mutate(e, e.Pos(), "assignment")
+			}
+			sc.expr(e, false)
+		}
+	case *ast.IncDecStmt:
+		if hasSteps(s.X) {
+			sc.mutate(s.X, s.X.Pos(), "increment")
+		}
+		sc.expr(s.X, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						sc.expr(v, false)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Cond, false)
+		sc.stmt(s.Body)
+		sc.stmt(s.Else)
+	case *ast.ForStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Cond, false)
+		sc.stmt(s.Body)
+		sc.stmt(s.Post)
+	case *ast.RangeStmt:
+		sc.expr(s.X, false)
+		// for k, ps := range sh.pstats derives the value variable.
+		if s.Value != nil {
+			sc.bindDerived(s.Value, indexOf(s.X))
+		}
+		sc.stmt(s.Body)
+	case *ast.SwitchStmt:
+		sc.stmt(s.Init)
+		sc.expr(s.Tag, false)
+		sc.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		sc.stmt(s.Init)
+		sc.stmt(s.Assign)
+		sc.stmt(s.Body)
+	case *ast.SelectStmt:
+		sc.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			sc.expr(e, false)
+		}
+		for _, st := range s.Body {
+			sc.stmt(st)
+		}
+	case *ast.CommClause:
+		sc.stmt(s.Comm)
+		for _, st := range s.Body {
+			sc.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			sc.expr(e, false)
+		}
+	case *ast.SendStmt:
+		sc.expr(s.Chan, false)
+		sc.expr(s.Value, false)
+	case *ast.DeferStmt:
+		sc.expr(s.Call, true)
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			sc.goBodies = append(sc.goBodies, lit)
+		}
+		for _, a := range s.Call.Args {
+			sc.expr(a, false)
+		}
+	case *ast.LabeledStmt:
+		sc.stmt(s.Stmt)
+	}
+}
+
+// indexOf synthesizes the derivation source for a range value: the
+// ranged expression itself carries the pstats path.
+func indexOf(x ast.Expr) ast.Expr { return x }
+
+func (sc *statsScanner) expr(e ast.Expr, deferred bool) {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.CallExpr:
+		// delete(sh.pstats, k) is a builtin: no callee summary exists.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "delete" {
+			if _, isBuiltin := sc.pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+				sc.mutate(e.Args[0], e.Pos(), "delete")
+				for _, a := range e.Args {
+					sc.expr(a, false)
+				}
+				return
+			}
+		}
+		for _, a := range e.Args {
+			sc.expr(a, false)
+		}
+		if label, op := mutexOpOn(sc.pass, e); label != "" {
+			switch op {
+			case "Lock", "TryLock":
+				sc.wheld = append(sc.wheld, label)
+			case "Unlock":
+				if !deferred {
+					for i := len(sc.wheld) - 1; i >= 0; i-- {
+						if sc.wheld[i] == label {
+							sc.wheld = append(sc.wheld[:i], sc.wheld[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			return
+		}
+		if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			sc.stmt(lit.Body)
+			return
+		}
+		sc.expr(e.Fun, false)
+		fn := calleeFunc(sc.pass.Info, e)
+		if fn == nil {
+			return
+		}
+		s := sc.ix.Summary(fn)
+		if s == nil {
+			return
+		}
+		// Locks acquired inside a callee — the lockShards shape — stay
+		// held blind to scope end.
+		for _, l := range s.Locks {
+			sc.sticky[l] = true
+		}
+		if s.MutatesStats == 0 {
+			return
+		}
+		var recvExpr ast.Expr
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if sg, _ := fn.Type().(*types.Signature); sg != nil && sg.Recv() != nil {
+				recvExpr = sel.X
+			}
+		}
+		mapEachAliasedOperand(s.MutatesStats, fn, e.Args, func(i int) {
+			operand := recvExpr
+			if i >= 0 {
+				operand = e.Args[i]
+			}
+			if operand == nil {
+				return
+			}
+			sc.mutateOperand(operand, e.Pos(), fn.Name())
+		})
+	case *ast.FuncLit:
+		sc.stmt(e.Body)
+	case *ast.UnaryExpr:
+		sc.expr(e.X, false)
+	case *ast.BinaryExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Y, false)
+	case *ast.StarExpr:
+		sc.expr(e.X, false)
+	case *ast.SelectorExpr:
+		sc.expr(e.X, false)
+	case *ast.IndexExpr:
+		sc.expr(e.X, false)
+		sc.expr(e.Index, false)
+	case *ast.IndexListExpr:
+		sc.expr(e.X, false)
+	case *ast.SliceExpr:
+		sc.expr(e.X, false)
+	case *ast.TypeAssertExpr:
+		sc.expr(e.X, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			sc.expr(el, false)
+		}
+	case *ast.KeyValueExpr:
+		sc.expr(e.Value, false)
+	}
+}
+
+// mutateOperand judges a call operand a summarized callee mutates
+// through: pstats paths and derived locals as usual, plus the owner
+// itself (sh.statAdd(...) — the callee reaches sh.pstats from the
+// receiver).
+func (sc *statsScanner) mutateOperand(operand ast.Expr, pos token.Pos, callee string) {
+	if label, bit, routed, ok := sc.classify(ast.Unparen(unAddr(operand))); ok {
+		if label != "" && sc.heldW(label) {
+			return
+		}
+		sc.emit(label, pos, bit, "call to "+callee, routed)
+		return
+	}
+	if label, ok := sc.stc.ownerOf(exprType(sc.pass, operand)); ok {
+		if sc.heldW(label) {
+			return
+		}
+		var bit uint32
+		if obj := sc.rootObj(operand); obj != nil {
+			bit = sc.paramBit[obj]
+		}
+		routed := false
+		if idx, isIdx := ast.Unparen(operand).(*ast.IndexExpr); isIdx {
+			routed = termIDRouted(sc.pass, idx.Index)
+		}
+		sc.emit(label, pos, bit, "call to "+callee, routed)
+	}
+}
+
+// unAddr unwraps a leading &.
+func unAddr(e ast.Expr) ast.Expr {
+	if un, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && un.Op == token.AND {
+		return un.X
+	}
+	return e
+}
+
+// ---- the analyzer ----
+
+func runStatsHold(pass *Pass) {
+	stc := newStatsTypes(pass)
+	if stc.empty() {
+		return
+	}
+	pkg := &Package{Path: pass.Path, Fset: pass.Fset, Files: pass.Files,
+		Types: pass.Pkg, Info: pass.Info}
+	for _, fd := range funcDecls(pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		params := declParamBits(pass, fd)
+		exported := fd.Name.IsExported()
+		fn := fd.Name.Name
+		emit := func(label string, pos token.Pos, bit uint32, what string, routed bool) {
+			if bit != 0 && !exported {
+				// Deferred through MutatesStats: judged at the call
+				// sites, where the caller's held set is known.
+				return
+			}
+			garnish := ""
+			if routed {
+				garnish = " (shard selected by term-id routing)"
+			}
+			if label == "" {
+				pass.Reportf(pos,
+					"%s in %s mutates per-shard stats through a caller-provided record%s with no write lock held; acquire the owning shard's write lock first — RLock is not enough for stats mutation",
+					what, fn, garnish)
+				return
+			}
+			pass.Reportf(pos,
+				"%s in %s mutates pstats state%s without %s write-held; acquire the owning shard's write lock first — RLock is not enough for stats mutation",
+				what, fn, garnish, label)
+		}
+		scanStats(pass, pass.Index, stc, fd, params, emit)
+	}
+}

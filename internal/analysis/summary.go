@@ -29,8 +29,9 @@ import (
 // realistic call chain and the bound caps pathological ones.
 
 // summaryFormatVersion invalidates cached summaries when the encoding
-// or the computation changes shape.
-const summaryFormatVersion = "lodlint-summary-v1"
+// or the computation changes shape. v2: HookLocks, MutatesStore,
+// MutatesStats and MixPlain joined the record for the v4 analyzers.
+const summaryFormatVersion = "lodlint-summary-v2"
 
 // Bit layout of the summary-computation taint. The low bits identify
 // which parameter a value derives from; two marker bits track
@@ -100,6 +101,29 @@ type Summary struct {
 	// Locks lists the lock labels (lockorder.go) the function acquires
 	// synchronously, directly or through callees, sorted.
 	Locks []string `json:"locks,omitempty"`
+	// HookLocks lists the lock labels the function acquires on a
+	// commit-hook path: like Locks, but go-launched literals are
+	// excluded and `//lodlint:lockorder nolock`-reviewed callees
+	// contribute nothing. An annotated function's own HookLocks is
+	// pinned empty. Consumed by hookreent.
+	HookLocks []string `json:"hookLocks,omitempty"`
+	// MutatesStore describes how the function reaches a store mutation
+	// (Add/Remove/Commit/bulk-load paths) synchronously, "" = it
+	// provably does not. Never exempted by nolock. Consumed by
+	// hookreent.
+	MutatesStore string `json:"mutStore,omitempty"`
+	// MutatesStats is the parameter bitset through which the function
+	// mutates shard-stats state (the pstats map or its payload
+	// records). Consumed by statshold to see through helpers like
+	// (*shard).statAdd that document "caller holds sh.mu".
+	MutatesStats uint32 `json:"mutStats,omitempty"`
+	// MixPlain maps a field label (lockLabelOf) to the parameter bitset
+	// whose fields the function loads or stores PLAINLY with no lock
+	// held. Recorded only for unexported functions — the accessor-
+	// helper shape — and only for basic integer-kind fields (the ones
+	// sync/atomic free functions can also touch). Consumed by atomicmix
+	// to see through accessor helpers.
+	MixPlain map[string]uint32 `json:"mixPlain,omitempty"`
 }
 
 // equal reports field-wise equality (the fixpoint's change test).
@@ -112,11 +136,23 @@ func (s *Summary) equal(o *Summary) bool {
 		s.EscapesLease != o.EscapesLease || s.Releases != o.Releases ||
 		s.SinksID != o.SinksID || s.CallsParams != o.CallsParams ||
 		s.Blocking != o.Blocking || s.Bounded != o.Bounded ||
-		len(s.Locks) != len(o.Locks) {
+		s.MutatesStore != o.MutatesStore || s.MutatesStats != o.MutatesStats ||
+		len(s.Locks) != len(o.Locks) || len(s.HookLocks) != len(o.HookLocks) ||
+		len(s.MixPlain) != len(o.MixPlain) {
 		return false
 	}
 	for i := range s.Locks {
 		if s.Locks[i] != o.Locks[i] {
+			return false
+		}
+	}
+	for i := range s.HookLocks {
+		if s.HookLocks[i] != o.HookLocks[i] {
+			return false
+		}
+	}
+	for k, v := range s.MixPlain {
+		if o.MixPlain[k] != v {
 			return false
 		}
 	}
@@ -133,6 +169,17 @@ type SummaryIndex struct {
 	// declared is the annotated lock order from //lodlint:lockorder
 	// comments, with conflicts detected at build time.
 	declared *lockOrder
+	// nolock maps the FuncKey of every `//lodlint:lockorder nolock`
+	// reviewed function to its stated reason; nolockErrs collects the
+	// malformed annotations for lockorder to report.
+	nolock     map[string]string
+	nolockErrs []nolockDecl
+	// atomicSites maps a field label to the sites that access it via
+	// sync/atomic free functions; plainSites are the unprotected plain
+	// accesses to those same labels (atomicmix.go). Both carry source
+	// positions, so like lockEdges they are recomputed every run.
+	atomicSites map[string][]mixSite
+	plainSites  []mixSite
 }
 
 // Summary returns the computed summary for fn, or nil when fn was not
@@ -150,13 +197,28 @@ func (ix *SummaryIndex) Summary(fn *types.Func) *Summary {
 
 // BuildSummaries computes (or loads from cacheDir) the summary of
 // every function in pkgs and collects the global lock graph. cacheDir
-// "" disables the on-disk cache.
-func BuildSummaries(pkgs []*Package, cacheDir string) *SummaryIndex {
-	ix := &SummaryIndex{funcs: map[string]*Summary{}}
+// "" disables the on-disk cache. salt folds run configuration that
+// changes what summaries mean — the analyzer version and the enabled
+// analyzer set — into the cache key, so a stale v3 cache cannot mask
+// v4 findings after an upgrade.
+func BuildSummaries(pkgs []*Package, cacheDir, salt string) *SummaryIndex {
+	ix := &SummaryIndex{funcs: map[string]*Summary{}, nolock: map[string]string{}}
 	ordered := topoPackages(pkgs)
+	// nolock annotations gate summary computation (an annotated
+	// function's HookLocks is pinned empty), so they are parsed up
+	// front for every package, cached or not.
+	for _, pkg := range ordered {
+		for _, nd := range parseNolockDecls(pkg) {
+			if nd.err != "" {
+				ix.nolockErrs = append(ix.nolockErrs, nd)
+				continue
+			}
+			ix.nolock[nd.key] = nd.reason
+		}
+	}
 	keys := map[string]string{}
 	for _, pkg := range ordered {
-		key := packageCacheKey(pkg, keys)
+		key := packageCacheKey(pkg, keys, salt)
 		keys[pkg.Path] = key
 		if m, ok := loadSummaryCache(cacheDir, key); ok {
 			for k, s := range m {
@@ -178,6 +240,17 @@ func BuildSummaries(pkgs []*Package, cacheDir string) *SummaryIndex {
 		ix.lockEdges = append(ix.lockEdges, collectLockEdges(pkg, ix)...)
 	}
 	ix.declared = buildLockOrder(decls)
+	// atomicmix global facts run in two phases: first every package's
+	// sync/atomic sites (establishing WHICH fields are atomic), then
+	// every package's plain accesses restricted to those fields.
+	ix.atomicSites = map[string][]mixSite{}
+	for _, pkg := range ordered {
+		collectAtomicSites(pkg, ix)
+	}
+	sortAtomicSites(ix)
+	for _, pkg := range ordered {
+		collectPlainMixSites(pkg, ix)
+	}
 	return ix
 }
 
@@ -196,6 +269,7 @@ func summarizePackage(pkg *Package, ix *SummaryIndex) map[string]*Summary {
 		diags:    &scratch,
 	}
 	tc := newTermTypes(pass)
+	stc := newStatsTypes(pass)
 	decls := funcDecls(pkg)
 	out := map[string]*Summary{}
 	for round := 0; round < 3; round++ {
@@ -205,7 +279,7 @@ func summarizePackage(pkg *Package, ix *SummaryIndex) map[string]*Summary {
 			if key == "" {
 				continue
 			}
-			sm := summarizeFunc(pass, tc, fd, ix)
+			sm := summarizeFunc(pass, tc, stc, fd, ix)
 			if !sm.equal(ix.funcs[key]) {
 				changed = true
 			}
@@ -225,7 +299,7 @@ var summaryAnalyzer = &Analyzer{Name: "summary", Doc: "internal summary computat
 
 // summarizeFunc abstract-interprets one declaration with its
 // parameters as taint sources and records the observed effects.
-func summarizeFunc(pass *Pass, tc *termTypes, fd *ast.FuncDecl, ix *SummaryIndex) *Summary {
+func summarizeFunc(pass *Pass, tc *termTypes, stc *statsTypes, fd *ast.FuncDecl, ix *SummaryIndex) *Summary {
 	sm := &Summary{}
 	paramBit := map[types.Object]uint32{}
 	seed := map[types.Object]taint{}
@@ -425,6 +499,18 @@ func summarizeFunc(pass *Pass, tc *termTypes, fd *ast.FuncDecl, ix *SummaryIndex
 
 	sm.Bounded = boundedEvidence(pass, fd.Body, ix)
 	sm.Locks = scanFuncLocks(pass, fd, ix)
+	reviewed := false
+	if fnObj, _ := pass.Info.Defs[fd.Name].(*types.Func); fnObj != nil && ix.nolock != nil {
+		_, reviewed = ix.nolock[FuncKey(fnObj)]
+	}
+	if !reviewed {
+		sm.HookLocks = scanHookLocks(pass, fd, ix)
+	}
+	sm.MutatesStore = storeMutationWitness(pass, fd, ix)
+	sm.MutatesStats = statsMutationBits(pass, stc, fd, ix, paramBit)
+	if !fd.Name.IsExported() {
+		sm.MixPlain = mixPlainSummary(pass, fd, ix, paramBit)
+	}
 	return sm
 }
 
@@ -624,12 +710,16 @@ func isContextType(t types.Type) bool {
 // ---- on-disk summary cache ----
 
 // packageCacheKey hashes everything a package's summaries depend on:
-// the format version, the import path, every source file's contents,
-// and the cache keys of its loaded dependencies (so a change deep in
-// internal/store invalidates internal/sparql too).
-func packageCacheKey(pkg *Package, depKeys map[string]string) string {
+// the format version, the run salt (analyzer version + enabled set),
+// the import path, every source file's contents, and the cache keys
+// of its loaded dependencies (so a change deep in internal/store
+// invalidates internal/sparql too).
+func packageCacheKey(pkg *Package, depKeys map[string]string, salt string) string {
 	h := sha256.New()
 	h.Write([]byte(summaryFormatVersion))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
 	h.Write([]byte(pkg.Path))
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename

@@ -1,0 +1,77 @@
+// Package mixfix seeds atomicmix violations: counter fields touched
+// via sync/atomic at one site and plainly at another, mirroring the
+// obs registry-counter shape (atomic hot-path increments, snapshot
+// reads). Plain accesses under the owning mutex, typed atomics, and
+// fields with no atomic history stay silent.
+package mixfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Registry mirrors the obs counter registry: mu guards the slow path,
+// hits/misses are bumped atomically on the hot path, evict uses a
+// typed atomic (unmixable by construction), and cold has no atomic
+// history at all.
+type Registry struct {
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+	evict  atomic.Int64
+	cold   int64
+}
+
+// Hit and Miss are the atomic sites that put hits/misses into the
+// mixed-access domain.
+func (r *Registry) Hit()  { atomic.AddInt64(&r.hits, 1) }
+func (r *Registry) Miss() { atomic.AddInt64(&r.misses, 1) }
+
+// Snapshot reads hits plainly with no lock held: racy against Hit.
+func (r *Registry) Snapshot() int64 {
+	return r.hits // want "Registry.hits is accessed via sync/atomic"
+}
+
+// SnapshotLocked reads misses plainly but under r.mu — one mutex
+// guarding both sides is an accepted protection scheme.
+func (r *Registry) SnapshotLocked() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.misses
+}
+
+// bumpMisses is an accessor helper: unexported, param-rooted plain
+// write, so the verdict defers to each call site's held-lock set.
+func bumpMisses(r *Registry) { r.misses++ }
+
+// Reset reaches the plain write through the helper with no lock held.
+func (r *Registry) Reset() {
+	bumpMisses(r) // want "but bumpMisses, reached from this call"
+}
+
+// ResetLocked reaches the same helper under r.mu: clean.
+func (r *Registry) ResetLocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bumpMisses(r)
+}
+
+// Evict/Evictions use the typed atomic: plain access to an
+// atomic.Int64 is impossible, so nothing to report.
+func (r *Registry) Evict()           { r.evict.Add(1) }
+func (r *Registry) Evictions() int64 { return r.evict.Load() }
+
+// Cold is only ever accessed plainly — no atomic site, no mix.
+func (r *Registry) Cold() int64 { return r.cold }
+
+// total is a package-level counter with the same split: atomic
+// increment on one path, plain read on another.
+var total int64
+
+func addTotal() { atomic.AddInt64(&total, 1) }
+
+// Total reads the package counter plainly with no lock held.
+func Total() int64 {
+	defer addTotal()
+	return total // want "mixfix.total is accessed via sync/atomic"
+}

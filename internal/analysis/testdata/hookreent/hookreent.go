@@ -1,0 +1,94 @@
+// Package hookfix seeds hookreent violations against the real store
+// package: OnCommit callbacks that acquire locks or re-enter store
+// mutations on the synchronous commit path, in every registration
+// shape the repo uses (literal, named method value). The sanctioned
+// shapes — goroutine handoff, nolock-reviewed bounded append — stay
+// silent.
+package hookfix
+
+import (
+	"sync"
+
+	"lodify/internal/rdf"
+	"lodify/internal/store"
+)
+
+// cache mirrors the matview registry: a small mutex-guarded queue fed
+// by the commit hook.
+type cache struct {
+	mu   sync.Mutex
+	gens []uint64
+}
+
+// record takes cache.mu on the commit path without review.
+func (c *cache) record(d store.Delta) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens = append(c.gens, d.Epoch)
+}
+
+// Watch registers the offending method value.
+func (c *cache) Watch(st *store.Store) func() {
+	return st.OnCommit(c.record) // want "commit hook record acquires cache.mu"
+}
+
+// WatchInline does the same work in a literal hook.
+func (c *cache) WatchInline(st *store.Store) func() {
+	return st.OnCommit(func(d store.Delta) {
+		c.mu.Lock() // want "commit hook acquires cache.mu on the commit path"
+		c.gens = append(c.gens, d.Epoch)
+		c.mu.Unlock()
+	})
+}
+
+// enqueue is the reviewed exception: same lock, but annotated after
+// review, so hookreent accepts the registration below.
+//
+//lodlint:lockorder nolock — cache.mu guards only a bounded append here, never held across evaluation or store re-entry
+func (c *cache) enqueue(d store.Delta) {
+	c.mu.Lock()
+	c.gens = append(c.gens, d.Epoch)
+	c.mu.Unlock()
+}
+
+// WatchReviewed registers the nolock-reviewed hook: clean.
+func (c *cache) WatchReviewed(st *store.Store) func() {
+	return st.OnCommit(c.enqueue)
+}
+
+// Forward hands the delta to a worker goroutine — the sanctioned
+// shape for hooks that do real work; the send happens off the commit
+// path.
+func Forward(st *store.Store, ch chan store.Delta) func() {
+	return st.OnCommit(func(d store.Delta) {
+		go func() { ch <- d }()
+	})
+}
+
+// Reinject mutates the store from inside its own commit hook: the
+// commit pipeline re-enters itself.
+func Reinject(st *store.Store) func() {
+	return st.OnCommit(func(d store.Delta) {
+		if len(d.Removed) > 0 {
+			st.MustAdd(rdf.Quad{}) // want "commit hook calls (*store.Store).MustAdd on the commit path"
+		}
+	})
+}
+
+// mirror replays every committed batch into a second store.
+type mirror struct {
+	dst *store.Store
+}
+
+// apply re-enters a store mutation; the nolock exemption would not
+// help here — mutation findings are never exempt.
+func (m *mirror) apply(d store.Delta) {
+	for range d.Added {
+		m.dst.MustAdd(rdf.Quad{})
+	}
+}
+
+// Attach registers the mutating method value.
+func (m *mirror) Attach(st *store.Store) func() {
+	return st.OnCommit(m.apply) // want "commit hook apply can re-enter a store mutation"
+}

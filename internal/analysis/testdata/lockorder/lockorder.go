@@ -177,3 +177,29 @@ func (e *Exhibit) Adopt(c *Curator) int {
 //
 //lodlint:lockorder Pool.mu < not a label // want "malformed lock label"
 var _ = 0
+
+// enqueueExhibit carries a valid nolock review: reason given, sitting
+// in the doc comment of the function it exempts. No finding.
+//
+//lodlint:lockorder nolock — Curator.mu guards only a bounded append here, never held across evaluation
+func (c *Curator) enqueueExhibit(e *Exhibit) {
+	c.mu.Lock()
+	c.exhibits = append(c.exhibits, e)
+	c.mu.Unlock()
+}
+
+// Purge tries to claim the exemption without saying why: the review
+// annotation is the audit record, so a reasonless one is rejected at
+// the function it tried to cover.
+//
+//lodlint:lockorder nolock
+func (c *Curator) Purge() { // want "needs a reason"
+	c.mu.Lock()
+	c.exhibits = nil
+	c.mu.Unlock()
+}
+
+// A nolock line that floats free of any function reviews nothing.
+//
+//lodlint:lockorder nolock — reviews nothing from here // want "must sit in the doc comment"
+var _ = 1

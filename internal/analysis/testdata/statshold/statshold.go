@@ -1,0 +1,107 @@
+// Package statsfix seeds statshold violations: per-shard pstats
+// counters mutated without the owning shard's write lock, in the call
+// shapes the store uses — direct mutation, derived locals, unexported
+// helpers judged at their call sites, and the delete builtin. Writes
+// under Lock (directly or via a lock-acquiring callee, the lockShards
+// shape) and merges into caller-local records stay silent, and RLock
+// is deliberately insufficient.
+package statsfix
+
+import "sync"
+
+// predStat is the per-predicate record held in pstats — the payload
+// type statshold tracks through derivations and parameters.
+type predStat struct {
+	subj, obj int64
+}
+
+// shard mirrors the store shard: an RWMutex and the pstats map it
+// owns. Recognition is structural (lock field + pstats map field).
+type shard struct {
+	mu     sync.RWMutex
+	pstats map[uint64]*predStat
+}
+
+// Bump mutates through the map path with no lock at all.
+func (sh *shard) Bump(p uint64) {
+	sh.pstats[p].subj++ // want "without shard.mu write-held"
+}
+
+// BumpShared holds the read lock — not enough for mutation.
+func (sh *shard) BumpShared(p uint64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sh.pstats[p].obj++ // want "without shard.mu write-held"
+}
+
+// Drop mutates through a derived local: the record still lives in
+// pstats, so the binding does not launder the obligation.
+func (sh *shard) Drop(p uint64) {
+	ps := sh.pstats[p]
+	ps.subj-- // want "without shard.mu write-held"
+}
+
+// Evict removes the record outright — delete is a mutation too.
+func (sh *shard) Evict(p uint64) {
+	delete(sh.pstats, p) // want "without shard.mu write-held"
+}
+
+// BumpLocked is the compliant twin: write lock held across the write.
+func (sh *shard) BumpLocked(p uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.pstats[p].subj++
+}
+
+// statAdd is the store's statAdd shape: unexported, receiver-rooted
+// mutation, documented "caller holds sh.mu" — so the verdict defers
+// to each call site's held-lock set.
+func (sh *shard) statAdd(p uint64) {
+	st := sh.pstats[p]
+	st.subj++
+}
+
+// Ingest calls the helper with no lock held: the deferred obligation
+// lands here.
+func (sh *shard) Ingest(p uint64) {
+	sh.statAdd(p) // want "without shard.mu write-held"
+}
+
+// IngestLocked honors the helper's contract: clean.
+func (sh *shard) IngestLocked(p uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.statAdd(p)
+}
+
+// lockAll acquires the shard lock for the caller — the lockShards
+// shape, where the acquisition lives in a callee.
+func (sh *shard) lockAll() { sh.mu.Lock() }
+
+// Rebuild relies on the callee's acquisition: the Locks summary keeps
+// the shard write-held (sticky) after lockAll returns.
+func (sh *shard) Rebuild(p uint64) {
+	sh.lockAll()
+	sh.pstats[p].subj++
+	sh.mu.Unlock()
+}
+
+// MergeInto mutates a caller-provided record: exported, so no call
+// site can be consulted and the finding lands here.
+func MergeInto(dst *predStat, src *predStat) {
+	dst.subj += src.subj // want "mutates per-shard stats through a caller-provided record"
+}
+
+// Snapshot merges shard state into a caller-local record under the
+// read lock — the PredStatIDs shape. Reads of derived records and
+// writes to the local copy are both fine.
+func (sh *shard) Snapshot(p uint64) predStat {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var out predStat
+	if ps, ok := sh.pstats[p]; ok {
+		out.subj = ps.subj
+		out.obj = ps.obj
+	}
+	return out
+}

@@ -229,7 +229,10 @@ func (ex *executor) evalNodeInner(n PatternNode, input []row) []row {
 		sub := &executor{st: ex.st, regexCache: ex.regexCache, graph: ex.graph, alg: ex.alg, dict: ex.dict,
 			prof: ex.prof, obsStats: ex.obsStats}
 		subSols, _ := sub.evalQuery(node.Query)
-		ex.rowsJoined += sub.rowsJoined
+		// rowsJoined is read atomically by concurrent observers (run's
+		// cancellation watchdog); the sub-executor is private here, but
+		// its field stays in the atomic domain for the same reason.
+		atomic.AddInt64(&ex.rowsJoined, atomic.LoadInt64(&sub.rowsJoined))
 		ex.rowsMaterialized += sub.rowsMaterialized
 		return joinRowsHash(input, ex.rowsFromSolutions(subSols))
 	case *BindPattern:

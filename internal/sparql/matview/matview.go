@@ -100,6 +100,8 @@ func New(st *store.Store) *Registry {
 // enqueue is the commit hook: copy the delta (the slices are only
 // valid during the call) and signal the maintenance goroutine. Safe
 // for concurrent writers.
+//
+//lodlint:lockorder nolock — Registry.mu guards only the queue append here, held for a bounded copy with no store re-entry; evaluation happens on the maintenance goroutine
 func (r *Registry) enqueue(d store.Delta) {
 	cp := d
 	cp.Added = append([]store.IDQuad(nil), d.Added...)

@@ -12,9 +12,14 @@ import (
 // committing goroutine strictly AFTER all store locks are released, so
 // a hook may freely read the store (take leases, run queries) — but a
 // slow hook slows its writer, so subscribers that do real work should
-// hand the delta to their own goroutine. Concurrent writers (parallel
-// bulk loaders, independent Adds) invoke hooks concurrently; hooks
-// must be safe for that.
+// hand the delta to their own goroutine. Hooks must NOT mutate the
+// store (re-entering Add/Remove/Commit from the commit path recurses
+// the pipeline) and must not acquire locks on the synchronous path
+// unless the hook function carries a reviewed `//lodlint:lockorder
+// nolock` annotation — both contracts are machine-checked by the
+// hookreent analyzer. Concurrent writers (parallel bulk loaders,
+// independent Adds) invoke hooks concurrently; hooks must be safe for
+// that.
 //
 // With no hooks registered every mutation path pays one atomic load
 // and allocates nothing.
